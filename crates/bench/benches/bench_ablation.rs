@@ -1,0 +1,61 @@
+//! Ablation benches for the design choices documented in DESIGN.md §3.5:
+//! the Θ_D-disk probe (vs. the literal own-cell probe), the join-within
+//! member reach filter, and pre-join radius tightening. All three knobs
+//! are answer-preserving (property-tested); these benches quantify the
+//! work they save or add.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scuba::params::ProbeScope;
+use scuba::ScubaParams;
+use scuba_bench::runner::scuba_params;
+use scuba_bench::{run_scuba, ExperimentScale};
+
+fn scale() -> ExperimentScale {
+    ExperimentScale {
+        objects: 400,
+        queries: 400,
+        skew: 50,
+        duration: 4,
+        ..Default::default()
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let s = scale();
+    let base = scuba_params(&s);
+    let variants: [(&str, ScubaParams); 4] = [
+        ("default", base),
+        (
+            "own_cell_probe",
+            ScubaParams {
+                probe_scope: ProbeScope::OwnCell,
+                ..base
+            },
+        ),
+        (
+            "no_member_filter",
+            ScubaParams {
+                member_filter: false,
+                ..base
+            },
+        ),
+        (
+            "no_radius_tightening",
+            ScubaParams {
+                tighten_radii: false,
+                ..base
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for (name, params) in variants {
+        group.bench_function(name, |b| b.iter(|| run_scuba(&s, params)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

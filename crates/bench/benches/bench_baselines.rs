@@ -1,0 +1,34 @@
+//! Cross-operator bench: SCUBA vs all three baselines over the identical
+//! workload — the regular region-replicating grid, the §6-literal
+//! point-hashed grid (lossy), and the Q-index R-tree (related work [29]).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scuba_bench::runner::{run_point_hashed, run_qindex, run_sina, run_vci, scuba_params};
+use scuba_bench::{run_regular, run_scuba, ExperimentScale};
+
+fn scale() -> ExperimentScale {
+    ExperimentScale {
+        objects: 400,
+        queries: 400,
+        skew: 50,
+        duration: 4,
+        ..Default::default()
+    }
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let s = scale();
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.bench_function("scuba", |b| b.iter(|| run_scuba(&s, scuba_params(&s))));
+    group.bench_function("regular_grid", |b| b.iter(|| run_regular(&s)));
+    group.bench_function("point_hashed_grid", |b| b.iter(|| run_point_hashed(&s)));
+    group.bench_function("query_index_rtree", |b| b.iter(|| run_qindex(&s)));
+    group.bench_function("sina_incremental_grid", |b| b.iter(|| run_sina(&s)));
+    group.bench_function("vci_lazy_rtree", |b| b.iter(|| run_vci(&s)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

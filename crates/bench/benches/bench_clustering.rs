@@ -1,0 +1,66 @@
+//! Criterion bench behind Fig. 11: incremental vs. K-means clustering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use scuba::kmeans::{kmeans_cluster, KMeansConfig};
+use scuba::ScubaOperator;
+use scuba_bench::runner::{build_network, build_workload, scuba_params};
+use scuba_bench::ExperimentScale;
+use scuba_stream::ContinuousOperator;
+
+fn scale() -> ExperimentScale {
+    ExperimentScale {
+        objects: 400,
+        queries: 400,
+        skew: 50,
+        ..Default::default()
+    }
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let s = scale();
+    let network = build_network(&s);
+    let area = network.extent().expect("non-empty city");
+    let mut generator = build_workload(&s, network);
+    generator.tick();
+    let snapshot = generator.snapshot();
+    let params = scuba_params(&s);
+
+    let mut group = c.benchmark_group("fig11_clustering");
+    group.sample_size(10);
+
+    group.bench_function("incremental_ingest_and_join", |b| {
+        b.iter(|| {
+            let mut op = ScubaOperator::new(params, area);
+            for u in &snapshot {
+                op.process_update(u);
+            }
+            op.evaluate(2)
+        })
+    });
+
+    for iters in [1u32, 3, 10] {
+        group.bench_with_input(
+            BenchmarkId::new("kmeans_cluster_and_join", iters),
+            &iters,
+            |b, &iters| {
+                b.iter(|| {
+                    let outcome = kmeans_cluster(
+                        &snapshot,
+                        KMeansConfig {
+                            iterations: iters,
+                            k: None,
+                        },
+                        &params,
+                        area,
+                    );
+                    outcome.join(&params)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench behind Fig. 9: SCUBA vs. REGULAR across grid sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use scuba_bench::{run_regular, run_scuba, ExperimentScale};
+
+fn scale() -> ExperimentScale {
+    ExperimentScale {
+        objects: 400,
+        queries: 400,
+        skew: 50,
+        duration: 4,
+        ..Default::default()
+    }
+}
+
+fn bench_grid_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_grid_size");
+    group.sample_size(10);
+    for grid in [50u32, 100, 150] {
+        let s = ExperimentScale {
+            grid_cells: grid,
+            ..scale()
+        };
+        group.bench_with_input(BenchmarkId::new("scuba", grid), &s, |b, s| {
+            b.iter(|| run_scuba(s, scuba_bench::runner::scuba_params(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("regular", grid), &s, |b, s| {
+            b.iter(|| run_regular(s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_size);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench behind Fig. 12: cluster-maintenance cost as the number
+//! of clusters grows (skew shrinks, population constant).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use scuba_bench::{run_scuba, ExperimentScale};
+
+fn scale() -> ExperimentScale {
+    ExperimentScale {
+        objects: 400,
+        queries: 400,
+        duration: 4,
+        ..Default::default()
+    }
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_maintenance");
+    group.sample_size(10);
+    // Skew down ⇒ cluster count up: the full-run cost isolates maintenance
+    // via the OperatorRun::maintenance_time breakdown in the harness; here
+    // we track the end-to-end effect.
+    for skew in [40u32, 20, 10, 4] {
+        let s = ExperimentScale { skew, ..scale() };
+        group.bench_with_input(BenchmarkId::new("scuba_full_run", skew), &s, |b, s| {
+            b.iter(|| run_scuba(s, scuba_bench::runner::scuba_params(s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maintenance);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the hot primitives under everything else: the
+//! join-between overlap test, polar materialisation, grid probing and the
+//! per-update clustering decision.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use scuba::{ScubaOperator, ScubaParams};
+use scuba_motion::{LocationUpdate, ObjectAttrs, ObjectId};
+use scuba_spatial::{Circle, GridSpec, Point, Polar, Rect};
+use scuba_stream::ContinuousOperator;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+
+    let a = Circle::new(Point::new(10.0, 20.0), 30.0);
+    let b = Circle::new(Point::new(35.0, 40.0), 25.0);
+    group.bench_function("circle_overlap", |bch| {
+        bch.iter(|| black_box(a).overlaps(&black_box(b)))
+    });
+
+    let pole = Point::new(100.0, 200.0);
+    let p = Point::new(130.0, 170.0);
+    group.bench_function("polar_roundtrip", |bch| {
+        bch.iter(|| {
+            let polar = Polar::from_cartesian(&black_box(pole), &black_box(p));
+            polar.to_cartesian(&pole)
+        })
+    });
+
+    let spec = GridSpec::new(Rect::square(10_000.0), 100);
+    let probe = Circle::new(Point::new(5_000.0, 5_000.0), 100.0);
+    group.bench_function("grid_cells_overlapping_circle", |bch| {
+        bch.iter(|| spec.cells_overlapping_circle(&black_box(probe)).count())
+    });
+
+    // Per-update clustering decision over a warm engine.
+    let mut op = ScubaOperator::new(ScubaParams::default(), Rect::square(10_000.0));
+    for i in 0..1_000u64 {
+        let x = (i * 97 % 10_000) as f64;
+        let y = (i * 61 % 10_000) as f64;
+        op.process_update(&LocationUpdate::object(
+            ObjectId(i),
+            Point::new(x, y),
+            0,
+            30.0,
+            Point::new(10_000.0, 5_000.0),
+            ObjectAttrs::default(),
+        ));
+    }
+    let mut i = 0u64;
+    group.bench_function("scuba_process_update", |bch| {
+        bch.iter(|| {
+            i = (i + 1) % 1_000;
+            let x = (i * 97 % 10_000) as f64 + 1.0;
+            let y = (i * 61 % 10_000) as f64;
+            op.process_update(&LocationUpdate::object(
+                ObjectId(i),
+                Point::new(x, y),
+                0,
+                30.0,
+                Point::new(10_000.0, 5_000.0),
+                ObjectAttrs::default(),
+            ));
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

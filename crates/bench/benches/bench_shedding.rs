@@ -1,0 +1,36 @@
+//! Criterion bench behind Fig. 13a: join cost across shedding levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use scuba::SheddingMode;
+use scuba_bench::runner::scuba_params;
+use scuba_bench::{run_scuba, ExperimentScale};
+
+fn scale() -> ExperimentScale {
+    ExperimentScale {
+        objects: 400,
+        queries: 400,
+        skew: 50,
+        duration: 4,
+        ..Default::default()
+    }
+}
+
+fn bench_shedding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_shedding");
+    group.sample_size(10);
+    for maintained in [0u32, 50, 100] {
+        let s = scale();
+        let params = scuba_params(&s)
+            .with_shedding(SheddingMode::from_maintained_percent(maintained as f64));
+        group.bench_with_input(
+            BenchmarkId::new("scuba_maintained_pct", maintained),
+            &params,
+            |b, params| b.iter(|| run_scuba(&s, *params)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shedding);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench behind Fig. 10: join cost across skew factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use scuba_bench::{run_regular, run_scuba, ExperimentScale};
+
+fn scale() -> ExperimentScale {
+    ExperimentScale {
+        objects: 400,
+        queries: 400,
+        duration: 4,
+        ..Default::default()
+    }
+}
+
+fn bench_skew(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_skew");
+    group.sample_size(10);
+    for skew in [1u32, 20, 100, 200] {
+        let s = ExperimentScale { skew, ..scale() };
+        group.bench_with_input(BenchmarkId::new("scuba", skew), &s, |b, s| {
+            b.iter(|| run_scuba(s, scuba_bench::runner::scuba_params(s)))
+        });
+    }
+    // One baseline point: REGULAR is skew-insensitive.
+    let s = scale();
+    group.bench_function("regular", |b| b.iter(|| run_regular(&s)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_skew);
+criterion_main!(benches);

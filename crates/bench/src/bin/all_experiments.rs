@@ -1,0 +1,127 @@
+//! Runs every figure harness in sequence and prints all tables — the
+//! one-shot reproduction of the paper's evaluation section.
+//!
+//! Usage: `all_experiments [--scale F] [--objects N] [--queries N]`
+
+use scuba_bench::figures::{
+    fig10, fig11, fig12, fig13, fig9, FIG10_SKEWS, FIG11_ITERS, FIG12_SKEWS, FIG13_MAINTAINED,
+    FIG9_GRIDS,
+};
+use scuba_bench::table::{f1, f3, TextTable};
+use scuba_bench::ExperimentScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, _) = match ExperimentScale::from_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "# SCUBA evaluation reproduction — {} objects, {} queries, skew {}, \
+         grid {}x{}, Δ={}, {} ticks\n",
+        scale.objects,
+        scale.queries,
+        scale.skew,
+        scale.grid_cells,
+        scale.grid_cells,
+        scale.delta,
+        scale.duration
+    );
+
+    println!("## Fig. 9 — varying grid size (a: join time, b: memory)\n");
+    let mut t = TextTable::new(vec![
+        "grid",
+        "REGULAR join (ms)",
+        "pt-hash join (ms)",
+        "SCUBA join (ms)",
+        "REGULAR mem (MiB)",
+        "SCUBA mem (MiB)",
+    ]);
+    for r in fig9(&scale, &FIG9_GRIDS) {
+        t.row(vec![
+            format!("{0}x{0}", r.grid),
+            f3(r.regular_join_ms),
+            f3(r.point_hashed_join_ms),
+            f3(r.scuba_join_ms),
+            f3(r.regular_mem_mib),
+            f3(r.scuba_mem_mib),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("## Fig. 10 — join time vs. skew factor\n");
+    let mut t = TextTable::new(vec!["skew", "REGULAR join (ms)", "SCUBA join (ms)", "clusters"]);
+    for r in fig10(&scale, &FIG10_SKEWS) {
+        t.row(vec![
+            r.skew.to_string(),
+            f3(r.regular_join_ms),
+            f3(r.scuba_join_ms),
+            f1(r.clusters),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("## Fig. 11 — incremental vs. K-means clustering\n");
+    let mut t = TextTable::new(vec![
+        "variant",
+        "clustering (ms)",
+        "join (ms)",
+        "total (ms)",
+        "clusters",
+    ]);
+    for r in fig11(&scale, &FIG11_ITERS) {
+        t.row(vec![
+            r.variant.clone(),
+            f3(r.clustering_ms),
+            f3(r.join_ms),
+            f3(r.total_ms),
+            r.clusters.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("## Fig. 12 — cluster maintenance vs. cluster count\n");
+    let mut t = TextTable::new(vec![
+        "skew",
+        "clusters",
+        "maintenance (ms)",
+        "SCUBA join (ms)",
+        "REGULAR join (ms)",
+        "SCUBA total (ms)",
+        "REGULAR total (ms)",
+    ]);
+    for r in fig12(&scale, &FIG12_SKEWS) {
+        t.row(vec![
+            r.skew.to_string(),
+            f1(r.clusters),
+            f3(r.maintenance_ms),
+            f3(r.scuba_join_ms),
+            f3(r.regular_join_ms),
+            f3(r.scuba_total_ms),
+            f3(r.regular_total_ms),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("## Fig. 13 — load shedding (a: join time, b: accuracy)\n");
+    let mut t = TextTable::new(vec![
+        "maintained %",
+        "SCUBA join (ms)",
+        "accuracy %",
+        "false+",
+        "false-",
+    ]);
+    for r in fig13(&scale, &FIG13_MAINTAINED) {
+        t.row(vec![
+            f1(r.maintained_pct),
+            f3(r.join_ms),
+            f1(r.accuracy_pct),
+            r.false_positives.to_string(),
+            r.false_negatives.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,50 @@
+//! Fig. 10 — join time as the skew factor (clusterability) varies.
+//!
+//! Usage: `fig10_skew [--scale F] [--objects N] [--queries N] [--json]`
+
+use scuba_bench::figures::{fig10, FIG10_SKEWS};
+use scuba_bench::table::{f1, f3, TextTable};
+use scuba_bench::ExperimentScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, rest) = match ExperimentScale::from_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let json = rest.iter().any(|a| a == "--json");
+
+    eprintln!(
+        "Fig. 10: varying skew — {} objects, {} queries, grid {}x{}, Δ={}, {} ticks",
+        scale.objects, scale.queries, scale.grid_cells, scale.grid_cells, scale.delta,
+        scale.duration
+    );
+    let rows = fig10(&scale, &FIG10_SKEWS);
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialise"));
+        return;
+    }
+    let mut table = TextTable::new(vec![
+        "skew",
+        "REGULAR join (ms)",
+        "SCUBA join (ms)",
+        "clusters",
+        "REGULAR cmps",
+        "SCUBA cmps",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.skew.to_string(),
+            f3(r.regular_join_ms),
+            f3(r.scuba_join_ms),
+            f1(r.clusters),
+            r.regular_comparisons.to_string(),
+            r.scuba_comparisons.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,48 @@
+//! Fig. 11 — incremental vs. non-incremental (K-means) clustering:
+//! clustering time + join time per variant.
+//!
+//! Usage: `fig11_incremental [--scale F] [--objects N] [--queries N] [--json]`
+
+use scuba_bench::figures::{fig11, FIG11_ITERS};
+use scuba_bench::table::{f3, TextTable};
+use scuba_bench::ExperimentScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, rest) = match ExperimentScale::from_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let json = rest.iter().any(|a| a == "--json");
+
+    eprintln!(
+        "Fig. 11: incremental vs. K-means — {} objects, {} queries, skew {}",
+        scale.objects, scale.queries, scale.skew
+    );
+    let rows = fig11(&scale, &FIG11_ITERS);
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialise"));
+        return;
+    }
+    let mut table = TextTable::new(vec![
+        "variant",
+        "clustering (ms)",
+        "join (ms)",
+        "total (ms)",
+        "clusters",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.variant.clone(),
+            f3(r.clustering_ms),
+            f3(r.join_ms),
+            f3(r.total_ms),
+            r.clusters.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

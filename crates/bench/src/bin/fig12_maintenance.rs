@@ -1,0 +1,52 @@
+//! Fig. 12 — cluster maintenance cost vs. number of clusters (skew varied,
+//! population constant), alongside SCUBA and REGULAR join times.
+//!
+//! Usage: `fig12_maintenance [--scale F] [--objects N] [--queries N] [--json]`
+
+use scuba_bench::figures::{fig12, FIG12_SKEWS};
+use scuba_bench::table::{f1, f3, TextTable};
+use scuba_bench::ExperimentScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, rest) = match ExperimentScale::from_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let json = rest.iter().any(|a| a == "--json");
+
+    eprintln!(
+        "Fig. 12: cluster maintenance — {} objects, {} queries, grid {}x{}",
+        scale.objects, scale.queries, scale.grid_cells, scale.grid_cells
+    );
+    let rows = fig12(&scale, &FIG12_SKEWS);
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialise"));
+        return;
+    }
+    let mut table = TextTable::new(vec![
+        "skew",
+        "clusters",
+        "maintenance (ms)",
+        "SCUBA join (ms)",
+        "REGULAR join (ms)",
+        "SCUBA total (ms)",
+        "REGULAR total (ms)",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.skew.to_string(),
+            f1(r.clusters),
+            f3(r.maintenance_ms),
+            f3(r.scuba_join_ms),
+            f3(r.regular_join_ms),
+            f3(r.scuba_total_ms),
+            f3(r.regular_total_ms),
+        ]);
+    }
+    println!("{}", table.render());
+}

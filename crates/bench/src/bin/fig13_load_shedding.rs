@@ -1,0 +1,48 @@
+//! Fig. 13 — moving-cluster-driven load shedding: join time (a) and
+//! accuracy (b) as the percentage of maintained relative positions varies.
+//!
+//! Usage: `fig13_load_shedding [--scale F] [--objects N] [--queries N] [--json]`
+
+use scuba_bench::figures::{fig13, FIG13_MAINTAINED};
+use scuba_bench::table::{f1, f3, TextTable};
+use scuba_bench::ExperimentScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, rest) = match ExperimentScale::from_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let json = rest.iter().any(|a| a == "--json");
+
+    eprintln!(
+        "Fig. 13: load shedding — {} objects, {} queries, skew {}",
+        scale.objects, scale.queries, scale.skew
+    );
+    let rows = fig13(&scale, &FIG13_MAINTAINED);
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialise"));
+        return;
+    }
+    let mut table = TextTable::new(vec![
+        "maintained %",
+        "SCUBA join (ms)",
+        "accuracy %",
+        "false+",
+        "false-",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            f1(r.maintained_pct),
+            f3(r.join_ms),
+            f1(r.accuracy_pct),
+            r.false_positives.to_string(),
+            r.false_negatives.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

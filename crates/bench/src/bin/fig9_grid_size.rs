@@ -1,0 +1,50 @@
+//! Fig. 9 — varying grid cell size: join time (a) and memory (b) for
+//! SCUBA vs. the regular grid-based operator.
+//!
+//! Usage: `fig9_grid_size [--scale F] [--objects N] [--queries N] [--json]`
+
+use scuba_bench::figures::{fig9, FIG9_GRIDS};
+use scuba_bench::table::{f3, TextTable};
+use scuba_bench::ExperimentScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, rest) = match ExperimentScale::from_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let json = rest.iter().any(|a| a == "--json");
+
+    eprintln!(
+        "Fig. 9: varying grid size — {} objects, {} queries, skew {}, Δ={}, {} ticks",
+        scale.objects, scale.queries, scale.skew, scale.delta, scale.duration
+    );
+    let rows = fig9(&scale, &FIG9_GRIDS);
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("rows serialise"));
+        return;
+    }
+    let mut table = TextTable::new(vec![
+        "grid",
+        "REGULAR join (ms)",
+        "pt-hash join (ms)",
+        "SCUBA join (ms)",
+        "REGULAR mem (MiB)",
+        "SCUBA mem (MiB)",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            format!("{0}x{0}", r.grid),
+            f3(r.regular_join_ms),
+            f3(r.point_hashed_join_ms),
+            f3(r.scuba_join_ms),
+            f3(r.regular_mem_mib),
+            f3(r.scuba_mem_mib),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,23 @@
+//! Benchmark harness regenerating every figure of the SCUBA paper's
+//! evaluation section (§6).
+//!
+//! One binary per figure (`fig9_grid_size`, `fig10_skew`,
+//! `fig11_incremental`, `fig12_maintenance`, `fig13_load_shedding`, plus
+//! `all_experiments`) and one Criterion bench per figure for
+//! statistically-sound micro-measurements.
+//!
+//! The paper's absolute numbers (seconds on a 2006 Xeon running CAPE) are
+//! not reproducible; the harness reports the same *series* so the shapes
+//! can be compared: who wins, by what factor, and where the trends bend.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod figures;
+pub mod runner;
+pub mod table;
+
+pub use config::ExperimentScale;
+pub use runner::{run_regular, run_scuba, OperatorRun};

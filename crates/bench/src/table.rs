@@ -1,0 +1,124 @@
+//! Minimal aligned-text table printer for the figure harnesses.
+
+/// A simple text table: a header row plus data rows, rendered with aligned
+/// columns (right-aligned numbers are the caller's responsibility — every
+/// cell is a preformatted string).
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row; short rows are padded with empty cells, long
+    /// rows are truncated to the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        render_row(&mut out, &self.header, &widths);
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        render_row(&mut out, &rule, &widths);
+        for row in &self.rows {
+            render_row(&mut out, row, &widths);
+        }
+        out
+    }
+}
+
+fn render_row(out: &mut String, cells: &[String], widths: &[usize]) {
+    for (i, (cell, width)) in cells.iter().zip(widths).enumerate() {
+        if i > 0 {
+            out.push_str("  ");
+        }
+        out.push_str(cell);
+        for _ in cell.len()..*width {
+            out.push(' ');
+        }
+    }
+    // Trim trailing padding on the last column.
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out.push('\n');
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 1 decimal place.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["long-name", "2.5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+        assert!(lines[3].starts_with("long-name  2.5"));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["1"]);
+        t.row(vec!["1", "2", "3"]);
+        assert_eq!(t.len(), 2);
+        let s = t.render();
+        assert!(!s.contains('3'));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TextTable::new(vec!["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(1.26), "1.3");
+    }
+}

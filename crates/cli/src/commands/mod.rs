@@ -1,0 +1,64 @@
+//! The `scuba-sim` subcommands.
+
+pub mod city;
+pub mod compare;
+pub mod record;
+pub mod render;
+pub mod shed;
+pub mod simulate;
+
+use std::sync::Arc;
+
+use scuba_generator::WorkloadGenerator;
+use scuba_roadnet::{RoadNetwork, SyntheticCity};
+use scuba_spatial::Rect;
+
+use crate::config::SimConfig;
+
+/// Builds the city network and coverage area for a config.
+pub(crate) fn build_city(config: &SimConfig) -> (Arc<RoadNetwork>, Rect) {
+    let city = SyntheticCity::build(config.city);
+    let area = city
+        .network
+        .extent()
+        .expect("synthetic city always has nodes");
+    (Arc::new(city.network), area)
+}
+
+/// Builds a fresh deterministic workload generator.
+pub(crate) fn build_generator(config: &SimConfig, network: Arc<RoadNetwork>) -> WorkloadGenerator {
+    WorkloadGenerator::new(network, config.workload)
+}
+
+/// An update source that is either the live generator or a trace replay.
+pub(crate) enum Source {
+    Live(WorkloadGenerator),
+    Trace(scuba_stream::TraceReader<std::io::BufReader<std::fs::File>>),
+}
+
+impl scuba_stream::executor::UpdateSource for Source {
+    fn next_tick(&mut self) -> Vec<scuba_motion::LocationUpdate> {
+        match self {
+            Source::Live(generator) => generator.tick(),
+            Source::Trace(reader) => reader.next_tick(),
+        }
+    }
+}
+
+/// Opens the configured source: `--trace FILE` replays a recorded trace,
+/// otherwise a fresh deterministic generator runs live.
+pub(crate) fn open_source(
+    config: &SimConfig,
+    trace: &Option<String>,
+    network: Arc<RoadNetwork>,
+) -> std::io::Result<Source> {
+    match trace {
+        Some(path) => {
+            let file = std::fs::File::open(path)?;
+            Ok(Source::Trace(scuba_stream::TraceReader::new(
+                std::io::BufReader::new(file),
+            )))
+        }
+        None => Ok(Source::Live(build_generator(config, network))),
+    }
+}

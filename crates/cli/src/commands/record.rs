@@ -1,0 +1,39 @@
+//! `scuba-sim record` — generate a workload and capture it as a trace file
+//! that `simulate --trace` / `compare --trace` can replay later (or that a
+//! real deployment would substitute with captured GPS feeds).
+
+use std::io::Write;
+use std::sync::Arc;
+
+use scuba_stream::TraceWriter;
+
+use crate::config::{OutputOptions, SimConfig};
+
+/// Runs the command; `opts.out_path` names the trace file.
+pub fn run(
+    config: &SimConfig,
+    opts: &OutputOptions,
+    out: &mut dyn Write,
+) -> std::io::Result<()> {
+    let Some(path) = &opts.out_path else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "record requires --out <FILE>",
+        ));
+    };
+    let (network, _) = super::build_city(config);
+    let mut generator = super::build_generator(config, Arc::clone(&network));
+    let file = std::fs::File::create(path)?;
+    let mut writer = TraceWriter::new(std::io::BufWriter::new(file));
+    for _ in 0..config.duration {
+        writer.write_tick(&generator.tick())?;
+    }
+    let (ticks, updates) = (writer.ticks(), writer.updates());
+    writer.finish()?;
+    writeln!(
+        out,
+        "recorded {ticks} ticks / {updates} updates from {} objects + {} queries to {path}",
+        config.workload.num_objects, config.workload.num_queries,
+    )?;
+    Ok(())
+}

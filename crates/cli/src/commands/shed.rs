@@ -1,0 +1,104 @@
+//! `scuba-sim shed` — sweep load-shedding levels and report the
+//! time/accuracy trade-off against the unshed run.
+
+use std::io::Write;
+use std::sync::Arc;
+
+use serde::Serialize;
+
+use scuba::{AccuracyReport, ScubaOperator, SheddingMode};
+use scuba_stream::{Executor, ExecutorConfig, QueryMatch};
+
+use crate::config::{OutputOptions, SimConfig};
+
+/// The maintained-positions levels swept (Fig. 13's x-axis).
+pub const LEVELS: [f64; 5] = [100.0, 75.0, 50.0, 25.0, 0.0];
+
+/// JSON shape of one shedding level.
+#[derive(Debug, Serialize)]
+struct LevelOut {
+    maintained_pct: f64,
+    join_us: u128,
+    accuracy_pct: f64,
+    false_positives: usize,
+    false_negatives: usize,
+    mean_memory_bytes: usize,
+}
+
+/// Runs the command.
+pub fn run(
+    config: &SimConfig,
+    opts: &OutputOptions,
+    out: &mut dyn Write,
+) -> std::io::Result<()> {
+    let (network, area) = super::build_city(config);
+    let executor = Executor::new(ExecutorConfig {
+        delta: config.params.delta,
+        duration: config.duration,
+    });
+
+    let run_at = |mode: SheddingMode| {
+        let mut params = config.params;
+        params.shedding = mode;
+        let mut operator = ScubaOperator::new(params, area);
+        let mut generator = super::build_generator(config, Arc::clone(&network));
+        executor.run(&mut || generator.tick(), &mut operator)
+    };
+
+    let truth_run = run_at(SheddingMode::None);
+    let truth: Vec<Vec<QueryMatch>> = truth_run
+        .evaluations
+        .iter()
+        .map(|e| e.results.clone())
+        .collect();
+
+    let mut rows = Vec::new();
+    for pct in LEVELS {
+        let run = run_at(SheddingMode::from_maintained_percent(pct));
+        let mut acc = AccuracyReport::default();
+        for (t, e) in truth.iter().zip(&run.evaluations) {
+            acc = acc.merge(&AccuracyReport::compare(t, &e.results));
+        }
+        rows.push(LevelOut {
+            maintained_pct: pct,
+            join_us: run.total_join_time().as_micros(),
+            accuracy_pct: acc.accuracy() * 100.0,
+            false_positives: acc.false_positives,
+            false_negatives: acc.false_negatives,
+            mean_memory_bytes: run.aggregate().mean_memory_bytes,
+        });
+    }
+
+    if opts.json {
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("rows serialise")
+        )?;
+        return Ok(());
+    }
+
+    writeln!(
+        out,
+        "load-shedding sweep over {} objects + {} queries (truth = 100% maintained)",
+        config.workload.num_objects, config.workload.num_queries,
+    )?;
+    writeln!(
+        out,
+        "{:>12} {:>10} {:>10} {:>8} {:>8} {:>10}",
+        "maintained%", "join(µs)", "accuracy%", "false+", "false-", "mem(B)"
+    )?;
+    for r in &rows {
+        writeln!(
+            out,
+            "{:>12.1} {:>10} {:>10.1} {:>8} {:>8} {:>10}",
+            r.maintained_pct,
+            r.join_us,
+            r.accuracy_pct,
+            r.false_positives,
+            r.false_negatives,
+            r.mean_memory_bytes,
+        )?;
+    }
+    Ok(())
+}

@@ -1,0 +1,139 @@
+//! `scuba-sim simulate` — run SCUBA and report per-interval activity.
+
+use std::io::Write;
+use std::sync::Arc;
+
+use serde::Serialize;
+
+use scuba::{DeltaTracker, EngineSnapshot, ScubaOperator};
+use scuba_stream::{Executor, ExecutorConfig};
+
+use crate::config::{OutputOptions, SimConfig};
+
+/// JSON shape of one interval.
+#[derive(Debug, Serialize)]
+struct IntervalOut {
+    t: u64,
+    results: usize,
+    added: usize,
+    removed: usize,
+    comparisons: u64,
+    join_us: u128,
+    maintenance_us: u128,
+    memory_bytes: usize,
+}
+
+/// JSON shape of the whole run.
+#[derive(Debug, Serialize)]
+struct SimulateOut {
+    operator: String,
+    updates_ingested: usize,
+    clusters_final: usize,
+    total_results: usize,
+    evaluations: Vec<IntervalOut>,
+}
+
+/// Runs the command.
+pub fn run(
+    config: &SimConfig,
+    opts: &OutputOptions,
+    out: &mut dyn Write,
+) -> std::io::Result<()> {
+    let (network, area) = super::build_city(config);
+    let mut source = super::open_source(config, &opts.trace, Arc::clone(&network))?;
+    let mut operator = match &opts.snapshot_in {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)?;
+            let snapshot = EngineSnapshot::from_json(&json)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            let engine = snapshot
+                .restore()
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            ScubaOperator::from_engine(engine)
+        }
+        None => ScubaOperator::new(config.params, area),
+    };
+    if let Some(budget) = opts.budget {
+        operator = operator.with_memory_budget(budget);
+    }
+    let executor = Executor::new(ExecutorConfig {
+        delta: config.params.delta,
+        duration: config.duration,
+    });
+    let report = executor.run(&mut source, &mut operator);
+
+    let mut tracker = DeltaTracker::new();
+    let mut intervals = Vec::new();
+    for e in &report.evaluations {
+        let delta = tracker.observe_sorted(e.now, e.results.clone());
+        intervals.push(IntervalOut {
+            t: e.now,
+            results: e.results.len(),
+            added: delta.added.len(),
+            removed: delta.removed.len(),
+            comparisons: e.comparisons,
+            join_us: e.join_time.as_micros(),
+            maintenance_us: e.maintenance_time.as_micros(),
+            memory_bytes: e.memory_bytes,
+        });
+    }
+
+    if let Some(path) = &opts.snapshot_out {
+        let snapshot = EngineSnapshot::capture(operator.engine());
+        std::fs::write(path, snapshot.to_json())?;
+    }
+
+    if opts.json {
+        let payload = SimulateOut {
+            operator: report.operator.clone(),
+            updates_ingested: report.updates_ingested,
+            clusters_final: operator.engine().cluster_count(),
+            total_results: report.total_results(),
+            evaluations: intervals,
+        };
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&payload).expect("payload serialises")
+        )?;
+        return Ok(());
+    }
+
+    writeln!(
+        out,
+        "{}: {} objects + {} queries, Δ={}, {} ticks",
+        report.operator,
+        config.workload.num_objects,
+        config.workload.num_queries,
+        config.params.delta,
+        config.duration,
+    )?;
+    for i in &intervals {
+        if opts.deltas {
+            writeln!(
+                out,
+                "t={:<4} +{:<5} -{:<5} (net {:<5}) join={}µs",
+                i.t,
+                i.added,
+                i.removed,
+                i.results,
+                i.join_us,
+            )?;
+        } else {
+            writeln!(
+                out,
+                "t={:<4} results={:<6} comparisons={:<8} join={}µs maint={}µs mem={}B",
+                i.t, i.results, i.comparisons, i.join_us, i.maintenance_us, i.memory_bytes,
+            )?;
+        }
+    }
+    writeln!(
+        out,
+        "done: {} updates, {} clusters live, {} result tuples total, shedding={:?}",
+        report.updates_ingested,
+        operator.engine().cluster_count(),
+        report.total_results(),
+        operator.current_shedding(),
+    )?;
+    Ok(())
+}

@@ -1,0 +1,293 @@
+//! Simulation configuration: JSON file + flag overrides.
+
+use serde::{Deserialize, Serialize};
+
+use scuba::{ScubaParams, SheddingMode};
+use scuba_generator::WorkloadConfig;
+use scuba_roadnet::CityConfig;
+
+/// Everything one simulation needs, serialisable as JSON.
+///
+/// Field defaults are the paper's §6.1 settings scaled to a laptop-friendly
+/// population (override with `--objects/--queries` or a config file for
+/// paper scale).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct SimConfig {
+    /// The synthetic city.
+    pub city: CityConfig,
+    /// The workload generator settings.
+    pub workload: WorkloadConfig,
+    /// SCUBA parameters (Θ_D, Θ_S, grid, shedding, ablation knobs).
+    pub params: ScubaParams,
+    /// Simulated duration in time units.
+    pub duration: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            city: CityConfig::default(),
+            workload: WorkloadConfig {
+                num_objects: 1_000,
+                num_queries: 1_000,
+                ..WorkloadConfig::default()
+            },
+            params: ScubaParams::default(),
+            duration: 10,
+        }
+    }
+}
+
+/// Presentation options shared by the commands.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OutputOptions {
+    /// Emit JSON instead of text.
+    pub json: bool,
+    /// `simulate`: print incremental deltas instead of totals.
+    pub deltas: bool,
+    /// `simulate`: adaptive shedding budget in bytes.
+    pub budget: Option<usize>,
+    /// `record`: output trace path.
+    pub out_path: Option<String>,
+    /// `simulate`/`compare`: replay updates from this trace file instead
+    /// of running the generator.
+    pub trace: Option<String>,
+    /// `simulate`: write an engine snapshot here after the run.
+    pub snapshot_out: Option<String>,
+    /// `simulate`: restore the engine from this snapshot before the run.
+    pub snapshot_in: Option<String>,
+}
+
+impl SimConfig {
+    /// Loads a config from a JSON string.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| format!("bad config JSON: {e}"))
+    }
+
+    /// Serialises the config as pretty JSON (usable as a starting config
+    /// file).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serialises")
+    }
+
+    /// Builds a config from command-line arguments: `--config FILE` is
+    /// loaded first, then individual flags override its fields.
+    pub fn from_args(args: &[String]) -> Result<(Self, OutputOptions), String> {
+        let mut config = SimConfig::default();
+        let mut opts = OutputOptions::default();
+
+        // First pass: --config.
+        let mut i = 0;
+        while i < args.len() {
+            if args[i] == "--config" {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--config requires a path".to_string())?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                config = SimConfig::from_json(&text)?;
+            }
+            i += 1;
+        }
+
+        // Second pass: field overrides.
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = |what: &str| -> Result<&str, String> {
+                args.get(i + 1)
+                    .map(String::as_str)
+                    .ok_or_else(|| format!("{what} requires a value"))
+            };
+            match flag {
+                "--config" => i += 2, // handled above
+                "--objects" => {
+                    config.workload.num_objects = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
+                "--queries" => {
+                    config.workload.num_queries = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
+                "--skew" => {
+                    config.workload.skew = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
+                "--grid" => {
+                    config.params.grid_cells = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
+                "--delta" => {
+                    config.params.delta = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
+                "--duration" => {
+                    config.duration = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
+                "--range" => {
+                    config.workload.query_range_side = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
+                "--seed" => {
+                    config.workload.seed = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
+                "--theta-d" => {
+                    config.params.theta_d = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
+                "--theta-s" => {
+                    config.params.theta_s = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
+                "--eta" => {
+                    let eta: f64 = parse(value(flag)?, flag)?;
+                    config.params.shedding = if eta <= 0.0 {
+                        SheddingMode::None
+                    } else if eta >= 1.0 {
+                        SheddingMode::Full
+                    } else {
+                        SheddingMode::Partial { eta }
+                    };
+                    i += 2;
+                }
+                "--budget" => {
+                    opts.budget = Some(parse(value(flag)?, flag)?);
+                    i += 2;
+                }
+                "--out" => {
+                    opts.out_path = Some(value(flag)?.to_string());
+                    i += 2;
+                }
+                "--trace" => {
+                    opts.trace = Some(value(flag)?.to_string());
+                    i += 2;
+                }
+                "--snapshot-out" => {
+                    opts.snapshot_out = Some(value(flag)?.to_string());
+                    i += 2;
+                }
+                "--snapshot-in" => {
+                    opts.snapshot_in = Some(value(flag)?.to_string());
+                    i += 2;
+                }
+                "--json" => {
+                    opts.json = true;
+                    i += 1;
+                }
+                "--deltas" => {
+                    opts.deltas = true;
+                    i += 1;
+                }
+                other => return Err(format!("unknown option '{other}'")),
+            }
+        }
+
+        config
+            .workload
+            .validate()
+            .map_err(|e| format!("invalid workload: {e}"))?;
+        config
+            .params
+            .validate()
+            .map_err(|e| format!("invalid SCUBA params: {e}"))?;
+        if config.duration == 0 {
+            return Err("duration must be >= 1".into());
+        }
+        Ok((config, opts))
+    }
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("bad value '{value}' for {flag}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_validate() {
+        let (c, o) = SimConfig::from_args(&[]).unwrap();
+        assert_eq!(c.workload.num_objects, 1_000);
+        assert!(!o.json);
+        assert!(!o.deltas);
+        assert_eq!(o.budget, None);
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let (c, o) = SimConfig::from_args(&args(&[
+            "--objects", "50", "--theta-d", "40", "--eta", "0.5", "--json", "--budget", "12345",
+        ]))
+        .unwrap();
+        assert_eq!(c.workload.num_objects, 50);
+        assert_eq!(c.params.theta_d, 40.0);
+        assert_eq!(c.params.shedding, SheddingMode::Partial { eta: 0.5 });
+        assert!(o.json);
+        assert_eq!(o.budget, Some(12345));
+    }
+
+    #[test]
+    fn eta_extremes_map_to_modes() {
+        let (c, _) = SimConfig::from_args(&args(&["--eta", "0"])).unwrap();
+        assert_eq!(c.params.shedding, SheddingMode::None);
+        let (c, _) = SimConfig::from_args(&args(&["--eta", "1"])).unwrap();
+        assert_eq!(c.params.shedding, SheddingMode::Full);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let config = SimConfig::default();
+        let parsed = SimConfig::from_json(&config.to_json()).unwrap();
+        assert_eq!(parsed, config);
+    }
+
+    #[test]
+    fn partial_json_uses_defaults() {
+        let parsed = SimConfig::from_json(r#"{"duration": 42}"#).unwrap();
+        assert_eq!(parsed.duration, 42);
+        assert_eq!(parsed.workload.num_objects, 1_000);
+    }
+
+    #[test]
+    fn config_file_loaded_then_overridden() {
+        let dir = std::env::temp_dir().join("scuba-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sim.json");
+        std::fs::write(&path, r#"{"duration": 7, "workload": {"num_objects": 9}}"#).unwrap();
+        let (c, _) = SimConfig::from_args(&args(&[
+            "--config",
+            path.to_str().unwrap(),
+            "--duration",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(c.workload.num_objects, 9, "from file");
+        assert_eq!(c.duration, 9, "flag wins");
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(SimConfig::from_args(&args(&["--wat"])).is_err());
+        assert!(SimConfig::from_args(&args(&["--objects"])).is_err());
+        assert!(SimConfig::from_args(&args(&["--objects", "x"])).is_err());
+        assert!(SimConfig::from_args(&args(&["--duration", "0"])).is_err());
+        assert!(SimConfig::from_args(&args(&["--theta-d", "-5"])).is_err());
+    }
+
+    #[test]
+    fn missing_config_file_is_an_error() {
+        let err =
+            SimConfig::from_args(&args(&["--config", "/nonexistent/sim.json"])).unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+}

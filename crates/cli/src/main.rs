@@ -1,0 +1,10 @@
+//! The `scuba-sim` binary: a thin wrapper over [`scuba_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    if let Err(message) = scuba_cli::run(&args, &mut stdout) {
+        eprintln!("{message}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,174 @@
+//! Workload-generator configuration.
+
+use serde::{Deserialize, Serialize};
+
+use scuba_roadnet::RouteMetric;
+
+/// Parameters of a generated workload.
+///
+/// Defaults mirror the paper's experimental settings (§6.1): 10 000 moving
+/// objects, 10 000 range queries, every entity reporting each time unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct WorkloadConfig {
+    /// Number of moving objects.
+    pub num_objects: usize,
+    /// Number of continuous range queries.
+    pub num_queries: usize,
+    /// Average number of entities sharing spatio-temporal behaviour
+    /// (paper §6.3). `1` means every entity moves distinctly.
+    pub skew: u32,
+    /// Fraction of entities reporting per time unit, in `(0, 1]`
+    /// (paper default: 1.0 — "100% of objects and queries send their
+    /// location updates every time unit").
+    pub update_fraction: f64,
+    /// Side of the square region monitored by each range query, in spatial
+    /// units.
+    pub query_range_side: f64,
+    /// Base speed range entities draw from, spatial units / time unit.
+    /// The default 10–50 spans the local→highway speed spectrum of the
+    /// road classes.
+    pub speed_min: f64,
+    /// Upper end of the base speed range.
+    pub speed_max: f64,
+    /// Per-member speed jitter inside a group, in spatial units / time
+    /// unit. Must stay below the clustering speed threshold Θ_S (default
+    /// Θ_S = 10) for group members to remain clusterable; default 2.0.
+    pub speed_jitter: f64,
+    /// Total spread of a group along its route, in spatial units —
+    /// consecutive members are staggered `group_spread / skew` apart, so a
+    /// group occupies the same stretch of road regardless of its size.
+    /// Keep below the distance threshold Θ_D (default 100) so a group
+    /// "typically may form a cluster" (paper §6.3); default 80.0.
+    pub group_spread: f64,
+    /// Ticks an entity rests at each destination before starting its next
+    /// trip (it reports speed 0 from the node while dwelling). Default 0 —
+    /// the paper's entities re-route immediately.
+    pub dwell_ticks: u32,
+    /// Metric used to route trips.
+    pub route_metric: RouteMetric,
+    /// RNG seed; equal configs over equal networks generate identical
+    /// workloads.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            num_objects: 10_000,
+            num_queries: 10_000,
+            skew: 100,
+            update_fraction: 1.0,
+            query_range_side: 50.0,
+            speed_min: 10.0,
+            speed_max: 50.0,
+            speed_jitter: 2.0,
+            group_spread: 80.0,
+            dwell_ticks: 0,
+            route_metric: RouteMetric::TravelTime,
+            seed: 0x5C0B_A001,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A small configuration for unit tests and examples.
+    pub fn small() -> Self {
+        WorkloadConfig {
+            num_objects: 60,
+            num_queries: 40,
+            skew: 10,
+            ..Default::default()
+        }
+    }
+
+    /// Returns the config with a different skew factor.
+    pub fn with_skew(self, skew: u32) -> Self {
+        WorkloadConfig {
+            skew: skew.max(1),
+            ..self
+        }
+    }
+
+    /// Returns the config with different entity counts.
+    pub fn with_counts(self, objects: usize, queries: usize) -> Self {
+        WorkloadConfig {
+            num_objects: objects,
+            num_queries: queries,
+            ..self
+        }
+    }
+
+    /// Validates parameter ranges, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.skew == 0 {
+            return Err("skew must be >= 1".into());
+        }
+        if !(self.update_fraction > 0.0 && self.update_fraction <= 1.0) {
+            return Err(format!(
+                "update_fraction must be in (0, 1], got {}",
+                self.update_fraction
+            ));
+        }
+        if self.speed_min <= 0.0 || self.speed_max < self.speed_min {
+            return Err(format!(
+                "speed range [{}, {}] invalid",
+                self.speed_min, self.speed_max
+            ));
+        }
+        if self.speed_jitter < 0.0 {
+            return Err("speed_jitter must be non-negative".into());
+        }
+        if self.group_spread < 0.0 {
+            return Err("group_spread must be non-negative".into());
+        }
+        if self.query_range_side < 0.0 {
+            return Err("query_range_side must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = WorkloadConfig::default();
+        assert_eq!(c.num_objects, 10_000);
+        assert_eq!(c.num_queries, 10_000);
+        assert_eq!(c.update_fraction, 1.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn with_skew_clamps_zero() {
+        let c = WorkloadConfig::default().with_skew(0);
+        assert_eq!(c.skew, 1);
+    }
+
+    #[test]
+    fn with_counts() {
+        let c = WorkloadConfig::default().with_counts(5, 7);
+        assert_eq!(c.num_objects, 5);
+        assert_eq!(c.num_queries, 7);
+    }
+
+    #[test]
+    fn validate_rejects_bad_params() {
+        let base = WorkloadConfig::default;
+        let cases = [
+            WorkloadConfig { update_fraction: 0.0, ..base() },
+            WorkloadConfig { speed_min: -1.0, ..base() },
+            WorkloadConfig { speed_min: 10.0, speed_max: 5.0, ..base() },
+            WorkloadConfig { speed_jitter: -0.1, ..base() },
+            WorkloadConfig { skew: 0, ..base() },
+            WorkloadConfig { group_spread: -1.0, ..base() },
+        ];
+        for (i, c) in cases.iter().enumerate() {
+            assert!(c.validate().is_err(), "case {i} should be rejected");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Behaviour groups — the skew-factor mechanism.
+//!
+//! All entities in a group share a spawn node, a base speed, and a lazily
+//! extended *destination sequence*: the n-th trip of every member targets
+//! the same node, so members keep travelling together across trips even
+//! though staggered starts make them arrive at slightly different times.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use scuba_roadnet::{NodeId, RoadNetwork};
+
+/// Shared behaviour of one group of entities.
+#[derive(Debug)]
+pub struct Group {
+    /// The spawn node of the group's first trip.
+    pub spawn: NodeId,
+    /// Base speed every member derives its speed from.
+    pub base_speed: f64,
+    /// Destination of trip `n` is `destinations[n]`; extended on demand.
+    destinations: Vec<NodeId>,
+    rng: StdRng,
+}
+
+impl Group {
+    /// Creates a group with deterministic behaviour derived from
+    /// `(workload_seed, group_index)`.
+    pub fn new(
+        net: &RoadNetwork,
+        workload_seed: u64,
+        group_index: u64,
+        speed_min: f64,
+        speed_max: f64,
+    ) -> Self {
+        // Mix the group index into the seed (splitmix-style) so groups are
+        // decorrelated.
+        let mut rng = StdRng::seed_from_u64(mix(workload_seed, group_index));
+        let spawn = NodeId(rng.gen_range(0..net.node_count() as u32));
+        let base_speed = if speed_max > speed_min {
+            rng.gen_range(speed_min..speed_max)
+        } else {
+            speed_min
+        };
+        Group {
+            spawn,
+            base_speed,
+            destinations: Vec::new(),
+            rng,
+        }
+    }
+
+    /// Destination node for trip `n`, generating intermediate trips as
+    /// needed. Consecutive destinations are guaranteed distinct so every
+    /// trip covers at least one segment (on connected networks).
+    pub fn destination(&mut self, n: usize, net: &RoadNetwork) -> NodeId {
+        while self.destinations.len() <= n {
+            let prev = *self.destinations.last().unwrap_or(&self.spawn);
+            let next = self.pick_node_distinct_from(prev, net);
+            self.destinations.push(next);
+        }
+        self.destinations[n]
+    }
+
+    fn pick_node_distinct_from(&mut self, prev: NodeId, net: &RoadNetwork) -> NodeId {
+        let n = net.node_count() as u32;
+        if n <= 1 {
+            return prev;
+        }
+        loop {
+            let candidate = NodeId(self.rng.gen_range(0..n));
+            if candidate != prev {
+                return candidate;
+            }
+        }
+    }
+
+    /// Number of trips generated so far.
+    pub fn trips_generated(&self) -> usize {
+        self.destinations.len()
+    }
+}
+
+/// SplitMix64-style seed mixing.
+fn mix(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scuba_roadnet::{CityConfig, SyntheticCity};
+
+    fn city() -> SyntheticCity {
+        SyntheticCity::build(CityConfig::small())
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let c = city();
+        let mut a = Group::new(&c.network, 1, 5, 10.0, 50.0);
+        let mut b = Group::new(&c.network, 1, 5, 10.0, 50.0);
+        assert_eq!(a.spawn, b.spawn);
+        assert_eq!(a.base_speed, b.base_speed);
+        for n in 0..10 {
+            assert_eq!(
+                a.destination(n, &c.network),
+                b.destination(n, &c.network)
+            );
+        }
+    }
+
+    #[test]
+    fn different_groups_decorrelated() {
+        let c = city();
+        let groups: Vec<Group> = (0..20)
+            .map(|g| Group::new(&c.network, 1, g, 10.0, 50.0))
+            .collect();
+        let spawns: std::collections::HashSet<_> =
+            groups.iter().map(|g| g.spawn).collect();
+        assert!(spawns.len() > 5, "spawns should spread: {}", spawns.len());
+    }
+
+    #[test]
+    fn destination_sequence_is_stable_and_lazy() {
+        let c = city();
+        let mut g = Group::new(&c.network, 9, 0, 10.0, 50.0);
+        assert_eq!(g.trips_generated(), 0);
+        let d3 = g.destination(3, &c.network);
+        assert_eq!(g.trips_generated(), 4);
+        assert_eq!(g.destination(3, &c.network), d3);
+        assert_eq!(g.trips_generated(), 4);
+    }
+
+    #[test]
+    fn consecutive_destinations_distinct() {
+        let c = city();
+        let mut g = Group::new(&c.network, 2, 1, 10.0, 50.0);
+        let mut prev = g.spawn;
+        for n in 0..50 {
+            let d = g.destination(n, &c.network);
+            assert_ne!(d, prev, "trip {n} has zero length");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn base_speed_in_range() {
+        let c = city();
+        for g in 0..50 {
+            let grp = Group::new(&c.network, 3, g, 12.0, 48.0);
+            assert!(grp.base_speed >= 12.0 && grp.base_speed < 48.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_speed_range() {
+        let c = city();
+        let g = Group::new(&c.network, 3, 0, 25.0, 25.0);
+        assert_eq!(g.base_speed, 25.0);
+    }
+
+    #[test]
+    fn single_node_network_destination_is_spawn() {
+        let mut net = RoadNetwork::new();
+        net.add_node(scuba_spatial::Point::ORIGIN);
+        let mut g = Group::new(&net, 1, 0, 10.0, 20.0);
+        assert_eq!(g.destination(0, &net), g.spawn);
+    }
+}

@@ -1,0 +1,34 @@
+//! Network-based generator of moving objects and queries.
+//!
+//! **Substitution note (DESIGN.md §2):** the paper generates its workload
+//! with Brinkhoff's *Network-Based Generator of Moving Objects* \[5\] fed
+//! with the Worcester road map. This crate re-implements the generator's
+//! core behaviour on top of our road-network substrate:
+//!
+//! * entities spawn at network nodes and follow shortest routes (by travel
+//!   time, so highways attract traffic) to randomly chosen destinations;
+//! * movement is piecewise linear at a per-entity speed;
+//! * arrived entities immediately start a new trip from their destination;
+//! * every time unit, a configurable fraction of entities reports a
+//!   [`LocationUpdate`](scuba_motion::LocationUpdate) (the paper's default: 100 % report every unit).
+//!
+//! The additional knob the experiments need is the **skew factor** (§6.3):
+//! "the skew factor represents the average number of moving entities that
+//! have similar spatio-temporal properties, and thus could be grouped into
+//! one cluster … when the skew factor = 200, every 200 objects/queries …
+//! move in a similar way." We implement it exactly as that: entities are
+//! partitioned into groups of `skew` members; all members of a group share
+//! the same spawn node, destination sequence, and base speed (with a small
+//! configurable jitter kept below Θ_S), staggered a few spatial units apart
+//! along the route (kept below Θ_D).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod group;
+pub mod workload;
+
+pub use config::WorkloadConfig;
+pub use workload::{GeneratedEntity, WorkloadGenerator};

@@ -1,0 +1,161 @@
+//! Property-based tests for the workload generator.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use scuba_generator::{WorkloadConfig, WorkloadGenerator};
+use scuba_motion::EntityRef;
+use scuba_roadnet::{CityConfig, RoadNetwork, SyntheticCity};
+
+fn city_network() -> Arc<RoadNetwork> {
+    Arc::new(SyntheticCity::build(CityConfig::small()).network)
+}
+
+fn arb_config() -> impl Strategy<Value = WorkloadConfig> {
+    (
+        1usize..80,   // objects
+        0usize..60,   // queries
+        1u32..30,     // skew
+        1usize..4,    // update period (1/fraction)
+        5.0..60.0f64, // range side
+        any::<u64>(), // seed
+    )
+        .prop_map(|(objects, queries, skew, period, side, seed)| WorkloadConfig {
+            num_objects: objects,
+            num_queries: queries,
+            skew,
+            update_fraction: 1.0 / period as f64,
+            query_range_side: side,
+            seed,
+            ..WorkloadConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn population_counts_exact(config in arb_config()) {
+        let g = WorkloadGenerator::new(city_network(), config);
+        let objects = g.entities().iter().filter(|e| e.entity.is_object()).count();
+        let queries = g.entities().iter().filter(|e| e.entity.is_query()).count();
+        prop_assert_eq!(objects, config.num_objects);
+        prop_assert_eq!(queries, config.num_queries);
+    }
+
+    #[test]
+    fn entity_ids_are_dense_and_unique(config in arb_config()) {
+        let g = WorkloadGenerator::new(city_network(), config);
+        let mut oids: Vec<u64> = g
+            .entities()
+            .iter()
+            .filter_map(|e| e.entity.as_object())
+            .map(|o| o.0)
+            .collect();
+        oids.sort_unstable();
+        let expected: Vec<u64> = (0..config.num_objects as u64).collect();
+        prop_assert_eq!(oids, expected);
+    }
+
+    #[test]
+    fn groups_never_mix_kinds(config in arb_config()) {
+        let g = WorkloadGenerator::new(city_network(), config);
+        let max_group = g.entities().iter().map(|e| e.group).max().unwrap_or(0);
+        for group in 0..=max_group {
+            let kinds: Vec<bool> = g
+                .entities()
+                .iter()
+                .filter(|e| e.group == group)
+                .map(|e| e.entity.is_object())
+                .collect();
+            prop_assert!(
+                kinds.iter().all(|&k| k) || kinds.iter().all(|&k| !k),
+                "group {group} mixes kinds"
+            );
+        }
+    }
+
+    #[test]
+    fn group_sizes_bounded_by_skew(config in arb_config()) {
+        let g = WorkloadGenerator::new(city_network(), config);
+        let max_group = g.entities().iter().map(|e| e.group).max().unwrap_or(0);
+        for group in 0..=max_group {
+            let size = g.entities().iter().filter(|e| e.group == group).count();
+            prop_assert!(size <= config.skew as usize);
+            prop_assert!(size >= 1);
+        }
+    }
+
+    #[test]
+    fn determinism_across_instances(config in arb_config(), ticks in 1u64..6) {
+        let mut a = WorkloadGenerator::new(city_network(), config);
+        let mut b = WorkloadGenerator::new(city_network(), config);
+        for _ in 0..ticks {
+            prop_assert_eq!(a.tick(), b.tick());
+        }
+    }
+
+    #[test]
+    fn every_entity_reports_once_per_period(config in arb_config()) {
+        let period = (1.0 / config.update_fraction).round() as u64;
+        let mut g = WorkloadGenerator::new(city_network(), config);
+        let mut reported: Vec<EntityRef> = Vec::new();
+        for _ in 0..period {
+            reported.extend(g.tick().into_iter().map(|u| u.entity));
+        }
+        reported.sort_unstable();
+        let before = reported.len();
+        reported.dedup();
+        prop_assert_eq!(before, reported.len(), "duplicate report within period");
+        prop_assert_eq!(reported.len(), config.num_objects + config.num_queries);
+    }
+
+    #[test]
+    fn updates_carry_consistent_attrs(config in arb_config(), ticks in 1u64..4) {
+        let mut g = WorkloadGenerator::new(city_network(), config);
+        for _ in 0..ticks {
+            for u in g.tick() {
+                prop_assert!(u.is_consistent());
+                prop_assert!(u.speed >= 1.0);
+                if let Some(spec) = u.query_spec() {
+                    match spec {
+                        scuba_motion::QuerySpec::Range { width, height } => {
+                            prop_assert_eq!(width, config.query_range_side);
+                            prop_assert_eq!(height, config.query_range_side);
+                        }
+                        other => prop_assert!(false, "unexpected spec {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn positions_stay_inside_city(config in arb_config(), ticks in 1u64..10) {
+        let network = city_network();
+        let extent = network.extent().unwrap().inflate(1.0);
+        let mut g = WorkloadGenerator::new(network, config);
+        for _ in 0..ticks {
+            for u in g.tick() {
+                prop_assert!(extent.contains(&u.loc), "{:?} escaped", u.loc);
+                prop_assert!(extent.contains(&u.cn_loc));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_matches_entity_state(config in arb_config(), ticks in 0u64..5) {
+        let mut g = WorkloadGenerator::new(city_network(), config);
+        for _ in 0..ticks {
+            g.tick();
+        }
+        let snapshot = g.snapshot();
+        prop_assert_eq!(snapshot.len(), g.entities().len());
+        for (u, e) in snapshot.iter().zip(g.entities()) {
+            prop_assert_eq!(u.entity, e.entity);
+            prop_assert!(u.loc.approx_eq(&e.position()));
+            prop_assert_eq!(u.time, g.clock());
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Motion model for the SCUBA reproduction.
+//!
+//! Implements paper §2 "Background on the Motion Model": moving objects (and
+//! moving queries) travel in a piecewise-linear manner along the road
+//! network, and report *location updates* of the form
+//! `(oid, loc_t, t, speed, cnloc, attrs)` — identity, current position,
+//! timestamp, current speed, the *connection node* the entity will reach
+//! next (its current destination, stable until reached), and descriptive
+//! attributes.
+//!
+//! Modules:
+//!
+//! * [`ids`] — object/query identifier types; SCUBA treats both kinds of
+//!   entity uniformly during clustering but joins them asymmetrically.
+//! * [`update`] — the [`LocationUpdate`] record and entity attributes,
+//!   including the range-query extent carried by query updates.
+//! * [`trajectory`] — [`PiecewiseMotion`]: advancing a position along a
+//!   polyline of connection nodes at a given speed, leg by leg.
+//! * [`wire`] — compact binary encoding of updates for the stream
+//!   substrate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ids;
+pub mod trajectory;
+pub mod update;
+pub mod wire;
+
+pub use ids::{EntityRef, ObjectId, QueryId};
+pub use trajectory::{MotionError, PiecewiseMotion};
+pub use update::{EntityAttrs, LocationUpdate, ObjectAttrs, ObjectClass, QueryAttrs, QuerySpec};

@@ -1,0 +1,292 @@
+//! Compact binary encoding of location updates.
+//!
+//! The stream substrate transports updates between the generator and the
+//! query engine; in a deployed system these records would cross a network.
+//! The encoding is a fixed little-endian layout:
+//!
+//! ```text
+//! kind:u8  id:u64  x:f64 y:f64  t:u64  speed:f64  cnx:f64 cny:f64  attrs…
+//! attrs(object): class:u8
+//! attrs(range query): 0:u8 width:f64 height:f64
+//! attrs(knn query):   1:u8 k:u32
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use scuba_spatial::Point;
+
+use crate::ids::{ObjectId, QueryId};
+use crate::update::{
+    EntityAttrs, LocationUpdate, ObjectAttrs, ObjectClass, QueryAttrs, QuerySpec,
+};
+
+const KIND_OBJECT: u8 = 0;
+const KIND_QUERY: u8 = 1;
+
+const SPEC_RANGE: u8 = 0;
+const SPEC_KNN: u8 = 1;
+
+/// Errors raised while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than the layout requires.
+    Truncated,
+    /// An unknown discriminant byte.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated update record"),
+            DecodeError::BadTag(t) => write!(f, "unknown tag byte {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn class_to_byte(c: ObjectClass) -> u8 {
+    match c {
+        ObjectClass::Car => 0,
+        ObjectClass::Truck => 1,
+        ObjectClass::Bus => 2,
+        ObjectClass::Pedestrian => 3,
+        ObjectClass::Child => 4,
+        ObjectClass::Emergency => 5,
+    }
+}
+
+fn class_from_byte(b: u8) -> Result<ObjectClass, DecodeError> {
+    Ok(match b {
+        0 => ObjectClass::Car,
+        1 => ObjectClass::Truck,
+        2 => ObjectClass::Bus,
+        3 => ObjectClass::Pedestrian,
+        4 => ObjectClass::Child,
+        5 => ObjectClass::Emergency,
+        other => return Err(DecodeError::BadTag(other)),
+    })
+}
+
+/// Encodes one update, appending to `buf`.
+pub fn encode_into(update: &LocationUpdate, buf: &mut BytesMut) {
+    let (kind, id) = match update.entity {
+        crate::ids::EntityRef::Object(ObjectId(id)) => (KIND_OBJECT, id),
+        crate::ids::EntityRef::Query(QueryId(id)) => (KIND_QUERY, id),
+    };
+    buf.put_u8(kind);
+    buf.put_u64_le(id);
+    buf.put_f64_le(update.loc.x);
+    buf.put_f64_le(update.loc.y);
+    buf.put_u64_le(update.time);
+    buf.put_f64_le(update.speed);
+    buf.put_f64_le(update.cn_loc.x);
+    buf.put_f64_le(update.cn_loc.y);
+    match &update.attrs {
+        EntityAttrs::Object(ObjectAttrs { class }) => {
+            buf.put_u8(class_to_byte(*class));
+        }
+        EntityAttrs::Query(QueryAttrs { spec }) => match *spec {
+            QuerySpec::Range { width, height } => {
+                buf.put_u8(SPEC_RANGE);
+                buf.put_f64_le(width);
+                buf.put_f64_le(height);
+            }
+            QuerySpec::Knn { k } => {
+                buf.put_u8(SPEC_KNN);
+                buf.put_u32_le(k);
+            }
+        },
+    }
+}
+
+/// Encodes one update into a fresh buffer.
+pub fn encode(update: &LocationUpdate) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    encode_into(update, &mut buf);
+    buf.freeze()
+}
+
+/// Decodes one update from the front of `buf`, consuming its bytes.
+pub fn decode(buf: &mut impl Buf) -> Result<LocationUpdate, DecodeError> {
+    const FIXED: usize = 1 + 8 + 8 + 8 + 8 + 8 + 8 + 8;
+    if buf.remaining() < FIXED + 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let kind = buf.get_u8();
+    let id = buf.get_u64_le();
+    let loc = Point::new(buf.get_f64_le(), buf.get_f64_le());
+    let time = buf.get_u64_le();
+    let speed = buf.get_f64_le();
+    let cn_loc = Point::new(buf.get_f64_le(), buf.get_f64_le());
+    match kind {
+        KIND_OBJECT => {
+            let class = class_from_byte(buf.get_u8())?;
+            Ok(LocationUpdate::object(
+                ObjectId(id),
+                loc,
+                time,
+                speed,
+                cn_loc,
+                ObjectAttrs { class },
+            ))
+        }
+        KIND_QUERY => {
+            let spec_tag = buf.get_u8();
+            let spec = match spec_tag {
+                SPEC_RANGE => {
+                    if buf.remaining() < 16 {
+                        return Err(DecodeError::Truncated);
+                    }
+                    QuerySpec::Range {
+                        width: buf.get_f64_le(),
+                        height: buf.get_f64_le(),
+                    }
+                }
+                SPEC_KNN => {
+                    if buf.remaining() < 4 {
+                        return Err(DecodeError::Truncated);
+                    }
+                    QuerySpec::Knn {
+                        k: buf.get_u32_le(),
+                    }
+                }
+                other => return Err(DecodeError::BadTag(other)),
+            };
+            Ok(LocationUpdate::query(
+                QueryId(id),
+                loc,
+                time,
+                speed,
+                cn_loc,
+                QueryAttrs { spec },
+            ))
+        }
+        other => Err(DecodeError::BadTag(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_object() -> LocationUpdate {
+        LocationUpdate::object(
+            ObjectId(42),
+            Point::new(1.5, -2.5),
+            100,
+            33.25,
+            Point::new(500.0, 600.0),
+            ObjectAttrs {
+                class: ObjectClass::Bus,
+            },
+        )
+    }
+
+    fn sample_range_query() -> LocationUpdate {
+        LocationUpdate::query(
+            QueryId(7),
+            Point::new(9.0, 8.0),
+            101,
+            15.0,
+            Point::new(0.0, 0.0),
+            QueryAttrs {
+                spec: QuerySpec::Range {
+                    width: 20.0,
+                    height: 10.0,
+                },
+            },
+        )
+    }
+
+    fn sample_knn_query() -> LocationUpdate {
+        LocationUpdate::query(
+            QueryId(8),
+            Point::new(-1.0, -1.0),
+            102,
+            10.0,
+            Point::new(50.0, 50.0),
+            QueryAttrs {
+                spec: QuerySpec::Knn { k: 3 },
+            },
+        )
+    }
+
+    #[test]
+    fn roundtrip_object() {
+        let u = sample_object();
+        let bytes = encode(&u);
+        let mut buf = bytes;
+        assert_eq!(decode(&mut buf).unwrap(), u);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn roundtrip_range_query() {
+        let u = sample_range_query();
+        let mut bytes = encode(&u);
+        assert_eq!(decode(&mut bytes).unwrap(), u);
+    }
+
+    #[test]
+    fn roundtrip_knn_query() {
+        let u = sample_knn_query();
+        let mut bytes = encode(&u);
+        assert_eq!(decode(&mut bytes).unwrap(), u);
+    }
+
+    #[test]
+    fn stream_of_updates() {
+        let updates = [sample_object(), sample_range_query(), sample_knn_query()];
+        let mut buf = BytesMut::new();
+        for u in &updates {
+            encode_into(u, &mut buf);
+        }
+        let mut bytes = buf.freeze();
+        for u in &updates {
+            assert_eq!(&decode(&mut bytes).unwrap(), u);
+        }
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_is_rejected() {
+        let bytes = encode(&sample_object());
+        for cut in 0..bytes.len() {
+            let mut partial = bytes.slice(0..cut);
+            assert!(
+                decode(&mut partial).is_err(),
+                "decode of {cut}-byte prefix should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut bytes = BytesMut::from(&encode(&sample_object())[..]);
+        bytes[0] = 99;
+        let mut buf = bytes.freeze();
+        assert_eq!(decode(&mut buf), Err(DecodeError::BadTag(99)));
+    }
+
+    #[test]
+    fn bad_class_rejected() {
+        let encoded = encode(&sample_object());
+        let mut bytes = BytesMut::from(&encoded[..]);
+        let last = bytes.len() - 1;
+        bytes[last] = 200;
+        let mut buf = bytes.freeze();
+        assert_eq!(decode(&mut buf), Err(DecodeError::BadTag(200)));
+    }
+
+    #[test]
+    fn all_object_classes_roundtrip() {
+        for class in ObjectClass::ALL {
+            let mut u = sample_object();
+            u.attrs = EntityAttrs::Object(ObjectAttrs { class });
+            let mut bytes = encode(&u);
+            assert_eq!(decode(&mut bytes).unwrap(), u);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based tests for the motion model and wire codec.
+
+use bytes::BytesMut;
+use proptest::prelude::*;
+
+use scuba_motion::{
+    wire, LocationUpdate, ObjectAttrs, ObjectClass, ObjectId, PiecewiseMotion, QueryAttrs,
+    QueryId, QuerySpec,
+};
+use scuba_spatial::Point;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1e4..1e4f64, -1e4..1e4f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_update() -> impl Strategy<Value = LocationUpdate> {
+    (
+        any::<u64>(),
+        arb_point(),
+        any::<u64>(),
+        0.0..200.0f64,
+        arb_point(),
+        prop_oneof![
+            (0usize..6).prop_map(|i| AttrsChoice::Object(ObjectClass::ALL[i])),
+            (0.0..500.0f64, 0.0..500.0f64)
+                .prop_map(|(w, h)| AttrsChoice::Range(w, h)),
+            (1u32..100).prop_map(AttrsChoice::Knn),
+        ],
+    )
+        .prop_map(|(id, loc, time, speed, cn, choice)| match choice {
+            AttrsChoice::Object(class) => LocationUpdate::object(
+                ObjectId(id),
+                loc,
+                time,
+                speed,
+                cn,
+                ObjectAttrs { class },
+            ),
+            AttrsChoice::Range(w, h) => LocationUpdate::query(
+                QueryId(id),
+                loc,
+                time,
+                speed,
+                cn,
+                QueryAttrs {
+                    spec: QuerySpec::Range {
+                        width: w,
+                        height: h,
+                    },
+                },
+            ),
+            AttrsChoice::Knn(k) => LocationUpdate::query(
+                QueryId(id),
+                loc,
+                time,
+                speed,
+                cn,
+                QueryAttrs {
+                    spec: QuerySpec::Knn { k },
+                },
+            ),
+        })
+}
+
+#[derive(Debug, Clone)]
+enum AttrsChoice {
+    Object(ObjectClass),
+    Range(f64, f64),
+    Knn(u32),
+}
+
+fn arb_waypoints() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(arb_point(), 1..12)
+}
+
+proptest! {
+    // ---- wire codec ---------------------------------------------------------
+
+    #[test]
+    fn wire_roundtrip(update in arb_update()) {
+        let mut bytes = wire::encode(&update);
+        let decoded = wire::decode(&mut bytes).unwrap();
+        prop_assert_eq!(decoded, update);
+        prop_assert_eq!(bytes.len(), 0, "decoder must consume the record");
+    }
+
+    #[test]
+    fn wire_roundtrip_batched(updates in prop::collection::vec(arb_update(), 0..20)) {
+        let mut buf = BytesMut::new();
+        for u in &updates {
+            wire::encode_into(u, &mut buf);
+        }
+        let mut bytes = buf.freeze();
+        for u in &updates {
+            prop_assert_eq!(&wire::decode(&mut bytes).unwrap(), u);
+        }
+    }
+
+    #[test]
+    fn wire_truncation_always_errors(update in arb_update(), cut_fraction in 0.0..1.0f64) {
+        let bytes = wire::encode(&update);
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        if cut < bytes.len() {
+            let mut partial = bytes.slice(0..cut);
+            prop_assert!(wire::decode(&mut partial).is_err());
+        }
+    }
+
+    #[test]
+    fn updates_from_constructors_are_consistent(update in arb_update()) {
+        prop_assert!(update.is_consistent());
+    }
+
+    // ---- piecewise motion ---------------------------------------------------
+
+    #[test]
+    fn advance_distance_is_bounded_by_speed(
+        waypoints in arb_waypoints(),
+        speed in 0.0..100.0f64,
+        dt in 0.0..10.0f64,
+    ) {
+        let mut m = PiecewiseMotion::new(waypoints, speed).unwrap();
+        let before = m.position();
+        m.advance(dt);
+        // Along the polyline the budget is speed·dt; straight-line
+        // displacement can only be shorter.
+        prop_assert!(before.distance(&m.position()) <= speed * dt + 1e-6);
+    }
+
+    #[test]
+    fn remaining_distance_decreases_monotonically(
+        waypoints in arb_waypoints(),
+        speed in 0.1..100.0f64,
+        steps in 1usize..20,
+    ) {
+        let mut m = PiecewiseMotion::new(waypoints, speed).unwrap();
+        let mut last = m.remaining_distance();
+        for _ in 0..steps {
+            m.advance(0.5);
+            let now = m.remaining_distance();
+            prop_assert!(now <= last + 1e-9);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn split_steps_equal_one_big_step(
+        waypoints in arb_waypoints(),
+        speed in 0.1..50.0f64,
+        dt in 0.1..5.0f64,
+        pieces in 1usize..10,
+    ) {
+        let mut whole = PiecewiseMotion::new(waypoints.clone(), speed).unwrap();
+        let mut split = PiecewiseMotion::new(waypoints, speed).unwrap();
+        whole.advance(dt);
+        for _ in 0..pieces {
+            split.advance(dt / pieces as f64);
+        }
+        prop_assert!(whole.position().distance(&split.position()) < 1e-6);
+    }
+
+    #[test]
+    fn eventually_arrives(waypoints in arb_waypoints(), speed in 1.0..100.0f64) {
+        let mut m = PiecewiseMotion::new(waypoints.clone(), speed).unwrap();
+        let total: f64 = waypoints.windows(2).map(|w| w[0].distance(&w[1])).sum();
+        let arrived = m.advance(total / speed + 1.0);
+        prop_assert!(arrived);
+        prop_assert!(m.arrived());
+        prop_assert!(m.position().distance(waypoints.last().unwrap()) < 1e-6);
+        prop_assert_eq!(m.remaining_distance(), 0.0);
+    }
+
+    #[test]
+    fn cn_loc_is_always_a_waypoint(
+        waypoints in arb_waypoints(),
+        speed in 0.1..50.0f64,
+        dt in 0.0..100.0f64,
+    ) {
+        let mut m = PiecewiseMotion::new(waypoints.clone(), speed).unwrap();
+        m.advance(dt);
+        let cn = m.cn_loc();
+        prop_assert!(
+            waypoints.iter().any(|w| w.distance(&cn) < 1e-9),
+            "cn_loc {:?} not in waypoint list", cn
+        );
+    }
+
+    #[test]
+    fn position_stays_on_polyline_bbox(
+        waypoints in arb_waypoints(),
+        speed in 0.1..50.0f64,
+        dt in 0.0..100.0f64,
+    ) {
+        let mut bbox = scuba_spatial::Rect::from_corners(waypoints[0], waypoints[0]);
+        for w in &waypoints {
+            bbox = bbox.union(&scuba_spatial::Rect::from_corners(*w, *w));
+        }
+        let mut m = PiecewiseMotion::new(waypoints, speed).unwrap();
+        m.advance(dt);
+        prop_assert!(bbox.inflate(1e-9).contains(&m.position()));
+    }
+}

@@ -1,0 +1,189 @@
+//! Descriptive statistics over a road network.
+//!
+//! Used to sanity-check that a synthetic city (or an imported map) has the
+//! structural properties the experiments assume: a connected graph, a
+//! realistic degree distribution, and a meaningful split of road length
+//! across functional classes (highways must exist for convoys to form and
+//! live long, §3.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::network::{NodeId, RoadClass, RoadNetwork};
+use crate::route::{RouteMetric, Router};
+
+/// Summary statistics of a network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Number of connection nodes.
+    pub nodes: usize,
+    /// Number of road segments.
+    pub edges: usize,
+    /// Whether every node is reachable from node 0.
+    pub connected: bool,
+    /// Minimum node degree.
+    pub min_degree: usize,
+    /// Maximum node degree.
+    pub max_degree: usize,
+    /// Mean node degree.
+    pub mean_degree: f64,
+    /// Total length per road class, in spatial units:
+    /// `[highway, arterial, local]`.
+    pub length_by_class: [f64; 3],
+    /// Total network length.
+    pub total_length: f64,
+    /// Greatest travel-time route cost found among sampled node pairs (an
+    /// estimate of the network diameter under the travel-time metric).
+    pub diameter_estimate: f64,
+}
+
+impl NetworkStats {
+    /// Computes the statistics. `diameter_samples` controls how many
+    /// spread-out source nodes seed the diameter estimate (each runs one
+    /// full Dijkstra).
+    pub fn compute(net: &RoadNetwork, diameter_samples: usize) -> Self {
+        let nodes = net.node_count();
+        let edges = net.edge_count();
+
+        let mut min_degree = usize::MAX;
+        let mut max_degree = 0;
+        let mut degree_sum = 0usize;
+        for node in net.node_ids() {
+            let d = net.degree(node);
+            min_degree = min_degree.min(d);
+            max_degree = max_degree.max(d);
+            degree_sum += d;
+        }
+        if nodes == 0 {
+            min_degree = 0;
+        }
+
+        let mut length_by_class = [0.0f64; 3];
+        for e in net.edges() {
+            let slot = match e.class {
+                RoadClass::Highway => 0,
+                RoadClass::Arterial => 1,
+                RoadClass::Local => 2,
+            };
+            length_by_class[slot] += e.length;
+        }
+        let total_length: f64 = length_by_class.iter().sum();
+
+        // Diameter estimate: route between spread-out sample nodes, take
+        // the costliest pairwise route found.
+        let mut diameter_estimate: f64 = 0.0;
+        if nodes >= 2 && diameter_samples >= 2 {
+            let stride = (nodes / diameter_samples).max(1);
+            let samples: Vec<NodeId> = (0..nodes)
+                .step_by(stride)
+                .take(diameter_samples)
+                .map(|i| NodeId(i as u32))
+                .collect();
+            let mut router = Router::new(net);
+            for (i, &from) in samples.iter().enumerate() {
+                for &to in &samples[i + 1..] {
+                    if let Ok(Some(route)) = router.route(from, to, RouteMetric::TravelTime) {
+                        diameter_estimate = diameter_estimate.max(route.cost);
+                    }
+                }
+            }
+        }
+
+        NetworkStats {
+            nodes,
+            edges,
+            connected: net.is_connected(),
+            min_degree,
+            max_degree,
+            mean_degree: if nodes > 0 {
+                degree_sum as f64 / nodes as f64
+            } else {
+                0.0
+            },
+            length_by_class,
+            total_length,
+            diameter_estimate,
+        }
+    }
+
+    /// Fraction of the network length that is highway.
+    pub fn highway_fraction(&self) -> f64 {
+        if self.total_length == 0.0 {
+            0.0
+        } else {
+            self.length_by_class[0] / self.total_length
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{CityConfig, SyntheticCity};
+    use scuba_spatial::Point;
+
+    #[test]
+    fn small_city_stats() {
+        let city = SyntheticCity::build(CityConfig::small());
+        let stats = NetworkStats::compute(&city.network, 6);
+        assert_eq!(stats.nodes, city.network.node_count());
+        assert_eq!(stats.edges, city.network.edge_count());
+        assert!(stats.connected);
+        assert!(stats.min_degree >= 2, "lattice corners have degree 2");
+        assert!(stats.max_degree >= 4, "interior nodes have degree >= 4");
+        assert!(stats.mean_degree > 2.0);
+        assert!(stats.total_length > 0.0);
+        // All three classes present in the default small city.
+        assert!(stats.length_by_class.iter().all(|&l| l > 0.0));
+        let frac = stats.highway_fraction();
+        assert!(frac > 0.0 && frac < 1.0, "highway fraction {frac}");
+        assert!(stats.diameter_estimate > 0.0);
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edges() {
+        let city = SyntheticCity::build(CityConfig::small());
+        let stats = NetworkStats::compute(&city.network, 2);
+        let degree_sum = stats.mean_degree * stats.nodes as f64;
+        assert!((degree_sum - 2.0 * stats.edges as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_network() {
+        let net = RoadNetwork::new();
+        let stats = NetworkStats::compute(&net, 4);
+        assert_eq!(stats.nodes, 0);
+        assert_eq!(stats.min_degree, 0);
+        assert_eq!(stats.mean_degree, 0.0);
+        assert_eq!(stats.diameter_estimate, 0.0);
+        assert_eq!(stats.highway_fraction(), 0.0);
+    }
+
+    #[test]
+    fn single_class_network() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_node(Point::new(0.0, 0.0));
+        let b = net.add_node(Point::new(100.0, 0.0));
+        net.add_edge(a, b, RoadClass::Highway).unwrap();
+        let stats = NetworkStats::compute(&net, 2);
+        assert_eq!(stats.length_by_class, [100.0, 0.0, 0.0]);
+        assert_eq!(stats.highway_fraction(), 1.0);
+        // Diameter = 100 units at highway speed.
+        assert!((stats.diameter_estimate - 100.0 / RoadClass::Highway.speed_limit()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diameter_grows_with_city_size() {
+        let small = SyntheticCity::build(CityConfig {
+            blocks: 4,
+            ..CityConfig::small()
+        });
+        let large = SyntheticCity::build(CityConfig {
+            blocks: 12,
+            extent: 3000.0,
+            ..CityConfig::small()
+        });
+        let s = NetworkStats::compute(&small.network, 5).diameter_estimate;
+        let l = NetworkStats::compute(&large.network, 5).diameter_estimate;
+        assert!(l > s, "larger city, longer diameter: {l} vs {s}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the road-network substrate.
+
+use proptest::prelude::*;
+
+use scuba_roadnet::{CityConfig, NodeId, RoadClass, RoadNetwork, RouteMetric, Router, SyntheticCity};
+use scuba_spatial::Point;
+
+/// A random connected network: a spanning chain plus random extra edges.
+fn arb_network() -> impl Strategy<Value = RoadNetwork> {
+    (
+        prop::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 2..30),
+        prop::collection::vec((any::<u16>(), any::<u16>(), 0usize..3), 0..40),
+    )
+        .prop_map(|(points, extra_edges)| {
+            let mut net = RoadNetwork::new();
+            let ids: Vec<NodeId> = points
+                .iter()
+                .map(|&(x, y)| net.add_node(Point::new(x, y)))
+                .collect();
+            // Spanning chain keeps it connected.
+            for w in ids.windows(2) {
+                let _ = net.add_edge(w[0], w[1], RoadClass::Local);
+            }
+            for (a, b, class) in extra_edges {
+                let a = ids[a as usize % ids.len()];
+                let b = ids[b as usize % ids.len()];
+                if a != b {
+                    let _ = net.add_edge(a, b, RoadClass::ALL[class]);
+                }
+            }
+            net
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chain_networks_are_connected(net in arb_network()) {
+        prop_assert!(net.is_connected());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric(net in arb_network()) {
+        for node in net.node_ids() {
+            for (neighbor, seg) in net.neighbors(node) {
+                prop_assert!(
+                    net.neighbors(neighbor).any(|(n, s)| n == node && s.id == seg.id),
+                    "edge {:?} not symmetric", seg.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_lengths_match_endpoint_distance(net in arb_network()) {
+        for e in net.edges() {
+            let a = net.position(e.from).unwrap();
+            let b = net.position(e.to).unwrap();
+            prop_assert!((e.length - a.distance(b)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn routes_exist_between_all_pairs(net in arb_network(), seed in any::<u64>()) {
+        let n = net.node_count() as u64;
+        let from = NodeId((seed % n) as u32);
+        let to = NodeId(((seed / n) % n) as u32);
+        let mut router = Router::new(&net);
+        let route = router.route(from, to, RouteMetric::Distance).unwrap();
+        prop_assert!(route.is_some(), "connected network must route");
+    }
+
+    #[test]
+    fn route_is_a_valid_walk(net in arb_network(), seed in any::<u64>()) {
+        let n = net.node_count() as u64;
+        let from = NodeId((seed % n) as u32);
+        let to = NodeId(((seed / n) % n) as u32);
+        let mut router = Router::new(&net);
+        let route = router
+            .route(from, to, RouteMetric::TravelTime)
+            .unwrap()
+            .unwrap();
+        prop_assert_eq!(route.origin(), from);
+        prop_assert_eq!(route.destination(), to);
+        for w in route.nodes.windows(2) {
+            prop_assert!(
+                net.neighbors(w[0]).any(|(next, _)| next == w[1]),
+                "route hop {:?}->{:?} is not an edge", w[0], w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn route_cost_is_optimal_vs_direct_edges(net in arb_network(), seed in any::<u64>()) {
+        // The routed distance between adjacent nodes never exceeds the
+        // cheapest direct edge.
+        let n = net.node_count() as u64;
+        let from = NodeId((seed % n) as u32);
+        let mut router = Router::new(&net);
+        for (next, seg) in net.neighbors(from).collect::<Vec<_>>() {
+            let route = router
+                .route(from, next, RouteMetric::Distance)
+                .unwrap()
+                .unwrap();
+            prop_assert!(route.cost <= seg.length + 1e-9);
+        }
+    }
+
+    #[test]
+    fn route_costs_are_symmetric(net in arb_network(), seed in any::<u64>()) {
+        // Undirected network ⇒ cheapest cost is direction-independent.
+        let n = net.node_count() as u64;
+        let from = NodeId((seed % n) as u32);
+        let to = NodeId(((seed / n) % n) as u32);
+        let mut router = Router::new(&net);
+        let fwd = router.route(from, to, RouteMetric::TravelTime).unwrap().unwrap();
+        let back = router.route(to, from, RouteMetric::TravelTime).unwrap().unwrap();
+        prop_assert!((fwd.cost - back.cost).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nearest_node_is_truly_nearest(net in arb_network(), x in 0.0..1000.0f64, y in 0.0..1000.0f64) {
+        let p = Point::new(x, y);
+        let nearest = net.nearest_node(&p).unwrap();
+        let d = net.position(nearest).unwrap().distance(&p);
+        for node in net.node_ids() {
+            prop_assert!(net.position(node).unwrap().distance(&p) >= d - 1e-9);
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_network(net in arb_network()) {
+        let text = scuba_roadnet::io::to_text(&net);
+        let parsed = scuba_roadnet::io::from_text(&text).unwrap();
+        prop_assert_eq!(parsed.node_count(), net.node_count());
+        prop_assert_eq!(parsed.edge_count(), net.edge_count());
+        for node in net.node_ids() {
+            prop_assert_eq!(parsed.position(node), net.position(node));
+        }
+    }
+
+    #[test]
+    fn synthetic_city_always_well_formed(
+        blocks in 1u32..12,
+        highway_every in 0u32..6,
+        shortcuts in 0u32..10,
+        seed in any::<u64>(),
+    ) {
+        let city = SyntheticCity::build(CityConfig {
+            extent: 1000.0,
+            blocks,
+            highway_every,
+            diagonal_shortcuts: shortcuts,
+            jitter: 0.2,
+            seed,
+        });
+        let n = blocks.max(1);
+        prop_assert_eq!(city.network.node_count(), ((n + 1) * (n + 1)) as usize);
+        prop_assert!(city.network.is_connected());
+        let ext = city.network.extent().unwrap();
+        prop_assert!((ext.width() - 1000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,277 @@
+//! Cluster-as-summary aggregate queries — the §1 extension.
+//!
+//! "Since clusters themselves serve as summaries of the objects they
+//! contain (i.e., aggregate) based on objects' common properties. This can
+//! facilitate in answering some of the aggregate queries."
+//!
+//! [`estimated_object_count`] answers a COUNT-over-region aggregate from
+//! cluster summaries alone — O(#clusters) instead of O(#objects) — by
+//! apportioning each cluster's object count according to how much of its
+//! region overlaps the queried rectangle. [`exact_object_count`]
+//! materialises member positions for the precise answer (shed members fall
+//! back to the centroid), which is what the estimate is validated against.
+
+use scuba_spatial::{Circle, GridSpec, Rect};
+
+use crate::clustering::ClusterEngine;
+
+/// Estimates the number of objects inside `region` from cluster summaries.
+///
+/// Apportioning rule per cluster:
+/// * region fully contains the cluster circle → all of its objects count;
+/// * disjoint → none;
+/// * partial overlap → objects × (overlap area of the circle's bounding box
+///   with the region) / (bounding-box area) — a deliberate first-order
+///   approximation that needs no member access.
+pub fn estimated_object_count(engine: &ClusterEngine, region: &Rect) -> f64 {
+    let mut total = 0.0;
+    for cluster in engine.clusters().values() {
+        let circle = cluster.region();
+        let objects = cluster.object_count() as f64;
+        if objects == 0.0 {
+            continue;
+        }
+        total += objects * overlap_fraction(&circle, region);
+    }
+    total
+}
+
+/// Builds an `n × n` object-density histogram over `area` from cluster
+/// summaries alone: each cluster's object count is apportioned to the cells
+/// its region overlaps, weighted by overlap fraction. Row-major, row 0 at
+/// the bottom (min-y) edge. O(#clusters × cells-per-cluster) — never
+/// touches members.
+pub fn density_grid(engine: &ClusterEngine, area: &Rect, n: u32) -> Vec<f64> {
+    let spec = GridSpec::new(*area, n.max(1));
+    let mut grid = vec![0.0f64; spec.cell_count()];
+    for cluster in engine.clusters().values() {
+        let objects = cluster.object_count() as f64;
+        if objects == 0.0 {
+            continue;
+        }
+        let circle = cluster.region();
+        // Point clusters land entirely in one cell.
+        if circle.radius == 0.0 {
+            if area.contains(&circle.center) {
+                grid[spec.linear(spec.cell_of(&circle.center))] += objects;
+            }
+            continue;
+        }
+        // Apportion by per-cell overlap fraction, normalised so the cluster
+        // contributes exactly its object count to the covered cells.
+        let cells: Vec<(usize, f64)> = spec
+            .cells_overlapping_circle(&circle)
+            .map(|idx| {
+                let rect = spec.cell_rect(idx);
+                let frac = rect
+                    .intersection(&circle.bounding_rect())
+                    .map(|i| i.area())
+                    .unwrap_or(0.0);
+                (spec.linear(idx), frac)
+            })
+            .collect();
+        let total: f64 = cells.iter().map(|(_, f)| f).sum();
+        if total <= 0.0 {
+            continue;
+        }
+        for (linear, frac) in cells {
+            grid[linear] += objects * frac / total;
+        }
+    }
+    grid
+}
+
+/// Counts objects inside `region` exactly (centroid fallback for shed
+/// members).
+pub fn exact_object_count(engine: &ClusterEngine, region: &Rect) -> usize {
+    let mut count = 0;
+    for cluster in engine.clusters().values() {
+        for member in cluster.members() {
+            if !member.entity.is_object() {
+                continue;
+            }
+            let pos = cluster
+                .member_position(member)
+                .unwrap_or_else(|| cluster.centroid());
+            if region.contains(&pos) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Fraction of the circle (by bounding-box area) overlapping `region`, in
+/// `[0, 1]`. Degenerate circles (radius 0) count fully iff their center is
+/// inside.
+fn overlap_fraction(circle: &Circle, region: &Rect) -> f64 {
+    if circle.radius == 0.0 {
+        return if region.contains(&circle.center) {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    if !circle.intersects_rect(region) {
+        return 0.0;
+    }
+    let bbox = circle.bounding_rect();
+    if region.contains_rect(&bbox) {
+        return 1.0;
+    }
+    match bbox.intersection(region) {
+        Some(i) => (i.area() / bbox.area()).clamp(0.0, 1.0),
+        None => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ScubaParams;
+    use scuba_motion::{LocationUpdate, ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec};
+    use scuba_spatial::Point;
+
+    const CN: Point = Point { x: 1000.0, y: 500.0 };
+
+    fn obj(id: u64, x: f64, y: f64) -> LocationUpdate {
+        LocationUpdate::object(
+            ObjectId(id),
+            Point::new(x, y),
+            0,
+            30.0,
+            CN,
+            ObjectAttrs::default(),
+        )
+    }
+
+    fn engine_with_blob(at: Point, n: u64) -> ClusterEngine {
+        let mut e = ClusterEngine::new(ScubaParams::default(), Rect::square(1000.0));
+        for i in 0..n {
+            e.process_update(&obj(i, at.x + (i % 5) as f64, at.y + (i / 5) as f64));
+        }
+        e
+    }
+
+    #[test]
+    fn exact_count_inside_and_outside() {
+        let e = engine_with_blob(Point::new(500.0, 500.0), 10);
+        let around = Rect::centered(Point::new(502.0, 501.0), 50.0, 50.0);
+        assert_eq!(exact_object_count(&e, &around), 10);
+        let far = Rect::centered(Point::new(100.0, 100.0), 50.0, 50.0);
+        assert_eq!(exact_object_count(&e, &far), 0);
+    }
+
+    #[test]
+    fn estimate_full_containment_equals_exact() {
+        let e = engine_with_blob(Point::new(500.0, 500.0), 10);
+        let around = Rect::centered(Point::new(502.0, 501.0), 200.0, 200.0);
+        let est = estimated_object_count(&e, &around);
+        assert!((est - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimate_zero_when_disjoint() {
+        let e = engine_with_blob(Point::new(500.0, 500.0), 10);
+        let far = Rect::centered(Point::new(100.0, 100.0), 20.0, 20.0);
+        assert_eq!(estimated_object_count(&e, &far), 0.0);
+    }
+
+    #[test]
+    fn estimate_partial_is_between_bounds() {
+        let e = engine_with_blob(Point::new(500.0, 500.0), 20);
+        // Region covering roughly half of the blob.
+        let half = Rect::from_corners(Point::new(400.0, 400.0), Point::new(502.0, 600.0));
+        let est = estimated_object_count(&e, &half);
+        assert!(est > 0.0);
+        assert!(est <= 20.0);
+    }
+
+    #[test]
+    fn queries_do_not_count_as_objects() {
+        let mut e = ClusterEngine::new(ScubaParams::default(), Rect::square(1000.0));
+        e.process_update(&obj(1, 500.0, 500.0));
+        e.process_update(&LocationUpdate::query(
+            QueryId(1),
+            Point::new(501.0, 500.0),
+            0,
+            30.0,
+            CN,
+            QueryAttrs {
+                spec: QuerySpec::square_range(10.0),
+            },
+        ));
+        let around = Rect::centered(Point::new(500.0, 500.0), 100.0, 100.0);
+        assert_eq!(exact_object_count(&e, &around), 1);
+        assert!((estimated_object_count(&e, &around) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_fraction_cases() {
+        let c = Circle::new(Point::new(50.0, 50.0), 10.0);
+        let all = Rect::square(100.0);
+        assert_eq!(overlap_fraction(&c, &all), 1.0);
+        let none = Rect::from_corners(Point::new(90.0, 90.0), Point::new(99.0, 99.0));
+        assert_eq!(overlap_fraction(&c, &none), 0.0);
+        let half = Rect::from_corners(Point::new(0.0, 0.0), Point::new(50.0, 100.0));
+        let f = overlap_fraction(&c, &half);
+        assert!(f > 0.0 && f < 1.0);
+
+        let dot = Circle::point(Point::new(5.0, 5.0));
+        assert_eq!(overlap_fraction(&dot, &all), 1.0);
+        assert_eq!(overlap_fraction(&dot, &none), 0.0);
+    }
+
+    #[test]
+    fn estimate_tracks_exact_on_multiple_clusters() {
+        let mut e = ClusterEngine::new(ScubaParams::default(), Rect::square(1000.0));
+        for i in 0..10 {
+            e.process_update(&obj(i, 200.0 + i as f64, 200.0));
+        }
+        for i in 10..20 {
+            e.process_update(&obj(i, 800.0 + (i - 10) as f64, 800.0));
+        }
+        let left = Rect::centered(Point::new(205.0, 200.0), 100.0, 100.0);
+        assert_eq!(exact_object_count(&e, &left), 10);
+        assert!((estimated_object_count(&e, &left) - 10.0).abs() < 1e-6);
+        let everything = Rect::square(1000.0);
+        assert_eq!(exact_object_count(&e, &everything), 20);
+        assert!((estimated_object_count(&e, &everything) - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn density_grid_conserves_object_count() {
+        let e = engine_with_blob(Point::new(500.0, 500.0), 20);
+        let area = Rect::square(1000.0);
+        let grid = density_grid(&e, &area, 10);
+        let total: f64 = grid.iter().sum();
+        assert!((total - 20.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn density_grid_localises_mass() {
+        let mut e = ClusterEngine::new(ScubaParams::default(), Rect::square(1000.0));
+        for i in 0..10 {
+            e.process_update(&obj(i, 150.0 + i as f64, 150.0));
+        }
+        for i in 10..20 {
+            e.process_update(&obj(i, 850.0 + (i - 10) as f64, 850.0));
+        }
+        let area = Rect::square(1000.0);
+        let grid = density_grid(&e, &area, 4); // 250-unit cells
+        // Mass concentrated in cell (0,0) and cell (3,3).
+        let spec = GridSpec::new(area, 4);
+        let low = grid[spec.linear(spec.cell_of(&Point::new(150.0, 150.0)))];
+        let high = grid[spec.linear(spec.cell_of(&Point::new(850.0, 850.0)))];
+        assert!(low > 8.0, "low cell {low}");
+        assert!(high > 8.0, "high cell {high}");
+    }
+
+    #[test]
+    fn density_grid_empty_engine() {
+        let e = ClusterEngine::new(ScubaParams::default(), Rect::square(100.0));
+        let grid = density_grid(&e, &Rect::square(100.0), 5);
+        assert_eq!(grid.len(), 25);
+        assert!(grid.iter().all(|&v| v == 0.0));
+    }
+}

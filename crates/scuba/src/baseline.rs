@@ -1,0 +1,478 @@
+//! The regular grid-based baseline operator (paper §6, "REGULAR").
+//!
+//! "We compare SCUBA with a traditional grid-based spatio-temporal range
+//! algorithm, where objects and queries are hashed based on their locations
+//! into an index, say a grid. Then a cell-by-cell join between moving
+//! objects and queries is performed. Grid-based execution approach is a
+//! common choice for spatio-temporal query execution [9, 24, 27, 39, 29]."
+//!
+//! Implementation notes:
+//!
+//! * every entity's **latest update** is kept individually — exactly the
+//!   per-entity materialisation SCUBA's clustering avoids;
+//! * at evaluation time the grids are rebuilt: objects hash into the cell
+//!   containing their point; a query's *range region* registers in every
+//!   cell it overlaps (the standard SINA-style shared grid join — hashing
+//!   queries by center point alone would miss borderline matches);
+//! * the join visits each cell and tests the objects in it against the
+//!   queries registered there. An object lives in exactly one cell, so no
+//!   result deduplication is needed, but we sort for deterministic output.
+//!
+//! A second variant, [`PointHashedGridOperator`], implements the paper's
+//! §6 description *literally*: queries are hashed by their location point
+//! (one cell each) and the cell-by-cell join only pairs co-located
+//! entities. That is cheaper — its join cost falls as cells shrink, which
+//! is precisely the REGULAR trend of Fig. 9a — but **lossy**: a query
+//! whose range reaches into a neighbouring cell misses objects there. It
+//! exists for the Fig. 9 ablation; correctness comparisons use
+//! [`RegularGridOperator`].
+
+use scuba_motion::{EntityAttrs, EntityRef, LocationUpdate, ObjectId, QueryId, QuerySpec};
+use scuba_spatial::{FxHashMap, GridSpec, Point, Rect, SpatialGrid, Time};
+use scuba_stream::{ContinuousOperator, EvaluationReport, QueryMatch, Stopwatch};
+
+/// The regular (non-clustered) grid-join operator.
+#[derive(Debug)]
+pub struct RegularGridOperator {
+    spec: GridSpec,
+    /// Latest update per entity — the individually materialised state.
+    latest: FxHashMap<EntityRef, LocationUpdate>,
+    /// Objects hashed by position (rebuilt each evaluation).
+    object_grid: SpatialGrid<(ObjectId, Point)>,
+    /// Query regions replicated into overlapped cells (rebuilt each
+    /// evaluation).
+    query_grid: SpatialGrid<(QueryId, Rect)>,
+    evaluations: u64,
+}
+
+impl RegularGridOperator {
+    /// Creates the operator with an `grid_cells × grid_cells` grid over
+    /// `area`.
+    pub fn new(grid_cells: u32, area: Rect) -> Self {
+        let spec = GridSpec::new(area, grid_cells.max(1));
+        RegularGridOperator {
+            spec,
+            latest: FxHashMap::default(),
+            object_grid: SpatialGrid::new(spec),
+            query_grid: SpatialGrid::new(spec),
+            evaluations: 0,
+        }
+    }
+
+    /// Number of tracked entities.
+    pub fn entity_count(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// The grid partitioning in use.
+    pub fn grid_spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Number of evaluations performed.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Rebuilds both grids from the latest updates. Returns the number of
+    /// grid insertions (an index-maintenance work measure).
+    fn rebuild_grids(&mut self) -> usize {
+        self.object_grid.clear();
+        self.query_grid.clear();
+        let mut insertions = 0;
+        for update in self.latest.values() {
+            match (update.entity, &update.attrs) {
+                (EntityRef::Object(oid), EntityAttrs::Object(_)) => {
+                    self.object_grid.insert_at(&update.loc, (oid, update.loc));
+                    insertions += 1;
+                }
+                (EntityRef::Query(qid), EntityAttrs::Query(attrs)) => {
+                    if let QuerySpec::Range { .. } = attrs.spec {
+                        let region = attrs
+                            .spec
+                            .region_at(update.loc)
+                            .expect("range spec has a region");
+                        insertions += self.query_grid.insert_rect(&region, (qid, region));
+                    }
+                }
+                _ => {}
+            }
+        }
+        insertions
+    }
+
+    /// Estimated bytes of in-memory state: the per-entity updates plus both
+    /// grids with their per-cell entries.
+    pub fn estimated_bytes(&self) -> usize {
+        let latest = self.latest.capacity()
+            * (std::mem::size_of::<EntityRef>() + std::mem::size_of::<LocationUpdate>() + 8);
+        latest + self.object_grid.estimated_bytes() + self.query_grid.estimated_bytes()
+    }
+}
+
+impl ContinuousOperator for RegularGridOperator {
+    fn process_update(&mut self, update: &LocationUpdate) {
+        self.latest.insert(update.entity, *update);
+    }
+
+    fn evaluate(&mut self, now: Time) -> EvaluationReport {
+        self.evaluations += 1;
+
+        // Index maintenance: hash every entity into the grid.
+        let sw = Stopwatch::start();
+        self.rebuild_grids();
+        let maintenance_time = sw.elapsed();
+
+        // Cell-by-cell join.
+        let sw = Stopwatch::start();
+        let mut results = Vec::new();
+        let mut comparisons = 0u64;
+        for (cell, objects) in self.object_grid.iter_nonempty() {
+            let queries = self.query_grid.cell(cell);
+            if queries.is_empty() {
+                continue;
+            }
+            for &(oid, opos) in objects {
+                for &(qid, region) in queries {
+                    comparisons += 1;
+                    if region.contains(&opos) {
+                        results.push(QueryMatch::new(qid, oid));
+                    }
+                }
+            }
+        }
+        results.sort_unstable();
+        let join_time = sw.elapsed();
+
+        EvaluationReport {
+            now,
+            results,
+            join_time,
+            maintenance_time,
+            memory_bytes: self.estimated_bytes(),
+            comparisons,
+            prefilter_tests: 0,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "REGULAR"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.estimated_bytes()
+    }
+}
+
+/// The §6-literal baseline: objects *and queries* hashed by location point;
+/// the cell-by-cell join only pairs entities sharing a cell.
+///
+/// Lossy by construction (a query's range reaching into a neighbouring cell
+/// misses the objects there), so do not use it where exact answers matter —
+/// it exists to reproduce the Fig. 9a REGULAR trend, where coarser cells
+/// mean more co-located pairs and thus a more expensive join.
+#[derive(Debug)]
+pub struct PointHashedGridOperator {
+    spec: GridSpec,
+    latest: FxHashMap<EntityRef, LocationUpdate>,
+    object_grid: SpatialGrid<(ObjectId, Point)>,
+    query_grid: SpatialGrid<(QueryId, Rect)>,
+    evaluations: u64,
+}
+
+impl PointHashedGridOperator {
+    /// Creates the operator with a `grid_cells × grid_cells` grid over
+    /// `area`.
+    pub fn new(grid_cells: u32, area: Rect) -> Self {
+        let spec = GridSpec::new(area, grid_cells.max(1));
+        PointHashedGridOperator {
+            spec,
+            latest: FxHashMap::default(),
+            object_grid: SpatialGrid::new(spec),
+            query_grid: SpatialGrid::new(spec),
+            evaluations: 0,
+        }
+    }
+
+    /// The grid partitioning in use.
+    pub fn grid_spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Number of evaluations performed.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Estimated bytes of in-memory state.
+    pub fn estimated_bytes(&self) -> usize {
+        let latest = self.latest.capacity()
+            * (std::mem::size_of::<EntityRef>() + std::mem::size_of::<LocationUpdate>() + 8);
+        latest + self.object_grid.estimated_bytes() + self.query_grid.estimated_bytes()
+    }
+}
+
+impl ContinuousOperator for PointHashedGridOperator {
+    fn process_update(&mut self, update: &LocationUpdate) {
+        self.latest.insert(update.entity, *update);
+    }
+
+    fn evaluate(&mut self, now: Time) -> EvaluationReport {
+        self.evaluations += 1;
+
+        let sw = Stopwatch::start();
+        self.object_grid.clear();
+        self.query_grid.clear();
+        for update in self.latest.values() {
+            match (update.entity, &update.attrs) {
+                (EntityRef::Object(oid), EntityAttrs::Object(_)) => {
+                    self.object_grid.insert_at(&update.loc, (oid, update.loc));
+                }
+                (EntityRef::Query(qid), EntityAttrs::Query(attrs)) => {
+                    if let Some(region) = attrs.spec.region_at(update.loc) {
+                        // Point-hashed: one cell, the one holding q.loc.
+                        self.query_grid.insert_at(&update.loc, (qid, region));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let maintenance_time = sw.elapsed();
+
+        let sw = Stopwatch::start();
+        let mut results = Vec::new();
+        let mut comparisons = 0u64;
+        for (cell, objects) in self.object_grid.iter_nonempty() {
+            let queries = self.query_grid.cell(cell);
+            if queries.is_empty() {
+                continue;
+            }
+            for &(oid, opos) in objects {
+                for &(qid, region) in queries {
+                    comparisons += 1;
+                    if region.contains(&opos) {
+                        results.push(QueryMatch::new(qid, oid));
+                    }
+                }
+            }
+        }
+        results.sort_unstable();
+        let join_time = sw.elapsed();
+
+        EvaluationReport {
+            now,
+            results,
+            join_time,
+            maintenance_time,
+            memory_bytes: self.estimated_bytes(),
+            comparisons,
+            prefilter_tests: 0,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "REGULAR(point-hashed)"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.estimated_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scuba_motion::{ObjectAttrs, QueryAttrs};
+
+    const CN: Point = Point { x: 1000.0, y: 500.0 };
+
+    fn obj(id: u64, x: f64, y: f64) -> LocationUpdate {
+        LocationUpdate::object(
+            ObjectId(id),
+            Point::new(x, y),
+            0,
+            30.0,
+            CN,
+            ObjectAttrs::default(),
+        )
+    }
+
+    fn qry(id: u64, x: f64, y: f64, side: f64) -> LocationUpdate {
+        LocationUpdate::query(
+            QueryId(id),
+            Point::new(x, y),
+            0,
+            30.0,
+            CN,
+            QueryAttrs {
+                spec: QuerySpec::square_range(side),
+            },
+        )
+    }
+
+    fn operator() -> RegularGridOperator {
+        RegularGridOperator::new(10, Rect::square(1000.0))
+    }
+
+    #[test]
+    fn finds_matches_in_same_cell() {
+        let mut op = operator();
+        op.process_update(&obj(1, 500.0, 500.0));
+        op.process_update(&qry(1, 505.0, 500.0, 20.0));
+        let report = op.evaluate(2);
+        assert_eq!(
+            report.results,
+            vec![QueryMatch::new(QueryId(1), ObjectId(1))]
+        );
+        assert!(report.comparisons >= 1);
+        assert_eq!(report.prefilter_tests, 0);
+    }
+
+    #[test]
+    fn finds_matches_across_cell_borders() {
+        // Cell size is 100; object at 499 and query centred at 501 are in
+        // different columns, but the query region spans both.
+        let mut op = operator();
+        op.process_update(&obj(1, 499.0, 500.0));
+        op.process_update(&qry(1, 501.0, 500.0, 20.0));
+        let report = op.evaluate(2);
+        assert_eq!(report.results.len(), 1);
+    }
+
+    #[test]
+    fn no_false_positives() {
+        let mut op = operator();
+        op.process_update(&obj(1, 500.0, 500.0));
+        op.process_update(&qry(1, 530.0, 500.0, 20.0)); // range covers 520..540
+        let report = op.evaluate(2);
+        assert!(report.results.is_empty());
+    }
+
+    #[test]
+    fn latest_update_wins() {
+        let mut op = operator();
+        op.process_update(&obj(1, 500.0, 500.0));
+        op.process_update(&qry(1, 505.0, 500.0, 20.0));
+        // The object moves far away before evaluation.
+        op.process_update(&obj(1, 900.0, 900.0));
+        let report = op.evaluate(2);
+        assert!(report.results.is_empty());
+        assert_eq!(op.entity_count(), 2);
+    }
+
+    #[test]
+    fn no_duplicate_results_for_spanning_queries() {
+        let mut op = operator();
+        op.process_update(&obj(1, 500.0, 500.0));
+        op.process_update(&qry(1, 500.0, 500.0, 400.0)); // spans many cells
+        let report = op.evaluate(2);
+        assert_eq!(report.results.len(), 1);
+    }
+
+    #[test]
+    fn knn_queries_ignored() {
+        let mut op = operator();
+        op.process_update(&obj(1, 500.0, 500.0));
+        op.process_update(&LocationUpdate::query(
+            QueryId(9),
+            Point::new(500.0, 500.0),
+            0,
+            30.0,
+            CN,
+            QueryAttrs {
+                spec: QuerySpec::Knn { k: 1 },
+            },
+        ));
+        let report = op.evaluate(2);
+        assert!(report.results.is_empty());
+    }
+
+    #[test]
+    fn memory_grows_with_population_and_cells() {
+        let mut coarse = RegularGridOperator::new(10, Rect::square(1000.0));
+        let mut fine = RegularGridOperator::new(100, Rect::square(1000.0));
+        for i in 0..200 {
+            let u = obj(i, (i % 100) as f64 * 10.0, (i / 10) as f64 * 10.0);
+            coarse.process_update(&u);
+            fine.process_update(&u);
+        }
+        coarse.evaluate(2);
+        fine.evaluate(2);
+        assert!(
+            fine.estimated_bytes() > coarse.estimated_bytes(),
+            "finer grid should cost more memory: fine={} coarse={}",
+            fine.estimated_bytes(),
+            coarse.estimated_bytes()
+        );
+    }
+
+    #[test]
+    fn repeated_evaluations_are_stable() {
+        let mut op = operator();
+        op.process_update(&obj(1, 500.0, 500.0));
+        op.process_update(&qry(1, 505.0, 500.0, 20.0));
+        let a = op.evaluate(2).results;
+        let b = op.evaluate(4).results;
+        assert_eq!(a, b);
+        assert_eq!(op.evaluations(), 2);
+    }
+
+    #[test]
+    fn zero_cells_clamped() {
+        let op = RegularGridOperator::new(0, Rect::square(10.0));
+        assert_eq!(op.spec.cells_per_side(), 1);
+    }
+
+    #[test]
+    fn point_hashed_finds_colocated_matches() {
+        let mut op = PointHashedGridOperator::new(10, Rect::square(1000.0));
+        op.process_update(&obj(1, 500.0, 500.0));
+        op.process_update(&qry(1, 505.0, 500.0, 20.0));
+        let report = op.evaluate(2);
+        assert_eq!(
+            report.results,
+            vec![QueryMatch::new(QueryId(1), ObjectId(1))]
+        );
+        assert_eq!(op.evaluations(), 1);
+        assert!(op.estimated_bytes() > 0);
+        assert_eq!(op.grid_spec().cells_per_side(), 10);
+    }
+
+    #[test]
+    fn point_hashed_misses_cross_cell_matches() {
+        // Cell size 100: object at x=499 (cell 4) and query centred at 501
+        // (cell 5) — the exact baseline finds the match, the point-hashed
+        // one does not. This is the documented lossiness.
+        let mut exact = RegularGridOperator::new(10, Rect::square(1000.0));
+        let mut lossy = PointHashedGridOperator::new(10, Rect::square(1000.0));
+        for u in [obj(1, 499.0, 500.0), qry(1, 501.0, 500.0, 20.0)] {
+            exact.process_update(&u);
+            lossy.process_update(&u);
+        }
+        assert_eq!(exact.evaluate(2).results.len(), 1);
+        assert!(lossy.evaluate(2).results.is_empty());
+    }
+
+    #[test]
+    fn point_hashed_join_cheaper_on_coarse_grids() {
+        // The Fig. 9a REGULAR trend: coarser cells co-locate more pairs.
+        let mut coarse = PointHashedGridOperator::new(5, Rect::square(1000.0));
+        let mut fine = PointHashedGridOperator::new(50, Rect::square(1000.0));
+        for i in 0..200u64 {
+            let u = obj(i, (i * 37 % 1000) as f64, (i * 61 % 1000) as f64);
+            coarse.process_update(&u);
+            fine.process_update(&u);
+            let q = qry(i, (i * 53 % 1000) as f64, (i * 71 % 1000) as f64, 30.0);
+            coarse.process_update(&q);
+            fine.process_update(&q);
+        }
+        let c = coarse.evaluate(2);
+        let f = fine.evaluate(2);
+        assert!(
+            c.comparisons > f.comparisons,
+            "coarse {} vs fine {}",
+            c.comparisons,
+            f.comparisons
+        );
+    }
+}

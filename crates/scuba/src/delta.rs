@@ -1,0 +1,271 @@
+//! Incremental result output — the paper's §8 future work ("we plan to …
+//! enhance SCUBA to produce results incrementally").
+//!
+//! A continuous query's consumer rarely wants the full answer set every Δ;
+//! it wants what *changed*: objects that entered a query's range
+//! (`added`, the positive delta) and objects that left it (`removed`, the
+//! negative delta). [`DeltaTracker`] turns the engine's per-interval
+//! snapshots into exactly that, in a single merge pass over the sorted
+//! result vectors the join already produces.
+
+use serde::{Deserialize, Serialize};
+
+use scuba_spatial::Time;
+use scuba_stream::QueryMatch;
+
+/// The change between two consecutive evaluations.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResultDelta {
+    /// Evaluation time this delta belongs to.
+    pub now: Time,
+    /// Matches present now but not in the previous evaluation.
+    pub added: Vec<QueryMatch>,
+    /// Matches present previously but gone now.
+    pub removed: Vec<QueryMatch>,
+}
+
+impl ResultDelta {
+    /// Whether nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total number of change records.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+}
+
+/// Converts a stream of full result snapshots into deltas.
+///
+/// # Examples
+///
+/// ```
+/// use scuba::DeltaTracker;
+/// use scuba_motion::{ObjectId, QueryId};
+/// use scuba_stream::QueryMatch;
+///
+/// let m = |q, o| QueryMatch::new(QueryId(q), ObjectId(o));
+/// let mut tracker = DeltaTracker::new();
+///
+/// let d1 = tracker.observe(2, &[m(1, 1), m(1, 2)]);
+/// assert_eq!(d1.added.len(), 2);
+///
+/// let d2 = tracker.observe(4, &[m(1, 2), m(2, 9)]);
+/// assert_eq!(d2.added, vec![m(2, 9)]);
+/// assert_eq!(d2.removed, vec![m(1, 1)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DeltaTracker {
+    /// Previous snapshot, sorted and deduplicated.
+    previous: Vec<QueryMatch>,
+}
+
+impl DeltaTracker {
+    /// Creates a tracker with an empty previous snapshot (the first
+    /// observation reports every match as `added`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The last observed snapshot.
+    pub fn current(&self) -> &[QueryMatch] {
+        &self.previous
+    }
+
+    /// Observes one evaluation's results (any order, duplicates allowed)
+    /// and returns the delta against the previous observation.
+    pub fn observe(&mut self, now: Time, results: &[QueryMatch]) -> ResultDelta {
+        let mut snapshot: Vec<QueryMatch> = results.to_vec();
+        snapshot.sort_unstable();
+        snapshot.dedup();
+        self.observe_sorted(now, snapshot)
+    }
+
+    /// Like [`DeltaTracker::observe`] but takes an already sorted,
+    /// deduplicated snapshot (what [`crate::join::JoinContext::run`]
+    /// produces), avoiding the re-sort.
+    pub fn observe_sorted(&mut self, now: Time, snapshot: Vec<QueryMatch>) -> ResultDelta {
+        debug_assert!(snapshot.windows(2).all(|w| w[0] < w[1]), "input not sorted");
+        let mut delta = ResultDelta {
+            now,
+            ..Default::default()
+        };
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.previous.len() && j < snapshot.len() {
+            match self.previous[i].cmp(&snapshot[j]) {
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    delta.removed.push(self.previous[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    delta.added.push(snapshot[j]);
+                    j += 1;
+                }
+            }
+        }
+        delta.removed.extend_from_slice(&self.previous[i..]);
+        delta.added.extend_from_slice(&snapshot[j..]);
+        self.previous = snapshot;
+        delta
+    }
+
+    /// Reconstructs the current snapshot from a starting state plus a
+    /// sequence of deltas — the consumer-side inverse of `observe`.
+    pub fn replay(initial: &[QueryMatch], deltas: &[ResultDelta]) -> Vec<QueryMatch> {
+        let mut state: Vec<QueryMatch> = initial.to_vec();
+        state.sort_unstable();
+        state.dedup();
+        for d in deltas {
+            for r in &d.removed {
+                if let Ok(pos) = state.binary_search(r) {
+                    state.remove(pos);
+                }
+            }
+            for a in &d.added {
+                if let Err(pos) = state.binary_search(a) {
+                    state.insert(pos, *a);
+                }
+            }
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scuba_motion::{ObjectId, QueryId};
+
+    fn m(q: u64, o: u64) -> QueryMatch {
+        QueryMatch::new(QueryId(q), ObjectId(o))
+    }
+
+    #[test]
+    fn first_observation_is_all_added() {
+        let mut t = DeltaTracker::new();
+        let d = t.observe(2, &[m(1, 1), m(1, 2)]);
+        assert_eq!(d.added, vec![m(1, 1), m(1, 2)]);
+        assert!(d.removed.is_empty());
+        assert_eq!(d.now, 2);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn steady_state_is_empty_delta() {
+        let mut t = DeltaTracker::new();
+        t.observe(2, &[m(1, 1), m(2, 2)]);
+        let d = t.observe(4, &[m(1, 1), m(2, 2)]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn add_and_remove_detected() {
+        let mut t = DeltaTracker::new();
+        t.observe(2, &[m(1, 1), m(1, 2), m(2, 1)]);
+        let d = t.observe(4, &[m(1, 2), m(2, 1), m(3, 3)]);
+        assert_eq!(d.removed, vec![m(1, 1)]);
+        assert_eq!(d.added, vec![m(3, 3)]);
+    }
+
+    #[test]
+    fn everything_removed() {
+        let mut t = DeltaTracker::new();
+        t.observe(2, &[m(1, 1)]);
+        let d = t.observe(4, &[]);
+        assert_eq!(d.removed, vec![m(1, 1)]);
+        assert!(d.added.is_empty());
+        assert!(t.current().is_empty());
+    }
+
+    #[test]
+    fn unsorted_duplicated_input_tolerated() {
+        let mut t = DeltaTracker::new();
+        let d = t.observe(2, &[m(2, 1), m(1, 1), m(1, 1)]);
+        assert_eq!(d.added, vec![m(1, 1), m(2, 1)]);
+        assert_eq!(t.current(), &[m(1, 1), m(2, 1)]);
+    }
+
+    #[test]
+    fn replay_reconstructs_state() {
+        let mut t = DeltaTracker::new();
+        let snapshots: Vec<Vec<QueryMatch>> = vec![
+            vec![m(1, 1), m(1, 2)],
+            vec![m(1, 2), m(2, 2)],
+            vec![],
+            vec![m(3, 3)],
+        ];
+        let mut deltas = Vec::new();
+        for (i, s) in snapshots.iter().enumerate() {
+            deltas.push(t.observe((i as u64 + 1) * 2, s));
+        }
+        let replayed = DeltaTracker::replay(&[], &deltas);
+        assert_eq!(replayed, *snapshots.last().unwrap());
+        // Replay from a mid-stream state using the tail of the deltas.
+        let replayed_tail = DeltaTracker::replay(&snapshots[1], &deltas[2..]);
+        assert_eq!(replayed_tail, *snapshots.last().unwrap());
+    }
+
+    #[test]
+    fn works_with_engine_output() {
+        use crate::{ScubaOperator, ScubaParams};
+        use scuba_motion::{LocationUpdate, ObjectAttrs, QueryAttrs, QuerySpec};
+        use scuba_spatial::{Point, Rect};
+        use scuba_stream::ContinuousOperator;
+
+        let cn = Point::new(1000.0, 500.0);
+        let mut op = ScubaOperator::new(ScubaParams::default(), Rect::square(1000.0));
+        let mut tracker = DeltaTracker::new();
+
+        // t=2: object inside the query range.
+        op.process_update(&LocationUpdate::object(
+            ObjectId(1),
+            Point::new(500.0, 500.0),
+            1,
+            30.0,
+            cn,
+            ObjectAttrs::default(),
+        ));
+        op.process_update(&LocationUpdate::query(
+            QueryId(1),
+            Point::new(505.0, 500.0),
+            1,
+            30.0,
+            cn,
+            QueryAttrs {
+                spec: QuerySpec::square_range(20.0),
+            },
+        ));
+        let r1 = op.evaluate(2);
+        let d1 = tracker.observe_sorted(2, r1.results);
+        assert_eq!(d1.added, vec![m(1, 1)]);
+
+        // t=4: object reported far away → match disappears.
+        op.process_update(&LocationUpdate::object(
+            ObjectId(1),
+            Point::new(100.0, 100.0),
+            3,
+            30.0,
+            cn,
+            ObjectAttrs::default(),
+        ));
+        op.process_update(&LocationUpdate::query(
+            QueryId(1),
+            Point::new(505.0, 500.0),
+            3,
+            30.0,
+            cn,
+            QueryAttrs {
+                spec: QuerySpec::square_range(20.0),
+            },
+        ));
+        let r2 = op.evaluate(4);
+        let d2 = tracker.observe_sorted(4, r2.results);
+        assert_eq!(d2.removed, vec![m(1, 1)]);
+        assert!(d2.added.is_empty());
+    }
+}

@@ -1,0 +1,316 @@
+//! The SCUBA operator: three-phase execution (paper §4.2, Fig. 6).
+//!
+//! * **cluster pre-join maintenance** — runs continuously between
+//!   evaluations: every incoming location update is clustered incrementally
+//!   ([`ContinuousOperator::process_update`] →
+//!   [`crate::clustering::ClusterEngine::process_update`]);
+//! * **cluster-based joining** — when Δ expires, join-between + join-within
+//!   over the ClusterGrid ([`crate::join::JoinContext`]);
+//! * **cluster post-join maintenance** — dissolve expired clusters and
+//!   relocate survivors along their velocity vectors for the next interval.
+
+use scuba_motion::LocationUpdate;
+use scuba_spatial::{Rect, Time};
+use scuba_stream::{ContinuousOperator, EvaluationReport, Stopwatch};
+
+use crate::clustering::{ClusterEngine, ClusteringStats};
+use crate::join::JoinContext;
+use crate::params::ScubaParams;
+use crate::shedding::AdaptiveShedder;
+
+/// The SCUBA continuous-query operator.
+#[derive(Debug)]
+pub struct ScubaOperator {
+    engine: ClusterEngine,
+    name: String,
+    evaluations: u64,
+    /// Optional memory-budget controller (§5's escalation behaviour).
+    adaptive: Option<AdaptiveShedder>,
+}
+
+impl ScubaOperator {
+    /// Creates the operator over the given coverage area.
+    pub fn new(params: ScubaParams, area: Rect) -> Self {
+        let name = if params.shedding.is_active() {
+            format!("SCUBA(shedding={:?})", params.shedding)
+        } else {
+            "SCUBA".to_string()
+        };
+        ScubaOperator {
+            engine: ClusterEngine::new(params, area),
+            name,
+            evaluations: 0,
+            adaptive: None,
+        }
+    }
+
+    /// Wraps an existing (e.g. snapshot-restored) clustering engine in an
+    /// operator.
+    pub fn from_engine(engine: ClusterEngine) -> Self {
+        let params = *engine.params();
+        let name = if params.shedding.is_active() {
+            format!("SCUBA(shedding={:?})", params.shedding)
+        } else {
+            "SCUBA".to_string()
+        };
+        ScubaOperator {
+            engine,
+            name,
+            evaluations: 0,
+            adaptive: None,
+        }
+    }
+
+    /// Attaches a memory-budget controller: after each evaluation the
+    /// operator compares its estimated footprint against `budget_bytes`
+    /// and escalates (or relaxes) the shedding mode accordingly,
+    /// immediately discarding nucleus positions on escalation.
+    pub fn with_memory_budget(mut self, budget_bytes: usize) -> Self {
+        self.adaptive = Some(AdaptiveShedder::new(budget_bytes));
+        self.name = format!("{}(budget={budget_bytes}B)", self.name);
+        self
+    }
+
+    /// The currently active shedding mode (reflects adaptive escalation).
+    pub fn current_shedding(&self) -> crate::shedding::SheddingMode {
+        self.engine.params().shedding
+    }
+
+    /// Read access to the clustering state (used by the kNN / aggregate
+    /// extensions and by diagnostics).
+    pub fn engine(&self) -> &ClusterEngine {
+        &self.engine
+    }
+
+    /// Clustering activity counters.
+    pub fn clustering_stats(&self) -> ClusteringStats {
+        self.engine.stats()
+    }
+
+    /// Number of evaluations performed.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+}
+
+impl ContinuousOperator for ScubaOperator {
+    fn process_update(&mut self, update: &LocationUpdate) {
+        self.engine.process_update(update);
+    }
+
+    fn evaluate(&mut self, now: Time) -> EvaluationReport {
+        self.evaluations += 1;
+
+        // Tail of phase 1: tighten cluster radii so the join-between filter
+        // sees exact regions (counted as maintenance, not join).
+        let sw = Stopwatch::start();
+        if self.engine.params().tighten_radii {
+            self.engine.pre_join_tighten();
+        }
+        let tighten_time = sw.elapsed();
+
+        // Phase 2: cluster-based joining.
+        let sw = Stopwatch::start();
+        let ctx = JoinContext {
+            clusters: self.engine.clusters(),
+            grid: self.engine.grid(),
+            queries: self.engine.queries(),
+            shedding: self.engine.params().shedding,
+            theta_d: self.engine.params().theta_d,
+            member_filter: self.engine.params().member_filter,
+        };
+        let mut join = ctx.run();
+        // Extension: answer registered kNN queries alongside the range
+        // join (zero-cost when the workload has none).
+        let knn = crate::knn::evaluate_continuous(&self.engine);
+        if !knn.is_empty() {
+            join.results.extend(knn);
+            join.results.sort_unstable();
+            join.results.dedup();
+        }
+        let join_time = sw.elapsed();
+
+        // Phase 3: post-join maintenance.
+        let sw = Stopwatch::start();
+        self.engine.post_join_maintenance(now);
+        let mut memory_bytes = self.engine.estimated_bytes();
+        if let Some(adaptive) = &mut self.adaptive {
+            if let Some(mode) = adaptive.observe(memory_bytes) {
+                self.engine.set_shedding(mode);
+                // Escalation takes effect immediately: discard nucleus
+                // positions now rather than waiting for fresh updates.
+                if mode.is_active() {
+                    self.engine.shed_now();
+                    memory_bytes = self.engine.estimated_bytes();
+                }
+            }
+        }
+        let maintenance_time = tighten_time + sw.elapsed();
+
+        EvaluationReport {
+            now,
+            results: join.results,
+            join_time,
+            maintenance_time,
+            memory_bytes,
+            comparisons: join.comparisons,
+            prefilter_tests: join.prefilter_tests,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.engine.estimated_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scuba_motion::{ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec};
+    use scuba_spatial::Point;
+    use scuba_stream::{Executor, ExecutorConfig};
+
+    const CN: Point = Point { x: 1000.0, y: 500.0 };
+
+    fn obj(id: u64, x: f64, y: f64) -> LocationUpdate {
+        LocationUpdate::object(
+            ObjectId(id),
+            Point::new(x, y),
+            0,
+            30.0,
+            CN,
+            ObjectAttrs::default(),
+        )
+    }
+
+    fn qry(id: u64, x: f64, y: f64, side: f64) -> LocationUpdate {
+        LocationUpdate::query(
+            QueryId(id),
+            Point::new(x, y),
+            0,
+            30.0,
+            CN,
+            QueryAttrs {
+                spec: QuerySpec::square_range(side),
+            },
+        )
+    }
+
+    #[test]
+    fn end_to_end_single_evaluation() {
+        let mut op = ScubaOperator::new(ScubaParams::default(), Rect::square(1000.0));
+        op.process_update(&obj(1, 500.0, 500.0));
+        op.process_update(&qry(1, 504.0, 500.0, 20.0));
+        let report = op.evaluate(2);
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.now, 2);
+        assert!(report.memory_bytes > 0);
+        assert!(report.comparisons >= 1);
+        assert_eq!(op.evaluations(), 1);
+    }
+
+    #[test]
+    fn works_under_executor() {
+        let mut op = ScubaOperator::new(ScubaParams::default(), Rect::square(1000.0));
+        let mut t = 0u64;
+        let mut source = move || {
+            t += 1;
+            vec![obj(1, 500.0 + t as f64 * 30.0, 500.0), qry(1, 503.0 + t as f64 * 30.0, 500.0, 20.0)]
+        };
+        let exec = Executor::new(ExecutorConfig {
+            delta: 2,
+            duration: 6,
+        });
+        let run = exec.run(&mut source, &mut op);
+        assert_eq!(run.evaluations.len(), 3);
+        assert_eq!(run.updates_ingested, 12);
+        // The object stays within the query range the whole time.
+        for e in &run.evaluations {
+            assert_eq!(e.results.len(), 1, "at t={}", e.now);
+        }
+    }
+
+    #[test]
+    fn name_reflects_shedding() {
+        let plain = ScubaOperator::new(ScubaParams::default(), Rect::square(10.0));
+        assert_eq!(plain.name(), "SCUBA");
+        let shed = ScubaOperator::new(
+            ScubaParams::default().with_shedding(crate::SheddingMode::Full),
+            Rect::square(10.0),
+        );
+        assert!(shed.name().contains("shedding"));
+    }
+
+    #[test]
+    fn post_join_runs_each_evaluation() {
+        let mut op = ScubaOperator::new(ScubaParams::default(), Rect::square(1000.0));
+        op.process_update(&obj(1, 500.0, 500.0));
+        let centroid_before = op.engine().clusters().values().next().unwrap().centroid();
+        op.evaluate(2);
+        let centroid_after = op.engine().clusters().values().next().unwrap().centroid();
+        assert!(centroid_after.x > centroid_before.x, "cluster relocated");
+    }
+
+    #[test]
+    fn invariants_hold_across_noisy_run() {
+        let mut op = ScubaOperator::new(ScubaParams::default(), Rect::square(1000.0));
+        for round in 0..6u64 {
+            for i in 0..50u64 {
+                let x = (i * 37 % 900) as f64 + 50.0 + round as f64;
+                let y = (i * 61 % 900) as f64 + 50.0;
+                if i % 2 == 0 {
+                    op.process_update(&obj(i, x, y));
+                } else {
+                    op.process_update(&qry(i, x, y, 30.0));
+                }
+            }
+            op.engine().check_invariants();
+            op.evaluate(round * 2 + 2);
+            op.engine().check_invariants();
+        }
+    }
+
+    #[test]
+    fn adaptive_budget_escalates_shedding() {
+        use crate::SheddingMode;
+        // A budget far below what 200 tracked entities need.
+        let mut op = ScubaOperator::new(ScubaParams::default(), Rect::square(1000.0))
+            .with_memory_budget(1);
+        assert_eq!(op.current_shedding(), SheddingMode::None);
+        for round in 0..5u64 {
+            for i in 0..100u64 {
+                op.process_update(&obj(i, 100.0 + (i % 50) as f64, 100.0 + round as f64));
+                op.process_update(&qry(i, 600.0 + (i % 50) as f64, 600.0 + round as f64, 20.0));
+            }
+            op.evaluate((round + 1) * 2);
+        }
+        assert_eq!(
+            op.current_shedding(),
+            SheddingMode::Full,
+            "unreachable budget should drive the ladder to Full"
+        );
+        assert!(op.name().contains("budget"));
+        // Positions are actually gone.
+        assert!(op
+            .engine()
+            .clusters()
+            .values()
+            .flat_map(|c| c.members())
+            .all(|m| m.is_shed()));
+    }
+
+    #[test]
+    fn generous_budget_never_sheds() {
+        let mut op = ScubaOperator::new(ScubaParams::default(), Rect::square(1000.0))
+            .with_memory_budget(usize::MAX);
+        for i in 0..50u64 {
+            op.process_update(&obj(i, 500.0 + (i % 20) as f64, 500.0));
+        }
+        op.evaluate(2);
+        assert_eq!(op.current_shedding(), crate::SheddingMode::None);
+    }
+}

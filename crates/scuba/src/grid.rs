@@ -1,0 +1,321 @@
+//! The ClusterGrid (paper §4.1).
+//!
+//! "ClusterGrid is a spatial grid table dividing the data space into N×N
+//! grid cells. For each grid cell, ClusterGrid maintains a list of cluster
+//! ids of moving clusters that overlap with that cell."
+//!
+//! Unlike the generic [`scuba_spatial::SpatialGrid`], the ClusterGrid must
+//! support *removal and relocation*: clusters grow during the pre-join
+//! phase and are re-located along their velocity vectors during post-join
+//! maintenance. Registrations are tracked per cluster so both operations
+//! are proportional to the handful of cells a compact cluster overlaps.
+
+use scuba_spatial::{Circle, CellIdx, FxHashMap, GridSpec, Point};
+
+use crate::cluster::ClusterId;
+
+/// Spatial grid of moving-cluster regions.
+#[derive(Debug, Clone)]
+pub struct ClusterGrid {
+    spec: GridSpec,
+    cells: Vec<Vec<ClusterId>>,
+    /// Linear cell indices each cluster is currently registered in.
+    registrations: FxHashMap<ClusterId, Vec<u32>>,
+}
+
+impl ClusterGrid {
+    /// Creates an empty grid over the given partitioning.
+    pub fn new(spec: GridSpec) -> Self {
+        ClusterGrid {
+            spec,
+            cells: vec![Vec::new(); spec.cell_count()],
+            registrations: FxHashMap::default(),
+        }
+    }
+
+    /// The partitioning geometry.
+    #[inline]
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Number of registered clusters.
+    #[inline]
+    pub fn cluster_count(&self) -> usize {
+        self.registrations.len()
+    }
+
+    /// Whether no clusters are registered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.registrations.is_empty()
+    }
+
+    /// Registers a cluster region, replacing any previous registration.
+    /// Returns the number of cells the cluster now overlaps.
+    pub fn insert(&mut self, cid: ClusterId, region: &Circle) -> usize {
+        let new_cells: Vec<u32> = self
+            .spec
+            .cells_overlapping_circle(region)
+            .map(|idx| self.spec.linear(idx) as u32)
+            .collect();
+        match self.registrations.get(&cid) {
+            Some(old) if *old == new_cells => return new_cells.len(),
+            Some(_) => self.unregister(cid),
+            None => {}
+        }
+        for &linear in &new_cells {
+            self.cells[linear as usize].push(cid);
+        }
+        let n = new_cells.len();
+        self.registrations.insert(cid, new_cells);
+        n
+    }
+
+    /// Removes a cluster's registration. Returns `true` if it was present.
+    pub fn remove(&mut self, cid: ClusterId) -> bool {
+        if self.registrations.contains_key(&cid) {
+            self.unregister(cid);
+            self.registrations.remove(&cid);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn unregister(&mut self, cid: ClusterId) {
+        if let Some(cells) = self.registrations.get(&cid) {
+            for &linear in cells {
+                let cell = &mut self.cells[linear as usize];
+                if let Some(pos) = cell.iter().position(|&c| c == cid) {
+                    cell.swap_remove(pos);
+                }
+            }
+        }
+    }
+
+    /// The clusters overlapping the cell that contains `p` — the §3.2
+    /// step-1 probe ("use moving object's position to probe the spatial
+    /// grid index ClusterGrid to find the moving clusters in the proximity
+    /// of the current location").
+    #[inline]
+    pub fn clusters_near(&self, p: &Point) -> &[ClusterId] {
+        let idx = self.spec.cell_of(p);
+        &self.cells[self.spec.linear(idx)]
+    }
+
+    /// The clusters registered in a specific cell.
+    #[inline]
+    pub fn cell(&self, idx: CellIdx) -> &[ClusterId] {
+        &self.cells[self.spec.linear(idx)]
+    }
+
+    /// Collects (deduplicated, in deterministic cell order) the clusters
+    /// registered in any cell overlapping `probe` into `out`.
+    ///
+    /// This is the step-1 probe used with `probe = Circle(loc, Θ_D)`:
+    /// candidate clusters must have their centroid within Θ_D of the
+    /// update, and a cluster's registration always covers its centroid, so
+    /// probing the Θ_D disk cannot miss a joinable cluster regardless of
+    /// how fine the grid is.
+    pub fn clusters_within_into(&self, probe: &Circle, out: &mut Vec<ClusterId>) {
+        out.clear();
+        for idx in self.spec.cells_overlapping_circle(probe) {
+            for &cid in &self.cells[self.spec.linear(idx)] {
+                if !out.contains(&cid) {
+                    out.push(cid);
+                }
+            }
+        }
+    }
+
+    /// Iterates over non-empty cells and their cluster lists — the outer
+    /// loop of the joining phase (Algorithm 1, step 8: "for c = 0 to
+    /// MAX_GRID_CELL").
+    pub fn iter_nonempty(&self) -> impl Iterator<Item = (CellIdx, &[ClusterId])> + '_ {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(move |(linear, v)| (self.spec.from_linear(linear), v.as_slice()))
+    }
+
+    /// Removes every registration, keeping allocations.
+    pub fn clear(&mut self) {
+        for cell in &mut self.cells {
+            cell.clear();
+        }
+        self.registrations.clear();
+    }
+
+    /// Estimated heap footprint in bytes (cell vectors + registrations).
+    pub fn estimated_bytes(&self) -> usize {
+        let header = std::mem::size_of::<Vec<ClusterId>>();
+        let id = std::mem::size_of::<ClusterId>();
+        let cells: usize = self.cells.len() * header
+            + self.cells.iter().map(|c| c.capacity() * id).sum::<usize>();
+        let regs: usize = self
+            .registrations
+            .values()
+            .map(|v| header + v.capacity() * 4 + id + 8)
+            .sum();
+        cells + regs
+    }
+
+    /// Internal consistency check for tests: every registration points at a
+    /// cell that actually lists the cluster, and vice versa.
+    #[cfg(test)]
+    fn check_consistent(&self) {
+        for (cid, cells) in &self.registrations {
+            for &linear in cells {
+                assert!(
+                    self.cells[linear as usize].contains(cid),
+                    "{cid:?} registered in cell {linear} but absent"
+                );
+            }
+        }
+        for (linear, cell) in self.cells.iter().enumerate() {
+            for cid in cell {
+                assert!(
+                    self.registrations[cid].contains(&(linear as u32)),
+                    "{cid:?} listed in cell {linear} but not registered"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scuba_spatial::Rect;
+
+    fn grid(n: u32) -> ClusterGrid {
+        ClusterGrid::new(GridSpec::new(Rect::square(100.0), n))
+    }
+
+    #[test]
+    fn insert_and_probe() {
+        let mut g = grid(10);
+        let n = g.insert(ClusterId(1), &Circle::new(Point::new(55.0, 55.0), 3.0));
+        assert_eq!(n, 1);
+        assert_eq!(g.clusters_near(&Point::new(57.0, 52.0)), &[ClusterId(1)]);
+        assert!(g.clusters_near(&Point::new(5.0, 5.0)).is_empty());
+        assert_eq!(g.cluster_count(), 1);
+        g.check_consistent();
+    }
+
+    #[test]
+    fn spanning_cluster_registered_in_all_cells() {
+        let mut g = grid(10);
+        // Circle centred on a 4-corner junction.
+        let n = g.insert(ClusterId(2), &Circle::new(Point::new(50.0, 50.0), 5.0));
+        assert_eq!(n, 4);
+        for p in [
+            Point::new(48.0, 48.0),
+            Point::new(52.0, 48.0),
+            Point::new(48.0, 52.0),
+            Point::new(52.0, 52.0),
+        ] {
+            assert_eq!(g.clusters_near(&p), &[ClusterId(2)]);
+        }
+        g.check_consistent();
+    }
+
+    #[test]
+    fn reinsert_relocates() {
+        let mut g = grid(10);
+        g.insert(ClusterId(1), &Circle::new(Point::new(15.0, 15.0), 2.0));
+        g.insert(ClusterId(1), &Circle::new(Point::new(85.0, 85.0), 2.0));
+        assert!(g.clusters_near(&Point::new(15.0, 15.0)).is_empty());
+        assert_eq!(g.clusters_near(&Point::new(85.0, 85.0)), &[ClusterId(1)]);
+        assert_eq!(g.cluster_count(), 1);
+        g.check_consistent();
+    }
+
+    #[test]
+    fn reinsert_same_cells_is_stable() {
+        let mut g = grid(10);
+        let c = Circle::new(Point::new(15.0, 15.0), 2.0);
+        g.insert(ClusterId(1), &c);
+        g.insert(ClusterId(1), &c);
+        assert_eq!(g.clusters_near(&Point::new(15.0, 15.0)).len(), 1);
+        g.check_consistent();
+    }
+
+    #[test]
+    fn growth_extends_registration() {
+        let mut g = grid(10);
+        g.insert(ClusterId(1), &Circle::new(Point::new(50.0, 50.0), 1.0));
+        let before = g.registrations[&ClusterId(1)].len();
+        g.insert(ClusterId(1), &Circle::new(Point::new(50.0, 50.0), 15.0));
+        let after = g.registrations[&ClusterId(1)].len();
+        assert!(after > before);
+        g.check_consistent();
+    }
+
+    #[test]
+    fn remove_cleans_cells() {
+        let mut g = grid(10);
+        g.insert(ClusterId(1), &Circle::new(Point::new(50.0, 50.0), 8.0));
+        g.insert(ClusterId(2), &Circle::new(Point::new(50.0, 50.0), 8.0));
+        assert!(g.remove(ClusterId(1)));
+        assert!(!g.remove(ClusterId(1)));
+        for (_, cell) in g.iter_nonempty() {
+            assert!(!cell.contains(&ClusterId(1)));
+            assert!(cell.contains(&ClusterId(2)));
+        }
+        g.check_consistent();
+    }
+
+    #[test]
+    fn iter_nonempty_covers_all_registrations() {
+        let mut g = grid(5);
+        g.insert(ClusterId(1), &Circle::new(Point::new(10.0, 10.0), 1.0));
+        g.insert(ClusterId(2), &Circle::new(Point::new(90.0, 90.0), 1.0));
+        let seen: Vec<ClusterId> = g
+            .iter_nonempty()
+            .flat_map(|(_, cell)| cell.iter().copied())
+            .collect();
+        assert_eq!(seen.len(), 2);
+        assert!(seen.contains(&ClusterId(1)));
+        assert!(seen.contains(&ClusterId(2)));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut g = grid(5);
+        g.insert(ClusterId(1), &Circle::new(Point::new(10.0, 10.0), 1.0));
+        g.clear();
+        assert!(g.is_empty());
+        assert_eq!(g.iter_nonempty().count(), 0);
+        g.check_consistent();
+    }
+
+    #[test]
+    fn many_clusters_same_cell() {
+        let mut g = grid(4);
+        for i in 0..20 {
+            g.insert(ClusterId(i), &Circle::new(Point::new(10.0, 10.0), 0.5));
+        }
+        assert_eq!(g.clusters_near(&Point::new(10.0, 10.0)).len(), 20);
+        for i in (0..20).step_by(2) {
+            g.remove(ClusterId(i));
+        }
+        assert_eq!(g.clusters_near(&Point::new(10.0, 10.0)).len(), 10);
+        g.check_consistent();
+    }
+
+    #[test]
+    fn estimated_bytes_tracks_contents() {
+        let mut g = grid(10);
+        let empty = g.estimated_bytes();
+        for i in 0..50 {
+            g.insert(
+                ClusterId(i),
+                &Circle::new(Point::new((i % 10) as f64 * 10.0, 50.0), 1.0),
+            );
+        }
+        assert!(g.estimated_bytes() > empty);
+    }
+}

@@ -1,0 +1,619 @@
+//! The cluster-based joining phase (paper §4, Algorithms 1–3).
+//!
+//! Every Δ time units SCUBA walks the ClusterGrid cell by cell and, for
+//! each pair of clusters sharing a cell:
+//!
+//! * **join-between** (Algorithm 2) — the circle/circle overlap pre-filter.
+//!   Pairs whose regions do not overlap are pruned: their members are
+//!   *guaranteed* not to join individually (the cluster region covers all
+//!   member positions).
+//! * **join-within** (Algorithm 3) — the exact object×query join over the
+//!   members of both clusters, materialising relative positions lazily.
+//!
+//! Two engineering notes relative to the paper's pseudo-code:
+//!
+//! * Algorithm 3 joins the member *union* of both clusters, and Algorithm 1
+//!   additionally runs a same-cluster join-within for mixed clusters — with
+//!   the union semantics intra-cluster pairs would be compared once per
+//!   overlapping partner. We compare *cross* pairs in the pair join and
+//!   intra pairs exactly once in the same-cluster join; combined with the
+//!   final dedup this produces the identical result set with fewer
+//!   comparisons.
+//! * Clusters sharing several grid cells would be joined once per shared
+//!   cell; a seen-pair set deduplicates the work.
+//!
+//! Load shedding (§5) surfaces here: members whose relative position was
+//! discarded are approximated **by their cluster centroid** — "individual
+//! locations of the members can be discarded if need be, yet would still be
+//! sufficiently approximated from the location of their cluster centroid"
+//! (§1). Because every shed member of a cluster shares that single
+//! approximate position, one predicate evaluation answers *all* of them at
+//! once: a query region is tested against the centroid once and the verdict
+//! fans out to the whole shed set, which is exactly why "the fewer relative
+//! positions are maintained, the fewer individual joins need to be
+//! performed" (§6.6). (§5 also sketches a coarser reading — assume all
+//! members of overlapping clusters join — but that cross-product semantics
+//! collapses accuracy to ~13 % on the default workload, far below the ~79 %
+//! the paper reports at η = 50 %, so the centroid reading is the one
+//! consistent with the paper's own measurements; see DESIGN.md.)
+
+use scuba_motion::{ObjectId, QueryId, QuerySpec};
+use scuba_spatial::{Circle, FxHashMap, FxHashSet, Point, Rect};
+use scuba_stream::QueryMatch;
+
+use crate::cluster::{ClusterId, MovingCluster};
+use crate::grid::ClusterGrid;
+use crate::shedding::SheddingMode;
+use crate::tables::QueriesTable;
+
+/// What one joining phase produced and how much work it did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JoinOutput {
+    /// Deduplicated query answers.
+    pub results: Vec<QueryMatch>,
+    /// Exact object×query pair tests performed (join-within work).
+    pub comparisons: u64,
+    /// Coarse filter tests performed: cluster-pair overlap tests
+    /// (join-between) plus member-vs-cluster reach tests inside
+    /// join-within.
+    pub prefilter_tests: u64,
+    /// Cluster pairs pruned by join-between.
+    pub pairs_pruned: u64,
+    /// Cluster pairs that proceeded to join-within.
+    pub pairs_joined: u64,
+}
+
+/// Borrowed view of everything the joining phase needs. Decoupled from
+/// [`crate::clustering::ClusterEngine`] so the K-means extension (§6.4) can
+/// drive the identical join over offline-built clusters.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinContext<'a> {
+    /// Live clusters by id.
+    pub clusters: &'a FxHashMap<ClusterId, MovingCluster>,
+    /// The cluster grid driving the cell loop.
+    pub grid: &'a ClusterGrid,
+    /// Query attributes (range extents).
+    pub queries: &'a QueriesTable,
+    /// Active shedding mode. The shed/exact split is carried by the
+    /// cluster members themselves; recorded here for diagnostics.
+    pub shedding: SheddingMode,
+    /// Distance threshold Θ_D (bounds the centroid-approximation error of
+    /// shed members; recorded for diagnostics).
+    pub theta_d: f64,
+    /// Whether to apply the member-vs-cluster reach filter inside
+    /// join-within (sound either way; `false` reverts to Algorithm 3's
+    /// plain nested loop for ablation).
+    pub member_filter: bool,
+}
+
+/// An exact (un-shed) range-query member with its region precomputed.
+struct ExactQuery {
+    qid: QueryId,
+    pos: Point,
+    region: Rect,
+    bounding_radius: f64,
+}
+
+/// A cluster's members materialised into absolute coordinates.
+struct Materialized {
+    cid: ClusterId,
+    /// Objects with known positions.
+    exact_objects: Vec<(ObjectId, Point)>,
+    /// Shed objects — all approximated at the centroid.
+    shed_objects: Vec<ObjectId>,
+    /// Range queries with known positions.
+    exact_queries: Vec<ExactQuery>,
+    /// Shed range queries grouped by spec: their region is centred on the
+    /// centroid, so one region per distinct spec answers the whole group.
+    shed_query_groups: Vec<(Rect, Vec<QueryId>)>,
+    /// The centroid (approximate position of every shed member).
+    centroid: Point,
+    /// The cluster's (tight) circular region.
+    region: Circle,
+    /// `region` inflated by the widest member query's reach — anything an
+    /// object must touch to possibly match one of this cluster's queries.
+    reach: Circle,
+}
+
+impl Materialized {
+    fn has_objects(&self) -> bool {
+        !self.exact_objects.is_empty() || !self.shed_objects.is_empty()
+    }
+
+    fn has_queries(&self) -> bool {
+        !self.exact_queries.is_empty() || !self.shed_query_groups.is_empty()
+    }
+}
+
+impl<'a> JoinContext<'a> {
+    /// Runs the full joining phase (Algorithm 1, steps 8–21).
+    pub fn run(&self) -> JoinOutput {
+        let mut out = JoinOutput::default();
+        let mut seen: FxHashSet<(ClusterId, ClusterId)> = FxHashSet::default();
+        let mut cache: FxHashMap<ClusterId, Materialized> = FxHashMap::default();
+
+        for (_, cell) in self.grid.iter_nonempty() {
+            for (i, &left) in cell.iter().enumerate() {
+                for &right in &cell[i..] {
+                    let key = if left <= right {
+                        (left, right)
+                    } else {
+                        (right, left)
+                    };
+                    if !seen.insert(key) {
+                        continue; // pair already handled via another cell
+                    }
+                    self.join_pair(key.0, key.1, &mut cache, &mut out);
+                }
+            }
+        }
+
+        out.results.sort_unstable();
+        out.results.dedup();
+        out
+    }
+
+    fn join_pair(
+        &self,
+        left: ClusterId,
+        right: ClusterId,
+        cache: &mut FxHashMap<ClusterId, Materialized>,
+        out: &mut JoinOutput,
+    ) {
+        let (Some(m_l), Some(m_r)) = (self.clusters.get(&left), self.clusters.get(&right))
+        else {
+            return; // stale grid entry
+        };
+
+        if left == right {
+            // Same-cluster join-within only for mixed clusters
+            // (Algorithm 1, step 14).
+            if m_l.is_mixed() {
+                let member_filter = self.member_filter;
+                let mat = self.materialize_cached(m_l, cache);
+                Self::join_members(mat, mat, member_filter, out);
+            }
+            return;
+        }
+
+        // Only cross-kind pairs can produce results (Algorithm 1, step 18).
+        let joinable = (m_l.object_count() > 0 && m_r.query_count() > 0)
+            || (m_l.query_count() > 0 && m_r.object_count() > 0);
+        if !joinable {
+            return;
+        }
+
+        // Join-between: the overlap pre-filter (Algorithm 2), with the
+        // query side inflated by its widest range so pruned pairs really
+        // cannot produce results (see MovingCluster::effective_region).
+        out.prefilter_tests += 1;
+        let can_match = m_l.region().overlaps(&m_r.effective_region())
+            || m_r.region().overlaps(&m_l.effective_region());
+        if !can_match {
+            out.pairs_pruned += 1;
+            return;
+        }
+        out.pairs_joined += 1;
+
+        // Join-within across the pair: L-objects × R-queries and
+        // R-objects × L-queries.
+        self.materialize_cached(m_l, cache);
+        self.materialize_cached(m_r, cache);
+        let mat_l = &cache[&left];
+        let mat_r = &cache[&right];
+        Self::join_members(mat_l, mat_r, self.member_filter, out);
+        Self::join_members(mat_r, mat_l, self.member_filter, out);
+    }
+
+    /// Joins `objects_of`'s objects against `queries_of`'s queries.
+    ///
+    /// For *cross*-cluster pairs a member-level pre-filter (not in the
+    /// paper's Algorithm 3, which does the full nested loop) skips objects
+    /// outside the partner's query reach and queries whose inflated region
+    /// cannot touch the partner's cluster circle. Both checks are sound:
+    /// they can only discard pairs the exact predicate would reject, since
+    /// every member — shed members sit at the centroid — lies within its
+    /// cluster circle.
+    ///
+    /// Shed members amortise: all shed objects of a cluster share the
+    /// centroid position, so one region test answers the whole set, and
+    /// likewise for each distinct shed-query spec.
+    fn join_members(
+        objects_of: &Materialized,
+        queries_of: &Materialized,
+        member_filter: bool,
+        out: &mut JoinOutput,
+    ) {
+        if !objects_of.has_objects() || !queries_of.has_queries() {
+            return;
+        }
+        // The reach filters are no-ops within a single cluster (every
+        // member is inside its own region by construction), and disabled
+        // entirely when ablating.
+        let skip_filters = objects_of.cid == queries_of.cid || !member_filter;
+
+        // Exact queries that can reach the object cluster at all.
+        let mut active: Vec<&ExactQuery> = Vec::with_capacity(queries_of.exact_queries.len());
+        for q in &queries_of.exact_queries {
+            if !skip_filters {
+                out.prefilter_tests += 1;
+                let reach = Circle::new(
+                    objects_of.region.center,
+                    objects_of.region.radius + q.bounding_radius,
+                );
+                if !reach.contains(&q.pos) {
+                    continue;
+                }
+            }
+            active.push(q);
+        }
+
+        // 1. Exact objects × exact queries.
+        if !active.is_empty() {
+            for &(oid, p) in &objects_of.exact_objects {
+                if !skip_filters {
+                    out.prefilter_tests += 1;
+                    if !queries_of.reach.contains(&p) {
+                        continue;
+                    }
+                }
+                for q in &active {
+                    out.comparisons += 1;
+                    if q.region.contains(&p) {
+                        out.results.push(QueryMatch::new(q.qid, oid));
+                    }
+                }
+            }
+        }
+
+        // 2. Shed objects (all at the centroid) × exact queries: one test
+        //    per query answers every shed object.
+        if !objects_of.shed_objects.is_empty() {
+            for q in &active {
+                out.comparisons += 1;
+                if q.region.contains(&objects_of.centroid) {
+                    for &oid in &objects_of.shed_objects {
+                        out.results.push(QueryMatch::new(q.qid, oid));
+                    }
+                }
+            }
+        }
+
+        // 3. Shed query groups (regions centred on the query cluster's
+        //    centroid).
+        for (region, qids) in &queries_of.shed_query_groups {
+            // 3a. Exact objects.
+            for &(oid, p) in &objects_of.exact_objects {
+                out.comparisons += 1;
+                if region.contains(&p) {
+                    for &qid in qids {
+                        out.results.push(QueryMatch::new(qid, oid));
+                    }
+                }
+            }
+            // 3b. Shed objects: a single centroid-in-region test answers
+            //     the full cross product.
+            if !objects_of.shed_objects.is_empty() {
+                out.comparisons += 1;
+                if region.contains(&objects_of.centroid) {
+                    for &qid in qids {
+                        for &oid in &objects_of.shed_objects {
+                            out.results.push(QueryMatch::new(qid, oid));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn materialize_cached<'c>(
+        &self,
+        cluster: &MovingCluster,
+        cache: &'c mut FxHashMap<ClusterId, Materialized>,
+    ) -> &'c Materialized {
+        cache
+            .entry(cluster.cid)
+            .or_insert_with(|| self.materialize(cluster))
+    }
+
+    /// Applies the lazy transformation to every member — "we refrain from
+    /// constantly updating the relative positions of the cluster members,
+    /// as this info is not needed, unless a join-within is to be performed"
+    /// (§3.1). Shed members materialise at the centroid.
+    fn materialize(&self, cluster: &MovingCluster) -> Materialized {
+        let centroid = cluster.centroid();
+        let mut exact_objects = Vec::with_capacity(cluster.object_count());
+        let mut shed_objects = Vec::new();
+        let mut exact_queries = Vec::with_capacity(cluster.query_count());
+        let mut shed_query_groups: Vec<(Rect, Vec<QueryId>)> = Vec::new();
+
+        for member in cluster.members() {
+            let pos = cluster.member_position(member);
+            match member.entity {
+                scuba_motion::EntityRef::Object(oid) => match pos {
+                    Some(p) => exact_objects.push((oid, p)),
+                    None => shed_objects.push(oid),
+                },
+                scuba_motion::EntityRef::Query(qid) => {
+                    let Some(attrs) = self.queries.get(qid) else {
+                        continue; // query unknown to the table; skip
+                    };
+                    let QuerySpec::Range { .. } = attrs.spec else {
+                        continue; // kNN queries are answered by the knn module
+                    };
+                    match pos {
+                        Some(p) => exact_queries.push(ExactQuery {
+                            qid,
+                            pos: p,
+                            region: attrs
+                                .spec
+                                .region_at(p)
+                                .expect("range spec always has a region"),
+                            bounding_radius: attrs.spec.bounding_radius(),
+                        }),
+                        None => {
+                            let region = attrs
+                                .spec
+                                .region_at(centroid)
+                                .expect("range spec always has a region");
+                            match shed_query_groups
+                                .iter_mut()
+                                .find(|(r, _)| *r == region)
+                            {
+                                Some((_, qids)) => qids.push(qid),
+                                None => shed_query_groups.push((region, vec![qid])),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let region = cluster.region();
+        Materialized {
+            cid: cluster.cid,
+            exact_objects,
+            shed_objects,
+            exact_queries,
+            shed_query_groups,
+            centroid,
+            region,
+            reach: Circle::new(region.center, region.radius + cluster.max_query_radius()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::ClusterEngine;
+    use crate::params::ScubaParams;
+    use scuba_motion::{LocationUpdate, ObjectAttrs, QueryAttrs};
+    use scuba_spatial::Rect;
+
+    const CN_EAST: Point = Point { x: 1000.0, y: 500.0 };
+    const CN_WEST: Point = Point { x: 0.0, y: 500.0 };
+
+    fn obj(id: u64, x: f64, y: f64, speed: f64, cn: Point) -> LocationUpdate {
+        LocationUpdate::object(
+            ObjectId(id),
+            Point::new(x, y),
+            0,
+            speed,
+            cn,
+            ObjectAttrs::default(),
+        )
+    }
+
+    fn qry(id: u64, x: f64, y: f64, speed: f64, cn: Point, side: f64) -> LocationUpdate {
+        LocationUpdate::query(
+            QueryId(id),
+            Point::new(x, y),
+            0,
+            speed,
+            cn,
+            QueryAttrs {
+                spec: QuerySpec::square_range(side),
+            },
+        )
+    }
+
+    fn ctx(engine: &ClusterEngine) -> JoinContext<'_> {
+        JoinContext {
+            clusters: engine.clusters(),
+            grid: engine.grid(),
+            queries: engine.queries(),
+            shedding: engine.params().shedding,
+            theta_d: engine.params().theta_d,
+            member_filter: engine.params().member_filter,
+        }
+    }
+
+    #[test]
+    fn same_cluster_match_found() {
+        let mut e = ClusterEngine::new(ScubaParams::default(), Rect::square(1000.0));
+        e.process_update(&obj(1, 500.0, 500.0, 30.0, CN_EAST));
+        e.process_update(&qry(1, 505.0, 500.0, 30.0, CN_EAST, 20.0)); // covers ±10
+        let out = ctx(&e).run();
+        assert_eq!(out.results, vec![QueryMatch::new(QueryId(1), ObjectId(1))]);
+        assert!(out.comparisons >= 1);
+    }
+
+    #[test]
+    fn same_cluster_non_match_when_outside_range() {
+        let mut e = ClusterEngine::new(ScubaParams::default(), Rect::square(1000.0));
+        e.process_update(&obj(1, 500.0, 500.0, 30.0, CN_EAST));
+        e.process_update(&qry(1, 530.0, 500.0, 30.0, CN_EAST, 20.0)); // 30 > 10
+        let out = ctx(&e).run();
+        assert!(out.results.is_empty());
+        assert_eq!(out.comparisons, 1);
+    }
+
+    #[test]
+    fn pure_clusters_skip_within_join() {
+        let mut e = ClusterEngine::new(ScubaParams::default(), Rect::square(1000.0));
+        e.process_update(&obj(1, 500.0, 500.0, 30.0, CN_EAST));
+        e.process_update(&obj(2, 505.0, 500.0, 30.0, CN_EAST));
+        let out = ctx(&e).run();
+        assert_eq!(out.comparisons, 0);
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn cross_cluster_join_between_and_within() {
+        let mut e = ClusterEngine::new(ScubaParams::default(), Rect::square(1000.0));
+        // Cluster A: objects heading east; Cluster B: query heading west,
+        // close enough that the regions overlap.
+        e.process_update(&obj(1, 500.0, 500.0, 30.0, CN_EAST));
+        e.process_update(&obj(2, 506.0, 500.0, 30.0, CN_EAST));
+        e.process_update(&qry(1, 503.0, 501.0, 30.0, CN_WEST, 20.0));
+        assert_eq!(e.cluster_count(), 2);
+        let out = ctx(&e).run();
+        // One cluster-pair overlap test plus member-level reach tests.
+        assert!(out.prefilter_tests >= 1);
+        assert_eq!(out.pairs_joined, 1);
+        assert_eq!(out.pairs_pruned, 0);
+        // Both objects fall inside the 20-unit query range.
+        assert_eq!(
+            out.results,
+            vec![
+                QueryMatch::new(QueryId(1), ObjectId(1)),
+                QueryMatch::new(QueryId(1), ObjectId(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn join_between_prunes_distant_clusters_in_same_cell() {
+        // Coarse grid (1 cell) so both clusters share the cell, but far
+        // apart so the overlap test prunes them.
+        let params = ScubaParams::default().with_grid_cells(1);
+        let mut e = ClusterEngine::new(params, Rect::square(1000.0));
+        e.process_update(&obj(1, 100.0, 100.0, 30.0, CN_EAST));
+        e.process_update(&qry(1, 900.0, 900.0, 30.0, CN_WEST, 20.0));
+        let out = ctx(&e).run();
+        assert_eq!(out.prefilter_tests, 1);
+        assert_eq!(out.pairs_pruned, 1);
+        assert_eq!(out.comparisons, 0, "join-within skipped");
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn clusters_in_disjoint_cells_never_tested() {
+        let mut e = ClusterEngine::new(ScubaParams::default(), Rect::square(1000.0));
+        e.process_update(&obj(1, 100.0, 100.0, 30.0, CN_EAST));
+        e.process_update(&qry(1, 900.0, 900.0, 30.0, CN_WEST, 20.0));
+        let out = ctx(&e).run();
+        assert_eq!(out.prefilter_tests, 0);
+        assert_eq!(out.comparisons, 0);
+    }
+
+    #[test]
+    fn pair_spanning_multiple_cells_joined_once() {
+        // Big query range and a coarse-ish grid: both clusters overlap
+        // several cells; the seen-set must dedup.
+        let params = ScubaParams::default().with_grid_cells(4);
+        let mut e = ClusterEngine::new(params, Rect::square(1000.0));
+        for i in 0..5 {
+            e.process_update(&obj(i, 450.0 + i as f64 * 20.0, 500.0, 30.0, CN_EAST));
+        }
+        e.process_update(&qry(1, 510.0, 505.0, 30.0, CN_WEST, 400.0));
+        let out = ctx(&e).run();
+        // All 5 objects match exactly once.
+        assert_eq!(out.results.len(), 5);
+        assert_eq!(out.pairs_joined, 1);
+    }
+
+    #[test]
+    fn full_shedding_matches_by_region() {
+        let params = ScubaParams::default().with_shedding(SheddingMode::Full);
+        let mut e = ClusterEngine::new(params, Rect::square(1000.0));
+        e.process_update(&obj(1, 500.0, 500.0, 30.0, CN_EAST));
+        e.process_update(&qry(1, 505.0, 500.0, 30.0, CN_EAST, 20.0));
+        let out = ctx(&e).run();
+        // Under full shedding both positions are gone; the nucleus overlap
+        // reports the (true) match.
+        assert_eq!(out.results, vec![QueryMatch::new(QueryId(1), ObjectId(1))]);
+    }
+
+    #[test]
+    fn full_shedding_can_produce_false_positives() {
+        let params = ScubaParams::default()
+            .with_shedding(SheddingMode::Full)
+            .with_grid_cells(10);
+        let mut e = ClusterEngine::new(params, Rect::square(1000.0));
+        // Object and query in the same cluster but 90 units apart — an
+        // exact join would not match a 20-unit range.
+        e.process_update(&obj(1, 460.0, 500.0, 30.0, CN_EAST));
+        e.process_update(&qry(1, 550.0, 500.0, 30.0, CN_EAST, 20.0));
+        let out = ctx(&e).run();
+        assert_eq!(
+            out.results,
+            vec![QueryMatch::new(QueryId(1), ObjectId(1))],
+            "nucleus approximation over-reports"
+        );
+
+        // Ground truth without shedding finds nothing.
+        let mut exact = ClusterEngine::new(
+            ScubaParams::default().with_grid_cells(10),
+            Rect::square(1000.0),
+        );
+        exact.process_update(&obj(1, 460.0, 500.0, 30.0, CN_EAST));
+        exact.process_update(&qry(1, 550.0, 500.0, 30.0, CN_EAST, 20.0));
+        let truth = ctx(&exact).run();
+        assert!(truth.results.is_empty());
+    }
+
+    #[test]
+    fn partial_shedding_mixed_exact_and_approximate() {
+        let params = ScubaParams::default().with_shedding(SheddingMode::Partial { eta: 0.2 });
+        let mut e = ClusterEngine::new(params, Rect::square(1000.0));
+        e.process_update(&obj(1, 500.0, 500.0, 30.0, CN_EAST)); // founder, shed
+        e.process_update(&obj(2, 580.0, 500.0, 30.0, CN_EAST)); // r≈80 kept
+        e.process_update(&qry(1, 587.0, 500.0, 30.0, CN_EAST, 20.0)); // kept
+        let out = ctx(&e).run();
+        // Object 2 (exact, at 580) falls in the query region [577, 597].
+        // Object 1 is shed: its nucleus (radius η·Θ_D = 20 around the final
+        // centroid x ≈ 555.7) reaches only x ≈ 575.7 < 577, so the
+        // approximation correctly rejects it.
+        assert_eq!(out.results, vec![QueryMatch::new(QueryId(1), ObjectId(2))]);
+    }
+
+    #[test]
+    fn knn_specs_are_skipped_by_range_join() {
+        let mut e = ClusterEngine::new(ScubaParams::default(), Rect::square(1000.0));
+        e.process_update(&obj(1, 500.0, 500.0, 30.0, CN_EAST));
+        let knn_q = LocationUpdate::query(
+            QueryId(5),
+            Point::new(501.0, 500.0),
+            0,
+            30.0,
+            CN_EAST,
+            QueryAttrs {
+                spec: QuerySpec::Knn { k: 2 },
+            },
+        );
+        e.process_update(&knn_q);
+        let out = ctx(&e).run();
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn results_are_sorted_and_deduped() {
+        let mut e = ClusterEngine::new(
+            ScubaParams::default().with_grid_cells(4),
+            Rect::square(1000.0),
+        );
+        for i in 0..3 {
+            e.process_update(&obj(i, 500.0 + i as f64, 500.0, 30.0, CN_EAST));
+        }
+        for q in 0..2 {
+            e.process_update(&qry(q, 500.0 + q as f64, 501.0, 30.0, CN_EAST, 50.0));
+        }
+        let out = ctx(&e).run();
+        assert_eq!(out.results.len(), 6);
+        let mut sorted = out.results.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, out.results);
+    }
+}

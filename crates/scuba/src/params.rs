@@ -1,0 +1,175 @@
+//! SCUBA tuning parameters.
+
+use serde::{Deserialize, Serialize};
+
+use scuba_spatial::TimeDelta;
+
+use crate::shedding::SheddingMode;
+
+/// How the §3.2 step-1 grid probe interprets "clusters in the proximity of
+/// the current location". Ablation knob for DESIGN.md §3.5 #3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ProbeScope {
+    /// Probe every cell overlapping the Θ_D disk around the update (the
+    /// default): clustering behaviour is independent of grid granularity.
+    #[default]
+    ThetaDisk,
+    /// Probe only the update's own cell — the literal reading of the
+    /// pseudo-code. With cells smaller than Θ_D this fragments clusters.
+    OwnCell,
+}
+
+/// All knobs of the SCUBA operator, with the defaults of the paper's
+/// experimental section (§6.1): Θ_D = 100 spatial units, Θ_S = 10 spatial
+/// units / time unit, a 100×100 ClusterGrid and Δ = 2 time units, no load
+/// shedding.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ScubaParams {
+    /// Distance threshold Θ_D: an entity may only join a cluster whose
+    /// centroid is within this distance ("guarantees that the clustered
+    /// entities are close to each other at the time of clustering", §3.1).
+    pub theta_d: f64,
+    /// Speed threshold Θ_S: an entity may only join a cluster whose average
+    /// speed differs by at most this much ("assures that the entities will
+    /// stay close to each other for some time in the future", §3.1).
+    pub theta_s: f64,
+    /// Cells per side of the ClusterGrid (the paper's default grid is
+    /// 100×100).
+    pub grid_cells: u32,
+    /// Evaluation interval Δ in time units.
+    pub delta: TimeDelta,
+    /// Tolerance when comparing connection-node positions for the
+    /// direction check (`o.cnloc == m.cnloc`); positions are `f64` produced
+    /// by identical arithmetic, so a tight tolerance suffices.
+    pub cnloc_tolerance: f64,
+    /// Load-shedding policy (§5). `SheddingMode::None` by default.
+    pub shedding: SheddingMode,
+    /// Scope of the step-1 candidate probe (ablation knob; default
+    /// [`ProbeScope::ThetaDisk`]).
+    pub probe_scope: ProbeScope,
+    /// Whether join-within applies the member-vs-cluster reach filter
+    /// before the nested loop (ablation knob; default `true`; never
+    /// changes results, only work).
+    pub member_filter: bool,
+    /// Whether cluster radii are tightened to exact values before each
+    /// joining phase (ablation knob; default `true`; never changes
+    /// results — the conservative radii are sound, just less selective).
+    pub tighten_radii: bool,
+    /// Entities silent for more than this many time units are evicted
+    /// during post-join maintenance (`None` disables TTL eviction — the
+    /// paper's setting, where 100 % of entities report every time unit).
+    pub entity_ttl: Option<u64>,
+}
+
+impl Default for ScubaParams {
+    fn default() -> Self {
+        ScubaParams {
+            theta_d: 100.0,
+            theta_s: 10.0,
+            grid_cells: 100,
+            delta: 2,
+            cnloc_tolerance: 1e-6,
+            shedding: SheddingMode::None,
+            probe_scope: ProbeScope::ThetaDisk,
+            member_filter: true,
+            tighten_radii: true,
+            entity_ttl: None,
+        }
+    }
+}
+
+impl ScubaParams {
+    /// Returns the params with a different grid granularity.
+    pub fn with_grid_cells(self, grid_cells: u32) -> Self {
+        ScubaParams {
+            grid_cells: grid_cells.max(1),
+            ..self
+        }
+    }
+
+    /// Returns the params with a different shedding mode.
+    pub fn with_shedding(self, shedding: SheddingMode) -> Self {
+        ScubaParams { shedding, ..self }
+    }
+
+    /// Returns the params with different clustering thresholds.
+    pub fn with_thresholds(self, theta_d: f64, theta_s: f64) -> Self {
+        ScubaParams {
+            theta_d,
+            theta_s,
+            ..self
+        }
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.theta_d.is_finite() || self.theta_d <= 0.0 {
+            return Err(format!("theta_d must be positive, got {}", self.theta_d));
+        }
+        if self.theta_s.is_nan() || self.theta_s < 0.0 {
+            return Err(format!(
+                "theta_s must be non-negative, got {}",
+                self.theta_s
+            ));
+        }
+        if self.grid_cells == 0 {
+            return Err("grid_cells must be >= 1".into());
+        }
+        if self.delta == 0 {
+            return Err("delta must be >= 1".into());
+        }
+        if self.cnloc_tolerance.is_nan() || self.cnloc_tolerance < 0.0 {
+            return Err("cnloc_tolerance must be non-negative".into());
+        }
+        self.shedding.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = ScubaParams::default();
+        assert_eq!(p.theta_d, 100.0);
+        assert_eq!(p.theta_s, 10.0);
+        assert_eq!(p.grid_cells, 100);
+        assert_eq!(p.delta, 2);
+        assert_eq!(p.shedding, SheddingMode::None);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn builders() {
+        let p = ScubaParams::default()
+            .with_grid_cells(0)
+            .with_thresholds(50.0, 5.0);
+        assert_eq!(p.grid_cells, 1);
+        assert_eq!(p.theta_d, 50.0);
+        assert_eq!(p.theta_s, 5.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(ScubaParams::default()
+            .with_thresholds(0.0, 10.0)
+            .validate()
+            .is_err());
+        assert!(ScubaParams::default()
+            .with_thresholds(100.0, -1.0)
+            .validate()
+            .is_err());
+        let p = ScubaParams {
+            delta: 0,
+            ..ScubaParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = ScubaParams {
+            theta_d: f64::NAN,
+            ..ScubaParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+}

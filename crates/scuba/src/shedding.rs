@@ -1,0 +1,287 @@
+//! Moving-cluster-driven load shedding (paper §5).
+//!
+//! The nucleus is "a circular region that approximates the positions of the
+//! cluster members near the centroid of the cluster. The size of the
+//! nucleus is determined by its radius threshold Θ_N where
+//! 0 ≤ Θ_N ≤ Θ_D. The larger the value of Θ_N, the more data is load
+//! shed." A member whose position falls inside the nucleus has its relative
+//! position discarded; during join-within it is answered from the nucleus
+//! region instead of an exact point.
+
+use serde::{Deserialize, Serialize};
+
+/// How aggressively member positions are shed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum SheddingMode {
+    /// No load shedding: every member's relative position is kept
+    /// (Fig. 8a).
+    #[default]
+    None,
+    /// Partial shedding (Fig. 8c): members within the nucleus radius
+    /// Θ_N = η·Θ_D lose their positions; η ∈ \[0, 1\].
+    Partial {
+        /// Nucleus size as a fraction of Θ_D.
+        eta: f64,
+    },
+    /// Full shedding (Fig. 8b): no member positions are kept; the cluster
+    /// region is the sole representation of its members.
+    Full,
+}
+
+impl SheddingMode {
+    /// The nucleus radius for a given distance threshold Θ_D, or `None`
+    /// when no shedding is configured.
+    ///
+    /// `Full` maps to an unbounded nucleus (every member is inside).
+    pub fn nucleus_radius(&self, theta_d: f64) -> Option<f64> {
+        match self {
+            SheddingMode::None => None,
+            SheddingMode::Partial { eta } => Some(eta.clamp(0.0, 1.0) * theta_d),
+            SheddingMode::Full => Some(f64::INFINITY),
+        }
+    }
+
+    /// Whether a member at relative distance `r` from the centroid should
+    /// have its position shed.
+    pub fn sheds_at(&self, r: f64, theta_d: f64) -> bool {
+        match self.nucleus_radius(theta_d) {
+            None => false,
+            Some(n) => r <= n,
+        }
+    }
+
+    /// Whether any shedding happens at all.
+    pub fn is_active(&self) -> bool {
+        !matches!(
+            self,
+            SheddingMode::None | SheddingMode::Partial { eta: 0.0 }
+        )
+    }
+
+    /// Validates the mode's parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            SheddingMode::Partial { eta } if !(0.0..=1.0).contains(eta) => {
+                Err(format!("shedding eta must be in [0, 1], got {eta}"))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The mode for a given fraction of *maintained* relative positions —
+    /// the x-axis of Fig. 13 ("Relative Positions Maintained Percent").
+    /// 100 % maintained ⇒ no shedding; 0 % maintained ⇒ full shedding.
+    pub fn from_maintained_percent(percent: f64) -> SheddingMode {
+        let maintained = (percent / 100.0).clamp(0.0, 1.0);
+        let eta = 1.0 - maintained;
+        if eta <= 0.0 {
+            SheddingMode::None
+        } else if eta >= 1.0 {
+            SheddingMode::Full
+        } else {
+            SheddingMode::Partial { eta }
+        }
+    }
+}
+
+/// Escalating memory-budget controller (§5: "If the system is about to run
+/// out of memory, SCUBA begins load shedding of cluster member positions…
+/// If memory requirements are still high, then SCUBA load sheds positions
+/// of all cluster members").
+///
+/// The controller walks a ladder of increasingly aggressive modes: it
+/// escalates whenever the observed footprint exceeds the budget and
+/// de-escalates when the footprint falls below `RELAX_FRACTION` of the
+/// budget (hysteresis, so the mode does not oscillate around the budget).
+/// # Examples
+///
+/// ```
+/// use scuba::{AdaptiveShedder, SheddingMode};
+///
+/// let mut controller = AdaptiveShedder::new(1_000_000);
+/// assert_eq!(controller.current(), SheddingMode::None);
+///
+/// // Memory over budget: escalate one rung.
+/// assert_eq!(
+///     controller.observe(1_500_000),
+///     Some(SheddingMode::Partial { eta: 0.25 })
+/// );
+/// // Well under budget: relax again.
+/// assert_eq!(controller.observe(500_000), Some(SheddingMode::None));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveShedder {
+    budget_bytes: usize,
+    ladder: Vec<SheddingMode>,
+    level: usize,
+}
+
+/// De-escalate only when memory drops below this fraction of the budget.
+const RELAX_FRACTION: f64 = 0.7;
+
+impl AdaptiveShedder {
+    /// Creates a controller with the default ladder
+    /// `None → η=0.25 → η=0.5 → η=0.75 → Full`.
+    pub fn new(budget_bytes: usize) -> Self {
+        AdaptiveShedder {
+            budget_bytes,
+            ladder: vec![
+                SheddingMode::None,
+                SheddingMode::Partial { eta: 0.25 },
+                SheddingMode::Partial { eta: 0.5 },
+                SheddingMode::Partial { eta: 0.75 },
+                SheddingMode::Full,
+            ],
+            level: 0,
+        }
+    }
+
+    /// Creates a controller with a custom ladder (ordered least → most
+    /// aggressive; must be non-empty).
+    pub fn with_ladder(budget_bytes: usize, ladder: Vec<SheddingMode>) -> Self {
+        assert!(!ladder.is_empty(), "shedding ladder must be non-empty");
+        AdaptiveShedder {
+            budget_bytes,
+            ladder,
+            level: 0,
+        }
+    }
+
+    /// The memory budget in bytes.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// The currently selected mode.
+    pub fn current(&self) -> SheddingMode {
+        self.ladder[self.level]
+    }
+
+    /// Feeds one memory observation; returns the new mode if it changed.
+    pub fn observe(&mut self, memory_bytes: usize) -> Option<SheddingMode> {
+        let before = self.level;
+        if memory_bytes > self.budget_bytes {
+            if self.level + 1 < self.ladder.len() {
+                self.level += 1;
+            }
+        } else if (memory_bytes as f64) < self.budget_bytes as f64 * RELAX_FRACTION
+            && self.level > 0
+        {
+            self.level -= 1;
+        }
+        (self.level != before).then(|| self.current())
+    }
+
+    /// Whether the controller is at its most aggressive rung and memory is
+    /// still over budget — the point where shedding alone cannot help.
+    pub fn saturated(&self, memory_bytes: usize) -> bool {
+        self.level + 1 == self.ladder.len() && memory_bytes > self.budget_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_sheds() {
+        assert_eq!(SheddingMode::None.nucleus_radius(100.0), None);
+        assert!(!SheddingMode::None.sheds_at(0.0, 100.0));
+        assert!(!SheddingMode::None.is_active());
+    }
+
+    #[test]
+    fn partial_sheds_inside_nucleus() {
+        let m = SheddingMode::Partial { eta: 0.45 };
+        assert_eq!(m.nucleus_radius(100.0), Some(45.0));
+        assert!(m.sheds_at(45.0, 100.0));
+        assert!(m.sheds_at(0.0, 100.0));
+        assert!(!m.sheds_at(45.1, 100.0));
+        assert!(m.is_active());
+    }
+
+    #[test]
+    fn full_sheds_everything() {
+        assert!(SheddingMode::Full.sheds_at(1e12, 100.0));
+        assert!(SheddingMode::Full.is_active());
+    }
+
+    #[test]
+    fn partial_zero_is_inactive() {
+        assert!(!SheddingMode::Partial { eta: 0.0 }.is_active());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SheddingMode::Partial { eta: 1.5 }.validate().is_err());
+        assert!(SheddingMode::Partial { eta: -0.1 }.validate().is_err());
+        assert!(SheddingMode::Partial { eta: 0.5 }.validate().is_ok());
+        assert!(SheddingMode::None.validate().is_ok());
+        assert!(SheddingMode::Full.validate().is_ok());
+    }
+
+    #[test]
+    fn maintained_percent_mapping() {
+        assert_eq!(SheddingMode::from_maintained_percent(100.0), SheddingMode::None);
+        assert_eq!(SheddingMode::from_maintained_percent(0.0), SheddingMode::Full);
+        match SheddingMode::from_maintained_percent(75.0) {
+            SheddingMode::Partial { eta } => assert!((eta - 0.25).abs() < 1e-12),
+            other => panic!("expected partial, got {other:?}"),
+        }
+        // Out-of-range values clamp.
+        assert_eq!(SheddingMode::from_maintained_percent(150.0), SheddingMode::None);
+        assert_eq!(SheddingMode::from_maintained_percent(-5.0), SheddingMode::Full);
+    }
+
+    #[test]
+    fn adaptive_starts_at_none() {
+        let a = AdaptiveShedder::new(1000);
+        assert_eq!(a.current(), SheddingMode::None);
+        assert_eq!(a.budget_bytes(), 1000);
+    }
+
+    #[test]
+    fn adaptive_escalates_over_budget() {
+        let mut a = AdaptiveShedder::new(1000);
+        assert_eq!(a.observe(1500), Some(SheddingMode::Partial { eta: 0.25 }));
+        assert_eq!(a.observe(1500), Some(SheddingMode::Partial { eta: 0.5 }));
+        assert_eq!(a.observe(1500), Some(SheddingMode::Partial { eta: 0.75 }));
+        assert_eq!(a.observe(1500), Some(SheddingMode::Full));
+        // At the top of the ladder: no further change, saturated.
+        assert_eq!(a.observe(1500), None);
+        assert!(a.saturated(1500));
+        assert!(!a.saturated(900));
+    }
+
+    #[test]
+    fn adaptive_deescalates_with_hysteresis() {
+        let mut a = AdaptiveShedder::new(1000);
+        a.observe(1500);
+        a.observe(1500);
+        assert_eq!(a.current(), SheddingMode::Partial { eta: 0.5 });
+        // In the hysteresis band (700..=1000): stay put.
+        assert_eq!(a.observe(900), None);
+        assert_eq!(a.current(), SheddingMode::Partial { eta: 0.5 });
+        // Well under budget: relax one rung at a time.
+        assert_eq!(a.observe(500), Some(SheddingMode::Partial { eta: 0.25 }));
+        assert_eq!(a.observe(500), Some(SheddingMode::None));
+        assert_eq!(a.observe(500), None);
+    }
+
+    #[test]
+    fn adaptive_custom_ladder() {
+        let mut a = AdaptiveShedder::with_ladder(
+            100,
+            vec![SheddingMode::None, SheddingMode::Full],
+        );
+        assert_eq!(a.observe(200), Some(SheddingMode::Full));
+        assert_eq!(a.observe(200), None);
+        assert!(a.saturated(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn adaptive_empty_ladder_panics() {
+        let _ = AdaptiveShedder::with_ladder(100, vec![]);
+    }
+}

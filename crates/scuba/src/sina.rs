@@ -1,0 +1,349 @@
+//! An incrementally-maintained shared grid join — the SINA-style
+//! comparator (paper §7: "The shared execution paradigm as means to
+//! achieve scalability has been used in SINA \[24\] for continuous
+//! spatio-temporal range queries").
+//!
+//! Unlike [`crate::baseline::RegularGridOperator`], which re-hashes every
+//! entity into a fresh grid at each evaluation, this operator maintains the
+//! grid *incrementally*: each location update removes the entity's previous
+//! grid entries and inserts the new ones, paying the paper's
+//! "process and materialize every location update individually" cost on
+//! the ingest path. The join phase is then a plain cell-by-cell scan over
+//! the always-current grid.
+//!
+//! This is the per-tuple index-maintenance regime SCUBA's clustering was
+//! designed to avoid (one grid entry per *cluster*, relocated per cluster),
+//! so benches pair the two to expose exactly that difference.
+
+use scuba_motion::{EntityAttrs, EntityRef, LocationUpdate, ObjectId, QueryId, QuerySpec};
+use scuba_spatial::{CellIdx, FxHashMap, GridSpec, Point, Rect, Time};
+use scuba_stream::{ContinuousOperator, EvaluationReport, QueryMatch, Stopwatch};
+
+/// The incrementally-maintained grid operator.
+#[derive(Debug)]
+pub struct IncrementalGridOperator {
+    spec: GridSpec,
+    /// Object entries per cell.
+    object_cells: Vec<Vec<(ObjectId, Point)>>,
+    /// Query entries per cell (regions replicated into overlapped cells).
+    query_cells: Vec<Vec<(QueryId, Rect)>>,
+    /// Current grid registration per entity, for O(entries) removal.
+    registrations: FxHashMap<EntityRef, Vec<u32>>,
+    evaluations: u64,
+    /// Grid maintenance operations performed (insert + remove entries).
+    maintenance_ops: u64,
+}
+
+impl IncrementalGridOperator {
+    /// Creates the operator with a `grid_cells × grid_cells` grid over
+    /// `area`.
+    pub fn new(grid_cells: u32, area: Rect) -> Self {
+        let spec = GridSpec::new(area, grid_cells.max(1));
+        IncrementalGridOperator {
+            spec,
+            object_cells: vec![Vec::new(); spec.cell_count()],
+            query_cells: vec![Vec::new(); spec.cell_count()],
+            registrations: FxHashMap::default(),
+            evaluations: 0,
+            maintenance_ops: 0,
+        }
+    }
+
+    /// The grid partitioning in use.
+    pub fn grid_spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Number of evaluations performed.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Number of tracked entities.
+    pub fn entity_count(&self) -> usize {
+        self.registrations.len()
+    }
+
+    /// Total grid entry insertions + removals so far — the per-tuple
+    /// maintenance work measure.
+    pub fn maintenance_ops(&self) -> u64 {
+        self.maintenance_ops
+    }
+
+    /// Estimated bytes of in-memory state.
+    pub fn estimated_bytes(&self) -> usize {
+        let header = std::mem::size_of::<Vec<u8>>();
+        let object_entries: usize = self
+            .object_cells
+            .iter()
+            .map(|c| c.capacity() * std::mem::size_of::<(ObjectId, Point)>())
+            .sum();
+        let query_entries: usize = self
+            .query_cells
+            .iter()
+            .map(|c| c.capacity() * std::mem::size_of::<(QueryId, Rect)>())
+            .sum();
+        let regs: usize = self
+            .registrations
+            .values()
+            .map(|v| header + v.capacity() * 4 + 24)
+            .sum();
+        self.object_cells.len() * header * 2 + object_entries + query_entries + regs
+    }
+
+    fn remove_entity_entries(&mut self, entity: EntityRef) {
+        if let Some(cells) = self.registrations.remove(&entity) {
+            for linear in cells {
+                match entity {
+                    EntityRef::Object(oid) => {
+                        let cell = &mut self.object_cells[linear as usize];
+                        if let Some(pos) = cell.iter().position(|(o, _)| *o == oid) {
+                            cell.swap_remove(pos);
+                            self.maintenance_ops += 1;
+                        }
+                    }
+                    EntityRef::Query(qid) => {
+                        let cell = &mut self.query_cells[linear as usize];
+                        if let Some(pos) = cell.iter().position(|(q, _)| *q == qid) {
+                            cell.swap_remove(pos);
+                            self.maintenance_ops += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deregisters an entity entirely (query cancellation / object
+    /// retirement).
+    pub fn remove_entity(&mut self, entity: EntityRef) -> bool {
+        let known = self.registrations.contains_key(&entity);
+        self.remove_entity_entries(entity);
+        known
+    }
+}
+
+impl ContinuousOperator for IncrementalGridOperator {
+    fn process_update(&mut self, update: &LocationUpdate) {
+        // Per-tuple maintenance: drop the old entries, insert the new.
+        self.remove_entity_entries(update.entity);
+        let mut cells: Vec<u32> = Vec::with_capacity(1);
+        match (update.entity, &update.attrs) {
+            (EntityRef::Object(oid), EntityAttrs::Object(_)) => {
+                let idx = self.spec.cell_of(&update.loc);
+                let linear = self.spec.linear(idx) as u32;
+                self.object_cells[linear as usize].push((oid, update.loc));
+                self.maintenance_ops += 1;
+                cells.push(linear);
+            }
+            (EntityRef::Query(qid), EntityAttrs::Query(attrs)) => {
+                if let QuerySpec::Range { .. } = attrs.spec {
+                    let region = attrs
+                        .spec
+                        .region_at(update.loc)
+                        .expect("range spec has a region");
+                    let targets: Vec<u32> = self
+                        .spec
+                        .cells_overlapping_rect(&region)
+                        .map(|idx| self.spec.linear(idx) as u32)
+                        .collect();
+                    for &linear in &targets {
+                        self.query_cells[linear as usize].push((qid, region));
+                        self.maintenance_ops += 1;
+                    }
+                    cells = targets;
+                }
+            }
+            _ => {}
+        }
+        if !cells.is_empty() {
+            self.registrations.insert(update.entity, cells);
+        }
+    }
+
+    fn evaluate(&mut self, now: Time) -> EvaluationReport {
+        self.evaluations += 1;
+        // The grid is already current — no maintenance at evaluation time.
+        let sw = Stopwatch::start();
+        let mut results = Vec::new();
+        let mut comparisons = 0u64;
+        let n = self.spec.cells_per_side();
+        for row in 0..n {
+            for col in 0..n {
+                let linear = self.spec.linear(CellIdx::new(col, row));
+                let objects = &self.object_cells[linear];
+                if objects.is_empty() {
+                    continue;
+                }
+                let queries = &self.query_cells[linear];
+                for &(oid, opos) in objects {
+                    for &(qid, region) in queries {
+                        comparisons += 1;
+                        if region.contains(&opos) {
+                            results.push(QueryMatch::new(qid, oid));
+                        }
+                    }
+                }
+            }
+        }
+        results.sort_unstable();
+        let join_time = sw.elapsed();
+
+        EvaluationReport {
+            now,
+            results,
+            join_time,
+            maintenance_time: std::time::Duration::ZERO,
+            memory_bytes: self.estimated_bytes(),
+            comparisons,
+            prefilter_tests: 0,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "SINA-GRID"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.estimated_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::RegularGridOperator;
+    use scuba_motion::{ObjectAttrs, QueryAttrs};
+
+    const CN: Point = Point { x: 1000.0, y: 500.0 };
+
+    fn obj(id: u64, x: f64, y: f64) -> LocationUpdate {
+        LocationUpdate::object(
+            ObjectId(id),
+            Point::new(x, y),
+            0,
+            30.0,
+            CN,
+            ObjectAttrs::default(),
+        )
+    }
+
+    fn qry(id: u64, x: f64, y: f64, side: f64) -> LocationUpdate {
+        LocationUpdate::query(
+            QueryId(id),
+            Point::new(x, y),
+            0,
+            30.0,
+            CN,
+            QueryAttrs {
+                spec: QuerySpec::square_range(side),
+            },
+        )
+    }
+
+    fn operator() -> IncrementalGridOperator {
+        IncrementalGridOperator::new(10, Rect::square(1000.0))
+    }
+
+    #[test]
+    fn finds_matches() {
+        let mut op = operator();
+        op.process_update(&obj(1, 500.0, 500.0));
+        op.process_update(&qry(1, 505.0, 500.0, 20.0));
+        let report = op.evaluate(2);
+        assert_eq!(
+            report.results,
+            vec![QueryMatch::new(QueryId(1), ObjectId(1))]
+        );
+        assert_eq!(op.evaluations(), 1);
+        assert!(op.maintenance_ops() >= 2);
+    }
+
+    #[test]
+    fn matches_regular_on_random_workload() {
+        let mut sina = operator();
+        let mut regular = RegularGridOperator::new(10, Rect::square(1000.0));
+        for i in 0..150u64 {
+            let u = obj(i, (i * 37 % 1000) as f64, (i * 61 % 1000) as f64);
+            sina.process_update(&u);
+            regular.process_update(&u);
+            let q = qry(i, (i * 53 % 1000) as f64, (i * 71 % 1000) as f64, 60.0);
+            sina.process_update(&q);
+            regular.process_update(&q);
+        }
+        assert_eq!(sina.evaluate(2).results, regular.evaluate(2).results);
+    }
+
+    #[test]
+    fn moving_entity_changes_cells() {
+        let mut op = operator();
+        op.process_update(&obj(1, 50.0, 50.0));
+        op.process_update(&qry(1, 950.0, 950.0, 20.0));
+        assert!(op.evaluate(2).results.is_empty());
+        // The object crosses the map; its old entry must be gone.
+        op.process_update(&obj(1, 955.0, 950.0));
+        let report = op.evaluate(4);
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(op.entity_count(), 2, "one entry per entity");
+    }
+
+    #[test]
+    fn stationary_updates_do_not_leak_entries() {
+        let mut op = operator();
+        for _ in 0..100 {
+            op.process_update(&obj(1, 500.0, 500.0));
+        }
+        let linear = op.spec.linear(op.spec.cell_of(&Point::new(500.0, 500.0)));
+        assert_eq!(op.object_cells[linear].len(), 1);
+        assert_eq!(op.entity_count(), 1);
+    }
+
+    #[test]
+    fn spanning_query_registered_in_all_cells_and_removed() {
+        let mut op = operator();
+        op.process_update(&qry(1, 500.0, 500.0, 400.0));
+        let cells_before: usize = op.query_cells.iter().map(Vec::len).sum();
+        assert!(cells_before > 1, "wide query spans several cells");
+        // Re-report with a small range centred inside one cell: all old
+        // replicas must be removed and exactly one new entry created.
+        op.process_update(&qry(1, 150.0, 150.0, 10.0));
+        let cells_after: usize = op.query_cells.iter().map(Vec::len).sum();
+        assert_eq!(cells_after, 1, "old replicas removed");
+    }
+
+    #[test]
+    fn remove_entity_clears_state() {
+        let mut op = operator();
+        op.process_update(&obj(1, 500.0, 500.0));
+        op.process_update(&qry(1, 505.0, 500.0, 20.0));
+        assert!(op.remove_entity(EntityRef::Query(QueryId(1))));
+        assert!(!op.remove_entity(EntityRef::Query(QueryId(1))));
+        assert!(op.evaluate(2).results.is_empty());
+        assert_eq!(op.entity_count(), 1);
+    }
+
+    #[test]
+    fn no_maintenance_time_at_evaluation() {
+        let mut op = operator();
+        op.process_update(&obj(1, 500.0, 500.0));
+        let report = op.evaluate(2);
+        assert_eq!(report.maintenance_time, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn knn_queries_ignored() {
+        let mut op = operator();
+        op.process_update(&obj(1, 500.0, 500.0));
+        op.process_update(&LocationUpdate::query(
+            QueryId(9),
+            Point::new(500.0, 500.0),
+            0,
+            30.0,
+            CN,
+            QueryAttrs {
+                spec: QuerySpec::Knn { k: 1 },
+            },
+        ));
+        assert!(op.evaluate(2).results.is_empty());
+    }
+}

@@ -1,0 +1,381 @@
+//! The Velocity-Constrained Indexing baseline (paper §7 related work,
+//! \[29\]).
+//!
+//! "VCI utilizes the maximum possible speed of objects to delay the
+//! expensive updates to the index."
+//!
+//! The index here is an R-tree over *object* positions, stamped with the
+//! time it was built. It is **not** rebuilt as objects move; instead, when
+//! a query probes it at time `T`, the query's region is inflated by
+//! `v_max · (T − T_build)` — every object that could possibly have entered
+//! the region since the index was built falls inside the inflated probe.
+//! Candidates are then verified against their *latest reported* positions,
+//! so answers stay exact. When the inflation exceeds a configurable slack
+//! the index is finally rebuilt and the clock re-stamped.
+//!
+//! The trade-off this exposes in benches: rebuild cost is amortised over
+//! many intervals, but probe selectivity decays as the inflation grows —
+//! with fast objects the inflated probes degenerate toward full scans,
+//! which is why VCI targets workloads with modest speeds or lazy update
+//! requirements.
+
+use scuba_motion::{EntityAttrs, EntityRef, LocationUpdate, ObjectId, QuerySpec};
+use scuba_spatial::{FxHashMap, Point, RTree, Rect, Time};
+use scuba_stream::{ContinuousOperator, EvaluationReport, QueryMatch, Stopwatch};
+
+/// Configuration of the VCI operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VciConfig {
+    /// Maximum possible object speed, spatial units / time unit. Probes
+    /// inflate by this × index age; must be ≥ the fastest object or
+    /// results may be missed (the generator's ceiling is
+    /// `WorkloadConfig::speed_max` + jitter).
+    pub max_speed: f64,
+    /// Rebuild the index once the inflation radius exceeds this many
+    /// spatial units.
+    pub max_inflation: f64,
+}
+
+impl Default for VciConfig {
+    fn default() -> Self {
+        VciConfig {
+            // Generator default ceiling: speed_max 50 + jitter 2.
+            max_speed: 52.0,
+            max_inflation: 400.0,
+        }
+    }
+}
+
+/// The VCI continuous-query operator.
+#[derive(Debug)]
+pub struct VciOperator {
+    config: VciConfig,
+    /// Latest update per entity (the verification source).
+    latest: FxHashMap<EntityRef, LocationUpdate>,
+    /// R-tree over object positions as of `built_at`.
+    index: RTree<ObjectId>,
+    /// Logical time the index was built (`None` = never built).
+    built_at: Option<Time>,
+    /// Objects added since the last build (probed separately so a stale
+    /// index never hides a brand-new object).
+    unindexed: Vec<ObjectId>,
+    /// Position of each object at the last build, used to detect objects
+    /// that outran the declared `max_speed` (e.g. a mis-declared bound or
+    /// an entity teleporting after a GPS outage). Escapees are probed
+    /// separately, keeping answers exact even when the premise is broken.
+    indexed_pos: FxHashMap<ObjectId, Point>,
+    rebuilds: u64,
+    evaluations: u64,
+}
+
+impl VciOperator {
+    /// Creates the operator.
+    pub fn new(config: VciConfig) -> Self {
+        VciOperator {
+            config,
+            latest: FxHashMap::default(),
+            index: RTree::default(),
+            built_at: None,
+            unindexed: Vec::new(),
+            indexed_pos: FxHashMap::default(),
+            rebuilds: 0,
+            evaluations: 0,
+        }
+    }
+
+    /// Number of index rebuilds so far — the cost VCI exists to delay.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Number of evaluations performed.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Estimated bytes of in-memory state.
+    pub fn estimated_bytes(&self) -> usize {
+        let latest = self.latest.capacity()
+            * (std::mem::size_of::<EntityRef>() + std::mem::size_of::<LocationUpdate>() + 8);
+        latest + self.index.estimated_bytes() + self.unindexed.capacity() * 8
+    }
+
+    fn rebuild(&mut self, now: Time) {
+        let mut entries: Vec<(Rect, ObjectId)> = Vec::new();
+        self.indexed_pos.clear();
+        for u in self.latest.values() {
+            if let EntityRef::Object(oid) = u.entity {
+                entries.push((Rect::from_corners(u.loc, u.loc), oid));
+                self.indexed_pos.insert(oid, u.loc);
+            }
+        }
+        self.index = RTree::bulk_load(entries);
+        self.built_at = Some(now);
+        self.unindexed.clear();
+        self.rebuilds += 1;
+    }
+
+    fn inflation(&self, now: Time) -> f64 {
+        match self.built_at {
+            Some(t0) => self.config.max_speed * now.saturating_sub(t0) as f64,
+            None => f64::INFINITY,
+        }
+    }
+}
+
+impl ContinuousOperator for VciOperator {
+    fn process_update(&mut self, update: &LocationUpdate) {
+        // VCI's whole point: do NOT touch the index on updates. Track new
+        // objects so the stale index never hides them.
+        if let EntityRef::Object(oid) = update.entity {
+            if !self.latest.contains_key(&update.entity) {
+                self.unindexed.push(oid);
+            }
+        }
+        self.latest.insert(update.entity, *update);
+    }
+
+    fn evaluate(&mut self, now: Time) -> EvaluationReport {
+        self.evaluations += 1;
+
+        // Index maintenance: only when the inflation budget is exhausted.
+        let sw = Stopwatch::start();
+        if self.inflation(now) > self.config.max_inflation {
+            self.rebuild(now);
+        }
+        let maintenance_time = sw.elapsed();
+        let inflation = self.inflation(now);
+
+        // Extra candidates the stale index cannot vouch for: objects added
+        // since the build, plus any that outran the declared speed bound.
+        let mut extras: Vec<ObjectId> = self.unindexed.clone();
+        for u in self.latest.values() {
+            if let EntityRef::Object(oid) = u.entity {
+                if let Some(at_build) = self.indexed_pos.get(&oid) {
+                    if at_build.distance(&u.loc) > inflation {
+                        extras.push(oid);
+                    }
+                }
+            }
+        }
+
+        let sw = Stopwatch::start();
+        let mut comparisons = 0u64;
+        let mut results: Vec<QueryMatch> = Vec::new();
+        for u in self.latest.values() {
+            let (EntityRef::Query(qid), EntityAttrs::Query(attrs)) = (u.entity, &u.attrs)
+            else {
+                continue;
+            };
+            let QuerySpec::Range { .. } = attrs.spec else {
+                continue;
+            };
+            let region = attrs
+                .spec
+                .region_at(u.loc)
+                .expect("range spec has a region");
+            // Inflate the probe by how far any object could have travelled
+            // since the index snapshot.
+            let probe = region.inflate(inflation);
+            let mut candidates: Vec<ObjectId> = Vec::new();
+            self.index.for_each_intersecting(&probe, |_, oid| {
+                candidates.push(*oid);
+            });
+            candidates.extend_from_slice(&extras);
+            for oid in candidates {
+                // Verify against the latest reported position.
+                let Some(current) = self.latest.get(&EntityRef::Object(oid)) else {
+                    continue;
+                };
+                comparisons += 1;
+                if region.contains(&current.loc) {
+                    results.push(QueryMatch::new(qid, oid));
+                }
+            }
+        }
+        results.sort_unstable();
+        results.dedup(); // an extra candidate may also surface from the index
+        let join_time = sw.elapsed();
+
+        EvaluationReport {
+            now,
+            results,
+            join_time,
+            maintenance_time,
+            memory_bytes: self.estimated_bytes(),
+            comparisons,
+            prefilter_tests: 0,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "VCI"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.estimated_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::RegularGridOperator;
+    use scuba_motion::{ObjectAttrs, QueryAttrs, QueryId};
+
+    const CN: Point = Point { x: 1000.0, y: 500.0 };
+
+    fn obj(id: u64, x: f64, y: f64, t: Time) -> LocationUpdate {
+        LocationUpdate::object(
+            ObjectId(id),
+            Point::new(x, y),
+            t,
+            30.0,
+            CN,
+            ObjectAttrs::default(),
+        )
+    }
+
+    fn qry(id: u64, x: f64, y: f64, side: f64, t: Time) -> LocationUpdate {
+        LocationUpdate::query(
+            QueryId(id),
+            Point::new(x, y),
+            t,
+            30.0,
+            CN,
+            QueryAttrs {
+                spec: QuerySpec::square_range(side),
+            },
+        )
+    }
+
+    #[test]
+    fn finds_matches_and_rebuilds_lazily() {
+        let mut op = VciOperator::new(VciConfig::default());
+        op.process_update(&obj(1, 500.0, 500.0, 0));
+        op.process_update(&qry(1, 505.0, 500.0, 20.0, 0));
+        let r1 = op.evaluate(2);
+        assert_eq!(r1.results, vec![QueryMatch::new(QueryId(1), ObjectId(1))]);
+        assert_eq!(op.rebuilds(), 1, "first evaluation builds the index");
+
+        // Subsequent evaluations within the inflation budget reuse it.
+        op.process_update(&obj(1, 510.0, 500.0, 3));
+        let r2 = op.evaluate(4);
+        assert_eq!(r2.results.len(), 1);
+        assert_eq!(op.rebuilds(), 1, "no rebuild inside the budget");
+    }
+
+    #[test]
+    fn stale_index_still_gives_exact_answers() {
+        // Object moves far from its indexed position; the inflated probe
+        // must still find it, and verification uses the fresh position.
+        let mut op = VciOperator::new(VciConfig {
+            max_speed: 100.0,
+            max_inflation: 1e9, // never rebuild
+        });
+        op.process_update(&obj(1, 100.0, 100.0, 0));
+        op.process_update(&qry(1, 500.0, 500.0, 20.0, 0));
+        assert!(op.evaluate(2).results.is_empty());
+        // The object sprints to the query (400√2 ≈ 566 units in 4 ticks —
+        // covered by max_speed 100 × age).
+        op.process_update(&obj(1, 501.0, 500.0, 6));
+        let report = op.evaluate(6);
+        assert_eq!(
+            report.results,
+            vec![QueryMatch::new(QueryId(1), ObjectId(1))]
+        );
+        assert_eq!(op.rebuilds(), 1, "still the initial build");
+    }
+
+    #[test]
+    fn rebuild_triggers_when_budget_exhausted() {
+        let mut op = VciOperator::new(VciConfig {
+            max_speed: 50.0,
+            max_inflation: 99.0, // exhausted after 2 ticks (inflation 100)
+        });
+        op.process_update(&obj(1, 500.0, 500.0, 0));
+        op.process_update(&qry(1, 505.0, 500.0, 20.0, 0));
+        op.evaluate(2);
+        assert_eq!(op.rebuilds(), 1);
+        op.evaluate(4);
+        assert_eq!(op.rebuilds(), 2, "inflation 100 at age 2 exceeds budget");
+    }
+
+    #[test]
+    fn new_objects_visible_before_any_rebuild() {
+        let mut op = VciOperator::new(VciConfig {
+            max_speed: 50.0,
+            max_inflation: 1e9,
+        });
+        op.process_update(&obj(1, 100.0, 100.0, 0));
+        op.process_update(&qry(1, 505.0, 500.0, 20.0, 0));
+        op.evaluate(2);
+        // A brand-new object appears right inside the query range.
+        op.process_update(&obj(2, 505.0, 500.0, 3));
+        let report = op.evaluate(4);
+        assert_eq!(
+            report.results,
+            vec![QueryMatch::new(QueryId(1), ObjectId(2))]
+        );
+    }
+
+    #[test]
+    fn matches_regular_on_random_workload() {
+        let mut vci = VciOperator::new(VciConfig::default());
+        let mut regular = RegularGridOperator::new(20, Rect::square(1000.0));
+        for i in 0..150u64 {
+            let u = obj(i, (i * 37 % 1000) as f64, (i * 61 % 1000) as f64, 0);
+            vci.process_update(&u);
+            regular.process_update(&u);
+            let q = qry(i, (i * 53 % 1000) as f64, (i * 71 % 1000) as f64, 60.0, 0);
+            vci.process_update(&q);
+            regular.process_update(&q);
+        }
+        assert_eq!(vci.evaluate(2).results, regular.evaluate(2).results);
+
+        // Everything moves; answers must stay in lockstep across intervals.
+        for i in 0..150u64 {
+            let u = obj(i, (i * 41 % 1000) as f64, (i * 67 % 1000) as f64, 3);
+            vci.process_update(&u);
+            regular.process_update(&u);
+        }
+        assert_eq!(vci.evaluate(4).results, regular.evaluate(4).results);
+    }
+
+    #[test]
+    fn growing_inflation_degrades_selectivity() {
+        // The documented trade-off: older index ⇒ bigger probes ⇒ more
+        // candidate verifications for the same answer.
+        let build = |max_inflation: f64| {
+            let mut op = VciOperator::new(VciConfig {
+                max_speed: 50.0,
+                max_inflation,
+            });
+            for i in 0..100u64 {
+                op.process_update(&obj(i, (i * 97 % 1000) as f64, (i * 31 % 1000) as f64, 0));
+            }
+            op.process_update(&qry(0, 500.0, 500.0, 40.0, 0));
+            op.evaluate(2); // builds
+            op.evaluate(20) // probe with large age
+        };
+        let fresh = build(f64::INFINITY); // never rebuilt: inflation = 50 × 18
+        let rebuilt = build(10.0); // rebuilt each evaluation: inflation ≈ 0
+        assert!(
+            fresh.comparisons > rebuilt.comparisons,
+            "stale {} vs fresh {}",
+            fresh.comparisons,
+            rebuilt.comparisons
+        );
+        assert_eq!(fresh.results, rebuilt.results, "answers identical");
+    }
+
+    #[test]
+    fn memory_estimate_nonzero() {
+        let mut op = VciOperator::new(VciConfig::default());
+        op.process_update(&obj(1, 1.0, 1.0, 0));
+        op.evaluate(2);
+        assert!(op.estimated_bytes() > 0);
+        assert_eq!(op.evaluations(), 1);
+        assert_eq!(op.name(), "VCI");
+    }
+}

@@ -1,0 +1,410 @@
+//! Property-based tests for the SCUBA core.
+//!
+//! The central property is **result equivalence**: with no load shedding
+//! and every entity reporting, SCUBA's two-phase cluster join must produce
+//! exactly the same result set as the regular grid-based join over the same
+//! updates — the pre-filter may only prune pairs that cannot match.
+
+use proptest::prelude::*;
+
+use scuba::baseline::RegularGridOperator;
+use scuba::{
+    IncrementalGridOperator, QueryIndexOperator, ScubaOperator, ScubaParams, SheddingMode,
+    VciConfig, VciOperator,
+};
+use scuba_motion::{
+    LocationUpdate, ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec,
+};
+use scuba_spatial::{Point, Rect};
+use scuba_stream::ContinuousOperator;
+
+const AREA: f64 = 1000.0;
+
+/// A compact generator of update batches: positions on a bounded area,
+/// speeds in a small range, destinations drawn from a handful of "nodes"
+/// (so direction matches actually occur).
+fn arb_updates(max_entities: usize) -> impl Strategy<Value = Vec<LocationUpdate>> {
+    let nodes = [
+        Point::new(0.0, 500.0),
+        Point::new(1000.0, 500.0),
+        Point::new(500.0, 0.0),
+        Point::new(500.0, 1000.0),
+    ];
+    prop::collection::vec(
+        (
+            0u64..40,          // entity id
+            any::<bool>(),     // object or query
+            0.0..AREA,         // x
+            0.0..AREA,         // y
+            5.0..50.0f64,      // speed
+            0usize..4,         // destination node index
+            5.0..80.0f64,      // query range side
+        ),
+        1..max_entities,
+    )
+    .prop_map(move |rows| {
+        rows.into_iter()
+            .map(|(id, is_query, x, y, speed, node, side)| {
+                let loc = Point::new(x, y);
+                let cn = nodes[node];
+                if is_query {
+                    LocationUpdate::query(
+                        QueryId(id),
+                        loc,
+                        0,
+                        speed,
+                        cn,
+                        QueryAttrs {
+                            spec: QuerySpec::square_range(side),
+                        },
+                    )
+                } else {
+                    LocationUpdate::object(
+                        ObjectId(id),
+                        loc,
+                        0,
+                        speed,
+                        cn,
+                        ObjectAttrs::default(),
+                    )
+                }
+            })
+            .collect()
+    })
+}
+
+fn area() -> Rect {
+    Rect::square(AREA)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SCUBA without shedding ≡ REGULAR ≡ Q-INDEX ≡ SINA-GRID ≡ VCI on a
+    /// single evaluation: five structurally different strategies, one
+    /// answer.
+    #[test]
+    fn exact_operators_agree_single_interval(
+        updates in arb_updates(60),
+        grid_cells in 1u32..40,
+    ) {
+        let params = ScubaParams::default().with_grid_cells(grid_cells);
+        let mut scuba = ScubaOperator::new(params, area());
+        let mut regular = RegularGridOperator::new(grid_cells, area());
+        let mut qindex = QueryIndexOperator::new();
+        let mut sina = IncrementalGridOperator::new(grid_cells, area());
+        let mut vci = VciOperator::new(VciConfig::default());
+        for u in &updates {
+            scuba.process_update(u);
+            regular.process_update(u);
+            qindex.process_update(u);
+            sina.process_update(u);
+            vci.process_update(u);
+        }
+        let s = scuba.evaluate(2).results;
+        let r = regular.evaluate(2).results;
+        let q = qindex.evaluate(2).results;
+        let i = sina.evaluate(2).results;
+        let v = vci.evaluate(2).results;
+        prop_assert_eq!(&s, &r);
+        prop_assert_eq!(&s, &q);
+        prop_assert_eq!(&s, &i);
+        prop_assert_eq!(&s, &v);
+    }
+
+    /// Equivalence also holds across several intervals when every entity
+    /// re-reports each interval (so SCUBA's relocated clusters are always
+    /// refreshed with exact positions before the next join).
+    #[test]
+    fn scuba_equals_regular_across_intervals(
+        batches in prop::collection::vec(arb_updates(40), 1..4),
+    ) {
+        let params = ScubaParams::default();
+        let mut scuba = ScubaOperator::new(params, area());
+        let mut regular = RegularGridOperator::new(params.grid_cells, area());
+        // Track latest state per entity; re-report everything per interval.
+        let mut latest: std::collections::BTreeMap<_, LocationUpdate> =
+            std::collections::BTreeMap::new();
+        for (i, batch) in batches.iter().enumerate() {
+            for u in batch {
+                latest.insert(u.entity, *u);
+            }
+            for u in latest.values() {
+                scuba.process_update(u);
+                regular.process_update(u);
+            }
+            let now = (i as u64 + 1) * 2;
+            let s = scuba.evaluate(now).results;
+            let r = regular.evaluate(now).results;
+            prop_assert_eq!(s, r, "interval {}", i);
+        }
+    }
+
+    /// The cluster invariants hold after arbitrary update sequences.
+    #[test]
+    fn clustering_invariants_hold(updates in arb_updates(80)) {
+        let mut scuba = ScubaOperator::new(ScubaParams::default(), area());
+        for u in &updates {
+            scuba.process_update(u);
+        }
+        scuba.engine().check_invariants();
+        scuba.evaluate(2);
+        scuba.engine().check_invariants();
+    }
+
+    /// Every member's admission respected Θ_D at the time it joined: the
+    /// radius of any cluster is bounded by Θ_D plus accumulated centroid
+    /// drift, which itself is bounded by Θ_D per absorption — so radius can
+    /// never exceed member count × Θ_D (a sanity bound, not tight).
+    #[test]
+    fn radius_is_bounded(updates in arb_updates(60)) {
+        let mut scuba = ScubaOperator::new(ScubaParams::default(), area());
+        for u in &updates {
+            scuba.process_update(u);
+        }
+        for c in scuba.engine().clusters().values() {
+            let bound = (c.len() as f64) * scuba.engine().params().theta_d + 1e-6;
+            prop_assert!(c.radius() <= bound, "radius {} members {}", c.radius(), c.len());
+        }
+    }
+
+    /// Shed members are approximated by their cluster centroid, so when
+    /// every entity of a cluster sits at the same point (degenerate,
+    /// radius-0 clusters) the approximation is exact: full shedding must
+    /// produce exactly the unshed results.
+    #[test]
+    fn full_shedding_exact_on_point_clusters(
+        spots in prop::collection::hash_map(
+            0usize..16,
+            (0usize..4, 1usize..5, 1usize..4),
+            1..6,
+        ),
+    ) {
+        let nodes = [
+            Point::new(0.0, 500.0),
+            Point::new(1000.0, 500.0),
+            Point::new(500.0, 0.0),
+            Point::new(500.0, 1000.0),
+        ];
+        // Co-located groups: objects and queries stacked on single points.
+        // Spots sit on a 250-unit lattice (> Θ_D = 100), so groups at
+        // different spots can never share a cluster and every cluster is a
+        // true point cluster.
+        let mut updates = Vec::new();
+        let mut oid = 0u64;
+        let mut qid = 0u64;
+        for (&idx, &(node, n_obj, n_qry)) in &spots {
+            let loc = Point::new(
+                125.0 + (idx % 4) as f64 * 250.0,
+                125.0 + (idx / 4) as f64 * 250.0,
+            );
+            let cn = nodes[node];
+            for _ in 0..n_obj {
+                updates.push(LocationUpdate::object(
+                    ObjectId(oid), loc, 0, 20.0, cn, ObjectAttrs::default(),
+                ));
+                oid += 1;
+            }
+            for _ in 0..n_qry {
+                updates.push(LocationUpdate::query(
+                    QueryId(qid), loc, 0, 20.0, cn,
+                    QueryAttrs { spec: QuerySpec::square_range(40.0) },
+                ));
+                qid += 1;
+            }
+        }
+        let exact_params = ScubaParams::default();
+        let shed_params = exact_params.with_shedding(SheddingMode::Full);
+        let mut exact = ScubaOperator::new(exact_params, area());
+        let mut shed = ScubaOperator::new(shed_params, area());
+        for u in &updates {
+            exact.process_update(u);
+            shed.process_update(u);
+        }
+        let truth = exact.evaluate(2).results;
+        let measured = shed.evaluate(2).results;
+        prop_assert_eq!(truth, measured);
+    }
+
+    /// Partial shedding with η = 0 behaves exactly like no shedding.
+    #[test]
+    fn zero_eta_is_exact(updates in arb_updates(40)) {
+        let a = ScubaParams::default();
+        let b = a.with_shedding(SheddingMode::Partial { eta: 0.0 });
+        let mut exact = ScubaOperator::new(a, area());
+        let mut zero = ScubaOperator::new(b, area());
+        for u in &updates {
+            exact.process_update(u);
+            zero.process_update(u);
+        }
+        prop_assert_eq!(exact.evaluate(2).results, zero.evaluate(2).results);
+    }
+
+    /// Accuracy accounting: comparing any result set against itself is
+    /// perfect, and against the empty set penalises every tuple.
+    #[test]
+    fn accuracy_report_axioms(updates in arb_updates(40)) {
+        let mut scuba = ScubaOperator::new(ScubaParams::default(), area());
+        for u in &updates {
+            scuba.process_update(u);
+        }
+        let results = scuba.evaluate(2).results;
+        let self_cmp = scuba::AccuracyReport::compare(&results, &results);
+        prop_assert_eq!(self_cmp.accuracy(), 1.0);
+        let empty_cmp = scuba::AccuracyReport::compare(&results, &[]);
+        prop_assert_eq!(empty_cmp.false_negatives, results.len());
+        if results.is_empty() {
+            prop_assert_eq!(empty_cmp.accuracy(), 1.0);
+        } else {
+            prop_assert_eq!(empty_cmp.accuracy(), 0.0);
+        }
+    }
+
+    /// Ablation soundness: disabling the member-level reach filter and the
+    /// radius tightening changes work, never answers.
+    #[test]
+    fn ablation_knobs_do_not_change_results(updates in arb_updates(60)) {
+        let base = ScubaParams::default();
+        let mut plain = ScubaOperator::new(base, area());
+        let mut unfiltered = ScubaOperator::new(
+            ScubaParams { member_filter: false, ..base },
+            area(),
+        );
+        let mut untightened = ScubaOperator::new(
+            ScubaParams { tighten_radii: false, ..base },
+            area(),
+        );
+        for u in &updates {
+            plain.process_update(u);
+            unfiltered.process_update(u);
+            untightened.process_update(u);
+        }
+        let truth = plain.evaluate(2);
+        let unf = unfiltered.evaluate(2);
+        let unt = untightened.evaluate(2);
+        prop_assert_eq!(&truth.results, &unf.results);
+        prop_assert_eq!(&truth.results, &unt.results);
+        // The filter can only reduce exact comparisons.
+        prop_assert!(truth.comparisons <= unf.comparisons);
+    }
+
+    /// The own-cell probe (the literal §3.2 reading) also never changes
+    /// answers — clustering granularity affects work, not the exact join.
+    #[test]
+    fn own_cell_probe_same_results(updates in arb_updates(50)) {
+        use scuba::params::ProbeScope;
+        let base = ScubaParams::default();
+        let mut disk = ScubaOperator::new(base, area());
+        let mut cell = ScubaOperator::new(
+            ScubaParams { probe_scope: ProbeScope::OwnCell, ..base },
+            area(),
+        );
+        for u in &updates {
+            disk.process_update(u);
+            cell.process_update(u);
+        }
+        let a = disk.evaluate(2);
+        let b = cell.evaluate(2);
+        prop_assert_eq!(a.results, b.results);
+        // Fragmentation: the own-cell probe can only produce at least as
+        // many clusters (it sees a subset of the disk probe's candidates).
+        prop_assert!(
+            cell.engine().cluster_count() >= disk.engine().cluster_count()
+        );
+    }
+
+    /// The join-between pre-filter only ever prunes (never adds) work:
+    /// comparisons with the pre-filter are a subset of the all-pairs count.
+    #[test]
+    fn prefilter_reduces_comparisons(updates in arb_updates(60)) {
+        let mut scuba = ScubaOperator::new(ScubaParams::default(), area());
+        for u in &updates {
+            scuba.process_update(u);
+        }
+        let objects: usize = scuba
+            .engine()
+            .clusters()
+            .values()
+            .map(|c| c.object_count())
+            .sum();
+        let queries: usize = scuba
+            .engine()
+            .clusters()
+            .values()
+            .map(|c| c.query_count())
+            .sum();
+        let report = scuba.evaluate(2);
+        prop_assert!(report.comparisons <= (objects * queries) as u64);
+    }
+
+
+    /// Engine snapshots round-trip through JSON on arbitrary engine states
+    /// and restore to an engine with identical join results.
+    #[test]
+    fn snapshot_roundtrip_preserves_results(updates in arb_updates(60)) {
+        use scuba::EngineSnapshot;
+        let mut op = ScubaOperator::new(ScubaParams::default(), area());
+        for u in &updates {
+            op.process_update(u);
+        }
+        let snapshot = EngineSnapshot::capture(op.engine());
+        let parsed = EngineSnapshot::from_json(&snapshot.to_json()).unwrap();
+        prop_assert_eq!(&parsed, &snapshot);
+        let restored = parsed.restore().unwrap();
+        restored.check_invariants();
+
+        let mut restored_op = ScubaOperator::from_engine(restored);
+        let a = op.evaluate(2).results;
+        let b = restored_op.evaluate(2).results;
+        prop_assert_eq!(a, b);
+    }
+
+    /// DeltaTracker: replaying the emitted deltas from the initial state
+    /// always reconstructs the latest snapshot (observe/replay inverse).
+    #[test]
+    fn delta_replay_inverts_observe(
+        batches in prop::collection::vec(arb_updates(30), 1..5),
+    ) {
+        use scuba::DeltaTracker;
+        let mut op = ScubaOperator::new(ScubaParams::default(), area());
+        let mut tracker = DeltaTracker::new();
+        let mut deltas = Vec::new();
+        let mut last = Vec::new();
+        for (i, batch) in batches.iter().enumerate() {
+            for u in batch {
+                op.process_update(u);
+            }
+            let results = op.evaluate((i as u64 + 1) * 2).results;
+            deltas.push(tracker.observe_sorted((i as u64 + 1) * 2, results.clone()));
+            last = results;
+        }
+        prop_assert_eq!(DeltaTracker::replay(&[], &deltas), last);
+    }
+
+
+    /// Exactness is clustering-independent: joining over *offline K-means*
+    /// clusters gives the same answers as the incremental engine and the
+    /// grid baseline — the two-phase join is correct for any clustering.
+    #[test]
+    fn kmeans_join_is_exact(updates in arb_updates(50), k in 1usize..12, iters in 1u32..4) {
+        use scuba::kmeans::{kmeans_cluster, KMeansConfig};
+        let params = ScubaParams::default();
+
+        let outcome = kmeans_cluster(
+            &updates,
+            KMeansConfig { iterations: iters, k: Some(k) },
+            &params,
+            area(),
+        );
+        let via_kmeans = outcome.join(&params).results;
+
+        let mut regular = RegularGridOperator::new(params.grid_cells, area());
+        // K-means dedups to the latest update per entity; feed the baseline
+        // the same way (later updates overwrite earlier ones anyway).
+        for u in &updates {
+            regular.process_update(u);
+        }
+        let truth = regular.evaluate(2).results;
+        prop_assert_eq!(via_kmeans, truth);
+    }
+}

@@ -1,0 +1,151 @@
+//! A local FxHash-style hasher.
+//!
+//! SCUBA's hot path is dominated by integer-keyed hash-table traffic:
+//! `ClusterHome` maps entity ids to cluster ids on every location update,
+//! and the object/query tables are probed during every join-within. The
+//! standard library's SipHash is collision-resistant but slow for small
+//! integer keys; the Firefox/rustc "Fx" multiply-rotate hash is the usual
+//! replacement. We implement it locally (~40 lines) rather than pulling the
+//! `rustc-hash` crate, keeping the dependency set to the approved list.
+//!
+//! This is **not** a DoS-resistant hash; keys here are internally generated
+//! ids, never attacker-controlled input.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Fx hash (64-bit golden-ratio multiplier).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx hasher state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_one<T: Hash>(value: &T) -> u64 {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(&42u64), hash_one(&42u64));
+        assert_eq!(hash_one(&"cluster"), hash_one(&"cluster"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_one(&1u64), hash_one(&2u64));
+        assert_ne!(hash_one(&(1u64, 2u64)), hash_one(&(2u64, 1u64)));
+    }
+
+    #[test]
+    fn byte_tail_is_hashed() {
+        // write() must not drop the non-multiple-of-8 remainder.
+        assert_ne!(hash_one(&[1u8, 2, 3]), hash_one(&[1u8, 2, 4]));
+        assert_ne!(
+            hash_one(&[1u8, 2, 3, 4, 5, 6, 7, 8, 9]),
+            hash_one(&[1u8, 2, 3, 4, 5, 6, 7, 8, 10])
+        );
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(11, "eleven");
+        assert_eq!(m[&7], "seven");
+        assert_eq!(m.len(), 2);
+
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        for i in 0..1000 {
+            s.insert(i);
+        }
+        assert_eq!(s.len(), 1000);
+        assert!(s.contains(&999));
+    }
+
+    #[test]
+    fn spread_over_buckets() {
+        // Sanity check that sequential keys do not all collide mod a small
+        // power of two (the failure mode of identity hashing).
+        let mut buckets = [0usize; 16];
+        for i in 0..1600u64 {
+            buckets[(hash_one(&i) as usize) % 16] += 1;
+        }
+        for &b in &buckets {
+            assert!(b > 0, "a bucket is empty: {buckets:?}");
+        }
+    }
+}

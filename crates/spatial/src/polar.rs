@@ -1,0 +1,200 @@
+//! Polar coordinates relative to a movable pole.
+//!
+//! SCUBA stores the individual positions of cluster members *relative* to
+//! the cluster centroid, "using polar coordinates (with the pole at the
+//! centroid of the cluster). For any location update point P its polar
+//! coordinates are (r, θ), where r is the radial distance from the centroid,
+//! and θ is the counterclockwise angle from the x-axis" (paper §3.1).
+//!
+//! Because the pole (the centroid) drifts as the cluster moves, members'
+//! absolute positions are only materialised lazily — the cluster keeps a
+//! *transformation vector* and applies it when a join-within needs real
+//! coordinates. The [`Polar`] type is deliberately pole-agnostic: it must be
+//! paired with a pole [`Point`] to become absolute.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::{Point, Vector};
+use crate::units::approx_eq;
+
+/// A position expressed as distance + angle from an implicit pole.
+///
+/// # Examples
+///
+/// The SCUBA use-case: capture a member's offset from the cluster
+/// centroid, then reconstruct its absolute position after the centroid
+/// moved — the offset rides along.
+///
+/// ```
+/// use scuba_spatial::{Point, Polar};
+///
+/// let centroid = Point::new(100.0, 100.0);
+/// let member = Point::new(103.0, 104.0);
+/// let rel = Polar::from_cartesian(&centroid, &member);
+///
+/// let moved_centroid = Point::new(150.0, 100.0);
+/// let reconstructed = rel.to_cartesian(&moved_centroid);
+/// assert!(reconstructed.approx_eq(&Point::new(153.0, 104.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Polar {
+    /// Radial distance from the pole, in spatial units. Always ≥ 0.
+    pub r: f64,
+    /// Counter-clockwise angle from the positive x-axis, in radians,
+    /// normalised to `(-π, π]`.
+    pub theta: f64,
+}
+
+impl Polar {
+    /// A point exactly at the pole.
+    pub const AT_POLE: Polar = Polar { r: 0.0, theta: 0.0 };
+
+    /// Creates polar coordinates from a radius and an angle. Negative radii
+    /// are folded into the angle so `r` is always non-negative.
+    #[inline]
+    pub fn new(r: f64, theta: f64) -> Self {
+        if r < 0.0 {
+            Polar {
+                r: -r,
+                theta: normalize_angle(theta + std::f64::consts::PI),
+            }
+        } else {
+            Polar {
+                r,
+                theta: normalize_angle(theta),
+            }
+        }
+    }
+
+    /// Polar coordinates of `point` relative to `pole`.
+    #[inline]
+    pub fn from_cartesian(pole: &Point, point: &Point) -> Self {
+        let v: Vector = *point - *pole;
+        Polar {
+            r: v.norm(),
+            theta: v.angle(),
+        }
+    }
+
+    /// Absolute cartesian position when the pole sits at `pole`.
+    #[inline]
+    pub fn to_cartesian(&self, pole: &Point) -> Point {
+        Point {
+            x: pole.x + self.r * self.theta.cos(),
+            y: pole.y + self.r * self.theta.sin(),
+        }
+    }
+
+    /// The displacement from the pole this coordinate encodes.
+    #[inline]
+    pub fn offset(&self) -> Vector {
+        Vector {
+            dx: self.r * self.theta.cos(),
+            dy: self.r * self.theta.sin(),
+        }
+    }
+
+    /// Returns `true` when radius and angle match within tolerance.
+    /// Points at the pole compare equal regardless of angle.
+    #[inline]
+    pub fn approx_eq(&self, other: &Polar) -> bool {
+        if approx_eq(self.r, 0.0) && approx_eq(other.r, 0.0) {
+            return true;
+        }
+        approx_eq(self.r, other.r) && approx_eq(angle_diff(self.theta, other.theta), 0.0)
+    }
+}
+
+/// Normalises an angle to `(-π, π]`.
+#[inline]
+pub fn normalize_angle(theta: f64) -> f64 {
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mut t = theta % two_pi;
+    if t <= -std::f64::consts::PI {
+        t += two_pi;
+    } else if t > std::f64::consts::PI {
+        t -= two_pi;
+    }
+    t
+}
+
+/// Smallest signed difference between two angles, in `(-π, π]`.
+#[inline]
+pub fn angle_diff(a: f64, b: f64) -> f64 {
+    normalize_angle(a - b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn from_cartesian_axes() {
+        let pole = Point::new(10.0, 10.0);
+        let east = Polar::from_cartesian(&pole, &Point::new(15.0, 10.0));
+        assert!((east.r - 5.0).abs() < 1e-12);
+        assert!(east.theta.abs() < 1e-12);
+
+        let north = Polar::from_cartesian(&pole, &Point::new(10.0, 13.0));
+        assert!((north.r - 3.0).abs() < 1e-12);
+        assert!((north.theta - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_through_pole() {
+        let pole = Point::new(-3.0, 7.0);
+        let p = Point::new(4.5, -2.25);
+        let polar = Polar::from_cartesian(&pole, &p);
+        assert!(polar.to_cartesian(&pole).approx_eq(&p));
+    }
+
+    #[test]
+    fn pole_shift_reuses_relative_coords() {
+        // The SCUBA use-case: the centroid moves but relative coordinates
+        // stay fixed; reconstructing from the new pole translates members.
+        let pole = Point::new(0.0, 0.0);
+        let p = Point::new(3.0, 4.0);
+        let polar = Polar::from_cartesian(&pole, &p);
+        let moved_pole = Point::new(100.0, 50.0);
+        let reconstructed = polar.to_cartesian(&moved_pole);
+        assert!(reconstructed.approx_eq(&Point::new(103.0, 54.0)));
+    }
+
+    #[test]
+    fn negative_radius_folds() {
+        let p = Polar::new(-2.0, 0.0);
+        assert!((p.r - 2.0).abs() < 1e-12);
+        assert!((p.theta.abs() - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_angle_range() {
+        for k in -5..=5 {
+            let t = normalize_angle(0.3 + (k as f64) * 2.0 * PI);
+            assert!((t - 0.3).abs() < 1e-9);
+        }
+        assert!((normalize_angle(PI) - PI).abs() < 1e-12);
+        assert!((normalize_angle(-PI) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_diff_wraps() {
+        let d = angle_diff(PI - 0.1, -PI + 0.1);
+        assert!((d + 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn at_pole_equality_ignores_angle() {
+        let a = Polar::new(0.0, 1.0);
+        let b = Polar::new(0.0, -2.0);
+        assert!(a.approx_eq(&b));
+    }
+
+    #[test]
+    fn offset_matches_to_cartesian() {
+        let polar = Polar::new(5.0, 1.1);
+        let pole = Point::new(2.0, 3.0);
+        assert!((pole + polar.offset()).approx_eq(&polar.to_cartesian(&pole)));
+    }
+}

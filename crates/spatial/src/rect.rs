@@ -1,0 +1,274 @@
+//! Axis-aligned rectangles.
+//!
+//! Rectangles model (a) the coverage area of the whole data space (the city
+//! extent the grid index divides into N×N cells) and (b) the region of a
+//! continuous *range query*: the paper's queries carry a `size of the range
+//! query` attribute (§2), i.e. a rectangle centred on the query's moving
+//! position.
+
+use serde::{Deserialize, Serialize};
+
+use crate::circle::Circle;
+use crate::point::Point;
+
+/// An axis-aligned rectangle given by its min/max corners.
+///
+/// Invariant: `min.x <= max.x && min.y <= max.y` (enforced by constructors).
+///
+/// # Examples
+///
+/// A range query region centred on a moving query's position:
+///
+/// ```
+/// use scuba_spatial::{Point, Rect};
+///
+/// let region = Rect::centered(Point::new(500.0, 500.0), 50.0, 50.0);
+/// assert!(region.contains(&Point::new(480.0, 520.0)));
+/// assert!(!region.contains(&Point::new(400.0, 500.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners (in any order).
+    #[inline]
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Rect {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates a rectangle centred on `center` with the given full width and
+    /// height. Negative extents are clamped to zero.
+    #[inline]
+    pub fn centered(center: Point, width: f64, height: f64) -> Self {
+        let hw = (width.max(0.0)) / 2.0;
+        let hh = (height.max(0.0)) / 2.0;
+        Rect {
+            min: Point::new(center.x - hw, center.y - hh),
+            max: Point::new(center.x + hw, center.y + hh),
+        }
+    }
+
+    /// The rectangle `[0, side] × [0, side]`.
+    #[inline]
+    pub fn square(side: f64) -> Self {
+        Rect::from_corners(Point::ORIGIN, Point::new(side.max(0.0), side.max(0.0)))
+    }
+
+    /// Width along x.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along y.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric center.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(&self.max)
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether `other` lies fully inside `self` (boundaries may touch).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.min.x <= other.min.x
+            && self.min.y <= other.min.y
+            && self.max.x >= other.max.x
+            && self.max.y >= other.max.y
+    }
+
+    /// Whether the two rectangles share any point (closed-set semantics:
+    /// touching boundaries intersect).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// Whether the rectangle and a circle share any point.
+    ///
+    /// Used when a circular moving cluster must be registered in every grid
+    /// cell it overlaps ("for each grid cell, ClusterGrid maintains a list
+    /// of cluster ids of moving clusters that overlap with that cell",
+    /// paper §4.1).
+    #[inline]
+    pub fn intersects_circle(&self, c: &Circle) -> bool {
+        // Distance from the circle center to the rectangle (clamped point).
+        let nx = c.center.x.clamp(self.min.x, self.max.x);
+        let ny = c.center.y.clamp(self.min.y, self.max.y);
+        let dx = c.center.x - nx;
+        let dy = c.center.y - ny;
+        dx * dx + dy * dy <= c.radius * c.radius
+    }
+
+    /// The point of `self` closest to `p`.
+    #[inline]
+    pub fn clamp_point(&self, p: &Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// The smallest rectangle containing both inputs.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// The overlap of both rectangles, or `None` when disjoint.
+    #[inline]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            min: Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            max: Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        })
+    }
+
+    /// Grows the rectangle by `margin` on every side (shrinks for negative
+    /// margins; collapses to a degenerate rectangle at the center rather
+    /// than inverting).
+    #[inline]
+    pub fn inflate(&self, margin: f64) -> Rect {
+        let c = self.center();
+        let hw = (self.width() / 2.0 + margin).max(0.0);
+        let hh = (self.height() / 2.0 + margin).max(0.0);
+        Rect::centered(c, hw * 2.0, hh * 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_corners_normalises() {
+        let r = Rect::from_corners(Point::new(5.0, -1.0), Point::new(-2.0, 4.0));
+        assert_eq!(r.min, Point::new(-2.0, -1.0));
+        assert_eq!(r.max, Point::new(5.0, 4.0));
+    }
+
+    #[test]
+    fn centered_dimensions() {
+        let r = Rect::centered(Point::new(10.0, 10.0), 4.0, 6.0);
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 6.0);
+        assert!(r.center().approx_eq(&Point::new(10.0, 10.0)));
+    }
+
+    #[test]
+    fn contains_boundary_inclusive() {
+        let r = Rect::square(10.0);
+        assert!(r.contains(&Point::new(0.0, 0.0)));
+        assert!(r.contains(&Point::new(10.0, 10.0)));
+        assert!(r.contains(&Point::new(5.0, 5.0)));
+        assert!(!r.contains(&Point::new(10.000001, 5.0)));
+    }
+
+    #[test]
+    fn intersects_touching_edges() {
+        let a = Rect::from_corners(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let b = Rect::from_corners(Point::new(1.0, 0.0), Point::new(2.0, 1.0));
+        assert!(a.intersects(&b));
+        let c = Rect::from_corners(Point::new(1.1, 0.0), Point::new(2.0, 1.0));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn intersects_symmetric() {
+        let a = Rect::from_corners(Point::new(0.0, 0.0), Point::new(3.0, 3.0));
+        let b = Rect::from_corners(Point::new(2.0, 2.0), Point::new(5.0, 5.0));
+        assert_eq!(a.intersects(&b), b.intersects(&a));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn circle_rect_intersection_cases() {
+        let r = Rect::square(10.0);
+        // Circle well inside.
+        assert!(r.intersects_circle(&Circle::new(Point::new(5.0, 5.0), 1.0)));
+        // Circle overlapping an edge from outside.
+        assert!(r.intersects_circle(&Circle::new(Point::new(11.0, 5.0), 1.5)));
+        // Circle touching a corner exactly.
+        assert!(r.intersects_circle(&Circle::new(Point::new(11.0, 11.0), 2.0_f64.sqrt())));
+        // Circle fully outside.
+        assert!(!r.intersects_circle(&Circle::new(Point::new(20.0, 20.0), 1.0)));
+        // Zero-radius circle at the boundary.
+        assert!(r.intersects_circle(&Circle::new(Point::new(10.0, 10.0), 0.0)));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::square(1.0);
+        let b = Rect::from_corners(Point::new(5.0, 5.0), Point::new(6.0, 7.0));
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn intersection_matches_predicate() {
+        let a = Rect::from_corners(Point::new(0.0, 0.0), Point::new(4.0, 4.0));
+        let b = Rect::from_corners(Point::new(2.0, 1.0), Point::new(6.0, 3.0));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Rect::from_corners(Point::new(2.0, 1.0), Point::new(4.0, 3.0)));
+        let c = Rect::from_corners(Point::new(9.0, 9.0), Point::new(10.0, 10.0));
+        assert!(a.intersection(&c).is_none());
+    }
+
+    #[test]
+    fn inflate_and_deflate() {
+        let r = Rect::square(10.0);
+        let grown = r.inflate(2.0);
+        assert_eq!(grown.width(), 14.0);
+        let shrunk = r.inflate(-6.0);
+        assert_eq!(shrunk.width(), 0.0);
+        assert!(shrunk.center().approx_eq(&r.center()));
+    }
+
+    #[test]
+    fn clamp_point_projects() {
+        let r = Rect::square(10.0);
+        assert!(r.clamp_point(&Point::new(-5.0, 5.0)).approx_eq(&Point::new(0.0, 5.0)));
+        assert!(r.clamp_point(&Point::new(3.0, 4.0)).approx_eq(&Point::new(3.0, 4.0)));
+    }
+
+    #[test]
+    fn area_and_degenerate() {
+        assert_eq!(Rect::square(3.0).area(), 9.0);
+        assert_eq!(Rect::centered(Point::ORIGIN, 0.0, 5.0).area(), 0.0);
+        assert_eq!(Rect::centered(Point::ORIGIN, -3.0, 5.0).width(), 0.0);
+    }
+}

@@ -1,0 +1,398 @@
+//! A static, bulk-loaded R-tree over rectangles.
+//!
+//! Backs the *Query-Indexing* baseline of the related work (paper §7:
+//! "Query Indexing … indexes queries using an R-tree-like structure"):
+//! query regions are bulk-loaded once per evaluation interval and objects
+//! probe the tree point-by-point.
+//!
+//! The tree is built with Sort-Tile-Recursive (STR) packing: entries are
+//! sorted by x, sliced into vertical strips, each strip sorted by y and cut
+//! into nodes of up to [`MAX_FILL`] entries; the process repeats on the
+//! node rectangles until a single root remains. STR gives near-optimal
+//! space utilisation for a static tree and needs no insertion/split logic —
+//! exactly right for an index rebuilt wholesale every Δ.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// Maximum entries per node.
+pub const MAX_FILL: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Leaf {
+        bbox: Rect,
+        entries: Vec<(Rect, T)>,
+    },
+    Inner {
+        bbox: Rect,
+        children: Vec<Node<T>>,
+    },
+}
+
+impl<T> Node<T> {
+    fn bbox(&self) -> &Rect {
+        match self {
+            Node::Leaf { bbox, .. } | Node::Inner { bbox, .. } => bbox,
+        }
+    }
+}
+
+/// A static R-tree mapping rectangles to values.
+///
+/// # Examples
+///
+/// ```
+/// use scuba_spatial::{Point, RTree, Rect};
+///
+/// let tree = RTree::bulk_load(vec![
+///     (Rect::centered(Point::new(10.0, 10.0), 4.0, 4.0), "a"),
+///     (Rect::centered(Point::new(50.0, 50.0), 4.0, 4.0), "b"),
+/// ]);
+/// assert_eq!(tree.containing(&Point::new(10.0, 11.0)), vec!["a"]);
+/// assert!(tree.containing(&Point::new(30.0, 30.0)).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    root: Option<Node<T>>,
+    len: usize,
+    height: usize,
+}
+
+impl<T> Default for RTree<T> {
+    /// An empty tree (no `T: Default` bound required).
+    fn default() -> Self {
+        RTree {
+            root: None,
+            len: 0,
+            height: 0,
+        }
+    }
+}
+
+impl<T: Clone> RTree<T> {
+    /// Bulk-loads a tree from `(rect, value)` entries (STR packing).
+    pub fn bulk_load(mut entries: Vec<(Rect, T)>) -> Self {
+        let len = entries.len();
+        if entries.is_empty() {
+            return RTree {
+                root: None,
+                len: 0,
+                height: 0,
+            };
+        }
+
+        // Leaf level: sort by x-center, tile into √(n/M) vertical slices,
+        // sort each slice by y-center, chunk into leaves.
+        sort_by_center_x(&mut entries);
+        let leaf_count = len.div_ceil(MAX_FILL);
+        let slices = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_slice = len.div_ceil(slices.max(1));
+
+        let mut nodes: Vec<Node<T>> = Vec::with_capacity(leaf_count);
+        for slice in entries.chunks_mut(per_slice.max(1)) {
+            slice.sort_by(|a, b| {
+                center_y(&a.0)
+                    .partial_cmp(&center_y(&b.0))
+                    .expect("finite rects")
+            });
+            for chunk in slice.chunks(MAX_FILL) {
+                let bbox = chunk
+                    .iter()
+                    .map(|(r, _)| *r)
+                    .reduce(|a, b| a.union(&b))
+                    .expect("chunk non-empty");
+                nodes.push(Node::Leaf {
+                    bbox,
+                    entries: chunk.to_vec(),
+                });
+            }
+        }
+
+        // Pack upper levels the same way until one root remains.
+        let mut height = 1;
+        while nodes.len() > 1 {
+            nodes.sort_by(|a, b| {
+                center_x(a.bbox())
+                    .partial_cmp(&center_x(b.bbox()))
+                    .expect("finite rects")
+            });
+            let parent_count = nodes.len().div_ceil(MAX_FILL);
+            let slices = (parent_count as f64).sqrt().ceil() as usize;
+            let per_slice = nodes.len().div_ceil(slices.max(1));
+            let mut parents: Vec<Node<T>> = Vec::with_capacity(parent_count);
+            let mut rest = nodes;
+            while !rest.is_empty() {
+                let take = per_slice.max(1).min(rest.len());
+                let mut slice: Vec<Node<T>> = rest.drain(..take).collect();
+                slice.sort_by(|a, b| {
+                    center_y(a.bbox())
+                        .partial_cmp(&center_y(b.bbox()))
+                        .expect("finite rects")
+                });
+                let mut slice_rest = slice;
+                while !slice_rest.is_empty() {
+                    let take = MAX_FILL.min(slice_rest.len());
+                    let children: Vec<Node<T>> = slice_rest.drain(..take).collect();
+                    let bbox = children
+                        .iter()
+                        .map(|c| *c.bbox())
+                        .reduce(|a, b| a.union(&b))
+                        .expect("children non-empty");
+                    parents.push(Node::Inner { bbox, children });
+                }
+            }
+            nodes = parents;
+            height += 1;
+        }
+
+        RTree {
+            root: nodes.pop(),
+            len,
+            height,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height in levels (0 for an empty tree, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Visits every entry whose rectangle contains `p`; returns the number
+    /// of nodes touched (a work measure for the baselines).
+    pub fn for_each_containing(&self, p: &Point, mut visit: impl FnMut(&Rect, &T)) -> usize {
+        let mut touched = 0;
+        if let Some(root) = &self.root {
+            let mut stack: Vec<&Node<T>> = vec![root];
+            while let Some(node) = stack.pop() {
+                touched += 1;
+                match node {
+                    Node::Leaf { bbox, entries } => {
+                        if !bbox.contains(p) {
+                            continue;
+                        }
+                        for (rect, value) in entries {
+                            if rect.contains(p) {
+                                visit(rect, value);
+                            }
+                        }
+                    }
+                    Node::Inner { bbox, children } => {
+                        if !bbox.contains(p) {
+                            continue;
+                        }
+                        stack.extend(children.iter());
+                    }
+                }
+            }
+        }
+        touched
+    }
+
+    /// Collects the values of all entries whose rectangle contains `p`.
+    pub fn containing(&self, p: &Point) -> Vec<T> {
+        let mut out = Vec::new();
+        self.for_each_containing(p, |_, v| out.push(v.clone()));
+        out
+    }
+
+    /// Visits every entry whose rectangle intersects `probe`.
+    pub fn for_each_intersecting(&self, probe: &Rect, mut visit: impl FnMut(&Rect, &T)) {
+        if let Some(root) = &self.root {
+            let mut stack: Vec<&Node<T>> = vec![root];
+            while let Some(node) = stack.pop() {
+                match node {
+                    Node::Leaf { bbox, entries } => {
+                        if !bbox.intersects(probe) {
+                            continue;
+                        }
+                        for (rect, value) in entries {
+                            if rect.intersects(probe) {
+                                visit(rect, value);
+                            }
+                        }
+                    }
+                    Node::Inner { bbox, children } => {
+                        if !bbox.intersects(probe) {
+                            continue;
+                        }
+                        stack.extend(children.iter());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Estimated heap footprint in bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        fn node_bytes<T>(node: &Node<T>) -> usize {
+            match node {
+                Node::Leaf { entries, .. } => {
+                    std::mem::size_of::<Node<T>>()
+                        + entries.capacity() * std::mem::size_of::<(Rect, T)>()
+                }
+                Node::Inner { children, .. } => {
+                    std::mem::size_of::<Node<T>>()
+                        + children.iter().map(node_bytes).sum::<usize>()
+                }
+            }
+        }
+        self.root.as_ref().map(node_bytes).unwrap_or(0)
+    }
+}
+
+fn sort_by_center_x<T>(entries: &mut [(Rect, T)]) {
+    entries.sort_by(|a, b| {
+        center_x(&a.0)
+            .partial_cmp(&center_x(&b.0))
+            .expect("finite rects")
+    });
+}
+
+fn center_x(r: &Rect) -> f64 {
+    (r.min.x + r.max.x) / 2.0
+}
+
+fn center_y(r: &Rect) -> f64 {
+    (r.min.y + r.max.y) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(x: f64, y: f64, side: f64) -> Rect {
+        Rect::centered(Point::new(x, y), side, side)
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree: RTree<u32> = RTree::bulk_load(vec![]);
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 0);
+        assert!(tree.containing(&Point::ORIGIN).is_empty());
+        assert_eq!(tree.estimated_bytes(), 0);
+    }
+
+    #[test]
+    fn single_entry() {
+        let tree = RTree::bulk_load(vec![(square(10.0, 10.0, 4.0), 7u32)]);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.containing(&Point::new(11.0, 9.0)), vec![7]);
+        assert!(tree.containing(&Point::new(20.0, 20.0)).is_empty());
+    }
+
+    #[test]
+    fn point_queries_match_linear_scan() {
+        let entries: Vec<(Rect, usize)> = (0..200)
+            .map(|i| {
+                let x = (i * 37 % 100) as f64 * 10.0;
+                let y = (i * 61 % 100) as f64 * 10.0;
+                (square(x, y, 30.0 + (i % 5) as f64 * 10.0), i)
+            })
+            .collect();
+        let tree = RTree::bulk_load(entries.clone());
+        assert_eq!(tree.len(), 200);
+        assert!(tree.height() >= 2);
+
+        for probe_i in 0..50 {
+            let p = Point::new(
+                (probe_i * 13 % 100) as f64 * 10.0 + 3.0,
+                (probe_i * 29 % 100) as f64 * 10.0 - 2.0,
+            );
+            let mut expected: Vec<usize> = entries
+                .iter()
+                .filter(|(r, _)| r.contains(&p))
+                .map(|(_, v)| *v)
+                .collect();
+            expected.sort_unstable();
+            let mut got = tree.containing(&p);
+            got.sort_unstable();
+            assert_eq!(got, expected, "probe {p:?}");
+        }
+    }
+
+    #[test]
+    fn rect_queries_match_linear_scan() {
+        let entries: Vec<(Rect, usize)> = (0..120)
+            .map(|i| {
+                let x = (i * 53 % 90) as f64 * 11.0;
+                let y = (i * 17 % 90) as f64 * 11.0;
+                (square(x, y, 25.0), i)
+            })
+            .collect();
+        let tree = RTree::bulk_load(entries.clone());
+        let probe = Rect::from_corners(Point::new(100.0, 100.0), Point::new(400.0, 300.0));
+        let mut expected: Vec<usize> = entries
+            .iter()
+            .filter(|(r, _)| r.intersects(&probe))
+            .map(|(_, v)| *v)
+            .collect();
+        expected.sort_unstable();
+        let mut got = Vec::new();
+        tree.for_each_intersecting(&probe, |_, v| got.push(*v));
+        got.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn probe_touches_fraction_of_nodes() {
+        // Locality: a point probe on a well-spread workload should touch
+        // far fewer nodes than the whole tree has.
+        let entries: Vec<(Rect, usize)> = (0..1000)
+            .map(|i| {
+                let x = (i % 32) as f64 * 300.0;
+                let y = (i / 32) as f64 * 300.0;
+                (square(x, y, 40.0), i)
+            })
+            .collect();
+        let tree = RTree::bulk_load(entries);
+        let total_nodes = 1000usize.div_ceil(MAX_FILL) * 2; // rough upper bound on node count
+        let touched = tree.for_each_containing(&Point::new(300.0, 300.0), |_, _| {});
+        assert!(
+            touched < total_nodes / 4,
+            "touched {touched} of ~{total_nodes}"
+        );
+    }
+
+    #[test]
+    fn duplicate_rects_all_reported() {
+        let r = square(50.0, 50.0, 10.0);
+        let tree = RTree::bulk_load(vec![(r, 1), (r, 2), (r, 3)]);
+        let mut got = tree.containing(&Point::new(50.0, 50.0));
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn estimated_bytes_grows() {
+        let small = RTree::bulk_load(vec![(square(0.0, 0.0, 1.0), 0u64)]);
+        let big = RTree::bulk_load(
+            (0..500)
+                .map(|i| (square(i as f64, i as f64, 1.0), i as u64))
+                .collect(),
+        );
+        assert!(big.estimated_bytes() > small.estimated_bytes());
+    }
+
+    #[test]
+    fn boundary_containment_is_inclusive() {
+        let tree = RTree::bulk_load(vec![(
+            Rect::from_corners(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            1u8,
+        )]);
+        assert_eq!(tree.containing(&Point::new(10.0, 10.0)), vec![1]);
+        assert_eq!(tree.containing(&Point::new(0.0, 0.0)), vec![1]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Property-based tests for the spatial substrate.
+
+use proptest::prelude::*;
+use scuba_spatial::{
+    polar::{angle_diff, normalize_angle},
+    Circle, GridSpec, Point, Polar, RTree, Rect, Vector,
+};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1e4..1e4f64, -1e4..1e4f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_circle() -> impl Strategy<Value = Circle> {
+    (arb_point(), 0.0..500.0f64).prop_map(|(c, r)| Circle::new(c, r))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::from_corners(a, b))
+}
+
+proptest! {
+    // ---- polar coordinates -------------------------------------------------
+
+    #[test]
+    fn polar_roundtrip(pole in arb_point(), p in arb_point()) {
+        let polar = Polar::from_cartesian(&pole, &p);
+        let back = polar.to_cartesian(&pole);
+        prop_assert!(back.distance(&p) < 1e-6, "{back:?} vs {p:?}");
+    }
+
+    #[test]
+    fn polar_radius_equals_distance(pole in arb_point(), p in arb_point()) {
+        let polar = Polar::from_cartesian(&pole, &p);
+        prop_assert!((polar.r - pole.distance(&p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polar_pole_shift_is_translation(
+        pole in arb_point(),
+        p in arb_point(),
+        shift in (-1e3..1e3f64, -1e3..1e3f64),
+    ) {
+        // The SCUBA invariant: moving the pole by v moves every
+        // reconstructed member position by exactly v.
+        let v = Vector::new(shift.0, shift.1);
+        let polar = Polar::from_cartesian(&pole, &p);
+        let moved = polar.to_cartesian(&(pole + v));
+        prop_assert!(moved.distance(&(p + v)) < 1e-6);
+    }
+
+    #[test]
+    fn normalize_angle_in_range(theta in -100.0..100.0f64) {
+        let t = normalize_angle(theta);
+        prop_assert!(t > -std::f64::consts::PI - 1e-12);
+        prop_assert!(t <= std::f64::consts::PI + 1e-12);
+    }
+
+    #[test]
+    fn angle_diff_antisymmetric(a in -10.0..10.0f64, b in -10.0..10.0f64) {
+        let d1 = angle_diff(a, b);
+        let d2 = angle_diff(b, a);
+        // d1 == -d2 except at the branch point ±π where both map to π.
+        let sum = normalize_angle(d1 + d2);
+        prop_assert!(sum.abs() < 1e-9 || (sum.abs() - 2.0 * std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    // ---- circles -----------------------------------------------------------
+
+    #[test]
+    fn overlap_symmetric(a in arb_circle(), b in arb_circle()) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn self_overlap(a in arb_circle()) {
+        prop_assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn containment_implies_overlap(a in arb_circle(), b in arb_circle()) {
+        if a.contains_circle(&b) {
+            prop_assert!(a.overlaps(&b));
+        }
+    }
+
+    #[test]
+    fn shared_point_implies_overlap(a in arb_circle(), b in arb_circle(), t in 0.0..1.0f64) {
+        // If a point on the segment between centers lies in both disks the
+        // predicate must be true.
+        let p = a.center.lerp(&b.center, t);
+        if a.contains(&p) && b.contains(&p) {
+            prop_assert!(a.overlaps(&b));
+        }
+    }
+
+    #[test]
+    fn expand_to_covers(mut c in arb_circle(), p in arb_point()) {
+        c.expand_to(&p);
+        // Allow float slack at the boundary.
+        prop_assert!(c.center.distance(&p) <= c.radius + 1e-9);
+    }
+
+    #[test]
+    fn bounding_rect_contains_disk_points(c in arb_circle(), theta in 0.0..std::f64::consts::TAU) {
+        let p = Point::new(
+            c.center.x + c.radius * theta.cos(),
+            c.center.y + c.radius * theta.sin(),
+        );
+        prop_assert!(c.bounding_rect().inflate(1e-9).contains(&p));
+    }
+
+    // ---- rectangles ----------------------------------------------------------
+
+    #[test]
+    fn rect_intersects_symmetric(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn rect_intersection_inside_both(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+        }
+    }
+
+    #[test]
+    fn rect_circle_agrees_with_clamp(r in arb_rect(), c in arb_circle()) {
+        let closest = r.clamp_point(&c.center);
+        prop_assert_eq!(
+            r.intersects_circle(&c),
+            closest.distance_sq(&c.center) <= c.radius * c.radius
+        );
+    }
+
+    // ---- grid ----------------------------------------------------------------
+
+    #[test]
+    fn grid_cell_contains_point(
+        n in 1u32..64,
+        x in 0.0..1000.0f64,
+        y in 0.0..1000.0f64,
+    ) {
+        let spec = GridSpec::new(Rect::square(1000.0), n);
+        let p = Point::new(x, y);
+        let rect = spec.cell_rect(spec.cell_of(&p));
+        prop_assert!(rect.inflate(1e-9).contains(&p));
+    }
+
+    #[test]
+    fn grid_circle_cells_cover_center_cell(
+        n in 1u32..64,
+        x in 0.0..1000.0f64,
+        y in 0.0..1000.0f64,
+        radius in 0.0..200.0f64,
+    ) {
+        let spec = GridSpec::new(Rect::square(1000.0), n);
+        let c = Circle::new(Point::new(x, y), radius);
+        let cells: Vec<_> = spec.cells_overlapping_circle(&c).collect();
+        let center_cell = spec.cell_of(&c.center);
+        prop_assert!(cells.contains(&center_cell));
+    }
+
+    #[test]
+    fn grid_circle_cells_all_intersect(
+        n in 1u32..32,
+        x in 0.0..1000.0f64,
+        y in 0.0..1000.0f64,
+        radius in 0.0..300.0f64,
+    ) {
+        let spec = GridSpec::new(Rect::square(1000.0), n);
+        let c = Circle::new(Point::new(x, y), radius);
+        for idx in spec.cells_overlapping_circle(&c) {
+            prop_assert!(spec.cell_rect(idx).intersects_circle(&c));
+        }
+    }
+
+    #[test]
+    fn grid_linear_bijection(n in 1u32..40) {
+        let spec = GridSpec::new(Rect::square(10.0), n);
+        let mut seen = std::collections::HashSet::new();
+        for cell in spec.all_cells() {
+            let lin = spec.linear(cell);
+            prop_assert!(lin < spec.cell_count());
+            prop_assert!(seen.insert(lin), "duplicate linear index");
+        }
+        prop_assert_eq!(seen.len(), spec.cell_count());
+    }
+}
+
+
+fn arb_rects(max: usize) -> impl Strategy<Value = Vec<(Rect, usize)>> {
+    prop::collection::vec((arb_point(), 0.1..200.0f64, 0.1..200.0f64), 1..max).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (c, w, h))| (Rect::centered(c, w, h), i))
+            .collect()
+    })
+}
+
+proptest! {
+    // ---- R-tree ---------------------------------------------------------
+
+    #[test]
+    fn rtree_point_query_matches_scan(entries in arb_rects(120), probe in arb_point()) {
+        let tree = RTree::bulk_load(entries.clone());
+        prop_assert_eq!(tree.len(), entries.len());
+        let mut expected: Vec<usize> = entries
+            .iter()
+            .filter(|(r, _)| r.contains(&probe))
+            .map(|(_, v)| *v)
+            .collect();
+        expected.sort_unstable();
+        let mut got = tree.containing(&probe);
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn rtree_rect_query_matches_scan(
+        entries in arb_rects(100),
+        a in arb_point(),
+        b in arb_point(),
+    ) {
+        let probe = Rect::from_corners(a, b);
+        let tree = RTree::bulk_load(entries.clone());
+        let mut expected: Vec<usize> = entries
+            .iter()
+            .filter(|(r, _)| r.intersects(&probe))
+            .map(|(_, v)| *v)
+            .collect();
+        expected.sort_unstable();
+        let mut got = Vec::new();
+        tree.for_each_intersecting(&probe, |_, v| got.push(*v));
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn rtree_every_entry_findable_at_its_center(entries in arb_rects(100)) {
+        let tree = RTree::bulk_load(entries.clone());
+        for (rect, value) in &entries {
+            let hits = tree.containing(&rect.center());
+            prop_assert!(hits.contains(value), "entry {value} lost");
+        }
+    }
+
+    #[test]
+    fn rtree_height_is_logarithmic(n in 1usize..400) {
+        let entries: Vec<(Rect, usize)> = (0..n)
+            .map(|i| {
+                (
+                    Rect::centered(
+                        Point::new((i % 20) as f64 * 50.0, (i / 20) as f64 * 50.0),
+                        10.0,
+                        10.0,
+                    ),
+                    i,
+                )
+            })
+            .collect();
+        let tree = RTree::bulk_load(entries);
+        // With MAX_FILL = 8 the height is bounded by ceil(log8(n)) + slack
+        // for imperfect STR packing.
+        let bound = ((n as f64).log2() / 3.0).ceil() as usize + 2;
+        prop_assert!(tree.height() <= bound, "height {} for n {}", tree.height(), n);
+    }
+}

@@ -1,0 +1,243 @@
+//! Threaded update transport over crossbeam channels.
+//!
+//! Models the paper's setting where "location updates arrive via data
+//! streams" (§2): a producer thread (the workload generator, in a deployed
+//! system the GPS ingest tier) encodes each tick's updates into the compact
+//! wire format and ships them over a bounded channel to the engine thread.
+//! The bounded capacity provides natural backpressure; the receiver
+//! implements [`UpdateSource`] so it plugs directly into the [`Executor`].
+//!
+//! [`Executor`]: crate::executor::Executor
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use scuba_motion::{wire, LocationUpdate};
+
+use crate::executor::UpdateSource;
+
+/// Sending half: encodes and ships one batch per tick.
+#[derive(Debug, Clone)]
+pub struct StreamSender {
+    tx: Sender<Bytes>,
+}
+
+/// Receiving half: decodes batches; implements [`UpdateSource`].
+#[derive(Debug)]
+pub struct StreamReceiver {
+    rx: Receiver<Bytes>,
+    decode_errors: usize,
+}
+
+/// Creates a connected sender/receiver pair with the given channel
+/// capacity (in batches).
+pub fn stream_channel(capacity: usize) -> (StreamSender, StreamReceiver) {
+    let (tx, rx) = bounded(capacity.max(1));
+    (
+        StreamSender { tx },
+        StreamReceiver {
+            rx,
+            decode_errors: 0,
+        },
+    )
+}
+
+impl StreamSender {
+    /// Encodes and sends one tick's updates. Blocks when the channel is
+    /// full (backpressure). Returns `false` when the receiver is gone.
+    pub fn send_tick(&self, updates: &[LocationUpdate]) -> bool {
+        let mut buf = BytesMut::with_capacity(4 + updates.len() * 64);
+        buf.put_u32_le(updates.len() as u32);
+        for u in updates {
+            wire::encode_into(u, &mut buf);
+        }
+        self.tx.send(buf.freeze()).is_ok()
+    }
+}
+
+impl StreamReceiver {
+    /// Number of batches that failed to decode so far.
+    pub fn decode_errors(&self) -> usize {
+        self.decode_errors
+    }
+
+    /// Receives and decodes the next batch; `None` when the sender is gone.
+    pub fn recv_tick(&mut self) -> Option<Vec<LocationUpdate>> {
+        let mut bytes = self.rx.recv().ok()?;
+        if bytes.remaining() < 4 {
+            self.decode_errors += 1;
+            return Some(Vec::new());
+        }
+        let count = bytes.get_u32_le() as usize;
+        let mut updates = Vec::with_capacity(count);
+        for _ in 0..count {
+            match wire::decode(&mut bytes) {
+                Ok(u) => updates.push(u),
+                Err(_) => {
+                    self.decode_errors += 1;
+                    break;
+                }
+            }
+        }
+        Some(updates)
+    }
+}
+
+impl UpdateSource for StreamReceiver {
+    /// A closed channel yields an empty tick (the executor runs for a fixed
+    /// duration; an exhausted producer simply stops contributing updates).
+    fn next_tick(&mut self) -> Vec<LocationUpdate> {
+        self.recv_tick().unwrap_or_default()
+    }
+}
+
+/// Spawns a producer thread that calls `produce` once per tick for `ticks`
+/// ticks, shipping each batch through a channel of `capacity` batches, and
+/// returns the receiving end.
+pub fn spawn_source<F>(mut produce: F, ticks: u64, capacity: usize) -> StreamReceiver
+where
+    F: FnMut() -> Vec<LocationUpdate> + Send + 'static,
+{
+    let (tx, rx) = stream_channel(capacity);
+    std::thread::spawn(move || {
+        for _ in 0..ticks {
+            if !tx.send_tick(&produce()) {
+                break; // receiver hung up
+            }
+        }
+    });
+    rx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scuba_motion::{ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec};
+    use scuba_spatial::Point;
+
+    fn updates(n: u64) -> Vec<LocationUpdate> {
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    LocationUpdate::object(
+                        ObjectId(i),
+                        Point::new(i as f64, 0.0),
+                        i,
+                        10.0,
+                        Point::new(100.0, 0.0),
+                        ObjectAttrs::default(),
+                    )
+                } else {
+                    LocationUpdate::query(
+                        QueryId(i),
+                        Point::new(0.0, i as f64),
+                        i,
+                        10.0,
+                        Point::new(0.0, 100.0),
+                        QueryAttrs {
+                            spec: QuerySpec::square_range(5.0),
+                        },
+                    )
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_one_batch() {
+        let (tx, mut rx) = stream_channel(4);
+        let batch = updates(7);
+        assert!(tx.send_tick(&batch));
+        assert_eq!(rx.recv_tick().unwrap(), batch);
+        assert_eq!(rx.decode_errors(), 0);
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let (tx, mut rx) = stream_channel(1);
+        assert!(tx.send_tick(&[]));
+        assert_eq!(rx.recv_tick().unwrap(), vec![]);
+    }
+
+    #[test]
+    fn receiver_reports_disconnect() {
+        let (tx, mut rx) = stream_channel(1);
+        drop(tx);
+        assert!(rx.recv_tick().is_none());
+        // As an UpdateSource it degrades to empty ticks.
+        assert!(rx.next_tick().is_empty());
+    }
+
+    #[test]
+    fn sender_detects_receiver_drop() {
+        let (tx, rx) = stream_channel(1);
+        drop(rx);
+        assert!(!tx.send_tick(&updates(1)));
+    }
+
+    #[test]
+    fn spawn_source_streams_all_ticks() {
+        let mut counter = 0u64;
+        let mut rx = spawn_source(
+            move || {
+                counter += 1;
+                updates(counter)
+            },
+            5,
+            2,
+        );
+        let mut sizes = Vec::new();
+        while let Some(batch) = rx.recv_tick() {
+            sizes.push(batch.len());
+        }
+        assert_eq!(sizes, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn works_as_update_source_with_executor() {
+        use crate::executor::{Executor, ExecutorConfig};
+        use crate::operator::{ContinuousOperator, EvaluationReport};
+
+        struct Sink {
+            seen: usize,
+        }
+        impl ContinuousOperator for Sink {
+            fn process_update(&mut self, _u: &LocationUpdate) {
+                self.seen += 1;
+            }
+            fn evaluate(&mut self, now: scuba_spatial::Time) -> EvaluationReport {
+                EvaluationReport {
+                    now,
+                    ..Default::default()
+                }
+            }
+            fn name(&self) -> &str {
+                "sink"
+            }
+        }
+
+        let mut rx = spawn_source(|| updates(3), 6, 2);
+        let mut sink = Sink { seen: 0 };
+        let exec = Executor::new(ExecutorConfig {
+            delta: 2,
+            duration: 6,
+        });
+        let report = exec.run(&mut rx, &mut sink);
+        assert_eq!(report.updates_ingested, 18);
+        assert_eq!(sink.seen, 18);
+        assert_eq!(report.evaluations.len(), 3);
+    }
+
+    #[test]
+    fn corrupt_batch_counts_decode_error() {
+        let (tx, rx) = bounded(1);
+        tx.send(Bytes::from_static(&[5, 0, 0, 0, 99, 99])).unwrap();
+        let mut rx = StreamReceiver {
+            rx,
+            decode_errors: 0,
+        };
+        let batch = rx.recv_tick().unwrap();
+        assert!(batch.is_empty());
+        assert_eq!(rx.decode_errors(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! Minimal stream-processing substrate — the CAPE substitute.
+//!
+//! **Substitution note (DESIGN.md §2):** the paper implements SCUBA inside
+//! the CAPE stream-processing engine \[31\], which is not publicly available.
+//! This crate provides the slice of a stream engine the algorithm actually
+//! exercises:
+//!
+//! * a **logical clock** in time units driving periodic evaluation — the
+//!   paper's Δ ("queries are evaluated periodically (every Δ time units)");
+//! * the [`ContinuousOperator`] trait with the two phases of Algorithm 1:
+//!   continuous [`ContinuousOperator::process_update`] between evaluations
+//!   and a periodic [`ContinuousOperator::evaluate`] producing results and
+//!   metrics;
+//! * an [`Executor`] wiring an update source to an operator and collecting
+//!   per-interval [`EvaluationReport`]s;
+//! * a crossbeam-channel transport ([`channel`]) that moves *encoded*
+//!   updates between a producer thread and the engine, modelling the
+//!   "location updates arrive via data streams" aspect of §2;
+//! * shared [`metrics`] describing join time, maintenance time, memory
+//!   consumption and result cardinality — the measured quantities of every
+//!   experiment in §6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod channel;
+pub mod executor;
+pub mod metrics;
+pub mod operator;
+pub mod trace;
+
+pub use executor::{Executor, ExecutorConfig, RunReport, UpdateSource};
+pub use metrics::{MetricsHub, Stopwatch};
+pub use operator::{ContinuousOperator, EvaluationReport, QueryMatch};
+pub use trace::{TraceReader, TraceWriter};

@@ -1,0 +1,231 @@
+//! Timing helpers and a thread-safe metrics hub.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::operator::EvaluationReport;
+
+/// A simple wall-clock stopwatch.
+#[derive(Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed time and restart.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let d = now - self.started;
+        self.started = now;
+        d
+    }
+}
+
+/// Aggregate statistics over a sequence of evaluations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AggregateStats {
+    /// Number of evaluations aggregated.
+    pub evaluations: usize,
+    /// Total join wall-clock time.
+    pub total_join_time: Duration,
+    /// Total maintenance wall-clock time.
+    pub total_maintenance_time: Duration,
+    /// Total result tuples produced.
+    pub total_results: usize,
+    /// Total pair comparisons performed.
+    pub total_comparisons: u64,
+    /// Total coarse pre-filter tests performed.
+    pub total_prefilter_tests: u64,
+    /// Maximum memory estimate observed.
+    pub peak_memory_bytes: usize,
+    /// Mean memory estimate.
+    pub mean_memory_bytes: usize,
+    /// Fastest single evaluation's join time.
+    pub min_join_time: Duration,
+    /// Slowest single evaluation's join time.
+    pub max_join_time: Duration,
+}
+
+impl AggregateStats {
+    /// Folds a sequence of reports into aggregate statistics.
+    pub fn from_reports<'a>(reports: impl IntoIterator<Item = &'a EvaluationReport>) -> Self {
+        let mut stats = AggregateStats::default();
+        let mut memory_sum: u128 = 0;
+        let mut min_join: Option<Duration> = None;
+        for r in reports {
+            stats.evaluations += 1;
+            stats.total_join_time += r.join_time;
+            stats.total_maintenance_time += r.maintenance_time;
+            stats.total_results += r.results.len();
+            stats.total_comparisons += r.comparisons;
+            stats.total_prefilter_tests += r.prefilter_tests;
+            stats.peak_memory_bytes = stats.peak_memory_bytes.max(r.memory_bytes);
+            memory_sum += r.memory_bytes as u128;
+            min_join = Some(min_join.map_or(r.join_time, |m: Duration| m.min(r.join_time)));
+            stats.max_join_time = stats.max_join_time.max(r.join_time);
+        }
+        if stats.evaluations > 0 {
+            stats.mean_memory_bytes = (memory_sum / stats.evaluations as u128) as usize;
+            stats.min_join_time = min_join.unwrap_or_default();
+        }
+        stats
+    }
+
+    /// Mean join time per evaluation.
+    pub fn mean_join_time(&self) -> Duration {
+        if self.evaluations == 0 {
+            Duration::ZERO
+        } else {
+            self.total_join_time / self.evaluations as u32
+        }
+    }
+
+    /// Mean maintenance time per evaluation.
+    pub fn mean_maintenance_time(&self) -> Duration {
+        if self.evaluations == 0 {
+            Duration::ZERO
+        } else {
+            self.total_maintenance_time / self.evaluations as u32
+        }
+    }
+}
+
+/// A thread-safe collector of evaluation reports.
+///
+/// The executor can run the update source on another thread; operators push
+/// their reports here and analysis code reads a consistent snapshot.
+#[derive(Debug, Default)]
+pub struct MetricsHub {
+    reports: Mutex<Vec<EvaluationReport>>,
+}
+
+impl MetricsHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one report.
+    pub fn record(&self, report: EvaluationReport) {
+        self.reports.lock().push(report);
+    }
+
+    /// Number of recorded reports.
+    pub fn len(&self) -> usize {
+        self.reports.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of all reports recorded so far.
+    pub fn snapshot(&self) -> Vec<EvaluationReport> {
+        self.reports.lock().clone()
+    }
+
+    /// Aggregate statistics over everything recorded so far.
+    pub fn aggregate(&self) -> AggregateStats {
+        AggregateStats::from_reports(self.reports.lock().iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::QueryMatch;
+    use scuba_motion::{ObjectId, QueryId};
+
+    fn report(join_ms: u64, maint_ms: u64, results: usize, mem: usize) -> EvaluationReport {
+        EvaluationReport {
+            now: 0,
+            results: (0..results)
+                .map(|i| QueryMatch::new(QueryId(i as u64), ObjectId(i as u64)))
+                .collect(),
+            join_time: Duration::from_millis(join_ms),
+            maintenance_time: Duration::from_millis(maint_ms),
+            memory_bytes: mem,
+            comparisons: results as u64 * 2,
+            prefilter_tests: 1,
+        }
+    }
+
+    #[test]
+    fn stopwatch_measures_nonzero() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(sw.elapsed() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn stopwatch_lap_restarts() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let first = sw.lap();
+        let second = sw.elapsed();
+        assert!(first >= Duration::from_millis(1));
+        assert!(second < first);
+    }
+
+    #[test]
+    fn aggregate_over_reports() {
+        let reports = vec![report(10, 5, 3, 100), report(20, 5, 7, 300)];
+        let stats = AggregateStats::from_reports(&reports);
+        assert_eq!(stats.evaluations, 2);
+        assert_eq!(stats.total_join_time, Duration::from_millis(30));
+        assert_eq!(stats.total_maintenance_time, Duration::from_millis(10));
+        assert_eq!(stats.total_results, 10);
+        assert_eq!(stats.total_comparisons, 20);
+        assert_eq!(stats.total_prefilter_tests, 2);
+        assert_eq!(stats.peak_memory_bytes, 300);
+        assert_eq!(stats.mean_memory_bytes, 200);
+        assert_eq!(stats.mean_join_time(), Duration::from_millis(15));
+        assert_eq!(stats.mean_maintenance_time(), Duration::from_millis(5));
+        assert_eq!(stats.min_join_time, Duration::from_millis(10));
+        assert_eq!(stats.max_join_time, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn aggregate_empty_is_zero() {
+        let stats = AggregateStats::from_reports(std::iter::empty());
+        assert_eq!(stats.evaluations, 0);
+        assert_eq!(stats.mean_join_time(), Duration::ZERO);
+        assert_eq!(stats.mean_memory_bytes, 0);
+    }
+
+    #[test]
+    fn hub_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let hub = Arc::new(MetricsHub::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let hub = Arc::clone(&hub);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    hub.record(report(t, 0, 1, 10));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hub.len(), 100);
+        assert_eq!(hub.aggregate().total_results, 100);
+        assert!(!hub.is_empty());
+    }
+}

@@ -1,0 +1,396 @@
+//! Trace capture and replay.
+//!
+//! Records a tick-structured stream of location updates to any
+//! `Write`/`Read` sink in a simple length-prefixed binary format, and
+//! replays it later as an [`UpdateSource`]. This is how a deployment
+//! captures real GPS feeds for offline debugging, and how a reproduction
+//! substitutes recorded traces for the synthetic generator without touching
+//! engine code.
+//!
+//! Format, little-endian:
+//!
+//! ```text
+//! magic  "SCTR" u32
+//! version u32 (=1)
+//! repeated ticks:
+//!   count    u32         # updates in this tick
+//!   byte_len u32         # size of the encoded block that follows
+//!   block    [u8; byte_len]  # count × scuba_motion::wire records
+//! ```
+//!
+//! End of stream = end of ticks (no trailer).
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use scuba_motion::{wire, LocationUpdate};
+
+use crate::executor::UpdateSource;
+
+const MAGIC: u32 = u32::from_le_bytes(*b"SCTR");
+const VERSION: u32 = 1;
+
+/// Writes a tick-structured trace.
+///
+/// # Examples
+///
+/// ```
+/// use scuba_stream::{TraceReader, TraceWriter};
+///
+/// let mut writer = TraceWriter::new(Vec::new());
+/// writer.write_tick(&[]).unwrap();
+/// let bytes = writer.finish().unwrap();
+///
+/// let mut reader = TraceReader::new(&bytes[..]);
+/// assert_eq!(reader.read_tick().unwrap(), Some(vec![]));
+/// assert_eq!(reader.read_tick().unwrap(), None);
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    ticks: u64,
+    updates: u64,
+    header_written: bool,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer over `sink` (the header is written with the first
+    /// tick, or by [`TraceWriter::finish`] for empty traces).
+    pub fn new(sink: W) -> Self {
+        TraceWriter {
+            sink,
+            ticks: 0,
+            updates: 0,
+            header_written: false,
+        }
+    }
+
+    fn ensure_header(&mut self) -> io::Result<()> {
+        if !self.header_written {
+            self.sink.write_all(&MAGIC.to_le_bytes())?;
+            self.sink.write_all(&VERSION.to_le_bytes())?;
+            self.header_written = true;
+        }
+        Ok(())
+    }
+
+    /// Appends one tick's updates.
+    pub fn write_tick(&mut self, updates: &[LocationUpdate]) -> io::Result<()> {
+        self.ensure_header()?;
+        let mut block = BytesMut::with_capacity(updates.len() * 64);
+        for u in updates {
+            wire::encode_into(u, &mut block);
+        }
+        let mut header = BytesMut::with_capacity(8);
+        header.put_u32_le(updates.len() as u32);
+        header.put_u32_le(block.len() as u32);
+        self.sink.write_all(&header)?;
+        self.sink.write_all(&block)?;
+        self.ticks += 1;
+        self.updates += updates.len() as u64;
+        Ok(())
+    }
+
+    /// Ticks written so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Updates written so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Writes the header if nothing was written yet, flushes, and returns
+    /// the sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.ensure_header()?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Errors raised while reading a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Missing or wrong magic/version header.
+    BadHeader,
+    /// A record failed to decode.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadHeader => write!(f, "not a SCTR trace (bad header)"),
+            TraceError::Corrupt(msg) => write!(f, "corrupt trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Reads a tick-structured trace; implements [`UpdateSource`] (exhausted
+/// traces yield empty ticks, matching how the executor handles finished
+/// producers).
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    source: R,
+    header_checked: bool,
+    exhausted: bool,
+    ticks_read: u64,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Creates a reader over `source`.
+    pub fn new(source: R) -> Self {
+        TraceReader {
+            source,
+            header_checked: false,
+            exhausted: false,
+            ticks_read: 0,
+        }
+    }
+
+    /// Ticks read so far.
+    pub fn ticks_read(&self) -> u64 {
+        self.ticks_read
+    }
+
+    /// Whether the trace has ended.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    fn check_header(&mut self) -> Result<(), TraceError> {
+        if self.header_checked {
+            return Ok(());
+        }
+        let mut header = [0u8; 8];
+        self.source
+            .read_exact(&mut header)
+            .map_err(|_| TraceError::BadHeader)?;
+        let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if magic != MAGIC || version != VERSION {
+            return Err(TraceError::BadHeader);
+        }
+        self.header_checked = true;
+        Ok(())
+    }
+
+    /// Reads the next tick; `Ok(None)` at end of trace.
+    pub fn read_tick(&mut self) -> Result<Option<Vec<LocationUpdate>>, TraceError> {
+        if self.exhausted {
+            return Ok(None);
+        }
+        self.check_header()?;
+
+        let mut tick_header = [0u8; 8];
+        match self.source.read_exact(&mut tick_header) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                self.exhausted = true;
+                return Ok(None);
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let count = u32::from_le_bytes(tick_header[0..4].try_into().expect("4 bytes")) as usize;
+        let byte_len =
+            u32::from_le_bytes(tick_header[4..8].try_into().expect("4 bytes")) as usize;
+
+        let mut block = vec![0u8; byte_len];
+        self.source.read_exact(&mut block).map_err(|_| {
+            TraceError::Corrupt(format!(
+                "tick {}: block truncated (wanted {byte_len} bytes)",
+                self.ticks_read
+            ))
+        })?;
+
+        let mut buf: &[u8] = &block;
+        let mut updates = Vec::with_capacity(count);
+        for i in 0..count {
+            let update = wire::decode(&mut buf).map_err(|e| {
+                TraceError::Corrupt(format!(
+                    "tick {}: record {i}/{count}: {e}",
+                    self.ticks_read
+                ))
+            })?;
+            updates.push(update);
+        }
+        if buf.has_remaining() {
+            return Err(TraceError::Corrupt(format!(
+                "tick {}: {} trailing bytes after {count} records",
+                self.ticks_read,
+                buf.remaining()
+            )));
+        }
+        self.ticks_read += 1;
+        Ok(Some(updates))
+    }
+}
+
+impl<R: Read> UpdateSource for TraceReader<R> {
+    fn next_tick(&mut self) -> Vec<LocationUpdate> {
+        match self.read_tick() {
+            Ok(Some(updates)) => updates,
+            Ok(None) | Err(_) => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scuba_motion::{ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec};
+    use scuba_spatial::Point;
+
+    fn updates(tick: u64, n: u64) -> Vec<LocationUpdate> {
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    LocationUpdate::object(
+                        ObjectId(i),
+                        Point::new(i as f64, tick as f64),
+                        tick,
+                        12.5,
+                        Point::new(100.0, 100.0),
+                        ObjectAttrs::default(),
+                    )
+                } else {
+                    LocationUpdate::query(
+                        QueryId(i),
+                        Point::new(tick as f64, i as f64),
+                        tick,
+                        8.0,
+                        Point::new(0.0, 0.0),
+                        QueryAttrs {
+                            spec: QuerySpec::square_range(10.0 + i as f64),
+                        },
+                    )
+                }
+            })
+            .collect()
+    }
+
+    fn record(ticks: &[Vec<LocationUpdate>]) -> Vec<u8> {
+        let mut w = TraceWriter::new(Vec::new());
+        for t in ticks {
+            w.write_tick(t).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_multiple_ticks() {
+        let ticks = vec![updates(1, 3), updates(2, 0), updates(3, 7)];
+        let bytes = record(&ticks);
+        let mut r = TraceReader::new(&bytes[..]);
+        for t in &ticks {
+            assert_eq!(&r.read_tick().unwrap().unwrap(), t);
+        }
+        assert!(r.read_tick().unwrap().is_none());
+        assert!(r.is_exhausted());
+        assert_eq!(r.ticks_read(), 3);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let bytes = record(&[]);
+        let mut r = TraceReader::new(&bytes[..]);
+        assert!(r.read_tick().unwrap().is_none());
+    }
+
+    #[test]
+    fn writer_counters() {
+        let mut w = TraceWriter::new(Vec::new());
+        w.write_tick(&updates(1, 4)).unwrap();
+        w.write_tick(&updates(2, 6)).unwrap();
+        assert_eq!(w.ticks(), 2);
+        assert_eq!(w.updates(), 10);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let mut r = TraceReader::new(&b"NOPExxxx"[..]);
+        assert!(matches!(r.read_tick(), Err(TraceError::BadHeader)));
+        let mut r = TraceReader::new(&b"xx"[..]);
+        assert!(matches!(r.read_tick(), Err(TraceError::BadHeader)));
+    }
+
+    #[test]
+    fn truncated_block_detected() {
+        let bytes = record(&[updates(1, 5)]);
+        let cut = &bytes[..bytes.len() - 3];
+        let mut r = TraceReader::new(cut);
+        assert!(matches!(r.read_tick(), Err(TraceError::Corrupt(_))));
+    }
+
+    #[test]
+    fn corrupted_record_detected() {
+        let mut bytes = record(&[updates(1, 2)]);
+        // Flip the kind byte of the first record (offset: 8 header + 8 tick
+        // header).
+        bytes[16] = 77;
+        let mut r = TraceReader::new(&bytes[..]);
+        assert!(matches!(r.read_tick(), Err(TraceError::Corrupt(_))));
+    }
+
+    #[test]
+    fn update_source_yields_empty_after_end() {
+        let bytes = record(&[updates(1, 2)]);
+        let mut r = TraceReader::new(&bytes[..]);
+        assert_eq!(r.next_tick().len(), 2);
+        assert!(r.next_tick().is_empty());
+        assert!(r.next_tick().is_empty());
+    }
+
+    #[test]
+    fn replay_drives_executor_like_the_live_source() {
+        use crate::executor::{Executor, ExecutorConfig};
+        use crate::operator::{ContinuousOperator, EvaluationReport};
+
+        struct Counter {
+            seen: usize,
+        }
+        impl ContinuousOperator for Counter {
+            fn process_update(&mut self, _u: &LocationUpdate) {
+                self.seen += 1;
+            }
+            fn evaluate(&mut self, now: scuba_spatial::Time) -> EvaluationReport {
+                EvaluationReport {
+                    now,
+                    ..Default::default()
+                }
+            }
+            fn name(&self) -> &str {
+                "counter"
+            }
+        }
+
+        // Record 4 live ticks, then replay them through the executor.
+        let live: Vec<Vec<LocationUpdate>> =
+            (1..=4).map(|t| updates(t, t * 2)).collect();
+        let bytes = record(&live);
+        let mut reader = TraceReader::new(&bytes[..]);
+        let mut op = Counter { seen: 0 };
+        let run = Executor::new(ExecutorConfig {
+            delta: 2,
+            duration: 4,
+        })
+        .run(&mut reader, &mut op);
+        assert_eq!(run.updates_ingested, 2 + 4 + 6 + 8);
+        assert_eq!(op.seen, 20);
+        assert_eq!(run.evaluations.len(), 2);
+    }
+}

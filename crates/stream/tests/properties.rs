@@ -1,0 +1,206 @@
+//! Property-based tests for the stream substrate.
+
+use proptest::prelude::*;
+
+use scuba_motion::{
+    LocationUpdate, ObjectAttrs, ObjectClass, ObjectId, QueryAttrs, QueryId, QuerySpec,
+};
+use scuba_spatial::Point;
+use scuba_stream::executor::UpdateSource;
+use scuba_stream::{
+    ContinuousOperator, EvaluationReport, Executor, ExecutorConfig, TraceReader, TraceWriter,
+};
+
+fn arb_update() -> impl Strategy<Value = LocationUpdate> {
+    (
+        any::<u64>(),
+        any::<bool>(),
+        -1e4..1e4f64,
+        -1e4..1e4f64,
+        any::<u32>(),
+        0.0..100.0f64,
+        0usize..6,
+        1.0..300.0f64,
+    )
+        .prop_map(|(id, is_query, x, y, time, speed, class, side)| {
+            let loc = Point::new(x, y);
+            let cn = Point::new(-x, -y);
+            if is_query {
+                LocationUpdate::query(
+                    QueryId(id),
+                    loc,
+                    time as u64,
+                    speed,
+                    cn,
+                    QueryAttrs {
+                        spec: QuerySpec::square_range(side),
+                    },
+                )
+            } else {
+                LocationUpdate::object(
+                    ObjectId(id),
+                    loc,
+                    time as u64,
+                    speed,
+                    cn,
+                    ObjectAttrs {
+                        class: ObjectClass::ALL[class],
+                    },
+                )
+            }
+        })
+}
+
+fn arb_ticks() -> impl Strategy<Value = Vec<Vec<LocationUpdate>>> {
+    prop::collection::vec(prop::collection::vec(arb_update(), 0..12), 0..8)
+}
+
+/// Counts what it sees; emits one empty report per evaluation.
+struct Probe {
+    ingested: Vec<usize>,
+    current: usize,
+    evaluated_at: Vec<u64>,
+}
+
+impl Probe {
+    fn new() -> Self {
+        Probe {
+            ingested: Vec::new(),
+            current: 0,
+            evaluated_at: Vec::new(),
+        }
+    }
+}
+
+impl ContinuousOperator for Probe {
+    fn process_update(&mut self, _u: &LocationUpdate) {
+        self.current += 1;
+    }
+    fn evaluate(&mut self, now: u64) -> EvaluationReport {
+        self.ingested.push(self.current);
+        self.evaluated_at.push(now);
+        EvaluationReport {
+            now,
+            ..Default::default()
+        }
+    }
+    fn name(&self) -> &str {
+        "probe"
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Trace write → read returns exactly the written tick structure.
+    #[test]
+    fn trace_roundtrip(ticks in arb_ticks()) {
+        let mut writer = TraceWriter::new(Vec::new());
+        for t in &ticks {
+            writer.write_tick(t).unwrap();
+        }
+        prop_assert_eq!(writer.ticks(), ticks.len() as u64);
+        let bytes = writer.finish().unwrap();
+
+        let mut reader = TraceReader::new(&bytes[..]);
+        for t in &ticks {
+            prop_assert_eq!(&reader.read_tick().unwrap().unwrap(), t);
+        }
+        prop_assert!(reader.read_tick().unwrap().is_none());
+        prop_assert_eq!(reader.ticks_read(), ticks.len() as u64);
+    }
+
+    /// Truncating a trace anywhere never panics: it yields shorter output
+    /// or a corruption error, never garbage updates.
+    #[test]
+    fn trace_truncation_is_safe(ticks in arb_ticks(), cut_fraction in 0.0..1.0f64) {
+        let mut writer = TraceWriter::new(Vec::new());
+        let mut all: Vec<LocationUpdate> = Vec::new();
+        for t in &ticks {
+            writer.write_tick(t).unwrap();
+            all.extend_from_slice(t);
+        }
+        let bytes = writer.finish().unwrap();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        let mut reader = TraceReader::new(&bytes[..cut]);
+        let mut seen = 0usize;
+        while let Ok(Some(t)) = reader.read_tick() {
+            // Every decoded update must be one we wrote.
+            for u in &t {
+                prop_assert!(all.contains(u));
+            }
+            seen += t.len();
+        }
+        prop_assert!(seen <= all.len());
+    }
+
+    /// The executor ingests every produced update and evaluates exactly
+    /// `duration / delta` times, at multiples of delta.
+    #[test]
+    fn executor_schedule(
+        ticks in arb_ticks(),
+        delta in 1u64..5,
+    ) {
+        let duration = ticks.len() as u64;
+        let expected_updates: usize = ticks.iter().map(Vec::len).sum();
+        let mut remaining = ticks.clone();
+        remaining.reverse();
+        let mut source = move || remaining.pop().unwrap_or_default();
+        let mut probe = Probe::new();
+        let report = Executor::new(ExecutorConfig { delta, duration })
+            .run(&mut source, &mut probe);
+
+        prop_assert_eq!(report.updates_ingested, expected_updates);
+        prop_assert_eq!(report.evaluations.len(), (duration / delta) as usize);
+        for (k, &t) in probe.evaluated_at.iter().enumerate() {
+            prop_assert_eq!(t, (k as u64 + 1) * delta);
+        }
+        // Ingestion counts are monotone.
+        prop_assert!(probe.ingested.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// A recorded trace drives the executor identically to the live source.
+    #[test]
+    fn trace_replay_equals_live(ticks in arb_ticks(), delta in 1u64..4) {
+        let duration = ticks.len() as u64;
+
+        let mut live_ticks = ticks.clone();
+        live_ticks.reverse();
+        let mut live_source = move || live_ticks.pop().unwrap_or_default();
+        let mut live_probe = Probe::new();
+        let live = Executor::new(ExecutorConfig { delta, duration })
+            .run(&mut live_source, &mut live_probe);
+
+        let mut writer = TraceWriter::new(Vec::new());
+        for t in &ticks {
+            writer.write_tick(t).unwrap();
+        }
+        let bytes = writer.finish().unwrap();
+        let mut reader = TraceReader::new(&bytes[..]);
+        let mut replay_probe = Probe::new();
+        let replay = Executor::new(ExecutorConfig { delta, duration })
+            .run(&mut reader, &mut replay_probe);
+
+        prop_assert_eq!(live.updates_ingested, replay.updates_ingested);
+        prop_assert_eq!(live_probe.ingested, replay_probe.ingested);
+    }
+
+    /// The channel transport delivers batches unchanged and in order.
+    #[test]
+    fn channel_preserves_batches(ticks in arb_ticks()) {
+        let (tx, mut rx) = scuba_stream::channel::stream_channel(2);
+        let send_ticks = ticks.clone();
+        let producer = std::thread::spawn(move || {
+            for t in &send_ticks {
+                if !tx.send_tick(t) {
+                    break;
+                }
+            }
+        });
+        for t in &ticks {
+            prop_assert_eq!(&rx.next_tick(), t);
+        }
+        producer.join().unwrap();
+        prop_assert_eq!(rx.decode_errors(), 0);
+    }
+}

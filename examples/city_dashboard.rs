@@ -1,0 +1,103 @@
+//! A live city dashboard from cluster summaries alone.
+//!
+//! The §1 aggregate extension at work: the operations centre wants a
+//! density heatmap and per-district counts refreshed every interval —
+//! without touching any individual vehicle. Everything below is computed
+//! from the O(#clusters) summaries (centroid, radius, member count), never
+//! from the O(#objects) members, and compared against the exact answer to
+//! show the approximation quality.
+//!
+//! Run with: `cargo run --release --example city_dashboard`
+
+use std::sync::Arc;
+
+use scuba::aggregate::{density_grid, estimated_object_count, exact_object_count};
+use scuba::{ScubaOperator, ScubaParams};
+use scuba_generator::{WorkloadConfig, WorkloadGenerator};
+use scuba_roadnet::{CityConfig, NetworkStats, SyntheticCity};
+use scuba_spatial::{GridSpec, Point, Rect};
+use scuba_stream::ContinuousOperator;
+
+const SHADES: [char; 5] = [' ', '.', ':', 'x', '#'];
+
+fn main() {
+    let city = SyntheticCity::build(CityConfig::default());
+    let stats = NetworkStats::compute(&city.network, 6);
+    println!(
+        "city: {} nodes, {} segments, {:.0} road-units total ({:.0}% highway), \
+         diameter ≈ {:.0} time units",
+        stats.nodes,
+        stats.edges,
+        stats.total_length,
+        stats.highway_fraction() * 100.0,
+        stats.diameter_estimate,
+    );
+
+    let area = city.network.extent().expect("city has nodes");
+    let workload = WorkloadConfig {
+        num_objects: 3_000,
+        num_queries: 300,
+        skew: 120, // heavy convoys → few, informative clusters
+        dwell_ticks: 2,
+        ..WorkloadConfig::default()
+    };
+    let mut generator = WorkloadGenerator::new(Arc::new(city.network), workload);
+    let mut scuba = ScubaOperator::new(ScubaParams::default(), area);
+
+    // Let traffic develop, then refresh the dashboard twice.
+    for frame in 0..2 {
+        for _ in 0..4 {
+            for u in generator.tick() {
+                scuba.process_update(&u);
+            }
+        }
+        scuba.evaluate((frame + 1) * 4);
+
+        let n = 18u32;
+        let grid = density_grid(scuba.engine(), &area, n);
+        let peak = grid.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
+
+        println!(
+            "\n=== frame {} — {} clusters summarising {} vehicles ===",
+            frame + 1,
+            scuba.engine().cluster_count(),
+            workload.num_objects,
+        );
+        // Draw rows top-down (row 0 of the grid is the bottom edge).
+        let spec = GridSpec::new(area, n);
+        for row in (0..n).rev() {
+            let mut line = String::with_capacity(n as usize * 2);
+            for col in 0..n {
+                let v = grid[spec.linear(scuba_spatial::CellIdx::new(col, row))];
+                let shade = ((v / peak) * (SHADES.len() - 1) as f64).round() as usize;
+                line.push(SHADES[shade.min(SHADES.len() - 1)]);
+                line.push(' ');
+            }
+            println!("  {line}");
+        }
+        println!("  density shades: ' ' none … '#' peak ({peak:.1} vehicles/cell)");
+
+        // District table: estimate (from summaries) vs exact (from members).
+        let half = area.width() / 2.0;
+        println!("  {:<12} {:>9} {:>7} {:>7}", "district", "estimate", "exact", "err%");
+        for (name, dx, dy) in [
+            ("north-west", 0.0, half),
+            ("north-east", half, half),
+            ("south-west", 0.0, 0.0),
+            ("south-east", half, 0.0),
+        ] {
+            let district = Rect::from_corners(
+                Point::new(area.min.x + dx, area.min.y + dy),
+                Point::new(area.min.x + dx + half, area.min.y + dy + half),
+            );
+            let est = estimated_object_count(scuba.engine(), &district);
+            let exact = exact_object_count(scuba.engine(), &district);
+            let err = if exact > 0 {
+                (est - exact as f64).abs() / exact as f64 * 100.0
+            } else {
+                0.0
+            };
+            println!("  {name:<12} {est:>9.1} {exact:>7} {err:>6.1}%");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Fleet dispatch with cluster-assisted kNN — the paper's §1 extension.
+//!
+//! A dispatcher continuously needs the k nearest vehicles to moving
+//! incident-response queries. The example shows the isolated-cluster
+//! shortcut at work ("moving clusters that are not intersecting with other
+//! moving clusters and contain at least k members can be assumed to contain
+//! nearest members of the query object") and the aggregate extension
+//! estimating vehicle counts per district from cluster summaries alone.
+//!
+//! Run with: `cargo run --example fleet_knn`
+
+use std::sync::Arc;
+
+use scuba::aggregate::{estimated_object_count, exact_object_count};
+use scuba::knn::knn_for_query;
+use scuba::{ScubaOperator, ScubaParams};
+use scuba_generator::{WorkloadConfig, WorkloadGenerator};
+use scuba_motion::{EntityAttrs, QueryAttrs, QueryId, QuerySpec};
+use scuba_roadnet::{CityConfig, SyntheticCity};
+use scuba_spatial::Rect;
+use scuba_stream::ContinuousOperator;
+
+fn main() {
+    let city = SyntheticCity::build(CityConfig::default());
+    let area = city.network.extent().expect("city has nodes");
+    let workload = WorkloadConfig {
+        num_objects: 800,
+        num_queries: 100,
+        skew: 60,
+        ..WorkloadConfig::default()
+    };
+    let mut generator = WorkloadGenerator::new(Arc::new(city.network), workload);
+
+    let mut scuba = ScubaOperator::new(ScubaParams::default(), area);
+    // Warm up: two ticks of updates, re-typing every query as a kNN query.
+    for _ in 0..2 {
+        for mut update in generator.tick() {
+            if let EntityAttrs::Query(_) = update.attrs {
+                update.attrs = EntityAttrs::Query(QueryAttrs {
+                    spec: QuerySpec::Knn { k: 3 },
+                });
+            }
+            scuba.process_update(&update);
+        }
+    }
+    println!(
+        "fleet: 800 vehicles, 100 moving dispatch queries, {} clusters live",
+        scuba.engine().cluster_count()
+    );
+
+    // Ask for the 3 nearest vehicles to the first 10 dispatch queries.
+    let mut shortcut_hits = 0;
+    for qid in 0..10u64 {
+        match knn_for_query(scuba.engine(), QueryId(qid), 3) {
+            Some(answer) => {
+                if answer.used_cluster_shortcut {
+                    shortcut_hits += 1;
+                }
+                let described: Vec<String> = answer
+                    .neighbors
+                    .iter()
+                    .map(|n| format!("O{}@{:.0}", n.object.0, n.distance))
+                    .collect();
+                println!(
+                    "Q{qid}: nearest = [{}]{}",
+                    described.join(", "),
+                    if answer.used_cluster_shortcut {
+                        "  (isolated-cluster shortcut)"
+                    } else {
+                        "  (global scan)"
+                    }
+                );
+            }
+            None => println!("Q{qid}: not yet clustered"),
+        }
+    }
+    println!("shortcut answered {shortcut_hits}/10 roaming queries without a global scan");
+
+    // Dispatch a unit *into* an isolated convoy (e.g. an escort riding with
+    // a truck column): its kNN is answered from the convoy cluster alone —
+    // the paper's §1 shortcut ("moving clusters that are not intersecting
+    // with other moving clusters and contain at least k members can be
+    // assumed to contain nearest members of the query object").
+    let convoy = scuba
+        .engine()
+        .clusters()
+        .values()
+        .filter(|c| c.object_count() >= 3)
+        .find(|c| {
+            let region = c.region();
+            scuba
+                .engine()
+                .clusters()
+                .values()
+                .filter(|other| other.cid != c.cid)
+                .all(|other| !region.overlaps(&other.region()))
+        })
+        .map(|c| (c.centroid(), c.cn_loc(), c.ave_speed()));
+    match convoy {
+        Some((center, cn, speed)) => {
+            scuba.process_update(&scuba_motion::LocationUpdate::query(
+                QueryId(999),
+                center,
+                3,
+                speed,
+                cn,
+                QueryAttrs {
+                    spec: QuerySpec::Knn { k: 3 },
+                },
+            ));
+            let answer =
+                knn_for_query(scuba.engine(), QueryId(999), 3).expect("just registered");
+            println!(
+                "\nescort Q999 riding a convoy: {} neighbours via {}",
+                answer.neighbors.len(),
+                if answer.used_cluster_shortcut {
+                    "the isolated-cluster shortcut (no global scan)"
+                } else {
+                    "a global scan"
+                }
+            );
+        }
+        None => println!("\nno isolated convoy at this instant (all clusters overlap)"),
+    }
+
+    // District-level aggregates from cluster summaries.
+    println!("\nvehicles per district (estimate from cluster summaries vs exact):");
+    let half = area.width() / 2.0;
+    for (name, district) in [
+        ("north-west", quadrant(&area, 0.0, half, half)),
+        ("north-east", quadrant(&area, half, half, half)),
+        ("south-west", quadrant(&area, 0.0, 0.0, half)),
+        ("south-east", quadrant(&area, half, 0.0, half)),
+    ] {
+        let est = estimated_object_count(scuba.engine(), &district);
+        let exact = exact_object_count(scuba.engine(), &district);
+        println!("  {name:<11} estimate {est:>7.1}   exact {exact:>5}");
+    }
+}
+
+fn quadrant(area: &Rect, dx: f64, dy: f64, side: f64) -> Rect {
+    Rect::from_corners(
+        scuba_spatial::Point::new(area.min.x + dx, area.min.y + dy),
+        scuba_spatial::Point::new(area.min.x + dx + side, area.min.y + dy + side),
+    )
+}
