@@ -1,24 +1,89 @@
 //! Runs every figure harness in sequence and prints all tables — the
-//! one-shot reproduction of the paper's evaluation section.
+//! one-shot reproduction of the paper's evaluation section — plus the
+//! per-stage pipeline breakdown of every operator in the suite.
 //!
-//! Usage: `all_experiments [--scale F] [--objects N] [--queries N]`
+//! Usage: `all_experiments [--scale F] [--objects N] [--queries N]
+//! [--parallelism N] [--json]`
 
+use serde::Serialize;
+
+use scuba::OperatorKind;
 use scuba_bench::figures::{
-    fig10, fig11, fig12, fig13, fig9, FIG10_SKEWS, FIG11_ITERS, FIG12_SKEWS, FIG13_MAINTAINED,
-    FIG9_GRIDS,
+    fig10, fig11, fig12, fig13, fig9, Fig10Row, Fig11Row, Fig12Row, Fig13Row, Fig9Row, FIG10_SKEWS,
+    FIG11_ITERS, FIG12_SKEWS, FIG13_MAINTAINED, FIG9_GRIDS,
 };
-use scuba_bench::table::{f1, f3, TextTable};
+use scuba_bench::runner::{run_operator, scuba_params};
+use scuba_bench::table::{f1, f3, stage_table, TextTable};
 use scuba_bench::ExperimentScale;
+use scuba_stream::StageRow;
+
+/// One operator's cumulative per-stage pipeline costs over a run.
+#[derive(Debug, Serialize)]
+struct OperatorStages {
+    operator: &'static str,
+    stages: Vec<StageRow>,
+}
+
+/// The complete JSON payload of `--json` mode.
+#[derive(Debug, Serialize)]
+struct AllOut {
+    scale: ExperimentScale,
+    fig9: Vec<Fig9Row>,
+    fig10: Vec<Fig10Row>,
+    fig11: Vec<Fig11Row>,
+    fig12: Vec<Fig12Row>,
+    fig13: Vec<Fig13Row>,
+    stages: Vec<OperatorStages>,
+}
+
+/// Drives the full operator suite once and collects each operator's
+/// stage totals.
+fn suite_stages(scale: &ExperimentScale) -> Vec<(&'static str, scuba_stream::PhaseBreakdown)> {
+    OperatorKind::ALL
+        .iter()
+        .map(|&kind| {
+            (
+                kind.label(),
+                run_operator(scale, kind, scuba_params(scale)).stage_totals(),
+            )
+        })
+        .collect()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, _) = match ExperimentScale::from_args(&args) {
+    let (scale, rest) = match ExperimentScale::from_args(&args) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);
         }
     };
+    let json = rest.iter().any(|a| a == "--json");
+
+    if json {
+        let out = AllOut {
+            scale,
+            fig9: fig9(&scale, &FIG9_GRIDS),
+            fig10: fig10(&scale, &FIG10_SKEWS),
+            fig11: fig11(&scale, &FIG11_ITERS),
+            fig12: fig12(&scale, &FIG12_SKEWS),
+            fig13: fig13(&scale, &FIG13_MAINTAINED),
+            stages: suite_stages(&scale)
+                .into_iter()
+                .map(|(operator, totals)| OperatorStages {
+                    operator,
+                    stages: totals.rows(),
+                })
+                .collect(),
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("payload serialises")
+        );
+        return;
+    }
+
     println!(
         "# SCUBA evaluation reproduction — {} objects, {} queries, skew {}, \
          grid {}x{}, Δ={}, {} ticks\n",
@@ -53,7 +118,12 @@ fn main() {
     println!("{}", t.render());
 
     println!("## Fig. 10 — join time vs. skew factor\n");
-    let mut t = TextTable::new(vec!["skew", "REGULAR join (ms)", "SCUBA join (ms)", "clusters"]);
+    let mut t = TextTable::new(vec![
+        "skew",
+        "REGULAR join (ms)",
+        "SCUBA join (ms)",
+        "clusters",
+    ]);
     for r in fig10(&scale, &FIG10_SKEWS) {
         t.row(vec![
             r.skew.to_string(),
@@ -124,4 +194,10 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+
+    println!("## Pipeline stages — cumulative per-stage costs per operator\n");
+    for (operator, totals) in suite_stages(&scale) {
+        println!("### {operator}\n");
+        println!("{}", stage_table(&totals).render());
+    }
 }

@@ -36,6 +36,9 @@ pub struct ExperimentScale {
     /// happen to cross — as opposed to `reps`, which suppresses scheduler
     /// noise). Default 1.
     pub seeds: u32,
+    /// Worker threads for SCUBA's join-within stage. Default 1 (serial);
+    /// results and work counters are identical at any setting.
+    pub parallelism: usize,
 }
 
 impl Default for ExperimentScale {
@@ -51,6 +54,7 @@ impl Default for ExperimentScale {
             seed: 0xEDB7,
             reps: 1,
             seeds: 1,
+            parallelism: 1,
         }
     }
 }
@@ -86,7 +90,7 @@ impl ExperimentScale {
 
     /// Parses command-line overrides:
     /// `--objects N --queries N --skew N --grid N --delta N --duration N`
-    /// `--range S --seed N --scale F`.
+    /// `--range S --seed N --scale F --reps N --seeds N --parallelism N`.
     ///
     /// Unknown flags are returned for the caller to interpret.
     pub fn from_args(args: &[String]) -> Result<(Self, Vec<String>), String> {
@@ -141,6 +145,10 @@ impl ExperimentScale {
                     scale.seeds = parse(take_value(flag)?, flag)?;
                     i += 2;
                 }
+                "--parallelism" => {
+                    scale.parallelism = parse::<usize>(take_value(flag)?, flag)?.max(1);
+                    i += 2;
+                }
                 "--scale" => {
                     let f: f64 = parse(take_value(flag)?, flag)?;
                     scale = scale.scaled(f);
@@ -191,7 +199,13 @@ mod tests {
     #[test]
     fn parses_overrides() {
         let (s, rest) = ExperimentScale::from_args(&args(&[
-            "--objects", "500", "--queries", "300", "--grid", "50", "--json",
+            "--objects",
+            "500",
+            "--queries",
+            "300",
+            "--grid",
+            "50",
+            "--json",
         ]))
         .unwrap();
         assert_eq!(s.objects, 500);
@@ -204,6 +218,15 @@ mod tests {
     fn parses_scale_flag() {
         let (s, _) = ExperimentScale::from_args(&args(&["--scale", "0.01"])).unwrap();
         assert_eq!(s.objects, 100);
+    }
+
+    #[test]
+    fn parses_parallelism_and_clamps_zero() {
+        let (s, _) = ExperimentScale::from_args(&args(&["--parallelism", "4"])).unwrap();
+        assert_eq!(s.parallelism, 4);
+        let (s, _) = ExperimentScale::from_args(&args(&["--parallelism", "0"])).unwrap();
+        assert_eq!(s.parallelism, 1, "zero is clamped to serial");
+        assert_eq!(ExperimentScale::default().parallelism, 1);
     }
 
     #[test]

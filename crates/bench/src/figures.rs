@@ -157,8 +157,8 @@ pub fn fig11(scale: &ExperimentScale, iterations: &[u32]) -> Vec<Fig11Row> {
     rows.push(Fig11Row {
         variant: "incremental".to_string(),
         clustering_ms: 0.0,
-        join_ms: ms(report.join_time),
-        total_ms: ms(report.join_time),
+        join_ms: ms(report.join_time()),
+        total_ms: ms(report.join_time()),
         clusters,
     });
 
@@ -221,12 +221,8 @@ pub fn fig12(scale: &ExperimentScale, skews: &[u32]) -> Vec<Fig12Row> {
                 maintenance_ms: mean_of(&scuba, |r| ms(r.maintenance_time())),
                 scuba_join_ms: mean_of(&scuba, |r| ms(r.join_time())),
                 regular_join_ms: mean_of(&regular, |r| ms(r.join_time())),
-                scuba_total_ms: mean_of(&scuba, |r| {
-                    ms(r.maintenance_time() + r.join_time())
-                }),
-                regular_total_ms: mean_of(&regular, |r| {
-                    ms(r.maintenance_time() + r.join_time())
-                }),
+                scuba_total_ms: mean_of(&scuba, |r| ms(r.maintenance_time() + r.join_time())),
+                regular_total_ms: mean_of(&regular, |r| ms(r.maintenance_time() + r.join_time())),
             }
         })
         .collect()
@@ -263,8 +259,8 @@ pub fn fig13(scale: &ExperimentScale, maintained: &[f64]) -> Vec<Fig13Row> {
     maintained
         .iter()
         .map(|&pct| {
-            let params = scuba_params(scale)
-                .with_shedding(SheddingMode::from_maintained_percent(pct));
+            let params =
+                scuba_params(scale).with_shedding(SheddingMode::from_maintained_percent(pct));
             let run = best_of(scale.reps, || run_scuba(scale, params));
             let mut acc = AccuracyReport::default();
             for (t, e) in truth_results.iter().zip(&run.report.evaluations) {

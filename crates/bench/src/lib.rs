@@ -20,4 +20,4 @@ pub mod runner;
 pub mod table;
 
 pub use config::ExperimentScale;
-pub use runner::{run_regular, run_scuba, OperatorRun};
+pub use runner::{run_operator, run_regular, run_scuba, OperatorRun};

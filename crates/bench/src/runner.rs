@@ -3,11 +3,10 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use scuba::baseline::RegularGridOperator;
-use scuba::{ScubaOperator, ScubaParams};
+use scuba::{OperatorKind, OpsConfig, ScubaParams};
 use scuba_generator::WorkloadGenerator;
 use scuba_roadnet::{RoadNetwork, SyntheticCity};
-use scuba_stream::{Executor, ExecutorConfig, RunReport};
+use scuba_stream::{Executor, ExecutorConfig, PhaseBreakdown, RunReport};
 
 use crate::config::ExperimentScale;
 
@@ -16,8 +15,8 @@ use crate::config::ExperimentScale;
 pub struct OperatorRun {
     /// Per-interval reports.
     pub report: RunReport,
-    /// Mean number of live clusters observed after each evaluation
-    /// (0 for the baseline).
+    /// Live clusters at the end of the run (0 for operators that do not
+    /// cluster).
     pub mean_clusters: f64,
 }
 
@@ -32,6 +31,11 @@ impl OperatorRun {
     /// SCUBA; grid rebuild for the baseline is inside `maintenance_time`).
     pub fn maintenance_time(&self) -> Duration {
         self.report.ingest_time + self.report.aggregate().total_maintenance_time
+    }
+
+    /// Per-stage totals over the run (merged by stage name).
+    pub fn stage_totals(&self) -> PhaseBreakdown {
+        self.report.stage_totals()
     }
 
     /// Mean estimated memory across evaluations, in bytes.
@@ -100,90 +104,63 @@ pub fn build_workload(scale: &ExperimentScale, network: Arc<RoadNetwork>) -> Wor
     WorkloadGenerator::new(network, scale.workload())
 }
 
-/// Runs SCUBA with `params` over a fresh workload at `scale`.
-pub fn run_scuba(scale: &ExperimentScale, params: ScubaParams) -> OperatorRun {
+/// Runs one operator of the suite over a fresh deterministic workload at
+/// `scale` — the single driver behind every `run_*` convenience wrapper.
+pub fn run_operator(
+    scale: &ExperimentScale,
+    kind: OperatorKind,
+    params: ScubaParams,
+) -> OperatorRun {
     let network = build_network(scale);
     let area = network.extent().expect("city is non-empty");
     let mut generator = build_workload(scale, network);
-    let mut operator = ScubaOperator::new(params, area);
-    let report = executor(scale).run(&mut || generator.tick(), &mut operator);
-    let clusters = operator.engine().cluster_count() as f64;
+    let mut operator = OpsConfig::new(params, area).build(kind);
+    let report = executor(scale).run(&mut || generator.tick(), operator.as_mut());
     OperatorRun {
         report,
-        mean_clusters: clusters,
+        mean_clusters: operator.clusters_live().unwrap_or(0) as f64,
     }
+}
+
+/// Runs SCUBA with `params` over a fresh workload at `scale`.
+pub fn run_scuba(scale: &ExperimentScale, params: ScubaParams) -> OperatorRun {
+    run_operator(scale, OperatorKind::Scuba, params)
 }
 
 /// Runs the REGULAR baseline over a fresh (identical) workload at `scale`.
 pub fn run_regular(scale: &ExperimentScale) -> OperatorRun {
-    let network = build_network(scale);
-    let area = network.extent().expect("city is non-empty");
-    let mut generator = build_workload(scale, network);
-    let mut operator = RegularGridOperator::new(scale.grid_cells, area);
-    let report = executor(scale).run(&mut || generator.tick(), &mut operator);
-    OperatorRun {
-        report,
-        mean_clusters: 0.0,
-    }
+    run_operator(scale, OperatorKind::Regular, scuba_params(scale))
 }
 
 /// Runs the Query-Indexing baseline (related work \[29\]): R-tree over
 /// query regions, incremental object probing.
 pub fn run_qindex(scale: &ExperimentScale) -> OperatorRun {
-    let network = build_network(scale);
-    let mut generator = build_workload(scale, network);
-    let mut operator = scuba::QueryIndexOperator::new();
-    let report = executor(scale).run(&mut || generator.tick(), &mut operator);
-    OperatorRun {
-        report,
-        mean_clusters: 0.0,
-    }
+    run_operator(scale, OperatorKind::QueryIndex, scuba_params(scale))
 }
 
 /// Runs the SINA-style incrementally-maintained grid baseline (related
 /// work \[24\]): per-update index maintenance, always-current cell join.
 pub fn run_sina(scale: &ExperimentScale) -> OperatorRun {
-    let network = build_network(scale);
-    let area = network.extent().expect("city is non-empty");
-    let mut generator = build_workload(scale, network);
-    let mut operator = scuba::IncrementalGridOperator::new(scale.grid_cells, area);
-    let report = executor(scale).run(&mut || generator.tick(), &mut operator);
-    OperatorRun {
-        report,
-        mean_clusters: 0.0,
-    }
+    run_operator(scale, OperatorKind::IncrementalGrid, scuba_params(scale))
 }
 
 /// Runs the VCI baseline (related work \[29\]): lazily-rebuilt object R-tree
 /// with velocity-inflated probes.
 pub fn run_vci(scale: &ExperimentScale) -> OperatorRun {
-    let network = build_network(scale);
-    let mut generator = build_workload(scale, network);
-    let mut operator = scuba::VciOperator::new(scuba::VciConfig::default());
-    let report = executor(scale).run(&mut || generator.tick(), &mut operator);
-    OperatorRun {
-        report,
-        mean_clusters: 0.0,
-    }
+    run_operator(scale, OperatorKind::Vci, scuba_params(scale))
 }
 
 /// Runs the §6-literal point-hashed baseline (lossy; Fig. 9 ablation only).
 pub fn run_point_hashed(scale: &ExperimentScale) -> OperatorRun {
-    let network = build_network(scale);
-    let area = network.extent().expect("city is non-empty");
-    let mut generator = build_workload(scale, network);
-    let mut operator = scuba::PointHashedGridOperator::new(scale.grid_cells, area);
-    let report = executor(scale).run(&mut || generator.tick(), &mut operator);
-    OperatorRun {
-        report,
-        mean_clusters: 0.0,
-    }
+    run_operator(scale, OperatorKind::PointHashed, scuba_params(scale))
 }
 
-/// SCUBA params consistent with a scale (grid + Δ from the scale, paper
-/// thresholds otherwise).
+/// SCUBA params consistent with a scale (grid + Δ + parallelism from the
+/// scale, paper thresholds otherwise).
 pub fn scuba_params(scale: &ExperimentScale) -> ScubaParams {
-    let mut params = ScubaParams::default().with_grid_cells(scale.grid_cells);
+    let mut params = ScubaParams::default()
+        .with_grid_cells(scale.grid_cells)
+        .with_parallelism(scale.parallelism);
     params.delta = scale.delta;
     params
 }
@@ -242,10 +219,7 @@ mod tests {
         let scale = tiny();
         let s = run_scuba(&scale, scuba_params(&scale));
         let r = run_regular(&scale);
-        assert_eq!(
-            s.report.evaluations.len(),
-            r.report.evaluations.len()
-        );
+        assert_eq!(s.report.evaluations.len(), r.report.evaluations.len());
         for (se, re) in s.report.evaluations.iter().zip(&r.report.evaluations) {
             assert_eq!(se.results, re.results, "at t={}", se.now);
         }
@@ -255,5 +229,20 @@ mod tests {
     fn unit_helpers() {
         assert_eq!(ms(Duration::from_millis(1500)), 1500.0);
         assert_eq!(mib(1024 * 1024), 1.0);
+    }
+
+    #[test]
+    fn every_operator_kind_reports_stages() {
+        let scale = tiny();
+        for kind in OperatorKind::ALL {
+            let run = run_operator(&scale, kind, scuba_params(&scale));
+            let totals = run.stage_totals();
+            assert!(!totals.is_empty(), "{kind:?} reports stage totals");
+            assert_eq!(
+                totals.join_time(),
+                run.join_time(),
+                "{kind:?} stage totals reproduce join_time"
+            );
+        }
     }
 }

@@ -1,5 +1,7 @@
 //! Minimal aligned-text table printer for the figure harnesses.
 
+use scuba_stream::PhaseBreakdown;
+
 /// A simple text table: a header row plus data rows, rendered with aligned
 /// columns (right-aligned numbers are the caller's responsibility — every
 /// cell is a preformatted string).
@@ -72,6 +74,32 @@ fn render_row(out: &mut String, cells: &[String], widths: &[usize]) {
     out.push('\n');
 }
 
+/// Renders a per-stage breakdown as an aligned table — the one emitter
+/// every harness (bench binaries, CLI commands) shares, so stage output
+/// looks the same everywhere. Works for any operator: rows come straight
+/// from [`PhaseBreakdown::rows`].
+pub fn stage_table(breakdown: &PhaseBreakdown) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "stage",
+        "phase",
+        "wall(µs)",
+        "items_in",
+        "items_out",
+        "tests",
+    ]);
+    for r in breakdown.rows() {
+        t.row(vec![
+            r.stage,
+            r.kind,
+            r.wall_us.to_string(),
+            r.items_in.to_string(),
+            r.items_out.to_string(),
+            r.tests.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Formats a float with 3 decimal places.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
@@ -120,5 +148,20 @@ mod tests {
     fn float_formatting() {
         assert_eq!(f3(1.23456), "1.235");
         assert_eq!(f1(1.26), "1.3");
+    }
+
+    #[test]
+    fn stage_table_renders_rows() {
+        use scuba_stream::StageStats;
+        let mut b = PhaseBreakdown::new();
+        b.push(StageStats::join("probe").with_items(10, 3).with_tests(7));
+        b.push(StageStats::maintenance("rebuild"));
+        let t = stage_table(&b);
+        assert_eq!(t.len(), 2);
+        let s = t.render();
+        assert!(s.contains("probe"));
+        assert!(s.contains("join"));
+        assert!(s.contains("rebuild"));
+        assert!(s.contains("maintenance"));
     }
 }

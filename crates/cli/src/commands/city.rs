@@ -11,11 +11,7 @@ use crate::config::{OutputOptions, SimConfig};
 
 /// Runs the command. `--out FILE` additionally writes the network in the
 /// `scuba-roadnet` edge-list text format.
-pub fn run(
-    config: &SimConfig,
-    opts: &OutputOptions,
-    out: &mut dyn Write,
-) -> std::io::Result<()> {
+pub fn run(config: &SimConfig, opts: &OutputOptions, out: &mut dyn Write) -> std::io::Result<()> {
     let city = SyntheticCity::build(config.city);
     let stats = NetworkStats::compute(&city.network, 8);
 

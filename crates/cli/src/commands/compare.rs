@@ -1,13 +1,12 @@
-//! `scuba-sim compare` — SCUBA vs REGULAR vs point-hashed on one workload.
+//! `scuba-sim compare` — SCUBA vs every baseline on one workload.
 
 use std::io::Write;
 use std::sync::Arc;
 
 use serde::Serialize;
 
-use scuba::baseline::{PointHashedGridOperator, RegularGridOperator};
-use scuba::{IncrementalGridOperator, QueryIndexOperator, ScubaOperator, VciConfig, VciOperator};
-use scuba_stream::{Executor, ExecutorConfig, RunReport};
+use scuba::{OperatorKind, OpsConfig};
+use scuba_stream::{Executor, ExecutorConfig, RunReport, StageRow};
 
 use crate::config::{OutputOptions, SimConfig};
 
@@ -21,6 +20,8 @@ struct OperatorOut {
     results: usize,
     comparisons: u64,
     mean_memory_bytes: usize,
+    /// Cumulative per-stage pipeline costs over the run.
+    stages: Vec<StageRow>,
 }
 
 impl OperatorOut {
@@ -34,62 +35,47 @@ impl OperatorOut {
             results: agg.total_results,
             comparisons: agg.total_comparisons,
             mean_memory_bytes: agg.mean_memory_bytes,
+            stages: report.stage_totals().rows(),
         }
     }
 }
 
 /// Runs the command. Each operator consumes an identical stream: a fresh
 /// deterministic generator, or the same `--trace` file re-opened per
-/// operator.
-pub fn run(
-    config: &SimConfig,
-    opts: &OutputOptions,
-    out: &mut dyn Write,
-) -> std::io::Result<()> {
+/// operator. The suite comes from the [`OpsConfig`] factory, so the set
+/// of operators (and their construction) is defined in exactly one place.
+pub fn run(config: &SimConfig, opts: &OutputOptions, out: &mut dyn Write) -> std::io::Result<()> {
     let (network, area) = super::build_city(config);
     let executor = Executor::new(ExecutorConfig {
         delta: config.params.delta,
         duration: config.duration,
     });
+    let ops = OpsConfig::new(config.params, area);
 
-    let mut scuba = ScubaOperator::new(config.params, area);
-    let mut source = super::open_source(config, &opts.trace, Arc::clone(&network))?;
-    let scuba_run = executor.run(&mut source, &mut scuba);
+    let mut runs: Vec<(OperatorKind, RunReport)> = Vec::new();
+    for kind in OperatorKind::ALL {
+        let mut operator = ops.build(kind);
+        let mut source = super::open_source(config, &opts.trace, Arc::clone(&network))?;
+        runs.push((kind, executor.run(&mut source, operator.as_mut())));
+    }
 
-    let mut regular = RegularGridOperator::new(config.params.grid_cells, area);
-    let mut source = super::open_source(config, &opts.trace, Arc::clone(&network))?;
-    let regular_run = executor.run(&mut source, &mut regular);
-
-    let mut point_hashed = PointHashedGridOperator::new(config.params.grid_cells, area);
-    let mut source = super::open_source(config, &opts.trace, Arc::clone(&network))?;
-    let point_run = executor.run(&mut source, &mut point_hashed);
-
-    let mut qindex = QueryIndexOperator::new();
-    let mut source = super::open_source(config, &opts.trace, Arc::clone(&network))?;
-    let qindex_run = executor.run(&mut source, &mut qindex);
-
-    let mut sina = IncrementalGridOperator::new(config.params.grid_cells, area);
-    let mut source = super::open_source(config, &opts.trace, Arc::clone(&network))?;
-    let sina_run = executor.run(&mut source, &mut sina);
-
-    let mut vci = VciOperator::new(VciConfig::default());
-    let mut source = super::open_source(config, &opts.trace, network)?;
-    let vci_run = executor.run(&mut source, &mut vci);
-
-    let identical = scuba_run
+    let report_of = |kind: OperatorKind| -> &RunReport {
+        &runs
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .expect("suite covers every kind")
+            .1
+    };
+    let identical = report_of(OperatorKind::Scuba)
         .evaluations
         .iter()
-        .zip(&regular_run.evaluations)
+        .zip(&report_of(OperatorKind::Regular).evaluations)
         .all(|(s, r)| s.results == r.results);
 
-    let rows = [
-        OperatorOut::from_report(&scuba_run),
-        OperatorOut::from_report(&regular_run),
-        OperatorOut::from_report(&point_run),
-        OperatorOut::from_report(&qindex_run),
-        OperatorOut::from_report(&sina_run),
-        OperatorOut::from_report(&vci_run),
-    ];
+    let rows: Vec<OperatorOut> = runs
+        .iter()
+        .map(|(_, report)| OperatorOut::from_report(report))
+        .collect();
 
     if opts.json {
         #[derive(Serialize)]
@@ -114,7 +100,7 @@ pub fn run(
         "comparing over {} objects + {} queries, {} evaluations",
         config.workload.num_objects,
         config.workload.num_queries,
-        scuba_run.evaluations.len(),
+        report_of(OperatorKind::Scuba).evaluations.len(),
     )?;
     writeln!(
         out,
@@ -125,9 +111,19 @@ pub fn run(
         writeln!(
             out,
             "{:<24} {:>10} {:>10} {:>10} {:>9} {:>12} {:>10}",
-            r.name, r.join_us, r.maintenance_us, r.ingest_us, r.results, r.comparisons,
+            r.name,
+            r.join_us,
+            r.maintenance_us,
+            r.ingest_us,
+            r.results,
+            r.comparisons,
             r.mean_memory_bytes,
         )?;
+    }
+    writeln!(out)?;
+    for (kind, report) in &runs {
+        writeln!(out, "{} pipeline:", kind.label())?;
+        super::write_stage_breakdown(out, "  ", &report.stage_totals())?;
     }
     writeln!(
         out,

@@ -45,6 +45,30 @@ impl scuba_stream::executor::UpdateSource for Source {
     }
 }
 
+/// Writes a per-stage breakdown as aligned text — the one stage emitter
+/// `simulate` and `compare` share, so the pipeline shows up identically
+/// everywhere. Works for any operator: rows come straight from
+/// [`scuba_stream::PhaseBreakdown::rows`].
+pub(crate) fn write_stage_breakdown(
+    out: &mut dyn std::io::Write,
+    indent: &str,
+    breakdown: &scuba_stream::PhaseBreakdown,
+) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "{indent}{:<18} {:<12} {:>12} {:>10} {:>10} {:>12}",
+        "stage", "phase", "wall(µs)", "items_in", "items_out", "tests"
+    )?;
+    for r in breakdown.rows() {
+        writeln!(
+            out,
+            "{indent}{:<18} {:<12} {:>12} {:>10} {:>10} {:>12}",
+            r.stage, r.kind, r.wall_us, r.items_in, r.items_out, r.tests
+        )?;
+    }
+    Ok(())
+}
+
 /// Opens the configured source: `--trace FILE` replays a recorded trace,
 /// otherwise a fresh deterministic generator runs live.
 pub(crate) fn open_source(

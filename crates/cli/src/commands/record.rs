@@ -10,11 +10,7 @@ use scuba_stream::TraceWriter;
 use crate::config::{OutputOptions, SimConfig};
 
 /// Runs the command; `opts.out_path` names the trace file.
-pub fn run(
-    config: &SimConfig,
-    opts: &OutputOptions,
-    out: &mut dyn Write,
-) -> std::io::Result<()> {
+pub fn run(config: &SimConfig, opts: &OutputOptions, out: &mut dyn Write) -> std::io::Result<()> {
     let Some(path) = &opts.out_path else {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidInput,

@@ -25,11 +25,7 @@ const MIXED: char = 'x';
 const MANY: char = '#';
 
 /// Runs the command.
-pub fn run(
-    config: &SimConfig,
-    _opts: &OutputOptions,
-    out: &mut dyn Write,
-) -> std::io::Result<()> {
+pub fn run(config: &SimConfig, _opts: &OutputOptions, out: &mut dyn Write) -> std::io::Result<()> {
     let (network, area) = super::build_city(config);
     let mut generator = super::build_generator(config, Arc::clone(&network));
     let mut operator = ScubaOperator::new(config.params, area);

@@ -26,11 +26,7 @@ struct LevelOut {
 }
 
 /// Runs the command.
-pub fn run(
-    config: &SimConfig,
-    opts: &OutputOptions,
-    out: &mut dyn Write,
-) -> std::io::Result<()> {
+pub fn run(config: &SimConfig, opts: &OutputOptions, out: &mut dyn Write) -> std::io::Result<()> {
     let (network, area) = super::build_city(config);
     let executor = Executor::new(ExecutorConfig {
         delta: config.params.delta,

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use serde::Serialize;
 
 use scuba::{DeltaTracker, EngineSnapshot, ScubaOperator};
-use scuba_stream::{Executor, ExecutorConfig};
+use scuba_stream::{Executor, ExecutorConfig, StageRow};
 
 use crate::config::{OutputOptions, SimConfig};
 
@@ -30,15 +30,13 @@ struct SimulateOut {
     updates_ingested: usize,
     clusters_final: usize,
     total_results: usize,
+    /// Cumulative per-stage pipeline costs over the run.
+    stages: Vec<StageRow>,
     evaluations: Vec<IntervalOut>,
 }
 
 /// Runs the command.
-pub fn run(
-    config: &SimConfig,
-    opts: &OutputOptions,
-    out: &mut dyn Write,
-) -> std::io::Result<()> {
+pub fn run(config: &SimConfig, opts: &OutputOptions, out: &mut dyn Write) -> std::io::Result<()> {
     let (network, area) = super::build_city(config);
     let mut source = super::open_source(config, &opts.trace, Arc::clone(&network))?;
     let mut operator = match &opts.snapshot_in {
@@ -72,8 +70,8 @@ pub fn run(
             added: delta.added.len(),
             removed: delta.removed.len(),
             comparisons: e.comparisons,
-            join_us: e.join_time.as_micros(),
-            maintenance_us: e.maintenance_time.as_micros(),
+            join_us: e.join_time().as_micros(),
+            maintenance_us: e.maintenance_time().as_micros(),
             memory_bytes: e.memory_bytes,
         });
     }
@@ -89,6 +87,7 @@ pub fn run(
             updates_ingested: report.updates_ingested,
             clusters_final: operator.engine().cluster_count(),
             total_results: report.total_results(),
+            stages: report.stage_totals().rows(),
             evaluations: intervals,
         };
         writeln!(
@@ -113,11 +112,7 @@ pub fn run(
             writeln!(
                 out,
                 "t={:<4} +{:<5} -{:<5} (net {:<5}) join={}µs",
-                i.t,
-                i.added,
-                i.removed,
-                i.results,
-                i.join_us,
+                i.t, i.added, i.removed, i.results, i.join_us,
             )?;
         } else {
             writeln!(
@@ -127,6 +122,8 @@ pub fn run(
             )?;
         }
     }
+    writeln!(out, "pipeline stage totals:")?;
+    super::write_stage_breakdown(out, "  ", &report.stage_totals())?;
     writeln!(
         out,
         "done: {} updates, {} clusters live, {} result tuples total, shedding={:?}",

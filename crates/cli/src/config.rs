@@ -142,6 +142,10 @@ impl SimConfig {
                     config.params.theta_s = parse(value(flag)?, flag)?;
                     i += 2;
                 }
+                "--parallelism" => {
+                    config.params.parallelism = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
                 "--eta" => {
                     let eta: f64 = parse(value(flag)?, flag)?;
                     config.params.shedding = if eta <= 0.0 {
@@ -226,7 +230,15 @@ mod tests {
     #[test]
     fn flags_override_defaults() {
         let (c, o) = SimConfig::from_args(&args(&[
-            "--objects", "50", "--theta-d", "40", "--eta", "0.5", "--json", "--budget", "12345",
+            "--objects",
+            "50",
+            "--theta-d",
+            "40",
+            "--eta",
+            "0.5",
+            "--json",
+            "--budget",
+            "12345",
         ]))
         .unwrap();
         assert_eq!(c.workload.num_objects, 50);
@@ -234,6 +246,16 @@ mod tests {
         assert_eq!(c.params.shedding, SheddingMode::Partial { eta: 0.5 });
         assert!(o.json);
         assert_eq!(o.budget, Some(12345));
+    }
+
+    #[test]
+    fn parallelism_flag_sets_params() {
+        let (c, _) = SimConfig::from_args(&args(&["--parallelism", "4"])).unwrap();
+        assert_eq!(c.params.parallelism, 4);
+        assert!(
+            SimConfig::from_args(&args(&["--parallelism", "0"])).is_err(),
+            "zero workers fails validation"
+        );
     }
 
     #[test]
@@ -286,8 +308,7 @@ mod tests {
 
     #[test]
     fn missing_config_file_is_an_error() {
-        let err =
-            SimConfig::from_args(&args(&["--config", "/nonexistent/sim.json"])).unwrap_err();
+        let err = SimConfig::from_args(&args(&["--config", "/nonexistent/sim.json"])).unwrap_err();
         assert!(err.contains("cannot read"));
     }
 }

@@ -132,7 +132,10 @@ mod tests {
     use scuba_motion::{LocationUpdate, ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec};
     use scuba_spatial::Point;
 
-    const CN: Point = Point { x: 1000.0, y: 500.0 };
+    const CN: Point = Point {
+        x: 1000.0,
+        y: 500.0,
+    };
 
     fn obj(id: u64, x: f64, y: f64) -> LocationUpdate {
         LocationUpdate::object(
@@ -259,7 +262,7 @@ mod tests {
         }
         let area = Rect::square(1000.0);
         let grid = density_grid(&e, &area, 4); // 250-unit cells
-        // Mass concentrated in cell (0,0) and cell (3,3).
+                                               // Mass concentrated in cell (0,0) and cell (3,3).
         let spec = GridSpec::new(area, 4);
         let low = grid[spec.linear(spec.cell_of(&Point::new(150.0, 150.0)))];
         let high = grid[spec.linear(spec.cell_of(&Point::new(850.0, 850.0)))];

@@ -29,7 +29,16 @@
 
 use scuba_motion::{EntityAttrs, EntityRef, LocationUpdate, ObjectId, QueryId, QuerySpec};
 use scuba_spatial::{FxHashMap, GridSpec, Point, Rect, SpatialGrid, Time};
-use scuba_stream::{ContinuousOperator, EvaluationReport, QueryMatch, Stopwatch};
+use scuba_stream::{
+    ContinuousOperator, EvaluationReport, PhaseBreakdown, QueryMatch, StageStats, Stopwatch,
+};
+
+/// Stage name: rebuilding the object/query grids (maintenance bucket).
+pub const STAGE_INDEX_REBUILD: &str = "index-rebuild";
+/// Stage name: the cell-by-cell object×query join.
+pub const STAGE_CELL_JOIN: &str = "cell-join";
+/// Stage name: sorting the raw matches for deterministic output.
+pub const STAGE_RESULT_MERGE: &str = "result-merge";
 
 /// The regular (non-clustered) grid-join operator.
 #[derive(Debug)]
@@ -117,14 +126,19 @@ impl ContinuousOperator for RegularGridOperator {
 
     fn evaluate(&mut self, now: Time) -> EvaluationReport {
         self.evaluations += 1;
+        let mut phases = PhaseBreakdown::new();
+        let entities = self.latest.len() as u64;
 
         // Index maintenance: hash every entity into the grid.
-        let sw = Stopwatch::start();
-        self.rebuild_grids();
-        let maintenance_time = sw.elapsed();
+        let mut sw = Stopwatch::start();
+        let insertions = self.rebuild_grids();
+        phases.push(
+            StageStats::maintenance(STAGE_INDEX_REBUILD)
+                .with_wall(sw.lap())
+                .with_items(entities, insertions as u64),
+        );
 
         // Cell-by-cell join.
-        let sw = Stopwatch::start();
         let mut results = Vec::new();
         let mut comparisons = 0u64;
         for (cell, objects) in self.object_grid.iter_nonempty() {
@@ -141,14 +155,25 @@ impl ContinuousOperator for RegularGridOperator {
                 }
             }
         }
+        let raw = results.len() as u64;
+        phases.push(
+            StageStats::join(STAGE_CELL_JOIN)
+                .with_wall(sw.lap())
+                .with_items(entities, raw)
+                .with_tests(comparisons),
+        );
+
         results.sort_unstable();
-        let join_time = sw.elapsed();
+        phases.push(
+            StageStats::join(STAGE_RESULT_MERGE)
+                .with_wall(sw.lap())
+                .with_items(raw, results.len() as u64),
+        );
 
         EvaluationReport {
             now,
             results,
-            join_time,
-            maintenance_time,
+            phases,
             memory_bytes: self.estimated_bytes(),
             comparisons,
             prefilter_tests: 0,
@@ -219,27 +244,35 @@ impl ContinuousOperator for PointHashedGridOperator {
 
     fn evaluate(&mut self, now: Time) -> EvaluationReport {
         self.evaluations += 1;
+        let mut phases = PhaseBreakdown::new();
+        let entities = self.latest.len() as u64;
 
-        let sw = Stopwatch::start();
+        let mut sw = Stopwatch::start();
         self.object_grid.clear();
         self.query_grid.clear();
+        let mut insertions = 0u64;
         for update in self.latest.values() {
             match (update.entity, &update.attrs) {
                 (EntityRef::Object(oid), EntityAttrs::Object(_)) => {
                     self.object_grid.insert_at(&update.loc, (oid, update.loc));
+                    insertions += 1;
                 }
                 (EntityRef::Query(qid), EntityAttrs::Query(attrs)) => {
                     if let Some(region) = attrs.spec.region_at(update.loc) {
                         // Point-hashed: one cell, the one holding q.loc.
                         self.query_grid.insert_at(&update.loc, (qid, region));
+                        insertions += 1;
                     }
                 }
                 _ => {}
             }
         }
-        let maintenance_time = sw.elapsed();
+        phases.push(
+            StageStats::maintenance(STAGE_INDEX_REBUILD)
+                .with_wall(sw.lap())
+                .with_items(entities, insertions),
+        );
 
-        let sw = Stopwatch::start();
         let mut results = Vec::new();
         let mut comparisons = 0u64;
         for (cell, objects) in self.object_grid.iter_nonempty() {
@@ -256,14 +289,25 @@ impl ContinuousOperator for PointHashedGridOperator {
                 }
             }
         }
+        let raw = results.len() as u64;
+        phases.push(
+            StageStats::join(STAGE_CELL_JOIN)
+                .with_wall(sw.lap())
+                .with_items(entities, raw)
+                .with_tests(comparisons),
+        );
+
         results.sort_unstable();
-        let join_time = sw.elapsed();
+        phases.push(
+            StageStats::join(STAGE_RESULT_MERGE)
+                .with_wall(sw.lap())
+                .with_items(raw, results.len() as u64),
+        );
 
         EvaluationReport {
             now,
             results,
-            join_time,
-            maintenance_time,
+            phases,
             memory_bytes: self.estimated_bytes(),
             comparisons,
             prefilter_tests: 0,
@@ -284,7 +328,10 @@ mod tests {
     use super::*;
     use scuba_motion::{ObjectAttrs, QueryAttrs};
 
-    const CN: Point = Point { x: 1000.0, y: 500.0 };
+    const CN: Point = Point {
+        x: 1000.0,
+        y: 500.0,
+    };
 
     fn obj(id: u64, x: f64, y: f64) -> LocationUpdate {
         LocationUpdate::object(
@@ -326,6 +373,32 @@ mod tests {
         );
         assert!(report.comparisons >= 1);
         assert_eq!(report.prefilter_tests, 0);
+    }
+
+    #[test]
+    fn baseline_reports_stage_breakdown() {
+        let mut op = operator();
+        op.process_update(&obj(1, 500.0, 500.0));
+        op.process_update(&qry(1, 505.0, 500.0, 20.0));
+        let report = op.evaluate(2);
+        let names: Vec<&str> = report
+            .phases
+            .stages()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec![STAGE_INDEX_REBUILD, STAGE_CELL_JOIN, STAGE_RESULT_MERGE]
+        );
+        assert_eq!(
+            report.phases.get(STAGE_CELL_JOIN).unwrap().tests,
+            report.comparisons
+        );
+        assert_eq!(
+            report.total_time(),
+            report.join_time() + report.maintenance_time()
+        );
     }
 
     #[test]

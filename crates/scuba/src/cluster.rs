@@ -226,9 +226,9 @@ impl MovingCluster {
     /// transformation (centroid + relative offset − drift accumulated since
     /// capture). `None` for shed members.
     pub fn member_position(&self, member: &Member) -> Option<Point> {
-        member.rel.map(|rel| {
-            self.centroid + rel.offset() - (self.total_drift - member.drift_mark)
-        })
+        member
+            .rel
+            .map(|rel| self.centroid + rel.offset() - (self.total_drift - member.drift_mark))
     }
 
     /// The cluster's velocity vector: toward its destination node at the
@@ -409,8 +409,7 @@ impl MovingCluster {
         for member in &self.members {
             match member.rel {
                 Some(rel) => {
-                    let pos =
-                        self.centroid + rel.offset() - (self.total_drift - member.drift_mark);
+                    let pos = self.centroid + rel.offset() - (self.total_drift - member.drift_mark);
                     max_d_sq = max_d_sq.max(pos.distance_sq(&self.centroid));
                 }
                 None => any_shed = true,
@@ -455,11 +454,7 @@ impl MovingCluster {
         // deployment where positional state lives out of line, so a shed
         // member saves its polar coordinates *and* its drift mark — only
         // the id and speed (needed for the cluster averages) remain.
-        let shed_savings = self
-            .members
-            .iter()
-            .filter(|m| m.is_shed())
-            .count()
+        let shed_savings = self.members.iter().filter(|m| m.is_shed()).count()
             * (std::mem::size_of::<Polar>() + std::mem::size_of::<Vector>());
         fixed + self.members.capacity() * per_member + index - shed_savings
     }
@@ -544,8 +539,7 @@ impl MovingCluster {
             EntityRef::Object(_) => self.object_count += 1,
             EntityRef::Query(_) => self.query_count += 1,
         }
-        self.member_index
-            .insert(entity, self.members.len() as u32);
+        self.member_index.insert(entity, self.members.len() as u32);
         self.members.push(Member {
             entity,
             speed,
@@ -581,7 +575,11 @@ mod tests {
     const CN: Point = Point { x: 1000.0, y: 0.0 };
 
     fn founder() -> MovingCluster {
-        MovingCluster::found(ClusterId(1), &obj_update(1, Point::new(0.0, 0.0), 30.0, CN), false)
+        MovingCluster::found(
+            ClusterId(1),
+            &obj_update(1, Point::new(0.0, 0.0), 30.0, CN),
+            false,
+        )
     }
 
     #[test]
@@ -740,7 +738,12 @@ mod tests {
         c.absorb(&obj_update(2, Point::new(60.0, 0.0), 40.0, CN), false);
         assert!(c.update_member(&obj_update(2, Point::new(80.0, 0.0), 50.0, CN), false));
         let m = c.member(EntityRef::Object(ObjectId(2))).unwrap();
-        assert!(c.member_position(m).unwrap().distance(&Point::new(80.0, 0.0)) < 1e-9);
+        assert!(
+            c.member_position(m)
+                .unwrap()
+                .distance(&Point::new(80.0, 0.0))
+                < 1e-9
+        );
         assert_eq!(m.speed, 50.0);
         // ave = (30 + 50) / 2
         assert!((c.ave_speed() - 40.0).abs() < 1e-9);
@@ -764,7 +767,12 @@ mod tests {
 
         // Remaining members still materialise correctly after swap_remove.
         let m3 = c.member(EntityRef::Query(QueryId(3))).unwrap();
-        assert!(c.member_position(m3).unwrap().distance(&Point::new(30.0, 0.0)) < 1e-9);
+        assert!(
+            c.member_position(m3)
+                .unwrap()
+                .distance(&Point::new(30.0, 0.0))
+                < 1e-9
+        );
 
         assert!(c.remove_member(EntityRef::Object(ObjectId(2))).is_none());
     }

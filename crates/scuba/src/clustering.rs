@@ -167,10 +167,7 @@ impl ClusterEngine {
             }
             for member in cluster.members() {
                 if engine.home.assign(member.entity, cluster.cid).is_some() {
-                    return Err(format!(
-                        "entity {} appears in two clusters",
-                        member.entity
-                    ));
+                    return Err(format!("entity {} appears in two clusters", member.entity));
                 }
             }
             engine.grid.insert(cluster.cid, &cluster.effective_region());
@@ -204,17 +201,14 @@ impl ClusterEngine {
         // An entity already in a cluster either refreshes in place or
         // leaves before re-clustering.
         if let Some(cid) = self.home.cluster_of(update.entity) {
-            let still_fits = self
-                .clusters
-                .get(&cid)
-                .is_some_and(|c| {
-                    c.can_absorb(
-                        update,
-                        self.params.theta_d,
-                        self.params.theta_s,
-                        self.params.cnloc_tolerance,
-                    )
-                });
+            let still_fits = self.clusters.get(&cid).is_some_and(|c| {
+                c.can_absorb(
+                    update,
+                    self.params.theta_d,
+                    self.params.theta_s,
+                    self.params.cnloc_tolerance,
+                )
+            });
             if still_fits {
                 let cluster = self.clusters.get_mut(&cid).expect("checked above");
                 let shed = Self::shed_decision(&self.params, cluster, update);
@@ -255,16 +249,14 @@ impl ClusterEngine {
         }
         // Steps 3–4: the first candidate satisfying all conditions absorbs.
         let chosen = candidates.iter().copied().find(|cid| {
-            self.clusters
-                .get(cid)
-                .is_some_and(|c| {
-                    c.can_absorb(
-                        update,
-                        self.params.theta_d,
-                        self.params.theta_s,
-                        self.params.cnloc_tolerance,
-                    )
-                })
+            self.clusters.get(cid).is_some_and(|c| {
+                c.can_absorb(
+                    update,
+                    self.params.theta_d,
+                    self.params.theta_s,
+                    self.params.cnloc_tolerance,
+                )
+            })
         });
 
         self.probe_scratch = candidates;
@@ -401,11 +393,7 @@ impl ClusterEngine {
     /// nucleus, across every cluster, returning how many positions were
     /// discarded. A no-op when shedding is inactive.
     pub fn shed_now(&mut self) -> u64 {
-        let Some(nucleus) = self
-            .params
-            .shedding
-            .nucleus_radius(self.params.theta_d)
-        else {
+        let Some(nucleus) = self.params.shedding.nucleus_radius(self.params.theta_d) else {
             return 0;
         };
         let mut shed = 0u64;
@@ -526,7 +514,10 @@ mod tests {
     use scuba_motion::{LocationUpdate, ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec};
     use scuba_spatial::Point;
 
-    const CN_EAST: Point = Point { x: 1000.0, y: 500.0 };
+    const CN_EAST: Point = Point {
+        x: 1000.0,
+        y: 500.0,
+    };
     const CN_WEST: Point = Point { x: 0.0, y: 500.0 };
 
     fn engine() -> ClusterEngine {

@@ -11,12 +11,29 @@
 
 use scuba_motion::LocationUpdate;
 use scuba_spatial::{Rect, Time};
-use scuba_stream::{ContinuousOperator, EvaluationReport, Stopwatch};
+use scuba_stream::{ContinuousOperator, EvaluationReport, PhaseBreakdown, StageStats, Stopwatch};
 
 use crate::clustering::{ClusterEngine, ClusteringStats};
 use crate::join::JoinContext;
 use crate::params::ScubaParams;
 use crate::shedding::AdaptiveShedder;
+
+/// Stage name: pre-join radius tightening (maintenance bucket).
+pub const STAGE_PRE_JOIN_TIGHTEN: &str = "pre-join-tighten";
+/// Stage name: continuous kNN evaluation alongside the range join.
+pub const STAGE_KNN: &str = "knn";
+/// Stage name: post-join cluster maintenance (dissolve + relocate).
+pub const STAGE_POST_JOIN: &str = "post-join-maintenance";
+
+/// The operator name for a parameter set; shared by both constructors so
+/// shedding naming cannot drift between them.
+fn operator_name(params: &ScubaParams) -> String {
+    if params.shedding.is_active() {
+        format!("SCUBA(shedding={:?})", params.shedding)
+    } else {
+        "SCUBA".to_string()
+    }
+}
 
 /// The SCUBA continuous-query operator.
 #[derive(Debug)]
@@ -31,28 +48,13 @@ pub struct ScubaOperator {
 impl ScubaOperator {
     /// Creates the operator over the given coverage area.
     pub fn new(params: ScubaParams, area: Rect) -> Self {
-        let name = if params.shedding.is_active() {
-            format!("SCUBA(shedding={:?})", params.shedding)
-        } else {
-            "SCUBA".to_string()
-        };
-        ScubaOperator {
-            engine: ClusterEngine::new(params, area),
-            name,
-            evaluations: 0,
-            adaptive: None,
-        }
+        Self::from_engine(ClusterEngine::new(params, area))
     }
 
     /// Wraps an existing (e.g. snapshot-restored) clustering engine in an
     /// operator.
     pub fn from_engine(engine: ClusterEngine) -> Self {
-        let params = *engine.params();
-        let name = if params.shedding.is_active() {
-            format!("SCUBA(shedding={:?})", params.shedding)
-        } else {
-            "SCUBA".to_string()
-        };
+        let name = operator_name(engine.params());
         ScubaOperator {
             engine,
             name,
@@ -100,6 +102,8 @@ impl ContinuousOperator for ScubaOperator {
 
     fn evaluate(&mut self, now: Time) -> EvaluationReport {
         self.evaluations += 1;
+        let mut phases = PhaseBreakdown::new();
+        let clusters_before = self.engine.cluster_count() as u64;
 
         // Tail of phase 1: tighten cluster radii so the join-between filter
         // sees exact regions (counted as maintenance, not join).
@@ -107,10 +111,13 @@ impl ContinuousOperator for ScubaOperator {
         if self.engine.params().tighten_radii {
             self.engine.pre_join_tighten();
         }
-        let tighten_time = sw.elapsed();
+        phases.push(
+            StageStats::maintenance(STAGE_PRE_JOIN_TIGHTEN)
+                .with_wall(sw.elapsed())
+                .with_items(clusters_before, clusters_before),
+        );
 
-        // Phase 2: cluster-based joining.
-        let sw = Stopwatch::start();
+        // Phase 2: cluster-based joining (the staged pipeline).
         let ctx = JoinContext {
             clusters: self.engine.clusters(),
             grid: self.engine.grid(),
@@ -118,17 +125,25 @@ impl ContinuousOperator for ScubaOperator {
             shedding: self.engine.params().shedding,
             theta_d: self.engine.params().theta_d,
             member_filter: self.engine.params().member_filter,
+            parallelism: self.engine.params().parallelism,
         };
         let mut join = ctx.run();
+        phases.extend(std::mem::take(&mut join.stages));
         // Extension: answer registered kNN queries alongside the range
         // join (zero-cost when the workload has none).
+        let sw = Stopwatch::start();
         let knn = crate::knn::evaluate_continuous(&self.engine);
+        let knn_found = knn.len() as u64;
         if !knn.is_empty() {
             join.results.extend(knn);
             join.results.sort_unstable();
             join.results.dedup();
         }
-        let join_time = sw.elapsed();
+        phases.push(
+            StageStats::join(STAGE_KNN)
+                .with_wall(sw.elapsed())
+                .with_items(knn_found, knn_found),
+        );
 
         // Phase 3: post-join maintenance.
         let sw = Stopwatch::start();
@@ -145,13 +160,16 @@ impl ContinuousOperator for ScubaOperator {
                 }
             }
         }
-        let maintenance_time = tighten_time + sw.elapsed();
+        phases.push(
+            StageStats::maintenance(STAGE_POST_JOIN)
+                .with_wall(sw.elapsed())
+                .with_items(clusters_before, self.engine.cluster_count() as u64),
+        );
 
         EvaluationReport {
             now,
             results: join.results,
-            join_time,
-            maintenance_time,
+            phases,
             memory_bytes,
             comparisons: join.comparisons,
             prefilter_tests: join.prefilter_tests,
@@ -165,6 +183,10 @@ impl ContinuousOperator for ScubaOperator {
     fn memory_bytes(&self) -> usize {
         self.engine.estimated_bytes()
     }
+
+    fn clusters_live(&self) -> Option<usize> {
+        Some(self.engine.cluster_count())
+    }
 }
 
 #[cfg(test)]
@@ -174,7 +196,10 @@ mod tests {
     use scuba_spatial::Point;
     use scuba_stream::{Executor, ExecutorConfig};
 
-    const CN: Point = Point { x: 1000.0, y: 500.0 };
+    const CN: Point = Point {
+        x: 1000.0,
+        y: 500.0,
+    };
 
     fn obj(id: u64, x: f64, y: f64) -> LocationUpdate {
         LocationUpdate::object(
@@ -214,12 +239,33 @@ mod tests {
     }
 
     #[test]
+    fn report_carries_stage_breakdown() {
+        let mut op = ScubaOperator::new(ScubaParams::default(), Rect::square(1000.0));
+        op.process_update(&obj(1, 500.0, 500.0));
+        op.process_update(&qry(1, 504.0, 500.0, 20.0));
+        let report = op.evaluate(2);
+        assert!(!report.phases.is_empty());
+        assert!(report.phases.get(crate::join::STAGE_JOIN_WITHIN).is_some());
+        assert!(report.phases.get(STAGE_PRE_JOIN_TIGHTEN).is_some());
+        assert!(report.phases.get(STAGE_KNN).is_some());
+        assert!(report.phases.get(STAGE_POST_JOIN).is_some());
+        assert_eq!(
+            report.total_time(),
+            report.join_time() + report.maintenance_time()
+        );
+        assert_eq!(op.clusters_live(), Some(op.engine().cluster_count()));
+    }
+
+    #[test]
     fn works_under_executor() {
         let mut op = ScubaOperator::new(ScubaParams::default(), Rect::square(1000.0));
         let mut t = 0u64;
         let mut source = move || {
             t += 1;
-            vec![obj(1, 500.0 + t as f64 * 30.0, 500.0), qry(1, 503.0 + t as f64 * 30.0, 500.0, 20.0)]
+            vec![
+                obj(1, 500.0 + t as f64 * 30.0, 500.0),
+                qry(1, 503.0 + t as f64 * 30.0, 500.0, 20.0),
+            ]
         };
         let exec = Executor::new(ExecutorConfig {
             delta: 2,
@@ -278,8 +324,8 @@ mod tests {
     fn adaptive_budget_escalates_shedding() {
         use crate::SheddingMode;
         // A budget far below what 200 tracked entities need.
-        let mut op = ScubaOperator::new(ScubaParams::default(), Rect::square(1000.0))
-            .with_memory_budget(1);
+        let mut op =
+            ScubaOperator::new(ScubaParams::default(), Rect::square(1000.0)).with_memory_budget(1);
         assert_eq!(op.current_shedding(), SheddingMode::None);
         for round in 0..5u64 {
             for i in 0..100u64 {

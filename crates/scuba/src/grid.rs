@@ -10,7 +10,7 @@
 //! maintenance. Registrations are tracked per cluster so both operations
 //! are proportional to the handful of cells a compact cluster overlaps.
 
-use scuba_spatial::{Circle, CellIdx, FxHashMap, GridSpec, Point};
+use scuba_spatial::{CellIdx, Circle, FxHashMap, GridSpec, Point};
 
 use crate::cluster::ClusterId;
 
@@ -152,8 +152,8 @@ impl ClusterGrid {
     pub fn estimated_bytes(&self) -> usize {
         let header = std::mem::size_of::<Vec<ClusterId>>();
         let id = std::mem::size_of::<ClusterId>();
-        let cells: usize = self.cells.len() * header
-            + self.cells.iter().map(|c| c.capacity() * id).sum::<usize>();
+        let cells: usize =
+            self.cells.len() * header + self.cells.iter().map(|c| c.capacity() * id).sum::<usize>();
         let regs: usize = self
             .registrations
             .values()

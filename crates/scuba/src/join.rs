@@ -1,14 +1,21 @@
 //! The cluster-based joining phase (paper §4, Algorithms 1–3).
 //!
-//! Every Δ time units SCUBA walks the ClusterGrid cell by cell and, for
-//! each pair of clusters sharing a cell:
+//! The phase runs as an explicit four-stage pipeline, each stage emitting
+//! a [`StageStats`] record:
 //!
-//! * **join-between** (Algorithm 2) — the circle/circle overlap pre-filter.
-//!   Pairs whose regions do not overlap are pruned: their members are
-//!   *guaranteed* not to join individually (the cluster region covers all
-//!   member positions).
-//! * **join-within** (Algorithm 3) — the exact object×query join over the
-//!   members of both clusters, materialising relative positions lazily.
+//! 1. **pair discovery** — the ClusterGrid cell walk plus seen-pair dedup,
+//!    materialising the unique cluster pairs sharing at least one cell;
+//! 2. **join-between** (Algorithm 2) — the circle/circle overlap
+//!    pre-filter. Pairs whose regions do not overlap are pruned: their
+//!    members are *guaranteed* not to join individually (the cluster
+//!    region covers all member positions);
+//! 3. **join-within** (Algorithm 3) — the exact object×query join over the
+//!    members of both clusters, materialising relative positions lazily.
+//!    This is the embarrassingly parallel kernel: surviving pairs are
+//!    independent, so [`JoinContext::parallelism`] > 1 partitions them
+//!    across scoped worker threads fed by a crossbeam channel;
+//! 4. **result merge** — sort + dedup of the worker outputs, which makes
+//!    the result set independent of thread count and of pair order.
 //!
 //! Two engineering notes relative to the paper's pseudo-code:
 //!
@@ -39,12 +46,21 @@
 
 use scuba_motion::{ObjectId, QueryId, QuerySpec};
 use scuba_spatial::{Circle, FxHashMap, FxHashSet, Point, Rect};
-use scuba_stream::QueryMatch;
+use scuba_stream::{QueryMatch, StageStats, Stopwatch};
 
 use crate::cluster::{ClusterId, MovingCluster};
 use crate::grid::ClusterGrid;
 use crate::shedding::SheddingMode;
 use crate::tables::QueriesTable;
+
+/// Stage name: grid cell walk + seen-pair dedup.
+pub const STAGE_PAIR_DISCOVERY: &str = "pair-discovery";
+/// Stage name: cluster-pair overlap pre-filter (Algorithm 2).
+pub const STAGE_JOIN_BETWEEN: &str = "join-between";
+/// Stage name: exact member join over surviving pairs (Algorithm 3).
+pub const STAGE_JOIN_WITHIN: &str = "join-within";
+/// Stage name: sort + dedup of raw matches.
+pub const STAGE_RESULT_MERGE: &str = "result-merge";
 
 /// What one joining phase produced and how much work it did.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -61,6 +77,9 @@ pub struct JoinOutput {
     pub pairs_pruned: u64,
     /// Cluster pairs that proceeded to join-within.
     pub pairs_joined: u64,
+    /// Per-stage cost accounting, in pipeline order (pair discovery,
+    /// join-between, join-within, result merge).
+    pub stages: Vec<StageStats>,
 }
 
 /// Borrowed view of everything the joining phase needs. Decoupled from
@@ -84,6 +103,11 @@ pub struct JoinContext<'a> {
     /// join-within (sound either way; `false` reverts to Algorithm 3's
     /// plain nested loop for ablation).
     pub member_filter: bool,
+    /// Worker threads for the join-within stage. 1 runs today's serial
+    /// path (with a shared materialisation cache); n > 1 partitions the
+    /// surviving pairs across n scoped threads. The result set and all
+    /// work counters are identical for every value.
+    pub parallelism: usize,
 }
 
 /// An exact (un-shed) range-query member with its region precomputed.
@@ -125,84 +149,240 @@ impl Materialized {
     }
 }
 
+/// The unique cluster pairs found by the cell walk, plus walk counters.
+struct Discovery {
+    pairs: Vec<(ClusterId, ClusterId)>,
+    /// Total cluster entries visited across non-empty cells.
+    entries_walked: u64,
+    /// Candidate pair occurrences examined (before seen-pair dedup).
+    candidates: u64,
+}
+
+/// Accumulator for the join-within kernel: one per worker, merged
+/// commutatively afterwards.
+#[derive(Default)]
+struct WithinAcc {
+    results: Vec<QueryMatch>,
+    comparisons: u64,
+    reach_tests: u64,
+}
+
+impl WithinAcc {
+    fn absorb(&mut self, other: WithinAcc) {
+        self.results.extend(other.results);
+        self.comparisons += other.comparisons;
+        self.reach_tests += other.reach_tests;
+    }
+}
+
 impl<'a> JoinContext<'a> {
-    /// Runs the full joining phase (Algorithm 1, steps 8–21).
+    /// Runs the full joining phase (Algorithm 1, steps 8–21) as the
+    /// four-stage pipeline described in the module docs.
     pub fn run(&self) -> JoinOutput {
         let mut out = JoinOutput::default();
-        let mut seen: FxHashSet<(ClusterId, ClusterId)> = FxHashSet::default();
-        let mut cache: FxHashMap<ClusterId, Materialized> = FxHashMap::default();
+        let mut sw = Stopwatch::start();
 
+        // Stage 1 — pair discovery: cell walk + seen-pair dedup.
+        let discovery = self.discover_pairs();
+        let discovered = discovery.pairs.len() as u64;
+        out.stages.push(
+            StageStats::join(STAGE_PAIR_DISCOVERY)
+                .with_wall(sw.lap())
+                .with_items(discovery.entries_walked, discovered)
+                .with_tests(discovery.candidates),
+        );
+
+        // Stage 2 — join-between: the overlap pre-filter (Algorithm 2).
+        let tasks = self.join_between(&discovery.pairs, &mut out);
+        let between_tests = out.prefilter_tests;
+        out.stages.push(
+            StageStats::join(STAGE_JOIN_BETWEEN)
+                .with_wall(sw.lap())
+                .with_items(discovered, tasks.len() as u64)
+                .with_tests(between_tests),
+        );
+
+        // Stage 3 — join-within: the exact member join (Algorithm 3),
+        // partitioned across workers when parallelism > 1.
+        let within = self.join_within(&tasks);
+        out.comparisons = within.comparisons;
+        out.prefilter_tests += within.reach_tests;
+        out.results = within.results;
+        let raw = out.results.len() as u64;
+        out.stages.push(
+            StageStats::join(STAGE_JOIN_WITHIN)
+                .with_wall(sw.lap())
+                .with_items(tasks.len() as u64, raw)
+                .with_tests(within.comparisons + within.reach_tests),
+        );
+
+        // Stage 4 — result merge: sort + dedup, which also erases any
+        // worker-interleaving of the raw matches.
+        out.results.sort_unstable();
+        out.results.dedup();
+        out.stages.push(
+            StageStats::join(STAGE_RESULT_MERGE)
+                .with_wall(sw.lap())
+                .with_items(raw, out.results.len() as u64),
+        );
+        out
+    }
+
+    /// Stage 1: walks the grid cell by cell and collects each cluster pair
+    /// sharing a cell exactly once (self-pairs included), in first-seen
+    /// order.
+    fn discover_pairs(&self) -> Discovery {
+        let mut seen: FxHashSet<(ClusterId, ClusterId)> = FxHashSet::default();
+        let mut pairs = Vec::new();
+        let mut entries_walked = 0u64;
+        let mut candidates = 0u64;
         for (_, cell) in self.grid.iter_nonempty() {
+            entries_walked += cell.len() as u64;
             for (i, &left) in cell.iter().enumerate() {
                 for &right in &cell[i..] {
+                    candidates += 1;
                     let key = if left <= right {
                         (left, right)
                     } else {
                         (right, left)
                     };
-                    if !seen.insert(key) {
-                        continue; // pair already handled via another cell
+                    if seen.insert(key) {
+                        pairs.push(key);
                     }
-                    self.join_pair(key.0, key.1, &mut cache, &mut out);
                 }
             }
         }
-
-        out.results.sort_unstable();
-        out.results.dedup();
-        out
+        Discovery {
+            pairs,
+            entries_walked,
+            candidates,
+        }
     }
 
-    fn join_pair(
+    /// Stage 2: filters the discovered pairs down to the ones join-within
+    /// must examine. Same-cluster pairs survive only for mixed clusters
+    /// (Algorithm 1, step 14); cross pairs survive the joinable-kind check
+    /// and the region-overlap test (Algorithm 2). Updates the pair
+    /// counters and overlap-test count on `out`.
+    fn join_between(
+        &self,
+        pairs: &[(ClusterId, ClusterId)],
+        out: &mut JoinOutput,
+    ) -> Vec<(ClusterId, ClusterId)> {
+        let mut tasks = Vec::with_capacity(pairs.len());
+        for &(left, right) in pairs {
+            let (Some(m_l), Some(m_r)) = (self.clusters.get(&left), self.clusters.get(&right))
+            else {
+                continue; // stale grid entry
+            };
+
+            if left == right {
+                // Same-cluster join-within only for mixed clusters.
+                if m_l.is_mixed() {
+                    tasks.push((left, right));
+                }
+                continue;
+            }
+
+            // Only cross-kind pairs can produce results (Algorithm 1,
+            // step 18).
+            let joinable = (m_l.object_count() > 0 && m_r.query_count() > 0)
+                || (m_l.query_count() > 0 && m_r.object_count() > 0);
+            if !joinable {
+                continue;
+            }
+
+            // The overlap pre-filter, with the query side inflated by its
+            // widest range so pruned pairs really cannot produce results
+            // (see MovingCluster::effective_region).
+            out.prefilter_tests += 1;
+            let can_match = m_l.region().overlaps(&m_r.effective_region())
+                || m_r.region().overlaps(&m_l.effective_region());
+            if !can_match {
+                out.pairs_pruned += 1;
+                continue;
+            }
+            out.pairs_joined += 1;
+            tasks.push((left, right));
+        }
+        tasks
+    }
+
+    /// Stage 3: runs the member join over every surviving pair, serially
+    /// or across `parallelism` scoped worker threads.
+    ///
+    /// Parallel execution is deterministic in everything the caller can
+    /// observe: per-pair comparison and reach-test counts do not depend on
+    /// which worker (or which materialisation cache) handles the pair, the
+    /// counters merge commutatively, and the raw matches are sorted and
+    /// deduped by the merge stage.
+    fn join_within(&self, tasks: &[(ClusterId, ClusterId)]) -> WithinAcc {
+        let workers = self.parallelism.max(1).min(tasks.len().max(1));
+        if workers <= 1 {
+            let mut acc = WithinAcc::default();
+            let mut cache: FxHashMap<ClusterId, Materialized> = FxHashMap::default();
+            for &(left, right) in tasks {
+                self.join_task(left, right, &mut cache, &mut acc);
+            }
+            return acc;
+        }
+
+        let (task_tx, task_rx) = crossbeam::channel::unbounded::<(ClusterId, ClusterId)>();
+        for &pair in tasks {
+            task_tx.send(pair).expect("task receiver alive");
+        }
+        drop(task_tx);
+
+        let mut merged = WithinAcc::default();
+        std::thread::scope(|scope| {
+            let (result_tx, result_rx) = crossbeam::channel::unbounded::<WithinAcc>();
+            for _ in 0..workers {
+                let rx = task_rx.clone();
+                let tx = result_tx.clone();
+                let ctx = *self;
+                scope.spawn(move || {
+                    let mut acc = WithinAcc::default();
+                    let mut cache: FxHashMap<ClusterId, Materialized> = FxHashMap::default();
+                    for (left, right) in rx.iter() {
+                        ctx.join_task(left, right, &mut cache, &mut acc);
+                    }
+                    let _ = tx.send(acc);
+                });
+            }
+            drop(result_tx);
+            for acc in result_rx.iter() {
+                merged.absorb(acc);
+            }
+        });
+        merged
+    }
+
+    /// Joins one surviving pair: the same-cluster join for `(c, c)` tasks,
+    /// otherwise L-objects × R-queries and R-objects × L-queries.
+    fn join_task(
         &self,
         left: ClusterId,
         right: ClusterId,
         cache: &mut FxHashMap<ClusterId, Materialized>,
-        out: &mut JoinOutput,
+        acc: &mut WithinAcc,
     ) {
-        let (Some(m_l), Some(m_r)) = (self.clusters.get(&left), self.clusters.get(&right))
-        else {
+        let (Some(m_l), Some(m_r)) = (self.clusters.get(&left), self.clusters.get(&right)) else {
             return; // stale grid entry
         };
 
         if left == right {
-            // Same-cluster join-within only for mixed clusters
-            // (Algorithm 1, step 14).
-            if m_l.is_mixed() {
-                let member_filter = self.member_filter;
-                let mat = self.materialize_cached(m_l, cache);
-                Self::join_members(mat, mat, member_filter, out);
-            }
+            let member_filter = self.member_filter;
+            let mat = self.materialize_cached(m_l, cache);
+            Self::join_members(mat, mat, member_filter, acc);
             return;
         }
 
-        // Only cross-kind pairs can produce results (Algorithm 1, step 18).
-        let joinable = (m_l.object_count() > 0 && m_r.query_count() > 0)
-            || (m_l.query_count() > 0 && m_r.object_count() > 0);
-        if !joinable {
-            return;
-        }
-
-        // Join-between: the overlap pre-filter (Algorithm 2), with the
-        // query side inflated by its widest range so pruned pairs really
-        // cannot produce results (see MovingCluster::effective_region).
-        out.prefilter_tests += 1;
-        let can_match = m_l.region().overlaps(&m_r.effective_region())
-            || m_r.region().overlaps(&m_l.effective_region());
-        if !can_match {
-            out.pairs_pruned += 1;
-            return;
-        }
-        out.pairs_joined += 1;
-
-        // Join-within across the pair: L-objects × R-queries and
-        // R-objects × L-queries.
         self.materialize_cached(m_l, cache);
         self.materialize_cached(m_r, cache);
         let mat_l = &cache[&left];
         let mat_r = &cache[&right];
-        Self::join_members(mat_l, mat_r, self.member_filter, out);
-        Self::join_members(mat_r, mat_l, self.member_filter, out);
+        Self::join_members(mat_l, mat_r, self.member_filter, acc);
+        Self::join_members(mat_r, mat_l, self.member_filter, acc);
     }
 
     /// Joins `objects_of`'s objects against `queries_of`'s queries.
@@ -222,7 +402,7 @@ impl<'a> JoinContext<'a> {
         objects_of: &Materialized,
         queries_of: &Materialized,
         member_filter: bool,
-        out: &mut JoinOutput,
+        acc: &mut WithinAcc,
     ) {
         if !objects_of.has_objects() || !queries_of.has_queries() {
             return;
@@ -236,7 +416,7 @@ impl<'a> JoinContext<'a> {
         let mut active: Vec<&ExactQuery> = Vec::with_capacity(queries_of.exact_queries.len());
         for q in &queries_of.exact_queries {
             if !skip_filters {
-                out.prefilter_tests += 1;
+                acc.reach_tests += 1;
                 let reach = Circle::new(
                     objects_of.region.center,
                     objects_of.region.radius + q.bounding_radius,
@@ -252,15 +432,15 @@ impl<'a> JoinContext<'a> {
         if !active.is_empty() {
             for &(oid, p) in &objects_of.exact_objects {
                 if !skip_filters {
-                    out.prefilter_tests += 1;
+                    acc.reach_tests += 1;
                     if !queries_of.reach.contains(&p) {
                         continue;
                     }
                 }
                 for q in &active {
-                    out.comparisons += 1;
+                    acc.comparisons += 1;
                     if q.region.contains(&p) {
-                        out.results.push(QueryMatch::new(q.qid, oid));
+                        acc.results.push(QueryMatch::new(q.qid, oid));
                     }
                 }
             }
@@ -270,10 +450,10 @@ impl<'a> JoinContext<'a> {
         //    per query answers every shed object.
         if !objects_of.shed_objects.is_empty() {
             for q in &active {
-                out.comparisons += 1;
+                acc.comparisons += 1;
                 if q.region.contains(&objects_of.centroid) {
                     for &oid in &objects_of.shed_objects {
-                        out.results.push(QueryMatch::new(q.qid, oid));
+                        acc.results.push(QueryMatch::new(q.qid, oid));
                     }
                 }
             }
@@ -284,21 +464,21 @@ impl<'a> JoinContext<'a> {
         for (region, qids) in &queries_of.shed_query_groups {
             // 3a. Exact objects.
             for &(oid, p) in &objects_of.exact_objects {
-                out.comparisons += 1;
+                acc.comparisons += 1;
                 if region.contains(&p) {
                     for &qid in qids {
-                        out.results.push(QueryMatch::new(qid, oid));
+                        acc.results.push(QueryMatch::new(qid, oid));
                     }
                 }
             }
             // 3b. Shed objects: a single centroid-in-region test answers
             //     the full cross product.
             if !objects_of.shed_objects.is_empty() {
-                out.comparisons += 1;
+                acc.comparisons += 1;
                 if region.contains(&objects_of.centroid) {
                     for &qid in qids {
                         for &oid in &objects_of.shed_objects {
-                            out.results.push(QueryMatch::new(qid, oid));
+                            acc.results.push(QueryMatch::new(qid, oid));
                         }
                     }
                 }
@@ -356,10 +536,7 @@ impl<'a> JoinContext<'a> {
                                 .spec
                                 .region_at(centroid)
                                 .expect("range spec always has a region");
-                            match shed_query_groups
-                                .iter_mut()
-                                .find(|(r, _)| *r == region)
-                            {
+                            match shed_query_groups.iter_mut().find(|(r, _)| *r == region) {
                                 Some((_, qids)) => qids.push(qid),
                                 None => shed_query_groups.push((region, vec![qid])),
                             }
@@ -389,8 +566,12 @@ mod tests {
     use crate::params::ScubaParams;
     use scuba_motion::{LocationUpdate, ObjectAttrs, QueryAttrs};
     use scuba_spatial::Rect;
+    use scuba_stream::PhaseKind;
 
-    const CN_EAST: Point = Point { x: 1000.0, y: 500.0 };
+    const CN_EAST: Point = Point {
+        x: 1000.0,
+        y: 500.0,
+    };
     const CN_WEST: Point = Point { x: 0.0, y: 500.0 };
 
     fn obj(id: u64, x: f64, y: f64, speed: f64, cn: Point) -> LocationUpdate {
@@ -425,6 +606,7 @@ mod tests {
             shedding: engine.params().shedding,
             theta_d: engine.params().theta_d,
             member_filter: engine.params().member_filter,
+            parallelism: engine.params().parallelism,
         }
     }
 
@@ -615,5 +797,60 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted, out.results);
+    }
+
+    #[test]
+    fn stages_are_emitted_in_pipeline_order() {
+        let mut e = ClusterEngine::new(ScubaParams::default(), Rect::square(1000.0));
+        e.process_update(&obj(1, 500.0, 500.0, 30.0, CN_EAST));
+        e.process_update(&qry(1, 505.0, 500.0, 30.0, CN_EAST, 20.0));
+        let out = ctx(&e).run();
+        let names: Vec<&str> = out.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                STAGE_PAIR_DISCOVERY,
+                STAGE_JOIN_BETWEEN,
+                STAGE_JOIN_WITHIN,
+                STAGE_RESULT_MERGE,
+            ]
+        );
+        assert!(out.stages.iter().all(|s| s.kind == PhaseKind::Join));
+        // Data-flow bookkeeping: the merge stage's output is the final
+        // result set, and join-within's unit work matches the counters.
+        let merge = &out.stages[3];
+        assert_eq!(merge.items_out, out.results.len() as u64);
+        let within = &out.stages[2];
+        let between = &out.stages[1];
+        assert_eq!(
+            within.tests + between.tests,
+            out.comparisons + out.prefilter_tests
+        );
+    }
+
+    #[test]
+    fn parallel_join_matches_serial() {
+        // A dozen object/query convoys scattered along a line: several
+        // surviving pairs to partition across workers.
+        let params = ScubaParams::default().with_grid_cells(8);
+        let mut e = ClusterEngine::new(params, Rect::square(1000.0));
+        for i in 0..12u64 {
+            let x = 80.0 * i as f64 + 40.0;
+            e.process_update(&obj(i, x, 500.0, 30.0, CN_EAST));
+            e.process_update(&obj(100 + i, x + 5.0, 505.0, 30.0, CN_EAST));
+            e.process_update(&qry(i, x + 2.0, 502.0, 30.0, CN_WEST, 60.0));
+        }
+        let serial = ctx(&e).run();
+        assert!(!serial.results.is_empty());
+        for workers in [2usize, 4, 8] {
+            let mut parallel_ctx = ctx(&e);
+            parallel_ctx.parallelism = workers;
+            let parallel = parallel_ctx.run();
+            assert_eq!(parallel.results, serial.results, "workers={workers}");
+            assert_eq!(parallel.comparisons, serial.comparisons);
+            assert_eq!(parallel.prefilter_tests, serial.prefilter_tests);
+            assert_eq!(parallel.pairs_joined, serial.pairs_joined);
+            assert_eq!(parallel.pairs_pruned, serial.pairs_pruned);
+        }
     }
 }

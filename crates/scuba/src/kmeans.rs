@@ -74,6 +74,7 @@ impl KMeansOutcome {
             shedding: SheddingMode::None,
             theta_d: params.theta_d,
             member_filter: params.member_filter,
+            parallelism: params.parallelism,
         }
         .run()
     }
@@ -202,7 +203,10 @@ mod tests {
     use scuba_motion::{ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec};
 
     const CN_A: Point = Point { x: 0.0, y: 0.0 };
-    const CN_B: Point = Point { x: 1000.0, y: 1000.0 };
+    const CN_B: Point = Point {
+        x: 1000.0,
+        y: 1000.0,
+    };
 
     fn obj(id: u64, x: f64, y: f64, cn: Point) -> LocationUpdate {
         LocationUpdate::object(
@@ -292,14 +296,8 @@ mod tests {
         // Query 1 covers objects within ±10 of (105, 100): objects 0..10
         // are at x = 100..110 → several matches; query 2 symmetric.
         assert!(!join.results.is_empty());
-        assert!(join
-            .results
-            .iter()
-            .any(|m| m.query == QueryId(1)));
-        assert!(join
-            .results
-            .iter()
-            .any(|m| m.query == QueryId(2)));
+        assert!(join.results.iter().any(|m| m.query == QueryId(1)));
+        assert!(join.results.iter().any(|m| m.query == QueryId(2)));
     }
 
     #[test]

@@ -81,9 +81,9 @@ pub fn knn_for_query(engine: &ClusterEngine, query: QueryId, k: usize) -> Option
             .iter()
             .copied()
             .find(|other| {
-                engine.cluster(*other).is_some_and(|c| {
-                    c.object_count() >= k && c.region().contains(&center)
-                })
+                engine
+                    .cluster(*other)
+                    .is_some_and(|c| c.object_count() >= k && c.region().contains(&center))
             })
     };
     Some(knn_at(engine, center, k, candidate))
@@ -176,7 +176,10 @@ mod tests {
     use scuba_motion::{LocationUpdate, ObjectAttrs, QueryAttrs, QuerySpec};
     use scuba_spatial::Rect;
 
-    const CN_E: Point = Point { x: 1000.0, y: 500.0 };
+    const CN_E: Point = Point {
+        x: 1000.0,
+        y: 500.0,
+    };
     const CN_W: Point = Point { x: 0.0, y: 500.0 };
 
     fn obj(id: u64, x: f64, y: f64, cn: Point) -> LocationUpdate {

@@ -89,6 +89,7 @@ pub mod grid;
 pub mod join;
 pub mod kmeans;
 pub mod knn;
+pub mod ops;
 pub mod params;
 pub mod qindex;
 pub mod shedding;
@@ -102,9 +103,10 @@ pub use baseline::{PointHashedGridOperator, RegularGridOperator};
 pub use cluster::{ClusterId, Member, MovingCluster};
 pub use delta::{DeltaTracker, ResultDelta};
 pub use engine::ScubaOperator;
+pub use ops::{OperatorKind, OpsConfig};
 pub use params::{ProbeScope, ScubaParams};
 pub use qindex::QueryIndexOperator;
+pub use shedding::{AdaptiveShedder, SheddingMode};
 pub use sina::IncrementalGridOperator;
 pub use snapshot::EngineSnapshot;
 pub use vci::{VciConfig, VciOperator};
-pub use shedding::{AdaptiveShedder, SheddingMode};

@@ -1,0 +1,178 @@
+//! Operator-construction factory.
+//!
+//! Every harness that pits SCUBA against its baselines (the CLI `compare`
+//! command, the bench figure runners, ad-hoc experiments) needs the same
+//! six operators built over the same parameters. Hand-rolling the six
+//! constructor calls at every site invites drift — a baseline silently
+//! missing from one harness, or built with a different grid granularity.
+//! [`OpsConfig::build`] is the single place an [`OperatorKind`] turns into
+//! a boxed [`ContinuousOperator`].
+
+use scuba_spatial::Rect;
+use scuba_stream::ContinuousOperator;
+
+use crate::baseline::{PointHashedGridOperator, RegularGridOperator};
+use crate::engine::ScubaOperator;
+use crate::params::ScubaParams;
+use crate::qindex::QueryIndexOperator;
+use crate::sina::IncrementalGridOperator;
+use crate::vci::{VciConfig, VciOperator};
+
+/// Every operator the suite can build, in canonical reporting order
+/// (SCUBA first, then the baselines as they appear in the paper's §6/§7
+/// comparisons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperatorKind {
+    /// The cluster-based operator under study ([`ScubaOperator`]).
+    Scuba,
+    /// The §6 comparison baseline ([`RegularGridOperator`]).
+    Regular,
+    /// The §6-literal lossy point-hashed grid
+    /// ([`PointHashedGridOperator`]).
+    PointHashed,
+    /// Query Indexing over an R-tree, related work \[29\]
+    /// ([`QueryIndexOperator`]).
+    QueryIndex,
+    /// SINA-style incrementally-maintained grid, related work \[24\]
+    /// ([`IncrementalGridOperator`]).
+    IncrementalGrid,
+    /// Velocity-Constrained Indexing, related work \[29\]
+    /// ([`VciOperator`]).
+    Vci,
+}
+
+impl OperatorKind {
+    /// All kinds in canonical reporting order.
+    pub const ALL: [OperatorKind; 6] = [
+        OperatorKind::Scuba,
+        OperatorKind::Regular,
+        OperatorKind::PointHashed,
+        OperatorKind::QueryIndex,
+        OperatorKind::IncrementalGrid,
+        OperatorKind::Vci,
+    ];
+
+    /// Stable human-readable label (matches the operator's `name()` except
+    /// where the name is parameter-dependent, as for SCUBA under
+    /// shedding).
+    pub fn label(self) -> &'static str {
+        match self {
+            OperatorKind::Scuba => "SCUBA",
+            OperatorKind::Regular => "REGULAR",
+            OperatorKind::PointHashed => "POINT-HASHED",
+            OperatorKind::QueryIndex => "Q-INDEX",
+            OperatorKind::IncrementalGrid => "SINA-GRID",
+            OperatorKind::Vci => "VCI",
+        }
+    }
+}
+
+/// Everything needed to build any operator in the suite.
+#[derive(Debug, Clone, Copy)]
+pub struct OpsConfig {
+    /// SCUBA parameters; the baselines reuse `params.grid_cells`.
+    pub params: ScubaParams,
+    /// The monitored area all grid-based operators partition.
+    pub area: Rect,
+    /// VCI speed/inflation bounds.
+    pub vci: VciConfig,
+}
+
+impl OpsConfig {
+    /// Config over `params` and `area` with default VCI bounds.
+    pub fn new(params: ScubaParams, area: Rect) -> Self {
+        OpsConfig {
+            params,
+            area,
+            vci: VciConfig::default(),
+        }
+    }
+
+    /// Builds one operator.
+    pub fn build(&self, kind: OperatorKind) -> Box<dyn ContinuousOperator> {
+        match kind {
+            OperatorKind::Scuba => Box::new(ScubaOperator::new(self.params, self.area)),
+            OperatorKind::Regular => {
+                Box::new(RegularGridOperator::new(self.params.grid_cells, self.area))
+            }
+            OperatorKind::PointHashed => Box::new(PointHashedGridOperator::new(
+                self.params.grid_cells,
+                self.area,
+            )),
+            OperatorKind::QueryIndex => Box::new(QueryIndexOperator::new()),
+            OperatorKind::IncrementalGrid => Box::new(IncrementalGridOperator::new(
+                self.params.grid_cells,
+                self.area,
+            )),
+            OperatorKind::Vci => Box::new(VciOperator::new(self.vci)),
+        }
+    }
+
+    /// Builds the full suite in canonical order.
+    pub fn build_all(&self) -> Vec<(OperatorKind, Box<dyn ContinuousOperator>)> {
+        OperatorKind::ALL
+            .iter()
+            .map(|&kind| (kind, self.build(kind)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scuba_motion::{LocationUpdate, ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec};
+    use scuba_spatial::Point;
+
+    fn config() -> OpsConfig {
+        OpsConfig::new(ScubaParams::default(), Rect::square(1000.0))
+    }
+
+    #[test]
+    fn builds_all_six_kinds() {
+        let suite = config().build_all();
+        assert_eq!(suite.len(), OperatorKind::ALL.len());
+        for (kind, op) in &suite {
+            assert!(!op.name().is_empty(), "{kind:?} has a name");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = OperatorKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), OperatorKind::ALL.len());
+    }
+
+    #[test]
+    fn built_operators_evaluate() {
+        let cn = Point::new(1000.0, 500.0);
+        for kind in OperatorKind::ALL {
+            let mut op = config().build(kind);
+            op.process_update(&LocationUpdate::object(
+                ObjectId(1),
+                Point::new(500.0, 500.0),
+                0,
+                30.0,
+                cn,
+                ObjectAttrs::default(),
+            ));
+            op.process_update(&LocationUpdate::query(
+                QueryId(1),
+                Point::new(503.0, 500.0),
+                0,
+                30.0,
+                cn,
+                QueryAttrs {
+                    spec: QuerySpec::square_range(20.0),
+                },
+            ));
+            let report = op.evaluate(2);
+            assert_eq!(report.results.len(), 1, "{kind:?} finds the match");
+            assert!(
+                !report.phases.is_empty(),
+                "{kind:?} reports a stage breakdown"
+            );
+        }
+    }
+}

@@ -60,6 +60,11 @@ pub struct ScubaParams {
     /// during post-join maintenance (`None` disables TTL eviction — the
     /// paper's setting, where 100 % of entities report every time unit).
     pub entity_ttl: Option<u64>,
+    /// Worker threads for the join-within stage of the evaluation
+    /// pipeline. Default 1 — the serial path, bit-identical to the
+    /// pre-pipeline behaviour. Any value yields the same results and work
+    /// counters; only wall-clock time changes.
+    pub parallelism: usize,
 }
 
 impl Default for ScubaParams {
@@ -75,6 +80,7 @@ impl Default for ScubaParams {
             member_filter: true,
             tighten_radii: true,
             entity_ttl: None,
+            parallelism: 1,
         }
     }
 }
@@ -91,6 +97,15 @@ impl ScubaParams {
     /// Returns the params with a different shedding mode.
     pub fn with_shedding(self, shedding: SheddingMode) -> Self {
         ScubaParams { shedding, ..self }
+    }
+
+    /// Returns the params with a different join-within worker count
+    /// (clamped to at least 1).
+    pub fn with_parallelism(self, parallelism: usize) -> Self {
+        ScubaParams {
+            parallelism: parallelism.max(1),
+            ..self
+        }
     }
 
     /// Returns the params with different clustering thresholds.
@@ -122,6 +137,9 @@ impl ScubaParams {
         if self.cnloc_tolerance.is_nan() || self.cnloc_tolerance < 0.0 {
             return Err("cnloc_tolerance must be non-negative".into());
         }
+        if self.parallelism == 0 {
+            return Err("parallelism must be >= 1".into());
+        }
         self.shedding.validate()
     }
 }
@@ -138,6 +156,7 @@ mod tests {
         assert_eq!(p.grid_cells, 100);
         assert_eq!(p.delta, 2);
         assert_eq!(p.shedding, SheddingMode::None);
+        assert_eq!(p.parallelism, 1, "serial join-within is the default");
         assert!(p.validate().is_ok());
     }
 
@@ -171,5 +190,16 @@ mod tests {
             ..ScubaParams::default()
         };
         assert!(p.validate().is_err());
+        let p = ScubaParams {
+            parallelism: 0,
+            ..ScubaParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn parallelism_builder_clamps_to_one() {
+        assert_eq!(ScubaParams::default().with_parallelism(0).parallelism, 1);
+        assert_eq!(ScubaParams::default().with_parallelism(4).parallelism, 4);
     }
 }

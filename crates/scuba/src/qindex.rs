@@ -19,7 +19,16 @@
 
 use scuba_motion::{EntityAttrs, EntityRef, LocationUpdate, ObjectId, QueryId, QuerySpec};
 use scuba_spatial::{FxHashMap, FxHashSet, Point, RTree, Rect, Time};
-use scuba_stream::{ContinuousOperator, EvaluationReport, QueryMatch, Stopwatch};
+use scuba_stream::{
+    ContinuousOperator, EvaluationReport, PhaseBreakdown, QueryMatch, StageStats, Stopwatch,
+};
+
+/// Stage name: conditional R-tree rebuild (maintenance bucket).
+pub const STAGE_INDEX_REBUILD: &str = "index-rebuild";
+/// Stage name: probing moved objects against the query index.
+pub const STAGE_PROBE: &str = "probe";
+/// Stage name: flattening + sorting the incremental match state.
+pub const STAGE_RESULT_MERGE: &str = "result-merge";
 
 /// The Q-index continuous-query operator.
 #[derive(Debug, Default)]
@@ -87,9 +96,7 @@ impl QueryIndexOperator {
     }
 
     fn object_position(&self, oid: ObjectId) -> Option<Point> {
-        self.latest
-            .get(&EntityRef::Object(oid))
-            .map(|u| u.loc)
+        self.latest.get(&EntityRef::Object(oid)).map(|u| u.loc)
     }
 }
 
@@ -108,22 +115,27 @@ impl ContinuousOperator for QueryIndexOperator {
 
     fn evaluate(&mut self, now: Time) -> EvaluationReport {
         self.evaluations += 1;
+        let mut phases = PhaseBreakdown::new();
 
         // Index maintenance: rebuild only when queries moved. When *all*
         // queries move every interval (SCUBA's workload) this is a full
         // rebuild per evaluation; with static queries it costs nothing —
         // the trade-off the Q-index design banks on.
-        let sw = Stopwatch::start();
+        let mut sw = Stopwatch::start();
         let rebuilt = self.queries_dirty;
+        let mut indexed = 0u64;
         if rebuilt {
-            self.rebuild_index();
+            indexed = self.rebuild_index() as u64;
             self.queries_dirty = false;
         }
-        let maintenance_time = sw.elapsed();
+        phases.push(
+            StageStats::maintenance(STAGE_INDEX_REBUILD)
+                .with_wall(sw.lap())
+                .with_items(indexed, indexed),
+        );
 
         // Probe only moved objects; unmoved objects keep prior matches —
         // unless queries moved, which invalidates everything.
-        let sw = Stopwatch::start();
         let mut comparisons = 0u64;
         let probe_set: Vec<ObjectId> = if rebuilt {
             self.latest
@@ -133,6 +145,7 @@ impl ContinuousOperator for QueryIndexOperator {
         } else {
             self.moved.iter().copied().collect()
         };
+        let probed = probe_set.len() as u64;
         for oid in probe_set {
             let Some(pos) = self.object_position(oid) else {
                 continue;
@@ -145,20 +158,30 @@ impl ContinuousOperator for QueryIndexOperator {
             self.matches.insert(oid, hits);
         }
         self.moved.clear();
+        phases.push(
+            StageStats::join(STAGE_PROBE)
+                .with_wall(sw.lap())
+                .with_items(probed, probed)
+                .with_tests(comparisons),
+        );
 
         let mut results: Vec<QueryMatch> = self
             .matches
             .iter()
             .flat_map(|(oid, qids)| qids.iter().map(|qid| QueryMatch::new(*qid, *oid)))
             .collect();
+        let raw = results.len() as u64;
         results.sort_unstable();
-        let join_time = sw.elapsed();
+        phases.push(
+            StageStats::join(STAGE_RESULT_MERGE)
+                .with_wall(sw.lap())
+                .with_items(raw, results.len() as u64),
+        );
 
         EvaluationReport {
             now,
             results,
-            join_time,
-            maintenance_time,
+            phases,
             memory_bytes: self.estimated_bytes(),
             comparisons,
             prefilter_tests: 0,
@@ -181,7 +204,10 @@ mod tests {
     use scuba_motion::{ObjectAttrs, QueryAttrs};
     use scuba_spatial::Rect as Area;
 
-    const CN: Point = Point { x: 1000.0, y: 500.0 };
+    const CN: Point = Point {
+        x: 1000.0,
+        y: 500.0,
+    };
 
     fn obj(id: u64, x: f64, y: f64) -> LocationUpdate {
         LocationUpdate::object(

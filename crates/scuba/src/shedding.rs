@@ -222,15 +222,27 @@ mod tests {
 
     #[test]
     fn maintained_percent_mapping() {
-        assert_eq!(SheddingMode::from_maintained_percent(100.0), SheddingMode::None);
-        assert_eq!(SheddingMode::from_maintained_percent(0.0), SheddingMode::Full);
+        assert_eq!(
+            SheddingMode::from_maintained_percent(100.0),
+            SheddingMode::None
+        );
+        assert_eq!(
+            SheddingMode::from_maintained_percent(0.0),
+            SheddingMode::Full
+        );
         match SheddingMode::from_maintained_percent(75.0) {
             SheddingMode::Partial { eta } => assert!((eta - 0.25).abs() < 1e-12),
             other => panic!("expected partial, got {other:?}"),
         }
         // Out-of-range values clamp.
-        assert_eq!(SheddingMode::from_maintained_percent(150.0), SheddingMode::None);
-        assert_eq!(SheddingMode::from_maintained_percent(-5.0), SheddingMode::Full);
+        assert_eq!(
+            SheddingMode::from_maintained_percent(150.0),
+            SheddingMode::None
+        );
+        assert_eq!(
+            SheddingMode::from_maintained_percent(-5.0),
+            SheddingMode::Full
+        );
     }
 
     #[test]
@@ -270,10 +282,7 @@ mod tests {
 
     #[test]
     fn adaptive_custom_ladder() {
-        let mut a = AdaptiveShedder::with_ladder(
-            100,
-            vec![SheddingMode::None, SheddingMode::Full],
-        );
+        let mut a = AdaptiveShedder::with_ladder(100, vec![SheddingMode::None, SheddingMode::Full]);
         assert_eq!(a.observe(200), Some(SheddingMode::Full));
         assert_eq!(a.observe(200), None);
         assert!(a.saturated(200));

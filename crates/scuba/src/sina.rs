@@ -17,7 +17,14 @@
 
 use scuba_motion::{EntityAttrs, EntityRef, LocationUpdate, ObjectId, QueryId, QuerySpec};
 use scuba_spatial::{CellIdx, FxHashMap, GridSpec, Point, Rect, Time};
-use scuba_stream::{ContinuousOperator, EvaluationReport, QueryMatch, Stopwatch};
+use scuba_stream::{
+    ContinuousOperator, EvaluationReport, PhaseBreakdown, QueryMatch, StageStats, Stopwatch,
+};
+
+/// Stage name: the cell-by-cell scan over the always-current grid.
+pub const STAGE_CELL_JOIN: &str = "cell-join";
+/// Stage name: sorting the raw matches for deterministic output.
+pub const STAGE_RESULT_MERGE: &str = "result-merge";
 
 /// The incrementally-maintained grid operator.
 #[derive(Debug)]
@@ -163,8 +170,10 @@ impl ContinuousOperator for IncrementalGridOperator {
 
     fn evaluate(&mut self, now: Time) -> EvaluationReport {
         self.evaluations += 1;
-        // The grid is already current — no maintenance at evaluation time.
-        let sw = Stopwatch::start();
+        // The grid is already current — no maintenance stage at evaluation
+        // time, so the report's maintenance bucket stays zero.
+        let mut phases = PhaseBreakdown::new();
+        let mut sw = Stopwatch::start();
         let mut results = Vec::new();
         let mut comparisons = 0u64;
         let n = self.spec.cells_per_side();
@@ -186,14 +195,25 @@ impl ContinuousOperator for IncrementalGridOperator {
                 }
             }
         }
+        let raw = results.len() as u64;
+        phases.push(
+            StageStats::join(STAGE_CELL_JOIN)
+                .with_wall(sw.lap())
+                .with_items(self.registrations.len() as u64, raw)
+                .with_tests(comparisons),
+        );
+
         results.sort_unstable();
-        let join_time = sw.elapsed();
+        phases.push(
+            StageStats::join(STAGE_RESULT_MERGE)
+                .with_wall(sw.lap())
+                .with_items(raw, results.len() as u64),
+        );
 
         EvaluationReport {
             now,
             results,
-            join_time,
-            maintenance_time: std::time::Duration::ZERO,
+            phases,
             memory_bytes: self.estimated_bytes(),
             comparisons,
             prefilter_tests: 0,
@@ -215,7 +235,10 @@ mod tests {
     use crate::baseline::RegularGridOperator;
     use scuba_motion::{ObjectAttrs, QueryAttrs};
 
-    const CN: Point = Point { x: 1000.0, y: 500.0 };
+    const CN: Point = Point {
+        x: 1000.0,
+        y: 500.0,
+    };
 
     fn obj(id: u64, x: f64, y: f64) -> LocationUpdate {
         LocationUpdate::object(
@@ -327,7 +350,16 @@ mod tests {
         let mut op = operator();
         op.process_update(&obj(1, 500.0, 500.0));
         let report = op.evaluate(2);
-        assert_eq!(report.maintenance_time, std::time::Duration::ZERO);
+        assert_eq!(report.maintenance_time(), std::time::Duration::ZERO);
+        // Only join-bucket stages: the breakdown carries the cell scan and
+        // the merge, nothing else.
+        let names: Vec<&str> = report
+            .phases
+            .stages()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(names, vec![STAGE_CELL_JOIN, STAGE_RESULT_MERGE]);
     }
 
     #[test]

@@ -201,7 +201,10 @@ mod tests {
     use scuba_motion::{LocationUpdate, ObjectClass, QuerySpec};
     use scuba_stream::ContinuousOperator;
 
-    const CN: Point = Point { x: 1000.0, y: 500.0 };
+    const CN: Point = Point {
+        x: 1000.0,
+        y: 500.0,
+    };
 
     fn busy_engine() -> ClusterEngine {
         let mut e = ClusterEngine::new(ScubaParams::default(), Rect::square(1000.0));
@@ -265,6 +268,7 @@ mod tests {
                 shedding: e.params().shedding,
                 theta_d: e.params().theta_d,
                 member_filter: e.params().member_filter,
+                parallelism: e.params().parallelism,
             }
             .run()
             .results

@@ -21,7 +21,16 @@
 
 use scuba_motion::{EntityAttrs, EntityRef, LocationUpdate, ObjectId, QuerySpec};
 use scuba_spatial::{FxHashMap, Point, RTree, Rect, Time};
-use scuba_stream::{ContinuousOperator, EvaluationReport, QueryMatch, Stopwatch};
+use scuba_stream::{
+    ContinuousOperator, EvaluationReport, PhaseBreakdown, QueryMatch, StageStats, Stopwatch,
+};
+
+/// Stage name: conditional R-tree rebuild (maintenance bucket).
+pub const STAGE_INDEX_REBUILD: &str = "index-rebuild";
+/// Stage name: inflated probes + verification against fresh positions.
+pub const STAGE_PROBE: &str = "probe";
+/// Stage name: sort + dedup of the verified matches.
+pub const STAGE_RESULT_MERGE: &str = "result-merge";
 
 /// Configuration of the VCI operator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -137,13 +146,19 @@ impl ContinuousOperator for VciOperator {
 
     fn evaluate(&mut self, now: Time) -> EvaluationReport {
         self.evaluations += 1;
+        let mut phases = PhaseBreakdown::new();
 
         // Index maintenance: only when the inflation budget is exhausted.
-        let sw = Stopwatch::start();
+        let mut sw = Stopwatch::start();
+        let rebuilds_before = self.rebuilds;
         if self.inflation(now) > self.config.max_inflation {
             self.rebuild(now);
         }
-        let maintenance_time = sw.elapsed();
+        phases.push(
+            StageStats::maintenance(STAGE_INDEX_REBUILD)
+                .with_wall(sw.lap())
+                .with_items(self.latest.len() as u64, self.rebuilds - rebuilds_before),
+        );
         let inflation = self.inflation(now);
 
         // Extra candidates the stale index cannot vouch for: objects added
@@ -159,17 +174,17 @@ impl ContinuousOperator for VciOperator {
             }
         }
 
-        let sw = Stopwatch::start();
         let mut comparisons = 0u64;
+        let mut probed_queries = 0u64;
         let mut results: Vec<QueryMatch> = Vec::new();
         for u in self.latest.values() {
-            let (EntityRef::Query(qid), EntityAttrs::Query(attrs)) = (u.entity, &u.attrs)
-            else {
+            let (EntityRef::Query(qid), EntityAttrs::Query(attrs)) = (u.entity, &u.attrs) else {
                 continue;
             };
             let QuerySpec::Range { .. } = attrs.spec else {
                 continue;
             };
+            probed_queries += 1;
             let region = attrs
                 .spec
                 .region_at(u.loc)
@@ -193,15 +208,26 @@ impl ContinuousOperator for VciOperator {
                 }
             }
         }
+        let raw = results.len() as u64;
+        phases.push(
+            StageStats::join(STAGE_PROBE)
+                .with_wall(sw.lap())
+                .with_items(probed_queries, raw)
+                .with_tests(comparisons),
+        );
+
         results.sort_unstable();
         results.dedup(); // an extra candidate may also surface from the index
-        let join_time = sw.elapsed();
+        phases.push(
+            StageStats::join(STAGE_RESULT_MERGE)
+                .with_wall(sw.lap())
+                .with_items(raw, results.len() as u64),
+        );
 
         EvaluationReport {
             now,
             results,
-            join_time,
-            maintenance_time,
+            phases,
             memory_bytes: self.estimated_bytes(),
             comparisons,
             prefilter_tests: 0,
@@ -223,7 +249,10 @@ mod tests {
     use crate::baseline::RegularGridOperator;
     use scuba_motion::{ObjectAttrs, QueryAttrs, QueryId};
 
-    const CN: Point = Point { x: 1000.0, y: 500.0 };
+    const CN: Point = Point {
+        x: 1000.0,
+        y: 500.0,
+    };
 
     fn obj(id: u64, x: f64, y: f64, t: Time) -> LocationUpdate {
         LocationUpdate::object(
@@ -377,5 +406,31 @@ mod tests {
         assert!(op.estimated_bytes() > 0);
         assert_eq!(op.evaluations(), 1);
         assert_eq!(op.name(), "VCI");
+    }
+
+    #[test]
+    fn reports_stage_breakdown() {
+        let mut op = VciOperator::new(VciConfig::default());
+        op.process_update(&obj(1, 500.0, 500.0, 0));
+        op.process_update(&qry(1, 505.0, 500.0, 20.0, 0));
+        let report = op.evaluate(2);
+        let names: Vec<&str> = report
+            .phases
+            .stages()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec![STAGE_INDEX_REBUILD, STAGE_PROBE, STAGE_RESULT_MERGE]
+        );
+        let rebuild = report.phases.get(STAGE_INDEX_REBUILD).unwrap();
+        assert_eq!(rebuild.items_out, 1, "first evaluation builds the index");
+        let probe = report.phases.get(STAGE_PROBE).unwrap();
+        assert_eq!(probe.tests, report.comparisons);
+        assert_eq!(
+            report.join_time() + report.maintenance_time(),
+            report.total_time()
+        );
     }
 }

@@ -14,7 +14,7 @@ use scuba_motion::LocationUpdate;
 use scuba_spatial::{Time, TimeDelta};
 
 use crate::metrics::AggregateStats;
-use crate::operator::{ContinuousOperator, EvaluationReport};
+use crate::operator::{ContinuousOperator, EvaluationReport, PhaseBreakdown};
 
 /// Anything that yields one tick's worth of location updates.
 ///
@@ -80,7 +80,17 @@ impl RunReport {
 
     /// Total join wall-clock time over the run.
     pub fn total_join_time(&self) -> Duration {
-        self.evaluations.iter().map(|e| e.join_time).sum()
+        self.evaluations.iter().map(|e| e.join_time()).sum()
+    }
+
+    /// Per-stage totals over the run: every evaluation's breakdown merged
+    /// by stage name, preserving pipeline order.
+    pub fn stage_totals(&self) -> PhaseBreakdown {
+        let mut totals = PhaseBreakdown::new();
+        for e in &self.evaluations {
+            totals.absorb(&e.phases);
+        }
+        totals
     }
 }
 
@@ -240,6 +250,35 @@ mod tests {
         // Evaluations at t=4 and t=8; the partial tail (9, 10) is dropped.
         assert_eq!(op.evaluations, vec![4, 8]);
         assert_eq!(report.evaluations.len(), 2);
+    }
+
+    #[test]
+    fn stage_totals_merge_across_evaluations() {
+        use crate::operator::StageStats;
+        let mut e1 = EvaluationReport::default();
+        e1.phases.push(
+            StageStats::join("probe")
+                .with_wall(Duration::from_millis(2))
+                .with_tests(3),
+        );
+        let mut e2 = EvaluationReport::default();
+        e2.phases.push(
+            StageStats::join("probe")
+                .with_wall(Duration::from_millis(5))
+                .with_tests(4),
+        );
+        let report = RunReport {
+            evaluations: vec![e1, e2],
+            ..Default::default()
+        };
+        let totals = report.stage_totals();
+        assert_eq!(totals.len(), 1);
+        assert_eq!(totals.get("probe").unwrap().tests, 7);
+        assert_eq!(
+            totals.get("probe").unwrap().wall_time,
+            Duration::from_millis(7)
+        );
+        assert_eq!(report.total_join_time(), Duration::from_millis(7));
     }
 
     #[test]

@@ -32,5 +32,8 @@ pub mod trace;
 
 pub use executor::{Executor, ExecutorConfig, RunReport, UpdateSource};
 pub use metrics::{MetricsHub, Stopwatch};
-pub use operator::{ContinuousOperator, EvaluationReport, QueryMatch};
+pub use operator::{
+    ContinuousOperator, EvaluationReport, PhaseBreakdown, PhaseKind, QueryMatch, StageRow,
+    StageStats,
+};
 pub use trace::{TraceReader, TraceWriter};

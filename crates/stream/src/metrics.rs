@@ -67,16 +67,17 @@ impl AggregateStats {
         let mut memory_sum: u128 = 0;
         let mut min_join: Option<Duration> = None;
         for r in reports {
+            let join = r.join_time();
             stats.evaluations += 1;
-            stats.total_join_time += r.join_time;
-            stats.total_maintenance_time += r.maintenance_time;
+            stats.total_join_time += join;
+            stats.total_maintenance_time += r.maintenance_time();
             stats.total_results += r.results.len();
             stats.total_comparisons += r.comparisons;
             stats.total_prefilter_tests += r.prefilter_tests;
             stats.peak_memory_bytes = stats.peak_memory_bytes.max(r.memory_bytes);
             memory_sum += r.memory_bytes as u128;
-            min_join = Some(min_join.map_or(r.join_time, |m: Duration| m.min(r.join_time)));
-            stats.max_join_time = stats.max_join_time.max(r.join_time);
+            min_join = Some(min_join.map_or(join, |m: Duration| m.min(join)));
+            stats.max_join_time = stats.max_join_time.max(join);
         }
         if stats.evaluations > 0 {
             stats.mean_memory_bytes = (memory_sum / stats.evaluations as u128) as usize;
@@ -157,8 +158,10 @@ mod tests {
             results: (0..results)
                 .map(|i| QueryMatch::new(QueryId(i as u64), ObjectId(i as u64)))
                 .collect(),
-            join_time: Duration::from_millis(join_ms),
-            maintenance_time: Duration::from_millis(maint_ms),
+            phases: crate::PhaseBreakdown::from_totals(
+                Duration::from_millis(join_ms),
+                Duration::from_millis(maint_ms),
+            ),
             memory_bytes: mem,
             comparisons: results as u64 * 2,
             prefilter_tests: 1,

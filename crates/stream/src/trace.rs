@@ -206,8 +206,7 @@ impl<R: Read> TraceReader<R> {
             Err(e) => return Err(e.into()),
         }
         let count = u32::from_le_bytes(tick_header[0..4].try_into().expect("4 bytes")) as usize;
-        let byte_len =
-            u32::from_le_bytes(tick_header[4..8].try_into().expect("4 bytes")) as usize;
+        let byte_len = u32::from_le_bytes(tick_header[4..8].try_into().expect("4 bytes")) as usize;
 
         let mut block = vec![0u8; byte_len];
         self.source.read_exact(&mut block).map_err(|_| {
@@ -221,10 +220,7 @@ impl<R: Read> TraceReader<R> {
         let mut updates = Vec::with_capacity(count);
         for i in 0..count {
             let update = wire::decode(&mut buf).map_err(|e| {
-                TraceError::Corrupt(format!(
-                    "tick {}: record {i}/{count}: {e}",
-                    self.ticks_read
-                ))
+                TraceError::Corrupt(format!("tick {}: record {i}/{count}: {e}", self.ticks_read))
             })?;
             updates.push(update);
         }
@@ -379,8 +375,7 @@ mod tests {
         }
 
         // Record 4 live ticks, then replay them through the executor.
-        let live: Vec<Vec<LocationUpdate>> =
-            (1..=4).map(|t| updates(t, t * 2)).collect();
+        let live: Vec<Vec<LocationUpdate>> = (1..=4).map(|t| updates(t, t * 2)).collect();
         let bytes = record(&live);
         let mut reader = TraceReader::new(&bytes[..]);
         let mut op = Counter { seen: 0 };

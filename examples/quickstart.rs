@@ -59,10 +59,13 @@ fn main() {
             delta.removed.len(),
             scuba.engine().cluster_count(),
             eval.comparisons,
-            eval.join_time,
+            eval.join_time(),
         );
         for m in delta.added.iter().take(3) {
-            println!("      new: query Q{} now sees object O{}", m.query.0, m.object.0);
+            println!(
+                "      new: query Q{} now sees object O{}",
+                m.query.0, m.object.0
+            );
         }
     }
     let agg = run.aggregate();
