@@ -1,0 +1,299 @@
+//! `epochs` — micro-benchmark of the epoch-coherent incremental join.
+//!
+//! Drives the SCUBA operator over Δ-epoch sequences with controlled churn
+//! and measures what the [`scuba::JoinCache`] saves: per-stage wall times,
+//! join-within comparison counts, and cache hit/miss/invalidation totals,
+//! cache-on vs cache-off over the *identical* workload.
+//!
+//! Three scenarios:
+//!
+//! * `stationary` — speed-0 convoys ingested once, then silent: after the
+//!   cold first epoch every surviving pair replays from cache;
+//! * `low_churn`  — 10 % of convoys re-report each epoch: most pairs stay
+//!   clean, a few recompute;
+//! * `full_churn` — every entity re-reports each epoch: no pair is ever
+//!   clean, measuring pure cache overhead.
+//!
+//! Emits `BENCH_incremental_join.json` (and a text table on stdout).
+//!
+//! Usage: `epochs [--objects N] [--queries N] [--duration EPOCHS]
+//! [--parallelism N] [--out FILE] [--json]`
+
+use serde::Serialize;
+
+use scuba::{ScubaOperator, ScubaParams};
+use scuba_bench::table::{f1, TextTable};
+use scuba_bench::ExperimentScale;
+use scuba_motion::{LocationUpdate, ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec};
+use scuba_spatial::{Point, Rect};
+use scuba_stream::{ContinuousOperator, PhaseBreakdown, StageRow};
+
+const AREA: f64 = 10_000.0;
+
+/// One cache configuration's totals over a scenario run.
+#[derive(Debug, Serialize)]
+struct ConfigOut {
+    /// Whether the join cache was enabled.
+    cached: bool,
+    /// Cumulative per-stage pipeline costs over all epochs.
+    stages: Vec<StageRow>,
+    /// Total join wall-clock microseconds.
+    join_us: u128,
+    /// Join-within exact comparisons over the run.
+    within_comparisons: u64,
+    /// Cache replays over the run (0 when disabled).
+    cache_hits: u64,
+    /// Pairs computed for lack of a valid entry (0 when disabled).
+    cache_misses: u64,
+    /// Entries invalidated or swept (0 when disabled).
+    cache_invalidations: u64,
+    /// hits / (hits + misses), 0 when the cache never engaged.
+    hit_rate: f64,
+    /// Result tuples per epoch (must match the uncached run exactly).
+    results_per_epoch: Vec<usize>,
+}
+
+/// One scenario: the same epochs driven cache-on and cache-off.
+#[derive(Debug, Serialize)]
+struct ScenarioOut {
+    name: &'static str,
+    cached: ConfigOut,
+    uncached: ConfigOut,
+    /// 100 × (1 − cached.within_comparisons / uncached.within_comparisons).
+    comparisons_saved_pct: f64,
+    /// Whether both runs produced bit-identical results every epoch.
+    identical: bool,
+}
+
+/// The complete JSON payload.
+#[derive(Debug, Serialize)]
+struct EpochsOut {
+    scale: ExperimentScale,
+    epochs: u64,
+    scenarios: Vec<ScenarioOut>,
+}
+
+/// A convoy: `n_objects` objects plus one range query co-located on a grid
+/// of convoy sites, all speed-0 and sharing a connection node, so the
+/// clusterer groups each convoy and — absent churn — never dirties it.
+fn convoy_updates(convoy: u64, n_objects: u64, time: u64) -> Vec<LocationUpdate> {
+    let side = 20u64; // convoy sites per row
+    let spacing = AREA / (side as f64 + 1.0);
+    let cx = ((convoy % side) as f64 + 1.0) * spacing;
+    let cy = ((convoy / side) as f64 + 1.0) * spacing;
+    let cn = Point::new(cx, cy); // stationary: next node is here
+    let mut updates = Vec::with_capacity(n_objects as usize + 1);
+    for k in 0..n_objects {
+        // Objects ring the convoy centre well inside Θ_D.
+        let angle = k as f64 / n_objects as f64 * std::f64::consts::TAU;
+        let p = Point::new(cx + 30.0 * angle.cos(), cy + 30.0 * angle.sin());
+        updates.push(LocationUpdate::object(
+            ObjectId(convoy * 1_000 + k),
+            p,
+            time,
+            0.0,
+            cn,
+            ObjectAttrs::default(),
+        ));
+    }
+    updates.push(LocationUpdate::query(
+        QueryId(convoy),
+        Point::new(cx, cy),
+        time,
+        0.0,
+        cn,
+        QueryAttrs {
+            spec: QuerySpec::square_range(150.0),
+        },
+    ));
+    updates
+}
+
+/// Runs one scenario at one cache setting; returns totals + per-epoch
+/// result counts + the raw results for the identity check.
+fn drive(
+    scale: &ExperimentScale,
+    epochs: u64,
+    churn: f64,
+    join_cache: bool,
+) -> (ConfigOut, Vec<Vec<scuba_stream::QueryMatch>>) {
+    let convoys = (scale.queries as u64).max(1);
+    let per_convoy = ((scale.objects as u64) / convoys).max(1);
+    let params = ScubaParams::default()
+        .with_parallelism(scale.parallelism)
+        .with_join_cache(join_cache);
+    let mut op = ScubaOperator::new(params, Rect::square(AREA));
+
+    for c in 0..convoys {
+        for u in convoy_updates(c, per_convoy, 0) {
+            op.process_update(&u);
+        }
+    }
+
+    let mut totals = PhaseBreakdown::new();
+    let mut results_per_epoch = Vec::new();
+    let mut all_results = Vec::new();
+    for e in 0..epochs {
+        let now = (e + 1) * params.delta;
+        if e > 0 && churn > 0.0 {
+            // Re-report the first ⌈churn·convoys⌉ convoys (same positions:
+            // refresh dirties the cluster without changing the answer).
+            let dirty = ((convoys as f64 * churn).ceil() as u64).min(convoys);
+            for c in 0..dirty {
+                for u in convoy_updates(c, per_convoy, now - 1) {
+                    op.process_update(&u);
+                }
+            }
+        }
+        let report = op.evaluate(now);
+        totals.absorb(&report.phases);
+        results_per_epoch.push(report.results.len());
+        all_results.push(report.results);
+    }
+
+    let rows = totals.rows();
+    let within = rows.iter().find(|r| r.stage.contains("within"));
+    let (hits, misses, invalidations, comparisons) = within
+        .map(|r| (r.cache_hits, r.cache_misses, r.cache_invalidations, r.tests))
+        .unwrap_or((0, 0, 0, 0));
+    let engaged = hits + misses;
+    let out = ConfigOut {
+        cached: join_cache,
+        join_us: totals.join_time().as_micros(),
+        within_comparisons: comparisons,
+        cache_hits: hits,
+        cache_misses: misses,
+        cache_invalidations: invalidations,
+        hit_rate: if engaged == 0 {
+            0.0
+        } else {
+            hits as f64 / engaged as f64
+        },
+        results_per_epoch,
+        stages: rows,
+    };
+    (out, all_results)
+}
+
+fn scenario(name: &'static str, scale: &ExperimentScale, epochs: u64, churn: f64) -> ScenarioOut {
+    let (cached, cached_results) = drive(scale, epochs, churn, true);
+    let (uncached, uncached_results) = drive(scale, epochs, churn, false);
+    let saved = if uncached.within_comparisons == 0 {
+        0.0
+    } else {
+        100.0 * (1.0 - cached.within_comparisons as f64 / uncached.within_comparisons as f64)
+    };
+    ScenarioOut {
+        name,
+        identical: cached_results == uncached_results,
+        comparisons_saved_pct: saved,
+        cached,
+        uncached,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mut scale, rest) = match ExperimentScale::from_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Laptop-friendly defaults for a micro-benchmark; flags still override.
+    if !args.iter().any(|a| a == "--objects") {
+        scale.objects = 2_000;
+    }
+    if !args.iter().any(|a| a == "--queries") {
+        scale.queries = 200;
+    }
+    let epochs = if args.iter().any(|a| a == "--duration") {
+        (scale.duration / scale.delta).max(1)
+    } else {
+        8
+    };
+    let mut out_path = "BENCH_incremental_join.json".to_string();
+    let mut json_stdout = false;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--out" => {
+                if let Some(v) = rest.get(i + 1) {
+                    out_path = v.clone();
+                    i += 2;
+                } else {
+                    eprintln!("error: --out requires a value");
+                    std::process::exit(2);
+                }
+            }
+            "--json" => {
+                json_stdout = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown option '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "epochs: incremental join — {} objects, {} queries, {} epochs, parallelism {}",
+        scale.objects, scale.queries, epochs, scale.parallelism
+    );
+
+    let payload = EpochsOut {
+        scale,
+        epochs,
+        scenarios: vec![
+            scenario("stationary", &scale, epochs, 0.0),
+            scenario("low_churn", &scale, epochs, 0.10),
+            scenario("full_churn", &scale, epochs, 1.0),
+        ],
+    };
+
+    for s in &payload.scenarios {
+        assert!(
+            s.identical,
+            "{}: cached and uncached runs diverged — the cache changed results",
+            s.name
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&payload).expect("payload serialises");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("wrote {out_path}");
+
+    if json_stdout {
+        println!("{json}");
+        return;
+    }
+
+    let mut table = TextTable::new(vec![
+        "scenario",
+        "join µs (cache)",
+        "join µs (none)",
+        "cmp (cache)",
+        "cmp (none)",
+        "saved %",
+        "hit rate %",
+        "invalidations",
+    ]);
+    for s in &payload.scenarios {
+        table.row(vec![
+            s.name.to_string(),
+            s.cached.join_us.to_string(),
+            s.uncached.join_us.to_string(),
+            s.cached.within_comparisons.to_string(),
+            s.uncached.within_comparisons.to_string(),
+            f1(s.comparisons_saved_pct),
+            f1(100.0 * s.cached.hit_rate),
+            s.cached.cache_invalidations.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

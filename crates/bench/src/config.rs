@@ -39,6 +39,11 @@ pub struct ExperimentScale {
     /// Worker threads for SCUBA's join-within stage. Default 1 (serial);
     /// results and work counters are identical at any setting.
     pub parallelism: usize,
+    /// Whether SCUBA carries its epoch-coherent join cache across
+    /// evaluations. Default `true`; results are identical either way, only
+    /// join-within work changes (`--no-join-cache` measures the from-scratch
+    /// cost).
+    pub join_cache: bool,
 }
 
 impl Default for ExperimentScale {
@@ -55,6 +60,7 @@ impl Default for ExperimentScale {
             reps: 1,
             seeds: 1,
             parallelism: 1,
+            join_cache: true,
         }
     }
 }
@@ -90,7 +96,8 @@ impl ExperimentScale {
 
     /// Parses command-line overrides:
     /// `--objects N --queries N --skew N --grid N --delta N --duration N`
-    /// `--range S --seed N --scale F --reps N --seeds N --parallelism N`.
+    /// `--range S --seed N --scale F --reps N --seeds N --parallelism N`
+    /// `--no-join-cache`.
     ///
     /// Unknown flags are returned for the caller to interpret.
     pub fn from_args(args: &[String]) -> Result<(Self, Vec<String>), String> {
@@ -148,6 +155,10 @@ impl ExperimentScale {
                 "--parallelism" => {
                     scale.parallelism = parse::<usize>(take_value(flag)?, flag)?.max(1);
                     i += 2;
+                }
+                "--no-join-cache" => {
+                    scale.join_cache = false;
+                    i += 1;
                 }
                 "--scale" => {
                     let f: f64 = parse(take_value(flag)?, flag)?;
@@ -227,6 +238,14 @@ mod tests {
         let (s, _) = ExperimentScale::from_args(&args(&["--parallelism", "0"])).unwrap();
         assert_eq!(s.parallelism, 1, "zero is clamped to serial");
         assert_eq!(ExperimentScale::default().parallelism, 1);
+    }
+
+    #[test]
+    fn parses_no_join_cache() {
+        assert!(ExperimentScale::default().join_cache);
+        let (s, rest) = ExperimentScale::from_args(&args(&["--no-join-cache"])).unwrap();
+        assert!(!s.join_cache);
+        assert!(rest.is_empty());
     }
 
     #[test]

@@ -155,12 +155,13 @@ pub fn run_point_hashed(scale: &ExperimentScale) -> OperatorRun {
     run_operator(scale, OperatorKind::PointHashed, scuba_params(scale))
 }
 
-/// SCUBA params consistent with a scale (grid + Δ + parallelism from the
-/// scale, paper thresholds otherwise).
+/// SCUBA params consistent with a scale (grid + Δ + parallelism + join
+/// cache from the scale, paper thresholds otherwise).
 pub fn scuba_params(scale: &ExperimentScale) -> ScubaParams {
     let mut params = ScubaParams::default()
         .with_grid_cells(scale.grid_cells)
-        .with_parallelism(scale.parallelism);
+        .with_parallelism(scale.parallelism)
+        .with_join_cache(scale.join_cache);
     params.delta = scale.delta;
     params
 }

@@ -56,14 +56,22 @@ pub(crate) fn write_stage_breakdown(
 ) -> std::io::Result<()> {
     writeln!(
         out,
-        "{indent}{:<18} {:<12} {:>12} {:>10} {:>10} {:>12}",
-        "stage", "phase", "wall(µs)", "items_in", "items_out", "tests"
+        "{indent}{:<18} {:<12} {:>12} {:>10} {:>10} {:>12} {:>10} {:>10} {:>8}",
+        "stage", "phase", "wall(µs)", "items_in", "items_out", "tests", "c_hits", "c_miss", "c_inv"
     )?;
     for r in breakdown.rows() {
         writeln!(
             out,
-            "{indent}{:<18} {:<12} {:>12} {:>10} {:>10} {:>12}",
-            r.stage, r.kind, r.wall_us, r.items_in, r.items_out, r.tests
+            "{indent}{:<18} {:<12} {:>12} {:>10} {:>10} {:>12} {:>10} {:>10} {:>8}",
+            r.stage,
+            r.kind,
+            r.wall_us,
+            r.items_in,
+            r.items_out,
+            r.tests,
+            r.cache_hits,
+            r.cache_misses,
+            r.cache_invalidations
         )?;
     }
     Ok(())

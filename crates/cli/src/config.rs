@@ -177,6 +177,10 @@ impl SimConfig {
                     opts.snapshot_in = Some(value(flag)?.to_string());
                     i += 2;
                 }
+                "--no-join-cache" => {
+                    config.params.join_cache = false;
+                    i += 1;
+                }
                 "--json" => {
                     opts.json = true;
                     i += 1;
@@ -256,6 +260,14 @@ mod tests {
             SimConfig::from_args(&args(&["--parallelism", "0"])).is_err(),
             "zero workers fails validation"
         );
+    }
+
+    #[test]
+    fn no_join_cache_flag_disables_cache() {
+        let (c, _) = SimConfig::from_args(&[]).unwrap();
+        assert!(c.params.join_cache, "cache is on by default");
+        let (c, _) = SimConfig::from_args(&args(&["--no-join-cache"])).unwrap();
+        assert!(!c.params.join_cache);
     }
 
     #[test]

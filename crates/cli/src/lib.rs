@@ -95,6 +95,8 @@ OPTIONS (all commands):
     --seed <N>           workload seed
     --theta-d <F>        clustering distance threshold
     --theta-s <F>        clustering speed threshold
+    --parallelism <N>    join-within worker threads (same results, less wall)
+    --no-join-cache      disable the epoch-coherent join cache (same results)
     --budget <BYTES>     adaptive shedding memory budget (simulate)
     --out <FILE>         trace output path (record)
     --trace <FILE>       replay updates from a trace (simulate, compare)

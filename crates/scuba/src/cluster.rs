@@ -382,7 +382,12 @@ impl MovingCluster {
     /// time units (post-join relocation, §4.2 / Fig. 7f). Members move with
     /// the centroid; relative coordinates stay valid. Movement stops at the
     /// destination node rather than overshooting.
-    pub fn advance(&mut self, dt: f64) {
+    ///
+    /// Returns whether the centroid actually moved — a stationary cluster
+    /// (zero average speed) stays bit-identical across epochs, which the
+    /// incremental join exploits to keep it cache-clean.
+    pub fn advance(&mut self, dt: f64) -> bool {
+        let before = self.centroid;
         let step = self.ave_speed * dt.max(0.0);
         let dist = self.centroid.distance(&self.cn_loc);
         if step >= dist {
@@ -390,6 +395,7 @@ impl MovingCluster {
         } else {
             self.centroid += self.velocity() * dt;
         }
+        self.centroid.x != before.x || self.centroid.y != before.y
     }
 
     /// Recomputes the radius exactly as the maximum member distance from

@@ -41,6 +41,64 @@ pub struct ClusteringStats {
     pub positions_shed: u64,
 }
 
+/// A mutation clock over clusters, answering "has cluster `c` changed
+/// since epoch `e`?" in O(1).
+///
+/// Every join-relevant mutation of a cluster — membership churn, centroid
+/// relocation, radius tightening, position shedding — bumps a global clock
+/// and stamps the cluster with it. A consumer (the
+/// [`crate::join::JoinCache`]) records the clock value at which it computed
+/// a result; the result is still valid iff every input cluster's stamp is
+/// ≤ that recorded value. Dissolved clusters lose their stamp entirely and
+/// report [`u64::MAX`], so no stale cache entry can ever revalidate against
+/// a recycled id.
+#[derive(Debug, Clone, Default)]
+pub struct EpochTracker {
+    clock: u64,
+    marks: FxHashMap<ClusterId, u64>,
+}
+
+impl EpochTracker {
+    /// A fresh tracker with an empty history.
+    pub fn new() -> Self {
+        EpochTracker::default()
+    }
+
+    /// The current clock value. Results computed while reading the engine
+    /// at this instant should record this value as their epoch.
+    #[inline]
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Records a join-relevant mutation of `cid`.
+    #[inline]
+    pub fn touch(&mut self, cid: ClusterId) {
+        self.clock += 1;
+        self.marks.insert(cid, self.clock);
+    }
+
+    /// Forgets `cid` (it was dissolved); it reports as always-dirty from
+    /// now on.
+    #[inline]
+    pub fn forget(&mut self, cid: ClusterId) {
+        self.marks.remove(&cid);
+    }
+
+    /// The clock value of `cid`'s last mutation; [`u64::MAX`] for unknown
+    /// (dissolved or never-seen) clusters.
+    #[inline]
+    pub fn mark(&self, cid: ClusterId) -> u64 {
+        self.marks.get(&cid).copied().unwrap_or(u64::MAX)
+    }
+
+    /// Whether `cid` has not mutated since clock value `epoch`.
+    #[inline]
+    pub fn clean_since(&self, cid: ClusterId, epoch: u64) -> bool {
+        self.mark(cid) <= epoch
+    }
+}
+
 /// The clustering state machine: storage + home + grid + tables.
 #[derive(Debug)]
 pub struct ClusterEngine {
@@ -55,6 +113,8 @@ pub struct ClusterEngine {
     updates_processed: u64,
     /// Reusable buffer for grid probes (hot path, once per update).
     probe_scratch: Vec<ClusterId>,
+    /// Per-cluster mutation clock for the incremental join.
+    epochs: EpochTracker,
 }
 
 impl ClusterEngine {
@@ -74,6 +134,7 @@ impl ClusterEngine {
             stats: ClusteringStats::default(),
             updates_processed: 0,
             probe_scratch: Vec::new(),
+            epochs: EpochTracker::new(),
         }
     }
 
@@ -124,6 +185,11 @@ impl ClusterEngine {
         self.updates_processed
     }
 
+    /// The per-cluster mutation clock (incremental-join dirty tracking).
+    pub fn epochs(&self) -> &EpochTracker {
+        &self.epochs
+    }
+
     /// Number of live clusters.
     pub fn cluster_count(&self) -> usize {
         self.clusters.len()
@@ -171,6 +237,7 @@ impl ClusterEngine {
                 }
             }
             engine.grid.insert(cluster.cid, &cluster.effective_region());
+            engine.epochs.touch(cluster.cid);
             if engine.clusters.insert(cluster.cid, cluster).is_some() {
                 return Err("duplicate cluster id in snapshot".into());
             }
@@ -218,6 +285,7 @@ impl ClusterEngine {
                     self.stats.positions_shed += 1;
                 }
                 self.stats.refreshes += 1;
+                self.epochs.touch(cid);
                 // A refresh leaves the centroid in place; re-register only
                 // when the region actually grew (hot path: one refresh per
                 // entity per tick).
@@ -273,6 +341,7 @@ impl ClusterEngine {
                 self.grid.insert(cid, &region);
                 self.home.assign(update.entity, cid);
                 self.stats.absorptions += 1;
+                self.epochs.touch(cid);
             }
             // Steps 2 / 5: found a new single-member cluster.
             None => {
@@ -299,6 +368,7 @@ impl ClusterEngine {
         self.home.unassign(update.entity);
         let emptied = if let Some(cluster) = self.clusters.get_mut(&cid) {
             cluster.remove_member(update.entity);
+            self.epochs.touch(cid);
             cluster.is_empty()
         } else {
             false
@@ -324,6 +394,7 @@ impl ClusterEngine {
         self.clusters.insert(cid, cluster);
         self.home.assign(update.entity, cid);
         self.stats.clusters_formed += 1;
+        self.epochs.touch(cid);
     }
 
     /// Dissolves a cluster: members lose their membership and will
@@ -335,6 +406,7 @@ impl ClusterEngine {
             }
             self.grid.remove(cid);
             self.stats.dissolutions += 1;
+            self.epochs.forget(cid);
         }
     }
 
@@ -351,6 +423,7 @@ impl ClusterEngine {
             known = true;
             let emptied = if let Some(cluster) = self.clusters.get_mut(&cid) {
                 cluster.remove_member(entity);
+                self.epochs.touch(cid);
                 cluster.is_empty()
             } else {
                 false
@@ -397,8 +470,12 @@ impl ClusterEngine {
             return 0;
         };
         let mut shed = 0u64;
-        for cluster in self.clusters.values_mut() {
-            shed += cluster.shed_nucleus(nucleus) as u64;
+        for (cid, cluster) in &mut self.clusters {
+            let dropped = cluster.shed_nucleus(nucleus) as u64;
+            if dropped > 0 {
+                self.epochs.touch(*cid);
+            }
+            shed += dropped;
         }
         self.stats.positions_shed += shed;
         shed
@@ -425,6 +502,7 @@ impl ClusterEngine {
         }
         for (cid, region) in reregister {
             self.grid.insert(cid, &region);
+            self.epochs.touch(cid);
         }
     }
 
@@ -445,8 +523,9 @@ impl ClusterEngine {
         for (cid, cluster) in &mut self.clusters {
             if cluster.is_empty() || cluster.passes_destination_within(dt) {
                 to_dissolve.push(*cid);
-            } else {
-                cluster.advance(dt);
+            } else if cluster.advance(dt) {
+                // Only clusters whose centroid actually moved dirty the
+                // epoch tracker — stationary clusters stay cache-clean.
                 relocated.push((*cid, cluster.effective_region()));
             }
         }
@@ -455,6 +534,7 @@ impl ClusterEngine {
         }
         for (cid, region) in relocated {
             self.grid.insert(cid, &region);
+            self.epochs.touch(cid);
         }
         self.stats
     }
@@ -478,6 +558,11 @@ impl ClusterEngine {
         for (cid, cluster) in &self.clusters {
             assert_eq!(*cid, cluster.cid, "storage key mismatch");
             assert!(!cluster.is_empty(), "live cluster {cid:?} is empty");
+            assert_ne!(
+                self.epochs.mark(*cid),
+                u64::MAX,
+                "live cluster {cid:?} has no epoch mark"
+            );
             assert_eq!(
                 cluster.object_count() + cluster.query_count(),
                 cluster.len(),

@@ -210,6 +210,58 @@ mod tests {
         assert_eq!(replayed_tail, *snapshots.last().unwrap());
     }
 
+    /// Every operator's stage-4 output must be sorted and deduplicated, so
+    /// the merge-based `observe_sorted` fast path and the re-sorting
+    /// `observe` path must produce identical deltas from it.
+    #[test]
+    fn observe_paths_agree_on_every_operator() {
+        use crate::ops::{OperatorKind, OpsConfig};
+        use crate::ScubaParams;
+        use scuba_motion::{LocationUpdate, ObjectAttrs, QueryAttrs, QuerySpec};
+        use scuba_spatial::{Point, Rect};
+
+        let cn = Point::new(1000.0, 500.0);
+        let config = OpsConfig::new(ScubaParams::default(), Rect::square(1000.0));
+        for kind in OperatorKind::ALL {
+            let mut op = config.build(kind);
+            let mut sorted_tracker = DeltaTracker::new();
+            let mut plain_tracker = DeltaTracker::new();
+            for round in 0..4u64 {
+                for i in 0..25u64 {
+                    let x = ((i * 83 + round * 131) % 1000) as f64;
+                    let y = ((i * 47 + round * 59) % 1000) as f64;
+                    let u = if i % 3 == 0 {
+                        LocationUpdate::query(
+                            QueryId(i),
+                            Point::new(x, y),
+                            round * 2,
+                            20.0,
+                            cn,
+                            QueryAttrs {
+                                spec: QuerySpec::square_range(120.0),
+                            },
+                        )
+                    } else {
+                        LocationUpdate::object(
+                            ObjectId(i),
+                            Point::new(x, y),
+                            round * 2,
+                            20.0,
+                            cn,
+                            ObjectAttrs::default(),
+                        )
+                    };
+                    op.process_update(&u);
+                }
+                let now = (round + 1) * 2;
+                let results = op.evaluate(now).results;
+                let plain = plain_tracker.observe(now, &results);
+                let fast = sorted_tracker.observe_sorted(now, results);
+                assert_eq!(plain, fast, "{kind:?} at t={now}");
+            }
+        }
+    }
+
     #[test]
     fn works_with_engine_output() {
         use crate::{ScubaOperator, ScubaParams};

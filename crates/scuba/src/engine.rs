@@ -14,7 +14,7 @@ use scuba_spatial::{Rect, Time};
 use scuba_stream::{ContinuousOperator, EvaluationReport, PhaseBreakdown, StageStats, Stopwatch};
 
 use crate::clustering::{ClusterEngine, ClusteringStats};
-use crate::join::JoinContext;
+use crate::join::{JoinCache, JoinContext, JoinScratch};
 use crate::params::ScubaParams;
 use crate::shedding::AdaptiveShedder;
 
@@ -43,6 +43,13 @@ pub struct ScubaOperator {
     evaluations: u64,
     /// Optional memory-budget controller (§5's escalation behaviour).
     adaptive: Option<AdaptiveShedder>,
+    /// Cross-epoch pair-result cache (active when `params.join_cache`).
+    /// Always starts empty, including after a snapshot restore — the
+    /// restored engine's epoch clock has no history to validate against.
+    cache: JoinCache,
+    /// Reusable joining-phase buffers; steady-state epochs allocate
+    /// nothing.
+    scratch: JoinScratch,
 }
 
 impl ScubaOperator {
@@ -60,6 +67,8 @@ impl ScubaOperator {
             name,
             evaluations: 0,
             adaptive: None,
+            cache: JoinCache::new(),
+            scratch: JoinScratch::new(),
         }
     }
 
@@ -93,6 +102,11 @@ impl ScubaOperator {
     pub fn evaluations(&self) -> u64 {
         self.evaluations
     }
+
+    /// Read access to the cross-epoch join cache (diagnostics, tests).
+    pub fn join_cache(&self) -> &JoinCache {
+        &self.cache
+    }
 }
 
 impl ContinuousOperator for ScubaOperator {
@@ -117,7 +131,8 @@ impl ContinuousOperator for ScubaOperator {
                 .with_items(clusters_before, clusters_before),
         );
 
-        // Phase 2: cluster-based joining (the staged pipeline).
+        // Phase 2: cluster-based joining (the staged pipeline), incremental
+        // across epochs when the join cache is enabled.
         let ctx = JoinContext {
             clusters: self.engine.clusters(),
             grid: self.engine.grid(),
@@ -127,7 +142,12 @@ impl ContinuousOperator for ScubaOperator {
             member_filter: self.engine.params().member_filter,
             parallelism: self.engine.params().parallelism,
         };
-        let mut join = ctx.run();
+        let epochs = self
+            .engine
+            .params()
+            .join_cache
+            .then(|| self.engine.epochs());
+        let mut join = ctx.run_cached(epochs, &mut self.cache, &mut self.scratch);
         phases.extend(std::mem::take(&mut join.stages));
         // Extension: answer registered kNN queries alongside the range
         // join (zero-cost when the workload has none).
@@ -318,6 +338,64 @@ mod tests {
             op.evaluate(round * 2 + 2);
             op.engine().check_invariants();
         }
+    }
+
+    #[test]
+    fn stationary_workload_hits_join_cache() {
+        let mut op = ScubaOperator::new(ScubaParams::default(), Rect::square(1000.0));
+        // Stationary convoy (zero speed, distant destination): nothing
+        // mutates between evaluations, so epoch 2 replays epoch 1's pairs.
+        for i in 0..5u64 {
+            op.process_update(&LocationUpdate::object(
+                ObjectId(i),
+                Point::new(500.0 + i as f64, 500.0),
+                0,
+                0.0,
+                CN,
+                ObjectAttrs::default(),
+            ));
+        }
+        op.process_update(&LocationUpdate::query(
+            QueryId(1),
+            Point::new(502.0, 501.0),
+            0,
+            0.0,
+            CN,
+            QueryAttrs {
+                spec: QuerySpec::square_range(20.0),
+            },
+        ));
+        let first = op.evaluate(2);
+        let warm = op.evaluate(4);
+        assert_eq!(first.results, warm.results);
+        assert!(!op.join_cache().is_empty());
+        let within = warm.phases.get(crate::join::STAGE_JOIN_WITHIN).unwrap();
+        assert!(within.cache_hits > 0, "clean pairs replay from the cache");
+        assert_eq!(within.cache_misses, 0);
+        assert_eq!(within.tests, 0, "no member work on a clean epoch");
+    }
+
+    #[test]
+    fn cache_disabled_keeps_results_identical() {
+        let run = |join_cache: bool| {
+            let params = ScubaParams::default().with_join_cache(join_cache);
+            let mut op = ScubaOperator::new(params, Rect::square(1000.0));
+            let mut all = Vec::new();
+            for round in 0..4u64 {
+                for i in 0..30u64 {
+                    let x = (i * 37 % 900) as f64 + 50.0 + round as f64;
+                    let y = (i * 61 % 900) as f64 + 50.0;
+                    if i % 2 == 0 {
+                        op.process_update(&obj(i, x, y));
+                    } else {
+                        op.process_update(&qry(i, x, y, 30.0));
+                    }
+                }
+                all.push(op.evaluate(round * 2 + 2).results);
+            }
+            all
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub struct ClusterGrid {
     cells: Vec<Vec<ClusterId>>,
     /// Linear cell indices each cluster is currently registered in.
     registrations: FxHashMap<ClusterId, Vec<u32>>,
+    /// Epoch-stamped visited table for [`ClusterGrid::clusters_within_into`]:
+    /// a cluster is a duplicate within one probe iff its stamp equals the
+    /// current probe round. Replaces a per-probe `contains` scan / set
+    /// allocation with an O(1) stamp check that never clears.
+    probe_stamps: FxHashMap<ClusterId, u64>,
+    probe_round: u64,
 }
 
 impl ClusterGrid {
@@ -30,6 +36,8 @@ impl ClusterGrid {
             spec,
             cells: vec![Vec::new(); spec.cell_count()],
             registrations: FxHashMap::default(),
+            probe_stamps: FxHashMap::default(),
+            probe_round: 0,
         }
     }
 
@@ -77,6 +85,7 @@ impl ClusterGrid {
         if self.registrations.contains_key(&cid) {
             self.unregister(cid);
             self.registrations.remove(&cid);
+            self.probe_stamps.remove(&cid);
             true
         } else {
             false
@@ -118,11 +127,15 @@ impl ClusterGrid {
     /// update, and a cluster's registration always covers its centroid, so
     /// probing the Θ_D disk cannot miss a joinable cluster regardless of
     /// how fine the grid is.
-    pub fn clusters_within_into(&self, probe: &Circle, out: &mut Vec<ClusterId>) {
+    pub fn clusters_within_into(&mut self, probe: &Circle, out: &mut Vec<ClusterId>) {
         out.clear();
+        self.probe_round += 1;
+        let round = self.probe_round;
         for idx in self.spec.cells_overlapping_circle(probe) {
             for &cid in &self.cells[self.spec.linear(idx)] {
-                if !out.contains(&cid) {
+                let stamp = self.probe_stamps.entry(cid).or_insert(0);
+                if *stamp != round {
+                    *stamp = round;
                     out.push(cid);
                 }
             }
@@ -146,6 +159,7 @@ impl ClusterGrid {
             cell.clear();
         }
         self.registrations.clear();
+        self.probe_stamps.clear();
     }
 
     /// Estimated heap footprint in bytes (cell vectors + registrations).

@@ -4,18 +4,27 @@
 //! a [`StageStats`] record:
 //!
 //! 1. **pair discovery** — the ClusterGrid cell walk plus seen-pair dedup,
-//!    materialising the unique cluster pairs sharing at least one cell;
+//!    materialising the unique cluster pairs sharing at least one cell.
+//!    Dedup uses an epoch-stamped visited table ([`JoinScratch`]): a pair
+//!    was already seen this round iff its stamp equals the round counter,
+//!    so no per-round allocation or clearing is needed;
 //! 2. **join-between** (Algorithm 2) — the circle/circle overlap
 //!    pre-filter. Pairs whose regions do not overlap are pruned: their
 //!    members are *guaranteed* not to join individually (the cluster
 //!    region covers all member positions);
 //! 3. **join-within** (Algorithm 3) — the exact object×query join over the
-//!    members of both clusters, materialising relative positions lazily.
-//!    This is the embarrassingly parallel kernel: surviving pairs are
-//!    independent, so [`JoinContext::parallelism`] > 1 partitions them
-//!    across scoped worker threads fed by a crossbeam channel;
+//!    members of both clusters. Before any member work, each surviving
+//!    pair consults the [`JoinCache`]: if neither cluster has mutated
+//!    since the pair's cached result was computed (per the engine's
+//!    [`EpochTracker`]), the cached matches are replayed verbatim —
+//!    bit-identical, because a clean cluster's materialisation is
+//!    bit-identical too. Cache misses materialise members once per epoch
+//!    into a flat SoA arena and run the exact join, partitioned across
+//!    scoped worker threads (work-stealing over an atomic cursor) when
+//!    [`JoinContext::parallelism`] > 1;
 //! 4. **result merge** — sort + dedup of the worker outputs, which makes
-//!    the result set independent of thread count and of pair order.
+//!    the result set independent of thread count, of pair order and of the
+//!    replayed/computed split.
 //!
 //! Two engineering notes relative to the paper's pseudo-code:
 //!
@@ -27,7 +36,7 @@
 //!   final dedup this produces the identical result set with fewer
 //!   comparisons.
 //! * Clusters sharing several grid cells would be joined once per shared
-//!   cell; a seen-pair set deduplicates the work.
+//!   cell; the stamped seen-pair table deduplicates the work.
 //!
 //! Load shedding (§5) surfaces here: members whose relative position was
 //! discarded are approximated **by their cluster centroid** — "individual
@@ -44,11 +53,15 @@
 //! the paper reports at η = 50 %, so the centroid reading is the one
 //! consistent with the paper's own measurements; see DESIGN.md.)
 
+use std::collections::hash_map::Entry;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use scuba_motion::{ObjectId, QueryId, QuerySpec};
-use scuba_spatial::{Circle, FxHashMap, FxHashSet, Point, Rect};
+use scuba_spatial::{Circle, FxHashMap, Point, Rect};
 use scuba_stream::{QueryMatch, StageStats, Stopwatch};
 
 use crate::cluster::{ClusterId, MovingCluster};
+use crate::clustering::EpochTracker;
 use crate::grid::ClusterGrid;
 use crate::shedding::SheddingMode;
 use crate::tables::QueriesTable;
@@ -67,7 +80,9 @@ pub const STAGE_RESULT_MERGE: &str = "result-merge";
 pub struct JoinOutput {
     /// Deduplicated query answers.
     pub results: Vec<QueryMatch>,
-    /// Exact object×query pair tests performed (join-within work).
+    /// Exact object×query pair tests performed (join-within work). Pairs
+    /// replayed from the [`JoinCache`] contribute nothing here — the
+    /// counter measures work actually done this epoch.
     pub comparisons: u64,
     /// Coarse filter tests performed: cluster-pair overlap tests
     /// (join-between) plus member-vs-cluster reach tests inside
@@ -77,6 +92,13 @@ pub struct JoinOutput {
     pub pairs_pruned: u64,
     /// Cluster pairs that proceeded to join-within.
     pub pairs_joined: u64,
+    /// Surviving pairs replayed from the [`JoinCache`].
+    pub cache_hits: u64,
+    /// Surviving pairs computed for lack of a valid cache entry.
+    pub cache_misses: u64,
+    /// Cache entries invalidated this epoch (inputs mutated, pair
+    /// separated, or a cluster dissolved). Zero when caching is off.
+    pub cache_invalidations: u64,
     /// Per-stage cost accounting, in pipeline order (pair discovery,
     /// join-between, join-within, result merge).
     pub stages: Vec<StageStats>,
@@ -103,14 +125,106 @@ pub struct JoinContext<'a> {
     /// join-within (sound either way; `false` reverts to Algorithm 3's
     /// plain nested loop for ablation).
     pub member_filter: bool,
-    /// Worker threads for the join-within stage. 1 runs today's serial
-    /// path (with a shared materialisation cache); n > 1 partitions the
-    /// surviving pairs across n scoped threads. The result set and all
-    /// work counters are identical for every value.
+    /// Worker threads for the join-within stage. 1 runs the serial path;
+    /// n > 1 lets n scoped threads steal cache-miss pairs from a shared
+    /// atomic cursor. The result set and all work counters are identical
+    /// for every value.
     pub parallelism: usize,
 }
 
+/// Pair-keyed cache of join-within results, carried across epochs.
+///
+/// Each entry stores the raw matches one surviving cluster pair produced
+/// plus the [`EpochTracker`] clock value it was computed at. On the next
+/// round the pair replays the stored matches iff *both* clusters are still
+/// clean (no join-relevant mutation since `computed_at`) — in that case
+/// the materialised member state is bit-identical to last round's, so the
+/// replay is bit-identical to recomputation. Entries whose pair does not
+/// survive join-between this round (separated regions, dissolved cluster)
+/// are swept at the end of the round.
+#[derive(Debug, Default)]
+pub struct JoinCache {
+    entries: FxHashMap<(ClusterId, ClusterId), CacheEntry>,
+    round: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    matches: Vec<QueryMatch>,
+    /// Epoch-clock value the matches were computed at.
+    computed_at: u64,
+    /// Cache round the entry was last hit or refreshed.
+    last_used: u64,
+}
+
+impl JoinCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        JoinCache::default()
+    }
+
+    /// Number of cached pair results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every entry (allocations are kept by the map itself).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Estimated heap footprint in bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        let per_entry =
+            std::mem::size_of::<(ClusterId, ClusterId)>() + std::mem::size_of::<CacheEntry>() + 8;
+        self.entries.len() * per_entry
+            + self
+                .entries
+                .values()
+                .map(|e| e.matches.capacity() * std::mem::size_of::<QueryMatch>())
+                .sum::<usize>()
+    }
+}
+
+/// Reusable working memory for the joining phase, owned by the operator
+/// and handed to [`JoinContext::run_cached`] every epoch.
+///
+/// Holds the stamped seen-pair table of stage 1, the pair/task lists, the
+/// SoA materialisation arena of stage 3 and one scratch block per worker
+/// thread. In steady state an epoch performs no allocation: every buffer
+/// is cleared (length 0) but keeps its capacity.
+#[derive(Debug, Default)]
+pub struct JoinScratch {
+    /// Stamped visited table: a pair was seen this round iff its stamp
+    /// equals `seen_round`.
+    seen_pairs: FxHashMap<(ClusterId, ClusterId), u64>,
+    seen_round: u64,
+    /// Stage-1 output: unique pairs in first-seen order.
+    pairs: Vec<(ClusterId, ClusterId)>,
+    /// Stage-2 output: pairs surviving join-between.
+    tasks: Vec<(ClusterId, ClusterId)>,
+    /// Stage-3 input: surviving pairs without a valid cache entry.
+    miss_tasks: Vec<(ClusterId, ClusterId)>,
+    /// Per-epoch SoA materialisation of member positions.
+    arena: MatArena,
+    /// One scratch block per join-within worker.
+    workers: Vec<WorkerScratch>,
+}
+
+impl JoinScratch {
+    /// Fresh scratch with no reserved capacity (grows on first use).
+    pub fn new() -> Self {
+        JoinScratch::default()
+    }
+}
+
 /// An exact (un-shed) range-query member with its region precomputed.
+#[derive(Debug, Clone, Copy)]
 struct ExactQuery {
     qid: QueryId,
     pos: Point,
@@ -118,18 +232,18 @@ struct ExactQuery {
     bounding_radius: f64,
 }
 
-/// A cluster's members materialised into absolute coordinates.
-struct Materialized {
+/// Span-based view of one cluster materialised into the [`MatArena`].
+#[derive(Debug, Clone, Copy)]
+struct MatEntry {
     cid: ClusterId,
-    /// Objects with known positions.
-    exact_objects: Vec<(ObjectId, Point)>,
-    /// Shed objects — all approximated at the centroid.
-    shed_objects: Vec<ObjectId>,
-    /// Range queries with known positions.
-    exact_queries: Vec<ExactQuery>,
-    /// Shed range queries grouped by spec: their region is centred on the
-    /// centroid, so one region per distinct spec answers the whole group.
-    shed_query_groups: Vec<(Rect, Vec<QueryId>)>,
+    /// Span into `obj_ids`/`obj_x`/`obj_y`.
+    objs: (u32, u32),
+    /// Span into `shed_obj_ids`.
+    shed_objs: (u32, u32),
+    /// Span into `queries`.
+    queries: (u32, u32),
+    /// Span into `group_regions`/`group_qid_spans`.
+    groups: (u32, u32),
     /// The centroid (approximate position of every shed member).
     centroid: Point,
     /// The cluster's (tight) circular region.
@@ -139,85 +253,248 @@ struct Materialized {
     reach: Circle,
 }
 
-impl Materialized {
+impl MatEntry {
     fn has_objects(&self) -> bool {
-        !self.exact_objects.is_empty() || !self.shed_objects.is_empty()
+        self.objs.0 != self.objs.1 || self.shed_objs.0 != self.shed_objs.1
     }
 
     fn has_queries(&self) -> bool {
-        !self.exact_queries.is_empty() || !self.shed_query_groups.is_empty()
+        self.queries.0 != self.queries.1 || self.groups.0 != self.groups.1
     }
 }
 
-/// The unique cluster pairs found by the cell walk, plus walk counters.
-struct Discovery {
-    pairs: Vec<(ClusterId, ClusterId)>,
-    /// Total cluster entries visited across non-empty cells.
-    entries_walked: u64,
-    /// Candidate pair occurrences examined (before seen-pair dedup).
-    candidates: u64,
+/// Flat SoA arena holding every materialised cluster of one epoch.
+///
+/// Member positions live in parallel `x`/`y`/`id` arrays so the inner
+/// containment loops stream over contiguous memory; per-cluster views are
+/// `(start, end)` spans ([`MatEntry`]). All vectors are cleared — not
+/// deallocated — between epochs.
+#[derive(Debug, Default)]
+struct MatArena {
+    index: FxHashMap<ClusterId, MatEntry>,
+    obj_ids: Vec<ObjectId>,
+    obj_x: Vec<f64>,
+    obj_y: Vec<f64>,
+    shed_obj_ids: Vec<ObjectId>,
+    queries: Vec<ExactQuery>,
+    /// Shed range queries grouped by identical region (one region per
+    /// distinct spec, centred on the centroid): region per group …
+    group_regions: Vec<Rect>,
+    /// … and the span of `group_qids` holding that group's members.
+    group_qid_spans: Vec<(u32, u32)>,
+    group_qids: Vec<QueryId>,
+    /// Scratch for the two-pass group build (local group index, qid).
+    pending_groups: Vec<(u32, QueryId)>,
+    /// Scratch: per-local-group member counts, then fill cursors.
+    group_counts: Vec<u32>,
 }
 
-/// Accumulator for the join-within kernel: one per worker, merged
-/// commutatively afterwards.
-#[derive(Default)]
-struct WithinAcc {
+impl MatArena {
+    fn clear(&mut self) {
+        self.index.clear();
+        self.obj_ids.clear();
+        self.obj_x.clear();
+        self.obj_y.clear();
+        self.shed_obj_ids.clear();
+        self.queries.clear();
+        self.group_regions.clear();
+        self.group_qid_spans.clear();
+        self.group_qids.clear();
+    }
+}
+
+/// Per-worker working memory: raw matches, the active-query index buffer
+/// and the per-pair result spans (for cache refresh), plus work counters.
+#[derive(Debug, Default)]
+struct WorkerScratch {
     results: Vec<QueryMatch>,
+    /// Indices into `MatArena::queries` of the partner queries that
+    /// survived the reach filter for the current object cluster.
+    active: Vec<u32>,
+    records: Vec<PairRec>,
     comparisons: u64,
     reach_tests: u64,
 }
 
-impl WithinAcc {
-    fn absorb(&mut self, other: WithinAcc) {
-        self.results.extend(other.results);
-        self.comparisons += other.comparisons;
-        self.reach_tests += other.reach_tests;
+impl WorkerScratch {
+    fn reset(&mut self) {
+        self.results.clear();
+        self.active.clear();
+        self.records.clear();
+        self.comparisons = 0;
+        self.reach_tests = 0;
     }
+}
+
+/// One computed pair and the span of the worker's `results` it produced.
+#[derive(Debug, Clone, Copy)]
+struct PairRec {
+    left: ClusterId,
+    right: ClusterId,
+    start: u32,
+    end: u32,
 }
 
 impl<'a> JoinContext<'a> {
     /// Runs the full joining phase (Algorithm 1, steps 8–21) as the
-    /// four-stage pipeline described in the module docs.
+    /// four-stage pipeline described in the module docs, from scratch:
+    /// no dirty-epoch information, so every surviving pair is computed.
+    ///
+    /// Convenience wrapper over [`JoinContext::run_cached`] for callers
+    /// without cross-epoch state (the K-means extension, one-shot tests).
     pub fn run(&self) -> JoinOutput {
+        let mut cache = JoinCache::new();
+        let mut scratch = JoinScratch::new();
+        self.run_cached(None, &mut cache, &mut scratch)
+    }
+
+    /// Runs the joining phase incrementally.
+    ///
+    /// `epochs` is the engine's per-cluster mutation clock; `None` disables
+    /// caching entirely (every pair is computed, nothing is stored, the
+    /// cache counters stay zero). With `Some`, surviving pairs whose two
+    /// clusters are both clean since the pair's cached epoch replay their
+    /// cached matches; the rest are recomputed and refreshed in `cache`.
+    /// `scratch` supplies every reusable buffer, so steady-state epochs
+    /// allocate nothing.
+    ///
+    /// The output — result set *and* every counter except the cache
+    /// statistics themselves — is bit-identical to [`JoinContext::run`]
+    /// modulo the work counters measuring only work actually performed
+    /// (`comparisons`, `prefilter_tests` and the stage `tests` shrink by
+    /// exactly the replayed pairs' share).
+    pub fn run_cached(
+        &self,
+        epochs: Option<&EpochTracker>,
+        cache: &mut JoinCache,
+        scratch: &mut JoinScratch,
+    ) -> JoinOutput {
         let mut out = JoinOutput::default();
         let mut sw = Stopwatch::start();
 
-        // Stage 1 — pair discovery: cell walk + seen-pair dedup.
-        let discovery = self.discover_pairs();
-        let discovered = discovery.pairs.len() as u64;
+        // Stage 1 — pair discovery: cell walk + stamped seen-pair dedup.
+        let (entries_walked, candidates) = self.discover_pairs(scratch);
+        let discovered = scratch.pairs.len() as u64;
         out.stages.push(
             StageStats::join(STAGE_PAIR_DISCOVERY)
                 .with_wall(sw.lap())
-                .with_items(discovery.entries_walked, discovered)
-                .with_tests(discovery.candidates),
+                .with_items(entries_walked, discovered)
+                .with_tests(candidates),
         );
 
         // Stage 2 — join-between: the overlap pre-filter (Algorithm 2).
-        let tasks = self.join_between(&discovery.pairs, &mut out);
+        {
+            let JoinScratch { pairs, tasks, .. } = &mut *scratch;
+            self.join_between(pairs, tasks, &mut out);
+        }
         let between_tests = out.prefilter_tests;
         out.stages.push(
             StageStats::join(STAGE_JOIN_BETWEEN)
                 .with_wall(sw.lap())
-                .with_items(discovered, tasks.len() as u64)
+                .with_items(discovered, scratch.tasks.len() as u64)
                 .with_tests(between_tests),
         );
 
-        // Stage 3 — join-within: the exact member join (Algorithm 3),
-        // partitioned across workers when parallelism > 1.
-        let within = self.join_within(&tasks);
-        out.comparisons = within.comparisons;
-        out.prefilter_tests += within.reach_tests;
-        out.results = within.results;
+        // Stage 3 — join-within: replay clean pairs from the cache, run
+        // the exact member join (Algorithm 3) over the misses.
+        cache.round += 1;
+        let round = cache.round;
+        let clock = epochs.map(EpochTracker::clock);
+        scratch.miss_tasks.clear();
+        for &(left, right) in &scratch.tasks {
+            let valid = epochs.is_some_and(|ep| {
+                cache.entries.get(&(left, right)).is_some_and(|e| {
+                    ep.clean_since(left, e.computed_at) && ep.clean_since(right, e.computed_at)
+                })
+            });
+            if valid {
+                let entry = cache
+                    .entries
+                    .get_mut(&(left, right))
+                    .expect("validity implies presence");
+                entry.last_used = round;
+                out.results.extend_from_slice(&entry.matches);
+                out.cache_hits += 1;
+            } else {
+                if epochs.is_some() {
+                    if cache.entries.contains_key(&(left, right)) {
+                        // A stale entry: its inputs mutated.
+                        out.cache_invalidations += 1;
+                    }
+                    out.cache_misses += 1;
+                }
+                scratch.miss_tasks.push((left, right));
+            }
+        }
+
+        // Materialise every cluster a miss needs, exactly once, serially,
+        // into the shared SoA arena; the workers only read it.
+        let used = {
+            let JoinScratch {
+                miss_tasks,
+                arena,
+                workers,
+                ..
+            } = &mut *scratch;
+            arena.clear();
+            for &(left, right) in miss_tasks.iter() {
+                self.materialize_into(left, arena);
+                if right != left {
+                    self.materialize_into(right, arena);
+                }
+            }
+            self.join_misses(miss_tasks, arena, workers)
+        };
+
+        // Fold the workers: counters, raw matches, and cache refreshes.
+        for ws in scratch.workers.iter().take(used) {
+            out.comparisons += ws.comparisons;
+            out.prefilter_tests += ws.reach_tests;
+            if epochs.is_some() {
+                let clock = clock.expect("clock captured with epochs");
+                for rec in &ws.records {
+                    let matches = &ws.results[rec.start as usize..rec.end as usize];
+                    match cache.entries.entry((rec.left, rec.right)) {
+                        Entry::Occupied(mut o) => {
+                            let e = o.get_mut();
+                            e.matches.clear();
+                            e.matches.extend_from_slice(matches);
+                            e.computed_at = clock;
+                            e.last_used = round;
+                        }
+                        Entry::Vacant(v) => {
+                            v.insert(CacheEntry {
+                                matches: matches.to_vec(),
+                                computed_at: clock,
+                                last_used: round,
+                            });
+                        }
+                    }
+                }
+            }
+            out.results.extend_from_slice(&ws.results);
+        }
+
+        // Sweep entries whose pair did not survive this round: the pair
+        // separated, was pruned, or one of its clusters dissolved.
+        if epochs.is_some() {
+            let before = cache.entries.len();
+            cache.entries.retain(|_, e| e.last_used == round);
+            out.cache_invalidations += (before - cache.entries.len()) as u64;
+        }
+
         let raw = out.results.len() as u64;
         out.stages.push(
             StageStats::join(STAGE_JOIN_WITHIN)
                 .with_wall(sw.lap())
-                .with_items(tasks.len() as u64, raw)
-                .with_tests(within.comparisons + within.reach_tests),
+                .with_items(scratch.tasks.len() as u64, raw)
+                .with_tests(out.comparisons + (out.prefilter_tests - between_tests))
+                .with_cache(out.cache_hits, out.cache_misses, out.cache_invalidations),
         );
 
         // Stage 4 — result merge: sort + dedup, which also erases any
-        // worker-interleaving of the raw matches.
+        // worker-interleaving (and the replayed/computed split) of the raw
+        // matches.
         out.results.sort_unstable();
         out.results.dedup();
         out.stages.push(
@@ -230,10 +507,11 @@ impl<'a> JoinContext<'a> {
 
     /// Stage 1: walks the grid cell by cell and collects each cluster pair
     /// sharing a cell exactly once (self-pairs included), in first-seen
-    /// order.
-    fn discover_pairs(&self) -> Discovery {
-        let mut seen: FxHashSet<(ClusterId, ClusterId)> = FxHashSet::default();
-        let mut pairs = Vec::new();
+    /// order, into `scratch.pairs`. Returns `(entries_walked, candidates)`.
+    fn discover_pairs(&self, scratch: &mut JoinScratch) -> (u64, u64) {
+        scratch.pairs.clear();
+        scratch.seen_round += 1;
+        let round = scratch.seen_round;
         let mut entries_walked = 0u64;
         let mut candidates = 0u64;
         for (_, cell) in self.grid.iter_nonempty() {
@@ -246,17 +524,22 @@ impl<'a> JoinContext<'a> {
                     } else {
                         (right, left)
                     };
-                    if seen.insert(key) {
-                        pairs.push(key);
+                    let stamp = scratch.seen_pairs.entry(key).or_insert(0);
+                    if *stamp != round {
+                        *stamp = round;
+                        scratch.pairs.push(key);
                     }
                 }
             }
         }
-        Discovery {
-            pairs,
-            entries_walked,
-            candidates,
+        // The stamp table keeps keys of pairs that no longer co-occur
+        // (dissolved or drifted-apart clusters). Compact it when stale
+        // keys clearly dominate, so it stays proportional to the live
+        // pair population.
+        if scratch.seen_pairs.len() > 4 * scratch.pairs.len() + 1024 {
+            scratch.seen_pairs.retain(|_, stamp| *stamp == round);
         }
+        (entries_walked, candidates)
     }
 
     /// Stage 2: filters the discovered pairs down to the ones join-within
@@ -267,9 +550,10 @@ impl<'a> JoinContext<'a> {
     fn join_between(
         &self,
         pairs: &[(ClusterId, ClusterId)],
+        tasks: &mut Vec<(ClusterId, ClusterId)>,
         out: &mut JoinOutput,
-    ) -> Vec<(ClusterId, ClusterId)> {
-        let mut tasks = Vec::with_capacity(pairs.len());
+    ) {
+        tasks.clear();
         for &(left, right) in pairs {
             let (Some(m_l), Some(m_r)) = (self.clusters.get(&left), self.clusters.get(&right))
             else {
@@ -305,87 +589,86 @@ impl<'a> JoinContext<'a> {
             out.pairs_joined += 1;
             tasks.push((left, right));
         }
-        tasks
     }
 
-    /// Stage 3: runs the member join over every surviving pair, serially
-    /// or across `parallelism` scoped worker threads.
+    /// Stage 3 kernel: runs the member join over every cache-miss pair,
+    /// serially or across `parallelism` scoped worker threads stealing
+    /// tasks from a shared atomic cursor. Returns how many worker scratch
+    /// blocks hold output.
     ///
     /// Parallel execution is deterministic in everything the caller can
-    /// observe: per-pair comparison and reach-test counts do not depend on
-    /// which worker (or which materialisation cache) handles the pair, the
-    /// counters merge commutatively, and the raw matches are sorted and
-    /// deduped by the merge stage.
-    fn join_within(&self, tasks: &[(ClusterId, ClusterId)]) -> WithinAcc {
-        let workers = self.parallelism.max(1).min(tasks.len().max(1));
-        if workers <= 1 {
-            let mut acc = WithinAcc::default();
-            let mut cache: FxHashMap<ClusterId, Materialized> = FxHashMap::default();
-            for &(left, right) in tasks {
-                self.join_task(left, right, &mut cache, &mut acc);
+    /// observe: the miss list is fixed before dispatch, per-pair
+    /// comparison and reach-test counts do not depend on which worker
+    /// handles the pair (all read the same arena), the counters merge
+    /// commutatively, and the raw matches are sorted and deduped by the
+    /// merge stage.
+    fn join_misses(
+        &self,
+        miss_tasks: &[(ClusterId, ClusterId)],
+        arena: &MatArena,
+        workers: &mut Vec<WorkerScratch>,
+    ) -> usize {
+        let used = self.parallelism.max(1).min(miss_tasks.len().max(1));
+        if workers.len() < used {
+            workers.resize_with(used, WorkerScratch::default);
+        }
+        for ws in workers.iter_mut() {
+            ws.reset();
+        }
+        if used <= 1 {
+            let ws = &mut workers[0];
+            for &(left, right) in miss_tasks {
+                self.join_pair(arena, left, right, ws);
             }
-            return acc;
+            return 1;
         }
 
-        let (task_tx, task_rx) = crossbeam::channel::unbounded::<(ClusterId, ClusterId)>();
-        for &pair in tasks {
-            task_tx.send(pair).expect("task receiver alive");
-        }
-        drop(task_tx);
-
-        let mut merged = WithinAcc::default();
+        let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            let (result_tx, result_rx) = crossbeam::channel::unbounded::<WithinAcc>();
-            for _ in 0..workers {
-                let rx = task_rx.clone();
-                let tx = result_tx.clone();
+            for ws in workers.iter_mut().take(used) {
                 let ctx = *self;
-                scope.spawn(move || {
-                    let mut acc = WithinAcc::default();
-                    let mut cache: FxHashMap<ClusterId, Materialized> = FxHashMap::default();
-                    for (left, right) in rx.iter() {
-                        ctx.join_task(left, right, &mut cache, &mut acc);
-                    }
-                    let _ = tx.send(acc);
+                let cursor = &cursor;
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(left, right)) = miss_tasks.get(i) else {
+                        break;
+                    };
+                    ctx.join_pair(arena, left, right, ws);
                 });
             }
-            drop(result_tx);
-            for acc in result_rx.iter() {
-                merged.absorb(acc);
-            }
         });
-        merged
+        used
     }
 
-    /// Joins one surviving pair: the same-cluster join for `(c, c)` tasks,
-    /// otherwise L-objects × R-queries and R-objects × L-queries.
-    fn join_task(
+    /// Joins one cache-miss pair: the same-cluster join for `(c, c)`
+    /// tasks, otherwise L-objects × R-queries and R-objects × L-queries.
+    /// Records the produced result span for the cache refresh.
+    fn join_pair(
         &self,
+        arena: &MatArena,
         left: ClusterId,
         right: ClusterId,
-        cache: &mut FxHashMap<ClusterId, Materialized>,
-        acc: &mut WithinAcc,
+        ws: &mut WorkerScratch,
     ) {
-        let (Some(m_l), Some(m_r)) = (self.clusters.get(&left), self.clusters.get(&right)) else {
-            return; // stale grid entry
-        };
-
-        if left == right {
-            let member_filter = self.member_filter;
-            let mat = self.materialize_cached(m_l, cache);
-            Self::join_members(mat, mat, member_filter, acc);
-            return;
+        let start = ws.results.len() as u32;
+        if let (Some(&m_l), Some(&m_r)) = (arena.index.get(&left), arena.index.get(&right)) {
+            if left == right {
+                self.join_members(arena, &m_l, &m_l, ws);
+            } else {
+                self.join_members(arena, &m_l, &m_r, ws);
+                self.join_members(arena, &m_r, &m_l, ws);
+            }
         }
-
-        self.materialize_cached(m_l, cache);
-        self.materialize_cached(m_r, cache);
-        let mat_l = &cache[&left];
-        let mat_r = &cache[&right];
-        Self::join_members(mat_l, mat_r, self.member_filter, acc);
-        Self::join_members(mat_r, mat_l, self.member_filter, acc);
+        ws.records.push(PairRec {
+            left,
+            right,
+            start,
+            end: ws.results.len() as u32,
+        });
     }
 
-    /// Joins `objects_of`'s objects against `queries_of`'s queries.
+    /// Joins `objects_of`'s objects against `queries_of`'s queries, both
+    /// read from the arena.
     ///
     /// For *cross*-cluster pairs a member-level pre-filter (not in the
     /// paper's Algorithm 3, which does the full nested loop) skips objects
@@ -399,10 +682,11 @@ impl<'a> JoinContext<'a> {
     /// centroid position, so one region test answers the whole set, and
     /// likewise for each distinct shed-query spec.
     fn join_members(
-        objects_of: &Materialized,
-        queries_of: &Materialized,
-        member_filter: bool,
-        acc: &mut WithinAcc,
+        &self,
+        arena: &MatArena,
+        objects_of: &MatEntry,
+        queries_of: &MatEntry,
+        ws: &mut WorkerScratch,
     ) {
         if !objects_of.has_objects() || !queries_of.has_queries() {
             return;
@@ -410,13 +694,14 @@ impl<'a> JoinContext<'a> {
         // The reach filters are no-ops within a single cluster (every
         // member is inside its own region by construction), and disabled
         // entirely when ablating.
-        let skip_filters = objects_of.cid == queries_of.cid || !member_filter;
+        let skip_filters = objects_of.cid == queries_of.cid || !self.member_filter;
 
         // Exact queries that can reach the object cluster at all.
-        let mut active: Vec<&ExactQuery> = Vec::with_capacity(queries_of.exact_queries.len());
-        for q in &queries_of.exact_queries {
+        ws.active.clear();
+        for qi in queries_of.queries.0..queries_of.queries.1 {
+            let q = &arena.queries[qi as usize];
             if !skip_filters {
-                acc.reach_tests += 1;
+                ws.reach_tests += 1;
                 let reach = Circle::new(
                     objects_of.region.center,
                     objects_of.region.radius + q.bounding_radius,
@@ -425,35 +710,42 @@ impl<'a> JoinContext<'a> {
                     continue;
                 }
             }
-            active.push(q);
+            ws.active.push(qi);
         }
 
-        // 1. Exact objects × exact queries.
-        if !active.is_empty() {
-            for &(oid, p) in &objects_of.exact_objects {
+        // 1. Exact objects × exact queries, streaming the SoA arrays.
+        if !ws.active.is_empty() {
+            for i in objects_of.objs.0 as usize..objects_of.objs.1 as usize {
+                let p = Point::new(arena.obj_x[i], arena.obj_y[i]);
                 if !skip_filters {
-                    acc.reach_tests += 1;
+                    ws.reach_tests += 1;
                     if !queries_of.reach.contains(&p) {
                         continue;
                     }
                 }
-                for q in &active {
-                    acc.comparisons += 1;
+                let oid = arena.obj_ids[i];
+                for &qi in &ws.active {
+                    let q = &arena.queries[qi as usize];
+                    ws.comparisons += 1;
                     if q.region.contains(&p) {
-                        acc.results.push(QueryMatch::new(q.qid, oid));
+                        ws.results.push(QueryMatch::new(q.qid, oid));
                     }
                 }
             }
         }
 
+        let shed_objs =
+            &arena.shed_obj_ids[objects_of.shed_objs.0 as usize..objects_of.shed_objs.1 as usize];
+
         // 2. Shed objects (all at the centroid) × exact queries: one test
         //    per query answers every shed object.
-        if !objects_of.shed_objects.is_empty() {
-            for q in &active {
-                acc.comparisons += 1;
+        if !shed_objs.is_empty() {
+            for &qi in &ws.active {
+                let q = &arena.queries[qi as usize];
+                ws.comparisons += 1;
                 if q.region.contains(&objects_of.centroid) {
-                    for &oid in &objects_of.shed_objects {
-                        acc.results.push(QueryMatch::new(q.qid, oid));
+                    for &oid in shed_objs {
+                        ws.results.push(QueryMatch::new(q.qid, oid));
                     }
                 }
             }
@@ -461,24 +753,29 @@ impl<'a> JoinContext<'a> {
 
         // 3. Shed query groups (regions centred on the query cluster's
         //    centroid).
-        for (region, qids) in &queries_of.shed_query_groups {
+        for g in queries_of.groups.0 as usize..queries_of.groups.1 as usize {
+            let region = &arena.group_regions[g];
+            let (qs, qe) = arena.group_qid_spans[g];
+            let qids = &arena.group_qids[qs as usize..qe as usize];
             // 3a. Exact objects.
-            for &(oid, p) in &objects_of.exact_objects {
-                acc.comparisons += 1;
+            for i in objects_of.objs.0 as usize..objects_of.objs.1 as usize {
+                let p = Point::new(arena.obj_x[i], arena.obj_y[i]);
+                ws.comparisons += 1;
                 if region.contains(&p) {
+                    let oid = arena.obj_ids[i];
                     for &qid in qids {
-                        acc.results.push(QueryMatch::new(qid, oid));
+                        ws.results.push(QueryMatch::new(qid, oid));
                     }
                 }
             }
             // 3b. Shed objects: a single centroid-in-region test answers
             //     the full cross product.
-            if !objects_of.shed_objects.is_empty() {
-                acc.comparisons += 1;
+            if !shed_objs.is_empty() {
+                ws.comparisons += 1;
                 if region.contains(&objects_of.centroid) {
                     for &qid in qids {
-                        for &oid in &objects_of.shed_objects {
-                            acc.results.push(QueryMatch::new(qid, oid));
+                        for &oid in shed_objs {
+                            ws.results.push(QueryMatch::new(qid, oid));
                         }
                     }
                 }
@@ -486,33 +783,36 @@ impl<'a> JoinContext<'a> {
         }
     }
 
-    fn materialize_cached<'c>(
-        &self,
-        cluster: &MovingCluster,
-        cache: &'c mut FxHashMap<ClusterId, Materialized>,
-    ) -> &'c Materialized {
-        cache
-            .entry(cluster.cid)
-            .or_insert_with(|| self.materialize(cluster))
-    }
-
-    /// Applies the lazy transformation to every member — "we refrain from
-    /// constantly updating the relative positions of the cluster members,
-    /// as this info is not needed, unless a join-within is to be performed"
-    /// (§3.1). Shed members materialise at the centroid.
-    fn materialize(&self, cluster: &MovingCluster) -> Materialized {
+    /// Applies the lazy transformation to every member of `cid` — "we
+    /// refrain from constantly updating the relative positions of the
+    /// cluster members, as this info is not needed, unless a join-within
+    /// is to be performed" (§3.1) — writing flat SoA spans into the arena.
+    /// Shed members materialise at the centroid. Idempotent per epoch.
+    fn materialize_into(&self, cid: ClusterId, arena: &mut MatArena) {
+        if arena.index.contains_key(&cid) {
+            return;
+        }
+        let Some(cluster) = self.clusters.get(&cid) else {
+            return;
+        };
         let centroid = cluster.centroid();
-        let mut exact_objects = Vec::with_capacity(cluster.object_count());
-        let mut shed_objects = Vec::new();
-        let mut exact_queries = Vec::with_capacity(cluster.query_count());
-        let mut shed_query_groups: Vec<(Rect, Vec<QueryId>)> = Vec::new();
+        let objs_start = arena.obj_ids.len() as u32;
+        let shed_start = arena.shed_obj_ids.len() as u32;
+        let queries_start = arena.queries.len() as u32;
+        let groups_start = arena.group_regions.len() as u32;
+        arena.pending_groups.clear();
+        arena.group_counts.clear();
 
         for member in cluster.members() {
             let pos = cluster.member_position(member);
             match member.entity {
                 scuba_motion::EntityRef::Object(oid) => match pos {
-                    Some(p) => exact_objects.push((oid, p)),
-                    None => shed_objects.push(oid),
+                    Some(p) => {
+                        arena.obj_ids.push(oid);
+                        arena.obj_x.push(p.x);
+                        arena.obj_y.push(p.y);
+                    }
+                    None => arena.shed_obj_ids.push(oid),
                 },
                 scuba_motion::EntityRef::Query(qid) => {
                     let Some(attrs) = self.queries.get(qid) else {
@@ -522,7 +822,7 @@ impl<'a> JoinContext<'a> {
                         continue; // kNN queries are answered by the knn module
                     };
                     match pos {
-                        Some(p) => exact_queries.push(ExactQuery {
+                        Some(p) => arena.queries.push(ExactQuery {
                             qid,
                             pos: p,
                             region: attrs
@@ -536,26 +836,65 @@ impl<'a> JoinContext<'a> {
                                 .spec
                                 .region_at(centroid)
                                 .expect("range spec always has a region");
-                            match shed_query_groups.iter_mut().find(|(r, _)| *r == region) {
-                                Some((_, qids)) => qids.push(qid),
-                                None => shed_query_groups.push((region, vec![qid])),
-                            }
+                            let local = match arena.group_regions[groups_start as usize..]
+                                .iter()
+                                .position(|r| *r == region)
+                            {
+                                Some(i) => i,
+                                None => {
+                                    arena.group_regions.push(region);
+                                    arena.group_counts.push(0);
+                                    arena.group_regions.len() - 1 - groups_start as usize
+                                }
+                            };
+                            arena.group_counts[local] += 1;
+                            arena.pending_groups.push((local as u32, qid));
                         }
                     }
                 }
             }
         }
-        let region = cluster.region();
-        Materialized {
-            cid: cluster.cid,
-            exact_objects,
-            shed_objects,
-            exact_queries,
-            shed_query_groups,
-            centroid,
-            region,
-            reach: Circle::new(region.center, region.radius + cluster.max_query_radius()),
+
+        // Second pass of the group build: prefix offsets, then fill each
+        // group's contiguous qid span in member order (count-then-fill, no
+        // per-group vectors).
+        let qid_base = arena.group_qids.len() as u32;
+        let mut offset = 0u32;
+        for &count in &arena.group_counts {
+            arena
+                .group_qid_spans
+                .push((qid_base + offset, qid_base + offset + count));
+            offset += count;
         }
+        arena
+            .group_qids
+            .resize((qid_base + offset) as usize, QueryId(0));
+        for c in &mut arena.group_counts {
+            *c = 0;
+        }
+        let pending = std::mem::take(&mut arena.pending_groups);
+        for &(local, qid) in &pending {
+            let span = arena.group_qid_spans[(groups_start + local) as usize];
+            let cursor = arena.group_counts[local as usize];
+            arena.group_qids[(span.0 + cursor) as usize] = qid;
+            arena.group_counts[local as usize] = cursor + 1;
+        }
+        arena.pending_groups = pending;
+
+        let region = cluster.region();
+        arena.index.insert(
+            cid,
+            MatEntry {
+                cid,
+                objs: (objs_start, arena.obj_ids.len() as u32),
+                shed_objs: (shed_start, arena.shed_obj_ids.len() as u32),
+                queries: (queries_start, arena.queries.len() as u32),
+                groups: (groups_start, arena.group_regions.len() as u32),
+                centroid,
+                region,
+                reach: Circle::new(region.center, region.radius + cluster.max_query_radius()),
+            },
+        );
     }
 }
 
@@ -692,7 +1031,7 @@ mod tests {
     #[test]
     fn pair_spanning_multiple_cells_joined_once() {
         // Big query range and a coarse-ish grid: both clusters overlap
-        // several cells; the seen-set must dedup.
+        // several cells; the stamped seen-table must dedup.
         let params = ScubaParams::default().with_grid_cells(4);
         let mut e = ClusterEngine::new(params, Rect::square(1000.0));
         for i in 0..5 {
@@ -852,5 +1191,74 @@ mod tests {
             assert_eq!(parallel.pairs_joined, serial.pairs_joined);
             assert_eq!(parallel.pairs_pruned, serial.pairs_pruned);
         }
+    }
+
+    #[test]
+    fn clean_epoch_replays_from_cache_bit_identically() {
+        let params = ScubaParams::default().with_grid_cells(8);
+        let mut e = ClusterEngine::new(params, Rect::square(1000.0));
+        for i in 0..6u64 {
+            let x = 120.0 * i as f64 + 60.0;
+            e.process_update(&obj(i, x, 500.0, 30.0, CN_EAST));
+            e.process_update(&qry(i, x + 2.0, 502.0, 30.0, CN_WEST, 60.0));
+        }
+        let mut cache = JoinCache::new();
+        let mut scratch = JoinScratch::new();
+
+        let cold = ctx(&e).run_cached(Some(e.epochs()), &mut cache, &mut scratch);
+        assert!(cold.cache_hits == 0 && cold.cache_misses > 0);
+        assert!(!cold.results.is_empty());
+        assert!(!cache.is_empty());
+
+        // Nothing mutated between rounds: every surviving pair replays.
+        let warm = ctx(&e).run_cached(Some(e.epochs()), &mut cache, &mut scratch);
+        assert_eq!(warm.results, cold.results);
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(warm.cache_hits, cold.cache_misses);
+        assert_eq!(warm.comparisons, 0, "no member work on a clean epoch");
+        // And a from-scratch run still agrees.
+        assert_eq!(ctx(&e).run().results, warm.results);
+    }
+
+    #[test]
+    fn mutation_invalidates_only_touched_pairs() {
+        let params = ScubaParams::default().with_grid_cells(8);
+        let mut e = ClusterEngine::new(params, Rect::square(1000.0));
+        for i in 0..6u64 {
+            let x = 120.0 * i as f64 + 60.0;
+            e.process_update(&obj(i, x, 500.0, 30.0, CN_EAST));
+            e.process_update(&qry(i, x + 2.0, 502.0, 30.0, CN_WEST, 60.0));
+        }
+        let mut cache = JoinCache::new();
+        let mut scratch = JoinScratch::new();
+        let cold = ctx(&e).run_cached(Some(e.epochs()), &mut cache, &mut scratch);
+
+        // Refresh one object: exactly its cluster's pairs recompute.
+        e.process_update(&obj(0, 61.0, 500.0, 30.0, CN_EAST));
+        let warm = ctx(&e).run_cached(Some(e.epochs()), &mut cache, &mut scratch);
+        assert!(warm.cache_hits > 0, "untouched pairs replay");
+        assert!(warm.cache_misses > 0, "touched pair recomputes");
+        assert!(warm.cache_misses < cold.cache_misses);
+        assert_eq!(warm.results, ctx(&e).run().results);
+    }
+
+    #[test]
+    fn disabled_cache_matches_enabled_results() {
+        let params = ScubaParams::default().with_grid_cells(8);
+        let mut e = ClusterEngine::new(params, Rect::square(1000.0));
+        for i in 0..6u64 {
+            let x = 120.0 * i as f64 + 60.0;
+            e.process_update(&obj(i, x, 500.0, 30.0, CN_EAST));
+            e.process_update(&qry(i, x + 2.0, 502.0, 30.0, CN_WEST, 60.0));
+        }
+        let mut cache = JoinCache::new();
+        let mut scratch = JoinScratch::new();
+        ctx(&e).run_cached(Some(e.epochs()), &mut cache, &mut scratch);
+        let cached = ctx(&e).run_cached(Some(e.epochs()), &mut cache, &mut scratch);
+        let plain = ctx(&e).run();
+        assert_eq!(cached.results, plain.results);
+        assert_eq!(plain.cache_hits, 0);
+        assert_eq!(plain.cache_misses, 0);
+        assert_eq!(plain.cache_invalidations, 0);
     }
 }

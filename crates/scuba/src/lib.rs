@@ -101,8 +101,10 @@ pub mod vci;
 pub use accuracy::AccuracyReport;
 pub use baseline::{PointHashedGridOperator, RegularGridOperator};
 pub use cluster::{ClusterId, Member, MovingCluster};
+pub use clustering::EpochTracker;
 pub use delta::{DeltaTracker, ResultDelta};
 pub use engine::ScubaOperator;
+pub use join::{JoinCache, JoinContext, JoinScratch};
 pub use ops::{OperatorKind, OpsConfig};
 pub use params::{ProbeScope, ScubaParams};
 pub use qindex::QueryIndexOperator;

@@ -136,6 +136,49 @@ mod tests {
         }
     }
 
+    /// The factory passes `params.join_cache` through: a suite built with
+    /// the cache disabled returns exactly the same results as the default
+    /// suite (the cache is a work optimisation, never a semantic change).
+    #[test]
+    fn join_cache_toggle_is_result_invariant() {
+        let cn = Point::new(1000.0, 500.0);
+        let run = |join_cache: bool| -> Vec<Vec<scuba_stream::QueryMatch>> {
+            let params = ScubaParams::default().with_join_cache(join_cache);
+            let mut op = OpsConfig::new(params, Rect::square(1000.0)).build(OperatorKind::Scuba);
+            let mut per_interval = Vec::new();
+            for round in 0..4u64 {
+                for i in 0..30u64 {
+                    let x = ((i * 97 + round * 13) % 1000) as f64;
+                    let y = ((i * 53 + round * 29) % 1000) as f64;
+                    if i % 4 == 0 {
+                        op.process_update(&LocationUpdate::query(
+                            QueryId(i),
+                            Point::new(x, y),
+                            round * 2,
+                            25.0,
+                            cn,
+                            QueryAttrs {
+                                spec: QuerySpec::square_range(150.0),
+                            },
+                        ));
+                    } else {
+                        op.process_update(&LocationUpdate::object(
+                            ObjectId(i),
+                            Point::new(x, y),
+                            round * 2,
+                            25.0,
+                            cn,
+                            ObjectAttrs::default(),
+                        ));
+                    }
+                }
+                per_interval.push(op.evaluate((round + 1) * 2).results);
+            }
+            per_interval
+        };
+        assert_eq!(run(true), run(false));
+    }
+
     #[test]
     fn labels_are_unique() {
         let mut labels: Vec<&str> = OperatorKind::ALL.iter().map(|k| k.label()).collect();

@@ -65,6 +65,11 @@ pub struct ScubaParams {
     /// pre-pipeline behaviour. Any value yields the same results and work
     /// counters; only wall-clock time changes.
     pub parallelism: usize,
+    /// Whether the operator carries a [`crate::join::JoinCache`] across
+    /// epochs, replaying join-within results for cluster pairs that have
+    /// not mutated since they were computed (default `true`). Never
+    /// changes results — replays are bit-identical — only work done.
+    pub join_cache: bool,
 }
 
 impl Default for ScubaParams {
@@ -81,6 +86,7 @@ impl Default for ScubaParams {
             tighten_radii: true,
             entity_ttl: None,
             parallelism: 1,
+            join_cache: true,
         }
     }
 }
@@ -106,6 +112,11 @@ impl ScubaParams {
             parallelism: parallelism.max(1),
             ..self
         }
+    }
+
+    /// Returns the params with the incremental join cache on or off.
+    pub fn with_join_cache(self, join_cache: bool) -> Self {
+        ScubaParams { join_cache, ..self }
     }
 
     /// Returns the params with different clustering thresholds.
@@ -157,7 +168,13 @@ mod tests {
         assert_eq!(p.delta, 2);
         assert_eq!(p.shedding, SheddingMode::None);
         assert_eq!(p.parallelism, 1, "serial join-within is the default");
+        assert!(p.join_cache, "incremental join cache is on by default");
         assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn join_cache_builder() {
+        assert!(!ScubaParams::default().with_join_cache(false).join_cache);
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Edge-case tests for [`scuba::JoinCache`] invalidation.
+//!
+//! The cache's contract is simple — a pair replays iff **both** clusters
+//! are clean since the entry was computed — but the mutations that dirty a
+//! cluster arrive from many directions: explicit dissolution, load-shedding
+//! escalation, staleness eviction, snapshot restoration. Each test here
+//! drives [`scuba::clustering::ClusterEngine`] (or the full operator)
+//! through one such mutation mid-stream and asserts two things: the cached
+//! run still matches a from-scratch join bit-for-bit, and the cache
+//! counters show the invalidation actually happened (no silent stale
+//! replay).
+
+use scuba::clustering::ClusterEngine;
+use scuba::join::{JoinOutput, STAGE_JOIN_WITHIN};
+use scuba::{
+    EngineSnapshot, JoinCache, JoinContext, JoinScratch, ScubaOperator, ScubaParams, SheddingMode,
+};
+use scuba_motion::{
+    EntityRef, LocationUpdate, ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec,
+};
+use scuba_spatial::{Point, Rect};
+use scuba_stream::ContinuousOperator;
+
+const AREA: f64 = 1000.0;
+
+/// Shared destination node, far from every convoy: speed-0 clusters never
+/// pass it, so silent convoys stay epoch-clean across evaluations.
+const CN: Point = Point { x: 0.0, y: 0.0 };
+
+/// Ingests one stationary convoy: `n_objects` objects clustered around
+/// `centre` plus one range query, all sharing [`CN`].
+fn convoy(engine: &mut ClusterEngine, tag: u64, centre: Point, n_objects: u64, time: u64) {
+    for k in 0..n_objects {
+        engine.process_update(&LocationUpdate::object(
+            ObjectId(tag * 100 + k),
+            Point::new(centre.x + k as f64, centre.y),
+            time,
+            0.0,
+            CN,
+            ObjectAttrs::default(),
+        ));
+    }
+    engine.process_update(&LocationUpdate::query(
+        QueryId(tag),
+        Point::new(centre.x + 1.0, centre.y + 1.0),
+        time,
+        0.0,
+        CN,
+        QueryAttrs {
+            spec: QuerySpec::square_range(40.0),
+        },
+    ));
+}
+
+/// Runs the cached join over the engine's current state and asserts the
+/// core invariant in passing: the cached output always equals a
+/// from-scratch [`JoinContext::run`] over the same state.
+fn joined(engine: &ClusterEngine, cache: &mut JoinCache, scratch: &mut JoinScratch) -> JoinOutput {
+    let ctx = JoinContext {
+        clusters: engine.clusters(),
+        grid: engine.grid(),
+        queries: engine.queries(),
+        shedding: engine.params().shedding,
+        theta_d: engine.params().theta_d,
+        member_filter: engine.params().member_filter,
+        parallelism: 1,
+    };
+    let fresh = ctx.run();
+    let out = ctx.run_cached(Some(engine.epochs()), cache, scratch);
+    assert_eq!(
+        out.results, fresh.results,
+        "cached join diverged from from-scratch recomputation"
+    );
+    out
+}
+
+/// A cluster dissolved between evaluations must neither replay from the
+/// cache nor leave its entry behind: its members are homeless, its matches
+/// vanish, and the orphaned entry is swept (counted as an invalidation).
+#[test]
+fn dissolve_mid_epoch_invalidates_cached_pair() {
+    let mut engine = ClusterEngine::new(ScubaParams::default(), Rect::square(AREA));
+    convoy(&mut engine, 1, Point::new(200.0, 200.0), 4, 0);
+    convoy(&mut engine, 2, Point::new(700.0, 700.0), 4, 0);
+    let (mut cache, mut scratch) = (JoinCache::new(), JoinScratch::new());
+
+    let cold = joined(&engine, &mut cache, &mut scratch);
+    assert!(!cold.results.is_empty(), "both convoys produce matches");
+    assert_eq!(cold.cache_hits, 0, "first epoch is all misses");
+    assert!(cold.cache_misses >= 2, "one pair per convoy computed");
+
+    let warm = joined(&engine, &mut cache, &mut scratch);
+    assert_eq!(warm.results, cold.results);
+    assert!(warm.cache_hits >= 2, "silent epoch replays every pair");
+    assert_eq!(warm.cache_misses, 0);
+
+    let cid = engine
+        .home()
+        .cluster_of(EntityRef::Query(QueryId(2)))
+        .expect("query 2 is clustered");
+    engine.dissolve(cid);
+    engine.check_invariants();
+
+    let after = joined(&engine, &mut cache, &mut scratch);
+    assert!(
+        after.results.len() < warm.results.len(),
+        "the dissolved convoy's matches disappear"
+    );
+    assert!(after.cache_hits >= 1, "the surviving convoy still replays");
+    assert!(
+        after.cache_invalidations >= 1,
+        "the dissolved pair's entry is swept, not kept"
+    );
+}
+
+/// Load-shedding escalation none → partial → full dirties exactly the
+/// clusters it strips positions from: each escalation that discards
+/// something forces a recompute (no stale replay of pre-shed matches),
+/// and the recomputed results still match a from-scratch join over the
+/// shed state.
+#[test]
+fn shedding_escalation_dirties_cached_pairs() {
+    let mut engine = ClusterEngine::new(ScubaParams::default(), Rect::square(AREA));
+    // One convoy with members at mixed radii (≈25 and ≈55 from the
+    // centroid) so partial shedding strips the inner ring and full
+    // shedding still finds outer positions to discard.
+    engine.process_update(&LocationUpdate::object(
+        ObjectId(1),
+        Point::new(500.0, 500.0),
+        0,
+        0.0,
+        CN,
+        ObjectAttrs::default(),
+    ));
+    engine.process_update(&LocationUpdate::object(
+        ObjectId(2),
+        Point::new(570.0, 500.0),
+        0,
+        0.0,
+        CN,
+        ObjectAttrs::default(),
+    ));
+    engine.process_update(&LocationUpdate::object(
+        ObjectId(3),
+        Point::new(500.0, 570.0),
+        0,
+        0.0,
+        CN,
+        ObjectAttrs::default(),
+    ));
+    engine.process_update(&LocationUpdate::query(
+        QueryId(1),
+        Point::new(501.0, 501.0),
+        0,
+        0.0,
+        CN,
+        QueryAttrs {
+            spec: QuerySpec::square_range(200.0),
+        },
+    ));
+    let (mut cache, mut scratch) = (JoinCache::new(), JoinScratch::new());
+
+    let cold = joined(&engine, &mut cache, &mut scratch);
+    assert!(!cold.results.is_empty());
+    let warm = joined(&engine, &mut cache, &mut scratch);
+    assert!(warm.cache_hits >= 1, "unshed convoy replays");
+
+    // none → partial: the inner ring (within η·Θ_D of the centroid) loses
+    // its exact positions — a join-relevant mutation.
+    engine.set_shedding(SheddingMode::Partial { eta: 0.4 });
+    assert!(
+        engine.shed_now() > 0,
+        "partial shedding strips the inner ring"
+    );
+    let partial = joined(&engine, &mut cache, &mut scratch);
+    assert_eq!(partial.cache_hits, 0, "no stale replay of pre-shed matches");
+    assert!(partial.cache_misses >= 1);
+    assert!(partial.cache_invalidations >= 1);
+
+    // A quiet epoch under partial shedding is clean again.
+    let partial_warm = joined(&engine, &mut cache, &mut scratch);
+    assert!(
+        partial_warm.cache_hits >= 1,
+        "shed state itself is cacheable"
+    );
+
+    // partial → full: the outer members lose their positions too.
+    engine.set_shedding(SheddingMode::Full);
+    assert!(
+        engine.shed_now() > 0,
+        "full shedding strips the outer members"
+    );
+    let full = joined(&engine, &mut cache, &mut scratch);
+    assert_eq!(full.cache_hits, 0, "escalation invalidates again");
+    assert!(full.cache_misses >= 1);
+    assert!(full.cache_invalidations >= 1);
+    engine.check_invariants();
+}
+
+/// [`ClusterEngine::evict_stale`] removing a cached pair's cluster: the
+/// silent convoy empties out and dissolves, so its cached matches must
+/// vanish rather than replay — an entity that stopped reporting is gone,
+/// not merely mispositioned.
+#[test]
+fn evict_stale_drops_cached_pairs_cluster() {
+    let mut engine = ClusterEngine::new(ScubaParams::default(), Rect::square(AREA));
+    convoy(&mut engine, 1, Point::new(200.0, 200.0), 4, 0);
+    convoy(&mut engine, 2, Point::new(700.0, 700.0), 4, 0);
+    let (mut cache, mut scratch) = (JoinCache::new(), JoinScratch::new());
+
+    let cold = joined(&engine, &mut cache, &mut scratch);
+    let warm = joined(&engine, &mut cache, &mut scratch);
+    assert_eq!(warm.results, cold.results);
+    assert!(warm.cache_hits >= 2);
+
+    // Convoy 1 keeps reporting (same positions, fresh timestamps); convoy
+    // 2 has been silent since t=0.
+    convoy(&mut engine, 1, Point::new(200.0, 200.0), 4, 15);
+    let evicted = engine.evict_stale(20, 8);
+    assert!(evicted >= 5, "convoy 2's members all age out");
+    engine.check_invariants();
+
+    let after = joined(&engine, &mut cache, &mut scratch);
+    assert!(
+        after.results.len() < warm.results.len(),
+        "the evicted convoy's matches disappear"
+    );
+    assert!(
+        after.cache_invalidations >= 1,
+        "the dissolved pair's entry is dropped"
+    );
+    // Convoy 1 was refreshed (fresh timestamps dirty its cluster), so it
+    // recomputes this epoch and is replayable again on the next.
+    assert!(after.cache_misses >= 1);
+    let settled = joined(&engine, &mut cache, &mut scratch);
+    assert!(settled.cache_hits >= 1, "the survivor warms back up");
+}
+
+/// Restoring from a snapshot resets the cache: the restored operator
+/// starts cold (its first epoch recomputes every pair — no entries can
+/// outlive the engine they were computed against), produces the same
+/// results as the live operator, and then warms back up normally.
+#[test]
+fn snapshot_restore_resets_cache() {
+    let mut op = ScubaOperator::new(ScubaParams::default(), Rect::square(AREA));
+    for k in 0..5u64 {
+        op.process_update(&LocationUpdate::object(
+            ObjectId(k),
+            Point::new(500.0 + k as f64, 500.0),
+            0,
+            0.0,
+            CN,
+            ObjectAttrs::default(),
+        ));
+    }
+    op.process_update(&LocationUpdate::query(
+        QueryId(1),
+        Point::new(502.0, 501.0),
+        0,
+        0.0,
+        CN,
+        QueryAttrs {
+            spec: QuerySpec::square_range(20.0),
+        },
+    ));
+    op.evaluate(2);
+    let warm = op.evaluate(4);
+    assert!(
+        warm.phases.get(STAGE_JOIN_WITHIN).unwrap().cache_hits > 0,
+        "live operator replays from its cache"
+    );
+    assert!(!op.join_cache().is_empty());
+
+    let snapshot = EngineSnapshot::capture(op.engine());
+    let restored = EngineSnapshot::from_json(&snapshot.to_json())
+        .unwrap()
+        .restore()
+        .unwrap();
+    let mut restored_op = ScubaOperator::from_engine(restored);
+    assert!(
+        restored_op.join_cache().is_empty(),
+        "a restored operator starts with an empty cache"
+    );
+
+    let cold = restored_op.evaluate(6);
+    let live = op.evaluate(6);
+    assert_eq!(cold.results, live.results, "restore preserves answers");
+    let cold_within = cold.phases.get(STAGE_JOIN_WITHIN).unwrap();
+    assert_eq!(
+        cold_within.cache_hits, 0,
+        "first post-restore epoch is cold"
+    );
+    assert!(cold_within.cache_misses > 0);
+
+    let rewarm = restored_op.evaluate(8);
+    assert!(
+        rewarm.phases.get(STAGE_JOIN_WITHIN).unwrap().cache_hits > 0,
+        "the restored operator warms back up"
+    );
+}

@@ -399,6 +399,44 @@ proptest! {
         prop_assert_eq!(via_kmeans, truth);
     }
 
+    /// The epoch-coherent join cache is invisible: an operator carrying
+    /// its [`scuba::JoinCache`] across Δ-epochs produces bit-identical
+    /// results to a from-scratch (cache-disabled) operator at every epoch
+    /// and every worker count. Each case drives 3–5 epochs of fresh churn
+    /// at parallelism 1/2/4/8 — across the 64 cases the property covers
+    /// hundreds of randomized epochs.
+    #[test]
+    fn incremental_join_matches_full_recomputation(
+        batches in prop::collection::vec(arb_updates(30), 3..6),
+    ) {
+        for workers in [1usize, 2, 4, 8] {
+            let base = ScubaParams::default().with_parallelism(workers);
+            let mut cached = ScubaOperator::new(base.with_join_cache(true), area());
+            let mut uncached = ScubaOperator::new(base.with_join_cache(false), area());
+            for (e, batch) in batches.iter().enumerate() {
+                // Feed only this epoch's churn — clusters the batch does
+                // not touch stay clean, so the cached operator genuinely
+                // replays entries rather than recomputing everything.
+                for u in batch {
+                    cached.process_update(u);
+                    uncached.process_update(u);
+                }
+                let now = (e as u64 + 1) * 2;
+                let hot = cached.evaluate(now);
+                let cold = uncached.evaluate(now);
+                prop_assert_eq!(
+                    &hot.results, &cold.results,
+                    "workers {} epoch {}", workers, e
+                );
+                // The cache only ever removes work, never adds it.
+                prop_assert!(
+                    hot.comparisons <= cold.comparisons,
+                    "workers {} epoch {}: cached did more member work", workers, e
+                );
+            }
+        }
+    }
+
     /// Join-within parallelism is invisible: every worker count yields the
     /// identical sorted result set and identical work counters — the merge
     /// stage erases thread interleaving, and the per-pair counters are
@@ -515,4 +553,94 @@ fn parallelism_one_matches_baseline_on_seeded_workload() {
     // accessors.
     assert!(!s.phases.is_empty());
     assert_eq!(s.total_time(), s.join_time() + s.maintenance_time());
+}
+
+/// Deterministic low-churn companion to
+/// `incremental_join_matches_full_recomputation`: four stationary convoys
+/// are ingested once; from the second epoch on only one of them re-reports.
+/// The three silent convoys must replay from the cache on every later
+/// epoch (hits strictly positive), the churned convoy must recompute
+/// (misses strictly positive), and every epoch's results must match a
+/// cache-disabled twin bit-for-bit.
+#[test]
+fn incremental_join_low_churn_replays_from_cache() {
+    use scuba::join::STAGE_JOIN_WITHIN;
+
+    let centres = [
+        Point::new(200.0, 200.0),
+        Point::new(200.0, 700.0),
+        Point::new(700.0, 200.0),
+        Point::new(700.0, 700.0),
+    ];
+    // Speed-0 convoy far from its destination node: `advance` never moves
+    // the centroid, so the cluster stays epoch-clean while silent.
+    let cn = Point::new(0.0, 0.0);
+    let convoy = |tag: u64, centre: Point, time: u64| -> Vec<LocationUpdate> {
+        let mut updates: Vec<LocationUpdate> = (0..5u64)
+            .map(|k| {
+                LocationUpdate::object(
+                    ObjectId(tag * 10 + k),
+                    Point::new(centre.x + k as f64, centre.y),
+                    time,
+                    0.0,
+                    cn,
+                    ObjectAttrs::default(),
+                )
+            })
+            .collect();
+        updates.push(LocationUpdate::query(
+            QueryId(tag),
+            Point::new(centre.x + 2.0, centre.y + 1.0),
+            time,
+            0.0,
+            cn,
+            QueryAttrs {
+                spec: QuerySpec::square_range(40.0),
+            },
+        ));
+        updates
+    };
+
+    let base = ScubaParams::default();
+    let mut cached = ScubaOperator::new(base.with_join_cache(true), area());
+    let mut uncached = ScubaOperator::new(base.with_join_cache(false), area());
+    let mut total_hits = 0u64;
+    for epoch in 1..=6u64 {
+        let now = epoch * 2;
+        if epoch == 1 {
+            for (tag, centre) in centres.iter().enumerate() {
+                for u in convoy(tag as u64 + 1, *centre, 0) {
+                    cached.process_update(&u);
+                    uncached.process_update(&u);
+                }
+            }
+        } else {
+            // Low churn: only convoy 1 re-reports (same positions — the
+            // refresh dirties its cluster without changing the answer).
+            for u in convoy(1, centres[0], now - 1) {
+                cached.process_update(&u);
+                uncached.process_update(&u);
+            }
+        }
+        let hot = cached.evaluate(now);
+        let cold = uncached.evaluate(now);
+        assert_eq!(hot.results, cold.results, "epoch {epoch}");
+        assert!(!hot.results.is_empty(), "epoch {epoch} finds matches");
+        let within = hot.phases.get(STAGE_JOIN_WITHIN).expect("within stage");
+        if epoch >= 2 {
+            assert!(
+                within.cache_hits > 0,
+                "epoch {epoch}: silent convoys replay from the cache"
+            );
+            assert!(
+                within.cache_misses > 0,
+                "epoch {epoch}: the churned convoy recomputes"
+            );
+        }
+        total_hits += within.cache_hits;
+    }
+    assert!(
+        total_hits >= 3 * 5,
+        "three convoys × five warm epochs replay"
+    );
 }

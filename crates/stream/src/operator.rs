@@ -69,6 +69,17 @@ pub struct StageStats {
     pub items_out: u64,
     /// Unit-work count (stage-specific: candidates, tests, comparisons).
     pub tests: u64,
+    /// Work units answered from a result cache instead of being recomputed
+    /// (zero for stages without caching).
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Work units that had no valid cache entry and were computed.
+    #[serde(default)]
+    pub cache_misses: u64,
+    /// Cache entries discarded because their inputs changed or their
+    /// subjects disappeared.
+    #[serde(default)]
+    pub cache_invalidations: u64,
 }
 
 impl StageStats {
@@ -81,6 +92,9 @@ impl StageStats {
             items_in: 0,
             items_out: 0,
             tests: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_invalidations: 0,
         }
     }
 
@@ -113,12 +127,23 @@ impl StageStats {
         self
     }
 
+    /// Sets the cache counters (hits, misses, invalidations).
+    pub fn with_cache(mut self, hits: u64, misses: u64, invalidations: u64) -> Self {
+        self.cache_hits = hits;
+        self.cache_misses = misses;
+        self.cache_invalidations = invalidations;
+        self
+    }
+
     /// Folds another record for the same stage into this one.
     fn absorb(&mut self, other: &StageStats) {
         self.wall_time += other.wall_time;
         self.items_in += other.items_in;
         self.items_out += other.items_out;
         self.tests += other.tests;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_invalidations += other.cache_invalidations;
     }
 }
 
@@ -137,6 +162,15 @@ pub struct StageRow {
     pub items_out: u64,
     /// Unit-work count.
     pub tests: u64,
+    /// Work units replayed from cache.
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Work units computed for lack of a valid cache entry.
+    #[serde(default)]
+    pub cache_misses: u64,
+    /// Cache entries invalidated.
+    #[serde(default)]
+    pub cache_invalidations: u64,
 }
 
 /// The ordered, named stages of one evaluation (or of many, summed).
@@ -246,6 +280,9 @@ impl PhaseBreakdown {
                 items_in: s.items_in,
                 items_out: s.items_out,
                 tests: s.tests,
+                cache_hits: s.cache_hits,
+                cache_misses: s.cache_misses,
+                cache_invalidations: s.cache_invalidations,
             })
             .collect()
     }
