@@ -1,0 +1,405 @@
+//! `ingest` — micro-benchmark of sharded batch ingestion.
+//!
+//! Feeds identical per-tick batches of location updates through the SCUBA
+//! operator at several shard counts and measures pure ingestion throughput
+//! (updates/second over `process_batch` wall time, evaluations excluded).
+//! Every sharded run is checked for bit-identical cluster state and query
+//! results against the sequential run before any number is reported.
+//!
+//! Two scenarios:
+//!
+//! * `uniform` — entities spread evenly over the area: shards receive
+//!   balanced stripes and the parallel planning phase dominates;
+//! * `hotspot` — entities concentrated in the left eighth of the area:
+//!   one stripe owns most of the load, exposing `shard_imbalance`.
+//!
+//! Emits `BENCH_ingest_throughput.json` (and a text table on stdout).
+//!
+//! Usage: `ingest [--objects N] [--queries N] [--duration TICKS]
+//! [--out FILE] [--json]`
+
+use serde::Serialize;
+
+use scuba::{ScubaOperator, ScubaParams};
+use scuba_bench::table::{f1, TextTable};
+use scuba_bench::ExperimentScale;
+use scuba_motion::{LocationUpdate, ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec};
+use scuba_spatial::{Point, Rect, Time};
+use scuba_stream::{ContinuousOperator, Stopwatch};
+
+const AREA: f64 = 10_000.0;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One shard count's measurements over a scenario.
+#[derive(Debug, Serialize)]
+struct RunOut {
+    /// Shard count (1 = the sequential per-update loop).
+    shards: usize,
+    /// Updates ingested over the run.
+    updates: u64,
+    /// Total `process_batch` wall time, microseconds.
+    ingest_us: u128,
+    /// Updates per second of ingest wall time.
+    updates_per_sec: f64,
+    /// Throughput relative to the sequential run.
+    speedup: f64,
+    /// Updates planned in parallel (interior of a stripe).
+    interior_updates: u64,
+    /// Updates deferred to the sequential fixup pass.
+    boundary_updates: u64,
+    /// Planned updates demoted to the fixup pass mid-planning.
+    demoted_updates: u64,
+    /// Max−min interior updates across shards, summed over ticks.
+    shard_imbalance: u64,
+    /// Route stage (sort + classify) wall time, microseconds.
+    route_us: u128,
+    /// Shard stage (parallel planning) wall time, microseconds.
+    shard_us: u128,
+    /// Fixup stage (sequential apply) wall time, microseconds.
+    fixup_us: u128,
+    /// Whether state + results matched the sequential run bit-for-bit.
+    identical: bool,
+}
+
+/// One scenario: the same ticks driven at every shard count.
+#[derive(Debug, Serialize)]
+struct ScenarioOut {
+    name: &'static str,
+    runs: Vec<RunOut>,
+}
+
+/// The complete JSON payload.
+#[derive(Debug, Serialize)]
+struct IngestOut {
+    scale: ExperimentScale,
+    ticks: u64,
+    scenarios: Vec<ScenarioOut>,
+}
+
+/// SplitMix64, so the workload is fixed-seed without external crates.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+    fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+}
+
+/// Builds the per-tick batches once per scenario; every shard count replays
+/// the exact same updates. Entities drift each tick (so refreshes, evictions
+/// and re-probes all occur) and a minority churns direction (fresh probes).
+fn build_batches(scale: &ExperimentScale, ticks: u64, hotspot: bool) -> Vec<Vec<LocationUpdate>> {
+    let mut rng = Mix(scale.seed);
+    let n_objects = scale.objects as u64;
+    let n_queries = scale.queries as u64;
+    let spawn_x_max = if hotspot { AREA / 8.0 } else { AREA };
+    let mut pos: Vec<Point> = (0..n_objects + n_queries)
+        .map(|_| Point::new(rng.in_range(0.0, spawn_x_max), rng.in_range(0.0, AREA)))
+        .collect();
+    let mut cn: Vec<Point> = pos
+        .iter()
+        .map(|p| {
+            Point::new(
+                p.x + rng.in_range(-500.0, 500.0),
+                p.y + rng.in_range(-500.0, 500.0),
+            )
+        })
+        .collect();
+
+    let mut batches = Vec::with_capacity(ticks as usize);
+    for t in 1..=ticks {
+        let mut batch = Vec::with_capacity(pos.len());
+        for i in 0..pos.len() {
+            // Random local drift; occasional retargeting churns the
+            // connection node so entities leave and rejoin clusters.
+            let p = Point::new(
+                (pos[i].x + rng.in_range(-60.0, 60.0)).clamp(0.0, AREA),
+                (pos[i].y + rng.in_range(-60.0, 60.0)).clamp(0.0, AREA),
+            );
+            pos[i] = p;
+            if rng.unit() < 0.20 {
+                cn[i] = Point::new(
+                    p.x + rng.in_range(-500.0, 500.0),
+                    p.y + rng.in_range(-500.0, 500.0),
+                );
+            }
+            let u = if (i as u64) < n_objects {
+                LocationUpdate::object(
+                    ObjectId(i as u64),
+                    p,
+                    t as Time,
+                    rng.in_range(0.0, 20.0),
+                    cn[i],
+                    ObjectAttrs::default(),
+                )
+            } else {
+                LocationUpdate::query(
+                    QueryId(i as u64 - n_objects),
+                    p,
+                    t as Time,
+                    rng.in_range(0.0, 20.0),
+                    cn[i],
+                    QueryAttrs {
+                        spec: QuerySpec::square_range(scale.query_range_side),
+                    },
+                )
+            };
+            batch.push(u);
+        }
+        batch.sort_by_key(|u| (u.time, u.entity));
+        batches.push(batch);
+    }
+    batches
+}
+
+/// The ingest-stage counters accumulated over a run, pulled from the
+/// evaluation reports' phase breakdowns.
+#[derive(Default)]
+struct IngestCounters {
+    interior: u64,
+    boundary: u64,
+    demoted: u64,
+    imbalance: u64,
+    route_us: u128,
+    shard_us: u128,
+    fixup_us: u128,
+}
+
+/// Drives one shard count over the batches. Returns wall time, counters,
+/// per-interval results and the final operator for the identity check.
+fn drive(
+    scale: &ExperimentScale,
+    batches: &[Vec<LocationUpdate>],
+    shards: usize,
+) -> (
+    std::time::Duration,
+    IngestCounters,
+    Vec<Vec<scuba_stream::QueryMatch>>,
+    ScubaOperator,
+) {
+    let params = ScubaParams::default()
+        .with_join_cache(scale.join_cache)
+        .with_ingest_shards(shards)
+        .with_batch_ingest(shards > 1);
+    let mut op = ScubaOperator::new(params, Rect::square(AREA));
+    let mut ingest_time = std::time::Duration::ZERO;
+    let mut counters = IngestCounters::default();
+    let mut results = Vec::new();
+    for (i, batch) in batches.iter().enumerate() {
+        let sw = Stopwatch::start();
+        op.process_batch(batch);
+        ingest_time += sw.elapsed();
+        let now = (i + 1) as Time;
+        if now % params.delta == 0 {
+            let report = op.evaluate(now);
+            for stage in report.phases.stages() {
+                match stage.name.as_str() {
+                    "ingest-route" => {
+                        counters.interior += stage.items_out;
+                        counters.boundary += stage.tests;
+                        counters.route_us += stage.wall_time.as_micros();
+                    }
+                    "ingest-shard" => {
+                        counters.imbalance += stage.tests;
+                        counters.shard_us += stage.wall_time.as_micros();
+                    }
+                    "ingest-fixup" => {
+                        counters.demoted += stage.tests;
+                        counters.fixup_us += stage.wall_time.as_micros();
+                    }
+                    _ => {}
+                }
+            }
+            results.push(report.results);
+        }
+    }
+    (ingest_time, counters, results, op)
+}
+
+/// Bit-identity of the full observable clustering state.
+fn identical_state(a: &ScubaOperator, b: &ScubaOperator) -> bool {
+    let (ea, eb) = (a.engine(), b.engine());
+    if ea.clusters() != eb.clusters()
+        || ea.next_cluster_id() != eb.next_cluster_id()
+        || ea.updates_processed() != eb.updates_processed()
+        || ea.stats() != eb.stats()
+    {
+        return false;
+    }
+    let spec = ea.grid().spec();
+    (0..spec.cell_count() as u32).all(|c| ea.grid().cell_linear(c) == eb.grid().cell_linear(c))
+}
+
+fn scenario(name: &'static str, scale: &ExperimentScale, ticks: u64, hotspot: bool) -> ScenarioOut {
+    let batches = build_batches(scale, ticks, hotspot);
+    let updates: u64 = batches.iter().map(|b| b.len() as u64).sum();
+
+    let (seq_time, _, seq_results, seq_op) = drive(scale, &batches, 1);
+    let seq_rate = updates as f64 / seq_time.as_secs_f64().max(1e-9);
+
+    let mut runs = Vec::new();
+    for shards in SHARD_COUNTS {
+        let (time, counters, results, op) = if shards == 1 {
+            // Reuse the sequential measurement rather than re-running it.
+            (
+                seq_time,
+                IngestCounters::default(),
+                seq_results.clone(),
+                // The identity check below compares the operator with
+                // itself; a fresh run would be equal by the same test.
+                drive(scale, &batches, 1).3,
+            )
+        } else {
+            drive(scale, &batches, shards)
+        };
+        let rate = updates as f64 / time.as_secs_f64().max(1e-9);
+        runs.push(RunOut {
+            shards,
+            updates,
+            ingest_us: time.as_micros(),
+            updates_per_sec: rate,
+            speedup: rate / seq_rate,
+            interior_updates: counters.interior,
+            boundary_updates: counters.boundary,
+            demoted_updates: counters.demoted,
+            shard_imbalance: counters.imbalance,
+            route_us: counters.route_us,
+            shard_us: counters.shard_us,
+            fixup_us: counters.fixup_us,
+            identical: results == seq_results && identical_state(&op, &seq_op),
+        });
+    }
+    ScenarioOut { name, runs }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mut scale, rest) = match ExperimentScale::from_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Laptop-friendly defaults for a micro-benchmark; flags still override.
+    if !args.iter().any(|a| a == "--objects") {
+        scale.objects = 20_000;
+    }
+    if !args.iter().any(|a| a == "--queries") {
+        scale.queries = 2_000;
+    }
+    let ticks = if args.iter().any(|a| a == "--duration") {
+        scale.duration.max(1)
+    } else {
+        6
+    };
+    let mut out_path = "BENCH_ingest_throughput.json".to_string();
+    let mut json_stdout = false;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--out" => {
+                if let Some(v) = rest.get(i + 1) {
+                    out_path = v.clone();
+                    i += 2;
+                } else {
+                    eprintln!("error: --out requires a value");
+                    std::process::exit(2);
+                }
+            }
+            "--json" => {
+                json_stdout = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown option '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "ingest: sharded batch ingestion — {} objects, {} queries, {} ticks",
+        scale.objects, scale.queries, ticks
+    );
+
+    let payload = IngestOut {
+        scale,
+        ticks,
+        scenarios: vec![
+            scenario("uniform", &scale, ticks, false),
+            scenario("hotspot", &scale, ticks, true),
+        ],
+    };
+
+    for s in &payload.scenarios {
+        for r in &s.runs {
+            assert!(
+                r.identical,
+                "{} @ {} shards: sharded ingestion diverged from sequential",
+                s.name, r.shards
+            );
+        }
+    }
+
+    // Table before JSON: the measurements survive even where JSON
+    // serialisation is unavailable (offline stub builds).
+    if !json_stdout {
+        print_table(&payload);
+    }
+
+    let json = serde_json::to_string_pretty(&payload).expect("payload serialises");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("wrote {out_path}");
+
+    if json_stdout {
+        println!("{json}");
+    }
+}
+
+fn print_table(payload: &IngestOut) {
+    let mut table = TextTable::new(vec![
+        "scenario",
+        "shards",
+        "updates/s",
+        "speedup",
+        "interior",
+        "boundary",
+        "demoted",
+        "imbalance",
+        "route_ms",
+        "shard_ms",
+        "fixup_ms",
+    ]);
+    for s in &payload.scenarios {
+        for r in &s.runs {
+            table.row(vec![
+                s.name.to_string(),
+                r.shards.to_string(),
+                format!("{:.0}", r.updates_per_sec),
+                f1(r.speedup),
+                r.interior_updates.to_string(),
+                r.boundary_updates.to_string(),
+                r.demoted_updates.to_string(),
+                r.shard_imbalance.to_string(),
+                f1(r.route_us as f64 / 1e3),
+                f1(r.shard_us as f64 / 1e3),
+                f1(r.fixup_us as f64 / 1e3),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}

@@ -44,6 +44,12 @@ pub struct ExperimentScale {
     /// join-within work changes (`--no-join-cache` measures the from-scratch
     /// cost).
     pub join_cache: bool,
+    /// Spatial shards for SCUBA's batch ingestion. Default 0 (follow
+    /// `parallelism`); results are identical at any setting.
+    pub ingest_shards: usize,
+    /// Whether SCUBA ingests each tick as one batch. Default `true`;
+    /// `--no-batch-ingest` forces the sequential per-update loop.
+    pub batch_ingest: bool,
 }
 
 impl Default for ExperimentScale {
@@ -61,6 +67,8 @@ impl Default for ExperimentScale {
             seeds: 1,
             parallelism: 1,
             join_cache: true,
+            ingest_shards: 0,
+            batch_ingest: true,
         }
     }
 }
@@ -97,7 +105,7 @@ impl ExperimentScale {
     /// Parses command-line overrides:
     /// `--objects N --queries N --skew N --grid N --delta N --duration N`
     /// `--range S --seed N --scale F --reps N --seeds N --parallelism N`
-    /// `--no-join-cache`.
+    /// `--no-join-cache --ingest-shards N --no-batch-ingest`.
     ///
     /// Unknown flags are returned for the caller to interpret.
     pub fn from_args(args: &[String]) -> Result<(Self, Vec<String>), String> {
@@ -158,6 +166,14 @@ impl ExperimentScale {
                 }
                 "--no-join-cache" => {
                     scale.join_cache = false;
+                    i += 1;
+                }
+                "--ingest-shards" => {
+                    scale.ingest_shards = parse(take_value(flag)?, flag)?;
+                    i += 2;
+                }
+                "--no-batch-ingest" => {
+                    scale.batch_ingest = false;
                     i += 1;
                 }
                 "--scale" => {
@@ -245,6 +261,19 @@ mod tests {
         assert!(ExperimentScale::default().join_cache);
         let (s, rest) = ExperimentScale::from_args(&args(&["--no-join-cache"])).unwrap();
         assert!(!s.join_cache);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn parses_ingest_flags() {
+        let s = ExperimentScale::default();
+        assert_eq!(s.ingest_shards, 0, "shards follow parallelism by default");
+        assert!(s.batch_ingest);
+        let (s, rest) =
+            ExperimentScale::from_args(&args(&["--ingest-shards", "4", "--no-batch-ingest"]))
+                .unwrap();
+        assert_eq!(s.ingest_shards, 4);
+        assert!(!s.batch_ingest);
         assert!(rest.is_empty());
     }
 

@@ -156,12 +156,14 @@ pub fn run_point_hashed(scale: &ExperimentScale) -> OperatorRun {
 }
 
 /// SCUBA params consistent with a scale (grid + Δ + parallelism + join
-/// cache from the scale, paper thresholds otherwise).
+/// cache + ingest sharding from the scale, paper thresholds otherwise).
 pub fn scuba_params(scale: &ExperimentScale) -> ScubaParams {
     let mut params = ScubaParams::default()
         .with_grid_cells(scale.grid_cells)
         .with_parallelism(scale.parallelism)
-        .with_join_cache(scale.join_cache);
+        .with_join_cache(scale.join_cache)
+        .with_ingest_shards(scale.ingest_shards)
+        .with_batch_ingest(scale.batch_ingest);
     params.delta = scale.delta;
     params
 }

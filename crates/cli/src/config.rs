@@ -146,6 +146,14 @@ impl SimConfig {
                     config.params.parallelism = parse(value(flag)?, flag)?;
                     i += 2;
                 }
+                "--ingest-shards" => {
+                    config.params.ingest_shards = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
+                "--no-batch-ingest" => {
+                    config.params.batch_ingest = false;
+                    i += 1;
+                }
                 "--eta" => {
                     let eta: f64 = parse(value(flag)?, flag)?;
                     config.params.shedding = if eta <= 0.0 {
@@ -260,6 +268,18 @@ mod tests {
             SimConfig::from_args(&args(&["--parallelism", "0"])).is_err(),
             "zero workers fails validation"
         );
+    }
+
+    #[test]
+    fn ingest_flags_set_params() {
+        let (c, _) = SimConfig::from_args(&[]).unwrap();
+        assert_eq!(c.params.ingest_shards, 0, "shards follow parallelism");
+        assert!(c.params.batch_ingest, "batch ingestion is on by default");
+        let (c, _) = SimConfig::from_args(&args(&["--ingest-shards", "8"])).unwrap();
+        assert_eq!(c.params.ingest_shards, 8);
+        let (c, _) = SimConfig::from_args(&args(&["--no-batch-ingest"])).unwrap();
+        assert!(!c.params.batch_ingest);
+        assert_eq!(c.params.effective_ingest_shards(), 1);
     }
 
     #[test]

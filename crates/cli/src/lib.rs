@@ -59,9 +59,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), String> 
             let (config, opts) = config::SimConfig::from_args(rest)?;
             commands::city::run(&config, &opts, out).map_err(|e| e.to_string())
         }
-        "help" | "--help" | "-h" => {
-            out.write_all(usage().as_bytes()).map_err(|e| e.to_string())
-        }
+        "help" | "--help" | "-h" => out.write_all(usage().as_bytes()).map_err(|e| e.to_string()),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
 }
@@ -95,7 +93,9 @@ OPTIONS (all commands):
     --seed <N>           workload seed
     --theta-d <F>        clustering distance threshold
     --theta-s <F>        clustering speed threshold
-    --parallelism <N>    join-within worker threads (same results, less wall)
+    --parallelism <N>    worker threads for join-within and batch ingestion
+    --ingest-shards <N>  spatial shards for batch ingestion (0 = parallelism)
+    --no-batch-ingest    ingest update-by-update instead of per-tick batches
     --no-join-cache      disable the epoch-coherent join cache (same results)
     --budget <BYTES>     adaptive shedding memory budget (simulate)
     --out <FILE>         trace output path (record)
@@ -142,7 +142,13 @@ mod tests {
     #[test]
     fn simulate_smoke() {
         let out = run_to_string(&[
-            "simulate", "--objects", "60", "--queries", "40", "--duration", "4",
+            "simulate",
+            "--objects",
+            "60",
+            "--queries",
+            "40",
+            "--duration",
+            "4",
         ])
         .unwrap();
         assert!(out.contains("t="), "expected per-interval lines: {out}");
@@ -152,7 +158,14 @@ mod tests {
     #[test]
     fn simulate_with_deltas() {
         let out = run_to_string(&[
-            "simulate", "--objects", "60", "--queries", "40", "--duration", "4", "--deltas",
+            "simulate",
+            "--objects",
+            "60",
+            "--queries",
+            "40",
+            "--duration",
+            "4",
+            "--deltas",
         ])
         .unwrap();
         assert!(out.contains('+'), "expected delta output: {out}");
@@ -161,7 +174,13 @@ mod tests {
     #[test]
     fn compare_reports_identical_results() {
         let out = run_to_string(&[
-            "compare", "--objects", "80", "--queries", "60", "--duration", "4",
+            "compare",
+            "--objects",
+            "80",
+            "--queries",
+            "60",
+            "--duration",
+            "4",
         ])
         .unwrap();
         assert!(out.contains("SCUBA"));
@@ -172,7 +191,13 @@ mod tests {
     #[test]
     fn shed_sweeps_levels() {
         let out = run_to_string(&[
-            "shed", "--objects", "80", "--queries", "60", "--duration", "4",
+            "shed",
+            "--objects",
+            "80",
+            "--queries",
+            "60",
+            "--duration",
+            "4",
         ])
         .unwrap();
         assert!(out.contains("100"), "expected maintained% rows: {out}");
@@ -182,7 +207,14 @@ mod tests {
     #[test]
     fn json_output_parses() {
         let out = run_to_string(&[
-            "simulate", "--objects", "40", "--queries", "30", "--duration", "4", "--json",
+            "simulate",
+            "--objects",
+            "40",
+            "--queries",
+            "30",
+            "--duration",
+            "4",
+            "--json",
         ])
         .unwrap();
         let value: serde_json::Value = serde_json::from_str(&out).expect("valid json");
@@ -192,7 +224,13 @@ mod tests {
     #[test]
     fn render_draws_a_map() {
         let out = run_to_string(&[
-            "render", "--objects", "100", "--queries", "60", "--duration", "4",
+            "render",
+            "--objects",
+            "100",
+            "--queries",
+            "60",
+            "--duration",
+            "4",
         ])
         .unwrap();
         assert!(out.contains("cluster map"), "{out}");

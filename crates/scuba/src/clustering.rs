@@ -251,19 +251,7 @@ impl ClusterEngine {
     /// phase of Algorithm 1, step 6).
     pub fn process_update(&mut self, update: &LocationUpdate) {
         self.updates_processed += 1;
-        // Keep the attribute tables current.
-        match update.attrs {
-            EntityAttrs::Object(attrs) => {
-                if let Some(id) = update.entity.as_object() {
-                    self.objects.upsert(id, attrs);
-                }
-            }
-            EntityAttrs::Query(attrs) => {
-                if let Some(id) = update.entity.as_query() {
-                    self.queries.upsert(id, attrs);
-                }
-            }
-        }
+        self.upsert_attrs(update);
 
         // An entity already in a cluster either refreshes in place or
         // leaves before re-clustering.
@@ -277,22 +265,7 @@ impl ClusterEngine {
                 )
             });
             if still_fits {
-                let cluster = self.clusters.get_mut(&cid).expect("checked above");
-                let shed = Self::shed_decision(&self.params, cluster, update);
-                let reach_before = cluster.radius() + cluster.max_query_radius();
-                cluster.update_member(update, shed);
-                if shed {
-                    self.stats.positions_shed += 1;
-                }
-                self.stats.refreshes += 1;
-                self.epochs.touch(cid);
-                // A refresh leaves the centroid in place; re-register only
-                // when the region actually grew (hot path: one refresh per
-                // entity per tick).
-                if cluster.radius() + cluster.max_query_radius() > reach_before {
-                    let region = cluster.effective_region();
-                    self.grid.insert(cid, &region);
-                }
+                self.refresh_member(update, cid);
                 return;
             }
             self.evict(update, cid);
@@ -330,19 +303,7 @@ impl ClusterEngine {
         self.probe_scratch = candidates;
 
         match chosen {
-            Some(cid) => {
-                let cluster = self.clusters.get_mut(&cid).expect("candidate exists");
-                let shed = Self::shed_decision(&self.params, cluster, update);
-                cluster.absorb(update, shed);
-                if shed {
-                    self.stats.positions_shed += 1;
-                }
-                let region = cluster.effective_region();
-                self.grid.insert(cid, &region);
-                self.home.assign(update.entity, cid);
-                self.stats.absorptions += 1;
-                self.epochs.touch(cid);
-            }
+            Some(cid) => self.absorb_into(update, cid),
             // Steps 2 / 5: found a new single-member cluster.
             None => {
                 self.found_cluster(update);
@@ -350,9 +311,131 @@ impl ClusterEngine {
         }
     }
 
+    /// Keeps the attribute tables current for one update.
+    fn upsert_attrs(&mut self, update: &LocationUpdate) {
+        match update.attrs {
+            EntityAttrs::Object(attrs) => {
+                if let Some(id) = update.entity.as_object() {
+                    self.objects.upsert(id, attrs);
+                }
+            }
+            EntityAttrs::Query(attrs) => {
+                if let Some(id) = update.entity.as_query() {
+                    self.queries.upsert(id, attrs);
+                }
+            }
+        }
+    }
+
+    /// Refreshes `update.entity` in place inside its (still fitting) home
+    /// cluster `cid`.
+    fn refresh_member(&mut self, update: &LocationUpdate, cid: ClusterId) {
+        let cluster = self.clusters.get_mut(&cid).expect("home cluster exists");
+        let shed = Self::shed_decision(&self.params, cluster, update);
+        let region_before = cluster.effective_region();
+        cluster.update_member(update, shed);
+        if shed {
+            self.stats.positions_shed += 1;
+        }
+        self.stats.refreshes += 1;
+        self.epochs.touch(cid);
+        // Re-register whenever the effective region changed at all — a
+        // grown reach extends the covered cell set, and a moved centroid
+        // would relocate it outright. (`ClusterGrid::insert` already
+        // no-ops when the cell set is unchanged, so the common
+        // refresh-in-place stays cheap.)
+        let region = cluster.effective_region();
+        if region != region_before {
+            self.grid.insert(cid, &region);
+        }
+    }
+
+    /// Absorbs `update.entity` into cluster `cid` (steps 3–4 of the
+    /// Leader–Follower walk, after the probe chose the candidate).
+    fn absorb_into(&mut self, update: &LocationUpdate, cid: ClusterId) {
+        let cluster = self.clusters.get_mut(&cid).expect("candidate exists");
+        let shed = Self::shed_decision(&self.params, cluster, update);
+        cluster.absorb(update, shed);
+        if shed {
+            self.stats.positions_shed += 1;
+        }
+        let region = cluster.effective_region();
+        self.grid.insert(cid, &region);
+        self.home.assign(update.entity, cid);
+        self.stats.absorptions += 1;
+        self.epochs.touch(cid);
+    }
+
+    /// Replays one planned update from the sharded batch-ingestion path
+    /// (see [`crate::ingest`]): the decision — refresh / evict / absorb
+    /// target / found — was precomputed by a shard planner, so this is
+    /// [`ClusterEngine::process_update`] with the probe skipped. Applied
+    /// sequentially in canonical batch order, it produces bit-identical
+    /// state. Returns the new cluster id when the action founds one.
+    pub(crate) fn apply_planned(
+        &mut self,
+        update: &LocationUpdate,
+        action: crate::ingest::ResolvedAction,
+    ) -> Option<ClusterId> {
+        use crate::ingest::ResolvedAction;
+        self.updates_processed += 1;
+        self.upsert_attrs(update);
+        match action {
+            ResolvedAction::Refresh => {
+                let cid = self
+                    .home
+                    .cluster_of(update.entity)
+                    .expect("planned refresh has a home cluster");
+                debug_assert!(
+                    self.clusters.get(&cid).is_some_and(|c| c.can_absorb(
+                        update,
+                        self.params.theta_d,
+                        self.params.theta_s,
+                        self.params.cnloc_tolerance,
+                    )),
+                    "shard planner diverged: refresh target no longer fits"
+                );
+                self.refresh_member(update, cid);
+                None
+            }
+            ResolvedAction::Join { evicted, target } => {
+                debug_assert_eq!(
+                    self.home.cluster_of(update.entity),
+                    evicted,
+                    "shard planner diverged on the home cluster"
+                );
+                if let Some(cid) = evicted {
+                    self.evict(update, cid);
+                }
+                match target {
+                    Some(cid) => {
+                        debug_assert!(
+                            self.clusters.get(&cid).is_some_and(|c| c.can_absorb(
+                                update,
+                                self.params.theta_d,
+                                self.params.theta_s,
+                                self.params.cnloc_tolerance,
+                            )),
+                            "shard planner diverged: absorb target no longer fits"
+                        );
+                        self.absorb_into(update, cid);
+                        None
+                    }
+                    None => {
+                        let cid = ClusterId(self.next_cid);
+                        self.found_cluster(update);
+                        Some(cid)
+                    }
+                }
+            }
+        }
+    }
+
     /// Whether the update's position should be shed under the configured
     /// policy, judged by its distance to the candidate cluster's centroid.
-    fn shed_decision(
+    /// `pub(crate)` so the shard planners of [`crate::ingest`] replay the
+    /// exact decision on their copy-on-write clusters.
+    pub(crate) fn shed_decision(
         params: &ScubaParams,
         cluster: &MovingCluster,
         update: &LocationUpdate,
@@ -589,6 +672,22 @@ impl ClusterEngine {
         }
         let member_total: usize = self.clusters.values().map(MovingCluster::len).sum();
         assert_eq!(member_total, self.home.len(), "home size mismatch");
+        // The grid must reflect every cluster's *current* effective region
+        // — a stale registration would make the step-1 probe (and the
+        // joining phase) miss or mis-route clusters.
+        for (cid, cluster) in &self.clusters {
+            let expected: Vec<u32> = self
+                .grid
+                .spec()
+                .cells_overlapping_circle(&cluster.effective_region())
+                .map(|idx| self.grid.spec().linear(idx) as u32)
+                .collect();
+            assert_eq!(
+                self.grid.cells_of(*cid),
+                Some(expected.as_slice()),
+                "grid registration stale for {cid:?}"
+            );
+        }
     }
 }
 
@@ -917,6 +1016,71 @@ mod tests {
         e.process_update(&fresh);
         e.post_join_maintenance(10);
         assert_eq!(e.home().len(), 1, "silent entity evicted at t=10, ttl=4");
+        e.check_invariants();
+    }
+
+    /// Regression: a refresh that grows the effective region must
+    /// re-register the cluster in every newly covered grid cell, so later
+    /// probes from those cells can still find it.
+    #[test]
+    fn refresh_growing_region_reregisters_grid_cells() {
+        let mut e = engine();
+        e.process_update(&obj(1, 500.0, 500.0, 30.0, CN_EAST));
+        let cid = *e.clusters().keys().next().unwrap();
+        let cells_at_founding = e.grid().cells_of(cid).unwrap().len();
+
+        // The founder reports again from 80 units away: still within Θ_D
+        // of the (unmoved) centroid, so this is the refresh fast path, but
+        // the radius jumps 0 → 80 and the region swallows dozens of cells.
+        let mut far = obj(1, 580.0, 500.0, 30.0, CN_EAST);
+        far.time = 1;
+        e.process_update(&far);
+        assert_eq!(e.stats().refreshes, 1, "took the refresh fast path");
+
+        let cells_after = e.grid().cells_of(cid).unwrap();
+        assert!(
+            cells_after.len() > cells_at_founding,
+            "grown region must cover more cells"
+        );
+        // The grid must answer probes from the newly covered area.
+        let spec = e.grid().spec();
+        let far_cell = spec.linear(spec.cell_of(&Point::new(575.0, 500.0))) as u32;
+        assert!(
+            e.grid().cell_linear(far_cell).contains(&cid),
+            "cluster not registered in a cell its region now covers"
+        );
+        e.check_invariants();
+    }
+
+    /// Same hole from the query side: a member query widening its range
+    /// grows `max_query_radius`, which also grows the effective region.
+    #[test]
+    fn refresh_growing_query_radius_reregisters_grid_cells() {
+        let mut e = engine();
+        e.process_update(&qry(1, 500.0, 500.0, 30.0, CN_EAST));
+        let cid = *e.clusters().keys().next().unwrap();
+        let cells_at_founding = e.grid().cells_of(cid).unwrap().len();
+
+        // Same position, much wider range: radius stays 0 but
+        // max_query_radius (and with it the region) grows.
+        let mut wide = LocationUpdate::query(
+            QueryId(1),
+            Point::new(500.0, 500.0),
+            1,
+            30.0,
+            CN_EAST,
+            QueryAttrs {
+                spec: QuerySpec::square_range(120.0),
+            },
+        );
+        wide.time = 1;
+        e.process_update(&wide);
+        assert_eq!(e.stats().refreshes, 1, "took the refresh fast path");
+
+        assert!(
+            e.grid().cells_of(cid).unwrap().len() > cells_at_founding,
+            "wider query range must cover more cells"
+        );
         e.check_invariants();
     }
 }

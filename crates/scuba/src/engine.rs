@@ -14,10 +14,24 @@ use scuba_spatial::{Rect, Time};
 use scuba_stream::{ContinuousOperator, EvaluationReport, PhaseBreakdown, StageStats, Stopwatch};
 
 use crate::clustering::{ClusterEngine, ClusteringStats};
+use crate::ingest::{IngestReport, IngestScratch};
 use crate::join::{JoinCache, JoinContext, JoinScratch};
 use crate::params::ScubaParams;
 use crate::shedding::AdaptiveShedder;
 
+/// Stage name: batch-ingest routing/classification (maintenance bucket).
+/// `items_in` = batch size, `items_out` = interior updates planned on
+/// shard workers, `tests` = boundary updates.
+pub const STAGE_INGEST_ROUTE: &str = "ingest-route";
+/// Stage name: parallel shard planning (maintenance bucket). `items_in` =
+/// updates routed to shards, `items_out` = those whose plan survived
+/// (`items_in − items_out` were demoted), `tests` = shard imbalance
+/// (fullest stripe minus emptiest).
+pub const STAGE_INGEST_SHARD: &str = "ingest-shard";
+/// Stage name: sequential apply/fixup of a batch (maintenance bucket).
+/// `items_in` = batch size, `items_out` = boundary updates processed the
+/// slow way, `tests` = demotions.
+pub const STAGE_INGEST_FIXUP: &str = "ingest-fixup";
 /// Stage name: pre-join radius tightening (maintenance bucket).
 pub const STAGE_PRE_JOIN_TIGHTEN: &str = "pre-join-tighten";
 /// Stage name: continuous kNN evaluation alongside the range join.
@@ -50,6 +64,11 @@ pub struct ScubaOperator {
     /// Reusable joining-phase buffers; steady-state epochs allocate
     /// nothing.
     scratch: JoinScratch,
+    /// Reusable sharded batch-ingestion buffers (see [`crate::ingest`]).
+    ingest_scratch: IngestScratch,
+    /// Ingest stage stats accumulated since the last evaluation; prepended
+    /// to the next report's phase breakdown.
+    pending_ingest: PhaseBreakdown,
 }
 
 impl ScubaOperator {
@@ -69,6 +88,8 @@ impl ScubaOperator {
             adaptive: None,
             cache: JoinCache::new(),
             scratch: JoinScratch::new(),
+            ingest_scratch: IngestScratch::default(),
+            pending_ingest: PhaseBreakdown::new(),
         }
     }
 
@@ -107,6 +128,29 @@ impl ScubaOperator {
     pub fn join_cache(&self) -> &JoinCache {
         &self.cache
     }
+
+    /// Accumulates one batch's ingest counters into the stats prepended to
+    /// the next evaluation report.
+    fn record_ingest(&mut self, r: &IngestReport) {
+        self.pending_ingest.push(
+            StageStats::maintenance(STAGE_INGEST_ROUTE)
+                .with_wall(r.route_time)
+                .with_items(r.total, r.interior)
+                .with_tests(r.boundary),
+        );
+        self.pending_ingest.push(
+            StageStats::maintenance(STAGE_INGEST_SHARD)
+                .with_wall(r.shard_time)
+                .with_items(r.interior + r.demoted, r.interior)
+                .with_tests(r.shard_imbalance),
+        );
+        self.pending_ingest.push(
+            StageStats::maintenance(STAGE_INGEST_FIXUP)
+                .with_wall(r.fixup_time)
+                .with_items(r.total, r.boundary)
+                .with_tests(r.demoted),
+        );
+    }
 }
 
 impl ContinuousOperator for ScubaOperator {
@@ -114,9 +158,28 @@ impl ContinuousOperator for ScubaOperator {
         self.engine.process_update(update);
     }
 
+    fn process_batch(&mut self, updates: &[LocationUpdate]) {
+        let shards = self.engine.params().effective_ingest_shards();
+        if shards <= 1 || updates.len() <= 1 {
+            for update in updates {
+                self.engine.process_update(update);
+            }
+            return;
+        }
+        let report = crate::ingest::ingest_batch(
+            &mut self.engine,
+            updates,
+            shards,
+            &mut self.ingest_scratch,
+        );
+        self.record_ingest(&report);
+    }
+
     fn evaluate(&mut self, now: Time) -> EvaluationReport {
         self.evaluations += 1;
-        let mut phases = PhaseBreakdown::new();
+        // Ingest stages accumulated since the last evaluation lead the
+        // report, mirroring their position in the pipeline.
+        let mut phases = std::mem::take(&mut self.pending_ingest);
         let clusters_before = self.engine.cluster_count() as u64;
 
         // Tail of phase 1: tighten cluster radii so the join-between filter

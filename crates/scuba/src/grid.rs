@@ -97,10 +97,27 @@ impl ClusterGrid {
             for &linear in cells {
                 let cell = &mut self.cells[linear as usize];
                 if let Some(pos) = cell.iter().position(|&c| c == cid) {
-                    cell.swap_remove(pos);
+                    // Order-preserving: the Leader–Follower probe absorbs
+                    // into the *first* passing candidate, so cell order is
+                    // semantically significant and removals must not
+                    // shuffle the survivors.
+                    cell.remove(pos);
                 }
             }
         }
+    }
+
+    /// The linear cell indices a cluster is currently registered in, or
+    /// `None` if it is not registered.
+    #[inline]
+    pub fn cells_of(&self, cid: ClusterId) -> Option<&[u32]> {
+        self.registrations.get(&cid).map(Vec::as_slice)
+    }
+
+    /// The clusters registered in a cell given by linear index.
+    #[inline]
+    pub fn cell_linear(&self, linear: u32) -> &[ClusterId] {
+        &self.cells[linear as usize]
     }
 
     /// The clusters overlapping the cell that contains `p` — the §3.2
@@ -318,6 +335,34 @@ mod tests {
         }
         assert_eq!(g.clusters_near(&Point::new(10.0, 10.0)).len(), 10);
         g.check_consistent();
+    }
+
+    #[test]
+    fn removal_preserves_cell_order() {
+        let mut g = grid(4);
+        for i in 0..6 {
+            g.insert(ClusterId(i), &Circle::new(Point::new(10.0, 10.0), 0.5));
+        }
+        g.remove(ClusterId(1));
+        g.remove(ClusterId(4));
+        assert_eq!(
+            g.clusters_near(&Point::new(10.0, 10.0)),
+            &[ClusterId(0), ClusterId(2), ClusterId(3), ClusterId(5)],
+            "survivors keep their relative (insertion) order"
+        );
+        g.check_consistent();
+    }
+
+    #[test]
+    fn cells_of_and_cell_linear_agree() {
+        let mut g = grid(10);
+        g.insert(ClusterId(7), &Circle::new(Point::new(50.0, 50.0), 8.0));
+        let cells = g.cells_of(ClusterId(7)).expect("registered").to_vec();
+        assert!(!cells.is_empty());
+        for linear in cells {
+            assert!(g.cell_linear(linear).contains(&ClusterId(7)));
+        }
+        assert!(g.cells_of(ClusterId(8)).is_none());
     }
 
     #[test]

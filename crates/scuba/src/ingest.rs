@@ -1,0 +1,1061 @@
+//! Sharded batch ingestion: parallel Leader–Follower planning with a
+//! deterministic sequential apply.
+//!
+//! The joining phase went parallel and incremental in earlier iterations,
+//! leaving the per-update cluster maintenance walk
+//! ([`ClusterEngine::process_update`]) as the dominant sequential cost at
+//! high update rates. This module batches one tick's updates and splits the
+//! *expensive* part of that walk — the grid probe and the absorb/found
+//! decision — across K spatial shards, while keeping every actual mutation
+//! sequential so the result is **bit-identical** to feeding the same batch
+//! through `process_update` one at a time in canonical order (sorted by
+//! `(time, entity)`).
+//!
+//! Three phases per batch (see DESIGN.md §4.3 for the full determinism
+//! argument):
+//!
+//! 1. **Route** (sequential): sort the batch canonically, split the grid
+//!    into K contiguous column stripes, and classify each update as
+//!    *interior* to one stripe or *boundary*. An update is interior only
+//!    when everything its maintenance step can read or write — the 2Θ_D
+//!    disk around its location and its home cluster's region inflated by
+//!    Θ_D — lies inside a single stripe, it is its entity's only update in
+//!    the batch, and no earlier boundary update can influence it (tracked
+//!    with cell marks and a deferred-home id set). Boundary updates are
+//!    deferred to the apply pass.
+//! 2. **Shard** (parallel, scoped threads, per-shard scratch): each shard
+//!    *plans* its interior updates against a copy-on-write overlay of the
+//!    engine — replaying refresh/evict/absorb/found on cloned clusters and
+//!    shadowed grid cells — and records one decision per update. The
+//!    planner never mutates the engine; whenever a read brushes against
+//!    state a boundary update (or an earlier demotion) could invalidate, it
+//!    *demotes* the update to the boundary set instead of guessing.
+//! 3. **Fixup** (sequential): walk the full batch in canonical order;
+//!    planned updates replay their recorded decision via
+//!    [`ClusterEngine::apply_planned`] (the same mutation path with the
+//!    probe skipped), demoted and deferred updates run the ordinary
+//!    `process_update`. Cluster ids, epoch stamps, grid cell order and map
+//!    operation histories therefore match the sequential engine exactly.
+
+use std::time::Duration;
+
+use scuba_motion::{EntityRef, LocationUpdate};
+use scuba_spatial::{Circle, FxHashMap, FxHashSet, GridSpec, Point};
+use scuba_stream::Stopwatch;
+
+use crate::cluster::{ClusterId, MovingCluster};
+use crate::clustering::ClusterEngine;
+use crate::params::ProbeScope;
+
+/// Cluster ids at or above this value are shard-private provisional ids
+/// for clusters founded during planning; the apply pass assigns the real
+/// ids in canonical order. Real ids grow from 0 one per founding, so the
+/// ranges cannot collide.
+const PROVISIONAL_BASE: u64 = 1 << 63;
+
+/// A planner's absorb/found verdict for one interior update.
+#[derive(Debug, Clone, Copy)]
+enum PlannedTarget {
+    /// Absorb into a pre-batch cluster.
+    Existing(ClusterId),
+    /// Absorb into the shard's k-th provisionally founded cluster.
+    Provisional(u32),
+    /// Found a new cluster (the shard's next provisional).
+    Found,
+}
+
+/// The planner's decision for one interior update.
+#[derive(Debug, Clone, Copy)]
+enum PlannedAction {
+    /// The home cluster still fits: refresh in place.
+    Refresh,
+    /// Leave the home cluster (if any), then absorb or found.
+    Join {
+        /// The home cluster the update evicts from first.
+        evicted: Option<ClusterId>,
+        /// Where the update lands.
+        target: PlannedTarget,
+    },
+}
+
+/// A decision with provisional ids resolved to real ones — what
+/// [`ClusterEngine::apply_planned`] replays.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ResolvedAction {
+    /// Refresh in the (still fitting) home cluster.
+    Refresh,
+    /// Evict from `evicted` (if any), then absorb into `target` or — when
+    /// `target` is `None` — found a new cluster.
+    Join {
+        /// The home cluster to evict from first.
+        evicted: Option<ClusterId>,
+        /// The absorb target; `None` founds.
+        target: Option<ClusterId>,
+    },
+}
+
+/// Counters and wall times from one sharded batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct IngestReport {
+    /// Batch size.
+    pub total: u64,
+    /// Updates planned on shard workers and replayed (`interior_updates`).
+    pub interior: u64,
+    /// Updates processed sequentially: classified as boundary plus demoted
+    /// during planning (`boundary_updates`).
+    pub boundary: u64,
+    /// Of `boundary`, those the planners demoted mid-shard.
+    pub demoted: u64,
+    /// Interior updates on the fullest stripe minus the emptiest
+    /// (`shard_imbalance`).
+    pub shard_imbalance: u64,
+    /// Route phase (sort + classify) wall time.
+    pub route_time: Duration,
+    /// Shard phase (parallel planning) wall time.
+    pub shard_time: Duration,
+    /// Fixup phase (sequential apply) wall time.
+    pub fixup_time: Duration,
+}
+
+impl IngestReport {
+    /// Accumulates one chunk's counters and wall times into a batch total.
+    /// `shard_imbalance` sums per-chunk spreads: a cumulative skew measure,
+    /// matching the per-batch interpretation when there is one chunk.
+    fn absorb(&mut self, chunk: &IngestReport) {
+        self.total += chunk.total;
+        self.interior += chunk.interior;
+        self.boundary += chunk.boundary;
+        self.demoted += chunk.demoted;
+        self.shard_imbalance += chunk.shard_imbalance;
+        self.route_time += chunk.route_time;
+        self.shard_time += chunk.shard_time;
+        self.fixup_time += chunk.fixup_time;
+    }
+}
+
+/// Where classification routed one update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Assign {
+    /// Interior to this stripe.
+    Shard(u16),
+    /// Boundary: processed sequentially in the fixup pass.
+    Deferred,
+}
+
+/// Reusable per-operator state for [`ingest_batch`] — all maps and buffers
+/// keep their capacity across ticks (the `JoinScratch` idiom).
+#[derive(Debug, Default)]
+pub(crate) struct IngestScratch {
+    /// The whole batch in canonical `(time, entity)` order; chunks of it
+    /// feed [`ingest_chunk`] one at a time.
+    batch: Vec<LocationUpdate>,
+    /// The current chunk in canonical `(time, entity)` order.
+    sorted: Vec<LocationUpdate>,
+    /// Updates per entity within the batch (entities reporting more than
+    /// once are always boundary).
+    multi: FxHashMap<EntityRef, u32>,
+    /// Classification verdicts, parallel to `sorted`.
+    assign: Vec<Assign>,
+    /// Stamped cell marks from boundary updates (a cell is marked iff its
+    /// stamp equals `round`; never cleared).
+    global_marks: Vec<u32>,
+    /// Current mark round (bumped per batch).
+    round: u32,
+    /// Home clusters of boundary updates — any planner read of these ids
+    /// demotes, closing the "far home" hole marks cannot see.
+    deferred_homes: FxHashSet<ClusterId>,
+    /// Grid column → shard stripe.
+    col_shard: Vec<u16>,
+    /// Per-shard planner state.
+    shards: Vec<ShardScratch>,
+    /// Merged decisions, parallel to `sorted` (`None` = sequential).
+    actions: Vec<Option<(u16, PlannedAction)>>,
+    /// Real ids assigned to each shard's provisional foundings, in order.
+    founds_real: Vec<Vec<ClusterId>>,
+}
+
+/// One shard's planning state: the copy-on-write overlay plus demotion
+/// bookkeeping.
+#[derive(Debug, Default)]
+struct ShardScratch {
+    /// Indices into the sorted batch, ascending.
+    items: Vec<u32>,
+    /// Cluster overlay: `Some(None)` = dissolved during planning.
+    cow_clusters: FxHashMap<ClusterId, Option<MovingCluster>>,
+    /// Home overlay.
+    cow_home: FxHashMap<EntityRef, Option<ClusterId>>,
+    /// Grid cell overlay (cloned from the base cell on first write;
+    /// removals are order-preserving, matching [`crate::grid::ClusterGrid`]).
+    cow_cells: FxHashMap<u32, Vec<ClusterId>>,
+    /// Registration overlay: `Some(None)` = removed.
+    cow_regs: FxHashMap<ClusterId, Option<Vec<u32>>>,
+    /// Stamped cell marks from this shard's own demotions.
+    local_marks: Vec<u32>,
+    /// Clusters no later update in this shard may trust: homes of demoted
+    /// updates, plus clusters whose centroid drifted into marked cells.
+    tainted: FxHashSet<ClusterId>,
+    /// Stamped dedup table for the read-only probe.
+    probe_seen: FxHashMap<ClusterId, u64>,
+    /// Probe round for `probe_seen`.
+    probe_round: u64,
+    /// Provisional clusters founded so far.
+    founds: u32,
+    /// Decisions, as (batch index, action), ascending by index.
+    plans: Vec<(u32, PlannedAction)>,
+    /// Batch indices demoted to the fixup pass.
+    demoted: Vec<u32>,
+    /// Candidate buffer for the probe.
+    candidates: Vec<ClusterId>,
+}
+
+impl ShardScratch {
+    fn reset(&mut self, cell_count: usize, round: u32) {
+        self.items.clear();
+        self.cow_clusters.clear();
+        self.cow_home.clear();
+        self.cow_cells.clear();
+        self.cow_regs.clear();
+        if self.local_marks.len() != cell_count {
+            self.local_marks.clear();
+            self.local_marks.resize(cell_count, 0);
+        }
+        if round == 1 {
+            // The stamp counter wrapped (or this is a fresh scratch):
+            // stale stamps could alias the new round.
+            self.local_marks.fill(0);
+        }
+        self.tainted.clear();
+        self.founds = 0;
+        self.plans.clear();
+        self.demoted.clear();
+    }
+}
+
+/// Read-only view shared by every shard planner.
+struct Shared<'a> {
+    engine: &'a ClusterEngine,
+    sorted: &'a [LocationUpdate],
+    global_marks: &'a [u32],
+    deferred_homes: &'a FxHashSet<ClusterId>,
+    round: u32,
+}
+
+impl Shared<'_> {
+    #[inline]
+    fn spec(&self) -> &GridSpec {
+        self.engine.grid().spec()
+    }
+
+    #[inline]
+    fn linear_of(&self, p: &Point) -> u32 {
+        let spec = self.spec();
+        spec.linear(spec.cell_of(p)) as u32
+    }
+}
+
+/// Ingests one batch through the sharded plan-then-apply pipeline.
+/// `shards` must be at least 2 (callers route 0/1 through the plain loop)
+/// and at most the grid's column count.
+///
+/// The batch is sorted canonically once, then fed through
+/// [`ingest_chunk`] in contiguous chunks of at most [`chunk_len`] updates.
+/// Chunks are ingested strictly in order, so the composition is exactly
+/// the sequential walk — chunking exists purely to keep each round's
+/// boundary-influence marks sparse. The marks have radius ~2Θ_D, so once a
+/// round holds more than about one update per mark disk of coverage area
+/// the marked region percolates and classification defers nearly
+/// everything; capping the round size keeps the deferred set proportional
+/// to the true stripe-border traffic instead.
+pub(crate) fn ingest_batch(
+    engine: &mut ClusterEngine,
+    updates: &[LocationUpdate],
+    shards: usize,
+    scratch: &mut IngestScratch,
+) -> IngestReport {
+    debug_assert!(shards >= 2);
+    let sort_sw = Stopwatch::start();
+    scratch.batch.clear();
+    scratch.batch.extend_from_slice(updates);
+    scratch.batch.sort_by_key(|u| (u.time, u.entity));
+    let sort_time = sort_sw.elapsed();
+
+    let chunk = chunk_len(engine.grid().spec(), engine.params().theta_d);
+    let batch = std::mem::take(&mut scratch.batch);
+    let mut report = IngestReport {
+        route_time: sort_time,
+        ..IngestReport::default()
+    };
+    for chunk_updates in batch.chunks(chunk) {
+        report.absorb(&ingest_chunk(engine, chunk_updates, shards, scratch));
+    }
+    scratch.batch = batch;
+    report
+}
+
+/// Largest chunk that keeps one classification round's influence marks
+/// subcritical: about one update per 2Θ_D-radius mark disk of coverage
+/// area (the continuum-percolation threshold), with head-room on either
+/// side so tiny grids still batch usefully and huge ones don't starve the
+/// shard workers of work per round.
+fn chunk_len(spec: &GridSpec, theta_d: f64) -> usize {
+    let area = spec.area();
+    let extent = (area.max.x - area.min.x) * (area.max.y - area.min.y);
+    let disk = std::f64::consts::PI * (2.0 * theta_d) * (2.0 * theta_d);
+    if disk <= 0.0 || extent <= 0.0 {
+        return 4096;
+    }
+    ((extent / disk) as usize).clamp(256, 16_384)
+}
+
+/// Ingests one canonical-order chunk: classify, plan in parallel, apply.
+fn ingest_chunk(
+    engine: &mut ClusterEngine,
+    updates: &[LocationUpdate],
+    shards: usize,
+    scratch: &mut IngestScratch,
+) -> IngestReport {
+    let route_sw = Stopwatch::start();
+    scratch.begin(engine.grid().spec(), shards);
+    scratch.sorted.extend_from_slice(updates);
+    classify(engine, scratch);
+    let route_time = route_sw.elapsed();
+
+    let shard_sw = Stopwatch::start();
+    plan_shards(engine, scratch);
+    let shard_time = shard_sw.elapsed();
+
+    let fixup_sw = Stopwatch::start();
+    let demoted = apply_plans(engine, scratch);
+    let fixup_time = fixup_sw.elapsed();
+
+    let total = scratch.sorted.len() as u64;
+    let routed: u64 = scratch.shards.iter().map(|s| s.items.len() as u64).sum();
+    let max = scratch
+        .shards
+        .iter()
+        .map(|s| s.items.len() as u64)
+        .max()
+        .unwrap_or(0);
+    let min = scratch
+        .shards
+        .iter()
+        .map(|s| s.items.len() as u64)
+        .min()
+        .unwrap_or(0);
+    IngestReport {
+        total,
+        interior: routed - demoted,
+        boundary: total - routed + demoted,
+        demoted,
+        shard_imbalance: max - min,
+        route_time,
+        shard_time,
+        fixup_time,
+    }
+}
+
+impl IngestScratch {
+    /// Prepares the scratch for a batch over `shards` stripes.
+    fn begin(&mut self, spec: &GridSpec, shards: usize) {
+        self.sorted.clear();
+        self.multi.clear();
+        self.assign.clear();
+        self.deferred_homes.clear();
+        self.actions.clear();
+
+        let cell_count = spec.cell_count();
+        if self.global_marks.len() != cell_count {
+            self.global_marks.clear();
+            self.global_marks.resize(cell_count, 0);
+            self.round = 0;
+        }
+        self.round = self.round.wrapping_add(1);
+        if self.round == 0 {
+            self.global_marks.fill(0);
+            self.round = 1;
+        }
+
+        // Contiguous column stripes: shard s covers columns
+        // [s·n/K, (s+1)·n/K).
+        let cols = spec.cells_per_side() as usize;
+        self.col_shard.clear();
+        self.col_shard.resize(cols, 0);
+        for s in 0..shards {
+            let start = s * cols / shards;
+            let end = (s + 1) * cols / shards;
+            for col in start..end {
+                self.col_shard[col] = s as u16;
+            }
+        }
+
+        if self.shards.len() != shards {
+            self.shards.resize_with(shards, ShardScratch::default);
+        }
+        let round = self.round;
+        for sh in &mut self.shards {
+            sh.reset(cell_count, round);
+        }
+        self.founds_real.resize_with(shards, Vec::new);
+        for f in &mut self.founds_real {
+            f.clear();
+        }
+    }
+
+    #[inline]
+    fn mark_global(&mut self, spec: &GridSpec, circle: &Circle) {
+        let round = self.round;
+        for idx in spec.cells_overlapping_circle(circle) {
+            self.global_marks[spec.linear(idx)] = round;
+        }
+    }
+}
+
+/// Sequential classification walk, in canonical order: routes each update
+/// to a stripe or defers it, accumulating influence marks as it goes.
+fn classify(engine: &ClusterEngine, scratch: &mut IngestScratch) {
+    let spec = *engine.grid().spec();
+    let theta_d = engine.params().theta_d;
+    let n = scratch.sorted.len();
+    scratch.assign.resize(n, Assign::Deferred);
+
+    // Duplicate-entity detection. In the common case — one tick's batch,
+    // every timestamp equal — canonical order sorts duplicates adjacent,
+    // so a neighbour comparison replaces the per-entity hash map.
+    let single_time = n > 0 && scratch.sorted[0].time == scratch.sorted[n - 1].time;
+    if !single_time {
+        for i in 0..n {
+            let u = scratch.sorted[i];
+            *scratch.multi.entry(u.entity).or_insert(0) += 1;
+        }
+    }
+
+    for i in 0..n {
+        let u = scratch.sorted[i];
+        let home = engine.home().cluster_of(u.entity);
+        let s = scratch.col_shard[spec.cell_of(&u.loc).col as usize];
+
+        let mut interior = if single_time {
+            (i == 0 || scratch.sorted[i - 1].entity != u.entity)
+                && (i + 1 == n || scratch.sorted[i + 1].entity != u.entity)
+        } else {
+            scratch.multi[&u.entity] == 1
+        };
+        if interior {
+            // The update's full read/write reach — the Θ_D probe disk plus
+            // another Θ_D of centroid-drift headroom — must stay inside
+            // the stripe.
+            interior = col_span_within(&spec, &scratch.col_shard, s, &u.loc, 2.0 * theta_d);
+        }
+        if interior {
+            if let Some(cid) = home {
+                if let Some(c) = engine.clusters().get(&cid) {
+                    let r = c.effective_region();
+                    interior = col_span_within(
+                        &spec,
+                        &scratch.col_shard,
+                        s,
+                        &r.center,
+                        r.radius + theta_d,
+                    );
+                }
+            }
+        }
+        if interior {
+            // Influence from earlier (canonically) boundary updates.
+            let round = scratch.round;
+            interior = scratch.global_marks[spec.linear(spec.cell_of(&u.loc))] != round;
+            if interior {
+                if let Some(cid) = home {
+                    interior = !scratch.deferred_homes.contains(&cid);
+                    if interior {
+                        if let Some(c) = engine.clusters().get(&cid) {
+                            let centroid = c.centroid();
+                            interior =
+                                scratch.global_marks[spec.linear(spec.cell_of(&centroid))] != round;
+                        }
+                    }
+                }
+            }
+        }
+
+        if interior {
+            scratch.assign[i] = Assign::Shard(s);
+        } else {
+            scratch.assign[i] = Assign::Deferred;
+            scratch.mark_global(&spec, &Circle::new(u.loc, 2.0 * theta_d));
+            if let Some(cid) = home {
+                scratch.deferred_homes.insert(cid);
+                if let Some(c) = engine.clusters().get(&cid) {
+                    let r = c.effective_region();
+                    scratch.mark_global(&spec, &Circle::new(r.center, r.radius + theta_d));
+                }
+            }
+        }
+    }
+}
+
+/// Whether the circle of `radius` around `center` spans only columns of
+/// stripe `s`. Points clamp to border cells, so reach past the coverage
+/// area's edge stays within the edge stripe (there is nothing beyond it).
+#[inline]
+fn col_span_within(
+    spec: &GridSpec,
+    col_shard: &[u16],
+    s: u16,
+    center: &Point,
+    radius: f64,
+) -> bool {
+    let lo = spec.cell_of(&Point::new(center.x - radius, center.y)).col as usize;
+    let hi = spec.cell_of(&Point::new(center.x + radius, center.y)).col as usize;
+    col_shard[lo] == s && col_shard[hi] == s
+}
+
+/// Runs every shard's planner, one scoped thread per shard.
+fn plan_shards(engine: &ClusterEngine, scratch: &mut IngestScratch) {
+    for (i, a) in scratch.assign.iter().enumerate() {
+        if let Assign::Shard(s) = a {
+            scratch.shards[*s as usize].items.push(i as u32);
+        }
+    }
+    let shared = Shared {
+        engine,
+        sorted: &scratch.sorted,
+        global_marks: &scratch.global_marks,
+        deferred_homes: &scratch.deferred_homes,
+        round: scratch.round,
+    };
+    std::thread::scope(|scope| {
+        for sh in scratch.shards.iter_mut() {
+            let shared = &shared;
+            scope.spawn(move || plan_shard(shared, sh));
+        }
+    });
+}
+
+fn plan_shard(shared: &Shared<'_>, sh: &mut ShardScratch) {
+    let items = std::mem::take(&mut sh.items);
+    for &i in &items {
+        plan_one(shared, sh, i);
+    }
+    sh.items = items;
+}
+
+/// Resolves a cluster through the shard's overlay.
+#[inline]
+fn resolve<'a>(
+    sh: &'a ShardScratch,
+    shared: &'a Shared<'_>,
+    cid: ClusterId,
+) -> Option<&'a MovingCluster> {
+    match sh.cow_clusters.get(&cid) {
+        Some(opt) => opt.as_ref(),
+        None => shared.engine.clusters().get(&cid),
+    }
+}
+
+/// Whether a cell is marked by boundary influence (global) or this shard's
+/// own demotions (local).
+#[inline]
+fn marked(sh: &ShardScratch, shared: &Shared<'_>, linear: u32) -> bool {
+    shared.global_marks[linear as usize] == shared.round
+        || sh.local_marks[linear as usize] == shared.round
+}
+
+/// Whether a pre-batch cluster may be read at all: boundary updates own it
+/// (`deferred_homes`), an earlier demotion latched it (`tainted`), or its
+/// current centroid sits in marked territory.
+#[inline]
+fn cluster_unsafe(
+    sh: &ShardScratch,
+    shared: &Shared<'_>,
+    cid: ClusterId,
+    cluster: &MovingCluster,
+) -> bool {
+    shared.deferred_homes.contains(&cid)
+        || sh.tainted.contains(&cid)
+        || marked(sh, shared, shared.linear_of(&cluster.centroid()))
+}
+
+/// Plans one interior update against the shard's copy-on-write overlay.
+/// No overlay mutation happens until the decision is final, so a demotion
+/// leaves the overlay exactly as if the update were never seen.
+fn plan_one(shared: &Shared<'_>, sh: &mut ShardScratch, i: u32) {
+    let u = shared.sorted[i as usize];
+    let p = *shared.engine.params();
+
+    // Home step: refresh, or note the eviction for the join step.
+    let home = match sh.cow_home.get(&u.entity) {
+        Some(h) => *h,
+        None => shared.engine.home().cluster_of(u.entity),
+    };
+    let mut evicted = None;
+    if let Some(cid) = home {
+        let Some(cluster) = resolve(sh, shared, cid) else {
+            // A home pointing at a dissolved overlay cluster cannot happen
+            // (dissolution unassigns); demote rather than trust it.
+            demote(shared, sh, i, &u, home);
+            return;
+        };
+        if cid.0 < PROVISIONAL_BASE && cluster_unsafe(sh, shared, cid, cluster) {
+            demote(shared, sh, i, &u, home);
+            return;
+        }
+        if cluster.can_absorb(&u, p.theta_d, p.theta_s, p.cnloc_tolerance) {
+            sh.plans.push((i, PlannedAction::Refresh));
+            cow_refresh(sh, shared, cid, &u);
+            return;
+        }
+        evicted = Some(cid);
+    }
+
+    // The home's post-eviction state, for its own (re-)candidacy: the
+    // sequential walk evicts *before* probing, and eviction changes the
+    // cluster's average speed (or dissolves it).
+    let evicted_view: Option<MovingCluster> = evicted.map(|cid| {
+        let mut c = resolve(sh, shared, cid)
+            .expect("home resolved above")
+            .clone();
+        c.remove_member(u.entity);
+        c
+    });
+
+    collect_candidates(sh, shared, &u, &p.probe_scope);
+
+    // First passing candidate absorbs — but any unsafe cluster met before
+    // the choice poisons the verdict, so demote instead.
+    let candidates = std::mem::take(&mut sh.candidates);
+    let mut chosen = None;
+    let mut poisoned = false;
+    for &cid in &candidates {
+        let is_evicted_home = evicted == Some(cid);
+        let cluster = if is_evicted_home {
+            let view = evicted_view.as_ref().expect("view built for the home");
+            if view.is_empty() {
+                // The sequential walk would have dissolved it pre-probe.
+                continue;
+            }
+            view
+        } else {
+            match resolve(sh, shared, cid) {
+                Some(c) => c,
+                None => continue, // dissolved in the overlay
+            }
+        };
+        // Direction short-circuit: `cn_loc` is immutable after founding,
+        // so a mismatch is a state-independent "no" — no safety needed.
+        if u.cn_loc.distance_sq(&cluster.cn_loc()) > p.cnloc_tolerance * p.cnloc_tolerance {
+            continue;
+        }
+        if !is_evicted_home && cid.0 < PROVISIONAL_BASE && cluster_unsafe(sh, shared, cid, cluster)
+        {
+            poisoned = true;
+            break;
+        }
+        if cid.0 >= PROVISIONAL_BASE && sh.tainted.contains(&cid) {
+            // Provisional clusters are shard-private, but a boundary update
+            // may still absorb into them at apply time (latched at
+            // founding / drift below).
+            poisoned = true;
+            break;
+        }
+        if cluster.can_absorb(&u, p.theta_d, p.theta_s, p.cnloc_tolerance) {
+            chosen = Some(cid);
+            break;
+        }
+    }
+    sh.candidates = candidates;
+    if poisoned {
+        demote(shared, sh, i, &u, home);
+        return;
+    }
+
+    // Decision final: record the plan, then replay it on the overlay.
+    let target = match chosen {
+        Some(cid) if cid.0 >= PROVISIONAL_BASE => {
+            PlannedTarget::Provisional((cid.0 - PROVISIONAL_BASE) as u32)
+        }
+        Some(cid) => PlannedTarget::Existing(cid),
+        None => PlannedTarget::Found,
+    };
+    sh.plans.push((i, PlannedAction::Join { evicted, target }));
+    if let Some(cid) = evicted {
+        cow_evict(sh, shared, cid, &u);
+    }
+    match chosen {
+        Some(cid) => cow_absorb(sh, shared, cid, &u),
+        None => cow_found(sh, shared, &u),
+    }
+}
+
+/// Demotes update `i` to the fixup pass: its apply-time behaviour is
+/// unknowable here, so everything it could touch — the 2Θ_D disk around
+/// its location and its (current) home — is fenced off from later updates
+/// of this shard. Interior geometry guarantees no other shard can interact.
+fn demote(
+    shared: &Shared<'_>,
+    sh: &mut ShardScratch,
+    i: u32,
+    u: &LocationUpdate,
+    home: Option<ClusterId>,
+) {
+    sh.demoted.push(i);
+    let theta_d = shared.engine.params().theta_d;
+    mark_local(sh, shared, &Circle::new(u.loc, 2.0 * theta_d));
+    if let Some(cid) = home {
+        sh.tainted.insert(cid);
+        if let Some(c) = resolve(sh, shared, cid) {
+            let r = c.effective_region();
+            mark_local(sh, shared, &Circle::new(r.center, r.radius + theta_d));
+        }
+    }
+}
+
+#[inline]
+fn mark_local(sh: &mut ShardScratch, shared: &Shared<'_>, circle: &Circle) {
+    let spec = shared.spec();
+    for idx in spec.cells_overlapping_circle(circle) {
+        sh.local_marks[spec.linear(idx)] = shared.round;
+    }
+}
+
+/// The step-1 probe over the overlay grid: deduplicated, in deterministic
+/// cell order, exactly like [`crate::grid::ClusterGrid::clusters_within_into`].
+fn collect_candidates(
+    sh: &mut ShardScratch,
+    shared: &Shared<'_>,
+    u: &LocationUpdate,
+    scope: &ProbeScope,
+) {
+    let spec = shared.spec();
+    sh.candidates.clear();
+    sh.probe_round += 1;
+    let round = sh.probe_round;
+    let visit = |linear: u32,
+                 cells: &FxHashMap<u32, Vec<ClusterId>>,
+                 seen: &mut FxHashMap<ClusterId, u64>,
+                 out: &mut Vec<ClusterId>| {
+        let cell: &[ClusterId] = match cells.get(&linear) {
+            Some(v) => v,
+            None => shared.engine.grid().cell_linear(linear),
+        };
+        for &cid in cell {
+            let stamp = seen.entry(cid).or_insert(0);
+            if *stamp != round {
+                *stamp = round;
+                out.push(cid);
+            }
+        }
+    };
+    // Split borrows: the closure reads `cow_cells` while filling
+    // `probe_seen`/`candidates`.
+    let ShardScratch {
+        cow_cells,
+        probe_seen,
+        candidates,
+        ..
+    } = sh;
+    match scope {
+        ProbeScope::ThetaDisk => {
+            let probe = Circle::new(u.loc, shared.engine.params().theta_d);
+            for idx in spec.cells_overlapping_circle(&probe) {
+                visit(spec.linear(idx) as u32, cow_cells, probe_seen, candidates);
+            }
+        }
+        ProbeScope::OwnCell => {
+            visit(shared.linear_of(&u.loc), cow_cells, probe_seen, candidates);
+        }
+    }
+}
+
+// ---- copy-on-write replays of the engine's mutations --------------------
+
+/// Clones a cluster into the overlay on first write.
+fn cow_cluster_mut<'a>(
+    sh: &'a mut ShardScratch,
+    shared: &Shared<'_>,
+    cid: ClusterId,
+) -> &'a mut MovingCluster {
+    sh.cow_clusters
+        .entry(cid)
+        .or_insert_with(|| {
+            Some(
+                shared
+                    .engine
+                    .clusters()
+                    .get(&cid)
+                    .expect("overlay writes target live clusters")
+                    .clone(),
+            )
+        })
+        .as_mut()
+        .expect("overlay writes never target dissolved clusters")
+}
+
+/// The cluster's current registration through the overlay.
+fn overlay_regs<'a>(
+    sh: &'a ShardScratch,
+    shared: &'a Shared<'_>,
+    cid: ClusterId,
+) -> Option<&'a [u32]> {
+    match sh.cow_regs.get(&cid) {
+        Some(opt) => opt.as_deref(),
+        None => shared.engine.grid().cells_of(cid),
+    }
+}
+
+/// Clones a grid cell into the overlay on first write.
+fn overlay_cell_mut<'a>(
+    sh: &'a mut ShardScratch,
+    shared: &Shared<'_>,
+    linear: u32,
+) -> &'a mut Vec<ClusterId> {
+    sh.cow_cells
+        .entry(linear)
+        .or_insert_with(|| shared.engine.grid().cell_linear(linear).to_vec())
+}
+
+/// Replays [`crate::grid::ClusterGrid::insert`] on the overlay, including
+/// its unchanged-cell-set early-out and order-preserving removal.
+fn overlay_grid_insert(
+    sh: &mut ShardScratch,
+    shared: &Shared<'_>,
+    cid: ClusterId,
+    region: &Circle,
+) {
+    let spec = shared.spec();
+    let new_cells: Vec<u32> = spec
+        .cells_overlapping_circle(region)
+        .map(|idx| spec.linear(idx) as u32)
+        .collect();
+    if let Some(old) = overlay_regs(sh, shared, cid) {
+        if old == new_cells.as_slice() {
+            return;
+        }
+        let old = old.to_vec();
+        for linear in old {
+            let cell = overlay_cell_mut(sh, shared, linear);
+            if let Some(pos) = cell.iter().position(|&c| c == cid) {
+                cell.remove(pos);
+            }
+        }
+    }
+    for &linear in &new_cells {
+        overlay_cell_mut(sh, shared, linear).push(cid);
+    }
+    sh.cow_regs.insert(cid, Some(new_cells));
+}
+
+/// Replays [`crate::grid::ClusterGrid::remove`] on the overlay.
+fn overlay_grid_remove(sh: &mut ShardScratch, shared: &Shared<'_>, cid: ClusterId) {
+    if let Some(old) = overlay_regs(sh, shared, cid) {
+        let old = old.to_vec();
+        for linear in old {
+            let cell = overlay_cell_mut(sh, shared, linear);
+            if let Some(pos) = cell.iter().position(|&c| c == cid) {
+                cell.remove(pos);
+            }
+        }
+    }
+    sh.cow_regs.insert(cid, None);
+}
+
+/// Replays [`ClusterEngine`]'s refresh branch on the overlay.
+fn cow_refresh(sh: &mut ShardScratch, shared: &Shared<'_>, cid: ClusterId, u: &LocationUpdate) {
+    let params = *shared.engine.params();
+    let cluster = cow_cluster_mut(sh, shared, cid);
+    let shed = ClusterEngine::shed_decision(&params, cluster, u);
+    let region_before = cluster.effective_region();
+    cluster.update_member(u, shed);
+    let region = cluster.effective_region();
+    if region != region_before {
+        overlay_grid_insert(sh, shared, cid, &region);
+    }
+}
+
+/// Replays the engine's eviction (member removal + possible dissolution)
+/// on the overlay.
+fn cow_evict(sh: &mut ShardScratch, shared: &Shared<'_>, cid: ClusterId, u: &LocationUpdate) {
+    let cluster = cow_cluster_mut(sh, shared, cid);
+    cluster.remove_member(u.entity);
+    let emptied = cluster.is_empty();
+    sh.cow_home.insert(u.entity, None);
+    if emptied {
+        sh.cow_clusters.insert(cid, None);
+        overlay_grid_remove(sh, shared, cid);
+    }
+}
+
+/// Replays the engine's absorb branch on the overlay, latching the taint
+/// flag if the centroid drifted into marked territory (a boundary update
+/// may mutate this cluster at apply time).
+fn cow_absorb(sh: &mut ShardScratch, shared: &Shared<'_>, cid: ClusterId, u: &LocationUpdate) {
+    let params = *shared.engine.params();
+    let cluster = cow_cluster_mut(sh, shared, cid);
+    let shed = ClusterEngine::shed_decision(&params, cluster, u);
+    cluster.absorb(u, shed);
+    let region = cluster.effective_region();
+    let centroid = cluster.centroid();
+    overlay_grid_insert(sh, shared, cid, &region);
+    sh.cow_home.insert(u.entity, Some(cid));
+    if marked(sh, shared, shared.linear_of(&centroid)) {
+        sh.tainted.insert(cid);
+    }
+}
+
+/// Replays the engine's founding branch on the overlay under a provisional
+/// id; the apply pass assigns the real id.
+fn cow_found(sh: &mut ShardScratch, shared: &Shared<'_>, u: &LocationUpdate) {
+    let params = shared.engine.params();
+    let cid = ClusterId(PROVISIONAL_BASE + sh.founds as u64);
+    sh.founds += 1;
+    let shed = params.shedding.is_active() && params.shedding.sheds_at(0.0, params.theta_d);
+    let cluster = MovingCluster::found(cid, u, shed);
+    let region = cluster.effective_region();
+    sh.cow_clusters.insert(cid, Some(cluster));
+    overlay_grid_insert(sh, shared, cid, &region);
+    sh.cow_home.insert(u.entity, Some(cid));
+    if marked(sh, shared, shared.linear_of(&u.loc)) {
+        // A canonically later boundary update may absorb into this cluster
+        // at apply time; later reads of it in this shard must demote.
+        sh.tainted.insert(cid);
+    }
+}
+
+/// The sequential fixup pass: walks the full batch in canonical order,
+/// replaying planned decisions and fully processing boundary updates.
+/// Returns the demoted count.
+fn apply_plans(engine: &mut ClusterEngine, scratch: &mut IngestScratch) -> u64 {
+    scratch.actions.resize(scratch.sorted.len(), None);
+    let mut demoted = 0u64;
+    for (s, sh) in scratch.shards.iter().enumerate() {
+        for &(i, action) in &sh.plans {
+            scratch.actions[i as usize] = Some((s as u16, action));
+        }
+        demoted += sh.demoted.len() as u64;
+    }
+    for i in 0..scratch.sorted.len() {
+        let u = scratch.sorted[i];
+        match scratch.actions[i] {
+            Some((s, action)) => {
+                let resolved = resolve_action(action, &scratch.founds_real[s as usize]);
+                if let Some(new_cid) = engine.apply_planned(&u, resolved) {
+                    scratch.founds_real[s as usize].push(new_cid);
+                }
+            }
+            None => engine.process_update(&u),
+        }
+    }
+    demoted
+}
+
+/// Resolves a shard's provisional founding ids to the real ids the apply
+/// pass assigned so far (within a shard, foundings replay in plan order).
+fn resolve_action(action: PlannedAction, founds: &[ClusterId]) -> ResolvedAction {
+    match action {
+        PlannedAction::Refresh => ResolvedAction::Refresh,
+        PlannedAction::Join { evicted, target } => ResolvedAction::Join {
+            evicted,
+            target: match target {
+                PlannedTarget::Existing(cid) => Some(cid),
+                PlannedTarget::Provisional(k) => Some(founds[k as usize]),
+                PlannedTarget::Found => None,
+            },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scuba_motion::{ObjectAttrs, ObjectId};
+    use scuba_spatial::Rect;
+
+    use crate::params::ScubaParams;
+
+    fn update(id: u64, x: f64, y: f64, time: u64) -> LocationUpdate {
+        LocationUpdate::object(
+            ObjectId(id),
+            Point::new(x, y),
+            time,
+            5.0,
+            Point::new(1000.0, 500.0),
+            ObjectAttrs::default(),
+        )
+    }
+
+    #[test]
+    fn stripes_partition_all_columns() {
+        let params = ScubaParams::default().with_grid_cells(10);
+        let engine = ClusterEngine::new(params, Rect::square(1000.0));
+        let mut scratch = IngestScratch::default();
+        scratch.begin(engine.grid().spec(), 4);
+        assert_eq!(scratch.col_shard.len(), 10);
+        assert_eq!(scratch.col_shard.first(), Some(&0));
+        assert_eq!(scratch.col_shard.last(), Some(&3));
+        let mut sorted = scratch.col_shard.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, scratch.col_shard, "stripes are contiguous");
+    }
+
+    #[test]
+    fn classification_defers_duplicates_and_boundary_disks() {
+        let params = ScubaParams::default().with_grid_cells(10);
+        let engine = ClusterEngine::new(params, Rect::square(1000.0));
+        let mut scratch = IngestScratch::default();
+        scratch.begin(engine.grid().spec(), 2);
+        // Deep interior of the left stripe (stripe edge at x = 500; the
+        // 2Θ_D = 200 disk around x = 250 stays well inside), a duplicate
+        // entity, and one straddling the stripe boundary.
+        scratch.sorted = vec![
+            update(1, 250.0, 500.0, 0),
+            update(2, 480.0, 500.0, 0),
+            update(3, 250.0, 100.0, 0),
+            update(3, 260.0, 100.0, 1),
+        ];
+        classify(&engine, &mut scratch);
+        assert_eq!(scratch.assign[0], Assign::Shard(0), "interior update");
+        assert_eq!(scratch.assign[1], Assign::Deferred, "disk crosses stripes");
+        assert_eq!(scratch.assign[2], Assign::Deferred, "duplicate entity");
+        assert_eq!(scratch.assign[3], Assign::Deferred, "duplicate entity");
+    }
+
+    #[test]
+    fn boundary_marks_defer_nearby_interiors() {
+        let params = ScubaParams::default().with_grid_cells(10);
+        let engine = ClusterEngine::new(params, Rect::square(1000.0));
+        let mut scratch = IngestScratch::default();
+        scratch.begin(engine.grid().spec(), 2);
+        // The duplicate entity at (250, 500) is boundary and marks its
+        // 2Θ_D disk; the later interior-looking update at (250, 450) sits
+        // inside those marks and must defer too.
+        scratch.sorted = vec![
+            update(1, 250.0, 500.0, 0),
+            update(1, 250.0, 500.0, 1),
+            update(2, 250.0, 450.0, 2),
+            update(3, 250.0, 20.0, 2),
+        ];
+        classify(&engine, &mut scratch);
+        assert_eq!(scratch.assign[2], Assign::Deferred, "inside boundary marks");
+        assert_eq!(
+            scratch.assign[3],
+            Assign::Shard(0),
+            "far from the marks: stays interior"
+        );
+    }
+
+    #[test]
+    fn provisional_ids_resolve_in_founding_order() {
+        let founds = vec![ClusterId(7), ClusterId(9)];
+        let resolved = resolve_action(
+            PlannedAction::Join {
+                evicted: None,
+                target: PlannedTarget::Provisional(1),
+            },
+            &founds,
+        );
+        match resolved {
+            ResolvedAction::Join { target, .. } => assert_eq!(target, Some(ClusterId(9))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -86,6 +86,7 @@ pub mod clustering;
 pub mod delta;
 pub mod engine;
 pub mod grid;
+pub(crate) mod ingest;
 pub mod join;
 pub mod kmeans;
 pub mod knn;

@@ -179,6 +179,65 @@ mod tests {
         assert_eq!(run(true), run(false));
     }
 
+    /// Batch ingestion is a transport detail, never a semantic change:
+    /// feeding each tick through `process_batch` gives every operator —
+    /// default-loop baselines and the sharded SCUBA path alike — exactly
+    /// the per-update-loop results.
+    #[test]
+    fn batch_ingest_is_result_invariant_for_every_operator() {
+        let cn = Point::new(1000.0, 500.0);
+        let tick = |round: u64| -> Vec<LocationUpdate> {
+            // Ascending entity ids at one shared timestamp: canonical
+            // (time, entity) order, so loop and batch orders coincide.
+            let mut updates = Vec::new();
+            for i in 0..40u64 {
+                let x = ((i * 97 + round * 13) % 1000) as f64;
+                let y = ((i * 53 + round * 29) % 1000) as f64;
+                if i % 4 == 0 {
+                    updates.push(LocationUpdate::query(
+                        QueryId(i),
+                        Point::new(x, y),
+                        round * 2,
+                        25.0,
+                        cn,
+                        QueryAttrs {
+                            spec: QuerySpec::square_range(150.0),
+                        },
+                    ));
+                } else {
+                    updates.push(LocationUpdate::object(
+                        ObjectId(i),
+                        Point::new(x, y),
+                        round * 2,
+                        25.0,
+                        cn,
+                        ObjectAttrs::default(),
+                    ));
+                }
+            }
+            updates.sort_by_key(|u| (u.time, u.entity));
+            updates
+        };
+        // Four shards so the SCUBA operator takes the sharded path.
+        let params = ScubaParams::default().with_ingest_shards(4);
+        for kind in OperatorKind::ALL {
+            let mut looped = OpsConfig::new(params, Rect::square(1000.0)).build(kind);
+            let mut batched = OpsConfig::new(params, Rect::square(1000.0)).build(kind);
+            for round in 0..4u64 {
+                let updates = tick(round);
+                for u in &updates {
+                    looped.process_update(u);
+                }
+                batched.process_batch(&updates);
+                assert_eq!(
+                    looped.evaluate((round + 1) * 2).results,
+                    batched.evaluate((round + 1) * 2).results,
+                    "{kind:?}: batch ingestion changed interval results"
+                );
+            }
+        }
+    }
+
     #[test]
     fn labels_are_unique() {
         let mut labels: Vec<&str> = OperatorKind::ALL.iter().map(|k| k.label()).collect();

@@ -70,6 +70,19 @@ pub struct ScubaParams {
     /// not mutated since they were computed (default `true`). Never
     /// changes results — replays are bit-identical — only work done.
     pub join_cache: bool,
+    /// Spatial shards for batched ingestion (column stripes of the
+    /// ClusterGrid). `0` — the default — follows [`parallelism`]; an
+    /// explicit value decouples ingest sharding from join workers.
+    /// Sharded ingestion is bit-identical to the sequential engine under
+    /// the canonical batch order (sort by `(time, entity)`).
+    ///
+    /// [`parallelism`]: ScubaParams::parallelism
+    pub ingest_shards: usize,
+    /// Whether [`crate::engine::ScubaOperator`] routes whole ticks through
+    /// the sharded batch-ingestion path when more than one shard is in
+    /// effect (default `true`). With one effective shard the per-update
+    /// loop runs either way; `false` forces it at any shard count.
+    pub batch_ingest: bool,
 }
 
 impl Default for ScubaParams {
@@ -87,6 +100,8 @@ impl Default for ScubaParams {
             entity_ttl: None,
             parallelism: 1,
             join_cache: true,
+            ingest_shards: 0,
+            batch_ingest: true,
         }
     }
 }
@@ -117,6 +132,39 @@ impl ScubaParams {
     /// Returns the params with the incremental join cache on or off.
     pub fn with_join_cache(self, join_cache: bool) -> Self {
         ScubaParams { join_cache, ..self }
+    }
+
+    /// Returns the params with an explicit ingest shard count (`0` follows
+    /// [`ScubaParams::parallelism`]).
+    pub fn with_ingest_shards(self, ingest_shards: usize) -> Self {
+        ScubaParams {
+            ingest_shards,
+            ..self
+        }
+    }
+
+    /// Returns the params with batched (sharded) ingestion on or off.
+    pub fn with_batch_ingest(self, batch_ingest: bool) -> Self {
+        ScubaParams {
+            batch_ingest,
+            ..self
+        }
+    }
+
+    /// The shard count batched ingestion actually runs with: 1 when batch
+    /// ingestion is disabled, otherwise `ingest_shards`, falling back to
+    /// `parallelism` when unset, and never wider than the grid (each shard
+    /// is at least one column of cells).
+    pub fn effective_ingest_shards(&self) -> usize {
+        if !self.batch_ingest {
+            return 1;
+        }
+        let requested = if self.ingest_shards > 0 {
+            self.ingest_shards
+        } else {
+            self.parallelism
+        };
+        requested.clamp(1, self.grid_cells as usize)
     }
 
     /// Returns the params with different clustering thresholds.
@@ -151,6 +199,9 @@ impl ScubaParams {
         if self.parallelism == 0 {
             return Err("parallelism must be >= 1".into());
         }
+        // `ingest_shards` is unbounded above (effective_ingest_shards clamps
+        // to the grid) and 0 means "follow parallelism", so any value is
+        // valid; nothing to check.
         self.shedding.validate()
     }
 }
@@ -218,5 +269,36 @@ mod tests {
     fn parallelism_builder_clamps_to_one() {
         assert_eq!(ScubaParams::default().with_parallelism(0).parallelism, 1);
         assert_eq!(ScubaParams::default().with_parallelism(4).parallelism, 4);
+    }
+
+    #[test]
+    fn ingest_defaults_follow_parallelism() {
+        let p = ScubaParams::default();
+        assert_eq!(p.ingest_shards, 0, "shards follow parallelism by default");
+        assert!(p.batch_ingest, "batch ingestion is on by default");
+        assert_eq!(p.effective_ingest_shards(), 1, "serial by default");
+        assert_eq!(p.with_parallelism(4).effective_ingest_shards(), 4);
+    }
+
+    #[test]
+    fn explicit_ingest_shards_decouple_from_parallelism() {
+        let p = ScubaParams::default()
+            .with_parallelism(8)
+            .with_ingest_shards(2);
+        assert_eq!(p.effective_ingest_shards(), 2);
+    }
+
+    #[test]
+    fn effective_shards_clamp_to_grid_and_toggle() {
+        let p = ScubaParams::default()
+            .with_grid_cells(4)
+            .with_ingest_shards(100);
+        assert_eq!(
+            p.effective_ingest_shards(),
+            4,
+            "a shard is at least one grid column"
+        );
+        assert_eq!(p.with_batch_ingest(false).effective_ingest_shards(), 1);
+        assert!(p.with_ingest_shards(7).validate().is_ok());
     }
 }

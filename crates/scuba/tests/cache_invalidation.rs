@@ -236,6 +236,59 @@ fn evict_stale_drops_cached_pairs_cluster() {
     assert!(settled.cache_hits >= 1, "the survivor warms back up");
 }
 
+/// [`ClusterEngine::remove_entity`] on a member of a cached pair's cluster
+/// is a join-relevant mutation: the departed object's matches must vanish
+/// on the next epoch instead of replaying from the stale entry, while
+/// untouched clusters keep replaying.
+#[test]
+fn remove_entity_invalidates_cached_pair() {
+    let mut engine = ClusterEngine::new(ScubaParams::default(), Rect::square(AREA));
+    convoy(&mut engine, 1, Point::new(200.0, 200.0), 4, 0);
+    convoy(&mut engine, 2, Point::new(700.0, 700.0), 4, 0);
+    let (mut cache, mut scratch) = (JoinCache::new(), JoinScratch::new());
+
+    let cold = joined(&engine, &mut cache, &mut scratch);
+    assert!(!cold.results.is_empty());
+    let warm = joined(&engine, &mut cache, &mut scratch);
+    assert_eq!(warm.results, cold.results);
+    assert!(warm.cache_hits >= 2, "both convoys replay when quiet");
+
+    // An object of convoy 2 deregisters (left the system, not merely
+    // silent). Its cluster is dirtied; convoy 1 is untouched.
+    let gone = EntityRef::Object(ObjectId(200));
+    let cid = engine.home().cluster_of(gone).expect("object is clustered");
+    assert!(engine.remove_entity(gone), "entity was known");
+    assert!(
+        engine.home().cluster_of(gone).is_none(),
+        "membership is gone"
+    );
+    engine.check_invariants();
+
+    let after = joined(&engine, &mut cache, &mut scratch);
+    assert!(
+        after.results.len() < warm.results.len(),
+        "the removed object's matches disappear"
+    );
+    assert!(
+        !after.results.iter().any(|m| m.object == ObjectId(200)),
+        "no stale match for the departed object"
+    );
+    assert!(
+        after.cache_misses >= 1,
+        "the mutated cluster's pair recomputes"
+    );
+    assert!(after.cache_hits >= 1, "the untouched convoy still replays");
+
+    // The shrunken cluster is itself cacheable again once quiet.
+    assert!(
+        engine.cluster(cid).is_some(),
+        "cluster survives the removal"
+    );
+    let settled = joined(&engine, &mut cache, &mut scratch);
+    assert_eq!(settled.results, after.results);
+    assert!(settled.cache_hits >= 2, "everything replays when quiet");
+}
+
 /// Restoring from a snapshot resets the cache: the restored operator
 /// starts cold (its first epoch recomputes every pair — no entries can
 /// outlive the engine they were computed against), produces the same

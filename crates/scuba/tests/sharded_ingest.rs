@@ -1,0 +1,340 @@
+//! Bit-identity of sharded batch ingestion against the sequential engine.
+//!
+//! The contract of [`scuba::ScubaOperator`]'s `process_batch` is strict:
+//! for a batch in canonical `(time, entity)` order, the engine state after
+//! sharded ingestion — clusters, memberships, grid registrations, epoch
+//! stamps, counters, the id allocator — must be **bit-identical** to what
+//! the per-update sequential loop produces, at every shard count and with
+//! the join cache on or off. These tests drive both paths over identical
+//! fixed-seed workloads and compare the full observable state plus every
+//! evaluation's results.
+
+use scuba::clustering::ClusterEngine;
+use scuba::{ScubaOperator, ScubaParams};
+use scuba_motion::{LocationUpdate, ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec};
+use scuba_spatial::{Point, Rect, Time};
+use scuba_stream::{ContinuousOperator, EvaluationReport};
+
+const AREA: f64 = 1000.0;
+const DELTA: u64 = 2;
+
+/// SplitMix64: a tiny self-contained PRNG so workloads are fixed-seed
+/// without depending on any external crate's stream.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+}
+
+/// One entity of the synthetic workload: a random-walking position plus a
+/// connection node, so entities drift across shard boundaries over time.
+struct Walker {
+    pos: Point,
+    cn: Point,
+    speed: f64,
+}
+
+/// Builds `ticks` batches of updates in canonical `(time, entity)` order.
+///
+/// Entities random-walk over the whole area (crossing column-stripe
+/// boundaries freely); a fraction of them are range queries. `hotspot`
+/// concentrates starting positions in the left edge of the area so one
+/// shard sees most of the load.
+fn workload(
+    seed: u64,
+    n_objects: u64,
+    n_queries: u64,
+    ticks: u64,
+    hotspot: bool,
+) -> Vec<Vec<LocationUpdate>> {
+    let mut rng = Mix(seed);
+    let spawn = |rng: &mut Mix| -> Point {
+        if hotspot {
+            Point::new(rng.in_range(0.0, AREA / 8.0), rng.in_range(0.0, AREA))
+        } else {
+            Point::new(rng.in_range(0.0, AREA), rng.in_range(0.0, AREA))
+        }
+    };
+    let mut walkers: Vec<Walker> = (0..n_objects + n_queries)
+        .map(|_| {
+            let pos = spawn(&mut rng);
+            Walker {
+                pos,
+                cn: Point::new(rng.in_range(0.0, AREA), rng.in_range(0.0, AREA)),
+                speed: rng.in_range(0.0, 8.0),
+            }
+        })
+        .collect();
+
+    let mut batches = Vec::new();
+    for t in 1..=ticks {
+        let mut batch = Vec::new();
+        for (i, w) in walkers.iter_mut().enumerate() {
+            // Step toward the connection node with some jitter; retarget
+            // when close, so direction (cn) churns like road travel.
+            let (dx, dy) = (w.cn.x - w.pos.x, w.cn.y - w.pos.y);
+            let dist = (dx * dx + dy * dy).sqrt().max(1e-9);
+            let step = w.speed.min(dist);
+            w.pos = Point::new(
+                (w.pos.x + dx / dist * step + rng.in_range(-1.0, 1.0)).clamp(0.0, AREA),
+                (w.pos.y + dy / dist * step + rng.in_range(-1.0, 1.0)).clamp(0.0, AREA),
+            );
+            if dist < 10.0 {
+                w.cn = Point::new(rng.in_range(0.0, AREA), rng.in_range(0.0, AREA));
+            }
+            let u = if (i as u64) < n_objects {
+                LocationUpdate::object(
+                    ObjectId(i as u64),
+                    w.pos,
+                    t as Time,
+                    w.speed,
+                    w.cn,
+                    ObjectAttrs::default(),
+                )
+            } else {
+                LocationUpdate::query(
+                    QueryId(i as u64 - n_objects),
+                    w.pos,
+                    t as Time,
+                    w.speed,
+                    w.cn,
+                    QueryAttrs {
+                        spec: QuerySpec::square_range(30.0),
+                    },
+                )
+            };
+            batch.push(u);
+        }
+        batch.sort_by_key(|u| (u.time, u.entity));
+        batches.push(batch);
+    }
+    batches
+}
+
+fn params(shards: usize, cache: bool) -> ScubaParams {
+    ScubaParams::default()
+        .with_join_cache(cache)
+        .with_ingest_shards(shards)
+}
+
+/// Runs the workload through one operator: batches in, an evaluation every
+/// `DELTA` ticks, reports out.
+fn drive(op: &mut ScubaOperator, batches: &[Vec<LocationUpdate>]) -> Vec<EvaluationReport> {
+    let mut reports = Vec::new();
+    for (i, batch) in batches.iter().enumerate() {
+        op.process_batch(batch);
+        let now = (i + 1) as Time;
+        if now % DELTA == 0 {
+            reports.push(op.evaluate(now));
+        }
+    }
+    reports
+}
+
+/// Runs the reference: the plain per-update sequential loop.
+fn drive_sequential(
+    op: &mut ScubaOperator,
+    batches: &[Vec<LocationUpdate>],
+) -> Vec<EvaluationReport> {
+    let mut reports = Vec::new();
+    for (i, batch) in batches.iter().enumerate() {
+        for u in batch {
+            op.process_update(u);
+        }
+        let now = (i + 1) as Time;
+        if now % DELTA == 0 {
+            reports.push(op.evaluate(now));
+        }
+    }
+    reports
+}
+
+/// Full observable-state comparison: every divergence the engine can
+/// express is asserted on, not just the query answers.
+fn assert_engines_identical(a: &ClusterEngine, b: &ClusterEngine, what: &str) {
+    assert_eq!(
+        a.next_cluster_id(),
+        b.next_cluster_id(),
+        "{what}: cluster id allocators diverged"
+    );
+    assert_eq!(
+        a.updates_processed(),
+        b.updates_processed(),
+        "{what}: update counters diverged"
+    );
+    assert_eq!(a.stats(), b.stats(), "{what}: clustering stats diverged");
+    assert_eq!(a.clusters(), b.clusters(), "{what}: cluster maps diverged");
+
+    // Memberships, entity by entity.
+    assert_eq!(
+        a.home().len(),
+        b.home().len(),
+        "{what}: home sizes diverged"
+    );
+    for (id, _) in a.objects().iter() {
+        assert_eq!(
+            a.home().cluster_of(id.into()),
+            b.home().cluster_of(id.into()),
+            "{what}: object {id:?} lives in different clusters"
+        );
+    }
+    for (id, _) in a.queries().iter() {
+        assert_eq!(
+            a.home().cluster_of(id.into()),
+            b.home().cluster_of(id.into()),
+            "{what}: query {id:?} lives in different clusters"
+        );
+    }
+
+    // Grid: same cluster lists, in the same order, in every cell.
+    let spec = a.grid().spec();
+    assert_eq!(spec.cell_count(), b.grid().spec().cell_count());
+    for linear in 0..spec.cell_count() as u32 {
+        assert_eq!(
+            a.grid().cell_linear(linear),
+            b.grid().cell_linear(linear),
+            "{what}: grid cell {linear} diverged"
+        );
+    }
+
+    // Epochs: the join cache keys off these, so both the clock and every
+    // cluster's stamp must line up.
+    assert_eq!(
+        a.epochs().clock(),
+        b.epochs().clock(),
+        "{what}: epoch clocks diverged"
+    );
+    for cid in a.clusters().keys() {
+        assert_eq!(
+            a.epochs().mark(*cid),
+            b.epochs().mark(*cid),
+            "{what}: epoch stamp of {cid:?} diverged"
+        );
+    }
+}
+
+fn assert_results_identical(a: &[EvaluationReport], b: &[EvaluationReport], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: evaluation counts diverged");
+    for (ra, rb) in a.iter().zip(b) {
+        assert_eq!(ra.now, rb.now);
+        assert_eq!(ra.results, rb.results, "{what}: results at t={}", ra.now);
+    }
+}
+
+fn check_workload(seed: u64, n_objects: u64, n_queries: u64, ticks: u64, hotspot: bool) {
+    let batches = workload(seed, n_objects, n_queries, ticks, hotspot);
+    for cache in [true, false] {
+        let mut reference = ScubaOperator::new(params(1, cache), Rect::square(AREA));
+        let ref_reports = drive_sequential(&mut reference, &batches);
+        for shards in [1usize, 2, 4, 8] {
+            let what = format!("seed={seed} hotspot={hotspot} cache={cache} shards={shards}");
+            let mut op = ScubaOperator::new(params(shards, cache), Rect::square(AREA));
+            let reports = drive(&mut op, &batches);
+            assert_results_identical(&ref_reports, &reports, &what);
+            assert_engines_identical(reference.engine(), op.engine(), &what);
+            op.engine().check_invariants();
+        }
+    }
+}
+
+#[test]
+fn uniform_workload_is_bit_identical_across_shard_counts() {
+    check_workload(0xC0FFEE, 120, 30, 12, false);
+}
+
+#[test]
+fn hotspot_workload_is_bit_identical_across_shard_counts() {
+    check_workload(0xBEEF, 120, 30, 12, true);
+}
+
+#[test]
+fn dense_boundary_crossing_workload_is_bit_identical() {
+    // More entities than cells-per-stripe at 8 shards: plenty of probe
+    // disks straddle stripe boundaries, exercising the fixup pass hard.
+    check_workload(0x5EED, 300, 60, 8, false);
+}
+
+#[test]
+fn many_seeds_spot_check() {
+    for seed in 1..=6u64 {
+        check_workload(seed, 60, 15, 6, seed % 2 == 0);
+    }
+}
+
+/// The batch may arrive in any order: sharded ingestion canonicalises
+/// internally, so a shuffled batch must land in the same state as the
+/// sequential loop over the *sorted* batch.
+#[test]
+fn shuffled_batches_canonicalise_to_sorted_order() {
+    let batches = workload(0xD15C0, 100, 25, 8, false);
+    let mut shuffled = batches.clone();
+    let mut rng = Mix(99);
+    for batch in &mut shuffled {
+        // Fisher–Yates with the test's own PRNG.
+        for i in (1..batch.len()).rev() {
+            let j = (rng.next() % (i as u64 + 1)) as usize;
+            batch.swap(i, j);
+        }
+    }
+
+    let mut reference = ScubaOperator::new(params(1, true), Rect::square(AREA));
+    let ref_reports = drive_sequential(&mut reference, &batches);
+    let mut op = ScubaOperator::new(params(4, true), Rect::square(AREA));
+    let reports = drive(&mut op, &shuffled);
+    assert_results_identical(&ref_reports, &reports, "shuffled");
+    assert_engines_identical(reference.engine(), op.engine(), "shuffled");
+}
+
+/// Sharded ingestion reports its own pipeline stages; the sequential loop
+/// reports none. Either way the next evaluation carries them.
+#[test]
+fn ingest_stages_appear_in_evaluation_reports() {
+    let batches = workload(7, 80, 20, 4, false);
+
+    let mut op = ScubaOperator::new(params(4, true), Rect::square(AREA));
+    let reports = drive(&mut op, &batches);
+    for report in &reports {
+        for stage in ["ingest-route", "ingest-shard", "ingest-fixup"] {
+            let s = report
+                .phases
+                .get(stage)
+                .unwrap_or_else(|| panic!("stage {stage} missing from report"));
+            assert!(s.items_in > 0, "stage {stage} saw no updates");
+        }
+    }
+
+    let mut seq = ScubaOperator::new(params(1, true), Rect::square(AREA));
+    let seq_reports = drive(&mut seq, &batches);
+    for report in &seq_reports {
+        assert!(report.phases.get("ingest-route").is_none());
+    }
+}
+
+/// `--no-batch-ingest` forces the sequential path even when shards are
+/// configured.
+#[test]
+fn batch_ingest_opt_out_uses_sequential_path() {
+    let batches = workload(11, 50, 10, 4, false);
+    let p = params(8, true).with_batch_ingest(false);
+    assert_eq!(p.effective_ingest_shards(), 1);
+    let mut op = ScubaOperator::new(p, Rect::square(AREA));
+    let reports = drive(&mut op, &batches);
+    for report in &reports {
+        assert!(report.phases.get("ingest-route").is_none());
+    }
+}

@@ -131,9 +131,7 @@ impl Executor {
         for now in 1..=self.config.duration {
             let updates = source.next_tick();
             let sw = crate::metrics::Stopwatch::start();
-            for u in &updates {
-                operator.process_update(u);
-            }
+            operator.process_batch(&updates);
             report.ingest_time += sw.elapsed();
             report.updates_ingested += updates.len();
 

@@ -342,6 +342,20 @@ pub trait ContinuousOperator {
     /// Ingests one location update.
     fn process_update(&mut self, update: &LocationUpdate);
 
+    /// Ingests every update of one tick at once.
+    ///
+    /// The default implementation simply loops over
+    /// [`process_update`](Self::process_update), so operators with no batch
+    /// path behave exactly as before. Operators that can exploit a whole
+    /// tick's worth of updates (e.g. sharded parallel ingestion) override
+    /// this; such overrides must leave the operator in the same state the
+    /// per-update loop would have produced.
+    fn process_batch(&mut self, updates: &[LocationUpdate]) {
+        for update in updates {
+            self.process_update(update);
+        }
+    }
+
     /// Runs one periodic evaluation at logical time `now`.
     fn evaluate(&mut self, now: Time) -> EvaluationReport;
 
