@@ -1,0 +1,377 @@
+//! `overload` — bench of deadline-driven adaptive load shedding.
+//!
+//! Drives the identical per-tick workload through SCUBA under four
+//! shedding configurations — static `None` (the accuracy reference),
+//! static `Partial{η=0.5}`, static `Full`, and the adaptive deadline
+//! controller — and reports evaluation time, deadline-miss rate and
+//! result accuracy versus the unshed reference for each.
+//!
+//! The deadline defaults to half the reference run's mean per-evaluation
+//! cost, so the adaptive controller is genuinely overloaded on every
+//! machine; `--deadline-us` pins an absolute budget instead.
+//!
+//! Emits `BENCH_overload.json` (and a text table on stdout).
+//!
+//! Usage: `overload [--objects N] [--queries N] [--duration TICKS]
+//! [--deadline-us N] [--out FILE] [--json]`
+
+use std::time::Duration;
+
+use serde::Serialize;
+
+use scuba::{AccuracyReport, ScubaOperator, ScubaParams, SheddingMode};
+use scuba_bench::table::{f1, TextTable};
+use scuba_bench::ExperimentScale;
+use scuba_motion::{LocationUpdate, ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec};
+use scuba_spatial::{Point, Rect, Time};
+use scuba_stream::{ContinuousOperator, QueryMatch, Stopwatch};
+
+const AREA: f64 = 10_000.0;
+
+/// One configuration's measurements.
+#[derive(Debug, Serialize)]
+struct RunOut {
+    /// Configuration label.
+    config: String,
+    /// Total evaluation wall time, microseconds.
+    eval_us: u128,
+    /// Mean per-evaluation wall time, microseconds.
+    mean_eval_us: u128,
+    /// Evaluations whose cost exceeded the deadline.
+    deadline_misses: u64,
+    /// Evaluations run.
+    evaluations: u64,
+    /// Adaptive controller escalations (0 for static configs).
+    escalations: u64,
+    /// Adaptive controller relaxations (0 for static configs).
+    relaxations: u64,
+    /// Shedding mode at the end of the run.
+    final_shedding: String,
+    /// Result tuples over the run.
+    results: usize,
+    /// Jaccard accuracy vs the unshed reference, percent.
+    accuracy_pct: f64,
+    /// Matches reported that the reference does not contain.
+    false_positives: usize,
+    /// Reference matches missed.
+    false_negatives: usize,
+}
+
+/// The complete JSON payload.
+#[derive(Debug, Serialize)]
+struct OverloadBenchOut {
+    scale: ExperimentScale,
+    ticks: u64,
+    deadline_us: u128,
+    runs: Vec<RunOut>,
+}
+
+/// SplitMix64, so the workload is fixed-seed without external crates.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+    fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+}
+
+/// Builds the per-tick batches once; every configuration replays the exact
+/// same updates (drifting entities with occasional retargeting).
+fn build_batches(scale: &ExperimentScale, ticks: u64) -> Vec<Vec<LocationUpdate>> {
+    let mut rng = Mix(scale.seed);
+    let n_objects = scale.objects as u64;
+    let n_queries = scale.queries as u64;
+    let mut pos: Vec<Point> = (0..n_objects + n_queries)
+        .map(|_| Point::new(rng.in_range(0.0, AREA), rng.in_range(0.0, AREA)))
+        .collect();
+    let mut cn: Vec<Point> = pos
+        .iter()
+        .map(|p| {
+            Point::new(
+                p.x + rng.in_range(-500.0, 500.0),
+                p.y + rng.in_range(-500.0, 500.0),
+            )
+        })
+        .collect();
+
+    let mut batches = Vec::with_capacity(ticks as usize);
+    for t in 1..=ticks {
+        let mut batch = Vec::with_capacity(pos.len());
+        for i in 0..pos.len() {
+            let p = Point::new(
+                (pos[i].x + rng.in_range(-60.0, 60.0)).clamp(0.0, AREA),
+                (pos[i].y + rng.in_range(-60.0, 60.0)).clamp(0.0, AREA),
+            );
+            pos[i] = p;
+            if rng.unit() < 0.20 {
+                cn[i] = Point::new(
+                    p.x + rng.in_range(-500.0, 500.0),
+                    p.y + rng.in_range(-500.0, 500.0),
+                );
+            }
+            let u = if (i as u64) < n_objects {
+                LocationUpdate::object(
+                    ObjectId(i as u64),
+                    p,
+                    t as Time,
+                    rng.in_range(0.0, 20.0),
+                    cn[i],
+                    ObjectAttrs::default(),
+                )
+            } else {
+                LocationUpdate::query(
+                    QueryId(i as u64 - n_objects),
+                    p,
+                    t as Time,
+                    rng.in_range(0.0, 20.0),
+                    cn[i],
+                    QueryAttrs {
+                        spec: QuerySpec::square_range(scale.query_range_side),
+                    },
+                )
+            };
+            batch.push(u);
+        }
+        batch.sort_by_key(|u| (u.time, u.entity));
+        batches.push(batch);
+    }
+    batches
+}
+
+/// One run: per-interval results, per-evaluation costs, the final operator.
+struct Driven {
+    results: Vec<Vec<QueryMatch>>,
+    eval_costs: Vec<Duration>,
+    op: ScubaOperator,
+}
+
+fn drive(batches: &[Vec<LocationUpdate>], params: ScubaParams) -> Driven {
+    let delta = params.delta;
+    let mut op = ScubaOperator::new(params, Rect::square(AREA));
+    let mut results = Vec::new();
+    let mut eval_costs = Vec::new();
+    for (i, batch) in batches.iter().enumerate() {
+        let sw = Stopwatch::start();
+        op.process_batch(batch);
+        let ingest = sw.elapsed();
+        let now = (i + 1) as Time;
+        if now % delta == 0 {
+            let sw = Stopwatch::start();
+            let report = op.evaluate(now);
+            eval_costs.push(sw.elapsed() + ingest);
+            results.push(report.results);
+        }
+    }
+    Driven {
+        results,
+        eval_costs,
+        op,
+    }
+}
+
+fn measure(
+    config: String,
+    driven: &Driven,
+    reference: &[Vec<QueryMatch>],
+    deadline: Duration,
+) -> RunOut {
+    let evaluations = driven.eval_costs.len() as u64;
+    let eval_us: u128 = driven.eval_costs.iter().map(|d| d.as_micros()).sum();
+    // Static configs count misses against the same deadline the adaptive
+    // controller enforces; for the adaptive config the controller's own
+    // ledger is authoritative (it sees exactly what it acted on).
+    let (misses, escalations, relaxations) = match driven.op.overload_counters() {
+        Some(k) => (k.misses, k.escalations, k.relaxations),
+        None => (
+            driven.eval_costs.iter().filter(|&&c| c > deadline).count() as u64,
+            0,
+            0,
+        ),
+    };
+    let mut acc = AccuracyReport::default();
+    for (truth, measured) in reference.iter().zip(&driven.results) {
+        acc = acc.merge(&AccuracyReport::compare(truth, measured));
+    }
+    RunOut {
+        config,
+        eval_us,
+        mean_eval_us: eval_us / u128::from(evaluations.max(1)),
+        deadline_misses: misses,
+        evaluations,
+        escalations,
+        relaxations,
+        final_shedding: format!("{:?}", driven.op.current_shedding()),
+        results: driven.results.iter().map(Vec::len).sum(),
+        accuracy_pct: acc.accuracy() * 100.0,
+        false_positives: acc.false_positives,
+        false_negatives: acc.false_negatives,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mut scale, rest) = match ExperimentScale::from_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Laptop-friendly defaults for a micro-benchmark; flags still override.
+    if !args.iter().any(|a| a == "--objects") {
+        scale.objects = 8_000;
+    }
+    if !args.iter().any(|a| a == "--queries") {
+        scale.queries = 1_000;
+    }
+    let ticks = if args.iter().any(|a| a == "--duration") {
+        scale.duration.max(1)
+    } else {
+        8
+    };
+    let mut out_path = "BENCH_overload.json".to_string();
+    let mut json_stdout = false;
+    let mut deadline_override: Option<u64> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--out" => {
+                if let Some(v) = rest.get(i + 1) {
+                    out_path = v.clone();
+                    i += 2;
+                } else {
+                    eprintln!("error: --out requires a value");
+                    std::process::exit(2);
+                }
+            }
+            "--deadline-us" => {
+                match rest.get(i + 1).and_then(|v| v.parse().ok()) {
+                    Some(v) if v > 0 => deadline_override = Some(v),
+                    _ => {
+                        eprintln!("error: --deadline-us requires a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            "--json" => {
+                json_stdout = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown option '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "overload: adaptive shedding under deadline pressure — {} objects, {} queries, {} ticks",
+        scale.objects, scale.queries, ticks
+    );
+
+    let batches = build_batches(&scale, ticks);
+    let base = ScubaParams::default().with_join_cache(scale.join_cache);
+
+    // Reference: unshed. Its results are the accuracy truth and its mean
+    // evaluation cost anchors the default deadline.
+    let reference = drive(&batches, base.with_shedding(SheddingMode::None));
+    let ref_mean_us = (reference
+        .eval_costs
+        .iter()
+        .map(|d| d.as_micros())
+        .sum::<u128>()
+        / reference.eval_costs.len().max(1) as u128)
+        .max(1) as u64;
+    let deadline_us = deadline_override.unwrap_or_else(|| (ref_mean_us / 2).max(1));
+    let deadline = Duration::from_micros(deadline_us);
+
+    let partial = drive(
+        &batches,
+        base.with_shedding(SheddingMode::Partial { eta: 0.5 }),
+    );
+    let full = drive(&batches, base.with_shedding(SheddingMode::Full));
+    let adaptive = drive(&batches, base.with_deadline_us(Some(deadline_us)));
+
+    let payload = OverloadBenchOut {
+        scale,
+        ticks,
+        deadline_us: u128::from(deadline_us),
+        runs: vec![
+            measure(
+                "static-none".into(),
+                &reference,
+                &reference.results,
+                deadline,
+            ),
+            measure(
+                "static-eta0.5".into(),
+                &partial,
+                &reference.results,
+                deadline,
+            ),
+            measure("static-full".into(), &full, &reference.results, deadline),
+            measure("adaptive".into(), &adaptive, &reference.results, deadline),
+        ],
+    };
+
+    // Table before JSON: the measurements survive even where JSON
+    // serialisation is unavailable (offline stub builds).
+    if !json_stdout {
+        print_table(&payload);
+    }
+
+    let json = serde_json::to_string_pretty(&payload).expect("payload serialises");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("wrote {out_path}");
+
+    if json_stdout {
+        println!("{json}");
+    }
+}
+
+fn print_table(payload: &OverloadBenchOut) {
+    println!("deadline: {}µs per evaluation", payload.deadline_us);
+    let mut table = TextTable::new(vec![
+        "config",
+        "eval_ms",
+        "mean_eval_us",
+        "misses",
+        "escal",
+        "relax",
+        "final shedding",
+        "results",
+        "accuracy %",
+        "false+",
+        "false-",
+    ]);
+    for r in &payload.runs {
+        table.row(vec![
+            r.config.clone(),
+            f1(r.eval_us as f64 / 1e3),
+            r.mean_eval_us.to_string(),
+            format!("{}/{}", r.deadline_misses, r.evaluations),
+            r.escalations.to_string(),
+            r.relaxations.to_string(),
+            r.final_shedding.clone(),
+            r.results.to_string(),
+            f1(r.accuracy_pct),
+            r.false_positives.to_string(),
+            r.false_negatives.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

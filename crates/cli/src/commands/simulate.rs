@@ -23,6 +23,39 @@ struct IntervalOut {
     memory_bytes: usize,
 }
 
+/// JSON shape of one rejection-reason counter.
+#[derive(Debug, Serialize)]
+struct ReasonCount {
+    reason: &'static str,
+    count: u64,
+}
+
+/// JSON shape of the validation / dead-letter summary (present when
+/// `--validate` is not `off`).
+#[derive(Debug, Serialize)]
+struct DeadLettersOut {
+    policy: &'static str,
+    seen: u64,
+    accepted: u64,
+    clamped: u64,
+    rejected: u64,
+    by_reason: Vec<ReasonCount>,
+    buffered: usize,
+    dropped: u64,
+}
+
+/// JSON shape of the overload-controller summary (present when
+/// `--deadline-us` is set).
+#[derive(Debug, Serialize)]
+struct OverloadOut {
+    deadline_us: u128,
+    ticks: u64,
+    misses: u64,
+    escalations: u64,
+    relaxations: u64,
+    final_shedding: String,
+}
+
 /// JSON shape of the whole run.
 #[derive(Debug, Serialize)]
 struct SimulateOut {
@@ -32,6 +65,12 @@ struct SimulateOut {
     total_results: usize,
     /// Cumulative per-stage pipeline costs over the run.
     stages: Vec<StageRow>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    dead_letters: Option<DeadLettersOut>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    overload: Option<OverloadOut>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    aborted: Option<String>,
     evaluations: Vec<IntervalOut>,
 }
 
@@ -81,6 +120,41 @@ pub fn run(config: &SimConfig, opts: &OutputOptions, out: &mut dyn Write) -> std
         std::fs::write(path, snapshot.to_json())?;
     }
 
+    let dead_letters = operator.validator().map(|v| {
+        let s = v.stats();
+        DeadLettersOut {
+            policy: v.policy().label(),
+            seen: s.seen,
+            accepted: s.accepted,
+            clamped: s.clamped,
+            rejected: s.rejected_total(),
+            by_reason: s
+                .rejected_by_reason()
+                .into_iter()
+                .map(|(reason, count)| ReasonCount { reason, count })
+                .collect(),
+            buffered: v.dead_letter_len(),
+            dropped: s.dead_letters_dropped,
+        }
+    });
+    let overload = operator.overload().map(|c| {
+        let k = c.counters();
+        OverloadOut {
+            deadline_us: c.deadline().as_micros(),
+            ticks: k.ticks,
+            misses: k.misses,
+            escalations: k.escalations,
+            relaxations: k.relaxations,
+            final_shedding: format!("{:?}", operator.current_shedding()),
+        }
+    });
+    // An aborted run still reports everything gathered so far, then exits
+    // non-zero so pipelines notice.
+    let abort_error = report
+        .aborted
+        .clone()
+        .map(|reason| std::io::Error::new(std::io::ErrorKind::InvalidData, reason));
+
     if opts.json {
         let payload = SimulateOut {
             operator: report.operator.clone(),
@@ -88,6 +162,9 @@ pub fn run(config: &SimConfig, opts: &OutputOptions, out: &mut dyn Write) -> std
             clusters_final: operator.engine().cluster_count(),
             total_results: report.total_results(),
             stages: report.stage_totals().rows(),
+            dead_letters,
+            overload,
+            aborted: report.aborted.clone(),
             evaluations: intervals,
         };
         writeln!(
@@ -95,7 +172,10 @@ pub fn run(config: &SimConfig, opts: &OutputOptions, out: &mut dyn Write) -> std
             "{}",
             serde_json::to_string_pretty(&payload).expect("payload serialises")
         )?;
-        return Ok(());
+        return match abort_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        };
     }
 
     writeln!(
@@ -124,6 +204,33 @@ pub fn run(config: &SimConfig, opts: &OutputOptions, out: &mut dyn Write) -> std
     }
     writeln!(out, "pipeline stage totals:")?;
     super::write_stage_breakdown(out, "  ", &report.stage_totals())?;
+    if let Some(d) = &dead_letters {
+        let reasons: Vec<String> = d
+            .by_reason
+            .iter()
+            .filter(|r| r.count > 0)
+            .map(|r| format!("{}={}", r.reason, r.count))
+            .collect();
+        writeln!(
+            out,
+            "validation({}): {} seen, {} accepted ({} clamped), {} rejected [{}], {} dead letters buffered ({} dropped)",
+            d.policy,
+            d.seen,
+            d.accepted,
+            d.clamped,
+            d.rejected,
+            reasons.join(" "),
+            d.buffered,
+            d.dropped,
+        )?;
+    }
+    if let Some(o) = &overload {
+        writeln!(
+            out,
+            "overload(deadline={}µs): {} ticks, {} misses, {} escalations, {} relaxations",
+            o.deadline_us, o.ticks, o.misses, o.escalations, o.relaxations,
+        )?;
+    }
     writeln!(
         out,
         "done: {} updates, {} clusters live, {} result tuples total, shedding={:?}",
@@ -132,5 +239,11 @@ pub fn run(config: &SimConfig, opts: &OutputOptions, out: &mut dyn Write) -> std
         report.total_results(),
         operator.current_shedding(),
     )?;
-    Ok(())
+    if let Some(reason) = &report.aborted {
+        writeln!(out, "aborted: {reason}")?;
+    }
+    match abort_error {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }

@@ -154,6 +154,15 @@ impl SimConfig {
                     config.params.batch_ingest = false;
                     i += 1;
                 }
+                "--validate" => {
+                    config.params.validation =
+                        value(flag)?.parse().map_err(|e| format!("{flag}: {e}"))?;
+                    i += 2;
+                }
+                "--deadline-us" => {
+                    config.params.deadline_us = Some(parse(value(flag)?, flag)?);
+                    i += 2;
+                }
                 "--eta" => {
                     let eta: f64 = parse(value(flag)?, flag)?;
                     config.params.shedding = if eta <= 0.0 {
@@ -336,6 +345,27 @@ mod tests {
         assert!(SimConfig::from_args(&args(&["--objects", "x"])).is_err());
         assert!(SimConfig::from_args(&args(&["--duration", "0"])).is_err());
         assert!(SimConfig::from_args(&args(&["--theta-d", "-5"])).is_err());
+        assert!(SimConfig::from_args(&args(&["--validate", "maybe"])).is_err());
+        assert!(SimConfig::from_args(&args(&["--deadline-us", "0"])).is_err());
+    }
+
+    #[test]
+    fn robustness_flags_set_params() {
+        use scuba::ValidationPolicy;
+        let (c, _) = SimConfig::from_args(&[]).unwrap();
+        assert_eq!(c.params.validation, ValidationPolicy::Off);
+        assert_eq!(c.params.deadline_us, None);
+        let (c, _) =
+            SimConfig::from_args(&args(&["--validate", "clamp", "--deadline-us", "2500"])).unwrap();
+        assert_eq!(c.params.validation, ValidationPolicy::Clamp);
+        assert_eq!(c.params.deadline_us, Some(2500));
+    }
+
+    #[test]
+    fn param_errors_render_readably() {
+        let err = SimConfig::from_args(&args(&["--theta-s", "-1"])).unwrap_err();
+        assert!(err.contains("invalid SCUBA params"), "{err}");
+        assert!(err.contains("theta_s must be positive"), "{err}");
     }
 
     #[test]

@@ -97,6 +97,9 @@ OPTIONS (all commands):
     --ingest-shards <N>  spatial shards for batch ingestion (0 = parallelism)
     --no-batch-ingest    ingest update-by-update instead of per-tick batches
     --no-join-cache      disable the epoch-coherent join cache (same results)
+    --validate <POLICY>  ingestion hardening: off|reject|clamp|abort
+    --deadline-us <N>    per-evaluation deadline budget in µs; misses
+                         escalate load shedding adaptively (simulate)
     --budget <BYTES>     adaptive shedding memory budget (simulate)
     --out <FILE>         trace output path (record)
     --trace <FILE>       replay updates from a trace (simulate, compare)
@@ -202,6 +205,55 @@ mod tests {
         .unwrap();
         assert!(out.contains("100"), "expected maintained% rows: {out}");
         assert!(out.contains("accuracy"));
+    }
+
+    #[test]
+    fn simulate_with_validation_reports_dead_letters() {
+        let out = run_to_string(&[
+            "simulate",
+            "--objects",
+            "60",
+            "--queries",
+            "40",
+            "--duration",
+            "4",
+            "--validate",
+            "reject",
+        ])
+        .unwrap();
+        // A well-formed generated workload: everything is accepted.
+        assert!(out.contains("validation(reject)"), "{out}");
+        assert!(out.contains("0 rejected"), "{out}");
+        assert!(out.contains("validate"), "stage row present: {out}");
+    }
+
+    #[test]
+    fn simulate_with_deadline_reports_overload() {
+        let out = run_to_string(&[
+            "simulate",
+            "--objects",
+            "60",
+            "--queries",
+            "40",
+            "--duration",
+            "4",
+            "--deadline-us",
+            "1000000",
+        ])
+        .unwrap();
+        assert!(out.contains("overload(deadline=1000000µs)"), "{out}");
+        assert!(out.contains("ticks"), "{out}");
+        assert!(out.contains("overload-control"), "stage row present: {out}");
+    }
+
+    #[test]
+    fn bad_params_exit_with_message() {
+        let err = run_to_string(&["simulate", "--theta-d", "-3"]).unwrap_err();
+        assert!(err.contains("theta_d must be positive"), "{err}");
+        let err = run_to_string(&["simulate", "--deadline-us", "0"]).unwrap_err();
+        assert!(err.contains("deadline_us"), "{err}");
+        let err = run_to_string(&["simulate", "--validate", "sometimes"]).unwrap_err();
+        assert!(err.contains("unknown validation policy"), "{err}");
     }
 
     #[test]

@@ -9,13 +9,20 @@
 //! * **cluster post-join maintenance** — dissolve expired clusters and
 //!   relocate survivors along their velocity vectors for the next interval.
 
+use std::collections::VecDeque;
+use std::time::Duration;
+
 use scuba_motion::LocationUpdate;
 use scuba_spatial::{Rect, Time};
-use scuba_stream::{ContinuousOperator, EvaluationReport, PhaseBreakdown, StageStats, Stopwatch};
+use scuba_stream::{
+    ContinuousOperator, EvaluationReport, PhaseBreakdown, StageStats, Stopwatch, UpdateValidator,
+    ValidationPolicy, ValidationStats, Verdict,
+};
 
 use crate::clustering::{ClusterEngine, ClusteringStats};
 use crate::ingest::{IngestReport, IngestScratch};
 use crate::join::{JoinCache, JoinContext, JoinScratch};
+use crate::overload::{OverloadConfig, OverloadController, OverloadCounters};
 use crate::params::ScubaParams;
 use crate::shedding::AdaptiveShedder;
 
@@ -38,15 +45,31 @@ pub const STAGE_PRE_JOIN_TIGHTEN: &str = "pre-join-tighten";
 pub const STAGE_KNN: &str = "knn";
 /// Stage name: post-join cluster maintenance (dissolve + relocate).
 pub const STAGE_POST_JOIN: &str = "post-join-maintenance";
+/// Stage name: ingestion validation front-end (maintenance bucket).
+/// `items_in` = updates inspected since the previous evaluation,
+/// `items_out` = updates accepted (clamped repairs included), `tests` =
+/// updates rejected into the dead-letter buffer.
+pub const STAGE_VALIDATE: &str = "validate";
+/// Stage name: overload-control decision (maintenance bucket). `items_in`
+/// = the observed tick cost in µs, `items_out` = the deadline budget in
+/// µs, `tests` = 1 on a deadline miss, 0 on a clean tick.
+pub const STAGE_OVERLOAD: &str = "overload-control";
 
 /// The operator name for a parameter set; shared by both constructors so
 /// shedding naming cannot drift between them.
 fn operator_name(params: &ScubaParams) -> String {
-    if params.shedding.is_active() {
+    let mut name = if params.shedding.is_active() {
         format!("SCUBA(shedding={:?})", params.shedding)
     } else {
         "SCUBA".to_string()
+    };
+    if params.validation != ValidationPolicy::Off {
+        name.push_str(&format!("(validate={})", params.validation.label()));
     }
+    if let Some(us) = params.deadline_us {
+        name.push_str(&format!("(deadline={us}us)"));
+    }
+    name
 }
 
 /// The SCUBA continuous-query operator.
@@ -69,6 +92,29 @@ pub struct ScubaOperator {
     /// Ingest stage stats accumulated since the last evaluation; prepended
     /// to the next report's phase breakdown.
     pending_ingest: PhaseBreakdown,
+    /// Hardened ingestion front-end, active when
+    /// [`ScubaParams::validation`] is not [`ValidationPolicy::Off`].
+    validator: Option<UpdateValidator>,
+    /// Validation counters at the previous evaluation, for per-interval
+    /// deltas in the stage breakdown.
+    vstats_mark: ValidationStats,
+    /// Deadline-driven shedding controller, active when
+    /// [`ScubaParams::deadline_us`] is set.
+    overload: Option<OverloadController>,
+    /// Ingest wall-time accumulated since the last evaluation; the
+    /// overload controller charges it against the deadline alongside the
+    /// evaluation itself. Only measured while a controller is attached.
+    tick_ingest: Duration,
+    /// Scripted per-evaluation tick costs (tests): each evaluation pops
+    /// one entry in preference to the wall clock, making controller
+    /// behaviour deterministic regardless of host speed.
+    scripted_costs: VecDeque<Duration>,
+    /// Fatal validation failure under [`ValidationPolicy::Abort`];
+    /// reported through [`ContinuousOperator::fault`] and freezes all
+    /// further ingestion.
+    fatal: Option<String>,
+    /// Reusable buffer of validated updates for batch ingestion.
+    accepted_scratch: Vec<LocationUpdate>,
 }
 
 impl ScubaOperator {
@@ -80,7 +126,13 @@ impl ScubaOperator {
     /// Wraps an existing (e.g. snapshot-restored) clustering engine in an
     /// operator.
     pub fn from_engine(engine: ClusterEngine) -> Self {
-        let name = operator_name(engine.params());
+        let params = *engine.params();
+        let name = operator_name(&params);
+        let validator = (params.validation != ValidationPolicy::Off)
+            .then(|| UpdateValidator::new(params.validation, engine.area()));
+        let overload = params.deadline_us.map(|us| {
+            OverloadController::new(OverloadConfig::with_deadline(Duration::from_micros(us)))
+        });
         ScubaOperator {
             engine,
             name,
@@ -90,6 +142,13 @@ impl ScubaOperator {
             scratch: JoinScratch::new(),
             ingest_scratch: IngestScratch::default(),
             pending_ingest: PhaseBreakdown::new(),
+            validator,
+            vstats_mark: ValidationStats::default(),
+            overload,
+            tick_ingest: Duration::ZERO,
+            scripted_costs: VecDeque::new(),
+            fatal: None,
+            accepted_scratch: Vec::new(),
         }
     }
 
@@ -100,6 +159,25 @@ impl ScubaOperator {
     pub fn with_memory_budget(mut self, budget_bytes: usize) -> Self {
         self.adaptive = Some(AdaptiveShedder::new(budget_bytes));
         self.name = format!("{}(budget={budget_bytes}B)", self.name);
+        self
+    }
+
+    /// Attaches (or replaces) a deadline-driven overload controller with a
+    /// custom config — [`ScubaParams::deadline_us`] covers the common case.
+    pub fn with_overload(mut self, config: OverloadConfig) -> Self {
+        if self.engine.params().deadline_us.is_none() {
+            self.name = format!("{}(deadline={}us)", self.name, config.deadline.as_micros());
+        }
+        self.overload = Some(OverloadController::new(config));
+        self
+    }
+
+    /// Scripts the overload controller's observed per-evaluation costs
+    /// (tests, benchmarks): each evaluation pops one entry instead of
+    /// reading the wall clock, so escalation behaviour is a pure function
+    /// of the script. Once the script runs dry, measurement resumes.
+    pub fn with_scripted_tick_costs(mut self, costs: Vec<Duration>) -> Self {
+        self.scripted_costs = costs.into();
         self
     }
 
@@ -129,6 +207,64 @@ impl ScubaOperator {
         &self.cache
     }
 
+    /// The ingestion validator, when one is active
+    /// ([`ScubaParams::validation`] ≠ `Off`); exposes dead letters and
+    /// rejection counters.
+    pub fn validator(&self) -> Option<&UpdateValidator> {
+        self.validator.as_ref()
+    }
+
+    /// The deadline-driven overload controller, when one is attached.
+    pub fn overload(&self) -> Option<&OverloadController> {
+        self.overload.as_ref()
+    }
+
+    /// The overload controller's lifetime counters, when one is attached.
+    pub fn overload_counters(&self) -> Option<OverloadCounters> {
+        self.overload.as_ref().map(|c| c.counters())
+    }
+
+    /// Screens one update through the validator (when active). `None`
+    /// means the update must not reach the engine; a fatal verdict also
+    /// freezes the operator.
+    fn screen(&mut self, update: &LocationUpdate) -> Option<LocationUpdate> {
+        match &mut self.validator {
+            None => Some(*update),
+            Some(v) => match v.check(update) {
+                Verdict::Accept(clean) => Some(clean),
+                Verdict::Reject(_) => None,
+                Verdict::Fatal(reason) => {
+                    self.fatal = Some(format!(
+                        "validation abort: {reason} update from {:?} at t={}",
+                        update.entity, update.time
+                    ));
+                    None
+                }
+            },
+        }
+    }
+
+    /// Ingests already-validated updates, through the sharded batch path
+    /// when configured. Validation happens strictly before sharding, so
+    /// sharded ingestion stays bit-identical to the sequential walk under
+    /// every policy.
+    fn ingest_accepted(&mut self, updates: &[LocationUpdate]) {
+        let shards = self.engine.params().effective_ingest_shards();
+        if shards <= 1 || updates.len() <= 1 {
+            for update in updates {
+                self.engine.process_update(update);
+            }
+            return;
+        }
+        let report = crate::ingest::ingest_batch(
+            &mut self.engine,
+            updates,
+            shards,
+            &mut self.ingest_scratch,
+        );
+        self.record_ingest(&report);
+    }
+
     /// Accumulates one batch's ingest counters into the stats prepended to
     /// the next evaluation report.
     fn record_ingest(&mut self, r: &IngestReport) {
@@ -155,31 +291,62 @@ impl ScubaOperator {
 
 impl ContinuousOperator for ScubaOperator {
     fn process_update(&mut self, update: &LocationUpdate) {
-        self.engine.process_update(update);
+        if self.fatal.is_some() {
+            return;
+        }
+        let sw = self.overload.is_some().then(Stopwatch::start);
+        if let Some(clean) = self.screen(update) {
+            self.engine.process_update(&clean);
+        }
+        if let Some(sw) = sw {
+            self.tick_ingest += sw.elapsed();
+        }
     }
 
     fn process_batch(&mut self, updates: &[LocationUpdate]) {
-        let shards = self.engine.params().effective_ingest_shards();
-        if shards <= 1 || updates.len() <= 1 {
-            for update in updates {
-                self.engine.process_update(update);
-            }
+        if self.fatal.is_some() {
             return;
         }
-        let report = crate::ingest::ingest_batch(
-            &mut self.engine,
-            updates,
-            shards,
-            &mut self.ingest_scratch,
-        );
-        self.record_ingest(&report);
+        let sw = self.overload.is_some().then(Stopwatch::start);
+        if self.validator.is_some() {
+            let mut accepted = std::mem::take(&mut self.accepted_scratch);
+            accepted.clear();
+            for update in updates {
+                if self.fatal.is_some() {
+                    // Abort: nothing past the fatal update is ingested.
+                    break;
+                }
+                if let Some(clean) = self.screen(update) {
+                    accepted.push(clean);
+                }
+            }
+            self.ingest_accepted(&accepted);
+            self.accepted_scratch = accepted;
+        } else {
+            self.ingest_accepted(updates);
+        }
+        if let Some(sw) = sw {
+            self.tick_ingest += sw.elapsed();
+        }
     }
 
     fn evaluate(&mut self, now: Time) -> EvaluationReport {
         self.evaluations += 1;
+        let sw_tick = Stopwatch::start();
         // Ingest stages accumulated since the last evaluation lead the
-        // report, mirroring their position in the pipeline.
-        let mut phases = std::mem::take(&mut self.pending_ingest);
+        // report, mirroring their position in the pipeline — and the
+        // validation front-end leads the ingest stages.
+        let mut phases = PhaseBreakdown::new();
+        if let Some(v) = &self.validator {
+            let s = v.stats();
+            let m = std::mem::replace(&mut self.vstats_mark, s);
+            phases.push(
+                StageStats::maintenance(STAGE_VALIDATE)
+                    .with_items(s.seen - m.seen, s.accepted - m.accepted)
+                    .with_tests(s.rejected_total() - m.rejected_total()),
+            );
+        }
+        phases.absorb(&std::mem::take(&mut self.pending_ingest));
         let clusters_before = self.engine.cluster_count() as u64;
 
         // Tail of phase 1: tighten cluster radii so the join-between filter
@@ -249,6 +416,29 @@ impl ContinuousOperator for ScubaOperator {
                 .with_items(clusters_before, self.engine.cluster_count() as u64),
         );
 
+        // Overload control: charge this evaluation plus the interval's
+        // ingest time against the deadline and walk the shedding ladder.
+        if let Some(ctrl) = &mut self.overload {
+            let measured = sw_tick.elapsed() + self.tick_ingest;
+            let cost = self.scripted_costs.pop_front().unwrap_or(measured);
+            self.tick_ingest = Duration::ZERO;
+            let decision = ctrl.observe(cost);
+            if decision.changed() {
+                self.engine.set_shedding(decision.mode_after);
+                // Escalation takes effect immediately, like the memory
+                // controller above.
+                if decision.escalated() && decision.mode_after.is_active() {
+                    self.engine.shed_now();
+                    memory_bytes = self.engine.estimated_bytes();
+                }
+            }
+            phases.push(
+                StageStats::maintenance(STAGE_OVERLOAD)
+                    .with_items(cost.as_micros() as u64, ctrl.deadline().as_micros() as u64)
+                    .with_tests(decision.missed as u64),
+            );
+        }
+
         EvaluationReport {
             now,
             results: join.results,
@@ -269,6 +459,10 @@ impl ContinuousOperator for ScubaOperator {
 
     fn clusters_live(&self) -> Option<usize> {
         Some(self.engine.cluster_count())
+    }
+
+    fn fault(&self) -> Option<String> {
+        self.fatal.clone()
     }
 }
 
@@ -488,6 +682,152 @@ mod tests {
             .values()
             .flat_map(|c| c.members())
             .all(|m| m.is_shed()));
+    }
+
+    #[test]
+    fn validation_rejects_without_touching_engine_state() {
+        use scuba_stream::RejectReason;
+        let params = ScubaParams::default().with_validation(crate::ValidationPolicy::Reject);
+        let mut op = ScubaOperator::new(params, Rect::square(1000.0));
+        assert!(op.name().contains("validate=reject"));
+        op.process_update(&obj(1, 500.0, 500.0));
+        let clusters = op.engine().cluster_count();
+        // NaN coordinate, out-of-region point, replayed key: all rejected.
+        op.process_update(&obj(2, f64::NAN, 500.0));
+        op.process_update(&obj(3, 5000.0, 500.0));
+        op.process_update(&obj(1, 501.0, 500.0)); // duplicate (t=0, obj 1)
+        assert_eq!(op.engine().cluster_count(), clusters);
+        op.engine().check_invariants();
+        let v = op.validator().expect("validator attached");
+        assert_eq!(v.stats().rejected_total(), 3);
+        assert_eq!(v.stats().rejected(RejectReason::DuplicateKey), 1);
+        assert_eq!(v.dead_letter_len(), 3);
+        // The stage breakdown carries the interval's validation counters.
+        let report = op.evaluate(2);
+        let row = report.phases.get(STAGE_VALIDATE).expect("validate row");
+        assert_eq!(row.items_in, 4);
+        assert_eq!(row.items_out, 1);
+        assert_eq!(row.tests, 3);
+        // Deltas reset per interval.
+        let report = op.evaluate(4);
+        let row = report.phases.get(STAGE_VALIDATE).unwrap();
+        assert_eq!(row.items_in, 0);
+    }
+
+    #[test]
+    fn validation_applies_before_sharded_ingest() {
+        // A malformed update inside a large batch must be filtered under
+        // both the sequential and the sharded path, leaving identical
+        // engine states.
+        let run = |shards: usize| {
+            let params = ScubaParams::default()
+                .with_validation(crate::ValidationPolicy::Reject)
+                .with_ingest_shards(shards);
+            let mut op = ScubaOperator::new(params, Rect::square(1000.0));
+            let mut batch: Vec<LocationUpdate> = (0..40u64)
+                .map(|i| {
+                    obj(
+                        i,
+                        50.0 + (i * 23 % 900) as f64,
+                        50.0 + (i * 41 % 900) as f64,
+                    )
+                })
+                .collect();
+            batch.push(obj(100, f64::NAN, 2.0));
+            batch.push(obj(101, -999.0, 2.0));
+            op.process_batch(&batch);
+            op.engine().check_invariants();
+            (
+                op.evaluate(2).results,
+                op.validator().unwrap().stats().rejected_total(),
+            )
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn abort_policy_freezes_the_operator() {
+        let params = ScubaParams::default().with_validation(crate::ValidationPolicy::Abort);
+        let mut op = ScubaOperator::new(params, Rect::square(1000.0));
+        assert_eq!(op.fault(), None);
+        op.process_batch(&[
+            obj(1, 500.0, 500.0),
+            obj(2, f64::NAN, 0.0),
+            obj(3, 400.0, 400.0),
+        ]);
+        let reason = op.fault().expect("fatal fault reported");
+        assert!(reason.contains("non-finite-coord"), "{reason}");
+        // The update before the fault landed; the one after did not, and
+        // later batches are ignored entirely.
+        let seen = op.engine().cluster_count();
+        assert!(seen >= 1);
+        op.process_batch(&[obj(4, 300.0, 300.0)]);
+        op.process_update(&obj(5, 200.0, 200.0));
+        assert_eq!(op.engine().cluster_count(), seen);
+    }
+
+    #[test]
+    fn overload_controller_escalates_and_relaxes_on_scripted_costs() {
+        use crate::SheddingMode;
+        let budget = Duration::from_micros(100);
+        let slow = Duration::from_micros(500);
+        let fast = Duration::from_micros(10);
+        let params = ScubaParams::default().with_deadline_us(Some(100));
+        let mut op = ScubaOperator::new(params, Rect::square(1000.0))
+            .with_scripted_tick_costs(vec![slow, slow, fast, fast, fast]);
+        assert!(op.name().contains("deadline=100us"));
+        assert_eq!(op.overload().unwrap().deadline(), budget);
+        for round in 0..5u64 {
+            op.process_update(&obj(round, 100.0 + round as f64, 100.0));
+            let report = op.evaluate((round + 1) * 2);
+            let row = report.phases.get(STAGE_OVERLOAD).expect("overload row");
+            assert_eq!(row.items_out, 100, "deadline budget in µs");
+            if round == 1 {
+                // Second consecutive miss: escalated, positions shed now.
+                assert_eq!(op.current_shedding(), SheddingMode::Partial { eta: 0.25 });
+                assert_eq!(row.tests, 1);
+            }
+        }
+        // Three clean ticks relaxed back down.
+        assert_eq!(op.current_shedding(), SheddingMode::None);
+        let k = op.overload_counters().unwrap();
+        assert_eq!(k.ticks, 5);
+        assert_eq!(k.misses, 2);
+        assert_eq!(k.escalations, 1);
+        assert_eq!(k.relaxations, 1);
+    }
+
+    #[test]
+    fn overload_escalation_sheds_positions_immediately() {
+        let slow = Duration::from_micros(900);
+        let params = ScubaParams::default().with_deadline_us(Some(1));
+        let mut op = ScubaOperator::new(params, Rect::square(1000.0))
+            .with_scripted_tick_costs(vec![slow; 20]);
+        for round in 0..10u64 {
+            for i in 0..40u64 {
+                op.process_update(&obj(i, 100.0 + (i % 20) as f64, 100.0 + round as f64));
+            }
+            op.evaluate((round + 1) * 2);
+            op.engine().check_invariants();
+        }
+        assert_eq!(op.current_shedding(), crate::SheddingMode::Full);
+        assert!(op
+            .engine()
+            .clusters()
+            .values()
+            .flat_map(|c| c.members())
+            .all(|m| m.is_shed()));
+    }
+
+    #[test]
+    fn no_deadline_means_no_overload_row() {
+        let mut op = ScubaOperator::new(ScubaParams::default(), Rect::square(1000.0));
+        op.process_update(&obj(1, 500.0, 500.0));
+        let report = op.evaluate(2);
+        assert!(report.phases.get(STAGE_OVERLOAD).is_none());
+        assert!(report.phases.get(STAGE_VALIDATE).is_none());
+        assert_eq!(op.overload_counters(), None);
+        assert!(op.validator().is_none());
     }
 
     #[test]

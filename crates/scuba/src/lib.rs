@@ -40,6 +40,7 @@
 //! | [`vci`] | §7 | the Velocity-Constrained Indexing baseline (related work \[29\]) |
 //! | [`snapshot`] | — | JSON-safe engine checkpoint/restore (restart without re-learning clusters) |
 //! | [`shedding`] | §5 | nucleus-based load-shedding policy |
+//! | [`overload`] | §5 | deadline-driven controller escalating/relaxing the shedding mode |
 //! | [`accuracy`] | §6.6 | false-positive/negative accounting vs. unshed truth |
 //! | [`delta`] | §8 | incremental result output (added/removed per interval) |
 //! | [`kmeans`] | §6.4 | non-incremental K-means clustering extension |
@@ -91,6 +92,7 @@ pub mod join;
 pub mod kmeans;
 pub mod knn;
 pub mod ops;
+pub mod overload;
 pub mod params;
 pub mod qindex;
 pub mod shedding;
@@ -107,9 +109,14 @@ pub use delta::{DeltaTracker, ResultDelta};
 pub use engine::ScubaOperator;
 pub use join::{JoinCache, JoinContext, JoinScratch};
 pub use ops::{OperatorKind, OpsConfig};
-pub use params::{ProbeScope, ScubaParams};
+pub use overload::{OverloadConfig, OverloadController, OverloadCounters, OverloadDecision};
+pub use params::{ParamsError, ProbeScope, ScubaParams};
 pub use qindex::QueryIndexOperator;
 pub use shedding::{AdaptiveShedder, SheddingMode};
 pub use sina::IncrementalGridOperator;
 pub use snapshot::EngineSnapshot;
 pub use vci::{VciConfig, VciOperator};
+
+// Ingestion-hardening policy lives in the stream substrate but is part of
+// this crate's parameter surface ([`ScubaParams::validation`]).
+pub use scuba_stream::ValidationPolicy;

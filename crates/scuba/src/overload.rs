@@ -1,0 +1,364 @@
+//! Deadline-driven adaptive overload control.
+//!
+//! The paper's §5 triggers load shedding from *memory* pressure
+//! ([`crate::shedding::AdaptiveShedder`]). A streaming deployment has a
+//! second budget: each Δ-period's work must finish before the next period's
+//! updates arrive, or the operator falls permanently behind. The
+//! [`OverloadController`] watches the measured evaluation + ingest
+//! wall-time of every tick against a configurable deadline and walks the
+//! same shedding ladder:
+//!
+//! * **escalate** one rung after [`OverloadConfig::escalate_after`]
+//!   *consecutive* deadline misses (a single slow tick — a GC pause, a cold
+//!   cache — does not shed data);
+//! * **relax** one rung after [`OverloadConfig::relax_after`] consecutive
+//!   clean ticks (hysteresis, so the mode does not oscillate around the
+//!   deadline).
+//!
+//! The controller is a pure state machine over observed durations — it
+//! never reads a clock itself — so tests drive it with scripted timings
+//! and production feeds it `Stopwatch` measurements.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::shedding::SheddingMode;
+
+/// Tuning for the [`OverloadController`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverloadConfig {
+    /// Per-evaluation wall-time budget (evaluation + ingest since the
+    /// previous evaluation).
+    pub deadline: Duration,
+    /// Consecutive deadline misses before escalating one rung.
+    pub escalate_after: u32,
+    /// Consecutive clean ticks before relaxing one rung.
+    pub relax_after: u32,
+    /// Shedding ladder, ordered least → most aggressive (must be
+    /// non-empty; the controller starts at rung 0).
+    pub ladder: Vec<SheddingMode>,
+}
+
+impl OverloadConfig {
+    /// The default ladder shared with [`crate::shedding::AdaptiveShedder`]:
+    /// `None → η=0.25 → η=0.5 → η=0.75 → Full`.
+    pub fn default_ladder() -> Vec<SheddingMode> {
+        vec![
+            SheddingMode::None,
+            SheddingMode::Partial { eta: 0.25 },
+            SheddingMode::Partial { eta: 0.5 },
+            SheddingMode::Partial { eta: 0.75 },
+            SheddingMode::Full,
+        ]
+    }
+
+    /// Config with the default ladder and hysteresis (escalate after 2
+    /// consecutive misses, relax after 3 consecutive clean ticks).
+    pub fn with_deadline(deadline: Duration) -> Self {
+        OverloadConfig {
+            deadline,
+            escalate_after: 2,
+            relax_after: 3,
+            ladder: OverloadConfig::default_ladder(),
+        }
+    }
+}
+
+/// Lifetime counters of an [`OverloadController`], for reports and `--json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OverloadCounters {
+    /// Ticks observed.
+    pub ticks: u64,
+    /// Ticks whose cost exceeded the deadline.
+    pub misses: u64,
+    /// Rung increases (None → Partial, Partial → Full, …).
+    pub escalations: u64,
+    /// Rung decreases.
+    pub relaxations: u64,
+}
+
+/// One observation's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverloadDecision {
+    /// The tick cost that was observed.
+    pub observed: Duration,
+    /// Whether it exceeded the deadline.
+    pub missed: bool,
+    /// Shedding mode before the observation.
+    pub mode_before: SheddingMode,
+    /// Shedding mode after (equal to `mode_before` unless the controller
+    /// moved).
+    pub mode_after: SheddingMode,
+}
+
+impl OverloadDecision {
+    /// Whether the controller changed mode on this observation.
+    pub fn changed(&self) -> bool {
+        self.mode_before != self.mode_after
+    }
+
+    /// Whether the mode became more aggressive.
+    pub fn escalated(&self) -> bool {
+        self.changed() && self.missed
+    }
+
+    /// Whether the mode became less aggressive.
+    pub fn relaxed(&self) -> bool {
+        self.changed() && !self.missed
+    }
+}
+
+/// The deadline-driven shedding state machine (see module docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverloadController {
+    config: OverloadConfig,
+    level: usize,
+    consecutive_misses: u32,
+    consecutive_clean: u32,
+    counters: OverloadCounters,
+}
+
+impl OverloadController {
+    /// Creates a controller at the bottom rung of the config's ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder is empty or a hysteresis threshold is zero —
+    /// both are programming errors, not runtime conditions.
+    pub fn new(config: OverloadConfig) -> Self {
+        assert!(
+            !config.ladder.is_empty(),
+            "overload ladder must be non-empty"
+        );
+        assert!(
+            config.escalate_after >= 1 && config.relax_after >= 1,
+            "overload hysteresis thresholds must be >= 1"
+        );
+        OverloadController {
+            config,
+            level: 0,
+            consecutive_misses: 0,
+            consecutive_clean: 0,
+            counters: OverloadCounters::default(),
+        }
+    }
+
+    /// The configured deadline.
+    pub fn deadline(&self) -> Duration {
+        self.config.deadline
+    }
+
+    /// The currently selected mode.
+    pub fn current(&self) -> SheddingMode {
+        self.config.ladder[self.level]
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> OverloadCounters {
+        self.counters
+    }
+
+    /// Whether the controller sits at the top rung — further misses cannot
+    /// shed more.
+    pub fn saturated(&self) -> bool {
+        self.level + 1 == self.config.ladder.len()
+    }
+
+    /// Feeds one tick's measured cost; returns what (if anything) changed.
+    pub fn observe(&mut self, cost: Duration) -> OverloadDecision {
+        let mode_before = self.current();
+        let missed = cost > self.config.deadline;
+        self.counters.ticks += 1;
+        if missed {
+            self.counters.misses += 1;
+            self.consecutive_clean = 0;
+            self.consecutive_misses += 1;
+            if self.consecutive_misses >= self.config.escalate_after {
+                self.consecutive_misses = 0;
+                if self.level + 1 < self.config.ladder.len() {
+                    self.level += 1;
+                    self.counters.escalations += 1;
+                }
+            }
+        } else {
+            self.consecutive_misses = 0;
+            self.consecutive_clean += 1;
+            if self.consecutive_clean >= self.config.relax_after {
+                self.consecutive_clean = 0;
+                if self.level > 0 {
+                    self.level -= 1;
+                    self.counters.relaxations += 1;
+                }
+            }
+        }
+        OverloadDecision {
+            observed: cost,
+            missed,
+            mode_before,
+            mode_after: self.current(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(deadline_us: u64) -> OverloadController {
+        OverloadController::new(OverloadConfig::with_deadline(Duration::from_micros(
+            deadline_us,
+        )))
+    }
+
+    const SLOW: Duration = Duration::from_micros(150);
+    const FAST: Duration = Duration::from_micros(10);
+
+    #[test]
+    fn starts_at_the_bottom_rung() {
+        let c = controller(100);
+        assert_eq!(c.current(), SheddingMode::None);
+        assert_eq!(c.deadline(), Duration::from_micros(100));
+        assert!(!c.saturated());
+        assert_eq!(c.counters(), OverloadCounters::default());
+    }
+
+    #[test]
+    fn one_miss_does_not_escalate() {
+        let mut c = controller(100);
+        let d = c.observe(SLOW);
+        assert!(d.missed);
+        assert!(!d.changed());
+        assert_eq!(c.current(), SheddingMode::None);
+        assert_eq!(c.counters().misses, 1);
+    }
+
+    #[test]
+    fn consecutive_misses_escalate_one_rung_at_a_time() {
+        let mut c = controller(100);
+        c.observe(SLOW);
+        let d = c.observe(SLOW);
+        assert!(d.escalated());
+        assert_eq!(d.mode_before, SheddingMode::None);
+        assert_eq!(d.mode_after, SheddingMode::Partial { eta: 0.25 });
+        // The streak resets after an escalation: two more misses needed.
+        assert!(!c.observe(SLOW).changed());
+        assert!(c.observe(SLOW).escalated());
+        assert_eq!(c.current(), SheddingMode::Partial { eta: 0.5 });
+        assert_eq!(c.counters().escalations, 2);
+    }
+
+    #[test]
+    fn a_clean_tick_breaks_the_miss_streak() {
+        let mut c = controller(100);
+        c.observe(SLOW);
+        c.observe(FAST);
+        assert!(!c.observe(SLOW).changed(), "streak was broken");
+        assert_eq!(c.current(), SheddingMode::None);
+    }
+
+    #[test]
+    fn relaxes_after_enough_clean_ticks() {
+        let mut c = controller(100);
+        c.observe(SLOW);
+        c.observe(SLOW);
+        assert_eq!(c.current(), SheddingMode::Partial { eta: 0.25 });
+        c.observe(FAST);
+        c.observe(FAST);
+        let d = c.observe(FAST);
+        assert!(d.relaxed());
+        assert_eq!(c.current(), SheddingMode::None);
+        assert_eq!(c.counters().relaxations, 1);
+    }
+
+    #[test]
+    fn a_miss_breaks_the_clean_streak() {
+        let mut c = controller(100);
+        c.observe(SLOW);
+        c.observe(SLOW); // Partial 0.25
+        c.observe(FAST);
+        c.observe(FAST);
+        c.observe(SLOW); // clean streak reset (miss streak now 1)
+        c.observe(FAST);
+        c.observe(FAST);
+        assert_eq!(c.current(), SheddingMode::Partial { eta: 0.25 });
+        assert!(c.observe(FAST).relaxed());
+    }
+
+    #[test]
+    fn saturates_at_full_and_floors_at_none() {
+        let mut c = controller(100);
+        for _ in 0..20 {
+            c.observe(SLOW);
+        }
+        assert_eq!(c.current(), SheddingMode::Full);
+        assert!(c.saturated());
+        assert_eq!(c.counters().escalations, 4, "ladder has 4 upward moves");
+        for _ in 0..40 {
+            c.observe(FAST);
+        }
+        assert_eq!(c.current(), SheddingMode::None);
+        assert_eq!(c.counters().relaxations, 4);
+        // More clean ticks at the floor change nothing.
+        assert!(!c.observe(FAST).changed());
+    }
+
+    #[test]
+    fn exact_deadline_is_not_a_miss() {
+        let mut c = controller(100);
+        assert!(!c.observe(Duration::from_micros(100)).missed);
+        assert!(c.observe(Duration::from_micros(101)).missed);
+    }
+
+    #[test]
+    fn counters_track_every_tick() {
+        let mut c = controller(100);
+        c.observe(SLOW);
+        c.observe(FAST);
+        c.observe(SLOW);
+        let k = c.counters();
+        assert_eq!(k.ticks, 3);
+        assert_eq!(k.misses, 2);
+    }
+
+    #[test]
+    fn deterministic_given_identical_timings() {
+        let script: Vec<Duration> = (0..50)
+            .map(|i| {
+                if i % 7 < 4 {
+                    Duration::from_micros(150)
+                } else {
+                    Duration::from_micros(20)
+                }
+            })
+            .collect();
+        let run = |script: &[Duration]| {
+            let mut c = controller(100);
+            let decisions: Vec<OverloadDecision> = script.iter().map(|&d| c.observe(d)).collect();
+            (decisions, c.counters(), c.current())
+        };
+        assert_eq!(run(&script), run(&script));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_ladder_panics() {
+        let _ = OverloadController::new(OverloadConfig {
+            deadline: Duration::from_micros(1),
+            escalate_after: 1,
+            relax_after: 1,
+            ladder: vec![],
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn zero_hysteresis_panics() {
+        let _ = OverloadController::new(OverloadConfig {
+            deadline: Duration::from_micros(1),
+            escalate_after: 0,
+            relax_after: 1,
+            ladder: OverloadConfig::default_ladder(),
+        });
+    }
+}

@@ -3,8 +3,68 @@
 use serde::{Deserialize, Serialize};
 
 use scuba_spatial::TimeDelta;
+use scuba_stream::ValidationPolicy;
 
 use crate::shedding::SheddingMode;
+
+/// A parameter set that cannot produce a working engine.
+///
+/// Typed so callers can react per-cause; `Display` renders the operator
+/// message the CLI prints before exiting non-zero.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamsError {
+    /// Θ_D must be a positive, finite distance.
+    NonPositiveThetaD(f64),
+    /// Θ_S must be a positive, finite speed difference (a zero threshold
+    /// admits no speed variation at all and degenerates clustering to
+    /// exact-speed matching over `f64`s).
+    NonPositiveThetaS(f64),
+    /// The ClusterGrid needs at least one cell per side.
+    ZeroGridCells,
+    /// The evaluation interval Δ must be at least one time unit.
+    ZeroDelta,
+    /// Partial shedding needs η ∈ \[0, 1\]; equivalently the nucleus
+    /// radius Θ_N = η·Θ_D must not exceed Θ_D (§5: "0 ≤ Θ_N ≤ Θ_D").
+    EtaOutOfRange(f64),
+    /// The connection-node comparison tolerance must be non-negative.
+    NegativeCnlocTolerance(f64),
+    /// Join-within needs at least one worker thread.
+    ZeroParallelism,
+    /// The overload deadline budget must be at least one microsecond.
+    ZeroDeadline,
+}
+
+impl std::fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamsError::NonPositiveThetaD(v) => {
+                write!(f, "theta_d must be positive, got {v}")
+            }
+            ParamsError::NonPositiveThetaS(v) => {
+                write!(f, "theta_s must be positive, got {v}")
+            }
+            ParamsError::ZeroGridCells => write!(f, "grid_cells must be >= 1"),
+            ParamsError::ZeroDelta => write!(f, "delta must be >= 1"),
+            ParamsError::EtaOutOfRange(v) => write!(
+                f,
+                "shedding eta must be in [0, 1] (nucleus radius within theta_d), got {v}"
+            ),
+            ParamsError::NegativeCnlocTolerance(v) => {
+                write!(f, "cnloc_tolerance must be non-negative, got {v}")
+            }
+            ParamsError::ZeroParallelism => write!(f, "parallelism must be >= 1"),
+            ParamsError::ZeroDeadline => write!(f, "deadline_us must be >= 1 when set"),
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
+impl From<ParamsError> for String {
+    fn from(e: ParamsError) -> Self {
+        e.to_string()
+    }
+}
 
 /// How the §3.2 step-1 grid probe interprets "clusters in the proximity of
 /// the current location". Ablation knob for DESIGN.md §3.5 #3.
@@ -83,6 +143,17 @@ pub struct ScubaParams {
     /// effect (default `true`). With one effective shard the per-update
     /// loop runs either way; `false` forces it at any shard count.
     pub batch_ingest: bool,
+    /// Ingestion hardening policy: how the operator treats malformed
+    /// location updates (NaN/out-of-region coordinates, time regressions,
+    /// duplicate keys). [`ValidationPolicy::Off`] — the default — trusts
+    /// the source, matching the paper's setting.
+    pub validation: ValidationPolicy,
+    /// Per-evaluation wall-time budget in microseconds for the adaptive
+    /// overload controller ([`crate::overload::OverloadController`]):
+    /// when evaluation + ingest time repeatedly exceeds it, the operator
+    /// escalates load shedding; when load drops, it relaxes with
+    /// hysteresis. `None` — the default — disables the controller.
+    pub deadline_us: Option<u64>,
 }
 
 impl Default for ScubaParams {
@@ -102,6 +173,8 @@ impl Default for ScubaParams {
             join_cache: true,
             ingest_shards: 0,
             batch_ingest: true,
+            validation: ValidationPolicy::Off,
+            deadline_us: None,
         }
     }
 }
@@ -176,28 +249,50 @@ impl ScubaParams {
         }
     }
 
-    /// Validates parameter ranges.
-    pub fn validate(&self) -> Result<(), String> {
-        if !self.theta_d.is_finite() || self.theta_d <= 0.0 {
-            return Err(format!("theta_d must be positive, got {}", self.theta_d));
+    /// Returns the params with an ingestion validation policy.
+    pub fn with_validation(self, validation: ValidationPolicy) -> Self {
+        ScubaParams { validation, ..self }
+    }
+
+    /// Returns the params with an overload deadline budget (`None`
+    /// disables the adaptive controller).
+    pub fn with_deadline_us(self, deadline_us: Option<u64>) -> Self {
+        ScubaParams {
+            deadline_us,
+            ..self
         }
-        if self.theta_s.is_nan() || self.theta_s < 0.0 {
-            return Err(format!(
-                "theta_s must be non-negative, got {}",
-                self.theta_s
-            ));
+    }
+
+    /// Validating constructor: the params if they can produce a working
+    /// engine, the first defect otherwise. Prefer this over bare struct
+    /// literals at trust boundaries (config files, CLI flags, snapshots).
+    pub fn validated(self) -> Result<Self, ParamsError> {
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), ParamsError> {
+        if !self.theta_d.is_finite() || self.theta_d <= 0.0 {
+            return Err(ParamsError::NonPositiveThetaD(self.theta_d));
+        }
+        if !self.theta_s.is_finite() || self.theta_s <= 0.0 {
+            return Err(ParamsError::NonPositiveThetaS(self.theta_s));
         }
         if self.grid_cells == 0 {
-            return Err("grid_cells must be >= 1".into());
+            return Err(ParamsError::ZeroGridCells);
         }
         if self.delta == 0 {
-            return Err("delta must be >= 1".into());
+            return Err(ParamsError::ZeroDelta);
         }
         if self.cnloc_tolerance.is_nan() || self.cnloc_tolerance < 0.0 {
-            return Err("cnloc_tolerance must be non-negative".into());
+            return Err(ParamsError::NegativeCnlocTolerance(self.cnloc_tolerance));
         }
         if self.parallelism == 0 {
-            return Err("parallelism must be >= 1".into());
+            return Err(ParamsError::ZeroParallelism);
+        }
+        if self.deadline_us == Some(0) {
+            return Err(ParamsError::ZeroDeadline);
         }
         // `ingest_shards` is unbounded above (effective_ingest_shards clamps
         // to the grid) and 0 means "follow parallelism", so any value is
@@ -263,6 +358,78 @@ mod tests {
             ..ScubaParams::default()
         };
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn typed_errors_identify_the_defect() {
+        assert_eq!(
+            ScubaParams::default()
+                .with_thresholds(-1.0, 10.0)
+                .validate()
+                .unwrap_err(),
+            ParamsError::NonPositiveThetaD(-1.0)
+        );
+        assert_eq!(
+            ScubaParams::default()
+                .with_thresholds(100.0, 0.0)
+                .validate()
+                .unwrap_err(),
+            ParamsError::NonPositiveThetaS(0.0)
+        );
+        assert_eq!(
+            ScubaParams {
+                grid_cells: 0,
+                ..ScubaParams::default()
+            }
+            .validate()
+            .unwrap_err(),
+            ParamsError::ZeroGridCells
+        );
+        assert_eq!(
+            ScubaParams::default()
+                .with_deadline_us(Some(0))
+                .validate()
+                .unwrap_err(),
+            ParamsError::ZeroDeadline
+        );
+        assert_eq!(
+            ScubaParams::default()
+                .with_shedding(SheddingMode::Partial { eta: 1.5 })
+                .validate()
+                .unwrap_err(),
+            ParamsError::EtaOutOfRange(1.5)
+        );
+    }
+
+    #[test]
+    fn validated_constructor_and_new_builders() {
+        let p = ScubaParams::default()
+            .with_validation(ValidationPolicy::Reject)
+            .with_deadline_us(Some(500))
+            .validated()
+            .expect("valid params");
+        assert_eq!(p.validation, ValidationPolicy::Reject);
+        assert_eq!(p.deadline_us, Some(500));
+        assert!(ScubaParams::default()
+            .with_deadline_us(Some(0))
+            .validated()
+            .is_err());
+        // Defaults: hardened knobs off, matching the paper's setting.
+        let d = ScubaParams::default();
+        assert_eq!(d.validation, ValidationPolicy::Off);
+        assert_eq!(d.deadline_us, None);
+    }
+
+    #[test]
+    fn errors_render_operator_messages() {
+        let msg: String = ParamsError::NonPositiveThetaD(-2.0).into();
+        assert_eq!(msg, "theta_d must be positive, got -2");
+        assert!(ParamsError::ZeroDeadline
+            .to_string()
+            .contains("deadline_us"));
+        assert!(ParamsError::EtaOutOfRange(7.0)
+            .to_string()
+            .contains("[0, 1]"));
     }
 
     #[test]

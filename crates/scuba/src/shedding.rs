@@ -59,10 +59,10 @@ impl SheddingMode {
     }
 
     /// Validates the mode's parameters.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), crate::params::ParamsError> {
         match self {
             SheddingMode::Partial { eta } if !(0.0..=1.0).contains(eta) => {
-                Err(format!("shedding eta must be in [0, 1], got {eta}"))
+                Err(crate::params::ParamsError::EtaOutOfRange(*eta))
             }
             _ => Ok(()),
         }

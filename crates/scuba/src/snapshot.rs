@@ -131,6 +131,13 @@ impl EngineSnapshot {
     /// the home map and per-cluster member indexes. Fails on internally
     /// inconsistent snapshots (duplicate cluster ids, an entity in two
     /// clusters, ids past the counter).
+    ///
+    /// Operator-level transients are *not* part of a snapshot: wrapping
+    /// the restored engine via [`crate::ScubaOperator::from_engine`]
+    /// recreates the validator and overload controller fresh from the
+    /// restored params (empty dead-letter buffer, ladder at `None`), and
+    /// the join cache starts cold. Only clustering state survives a
+    /// crash, matching what the paper's engine would rebuild.
     pub fn restore(&self) -> Result<ClusterEngine, String> {
         let clusters: Vec<MovingCluster> = self
             .clusters

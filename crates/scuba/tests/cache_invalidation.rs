@@ -351,3 +351,144 @@ fn snapshot_restore_resets_cache() {
         "the restored operator warms back up"
     );
 }
+
+/// The deadline controller escalating *mid-tick* while TTL eviction runs
+/// in the same evaluation: the cached operator must stay bit-identical to
+/// a cache-free twin through the whole episode — escalation plus eviction
+/// never leaves a dangling nucleus member or a stale cache entry behind.
+#[test]
+fn adaptive_escalation_with_ttl_eviction_never_replays_stale() {
+    use std::time::Duration;
+
+    /// One stationary convoy as a tick batch (object ids `tag*100 + k`).
+    fn convoy_batch(tag: u64, centre: Point, n_objects: u64, time: u64) -> Vec<LocationUpdate> {
+        let mut batch: Vec<LocationUpdate> = (0..n_objects)
+            .map(|k| {
+                LocationUpdate::object(
+                    ObjectId(tag * 100 + k),
+                    Point::new(centre.x + k as f64, centre.y),
+                    time,
+                    0.0,
+                    CN,
+                    ObjectAttrs::default(),
+                )
+            })
+            .collect();
+        batch.push(LocationUpdate::query(
+            QueryId(tag),
+            Point::new(centre.x + 1.0, centre.y + 1.0),
+            time,
+            0.0,
+            CN,
+            QueryAttrs {
+                spec: QuerySpec::square_range(40.0),
+            },
+        ));
+        batch
+    }
+
+    // Every scripted tick misses the 1ms deadline, so the controller
+    // climbs a rung every 2 evaluations while convoy 2 (silent after
+    // t=2) ages out under the 6-tick TTL.
+    let params = ScubaParams {
+        entity_ttl: Some(6),
+        ..ScubaParams::default()
+    }
+    .with_deadline_us(Some(1_000));
+    let script = vec![Duration::from_millis(5); 12];
+    let mut cached = ScubaOperator::new(params.with_join_cache(true), Rect::square(AREA))
+        .with_scripted_tick_costs(script.clone());
+    let mut twin = ScubaOperator::new(params.with_join_cache(false), Rect::square(AREA))
+        .with_scripted_tick_costs(script);
+
+    let mut saw_active = false;
+    for t in 1..=12u64 {
+        let mut batch = convoy_batch(1, Point::new(200.0, 200.0), 4, t);
+        if t <= 2 {
+            batch.extend(convoy_batch(2, Point::new(700.0, 700.0), 4, t));
+        }
+        cached.process_batch(&batch);
+        twin.process_batch(&batch);
+        let mut a = cached.evaluate(t).results;
+        let mut b = twin.evaluate(t).results;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "t={t}: cached operator diverged from cache-free twin");
+        assert_eq!(cached.current_shedding(), twin.current_shedding());
+        saw_active |= cached.current_shedding().is_active();
+        cached.engine().check_invariants();
+    }
+
+    assert!(saw_active, "the scripted misses must activate shedding");
+    assert!(
+        cached
+            .engine()
+            .home()
+            .cluster_of(EntityRef::Object(ObjectId(200)))
+            .is_none(),
+        "the silent convoy is evicted despite concurrent escalation"
+    );
+    // Identical state modulo the one deliberately different knob.
+    let mut snap = EngineSnapshot::capture(cached.engine());
+    snap.params.join_cache = false;
+    assert_eq!(snap, EngineSnapshot::capture(twin.engine()));
+}
+
+/// A controller-driven escalation, an entity removal and a staleness
+/// sweep all landing between two evaluations: the next cached join must
+/// recompute (no stale replay of the pre-shed pairs), report nothing for
+/// the departed entities, and leave the cache warm again once quiet.
+#[test]
+fn escalation_with_removal_and_eviction_invalidates_cleanly() {
+    use std::time::Duration;
+
+    use scuba::{OverloadConfig, OverloadController};
+
+    let mut engine = ClusterEngine::new(ScubaParams::default(), Rect::square(AREA));
+    convoy(&mut engine, 1, Point::new(200.0, 200.0), 4, 0);
+    convoy(&mut engine, 2, Point::new(700.0, 700.0), 4, 0);
+    let (mut cache, mut scratch) = (JoinCache::new(), JoinScratch::new());
+
+    let cold = joined(&engine, &mut cache, &mut scratch);
+    assert!(!cold.results.is_empty());
+    let warm = joined(&engine, &mut cache, &mut scratch);
+    assert!(warm.cache_hits >= 2, "both convoys replay when quiet");
+
+    // Two deadline misses escalate the controller; the decision is
+    // applied exactly as the operator applies it: set the mode, then
+    // shed immediately.
+    let mut ctrl =
+        OverloadController::new(OverloadConfig::with_deadline(Duration::from_micros(500)));
+    ctrl.observe(Duration::from_millis(2));
+    let decision = ctrl.observe(Duration::from_millis(2));
+    assert!(decision.escalated());
+    engine.set_shedding(decision.mode_after);
+    assert!(engine.shed_now() > 0, "escalation strips member positions");
+
+    // Same inter-evaluation window: one object deregisters, convoy 1 is
+    // refreshed, and the staleness sweep evicts the rest of convoy 2.
+    assert!(engine.remove_entity(EntityRef::Object(ObjectId(200))));
+    convoy(&mut engine, 1, Point::new(200.0, 200.0), 4, 15);
+    assert!(engine.evict_stale(20, 8) >= 4, "silent convoy 2 ages out");
+    engine.check_invariants();
+
+    let after = joined(&engine, &mut cache, &mut scratch);
+    assert_eq!(after.cache_hits, 0, "nothing replays across the upheaval");
+    assert!(after.cache_invalidations >= 1);
+    assert!(
+        !after.results.iter().any(|m| m.object.0 >= 200),
+        "no stale match for removed or evicted convoy-2 objects"
+    );
+    assert!(
+        engine
+            .home()
+            .cluster_of(EntityRef::Object(ObjectId(200)))
+            .is_none(),
+        "no dangling membership for the removed object"
+    );
+
+    // Quiet again: the shed, shrunken state is itself cacheable.
+    let settled = joined(&engine, &mut cache, &mut scratch);
+    assert_eq!(settled.results, after.results);
+    assert!(settled.cache_hits >= 1, "the survivor warms back up");
+}

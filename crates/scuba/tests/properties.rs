@@ -644,3 +644,51 @@ fn incremental_join_low_churn_replays_from_cache() {
         "three convoys × five warm epochs replay"
     );
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Adaptive shedding is a pure function of the observed tick costs:
+    /// two controllers fed the identical timing stream take identical
+    /// decisions at every tick and end with identical ledgers. This is
+    /// what makes overload incidents replayable from a recorded trace.
+    #[test]
+    fn overload_controller_is_deterministic(
+        costs in prop::collection::vec(0u64..5_000, 1..64),
+        deadline_us in 1u64..2_500,
+    ) {
+        use std::time::Duration;
+        use scuba::{OverloadConfig, OverloadController};
+
+        let config = OverloadConfig::with_deadline(Duration::from_micros(deadline_us));
+        let mut a = OverloadController::new(config.clone());
+        let mut b = OverloadController::new(config);
+        for &us in &costs {
+            let cost = Duration::from_micros(us);
+            prop_assert_eq!(a.observe(cost), b.observe(cost));
+            prop_assert_eq!(a.current(), b.current());
+        }
+        prop_assert_eq!(a.counters(), b.counters());
+    }
+
+    /// A stream that always meets its deadline never sheds: the
+    /// controller records only clean ticks and the mode stays `None`.
+    #[test]
+    fn overload_controller_idles_on_clean_streams(
+        costs in prop::collection::vec(0u64..=1_000, 1..64),
+    ) {
+        use std::time::Duration;
+        use scuba::{OverloadConfig, OverloadController, SheddingMode};
+
+        let mut ctrl = OverloadController::new(OverloadConfig::with_deadline(
+            Duration::from_micros(1_000),
+        ));
+        for &us in &costs {
+            ctrl.observe(Duration::from_micros(us));
+            prop_assert_eq!(ctrl.current(), SheddingMode::None);
+        }
+        let k = ctrl.counters();
+        prop_assert_eq!(k.misses, 0);
+        prop_assert_eq!(k.escalations, 0);
+    }
+}

@@ -65,6 +65,11 @@ pub struct RunReport {
     /// Wall-clock time spent feeding updates into the operator (the
     /// pre-join maintenance cost, separate from the join itself).
     pub ingest_time: Duration,
+    /// Why the run stopped early, if the operator reported a fatal
+    /// condition ([`ContinuousOperator::fault`]); `None` for a completed
+    /// run.
+    #[serde(default)]
+    pub aborted: Option<String>,
 }
 
 impl RunReport {
@@ -134,14 +139,39 @@ impl Executor {
             operator.process_batch(&updates);
             report.ingest_time += sw.elapsed();
             report.updates_ingested += updates.len();
+            if let Some(reason) = operator.fault() {
+                report.aborted = Some(reason);
+                break;
+            }
 
             since_eval += 1;
             if since_eval == self.config.delta {
                 since_eval = 0;
                 report.evaluations.push(operator.evaluate(now));
+                if let Some(reason) = operator.fault() {
+                    report.aborted = Some(reason);
+                    break;
+                }
             }
         }
         report
+    }
+
+    /// Like [`Executor::run`], but routes every tick's batch through a
+    /// [`FaultInjector`](crate::faults::FaultInjector) first, so the
+    /// operator sees the faulted delivery instead of the pristine source.
+    pub fn run_with_faults<S, O>(
+        &self,
+        source: &mut S,
+        operator: &mut O,
+        faults: &mut crate::faults::FaultInjector,
+    ) -> RunReport
+    where
+        S: UpdateSource + ?Sized,
+        O: ContinuousOperator + ?Sized,
+    {
+        let mut faulted = || faults.apply_tick(source.next_tick());
+        self.run(&mut faulted, operator)
     }
 }
 
@@ -277,6 +307,89 @@ mod tests {
             Duration::from_millis(7)
         );
         assert_eq!(report.total_join_time(), Duration::from_millis(7));
+    }
+
+    /// Faults after the third update, like an `Abort`-policy validator.
+    struct FaultingOperator {
+        ingested: usize,
+    }
+
+    impl ContinuousOperator for FaultingOperator {
+        fn process_update(&mut self, _update: &LocationUpdate) {
+            self.ingested += 1;
+        }
+
+        fn evaluate(&mut self, now: Time) -> EvaluationReport {
+            EvaluationReport {
+                now,
+                ..Default::default()
+            }
+        }
+
+        fn name(&self) -> &str {
+            "faulting"
+        }
+
+        fn fault(&self) -> Option<String> {
+            (self.ingested >= 3).then(|| "bad input".to_string())
+        }
+    }
+
+    #[test]
+    fn operator_fault_aborts_the_run() {
+        let mut op = FaultingOperator { ingested: 0 };
+        let mut source = || vec![one_update()];
+        let exec = Executor::new(ExecutorConfig {
+            delta: 2,
+            duration: 10,
+        });
+        let report = exec.run(&mut source, &mut op);
+        assert_eq!(report.aborted.as_deref(), Some("bad input"));
+        assert_eq!(report.updates_ingested, 3, "stops at the faulting tick");
+        assert_eq!(
+            report.evaluations.len(),
+            1,
+            "the t=2 evaluation ran before the fault at t=3"
+        );
+    }
+
+    #[test]
+    fn completed_run_is_not_aborted() {
+        let mut op = CountingOperator {
+            ingested: 0,
+            evaluations: vec![],
+        };
+        let mut source = || vec![one_update()];
+        let exec = Executor::new(ExecutorConfig {
+            delta: 2,
+            duration: 4,
+        });
+        assert_eq!(exec.run(&mut source, &mut op).aborted, None);
+    }
+
+    #[test]
+    fn run_with_faults_applies_the_plan() {
+        use crate::faults::{FaultInjector, FaultPlan};
+        let mut op = CountingOperator {
+            ingested: 0,
+            evaluations: vec![],
+        };
+        let mut source = || vec![one_update(), one_update()];
+        let exec = Executor::new(ExecutorConfig {
+            delta: 2,
+            duration: 20,
+        });
+        let mut inj = FaultInjector::new(FaultPlan {
+            seed: 5,
+            drop_prob: 0.5,
+            ..FaultPlan::default()
+        });
+        let report = exec.run_with_faults(&mut source, &mut op, &mut inj);
+        assert!(report.updates_ingested < 40, "drops thinned the stream");
+        assert_eq!(
+            report.updates_ingested as u64,
+            40 - inj.stats().dropped - inj.stats().deferred
+        );
     }
 
     #[test]

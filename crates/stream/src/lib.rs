@@ -18,7 +18,13 @@
 //!   "location updates arrive via data streams" aspect of §2;
 //! * shared [`metrics`] describing join time, maintenance time, memory
 //!   consumption and result cardinality — the measured quantities of every
-//!   experiment in §6.
+//!   experiment in §6;
+//! * a [`validate`] front-end quarantining malformed updates before they
+//!   can reach (and corrupt) operator state, under a configurable
+//!   [`ValidationPolicy`];
+//! * a seeded [`faults`] injector replaying deterministic transport faults
+//!   (drop / duplicate / reorder / corrupt / stall) between source and
+//!   operator for robustness tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,14 +32,20 @@
 
 pub mod channel;
 pub mod executor;
+pub mod faults;
 pub mod metrics;
 pub mod operator;
 pub mod trace;
+pub mod validate;
 
 pub use executor::{Executor, ExecutorConfig, RunReport, UpdateSource};
+pub use faults::{FaultInjector, FaultPlan, FaultStats};
 pub use metrics::{MetricsHub, Stopwatch};
 pub use operator::{
     ContinuousOperator, EvaluationReport, PhaseBreakdown, PhaseKind, QueryMatch, StageRow,
     StageStats,
 };
 pub use trace::{TraceReader, TraceWriter};
+pub use validate::{
+    DeadLetter, RejectReason, UpdateValidator, ValidationPolicy, ValidationStats, Verdict,
+};

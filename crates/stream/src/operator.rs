@@ -372,6 +372,16 @@ pub trait ContinuousOperator {
     fn clusters_live(&self) -> Option<usize> {
         None
     }
+
+    /// A fatal condition the operator has entered, if any. The executor
+    /// polls this after every ingest and evaluation; a `Some` stops the
+    /// run and surfaces the reason in
+    /// [`crate::executor::RunReport::aborted`]. Operators use it to refuse
+    /// to continue past a broken input contract (e.g. validation policy
+    /// `Abort`) instead of silently producing wrong answers.
+    fn fault(&self) -> Option<String> {
+        None
+    }
 }
 
 #[cfg(test)]
