@@ -22,7 +22,7 @@ use serde::Serialize;
 
 use scuba::{ScubaOperator, ScubaParams};
 use scuba_bench::table::{f1, TextTable};
-use scuba_bench::ExperimentScale;
+use scuba_bench::{BenchOutput, ExperimentScale};
 use scuba_motion::{LocationUpdate, ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec};
 use scuba_spatial::{Point, Rect, Time};
 use scuba_stream::{ContinuousOperator, Stopwatch};
@@ -303,29 +303,17 @@ fn main() {
     } else {
         6
     };
-    let mut out_path = "BENCH_ingest_throughput.json".to_string();
-    let mut json_stdout = false;
-    let mut i = 0;
-    while i < rest.len() {
-        match rest[i].as_str() {
-            "--out" => {
-                if let Some(v) = rest.get(i + 1) {
-                    out_path = v.clone();
-                    i += 2;
-                } else {
-                    eprintln!("error: --out requires a value");
-                    std::process::exit(2);
-                }
-            }
-            "--json" => {
-                json_stdout = true;
-                i += 1;
-            }
-            other => {
-                eprintln!("error: unknown option '{other}'");
-                std::process::exit(2);
-            }
+    let mut rest = rest;
+    let out = match BenchOutput::take_from(&mut rest, "BENCH_ingest_throughput.json") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
         }
+    };
+    if let Some(other) = rest.first() {
+        eprintln!("error: unknown option '{other}'");
+        std::process::exit(2);
     }
 
     eprintln!(
@@ -354,20 +342,12 @@ fn main() {
 
     // Table before JSON: the measurements survive even where JSON
     // serialisation is unavailable (offline stub builds).
-    if !json_stdout {
+    if !out.json_stdout {
         print_table(&payload);
     }
 
     let json = serde_json::to_string_pretty(&payload).expect("payload serialises");
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
-        eprintln!("error: cannot write {out_path}: {e}");
-        std::process::exit(2);
-    });
-    eprintln!("wrote {out_path}");
-
-    if json_stdout {
-        println!("{json}");
-    }
+    out.emit(&json);
 }
 
 fn print_table(payload: &IngestOut) {

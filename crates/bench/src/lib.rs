@@ -16,8 +16,10 @@
 
 pub mod config;
 pub mod figures;
+pub mod output;
 pub mod runner;
 pub mod table;
 
 pub use config::ExperimentScale;
+pub use output::BenchOutput;
 pub use runner::{run_operator, run_regular, run_scuba, OperatorRun};

@@ -1,0 +1,121 @@
+//! Shared `--out FILE` / `--json` handling for the bench binaries.
+//!
+//! Every `BENCH_*.json`-emitting binary accepts the same two flags:
+//!
+//! * `--out FILE` — where to write the JSON payload. The default resolves
+//!   against the **workspace root** (not the current directory), so
+//!   `cargo run --bin epochs` from anywhere in the tree lands
+//!   `BENCH_incremental_join.json` next to `Cargo.toml` where CI collects
+//!   the artefacts.
+//! * `--json` — additionally print the payload to stdout (suppressing the
+//!   human-readable table, when the binary has one).
+//!
+//! [`BenchOutput::take_from`] extracts the two flags from an argument
+//! list, leaving every other argument in place for the binary's own
+//! parser, so binaries with extra options (`overload --deadline-us`)
+//! compose without re-implementing the loop.
+
+use std::path::Path;
+
+/// Parsed output options for one bench binary.
+#[derive(Debug, Clone)]
+pub struct BenchOutput {
+    /// Where the JSON payload is written.
+    pub out_path: String,
+    /// Whether to also print the payload to stdout (`--json`).
+    pub json_stdout: bool,
+}
+
+/// The workspace root, resolved at compile time from the bench crate's
+/// manifest directory (`crates/bench` → two levels up).
+pub fn workspace_root() -> &'static Path {
+    static ROOT: &str = env!("CARGO_MANIFEST_DIR");
+    Path::new(ROOT)
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the workspace root")
+}
+
+/// Default output path for a payload file name: `<workspace root>/<name>`.
+pub fn default_out(name: &str) -> String {
+    workspace_root().join(name).to_string_lossy().into_owned()
+}
+
+impl BenchOutput {
+    /// Extracts `--out FILE` and `--json` from `rest` (removing them),
+    /// leaving every other argument for the caller. `default_name` is the
+    /// payload file name used when `--out` is absent, placed at the
+    /// workspace root.
+    pub fn take_from(rest: &mut Vec<String>, default_name: &str) -> Result<BenchOutput, String> {
+        let mut out_path = None;
+        let mut json_stdout = false;
+        let mut i = 0;
+        while i < rest.len() {
+            match rest[i].as_str() {
+                "--out" => {
+                    if i + 1 >= rest.len() {
+                        return Err("--out requires a value".to_string());
+                    }
+                    out_path = Some(rest.remove(i + 1));
+                    rest.remove(i);
+                }
+                "--json" => {
+                    json_stdout = true;
+                    rest.remove(i);
+                }
+                _ => i += 1,
+            }
+        }
+        Ok(BenchOutput {
+            out_path: out_path.unwrap_or_else(|| default_out(default_name)),
+            json_stdout,
+        })
+    }
+
+    /// Writes the payload to `out_path` (exiting with an error on failure)
+    /// and prints it to stdout when `--json` was given. Callers print
+    /// their human-readable table afterwards iff `json_stdout` is false.
+    pub fn emit(&self, json: &str) {
+        std::fs::write(&self.out_path, json).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {}: {e}", self.out_path);
+            std::process::exit(2);
+        });
+        eprintln!("wrote {}", self.out_path);
+        if self.json_stdout {
+            println!("{json}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_resolve_at_workspace_root() {
+        let mut rest = args(&[]);
+        let out = BenchOutput::take_from(&mut rest, "BENCH_x.json").unwrap();
+        assert!(!out.json_stdout);
+        assert_eq!(Path::new(&out.out_path).parent().unwrap(), workspace_root());
+        assert!(out.out_path.ends_with("BENCH_x.json"));
+    }
+
+    #[test]
+    fn takes_flags_and_leaves_the_rest() {
+        let mut rest = args(&["--deadline-us", "500", "--out", "custom.json", "--json"]);
+        let out = BenchOutput::take_from(&mut rest, "BENCH_x.json").unwrap();
+        assert_eq!(out.out_path, "custom.json");
+        assert!(out.json_stdout);
+        assert_eq!(rest, args(&["--deadline-us", "500"]));
+    }
+
+    #[test]
+    fn out_without_value_is_an_error() {
+        let mut rest = args(&["--out"]);
+        assert!(BenchOutput::take_from(&mut rest, "BENCH_x.json").is_err());
+    }
+}

@@ -15,14 +15,25 @@
 //! fits its current cluster leaves it (dissolving the cluster if it became
 //! empty) and is re-clustered from step 1; an entity that still fits simply
 //! refreshes its relative position.
+//!
+//! Cluster storage is the generational [`ClusterStore`]: every hot path
+//! addresses clusters by dense [`ClusterSlot`] handles (the grid, the home
+//! map, the join kernel), while [`ClusterId`] remains the durable public
+//! identity. All maintenance loops iterate in slot order, which is
+//! deterministic for a given update history.
 
 use scuba_motion::{EntityAttrs, LocationUpdate};
-use scuba_spatial::{FxHashMap, GridSpec, Rect, Time};
+use scuba_spatial::{Circle, GridSpec, Rect, Time};
 
 use crate::cluster::{ClusterId, MovingCluster};
 use crate::grid::ClusterGrid;
 use crate::params::ScubaParams;
+use crate::store::{ClusterSlot, ClusterStore};
 use crate::tables::{ClusterHome, ObjectsTable, QueriesTable};
+
+// Re-exported here for backwards compatibility: the tracker used to live in
+// this module before it became a dense per-slot table in [`crate::store`].
+pub use crate::store::EpochTracker;
 
 /// Counters describing clustering activity, for tests and experiments.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -41,70 +52,12 @@ pub struct ClusteringStats {
     pub positions_shed: u64,
 }
 
-/// A mutation clock over clusters, answering "has cluster `c` changed
-/// since epoch `e`?" in O(1).
-///
-/// Every join-relevant mutation of a cluster — membership churn, centroid
-/// relocation, radius tightening, position shedding — bumps a global clock
-/// and stamps the cluster with it. A consumer (the
-/// [`crate::join::JoinCache`]) records the clock value at which it computed
-/// a result; the result is still valid iff every input cluster's stamp is
-/// ≤ that recorded value. Dissolved clusters lose their stamp entirely and
-/// report [`u64::MAX`], so no stale cache entry can ever revalidate against
-/// a recycled id.
-#[derive(Debug, Clone, Default)]
-pub struct EpochTracker {
-    clock: u64,
-    marks: FxHashMap<ClusterId, u64>,
-}
-
-impl EpochTracker {
-    /// A fresh tracker with an empty history.
-    pub fn new() -> Self {
-        EpochTracker::default()
-    }
-
-    /// The current clock value. Results computed while reading the engine
-    /// at this instant should record this value as their epoch.
-    #[inline]
-    pub fn clock(&self) -> u64 {
-        self.clock
-    }
-
-    /// Records a join-relevant mutation of `cid`.
-    #[inline]
-    pub fn touch(&mut self, cid: ClusterId) {
-        self.clock += 1;
-        self.marks.insert(cid, self.clock);
-    }
-
-    /// Forgets `cid` (it was dissolved); it reports as always-dirty from
-    /// now on.
-    #[inline]
-    pub fn forget(&mut self, cid: ClusterId) {
-        self.marks.remove(&cid);
-    }
-
-    /// The clock value of `cid`'s last mutation; [`u64::MAX`] for unknown
-    /// (dissolved or never-seen) clusters.
-    #[inline]
-    pub fn mark(&self, cid: ClusterId) -> u64 {
-        self.marks.get(&cid).copied().unwrap_or(u64::MAX)
-    }
-
-    /// Whether `cid` has not mutated since clock value `epoch`.
-    #[inline]
-    pub fn clean_since(&self, cid: ClusterId, epoch: u64) -> bool {
-        self.mark(cid) <= epoch
-    }
-}
-
-/// The clustering state machine: storage + home + grid + tables.
+/// The clustering state machine: store + home + grid + tables.
 #[derive(Debug)]
 pub struct ClusterEngine {
     params: ScubaParams,
     grid: ClusterGrid,
-    clusters: FxHashMap<ClusterId, MovingCluster>,
+    store: ClusterStore,
     home: ClusterHome,
     objects: ObjectsTable,
     queries: QueriesTable,
@@ -112,9 +65,7 @@ pub struct ClusterEngine {
     stats: ClusteringStats,
     updates_processed: u64,
     /// Reusable buffer for grid probes (hot path, once per update).
-    probe_scratch: Vec<ClusterId>,
-    /// Per-cluster mutation clock for the incremental join.
-    epochs: EpochTracker,
+    probe_scratch: Vec<ClusterSlot>,
 }
 
 impl ClusterEngine {
@@ -126,7 +77,7 @@ impl ClusterEngine {
         ClusterEngine {
             params,
             grid: ClusterGrid::new(GridSpec::new(area, params.grid_cells)),
-            clusters: FxHashMap::default(),
+            store: ClusterStore::new(),
             home: ClusterHome::new(),
             objects: ObjectsTable::new(),
             queries: QueriesTable::new(),
@@ -134,7 +85,6 @@ impl ClusterEngine {
             stats: ClusteringStats::default(),
             updates_processed: 0,
             probe_scratch: Vec::new(),
-            epochs: EpochTracker::new(),
         }
     }
 
@@ -150,17 +100,34 @@ impl ClusterEngine {
         &self.grid
     }
 
-    /// All live clusters.
-    pub fn clusters(&self) -> &FxHashMap<ClusterId, MovingCluster> {
-        &self.clusters
+    /// The cluster store (all live clusters). Alias of
+    /// [`ClusterEngine::store`], kept for the many call sites that read
+    /// "the engine's clusters".
+    pub fn clusters(&self) -> &ClusterStore {
+        &self.store
     }
 
-    /// One cluster by id.
+    /// The generational cluster store.
+    pub fn store(&self) -> &ClusterStore {
+        &self.store
+    }
+
+    /// One cluster by durable id (cold path: hashes).
     pub fn cluster(&self, cid: ClusterId) -> Option<&MovingCluster> {
-        self.clusters.get(&cid)
+        self.store.get_by_id(cid)
     }
 
-    /// The entity → cluster map.
+    /// One cluster by slot handle (hot path: indexed load).
+    pub fn cluster_at(&self, slot: ClusterSlot) -> Option<&MovingCluster> {
+        self.store.get(slot)
+    }
+
+    /// The slot currently holding cluster `cid`.
+    pub fn slot_of(&self, cid: ClusterId) -> Option<ClusterSlot> {
+        self.store.slot_of(cid)
+    }
+
+    /// The entity → cluster-slot map.
     pub fn home(&self) -> &ClusterHome {
         &self.home
     }
@@ -185,14 +152,14 @@ impl ClusterEngine {
         self.updates_processed
     }
 
-    /// The per-cluster mutation clock (incremental-join dirty tracking).
+    /// The per-slot mutation clock (incremental-join dirty tracking).
     pub fn epochs(&self) -> &EpochTracker {
-        &self.epochs
+        self.store.epochs()
     }
 
     /// Number of live clusters.
     pub fn cluster_count(&self) -> usize {
-        self.clusters.len()
+        self.store.len()
     }
 
     /// The coverage area the grid was built over.
@@ -207,8 +174,8 @@ impl ClusterEngine {
 
     /// Restores an engine from previously captured state: parameters,
     /// area, cluster set (with members), attribute tables and the id
-    /// counter. The grid and home map are rebuilt. Used by
-    /// [`crate::snapshot`].
+    /// counter. The store (with fresh slots and generations), grid and home
+    /// map are rebuilt. Used by [`crate::snapshot`].
     pub fn restore(
         params: ScubaParams,
         area: Rect,
@@ -231,15 +198,18 @@ impl ClusterEngine {
                     cluster.cid.0
                 ));
             }
-            for member in cluster.members() {
-                if engine.home.assign(member.entity, cluster.cid).is_some() {
-                    return Err(format!("entity {} appears in two clusters", member.entity));
-                }
-            }
-            engine.grid.insert(cluster.cid, &cluster.effective_region());
-            engine.epochs.touch(cluster.cid);
-            if engine.clusters.insert(cluster.cid, cluster).is_some() {
+            if engine.store.slot_of(cluster.cid).is_some() {
                 return Err("duplicate cluster id in snapshot".into());
+            }
+            let region = cluster.effective_region();
+            let members: Vec<scuba_motion::EntityRef> =
+                cluster.members().iter().map(|m| m.entity).collect();
+            let slot = engine.store.insert(cluster);
+            engine.grid.insert(slot, &region);
+            for entity in members {
+                if engine.home.assign(entity, slot).is_some() {
+                    return Err(format!("entity {entity} appears in two clusters"));
+                }
             }
         }
         Ok(engine)
@@ -255,8 +225,14 @@ impl ClusterEngine {
 
         // An entity already in a cluster either refreshes in place or
         // leaves before re-clustering.
-        if let Some(cid) = self.home.cluster_of(update.entity) {
-            let still_fits = self.clusters.get(&cid).is_some_and(|c| {
+        if let Some(slot) = self.home.cluster_of(update.entity) {
+            debug_assert!(
+                self.store
+                    .get(slot)
+                    .is_some_and(|c| c.contains(update.entity)),
+                "home points at a slot not holding the entity"
+            );
+            let still_fits = self.store.get(slot).is_some_and(|c| {
                 c.can_absorb(
                     update,
                     self.params.theta_d,
@@ -265,10 +241,10 @@ impl ClusterEngine {
                 )
             });
             if still_fits {
-                self.refresh_member(update, cid);
+                self.refresh_member(update, slot);
                 return;
             }
-            self.evict(update, cid);
+            self.evict(update, slot);
         }
 
         // Step 1: probe the grid for candidates near the update. Probing
@@ -289,8 +265,8 @@ impl ClusterEngine {
             }
         }
         // Steps 3–4: the first candidate satisfying all conditions absorbs.
-        let chosen = candidates.iter().copied().find(|cid| {
-            self.clusters.get(cid).is_some_and(|c| {
+        let chosen = candidates.iter().copied().find(|slot| {
+            self.store.get(*slot).is_some_and(|c| {
                 c.can_absorb(
                     update,
                     self.params.theta_d,
@@ -303,7 +279,7 @@ impl ClusterEngine {
         self.probe_scratch = candidates;
 
         match chosen {
-            Some(cid) => self.absorb_into(update, cid),
+            Some(slot) => self.absorb_into(update, slot),
             // Steps 2 / 5: found a new single-member cluster.
             None => {
                 self.found_cluster(update);
@@ -328,42 +304,46 @@ impl ClusterEngine {
     }
 
     /// Refreshes `update.entity` in place inside its (still fitting) home
-    /// cluster `cid`.
-    fn refresh_member(&mut self, update: &LocationUpdate, cid: ClusterId) {
-        let cluster = self.clusters.get_mut(&cid).expect("home cluster exists");
-        let shed = Self::shed_decision(&self.params, cluster, update);
-        let region_before = cluster.effective_region();
-        cluster.update_member(update, shed);
+    /// cluster at `slot`.
+    fn refresh_member(&mut self, update: &LocationUpdate, slot: ClusterSlot) {
+        let params = &self.params;
+        let (shed, region_before, region) = self.store.update(slot, |cluster| {
+            let shed = Self::shed_decision(params, cluster, update);
+            let before = cluster.effective_region();
+            cluster.update_member(update, shed);
+            (shed, before, cluster.effective_region())
+        });
         if shed {
             self.stats.positions_shed += 1;
         }
         self.stats.refreshes += 1;
-        self.epochs.touch(cid);
+        self.store.touch(slot);
         // Re-register whenever the effective region changed at all — a
         // grown reach extends the covered cell set, and a moved centroid
         // would relocate it outright. (`ClusterGrid::insert` already
         // no-ops when the cell set is unchanged, so the common
         // refresh-in-place stays cheap.)
-        let region = cluster.effective_region();
         if region != region_before {
-            self.grid.insert(cid, &region);
+            self.grid.insert(slot, &region);
         }
     }
 
-    /// Absorbs `update.entity` into cluster `cid` (steps 3–4 of the
+    /// Absorbs `update.entity` into the cluster at `slot` (steps 3–4 of the
     /// Leader–Follower walk, after the probe chose the candidate).
-    fn absorb_into(&mut self, update: &LocationUpdate, cid: ClusterId) {
-        let cluster = self.clusters.get_mut(&cid).expect("candidate exists");
-        let shed = Self::shed_decision(&self.params, cluster, update);
-        cluster.absorb(update, shed);
+    fn absorb_into(&mut self, update: &LocationUpdate, slot: ClusterSlot) {
+        let params = &self.params;
+        let (shed, region) = self.store.update(slot, |cluster| {
+            let shed = Self::shed_decision(params, cluster, update);
+            cluster.absorb(update, shed);
+            (shed, cluster.effective_region())
+        });
         if shed {
             self.stats.positions_shed += 1;
         }
-        let region = cluster.effective_region();
-        self.grid.insert(cid, &region);
-        self.home.assign(update.entity, cid);
+        self.grid.insert(slot, &region);
+        self.home.assign(update.entity, slot);
         self.stats.absorptions += 1;
-        self.epochs.touch(cid);
+        self.store.touch(slot);
     }
 
     /// Replays one planned update from the sharded batch-ingestion path
@@ -371,23 +351,23 @@ impl ClusterEngine {
     /// target / found — was precomputed by a shard planner, so this is
     /// [`ClusterEngine::process_update`] with the probe skipped. Applied
     /// sequentially in canonical batch order, it produces bit-identical
-    /// state. Returns the new cluster id when the action founds one.
+    /// state. Returns the new cluster's slot when the action founds one.
     pub(crate) fn apply_planned(
         &mut self,
         update: &LocationUpdate,
         action: crate::ingest::ResolvedAction,
-    ) -> Option<ClusterId> {
+    ) -> Option<ClusterSlot> {
         use crate::ingest::ResolvedAction;
         self.updates_processed += 1;
         self.upsert_attrs(update);
         match action {
             ResolvedAction::Refresh => {
-                let cid = self
+                let slot = self
                     .home
                     .cluster_of(update.entity)
                     .expect("planned refresh has a home cluster");
                 debug_assert!(
-                    self.clusters.get(&cid).is_some_and(|c| c.can_absorb(
+                    self.store.get(slot).is_some_and(|c| c.can_absorb(
                         update,
                         self.params.theta_d,
                         self.params.theta_s,
@@ -395,7 +375,7 @@ impl ClusterEngine {
                     )),
                     "shard planner diverged: refresh target no longer fits"
                 );
-                self.refresh_member(update, cid);
+                self.refresh_member(update, slot);
                 None
             }
             ResolvedAction::Join { evicted, target } => {
@@ -404,13 +384,13 @@ impl ClusterEngine {
                     evicted,
                     "shard planner diverged on the home cluster"
                 );
-                if let Some(cid) = evicted {
-                    self.evict(update, cid);
+                if let Some(slot) = evicted {
+                    self.evict(update, slot);
                 }
                 match target {
-                    Some(cid) => {
+                    Some(slot) => {
                         debug_assert!(
-                            self.clusters.get(&cid).is_some_and(|c| c.can_absorb(
+                            self.store.get(slot).is_some_and(|c| c.can_absorb(
                                 update,
                                 self.params.theta_d,
                                 self.params.theta_s,
@@ -418,14 +398,10 @@ impl ClusterEngine {
                             )),
                             "shard planner diverged: absorb target no longer fits"
                         );
-                        self.absorb_into(update, cid);
+                        self.absorb_into(update, slot);
                         None
                     }
-                    None => {
-                        let cid = ClusterId(self.next_cid);
-                        self.found_cluster(update);
-                        Some(cid)
-                    }
+                    None => Some(self.found_cluster(update)),
                 }
             }
         }
@@ -447,22 +423,25 @@ impl ClusterEngine {
         params.shedding.sheds_at(r, params.theta_d)
     }
 
-    fn evict(&mut self, update: &LocationUpdate, cid: ClusterId) {
+    fn evict(&mut self, update: &LocationUpdate, slot: ClusterSlot) {
         self.home.unassign(update.entity);
-        let emptied = if let Some(cluster) = self.clusters.get_mut(&cid) {
-            cluster.remove_member(update.entity);
-            self.epochs.touch(cid);
-            cluster.is_empty()
+        let emptied = if self.store.contains(slot) {
+            let emptied = self.store.update(slot, |cluster| {
+                cluster.remove_member(update.entity);
+                cluster.is_empty()
+            });
+            self.store.touch(slot);
+            emptied
         } else {
             false
         };
         self.stats.evictions += 1;
         if emptied {
-            self.dissolve(cid);
+            self.dissolve_slot(slot);
         }
     }
 
-    fn found_cluster(&mut self, update: &LocationUpdate) {
+    fn found_cluster(&mut self, update: &LocationUpdate) -> ClusterSlot {
         let cid = ClusterId(self.next_cid);
         self.next_cid += 1;
         // A founder sits exactly at the centroid (r = 0), so any active
@@ -473,24 +452,30 @@ impl ClusterEngine {
         if shed {
             self.stats.positions_shed += 1;
         }
-        self.grid.insert(cid, &cluster.effective_region());
-        self.clusters.insert(cid, cluster);
-        self.home.assign(update.entity, cid);
+        let region = cluster.effective_region();
+        let slot = self.store.insert(cluster);
+        self.grid.insert(slot, &region);
+        self.home.assign(update.entity, slot);
         self.stats.clusters_formed += 1;
-        self.epochs.touch(cid);
+        slot
     }
 
-    /// Dissolves a cluster: members lose their membership and will
+    /// Dissolves a cluster by id: members lose their membership and will
     /// re-cluster with their next updates.
     pub fn dissolve(&mut self, cid: ClusterId) {
-        if let Some(cluster) = self.clusters.remove(&cid) {
-            for member in cluster.members() {
-                self.home.unassign(member.entity);
-            }
-            self.grid.remove(cid);
-            self.stats.dissolutions += 1;
-            self.epochs.forget(cid);
+        if let Some(slot) = self.store.slot_of(cid) {
+            self.dissolve_slot(slot);
         }
+    }
+
+    /// Dissolves the cluster at `slot`, freeing the slot for reuse.
+    fn dissolve_slot(&mut self, slot: ClusterSlot) {
+        let cluster = self.store.remove(slot);
+        for member in cluster.members() {
+            self.home.unassign(member.entity);
+        }
+        self.grid.remove(slot);
+        self.stats.dissolutions += 1;
     }
 
     /// Removes an entity entirely: its cluster membership *and* its
@@ -502,17 +487,20 @@ impl ClusterEngine {
             scuba_motion::EntityRef::Object(id) => self.objects.remove(id).is_some(),
             scuba_motion::EntityRef::Query(id) => self.queries.remove(id).is_some(),
         };
-        if let Some(cid) = self.home.unassign(entity) {
+        if let Some(slot) = self.home.unassign(entity) {
             known = true;
-            let emptied = if let Some(cluster) = self.clusters.get_mut(&cid) {
-                cluster.remove_member(entity);
-                self.epochs.touch(cid);
-                cluster.is_empty()
+            let emptied = if self.store.contains(slot) {
+                let emptied = self.store.update(slot, |cluster| {
+                    cluster.remove_member(entity);
+                    cluster.is_empty()
+                });
+                self.store.touch(slot);
+                emptied
             } else {
                 false
             };
             if emptied {
-                self.dissolve(cid);
+                self.dissolve_slot(slot);
             }
         }
         known
@@ -525,7 +513,7 @@ impl ClusterEngine {
     pub fn evict_stale(&mut self, now: Time, ttl: u64) -> usize {
         let cutoff = now.saturating_sub(ttl);
         let mut stale: Vec<scuba_motion::EntityRef> = Vec::new();
-        for cluster in self.clusters.values() {
+        for cluster in self.store.values() {
             for member in cluster.members() {
                 if member.last_seen < cutoff {
                     stale.push(member.entity);
@@ -546,17 +534,21 @@ impl ClusterEngine {
     }
 
     /// Immediately sheds the positions of all members inside the active
-    /// nucleus, across every cluster, returning how many positions were
-    /// discarded. A no-op when shedding is inactive.
+    /// nucleus, across every cluster (in slot order), returning how many
+    /// positions were discarded. A no-op when shedding is inactive.
     pub fn shed_now(&mut self) -> u64 {
         let Some(nucleus) = self.params.shedding.nucleus_radius(self.params.theta_d) else {
             return 0;
         };
         let mut shed = 0u64;
-        for (cid, cluster) in &mut self.clusters {
-            let dropped = cluster.shed_nucleus(nucleus) as u64;
+        for i in 0..self.store.capacity() {
+            let slot = ClusterSlot(i as u32);
+            if !self.store.contains(slot) {
+                continue;
+            }
+            let dropped = self.store.update(slot, |c| c.shed_nucleus(nucleus)) as u64;
             if dropped > 0 {
-                self.epochs.touch(*cid);
+                self.store.touch(slot);
             }
             shed += dropped;
         }
@@ -575,17 +567,24 @@ impl ClusterEngine {
             .nucleus_radius(self.params.theta_d)
             .unwrap_or(0.0)
             .min(self.params.theta_d);
-        let mut reregister = Vec::new();
-        for (cid, cluster) in &mut self.clusters {
-            let before = cluster.radius();
-            cluster.tighten(shed_floor);
-            if cluster.radius() < before {
-                reregister.push((*cid, cluster.effective_region()));
+        let mut reregister: Vec<(ClusterSlot, Circle)> = Vec::new();
+        for i in 0..self.store.capacity() {
+            let slot = ClusterSlot(i as u32);
+            if !self.store.contains(slot) {
+                continue;
+            }
+            let tightened = self.store.update(slot, |cluster| {
+                let before = cluster.radius();
+                cluster.tighten(shed_floor);
+                (cluster.radius() < before).then(|| cluster.effective_region())
+            });
+            if let Some(region) = tightened {
+                reregister.push((slot, region));
             }
         }
-        for (cid, region) in reregister {
-            self.grid.insert(cid, &region);
-            self.epochs.touch(cid);
+        for (slot, region) in reregister {
+            self.grid.insert(slot, &region);
+            self.store.touch(slot);
         }
     }
 
@@ -601,50 +600,62 @@ impl ClusterEngine {
             self.evict_stale(now, ttl);
         }
         let dt = self.params.delta as f64;
-        let mut to_dissolve = Vec::new();
-        let mut relocated = Vec::new();
-        for (cid, cluster) in &mut self.clusters {
-            if cluster.is_empty() || cluster.passes_destination_within(dt) {
-                to_dissolve.push(*cid);
-            } else if cluster.advance(dt) {
+        enum Fate {
+            Dissolve,
+            Moved(Circle),
+            Still,
+        }
+        let mut to_dissolve: Vec<ClusterSlot> = Vec::new();
+        let mut relocated: Vec<(ClusterSlot, Circle)> = Vec::new();
+        for i in 0..self.store.capacity() {
+            let slot = ClusterSlot(i as u32);
+            if !self.store.contains(slot) {
+                continue;
+            }
+            let fate = self.store.update(slot, |cluster| {
+                if cluster.is_empty() || cluster.passes_destination_within(dt) {
+                    Fate::Dissolve
+                } else if cluster.advance(dt) {
+                    Fate::Moved(cluster.effective_region())
+                } else {
+                    Fate::Still
+                }
+            });
+            match fate {
+                Fate::Dissolve => to_dissolve.push(slot),
                 // Only clusters whose centroid actually moved dirty the
                 // epoch tracker — stationary clusters stay cache-clean.
-                relocated.push((*cid, cluster.effective_region()));
+                Fate::Moved(region) => relocated.push((slot, region)),
+                Fate::Still => {}
             }
         }
-        for cid in to_dissolve {
-            self.dissolve(cid);
+        for slot in to_dissolve {
+            self.dissolve_slot(slot);
         }
-        for (cid, region) in relocated {
-            self.grid.insert(cid, &region);
-            self.epochs.touch(cid);
+        for (slot, region) in relocated {
+            self.grid.insert(slot, &region);
+            self.store.touch(slot);
         }
         self.stats
     }
 
     /// Estimated bytes of all in-memory state (the Fig. 9b measure).
     pub fn estimated_bytes(&self) -> usize {
-        let clusters: usize = self
-            .clusters
-            .values()
-            .map(MovingCluster::estimated_bytes)
-            .sum();
-        clusters
+        self.store.estimated_bytes()
             + self.grid.estimated_bytes()
             + self.home.estimated_bytes()
             + self.objects.estimated_bytes()
             + self.queries.estimated_bytes()
     }
 
-    /// Debug invariant check used by tests: home, storage and grid agree.
+    /// Debug invariant check used by tests: home, store and grid agree.
     pub fn check_invariants(&self) {
-        for (cid, cluster) in &self.clusters {
-            assert_eq!(*cid, cluster.cid, "storage key mismatch");
-            assert!(!cluster.is_empty(), "live cluster {cid:?} is empty");
-            assert_ne!(
-                self.epochs.mark(*cid),
-                u64::MAX,
-                "live cluster {cid:?} has no epoch mark"
+        self.store.check_coherent();
+        for (slot, cluster) in self.store.iter() {
+            assert!(
+                !cluster.is_empty(),
+                "live cluster {:?} is empty",
+                cluster.cid
             );
             assert_eq!(
                 cluster.object_count() + cluster.query_count(),
@@ -654,7 +665,7 @@ impl ClusterEngine {
             for member in cluster.members() {
                 assert_eq!(
                     self.home.cluster_of(member.entity),
-                    Some(*cid),
+                    Some(slot),
                     "home disagrees for {}",
                     member.entity
                 );
@@ -670,12 +681,12 @@ impl ClusterEngine {
                 }
             }
         }
-        let member_total: usize = self.clusters.values().map(MovingCluster::len).sum();
+        let member_total: usize = self.store.values().map(MovingCluster::len).sum();
         assert_eq!(member_total, self.home.len(), "home size mismatch");
         // The grid must reflect every cluster's *current* effective region
         // — a stale registration would make the step-1 probe (and the
         // joining phase) miss or mis-route clusters.
-        for (cid, cluster) in &self.clusters {
+        for (slot, cluster) in self.store.iter() {
             let expected: Vec<u32> = self
                 .grid
                 .spec()
@@ -683,9 +694,10 @@ impl ClusterEngine {
                 .map(|idx| self.grid.spec().linear(idx) as u32)
                 .collect();
             assert_eq!(
-                self.grid.cells_of(*cid),
+                self.grid.cells_of(slot),
                 Some(expected.as_slice()),
-                "grid registration stale for {cid:?}"
+                "grid registration stale for {:?}",
+                cluster.cid
             );
         }
     }
@@ -834,6 +846,21 @@ mod tests {
     }
 
     #[test]
+    fn dissolved_slot_is_reused_by_the_next_founding() {
+        let mut e = engine();
+        e.process_update(&obj(1, 500.0, 500.0, 30.0, CN_EAST));
+        let slot = e.store().slots().next().unwrap();
+        let gen_before = e.store().generation(slot);
+        // Direction flip dissolves the singleton and founds a replacement.
+        e.process_update(&obj(1, 500.0, 500.0, 30.0, CN_WEST));
+        let slot_after = e.store().slots().next().unwrap();
+        assert_eq!(slot, slot_after, "vacated slot is reused");
+        assert_eq!(e.store().generation(slot), gen_before + 1);
+        assert_eq!(e.store().capacity(), 1, "slab did not grow under churn");
+        e.check_invariants();
+    }
+
+    #[test]
     fn attribute_tables_populated() {
         let mut e = engine();
         e.process_update(&obj(1, 500.0, 500.0, 30.0, CN_EAST));
@@ -876,10 +903,10 @@ mod tests {
         let mut e = engine();
         e.process_update(&obj(1, 500.0, 500.0, 30.0, CN_EAST));
         e.post_join_maintenance(2);
-        let c = e.clusters().values().next().unwrap();
+        let (slot, c) = e.store().iter().next().unwrap();
         let centroid = c.centroid();
         assert!(
-            e.grid().clusters_near(&centroid).contains(&c.cid),
+            e.grid().clusters_near(&centroid).contains(&slot),
             "grid not updated after relocation"
         );
     }
@@ -1026,8 +1053,8 @@ mod tests {
     fn refresh_growing_region_reregisters_grid_cells() {
         let mut e = engine();
         e.process_update(&obj(1, 500.0, 500.0, 30.0, CN_EAST));
-        let cid = *e.clusters().keys().next().unwrap();
-        let cells_at_founding = e.grid().cells_of(cid).unwrap().len();
+        let slot = e.store().slots().next().unwrap();
+        let cells_at_founding = e.grid().cells_of(slot).unwrap().len();
 
         // The founder reports again from 80 units away: still within Θ_D
         // of the (unmoved) centroid, so this is the refresh fast path, but
@@ -1037,7 +1064,7 @@ mod tests {
         e.process_update(&far);
         assert_eq!(e.stats().refreshes, 1, "took the refresh fast path");
 
-        let cells_after = e.grid().cells_of(cid).unwrap();
+        let cells_after = e.grid().cells_of(slot).unwrap();
         assert!(
             cells_after.len() > cells_at_founding,
             "grown region must cover more cells"
@@ -1046,7 +1073,7 @@ mod tests {
         let spec = e.grid().spec();
         let far_cell = spec.linear(spec.cell_of(&Point::new(575.0, 500.0))) as u32;
         assert!(
-            e.grid().cell_linear(far_cell).contains(&cid),
+            e.grid().cell_linear(far_cell).contains(&slot),
             "cluster not registered in a cell its region now covers"
         );
         e.check_invariants();
@@ -1058,8 +1085,8 @@ mod tests {
     fn refresh_growing_query_radius_reregisters_grid_cells() {
         let mut e = engine();
         e.process_update(&qry(1, 500.0, 500.0, 30.0, CN_EAST));
-        let cid = *e.clusters().keys().next().unwrap();
-        let cells_at_founding = e.grid().cells_of(cid).unwrap().len();
+        let slot = e.store().slots().next().unwrap();
+        let cells_at_founding = e.grid().cells_of(slot).unwrap().len();
 
         // Same position, much wider range: radius stays 0 but
         // max_query_radius (and with it the region) grows.
@@ -1078,7 +1105,7 @@ mod tests {
         assert_eq!(e.stats().refreshes, 1, "took the refresh fast path");
 
         assert!(
-            e.grid().cells_of(cid).unwrap().len() > cells_at_founding,
+            e.grid().cells_of(slot).unwrap().len() > cells_at_founding,
             "wider query range must cover more cells"
         );
         e.check_invariants();

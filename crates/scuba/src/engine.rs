@@ -364,7 +364,7 @@ impl ContinuousOperator for ScubaOperator {
         // Phase 2: cluster-based joining (the staged pipeline), incremental
         // across epochs when the join cache is enabled.
         let ctx = JoinContext {
-            clusters: self.engine.clusters(),
+            store: self.engine.store(),
             grid: self.engine.grid(),
             queries: self.engine.queries(),
             shedding: self.engine.params().shedding,

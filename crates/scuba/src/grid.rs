@@ -9,24 +9,39 @@
 //! phase and are re-located along their velocity vectors during post-join
 //! maintenance. Registrations are tracked per cluster so both operations
 //! are proportional to the handful of cells a compact cluster overlaps.
+//!
+//! The grid stores dense [`ClusterSlot`] handles from the
+//! [`crate::store::ClusterStore`], not durable [`crate::cluster::ClusterId`]s:
+//! cell lists and the per-cluster registration table are indexed structures
+//! with no hashing on the probe path. Because slots are small and densely
+//! reused, the registration table is a plain `Vec<Vec<u32>>` indexed by
+//! slot with a parallel liveness bitmap (a registered cluster may overlap
+//! *zero* cells — post-join relocation can carry it past the grid bounds
+//! before it dissolves), and the probe's visited set is a round-stamped
+//! [`StampSlab`].
 
-use scuba_spatial::{CellIdx, Circle, FxHashMap, GridSpec, Point};
+use scuba_spatial::{CellIdx, Circle, GridSpec, Point, StampSlab};
 
-use crate::cluster::ClusterId;
+use crate::store::ClusterSlot;
 
-/// Spatial grid of moving-cluster regions.
+/// Spatial grid of moving-cluster regions, keyed by store slot.
 #[derive(Debug, Clone)]
 pub struct ClusterGrid {
     spec: GridSpec,
-    cells: Vec<Vec<ClusterId>>,
-    /// Linear cell indices each cluster is currently registered in.
-    registrations: FxHashMap<ClusterId, Vec<u32>>,
-    /// Epoch-stamped visited table for [`ClusterGrid::clusters_within_into`]:
+    cells: Vec<Vec<ClusterSlot>>,
+    /// Linear cell indices each slot is currently registered in, indexed by
+    /// slot. Meaningful only where `live` is set: a live slot may overlap
+    /// zero cells (region outside the grid bounds).
+    registrations: Vec<Vec<u32>>,
+    /// Whether each slot currently holds a registration.
+    live: Vec<bool>,
+    /// Number of live slots.
+    registered: usize,
+    /// Round-stamped visited table for [`ClusterGrid::clusters_within_into`]:
     /// a cluster is a duplicate within one probe iff its stamp equals the
     /// current probe round. Replaces a per-probe `contains` scan / set
-    /// allocation with an O(1) stamp check that never clears.
-    probe_stamps: FxHashMap<ClusterId, u64>,
-    probe_round: u64,
+    /// allocation with an O(1) indexed stamp check that never clears.
+    probe_stamps: StampSlab,
 }
 
 impl ClusterGrid {
@@ -35,9 +50,10 @@ impl ClusterGrid {
         ClusterGrid {
             spec,
             cells: vec![Vec::new(); spec.cell_count()],
-            registrations: FxHashMap::default(),
-            probe_stamps: FxHashMap::default(),
-            probe_round: 0,
+            registrations: Vec::new(),
+            live: Vec::new(),
+            registered: 0,
+            probe_stamps: StampSlab::new(),
         }
     }
 
@@ -50,73 +66,88 @@ impl ClusterGrid {
     /// Number of registered clusters.
     #[inline]
     pub fn cluster_count(&self) -> usize {
-        self.registrations.len()
+        self.registered
     }
 
     /// Whether no clusters are registered.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.registrations.is_empty()
+        self.registered == 0
     }
 
     /// Registers a cluster region, replacing any previous registration.
     /// Returns the number of cells the cluster now overlaps.
-    pub fn insert(&mut self, cid: ClusterId, region: &Circle) -> usize {
+    pub fn insert(&mut self, slot: ClusterSlot, region: &Circle) -> usize {
         let new_cells: Vec<u32> = self
             .spec
             .cells_overlapping_circle(region)
             .map(|idx| self.spec.linear(idx) as u32)
             .collect();
-        match self.registrations.get(&cid) {
-            Some(old) if *old == new_cells => return new_cells.len(),
-            Some(_) => self.unregister(cid),
-            None => {}
+        if slot.index() >= self.registrations.len() {
+            self.registrations.resize_with(slot.index() + 1, Vec::new);
+            self.live.resize(slot.index() + 1, false);
+        }
+        if self.live[slot.index()] {
+            if self.registrations[slot.index()] == new_cells {
+                return new_cells.len();
+            }
+            self.unregister(slot);
+        } else {
+            self.live[slot.index()] = true;
+            self.registered += 1;
         }
         for &linear in &new_cells {
-            self.cells[linear as usize].push(cid);
+            self.cells[linear as usize].push(slot);
         }
         let n = new_cells.len();
-        self.registrations.insert(cid, new_cells);
+        self.registrations[slot.index()] = new_cells;
         n
     }
 
     /// Removes a cluster's registration. Returns `true` if it was present.
-    pub fn remove(&mut self, cid: ClusterId) -> bool {
-        if self.registrations.contains_key(&cid) {
-            self.unregister(cid);
-            self.registrations.remove(&cid);
-            self.probe_stamps.remove(&cid);
+    pub fn remove(&mut self, slot: ClusterSlot) -> bool {
+        if self.live.get(slot.index()).copied().unwrap_or(false) {
+            self.unregister(slot);
+            // Keep the (small) cell vector's capacity for the slot's next
+            // occupant — slots are reused densely under churn.
+            self.registrations[slot.index()].clear();
+            self.live[slot.index()] = false;
+            self.registered -= 1;
             true
         } else {
             false
         }
     }
 
-    fn unregister(&mut self, cid: ClusterId) {
-        if let Some(cells) = self.registrations.get(&cid) {
-            for &linear in cells {
-                let cell = &mut self.cells[linear as usize];
-                if let Some(pos) = cell.iter().position(|&c| c == cid) {
-                    // Order-preserving: the Leader–Follower probe absorbs
-                    // into the *first* passing candidate, so cell order is
-                    // semantically significant and removals must not
-                    // shuffle the survivors.
-                    cell.remove(pos);
-                }
+    fn unregister(&mut self, slot: ClusterSlot) {
+        let cells = std::mem::take(&mut self.registrations[slot.index()]);
+        for &linear in &cells {
+            let cell = &mut self.cells[linear as usize];
+            if let Some(pos) = cell.iter().position(|&c| c == slot) {
+                // Order-preserving: the Leader–Follower probe absorbs
+                // into the *first* passing candidate, so cell order is
+                // semantically significant and removals must not
+                // shuffle the survivors.
+                cell.remove(pos);
             }
         }
+        self.registrations[slot.index()] = cells;
     }
 
     /// The linear cell indices a cluster is currently registered in, or
     /// `None` if it is not registered.
     #[inline]
-    pub fn cells_of(&self, cid: ClusterId) -> Option<&[u32]> {
-        self.registrations.get(&cid).map(Vec::as_slice)
+    pub fn cells_of(&self, slot: ClusterSlot) -> Option<&[u32]> {
+        self.live
+            .get(slot.index())
+            .copied()
+            .unwrap_or(false)
+            .then(|| self.registrations[slot.index()].as_slice())
     }
 
     /// The clusters registered in a cell given by linear index.
     #[inline]
-    pub fn cell_linear(&self, linear: u32) -> &[ClusterId] {
+    pub fn cell_linear(&self, linear: u32) -> &[ClusterSlot] {
         &self.cells[linear as usize]
     }
 
@@ -125,14 +156,14 @@ impl ClusterGrid {
     /// grid index ClusterGrid to find the moving clusters in the proximity
     /// of the current location").
     #[inline]
-    pub fn clusters_near(&self, p: &Point) -> &[ClusterId] {
+    pub fn clusters_near(&self, p: &Point) -> &[ClusterSlot] {
         let idx = self.spec.cell_of(p);
         &self.cells[self.spec.linear(idx)]
     }
 
     /// The clusters registered in a specific cell.
     #[inline]
-    pub fn cell(&self, idx: CellIdx) -> &[ClusterId] {
+    pub fn cell(&self, idx: CellIdx) -> &[ClusterSlot] {
         &self.cells[self.spec.linear(idx)]
     }
 
@@ -144,16 +175,13 @@ impl ClusterGrid {
     /// update, and a cluster's registration always covers its centroid, so
     /// probing the Θ_D disk cannot miss a joinable cluster regardless of
     /// how fine the grid is.
-    pub fn clusters_within_into(&mut self, probe: &Circle, out: &mut Vec<ClusterId>) {
+    pub fn clusters_within_into(&mut self, probe: &Circle, out: &mut Vec<ClusterSlot>) {
         out.clear();
-        self.probe_round += 1;
-        let round = self.probe_round;
+        self.probe_stamps.new_round();
         for idx in self.spec.cells_overlapping_circle(probe) {
-            for &cid in &self.cells[self.spec.linear(idx)] {
-                let stamp = self.probe_stamps.entry(cid).or_insert(0);
-                if *stamp != round {
-                    *stamp = round;
-                    out.push(cid);
+            for &slot in &self.cells[self.spec.linear(idx)] {
+                if self.probe_stamps.mark(slot.0) {
+                    out.push(slot);
                 }
             }
         }
@@ -162,7 +190,7 @@ impl ClusterGrid {
     /// Iterates over non-empty cells and their cluster lists — the outer
     /// loop of the joining phase (Algorithm 1, step 8: "for c = 0 to
     /// MAX_GRID_CELL").
-    pub fn iter_nonempty(&self) -> impl Iterator<Item = (CellIdx, &[ClusterId])> + '_ {
+    pub fn iter_nonempty(&self) -> impl Iterator<Item = (CellIdx, &[ClusterSlot])> + '_ {
         self.cells
             .iter()
             .enumerate()
@@ -175,44 +203,53 @@ impl ClusterGrid {
         for cell in &mut self.cells {
             cell.clear();
         }
-        self.registrations.clear();
-        self.probe_stamps.clear();
+        for reg in &mut self.registrations {
+            reg.clear();
+        }
+        self.live.fill(false);
+        self.registered = 0;
     }
 
     /// Estimated heap footprint in bytes (cell vectors + registrations).
     pub fn estimated_bytes(&self) -> usize {
-        let header = std::mem::size_of::<Vec<ClusterId>>();
-        let id = std::mem::size_of::<ClusterId>();
+        let header = std::mem::size_of::<Vec<ClusterSlot>>();
+        let id = std::mem::size_of::<ClusterSlot>();
         let cells: usize =
             self.cells.len() * header + self.cells.iter().map(|c| c.capacity() * id).sum::<usize>();
-        let regs: usize = self
-            .registrations
-            .values()
-            .map(|v| header + v.capacity() * 4 + id + 8)
-            .sum();
-        cells + regs
+        let regs: usize = self.registrations.len() * header
+            + self
+                .registrations
+                .iter()
+                .map(|v| v.capacity() * 4)
+                .sum::<usize>();
+        cells + regs + self.probe_stamps.estimated_bytes()
     }
 
     /// Internal consistency check for tests: every registration points at a
     /// cell that actually lists the cluster, and vice versa.
     #[cfg(test)]
     fn check_consistent(&self) {
-        for (cid, cells) in &self.registrations {
+        for (i, cells) in self.registrations.iter().enumerate() {
             for &linear in cells {
                 assert!(
-                    self.cells[linear as usize].contains(cid),
-                    "{cid:?} registered in cell {linear} but absent"
+                    self.cells[linear as usize].contains(&ClusterSlot(i as u32)),
+                    "slot {i} registered in cell {linear} but absent"
                 );
             }
         }
         for (linear, cell) in self.cells.iter().enumerate() {
-            for cid in cell {
+            for slot in cell {
                 assert!(
-                    self.registrations[cid].contains(&(linear as u32)),
-                    "{cid:?} listed in cell {linear} but not registered"
+                    self.registrations[slot.index()].contains(&(linear as u32)),
+                    "{slot:?} listed in cell {linear} but not registered"
                 );
             }
         }
+        assert_eq!(
+            self.registered,
+            self.live.iter().filter(|&&l| l).count(),
+            "registered count drifted"
+        );
     }
 }
 
@@ -228,9 +265,9 @@ mod tests {
     #[test]
     fn insert_and_probe() {
         let mut g = grid(10);
-        let n = g.insert(ClusterId(1), &Circle::new(Point::new(55.0, 55.0), 3.0));
+        let n = g.insert(ClusterSlot(1), &Circle::new(Point::new(55.0, 55.0), 3.0));
         assert_eq!(n, 1);
-        assert_eq!(g.clusters_near(&Point::new(57.0, 52.0)), &[ClusterId(1)]);
+        assert_eq!(g.clusters_near(&Point::new(57.0, 52.0)), &[ClusterSlot(1)]);
         assert!(g.clusters_near(&Point::new(5.0, 5.0)).is_empty());
         assert_eq!(g.cluster_count(), 1);
         g.check_consistent();
@@ -240,7 +277,7 @@ mod tests {
     fn spanning_cluster_registered_in_all_cells() {
         let mut g = grid(10);
         // Circle centred on a 4-corner junction.
-        let n = g.insert(ClusterId(2), &Circle::new(Point::new(50.0, 50.0), 5.0));
+        let n = g.insert(ClusterSlot(2), &Circle::new(Point::new(50.0, 50.0), 5.0));
         assert_eq!(n, 4);
         for p in [
             Point::new(48.0, 48.0),
@@ -248,7 +285,7 @@ mod tests {
             Point::new(48.0, 52.0),
             Point::new(52.0, 52.0),
         ] {
-            assert_eq!(g.clusters_near(&p), &[ClusterId(2)]);
+            assert_eq!(g.clusters_near(&p), &[ClusterSlot(2)]);
         }
         g.check_consistent();
     }
@@ -256,10 +293,10 @@ mod tests {
     #[test]
     fn reinsert_relocates() {
         let mut g = grid(10);
-        g.insert(ClusterId(1), &Circle::new(Point::new(15.0, 15.0), 2.0));
-        g.insert(ClusterId(1), &Circle::new(Point::new(85.0, 85.0), 2.0));
+        g.insert(ClusterSlot(1), &Circle::new(Point::new(15.0, 15.0), 2.0));
+        g.insert(ClusterSlot(1), &Circle::new(Point::new(85.0, 85.0), 2.0));
         assert!(g.clusters_near(&Point::new(15.0, 15.0)).is_empty());
-        assert_eq!(g.clusters_near(&Point::new(85.0, 85.0)), &[ClusterId(1)]);
+        assert_eq!(g.clusters_near(&Point::new(85.0, 85.0)), &[ClusterSlot(1)]);
         assert_eq!(g.cluster_count(), 1);
         g.check_consistent();
     }
@@ -268,8 +305,8 @@ mod tests {
     fn reinsert_same_cells_is_stable() {
         let mut g = grid(10);
         let c = Circle::new(Point::new(15.0, 15.0), 2.0);
-        g.insert(ClusterId(1), &c);
-        g.insert(ClusterId(1), &c);
+        g.insert(ClusterSlot(1), &c);
+        g.insert(ClusterSlot(1), &c);
         assert_eq!(g.clusters_near(&Point::new(15.0, 15.0)).len(), 1);
         g.check_consistent();
     }
@@ -277,10 +314,10 @@ mod tests {
     #[test]
     fn growth_extends_registration() {
         let mut g = grid(10);
-        g.insert(ClusterId(1), &Circle::new(Point::new(50.0, 50.0), 1.0));
-        let before = g.registrations[&ClusterId(1)].len();
-        g.insert(ClusterId(1), &Circle::new(Point::new(50.0, 50.0), 15.0));
-        let after = g.registrations[&ClusterId(1)].len();
+        g.insert(ClusterSlot(1), &Circle::new(Point::new(50.0, 50.0), 1.0));
+        let before = g.cells_of(ClusterSlot(1)).unwrap().len();
+        g.insert(ClusterSlot(1), &Circle::new(Point::new(50.0, 50.0), 15.0));
+        let after = g.cells_of(ClusterSlot(1)).unwrap().len();
         assert!(after > before);
         g.check_consistent();
     }
@@ -288,13 +325,13 @@ mod tests {
     #[test]
     fn remove_cleans_cells() {
         let mut g = grid(10);
-        g.insert(ClusterId(1), &Circle::new(Point::new(50.0, 50.0), 8.0));
-        g.insert(ClusterId(2), &Circle::new(Point::new(50.0, 50.0), 8.0));
-        assert!(g.remove(ClusterId(1)));
-        assert!(!g.remove(ClusterId(1)));
+        g.insert(ClusterSlot(1), &Circle::new(Point::new(50.0, 50.0), 8.0));
+        g.insert(ClusterSlot(2), &Circle::new(Point::new(50.0, 50.0), 8.0));
+        assert!(g.remove(ClusterSlot(1)));
+        assert!(!g.remove(ClusterSlot(1)));
         for (_, cell) in g.iter_nonempty() {
-            assert!(!cell.contains(&ClusterId(1)));
-            assert!(cell.contains(&ClusterId(2)));
+            assert!(!cell.contains(&ClusterSlot(1)));
+            assert!(cell.contains(&ClusterSlot(2)));
         }
         g.check_consistent();
     }
@@ -302,21 +339,21 @@ mod tests {
     #[test]
     fn iter_nonempty_covers_all_registrations() {
         let mut g = grid(5);
-        g.insert(ClusterId(1), &Circle::new(Point::new(10.0, 10.0), 1.0));
-        g.insert(ClusterId(2), &Circle::new(Point::new(90.0, 90.0), 1.0));
-        let seen: Vec<ClusterId> = g
+        g.insert(ClusterSlot(1), &Circle::new(Point::new(10.0, 10.0), 1.0));
+        g.insert(ClusterSlot(2), &Circle::new(Point::new(90.0, 90.0), 1.0));
+        let seen: Vec<ClusterSlot> = g
             .iter_nonempty()
             .flat_map(|(_, cell)| cell.iter().copied())
             .collect();
         assert_eq!(seen.len(), 2);
-        assert!(seen.contains(&ClusterId(1)));
-        assert!(seen.contains(&ClusterId(2)));
+        assert!(seen.contains(&ClusterSlot(1)));
+        assert!(seen.contains(&ClusterSlot(2)));
     }
 
     #[test]
     fn clear_resets() {
         let mut g = grid(5);
-        g.insert(ClusterId(1), &Circle::new(Point::new(10.0, 10.0), 1.0));
+        g.insert(ClusterSlot(1), &Circle::new(Point::new(10.0, 10.0), 1.0));
         g.clear();
         assert!(g.is_empty());
         assert_eq!(g.iter_nonempty().count(), 0);
@@ -327,11 +364,11 @@ mod tests {
     fn many_clusters_same_cell() {
         let mut g = grid(4);
         for i in 0..20 {
-            g.insert(ClusterId(i), &Circle::new(Point::new(10.0, 10.0), 0.5));
+            g.insert(ClusterSlot(i), &Circle::new(Point::new(10.0, 10.0), 0.5));
         }
         assert_eq!(g.clusters_near(&Point::new(10.0, 10.0)).len(), 20);
         for i in (0..20).step_by(2) {
-            g.remove(ClusterId(i));
+            g.remove(ClusterSlot(i));
         }
         assert_eq!(g.clusters_near(&Point::new(10.0, 10.0)).len(), 10);
         g.check_consistent();
@@ -341,13 +378,18 @@ mod tests {
     fn removal_preserves_cell_order() {
         let mut g = grid(4);
         for i in 0..6 {
-            g.insert(ClusterId(i), &Circle::new(Point::new(10.0, 10.0), 0.5));
+            g.insert(ClusterSlot(i), &Circle::new(Point::new(10.0, 10.0), 0.5));
         }
-        g.remove(ClusterId(1));
-        g.remove(ClusterId(4));
+        g.remove(ClusterSlot(1));
+        g.remove(ClusterSlot(4));
         assert_eq!(
             g.clusters_near(&Point::new(10.0, 10.0)),
-            &[ClusterId(0), ClusterId(2), ClusterId(3), ClusterId(5)],
+            &[
+                ClusterSlot(0),
+                ClusterSlot(2),
+                ClusterSlot(3),
+                ClusterSlot(5)
+            ],
             "survivors keep their relative (insertion) order"
         );
         g.check_consistent();
@@ -356,13 +398,34 @@ mod tests {
     #[test]
     fn cells_of_and_cell_linear_agree() {
         let mut g = grid(10);
-        g.insert(ClusterId(7), &Circle::new(Point::new(50.0, 50.0), 8.0));
-        let cells = g.cells_of(ClusterId(7)).expect("registered").to_vec();
+        g.insert(ClusterSlot(7), &Circle::new(Point::new(50.0, 50.0), 8.0));
+        let cells = g.cells_of(ClusterSlot(7)).expect("registered").to_vec();
         assert!(!cells.is_empty());
         for linear in cells {
-            assert!(g.cell_linear(linear).contains(&ClusterId(7)));
+            assert!(g.cell_linear(linear).contains(&ClusterSlot(7)));
         }
-        assert!(g.cells_of(ClusterId(8)).is_none());
+        assert!(g.cells_of(ClusterSlot(8)).is_none());
+    }
+
+    #[test]
+    fn out_of_bounds_region_registers_with_zero_cells() {
+        // Post-join relocation can carry a cluster past the grid bounds
+        // before the next maintenance pass dissolves it: it must stay
+        // registered (so removal and re-registration behave) while
+        // appearing in no cell.
+        let mut g = grid(10);
+        let n = g.insert(ClusterSlot(3), &Circle::new(Point::new(500.0, 500.0), 2.0));
+        assert_eq!(n, 0);
+        assert_eq!(g.cluster_count(), 1);
+        assert_eq!(g.cells_of(ClusterSlot(3)), Some(&[][..]));
+        assert_eq!(g.iter_nonempty().count(), 0);
+        // Wandering back in re-registers normally.
+        g.insert(ClusterSlot(3), &Circle::new(Point::new(50.0, 50.0), 2.0));
+        assert!(!g.cells_of(ClusterSlot(3)).unwrap().is_empty());
+        assert_eq!(g.cluster_count(), 1);
+        assert!(g.remove(ClusterSlot(3)));
+        assert!(g.is_empty());
+        g.check_consistent();
     }
 
     #[test]
@@ -371,7 +434,7 @@ mod tests {
         let empty = g.estimated_bytes();
         for i in 0..50 {
             g.insert(
-                ClusterId(i),
+                ClusterSlot(i),
                 &Circle::new(Point::new((i % 10) as f64 * 10.0, 50.0), 1.0),
             );
         }

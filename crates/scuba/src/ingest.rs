@@ -21,7 +21,7 @@
 //!    disk around its location and its home cluster's region inflated by
 //!    Θ_D — lies inside a single stripe, it is its entity's only update in
 //!    the batch, and no earlier boundary update can influence it (tracked
-//!    with cell marks and a deferred-home id set). Boundary updates are
+//!    with cell marks and a deferred-home slot set). Boundary updates are
 //!    deferred to the apply pass.
 //! 2. **Shard** (parallel, scoped threads, per-shard scratch): each shard
 //!    *plans* its interior updates against a copy-on-write overlay of the
@@ -34,8 +34,8 @@
 //!    planned updates replay their recorded decision via
 //!    [`ClusterEngine::apply_planned`] (the same mutation path with the
 //!    probe skipped), demoted and deferred updates run the ordinary
-//!    `process_update`. Cluster ids, epoch stamps, grid cell order and map
-//!    operation histories therefore match the sequential engine exactly.
+//!    `process_update`. Cluster ids, slot assignments, epoch stamps and
+//!    grid cell order therefore match the sequential engine exactly.
 
 use std::time::Duration;
 
@@ -46,18 +46,19 @@ use scuba_stream::Stopwatch;
 use crate::cluster::{ClusterId, MovingCluster};
 use crate::clustering::ClusterEngine;
 use crate::params::ProbeScope;
+use crate::store::ClusterSlot;
 
-/// Cluster ids at or above this value are shard-private provisional ids
-/// for clusters founded during planning; the apply pass assigns the real
-/// ids in canonical order. Real ids grow from 0 one per founding, so the
-/// ranges cannot collide.
-const PROVISIONAL_BASE: u64 = 1 << 63;
+/// Slot handles at or above this value are shard-private provisional
+/// handles for clusters founded during planning; the apply pass assigns
+/// the real slots in canonical order. Real slots index the store's slab,
+/// which stays far below this bound.
+const PROVISIONAL_SLOT_BASE: u32 = 1 << 31;
 
 /// A planner's absorb/found verdict for one interior update.
 #[derive(Debug, Clone, Copy)]
 enum PlannedTarget {
     /// Absorb into a pre-batch cluster.
-    Existing(ClusterId),
+    Existing(ClusterSlot),
     /// Absorb into the shard's k-th provisionally founded cluster.
     Provisional(u32),
     /// Found a new cluster (the shard's next provisional).
@@ -72,13 +73,13 @@ enum PlannedAction {
     /// Leave the home cluster (if any), then absorb or found.
     Join {
         /// The home cluster the update evicts from first.
-        evicted: Option<ClusterId>,
+        evicted: Option<ClusterSlot>,
         /// Where the update lands.
         target: PlannedTarget,
     },
 }
 
-/// A decision with provisional ids resolved to real ones — what
+/// A decision with provisional handles resolved to real slots — what
 /// [`ClusterEngine::apply_planned`] replays.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum ResolvedAction {
@@ -88,9 +89,9 @@ pub(crate) enum ResolvedAction {
     /// `target` is `None` — found a new cluster.
     Join {
         /// The home cluster to evict from first.
-        evicted: Option<ClusterId>,
+        evicted: Option<ClusterSlot>,
         /// The absorb target; `None` founds.
-        target: Option<ClusterId>,
+        target: Option<ClusterSlot>,
     },
 }
 
@@ -161,17 +162,17 @@ pub(crate) struct IngestScratch {
     global_marks: Vec<u32>,
     /// Current mark round (bumped per batch).
     round: u32,
-    /// Home clusters of boundary updates — any planner read of these ids
+    /// Home clusters of boundary updates — any planner read of these slots
     /// demotes, closing the "far home" hole marks cannot see.
-    deferred_homes: FxHashSet<ClusterId>,
+    deferred_homes: FxHashSet<ClusterSlot>,
     /// Grid column → shard stripe.
     col_shard: Vec<u16>,
     /// Per-shard planner state.
     shards: Vec<ShardScratch>,
     /// Merged decisions, parallel to `sorted` (`None` = sequential).
     actions: Vec<Option<(u16, PlannedAction)>>,
-    /// Real ids assigned to each shard's provisional foundings, in order.
-    founds_real: Vec<Vec<ClusterId>>,
+    /// Real slots assigned to each shard's provisional foundings, in order.
+    founds_real: Vec<Vec<ClusterSlot>>,
 }
 
 /// One shard's planning state: the copy-on-write overlay plus demotion
@@ -181,21 +182,23 @@ struct ShardScratch {
     /// Indices into the sorted batch, ascending.
     items: Vec<u32>,
     /// Cluster overlay: `Some(None)` = dissolved during planning.
-    cow_clusters: FxHashMap<ClusterId, Option<MovingCluster>>,
+    cow_clusters: FxHashMap<ClusterSlot, Option<MovingCluster>>,
     /// Home overlay.
-    cow_home: FxHashMap<EntityRef, Option<ClusterId>>,
+    cow_home: FxHashMap<EntityRef, Option<ClusterSlot>>,
     /// Grid cell overlay (cloned from the base cell on first write;
     /// removals are order-preserving, matching [`crate::grid::ClusterGrid`]).
-    cow_cells: FxHashMap<u32, Vec<ClusterId>>,
+    cow_cells: FxHashMap<u32, Vec<ClusterSlot>>,
     /// Registration overlay: `Some(None)` = removed.
-    cow_regs: FxHashMap<ClusterId, Option<Vec<u32>>>,
+    cow_regs: FxHashMap<ClusterSlot, Option<Vec<u32>>>,
     /// Stamped cell marks from this shard's own demotions.
     local_marks: Vec<u32>,
     /// Clusters no later update in this shard may trust: homes of demoted
     /// updates, plus clusters whose centroid drifted into marked cells.
-    tainted: FxHashSet<ClusterId>,
-    /// Stamped dedup table for the read-only probe.
-    probe_seen: FxHashMap<ClusterId, u64>,
+    tainted: FxHashSet<ClusterSlot>,
+    /// Stamped dedup table for the read-only probe (provisional handles sit
+    /// at `PROVISIONAL_SLOT_BASE`, so this stays a map rather than a dense
+    /// slab).
+    probe_seen: FxHashMap<ClusterSlot, u64>,
     /// Probe round for `probe_seen`.
     probe_round: u64,
     /// Provisional clusters founded so far.
@@ -205,7 +208,7 @@ struct ShardScratch {
     /// Batch indices demoted to the fixup pass.
     demoted: Vec<u32>,
     /// Candidate buffer for the probe.
-    candidates: Vec<ClusterId>,
+    candidates: Vec<ClusterSlot>,
 }
 
 impl ShardScratch {
@@ -236,7 +239,7 @@ struct Shared<'a> {
     engine: &'a ClusterEngine,
     sorted: &'a [LocationUpdate],
     global_marks: &'a [u32],
-    deferred_homes: &'a FxHashSet<ClusterId>,
+    deferred_homes: &'a FxHashSet<ClusterSlot>,
     round: u32,
 }
 
@@ -447,8 +450,8 @@ fn classify(engine: &ClusterEngine, scratch: &mut IngestScratch) {
             interior = col_span_within(&spec, &scratch.col_shard, s, &u.loc, 2.0 * theta_d);
         }
         if interior {
-            if let Some(cid) = home {
-                if let Some(c) = engine.clusters().get(&cid) {
+            if let Some(slot) = home {
+                if let Some(c) = engine.store().get(slot) {
                     let r = c.effective_region();
                     interior = col_span_within(
                         &spec,
@@ -465,10 +468,10 @@ fn classify(engine: &ClusterEngine, scratch: &mut IngestScratch) {
             let round = scratch.round;
             interior = scratch.global_marks[spec.linear(spec.cell_of(&u.loc))] != round;
             if interior {
-                if let Some(cid) = home {
-                    interior = !scratch.deferred_homes.contains(&cid);
+                if let Some(slot) = home {
+                    interior = !scratch.deferred_homes.contains(&slot);
                     if interior {
-                        if let Some(c) = engine.clusters().get(&cid) {
+                        if let Some(c) = engine.store().get(slot) {
                             let centroid = c.centroid();
                             interior =
                                 scratch.global_marks[spec.linear(spec.cell_of(&centroid))] != round;
@@ -483,9 +486,9 @@ fn classify(engine: &ClusterEngine, scratch: &mut IngestScratch) {
         } else {
             scratch.assign[i] = Assign::Deferred;
             scratch.mark_global(&spec, &Circle::new(u.loc, 2.0 * theta_d));
-            if let Some(cid) = home {
-                scratch.deferred_homes.insert(cid);
-                if let Some(c) = engine.clusters().get(&cid) {
+            if let Some(slot) = home {
+                scratch.deferred_homes.insert(slot);
+                if let Some(c) = engine.store().get(slot) {
                     let r = c.effective_region();
                     scratch.mark_global(&spec, &Circle::new(r.center, r.radius + theta_d));
                 }
@@ -545,11 +548,11 @@ fn plan_shard(shared: &Shared<'_>, sh: &mut ShardScratch) {
 fn resolve<'a>(
     sh: &'a ShardScratch,
     shared: &'a Shared<'_>,
-    cid: ClusterId,
+    slot: ClusterSlot,
 ) -> Option<&'a MovingCluster> {
-    match sh.cow_clusters.get(&cid) {
+    match sh.cow_clusters.get(&slot) {
         Some(opt) => opt.as_ref(),
-        None => shared.engine.clusters().get(&cid),
+        None => shared.engine.store().get(slot),
     }
 }
 
@@ -568,11 +571,11 @@ fn marked(sh: &ShardScratch, shared: &Shared<'_>, linear: u32) -> bool {
 fn cluster_unsafe(
     sh: &ShardScratch,
     shared: &Shared<'_>,
-    cid: ClusterId,
+    slot: ClusterSlot,
     cluster: &MovingCluster,
 ) -> bool {
-    shared.deferred_homes.contains(&cid)
-        || sh.tainted.contains(&cid)
+    shared.deferred_homes.contains(&slot)
+        || sh.tainted.contains(&slot)
         || marked(sh, shared, shared.linear_of(&cluster.centroid()))
 }
 
@@ -589,30 +592,30 @@ fn plan_one(shared: &Shared<'_>, sh: &mut ShardScratch, i: u32) {
         None => shared.engine.home().cluster_of(u.entity),
     };
     let mut evicted = None;
-    if let Some(cid) = home {
-        let Some(cluster) = resolve(sh, shared, cid) else {
+    if let Some(slot) = home {
+        let Some(cluster) = resolve(sh, shared, slot) else {
             // A home pointing at a dissolved overlay cluster cannot happen
             // (dissolution unassigns); demote rather than trust it.
             demote(shared, sh, i, &u, home);
             return;
         };
-        if cid.0 < PROVISIONAL_BASE && cluster_unsafe(sh, shared, cid, cluster) {
+        if slot.0 < PROVISIONAL_SLOT_BASE && cluster_unsafe(sh, shared, slot, cluster) {
             demote(shared, sh, i, &u, home);
             return;
         }
         if cluster.can_absorb(&u, p.theta_d, p.theta_s, p.cnloc_tolerance) {
             sh.plans.push((i, PlannedAction::Refresh));
-            cow_refresh(sh, shared, cid, &u);
+            cow_refresh(sh, shared, slot, &u);
             return;
         }
-        evicted = Some(cid);
+        evicted = Some(slot);
     }
 
     // The home's post-eviction state, for its own (re-)candidacy: the
     // sequential walk evicts *before* probing, and eviction changes the
     // cluster's average speed (or dissolves it).
-    let evicted_view: Option<MovingCluster> = evicted.map(|cid| {
-        let mut c = resolve(sh, shared, cid)
+    let evicted_view: Option<MovingCluster> = evicted.map(|slot| {
+        let mut c = resolve(sh, shared, slot)
             .expect("home resolved above")
             .clone();
         c.remove_member(u.entity);
@@ -626,8 +629,8 @@ fn plan_one(shared: &Shared<'_>, sh: &mut ShardScratch, i: u32) {
     let candidates = std::mem::take(&mut sh.candidates);
     let mut chosen = None;
     let mut poisoned = false;
-    for &cid in &candidates {
-        let is_evicted_home = evicted == Some(cid);
+    for &slot in &candidates {
+        let is_evicted_home = evicted == Some(slot);
         let cluster = if is_evicted_home {
             let view = evicted_view.as_ref().expect("view built for the home");
             if view.is_empty() {
@@ -636,7 +639,7 @@ fn plan_one(shared: &Shared<'_>, sh: &mut ShardScratch, i: u32) {
             }
             view
         } else {
-            match resolve(sh, shared, cid) {
+            match resolve(sh, shared, slot) {
                 Some(c) => c,
                 None => continue, // dissolved in the overlay
             }
@@ -646,12 +649,14 @@ fn plan_one(shared: &Shared<'_>, sh: &mut ShardScratch, i: u32) {
         if u.cn_loc.distance_sq(&cluster.cn_loc()) > p.cnloc_tolerance * p.cnloc_tolerance {
             continue;
         }
-        if !is_evicted_home && cid.0 < PROVISIONAL_BASE && cluster_unsafe(sh, shared, cid, cluster)
+        if !is_evicted_home
+            && slot.0 < PROVISIONAL_SLOT_BASE
+            && cluster_unsafe(sh, shared, slot, cluster)
         {
             poisoned = true;
             break;
         }
-        if cid.0 >= PROVISIONAL_BASE && sh.tainted.contains(&cid) {
+        if slot.0 >= PROVISIONAL_SLOT_BASE && sh.tainted.contains(&slot) {
             // Provisional clusters are shard-private, but a boundary update
             // may still absorb into them at apply time (latched at
             // founding / drift below).
@@ -659,7 +664,7 @@ fn plan_one(shared: &Shared<'_>, sh: &mut ShardScratch, i: u32) {
             break;
         }
         if cluster.can_absorb(&u, p.theta_d, p.theta_s, p.cnloc_tolerance) {
-            chosen = Some(cid);
+            chosen = Some(slot);
             break;
         }
     }
@@ -671,18 +676,18 @@ fn plan_one(shared: &Shared<'_>, sh: &mut ShardScratch, i: u32) {
 
     // Decision final: record the plan, then replay it on the overlay.
     let target = match chosen {
-        Some(cid) if cid.0 >= PROVISIONAL_BASE => {
-            PlannedTarget::Provisional((cid.0 - PROVISIONAL_BASE) as u32)
+        Some(slot) if slot.0 >= PROVISIONAL_SLOT_BASE => {
+            PlannedTarget::Provisional(slot.0 - PROVISIONAL_SLOT_BASE)
         }
-        Some(cid) => PlannedTarget::Existing(cid),
+        Some(slot) => PlannedTarget::Existing(slot),
         None => PlannedTarget::Found,
     };
     sh.plans.push((i, PlannedAction::Join { evicted, target }));
-    if let Some(cid) = evicted {
-        cow_evict(sh, shared, cid, &u);
+    if let Some(slot) = evicted {
+        cow_evict(sh, shared, slot, &u);
     }
     match chosen {
-        Some(cid) => cow_absorb(sh, shared, cid, &u),
+        Some(slot) => cow_absorb(sh, shared, slot, &u),
         None => cow_found(sh, shared, &u),
     }
 }
@@ -696,14 +701,14 @@ fn demote(
     sh: &mut ShardScratch,
     i: u32,
     u: &LocationUpdate,
-    home: Option<ClusterId>,
+    home: Option<ClusterSlot>,
 ) {
     sh.demoted.push(i);
     let theta_d = shared.engine.params().theta_d;
     mark_local(sh, shared, &Circle::new(u.loc, 2.0 * theta_d));
-    if let Some(cid) = home {
-        sh.tainted.insert(cid);
-        if let Some(c) = resolve(sh, shared, cid) {
+    if let Some(slot) = home {
+        sh.tainted.insert(slot);
+        if let Some(c) = resolve(sh, shared, slot) {
             let r = c.effective_region();
             mark_local(sh, shared, &Circle::new(r.center, r.radius + theta_d));
         }
@@ -731,18 +736,18 @@ fn collect_candidates(
     sh.probe_round += 1;
     let round = sh.probe_round;
     let visit = |linear: u32,
-                 cells: &FxHashMap<u32, Vec<ClusterId>>,
-                 seen: &mut FxHashMap<ClusterId, u64>,
-                 out: &mut Vec<ClusterId>| {
-        let cell: &[ClusterId] = match cells.get(&linear) {
+                 cells: &FxHashMap<u32, Vec<ClusterSlot>>,
+                 seen: &mut FxHashMap<ClusterSlot, u64>,
+                 out: &mut Vec<ClusterSlot>| {
+        let cell: &[ClusterSlot] = match cells.get(&linear) {
             Some(v) => v,
             None => shared.engine.grid().cell_linear(linear),
         };
-        for &cid in cell {
-            let stamp = seen.entry(cid).or_insert(0);
+        for &slot in cell {
+            let stamp = seen.entry(slot).or_insert(0);
             if *stamp != round {
                 *stamp = round;
-                out.push(cid);
+                out.push(slot);
             }
         }
     };
@@ -773,16 +778,16 @@ fn collect_candidates(
 fn cow_cluster_mut<'a>(
     sh: &'a mut ShardScratch,
     shared: &Shared<'_>,
-    cid: ClusterId,
+    slot: ClusterSlot,
 ) -> &'a mut MovingCluster {
     sh.cow_clusters
-        .entry(cid)
+        .entry(slot)
         .or_insert_with(|| {
             Some(
                 shared
                     .engine
-                    .clusters()
-                    .get(&cid)
+                    .store()
+                    .get(slot)
                     .expect("overlay writes target live clusters")
                     .clone(),
             )
@@ -795,11 +800,11 @@ fn cow_cluster_mut<'a>(
 fn overlay_regs<'a>(
     sh: &'a ShardScratch,
     shared: &'a Shared<'_>,
-    cid: ClusterId,
+    slot: ClusterSlot,
 ) -> Option<&'a [u32]> {
-    match sh.cow_regs.get(&cid) {
+    match sh.cow_regs.get(&slot) {
         Some(opt) => opt.as_deref(),
-        None => shared.engine.grid().cells_of(cid),
+        None => shared.engine.grid().cells_of(slot),
     }
 }
 
@@ -808,7 +813,7 @@ fn overlay_cell_mut<'a>(
     sh: &'a mut ShardScratch,
     shared: &Shared<'_>,
     linear: u32,
-) -> &'a mut Vec<ClusterId> {
+) -> &'a mut Vec<ClusterSlot> {
     sh.cow_cells
         .entry(linear)
         .or_insert_with(|| shared.engine.grid().cell_linear(linear).to_vec())
@@ -819,7 +824,7 @@ fn overlay_cell_mut<'a>(
 fn overlay_grid_insert(
     sh: &mut ShardScratch,
     shared: &Shared<'_>,
-    cid: ClusterId,
+    slot: ClusterSlot,
     region: &Circle,
 ) {
     let spec = shared.spec();
@@ -827,97 +832,99 @@ fn overlay_grid_insert(
         .cells_overlapping_circle(region)
         .map(|idx| spec.linear(idx) as u32)
         .collect();
-    if let Some(old) = overlay_regs(sh, shared, cid) {
+    if let Some(old) = overlay_regs(sh, shared, slot) {
         if old == new_cells.as_slice() {
             return;
         }
         let old = old.to_vec();
         for linear in old {
             let cell = overlay_cell_mut(sh, shared, linear);
-            if let Some(pos) = cell.iter().position(|&c| c == cid) {
+            if let Some(pos) = cell.iter().position(|&c| c == slot) {
                 cell.remove(pos);
             }
         }
     }
     for &linear in &new_cells {
-        overlay_cell_mut(sh, shared, linear).push(cid);
+        overlay_cell_mut(sh, shared, linear).push(slot);
     }
-    sh.cow_regs.insert(cid, Some(new_cells));
+    sh.cow_regs.insert(slot, Some(new_cells));
 }
 
 /// Replays [`crate::grid::ClusterGrid::remove`] on the overlay.
-fn overlay_grid_remove(sh: &mut ShardScratch, shared: &Shared<'_>, cid: ClusterId) {
-    if let Some(old) = overlay_regs(sh, shared, cid) {
+fn overlay_grid_remove(sh: &mut ShardScratch, shared: &Shared<'_>, slot: ClusterSlot) {
+    if let Some(old) = overlay_regs(sh, shared, slot) {
         let old = old.to_vec();
         for linear in old {
             let cell = overlay_cell_mut(sh, shared, linear);
-            if let Some(pos) = cell.iter().position(|&c| c == cid) {
+            if let Some(pos) = cell.iter().position(|&c| c == slot) {
                 cell.remove(pos);
             }
         }
     }
-    sh.cow_regs.insert(cid, None);
+    sh.cow_regs.insert(slot, None);
 }
 
 /// Replays [`ClusterEngine`]'s refresh branch on the overlay.
-fn cow_refresh(sh: &mut ShardScratch, shared: &Shared<'_>, cid: ClusterId, u: &LocationUpdate) {
+fn cow_refresh(sh: &mut ShardScratch, shared: &Shared<'_>, slot: ClusterSlot, u: &LocationUpdate) {
     let params = *shared.engine.params();
-    let cluster = cow_cluster_mut(sh, shared, cid);
+    let cluster = cow_cluster_mut(sh, shared, slot);
     let shed = ClusterEngine::shed_decision(&params, cluster, u);
     let region_before = cluster.effective_region();
     cluster.update_member(u, shed);
     let region = cluster.effective_region();
     if region != region_before {
-        overlay_grid_insert(sh, shared, cid, &region);
+        overlay_grid_insert(sh, shared, slot, &region);
     }
 }
 
 /// Replays the engine's eviction (member removal + possible dissolution)
 /// on the overlay.
-fn cow_evict(sh: &mut ShardScratch, shared: &Shared<'_>, cid: ClusterId, u: &LocationUpdate) {
-    let cluster = cow_cluster_mut(sh, shared, cid);
+fn cow_evict(sh: &mut ShardScratch, shared: &Shared<'_>, slot: ClusterSlot, u: &LocationUpdate) {
+    let cluster = cow_cluster_mut(sh, shared, slot);
     cluster.remove_member(u.entity);
     let emptied = cluster.is_empty();
     sh.cow_home.insert(u.entity, None);
     if emptied {
-        sh.cow_clusters.insert(cid, None);
-        overlay_grid_remove(sh, shared, cid);
+        sh.cow_clusters.insert(slot, None);
+        overlay_grid_remove(sh, shared, slot);
     }
 }
 
 /// Replays the engine's absorb branch on the overlay, latching the taint
 /// flag if the centroid drifted into marked territory (a boundary update
 /// may mutate this cluster at apply time).
-fn cow_absorb(sh: &mut ShardScratch, shared: &Shared<'_>, cid: ClusterId, u: &LocationUpdate) {
+fn cow_absorb(sh: &mut ShardScratch, shared: &Shared<'_>, slot: ClusterSlot, u: &LocationUpdate) {
     let params = *shared.engine.params();
-    let cluster = cow_cluster_mut(sh, shared, cid);
+    let cluster = cow_cluster_mut(sh, shared, slot);
     let shed = ClusterEngine::shed_decision(&params, cluster, u);
     cluster.absorb(u, shed);
     let region = cluster.effective_region();
     let centroid = cluster.centroid();
-    overlay_grid_insert(sh, shared, cid, &region);
-    sh.cow_home.insert(u.entity, Some(cid));
+    overlay_grid_insert(sh, shared, slot, &region);
+    sh.cow_home.insert(u.entity, Some(slot));
     if marked(sh, shared, shared.linear_of(&centroid)) {
-        sh.tainted.insert(cid);
+        sh.tainted.insert(slot);
     }
 }
 
 /// Replays the engine's founding branch on the overlay under a provisional
-/// id; the apply pass assigns the real id.
+/// slot handle; the apply pass assigns the real slot. The cloned cluster
+/// carries a placeholder [`ClusterId`] — nothing in planning reads it, and
+/// the apply pass founds the real cluster with the real id.
 fn cow_found(sh: &mut ShardScratch, shared: &Shared<'_>, u: &LocationUpdate) {
     let params = shared.engine.params();
-    let cid = ClusterId(PROVISIONAL_BASE + sh.founds as u64);
+    let slot = ClusterSlot(PROVISIONAL_SLOT_BASE + sh.founds);
     sh.founds += 1;
     let shed = params.shedding.is_active() && params.shedding.sheds_at(0.0, params.theta_d);
-    let cluster = MovingCluster::found(cid, u, shed);
+    let cluster = MovingCluster::found(ClusterId(u64::MAX), u, shed);
     let region = cluster.effective_region();
-    sh.cow_clusters.insert(cid, Some(cluster));
-    overlay_grid_insert(sh, shared, cid, &region);
-    sh.cow_home.insert(u.entity, Some(cid));
+    sh.cow_clusters.insert(slot, Some(cluster));
+    overlay_grid_insert(sh, shared, slot, &region);
+    sh.cow_home.insert(u.entity, Some(slot));
     if marked(sh, shared, shared.linear_of(&u.loc)) {
         // A canonically later boundary update may absorb into this cluster
         // at apply time; later reads of it in this shard must demote.
-        sh.tainted.insert(cid);
+        sh.tainted.insert(slot);
     }
 }
 
@@ -938,8 +945,8 @@ fn apply_plans(engine: &mut ClusterEngine, scratch: &mut IngestScratch) -> u64 {
         match scratch.actions[i] {
             Some((s, action)) => {
                 let resolved = resolve_action(action, &scratch.founds_real[s as usize]);
-                if let Some(new_cid) = engine.apply_planned(&u, resolved) {
-                    scratch.founds_real[s as usize].push(new_cid);
+                if let Some(new_slot) = engine.apply_planned(&u, resolved) {
+                    scratch.founds_real[s as usize].push(new_slot);
                 }
             }
             None => engine.process_update(&u),
@@ -948,15 +955,16 @@ fn apply_plans(engine: &mut ClusterEngine, scratch: &mut IngestScratch) -> u64 {
     demoted
 }
 
-/// Resolves a shard's provisional founding ids to the real ids the apply
-/// pass assigned so far (within a shard, foundings replay in plan order).
-fn resolve_action(action: PlannedAction, founds: &[ClusterId]) -> ResolvedAction {
+/// Resolves a shard's provisional founding handles to the real slots the
+/// apply pass assigned so far (within a shard, foundings replay in plan
+/// order).
+fn resolve_action(action: PlannedAction, founds: &[ClusterSlot]) -> ResolvedAction {
     match action {
         PlannedAction::Refresh => ResolvedAction::Refresh,
         PlannedAction::Join { evicted, target } => ResolvedAction::Join {
             evicted,
             target: match target {
-                PlannedTarget::Existing(cid) => Some(cid),
+                PlannedTarget::Existing(slot) => Some(slot),
                 PlannedTarget::Provisional(k) => Some(founds[k as usize]),
                 PlannedTarget::Found => None,
             },
@@ -1044,8 +1052,8 @@ mod tests {
     }
 
     #[test]
-    fn provisional_ids_resolve_in_founding_order() {
-        let founds = vec![ClusterId(7), ClusterId(9)];
+    fn provisional_handles_resolve_in_founding_order() {
+        let founds = vec![ClusterSlot(7), ClusterSlot(9)];
         let resolved = resolve_action(
             PlannedAction::Join {
                 evicted: None,
@@ -1054,7 +1062,7 @@ mod tests {
             &founds,
         );
         match resolved {
-            ResolvedAction::Join { target, .. } => assert_eq!(target, Some(ClusterId(9))),
+            ResolvedAction::Join { target, .. } => assert_eq!(target, Some(ClusterSlot(9))),
             other => panic!("unexpected {other:?}"),
         }
     }

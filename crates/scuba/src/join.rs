@@ -3,15 +3,17 @@
 //! The phase runs as an explicit four-stage pipeline, each stage emitting
 //! a [`StageStats`] record:
 //!
-//! 1. **pair discovery** — the ClusterGrid cell walk plus seen-pair dedup,
-//!    materialising the unique cluster pairs sharing at least one cell.
-//!    Dedup uses an epoch-stamped visited table ([`JoinScratch`]): a pair
-//!    was already seen this round iff its stamp equals the round counter,
-//!    so no per-round allocation or clearing is needed;
+//! 1. **pair discovery** — the ClusterGrid cell walk, materialising the
+//!    unique cluster-slot pairs sharing at least one cell. Each candidate
+//!    pair packs into one `u64` key; sorting + dedup of the reused key
+//!    buffer replaces the old retained hash table, so the stage holds *no*
+//!    cross-round state that could accumulate keys for dissolved clusters;
 //! 2. **join-between** (Algorithm 2) — the circle/circle overlap
-//!    pre-filter. Pairs whose regions do not overlap are pruned: their
-//!    members are *guaranteed* not to join individually (the cluster
-//!    region covers all member positions);
+//!    pre-filter, evaluated as a sweep over the [`ClusterStore`]'s SoA
+//!    centroid/radius columns (no per-pair pointer chase). Pairs whose
+//!    regions do not overlap are pruned: their members are *guaranteed*
+//!    not to join individually (the cluster region covers all member
+//!    positions);
 //! 3. **join-within** (Algorithm 3) — the exact object×query join over the
 //!    members of both clusters. Before any member work, each surviving
 //!    pair consults the [`JoinCache`]: if neither cluster has mutated
@@ -26,6 +28,14 @@
 //!    the result set independent of thread count, of pair order and of the
 //!    replayed/computed split.
 //!
+//! The per-tick path is hash-free: pairs are slot pairs, the cache is a
+//! per-left-slot sorted row table, and the arena index is a dense stamped
+//! per-slot table. Slot reuse is safe everywhere the cache is concerned —
+//! dissolving forgets the slot's epoch mark (`u64::MAX` = always dirty)
+//! and re-occupying it stamps a fresh clock value past any cached
+//! `computed_at`, so stale entries can never revalidate (see
+//! [`crate::store`]); unused entries are swept at the end of each round.
+//!
 //! Two engineering notes relative to the paper's pseudo-code:
 //!
 //! * Algorithm 3 joins the member *union* of both clusters, and Algorithm 1
@@ -36,7 +46,7 @@
 //!   final dedup this produces the identical result set with fewer
 //!   comparisons.
 //! * Clusters sharing several grid cells would be joined once per shared
-//!   cell; the stamped seen-pair table deduplicates the work.
+//!   cell; the sorted key dedup collapses the duplicates.
 //!
 //! Load shedding (§5) surfaces here: members whose relative position was
 //! discarded are approximated **by their cluster centroid** — "individual
@@ -53,20 +63,18 @@
 //! the paper reports at η = 50 %, so the centroid reading is the one
 //! consistent with the paper's own measurements; see DESIGN.md.)
 
-use std::collections::hash_map::Entry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use scuba_motion::{ObjectId, QueryId, QuerySpec};
-use scuba_spatial::{Circle, FxHashMap, Point, Rect};
+use scuba_spatial::{Circle, Point, Rect};
 use scuba_stream::{QueryMatch, StageStats, Stopwatch};
 
-use crate::cluster::{ClusterId, MovingCluster};
-use crate::clustering::EpochTracker;
 use crate::grid::ClusterGrid;
 use crate::shedding::SheddingMode;
+use crate::store::{ClusterSlot, ClusterStore, EpochTracker};
 use crate::tables::QueriesTable;
 
-/// Stage name: grid cell walk + seen-pair dedup.
+/// Stage name: grid cell walk + sorted pair dedup.
 pub const STAGE_PAIR_DISCOVERY: &str = "pair-discovery";
 /// Stage name: cluster-pair overlap pre-filter (Algorithm 2).
 pub const STAGE_JOIN_BETWEEN: &str = "join-between";
@@ -74,6 +82,20 @@ pub const STAGE_JOIN_BETWEEN: &str = "join-between";
 pub const STAGE_JOIN_WITHIN: &str = "join-within";
 /// Stage name: sort + dedup of raw matches.
 pub const STAGE_RESULT_MERGE: &str = "result-merge";
+
+/// Packs an unordered slot pair into one sortable key (min slot in the
+/// high half, so sorted keys group by the smaller slot first).
+#[inline]
+fn pack_pair(a: ClusterSlot, b: ClusterSlot) -> u64 {
+    let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+    ((lo as u64) << 32) | hi as u64
+}
+
+/// Inverse of [`pack_pair`].
+#[inline]
+fn unpack_pair(key: u64) -> (ClusterSlot, ClusterSlot) {
+    (ClusterSlot((key >> 32) as u32), ClusterSlot(key as u32))
+}
 
 /// What one joining phase produced and how much work it did.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -109,8 +131,8 @@ pub struct JoinOutput {
 /// drive the identical join over offline-built clusters.
 #[derive(Debug, Clone, Copy)]
 pub struct JoinContext<'a> {
-    /// Live clusters by id.
-    pub clusters: &'a FxHashMap<ClusterId, MovingCluster>,
+    /// The cluster store: slab, SoA hot columns and the epoch clock.
+    pub store: &'a ClusterStore,
     /// The cluster grid driving the cell loop.
     pub grid: &'a ClusterGrid,
     /// Query attributes (range extents).
@@ -132,19 +154,28 @@ pub struct JoinContext<'a> {
     pub parallelism: usize,
 }
 
-/// Pair-keyed cache of join-within results, carried across epochs.
+/// Slot-pair-keyed cache of join-within results, carried across epochs.
 ///
-/// Each entry stores the raw matches one surviving cluster pair produced
-/// plus the [`EpochTracker`] clock value it was computed at. On the next
-/// round the pair replays the stored matches iff *both* clusters are still
-/// clean (no join-relevant mutation since `computed_at`) — in that case
-/// the materialised member state is bit-identical to last round's, so the
-/// replay is bit-identical to recomputation. Entries whose pair does not
-/// survive join-between this round (separated regions, dissolved cluster)
-/// are swept at the end of the round.
+/// Entries live in per-left-slot rows sorted by right slot, so the hot
+/// lookup is one indexed load plus a binary search over a short row — no
+/// hashing. Each entry stores the raw matches one surviving cluster pair
+/// produced plus the [`EpochTracker`] clock value it was computed at. On
+/// the next round the pair replays the stored matches iff *both* clusters
+/// are still clean (no join-relevant mutation since `computed_at`) — in
+/// that case the materialised member state is bit-identical to last
+/// round's, so the replay is bit-identical to recomputation.
+///
+/// Entries whose pair does not survive a round (separated regions, pruned,
+/// or a dissolved cluster) are swept at the end of that round, so the
+/// cache never retains entries for clusters that no longer co-occur —
+/// its size is bounded by the current surviving-pair population. Slot
+/// reuse between rounds cannot revalidate a stale entry: the epoch clock
+/// reads reused slots as dirty (see [`crate::store`]).
 #[derive(Debug, Default)]
 pub struct JoinCache {
-    entries: FxHashMap<(ClusterId, ClusterId), CacheEntry>,
+    /// `rows[left_slot]` = (right_slot, entry), sorted by right slot.
+    rows: Vec<Vec<(u32, CacheEntry)>>,
+    live: usize,
     round: u64,
 }
 
@@ -165,28 +196,100 @@ impl JoinCache {
 
     /// Number of cached pair results.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
-    /// Drops every entry (allocations are kept by the map itself).
+    /// Drops every entry (row allocations are kept).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        for row in &mut self.rows {
+            row.clear();
+        }
+        self.live = 0;
+    }
+
+    /// Grows the row table to cover left slots `0..n`.
+    fn ensure_slots(&mut self, n: usize) {
+        if self.rows.len() < n {
+            self.rows.resize_with(n, Vec::new);
+        }
+    }
+
+    /// The entry for `(left, right)`, if cached.
+    fn get(&self, left: ClusterSlot, right: ClusterSlot) -> Option<&CacheEntry> {
+        let row = self.rows.get(left.index())?;
+        let i = row.binary_search_by_key(&right.0, |e| e.0).ok()?;
+        Some(&row[i].1)
+    }
+
+    /// Mutable access to the entry for `(left, right)`, if cached.
+    fn get_mut(&mut self, left: ClusterSlot, right: ClusterSlot) -> Option<&mut CacheEntry> {
+        let row = self.rows.get_mut(left.index())?;
+        let i = row.binary_search_by_key(&right.0, |e| e.0).ok()?;
+        Some(&mut row[i].1)
+    }
+
+    /// Stores (or refreshes) the entry for `(left, right)`.
+    fn upsert(
+        &mut self,
+        left: ClusterSlot,
+        right: ClusterSlot,
+        matches: &[QueryMatch],
+        computed_at: u64,
+        round: u64,
+    ) {
+        let row = &mut self.rows[left.index()];
+        match row.binary_search_by_key(&right.0, |e| e.0) {
+            Ok(i) => {
+                let e = &mut row[i].1;
+                e.matches.clear();
+                e.matches.extend_from_slice(matches);
+                e.computed_at = computed_at;
+                e.last_used = round;
+            }
+            Err(i) => {
+                row.insert(
+                    i,
+                    (
+                        right.0,
+                        CacheEntry {
+                            matches: matches.to_vec(),
+                            computed_at,
+                            last_used: round,
+                        },
+                    ),
+                );
+                self.live += 1;
+            }
+        }
+    }
+
+    /// Drops every entry not used in `round`, returning how many fell.
+    fn sweep(&mut self, round: u64) -> usize {
+        let mut removed = 0;
+        for row in &mut self.rows {
+            let before = row.len();
+            row.retain(|(_, e)| e.last_used == round);
+            removed += before - row.len();
+        }
+        self.live -= removed;
+        removed
     }
 
     /// Estimated heap footprint in bytes.
     pub fn estimated_bytes(&self) -> usize {
-        let per_entry =
-            std::mem::size_of::<(ClusterId, ClusterId)>() + std::mem::size_of::<CacheEntry>() + 8;
-        self.entries.len() * per_entry
+        let row_header = std::mem::size_of::<Vec<(u32, CacheEntry)>>();
+        let per_entry = std::mem::size_of::<(u32, CacheEntry)>();
+        self.rows.len() * row_header
             + self
-                .entries
-                .values()
-                .map(|e| e.matches.capacity() * std::mem::size_of::<QueryMatch>())
+                .rows
+                .iter()
+                .flat_map(|row| row.iter())
+                .map(|(_, e)| per_entry + e.matches.capacity() * std::mem::size_of::<QueryMatch>())
                 .sum::<usize>()
     }
 }
@@ -194,22 +297,20 @@ impl JoinCache {
 /// Reusable working memory for the joining phase, owned by the operator
 /// and handed to [`JoinContext::run_cached`] every epoch.
 ///
-/// Holds the stamped seen-pair table of stage 1, the pair/task lists, the
+/// Holds the packed pair-key buffer of stage 1, the pair/task lists, the
 /// SoA materialisation arena of stage 3 and one scratch block per worker
 /// thread. In steady state an epoch performs no allocation: every buffer
-/// is cleared (length 0) but keeps its capacity.
+/// is cleared (length 0) but keeps its capacity, and nothing here carries
+/// per-cluster state across rounds.
 #[derive(Debug, Default)]
 pub struct JoinScratch {
-    /// Stamped visited table: a pair was seen this round iff its stamp
-    /// equals `seen_round`.
-    seen_pairs: FxHashMap<(ClusterId, ClusterId), u64>,
-    seen_round: u64,
-    /// Stage-1 output: unique pairs in first-seen order.
-    pairs: Vec<(ClusterId, ClusterId)>,
+    /// Stage-1 buffer: packed candidate pair keys, sorted + deduped in
+    /// place each round.
+    pairs: Vec<u64>,
     /// Stage-2 output: pairs surviving join-between.
-    tasks: Vec<(ClusterId, ClusterId)>,
+    tasks: Vec<(ClusterSlot, ClusterSlot)>,
     /// Stage-3 input: surviving pairs without a valid cache entry.
-    miss_tasks: Vec<(ClusterId, ClusterId)>,
+    miss_tasks: Vec<(ClusterSlot, ClusterSlot)>,
     /// Per-epoch SoA materialisation of member positions.
     arena: MatArena,
     /// One scratch block per join-within worker.
@@ -235,7 +336,7 @@ struct ExactQuery {
 /// Span-based view of one cluster materialised into the [`MatArena`].
 #[derive(Debug, Clone, Copy)]
 struct MatEntry {
-    cid: ClusterId,
+    slot: ClusterSlot,
     /// Span into `obj_ids`/`obj_x`/`obj_y`.
     objs: (u32, u32),
     /// Span into `shed_obj_ids`.
@@ -267,11 +368,18 @@ impl MatEntry {
 ///
 /// Member positions live in parallel `x`/`y`/`id` arrays so the inner
 /// containment loops stream over contiguous memory; per-cluster views are
-/// `(start, end)` spans ([`MatEntry`]). All vectors are cleared — not
-/// deallocated — between epochs.
+/// `(start, end)` spans ([`MatEntry`]) reached through a dense stamped
+/// per-slot index (no hashing). All vectors are cleared — not deallocated
+/// — between epochs.
 #[derive(Debug, Default)]
 struct MatArena {
-    index: FxHashMap<ClusterId, MatEntry>,
+    /// Per-slot epoch stamp: `slot` is materialised this epoch iff
+    /// `stamp[slot] == epoch`.
+    stamp: Vec<u64>,
+    /// Per-slot index into `entries`, valid when stamped.
+    slot_entry: Vec<u32>,
+    epoch: u64,
+    entries: Vec<MatEntry>,
     obj_ids: Vec<ObjectId>,
     obj_x: Vec<f64>,
     obj_y: Vec<f64>,
@@ -290,8 +398,14 @@ struct MatArena {
 }
 
 impl MatArena {
-    fn clear(&mut self) {
-        self.index.clear();
+    /// Starts a new epoch covering slots `0..capacity`.
+    fn clear(&mut self, capacity: usize) {
+        self.epoch += 1;
+        if self.stamp.len() < capacity {
+            self.stamp.resize(capacity, 0);
+            self.slot_entry.resize(capacity, 0);
+        }
+        self.entries.clear();
         self.obj_ids.clear();
         self.obj_x.clear();
         self.obj_y.clear();
@@ -300,6 +414,15 @@ impl MatArena {
         self.group_regions.clear();
         self.group_qid_spans.clear();
         self.group_qids.clear();
+    }
+
+    /// The entry for `slot`, if materialised this epoch.
+    fn entry(&self, slot: ClusterSlot) -> Option<&MatEntry> {
+        if self.stamp.get(slot.index()) == Some(&self.epoch) {
+            Some(&self.entries[self.slot_entry[slot.index()] as usize])
+        } else {
+            None
+        }
     }
 }
 
@@ -329,8 +452,8 @@ impl WorkerScratch {
 /// One computed pair and the span of the worker's `results` it produced.
 #[derive(Debug, Clone, Copy)]
 struct PairRec {
-    left: ClusterId,
-    right: ClusterId,
+    left: ClusterSlot,
+    right: ClusterSlot,
     start: u32,
     end: u32,
 }
@@ -350,7 +473,7 @@ impl<'a> JoinContext<'a> {
 
     /// Runs the joining phase incrementally.
     ///
-    /// `epochs` is the engine's per-cluster mutation clock; `None` disables
+    /// `epochs` is the store's per-slot mutation clock; `None` disables
     /// caching entirely (every pair is computed, nothing is stored, the
     /// cache counters stay zero). With `Some`, surviving pairs whose two
     /// clusters are both clean since the pair's cached epoch replay their
@@ -372,7 +495,7 @@ impl<'a> JoinContext<'a> {
         let mut out = JoinOutput::default();
         let mut sw = Stopwatch::start();
 
-        // Stage 1 — pair discovery: cell walk + stamped seen-pair dedup.
+        // Stage 1 — pair discovery: cell walk + sorted pair dedup.
         let (entries_walked, candidates) = self.discover_pairs(scratch);
         let discovered = scratch.pairs.len() as u64;
         out.stages.push(
@@ -400,24 +523,26 @@ impl<'a> JoinContext<'a> {
         cache.round += 1;
         let round = cache.round;
         let clock = epochs.map(EpochTracker::clock);
+        if epochs.is_some() {
+            cache.ensure_slots(self.store.capacity());
+        }
         scratch.miss_tasks.clear();
         for &(left, right) in &scratch.tasks {
             let valid = epochs.is_some_and(|ep| {
-                cache.entries.get(&(left, right)).is_some_and(|e| {
+                cache.get(left, right).is_some_and(|e| {
                     ep.clean_since(left, e.computed_at) && ep.clean_since(right, e.computed_at)
                 })
             });
             if valid {
                 let entry = cache
-                    .entries
-                    .get_mut(&(left, right))
+                    .get_mut(left, right)
                     .expect("validity implies presence");
                 entry.last_used = round;
                 out.results.extend_from_slice(&entry.matches);
                 out.cache_hits += 1;
             } else {
                 if epochs.is_some() {
-                    if cache.entries.contains_key(&(left, right)) {
+                    if cache.get(left, right).is_some() {
                         // A stale entry: its inputs mutated.
                         out.cache_invalidations += 1;
                     }
@@ -436,7 +561,7 @@ impl<'a> JoinContext<'a> {
                 workers,
                 ..
             } = &mut *scratch;
-            arena.clear();
+            arena.clear(self.store.capacity());
             for &(left, right) in miss_tasks.iter() {
                 self.materialize_into(left, arena);
                 if right != left {
@@ -454,22 +579,7 @@ impl<'a> JoinContext<'a> {
                 let clock = clock.expect("clock captured with epochs");
                 for rec in &ws.records {
                     let matches = &ws.results[rec.start as usize..rec.end as usize];
-                    match cache.entries.entry((rec.left, rec.right)) {
-                        Entry::Occupied(mut o) => {
-                            let e = o.get_mut();
-                            e.matches.clear();
-                            e.matches.extend_from_slice(matches);
-                            e.computed_at = clock;
-                            e.last_used = round;
-                        }
-                        Entry::Vacant(v) => {
-                            v.insert(CacheEntry {
-                                matches: matches.to_vec(),
-                                computed_at: clock,
-                                last_used: round,
-                            });
-                        }
-                    }
+                    cache.upsert(rec.left, rec.right, matches, clock, round);
                 }
             }
             out.results.extend_from_slice(&ws.results);
@@ -478,9 +588,7 @@ impl<'a> JoinContext<'a> {
         // Sweep entries whose pair did not survive this round: the pair
         // separated, was pruned, or one of its clusters dissolved.
         if epochs.is_some() {
-            let before = cache.entries.len();
-            cache.entries.retain(|_, e| e.last_used == round);
-            out.cache_invalidations += (before - cache.entries.len()) as u64;
+            out.cache_invalidations += cache.sweep(round) as u64;
         }
 
         let raw = out.results.len() as u64;
@@ -505,13 +613,12 @@ impl<'a> JoinContext<'a> {
         out
     }
 
-    /// Stage 1: walks the grid cell by cell and collects each cluster pair
-    /// sharing a cell exactly once (self-pairs included), in first-seen
-    /// order, into `scratch.pairs`. Returns `(entries_walked, candidates)`.
+    /// Stage 1: walks the grid cell by cell, packing each co-resident slot
+    /// pair (self-pairs included) into a `u64` key, then sorts + dedups
+    /// the reused key buffer in place. Returns `(entries_walked,
+    /// candidates)`.
     fn discover_pairs(&self, scratch: &mut JoinScratch) -> (u64, u64) {
         scratch.pairs.clear();
-        scratch.seen_round += 1;
-        let round = scratch.seen_round;
         let mut entries_walked = 0u64;
         let mut candidates = 0u64;
         for (_, cell) in self.grid.iter_nonempty() {
@@ -519,50 +626,37 @@ impl<'a> JoinContext<'a> {
             for (i, &left) in cell.iter().enumerate() {
                 for &right in &cell[i..] {
                     candidates += 1;
-                    let key = if left <= right {
-                        (left, right)
-                    } else {
-                        (right, left)
-                    };
-                    let stamp = scratch.seen_pairs.entry(key).or_insert(0);
-                    if *stamp != round {
-                        *stamp = round;
-                        scratch.pairs.push(key);
-                    }
+                    scratch.pairs.push(pack_pair(left, right));
                 }
             }
         }
-        // The stamp table keeps keys of pairs that no longer co-occur
-        // (dissolved or drifted-apart clusters). Compact it when stale
-        // keys clearly dominate, so it stays proportional to the live
-        // pair population.
-        if scratch.seen_pairs.len() > 4 * scratch.pairs.len() + 1024 {
-            scratch.seen_pairs.retain(|_, stamp| *stamp == round);
-        }
+        scratch.pairs.sort_unstable();
+        scratch.pairs.dedup();
         (entries_walked, candidates)
     }
 
     /// Stage 2: filters the discovered pairs down to the ones join-within
-    /// must examine. Same-cluster pairs survive only for mixed clusters
-    /// (Algorithm 1, step 14); cross pairs survive the joinable-kind check
-    /// and the region-overlap test (Algorithm 2). Updates the pair
+    /// must examine, reading only the store's SoA columns. Same-cluster
+    /// pairs survive only for mixed clusters (Algorithm 1, step 14); cross
+    /// pairs survive the joinable-kind check and the region-overlap test
+    /// (Algorithm 2). Vacant slots carry zero member counts, so stale grid
+    /// entries (if any) drop out at the kind check. Updates the pair
     /// counters and overlap-test count on `out`.
     fn join_between(
         &self,
-        pairs: &[(ClusterId, ClusterId)],
-        tasks: &mut Vec<(ClusterId, ClusterId)>,
+        pair_keys: &[u64],
+        tasks: &mut Vec<(ClusterSlot, ClusterSlot)>,
         out: &mut JoinOutput,
     ) {
         tasks.clear();
-        for &(left, right) in pairs {
-            let (Some(m_l), Some(m_r)) = (self.clusters.get(&left), self.clusters.get(&right))
-            else {
-                continue; // stale grid entry
-            };
+        let cols = self.store.columns();
+        for &key in pair_keys {
+            let (left, right) = unpack_pair(key);
+            let (li, ri) = (left.index(), right.index());
 
             if left == right {
                 // Same-cluster join-within only for mixed clusters.
-                if m_l.is_mixed() {
+                if cols.object_count[li] > 0 && cols.query_count[li] > 0 {
                     tasks.push((left, right));
                 }
                 continue;
@@ -570,18 +664,24 @@ impl<'a> JoinContext<'a> {
 
             // Only cross-kind pairs can produce results (Algorithm 1,
             // step 18).
-            let joinable = (m_l.object_count() > 0 && m_r.query_count() > 0)
-                || (m_l.query_count() > 0 && m_r.object_count() > 0);
+            let joinable = (cols.object_count[li] > 0 && cols.query_count[ri] > 0)
+                || (cols.query_count[li] > 0 && cols.object_count[ri] > 0);
             if !joinable {
                 continue;
             }
 
             // The overlap pre-filter, with the query side inflated by its
             // widest range so pruned pairs really cannot produce results
-            // (see MovingCluster::effective_region).
+            // (see MovingCluster::effective_region). The circles are
+            // rebuilt from the SoA columns — bit-identical to the cluster
+            // methods, since the columns re-sync on every mutation.
             out.prefilter_tests += 1;
-            let can_match = m_l.region().overlaps(&m_r.effective_region())
-                || m_r.region().overlaps(&m_l.effective_region());
+            let l_center = Point::new(cols.cx[li], cols.cy[li]);
+            let r_center = Point::new(cols.cx[ri], cols.cy[ri]);
+            let can_match = Circle::new(l_center, cols.radius[li])
+                .overlaps(&Circle::new(r_center, cols.eff_radius[ri]))
+                || Circle::new(r_center, cols.radius[ri])
+                    .overlaps(&Circle::new(l_center, cols.eff_radius[li]));
             if !can_match {
                 out.pairs_pruned += 1;
                 continue;
@@ -604,7 +704,7 @@ impl<'a> JoinContext<'a> {
     /// merge stage.
     fn join_misses(
         &self,
-        miss_tasks: &[(ClusterId, ClusterId)],
+        miss_tasks: &[(ClusterSlot, ClusterSlot)],
         arena: &MatArena,
         workers: &mut Vec<WorkerScratch>,
     ) -> usize {
@@ -646,12 +746,12 @@ impl<'a> JoinContext<'a> {
     fn join_pair(
         &self,
         arena: &MatArena,
-        left: ClusterId,
-        right: ClusterId,
+        left: ClusterSlot,
+        right: ClusterSlot,
         ws: &mut WorkerScratch,
     ) {
         let start = ws.results.len() as u32;
-        if let (Some(&m_l), Some(&m_r)) = (arena.index.get(&left), arena.index.get(&right)) {
+        if let (Some(&m_l), Some(&m_r)) = (arena.entry(left), arena.entry(right)) {
             if left == right {
                 self.join_members(arena, &m_l, &m_l, ws);
             } else {
@@ -694,7 +794,7 @@ impl<'a> JoinContext<'a> {
         // The reach filters are no-ops within a single cluster (every
         // member is inside its own region by construction), and disabled
         // entirely when ablating.
-        let skip_filters = objects_of.cid == queries_of.cid || !self.member_filter;
+        let skip_filters = objects_of.slot == queries_of.slot || !self.member_filter;
 
         // Exact queries that can reach the object cluster at all.
         ws.active.clear();
@@ -783,16 +883,17 @@ impl<'a> JoinContext<'a> {
         }
     }
 
-    /// Applies the lazy transformation to every member of `cid` — "we
-    /// refrain from constantly updating the relative positions of the
-    /// cluster members, as this info is not needed, unless a join-within
-    /// is to be performed" (§3.1) — writing flat SoA spans into the arena.
-    /// Shed members materialise at the centroid. Idempotent per epoch.
-    fn materialize_into(&self, cid: ClusterId, arena: &mut MatArena) {
-        if arena.index.contains_key(&cid) {
+    /// Applies the lazy transformation to every member of the cluster at
+    /// `slot` — "we refrain from constantly updating the relative
+    /// positions of the cluster members, as this info is not needed,
+    /// unless a join-within is to be performed" (§3.1) — writing flat SoA
+    /// spans into the arena. Shed members materialise at the centroid.
+    /// Idempotent per epoch.
+    fn materialize_into(&self, slot: ClusterSlot, arena: &mut MatArena) {
+        if arena.entry(slot).is_some() {
             return;
         }
-        let Some(cluster) = self.clusters.get(&cid) else {
+        let Some(cluster) = self.store.get(slot) else {
             return;
         };
         let centroid = cluster.centroid();
@@ -882,19 +983,18 @@ impl<'a> JoinContext<'a> {
         arena.pending_groups = pending;
 
         let region = cluster.region();
-        arena.index.insert(
-            cid,
-            MatEntry {
-                cid,
-                objs: (objs_start, arena.obj_ids.len() as u32),
-                shed_objs: (shed_start, arena.shed_obj_ids.len() as u32),
-                queries: (queries_start, arena.queries.len() as u32),
-                groups: (groups_start, arena.group_regions.len() as u32),
-                centroid,
-                region,
-                reach: Circle::new(region.center, region.radius + cluster.max_query_radius()),
-            },
-        );
+        arena.stamp[slot.index()] = arena.epoch;
+        arena.slot_entry[slot.index()] = arena.entries.len() as u32;
+        arena.entries.push(MatEntry {
+            slot,
+            objs: (objs_start, arena.obj_ids.len() as u32),
+            shed_objs: (shed_start, arena.shed_obj_ids.len() as u32),
+            queries: (queries_start, arena.queries.len() as u32),
+            groups: (groups_start, arena.group_regions.len() as u32),
+            centroid,
+            region,
+            reach: Circle::new(region.center, region.radius + cluster.max_query_radius()),
+        });
     }
 }
 
@@ -939,7 +1039,7 @@ mod tests {
 
     fn ctx(engine: &ClusterEngine) -> JoinContext<'_> {
         JoinContext {
-            clusters: engine.clusters(),
+            store: engine.store(),
             grid: engine.grid(),
             queries: engine.queries(),
             shedding: engine.params().shedding,
@@ -947,6 +1047,17 @@ mod tests {
             member_filter: engine.params().member_filter,
             parallelism: engine.params().parallelism,
         }
+    }
+
+    #[test]
+    fn pair_keys_pack_and_unpack() {
+        let a = ClusterSlot(7);
+        let b = ClusterSlot(3);
+        let key = pack_pair(a, b);
+        assert_eq!(key, pack_pair(b, a), "keys are order-insensitive");
+        assert_eq!(unpack_pair(key), (ClusterSlot(3), ClusterSlot(7)));
+        let self_key = pack_pair(a, a);
+        assert_eq!(unpack_pair(self_key), (a, a));
     }
 
     #[test]
@@ -1031,7 +1142,7 @@ mod tests {
     #[test]
     fn pair_spanning_multiple_cells_joined_once() {
         // Big query range and a coarse-ish grid: both clusters overlap
-        // several cells; the stamped seen-table must dedup.
+        // several cells; the sorted key dedup must collapse them.
         let params = ScubaParams::default().with_grid_cells(4);
         let mut e = ClusterEngine::new(params, Rect::square(1000.0));
         for i in 0..5 {
@@ -1260,5 +1371,40 @@ mod tests {
         assert_eq!(plain.cache_hits, 0);
         assert_eq!(plain.cache_misses, 0);
         assert_eq!(plain.cache_invalidations, 0);
+    }
+
+    #[test]
+    fn cache_stays_bounded_under_cluster_churn() {
+        // Clusters dissolve and respawn (reusing slots) every round; the
+        // end-of-round sweep must keep the cache proportional to the live
+        // surviving-pair population, never accumulating dead entries.
+        let params = ScubaParams::default().with_grid_cells(8);
+        let mut e = ClusterEngine::new(params, Rect::square(1000.0));
+        let mut cache = JoinCache::new();
+        let mut scratch = JoinScratch::new();
+        let mut max_len = 0usize;
+        for round in 0..30u64 {
+            // Two co-located convoys that re-form each round after the
+            // maintenance pass dissolves whoever reached its destination.
+            for i in 0..4u64 {
+                let x = 400.0 + i as f64 * 6.0 + (round % 3) as f64;
+                let mut o = obj(i, x, 500.0, 30.0, CN_EAST);
+                o.time = round;
+                e.process_update(&o);
+                let mut q = qry(i, x + 2.0, 502.0, 30.0, CN_WEST, 40.0);
+                q.time = round;
+                e.process_update(&q);
+            }
+            let out = ctx(&e).run_cached(Some(e.epochs()), &mut cache, &mut scratch);
+            assert!(
+                cache.len() as u64 <= out.cache_hits + out.cache_misses,
+                "round {round}: {} cached entries but only {} surviving pairs",
+                cache.len(),
+                out.cache_hits + out.cache_misses
+            );
+            max_len = max_len.max(cache.len());
+            e.post_join_maintenance(round);
+        }
+        assert!(max_len > 0, "the cache did see entries");
     }
 }

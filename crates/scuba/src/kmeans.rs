@@ -25,6 +25,7 @@ use crate::grid::ClusterGrid;
 use crate::join::{JoinContext, JoinOutput};
 use crate::params::ScubaParams;
 use crate::shedding::SheddingMode;
+use crate::store::ClusterStore;
 use crate::tables::QueriesTable;
 
 /// K-means configuration.
@@ -49,8 +50,9 @@ impl Default for KMeansConfig {
 /// Result of offline clustering: clusters + index, ready for joining.
 #[derive(Debug)]
 pub struct KMeansOutcome {
-    /// The built clusters.
-    pub clusters: FxHashMap<ClusterId, MovingCluster>,
+    /// The built clusters, in the same slab + SoA store the incremental
+    /// engine uses — so the join sweeps the identical hot columns.
+    pub clusters: ClusterStore,
     /// Cluster index over the same grid the incremental engine would use.
     pub grid: ClusterGrid,
     /// Query attributes harvested from the snapshot.
@@ -68,7 +70,7 @@ impl KMeansOutcome {
     /// Runs the standard SCUBA join over the offline-built clusters.
     pub fn join(&self, params: &ScubaParams) -> JoinOutput {
         JoinContext {
-            clusters: &self.clusters,
+            store: &self.clusters,
             grid: &self.grid,
             queries: &self.queries,
             shedding: SheddingMode::None,
@@ -146,7 +148,7 @@ pub fn kmeans_cluster(
         }
     }
 
-    let mut clusters = FxHashMap::default();
+    let mut clusters = ClusterStore::new();
     let mut grid = ClusterGrid::new(GridSpec::new(area, params.grid_cells));
     let mut next_cid = 0u64;
     for members in members_of {
@@ -159,8 +161,9 @@ pub fn kmeans_cluster(
         for u in rest {
             cluster.absorb(u, false);
         }
-        grid.insert(cid, &cluster.effective_region());
-        clusters.insert(cid, cluster);
+        let region = cluster.effective_region();
+        let slot = clusters.insert(cluster);
+        grid.insert(slot, &region);
     }
 
     KMeansOutcome {

@@ -66,14 +66,14 @@ pub fn evaluate_continuous(engine: &ClusterEngine) -> Vec<scuba_stream::QueryMat
 /// cluster never contains objects, but the query may be travelling inside
 /// an object convoy).
 pub fn knn_for_query(engine: &ClusterEngine, query: QueryId, k: usize) -> Option<KnnAnswer> {
-    let cid = engine.home().cluster_of(query.into())?;
-    let cluster = engine.cluster(cid)?;
+    let slot = engine.home().cluster_of(query.into())?;
+    let cluster = engine.cluster_at(slot)?;
     let member = cluster.member(query.into())?;
     let center = cluster
         .member_position(member)
         .unwrap_or_else(|| cluster.centroid());
     let candidate = if cluster.object_count() >= k {
-        Some(cid)
+        Some(slot)
     } else {
         engine
             .grid()
@@ -82,19 +82,20 @@ pub fn knn_for_query(engine: &ClusterEngine, query: QueryId, k: usize) -> Option
             .copied()
             .find(|other| {
                 engine
-                    .cluster(*other)
+                    .cluster_at(*other)
                     .is_some_and(|c| c.object_count() >= k && c.region().contains(&center))
             })
     };
     Some(knn_at(engine, center, k, candidate))
 }
 
-/// Answers a kNN query around an arbitrary position.
+/// Answers a kNN query around an arbitrary position. `home_cluster` is the
+/// slot of the cluster the query travels in, if known.
 pub fn knn_at(
     engine: &ClusterEngine,
     center: Point,
     k: usize,
-    home_cluster: Option<crate::cluster::ClusterId>,
+    home_cluster: Option<crate::store::ClusterSlot>,
 ) -> KnnAnswer {
     if k == 0 {
         return KnnAnswer {
@@ -104,8 +105,8 @@ pub fn knn_at(
     }
 
     // Shortcut: isolated home cluster with enough object members.
-    if let Some(cid) = home_cluster {
-        if let Some(cluster) = engine.cluster(cid) {
+    if let Some(slot) = home_cluster {
+        if let Some(cluster) = engine.cluster_at(slot) {
             if cluster.object_count() >= k && is_isolated(engine, cluster) {
                 let mut neighbors = collect_neighbors(cluster, &center);
                 truncate_k(&mut neighbors, k);

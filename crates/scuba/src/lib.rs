@@ -30,6 +30,7 @@
 //! | [`params`] | §3.1, §6.1 | Θ_D, Θ_S, Δ, grid granularity, shedding policy |
 //! | [`cluster`] | §3.1 | [`MovingCluster`]: centroid, radius, polar members, velocity, expiry |
 //! | [`grid`] | §4.1 | `ClusterGrid`: the N×N index of cluster regions |
+//! | [`store`] | §4.1 | [`ClusterStore`]: generational slab + SoA hot columns + epoch clock |
 //! | [`tables`] | §4.1 | ObjectsTable, QueriesTable, ClusterHome |
 //! | [`clustering`] | §3.2 | the five-step incremental (Leader–Follower) clusterer |
 //! | [`join`] | §4, Algs 1–3 | join-between + join-within |
@@ -98,13 +99,13 @@ pub mod qindex;
 pub mod shedding;
 pub mod sina;
 pub mod snapshot;
+pub mod store;
 pub mod tables;
 pub mod vci;
 
 pub use accuracy::AccuracyReport;
 pub use baseline::{PointHashedGridOperator, RegularGridOperator};
 pub use cluster::{ClusterId, Member, MovingCluster};
-pub use clustering::EpochTracker;
 pub use delta::{DeltaTracker, ResultDelta};
 pub use engine::ScubaOperator;
 pub use join::{JoinCache, JoinContext, JoinScratch};
@@ -115,6 +116,7 @@ pub use qindex::QueryIndexOperator;
 pub use shedding::{AdaptiveShedder, SheddingMode};
 pub use sina::IncrementalGridOperator;
 pub use snapshot::EngineSnapshot;
+pub use store::{ClusterSlot, ClusterStore, EpochTracker, StoreColumns};
 pub use vci::{VciConfig, VciOperator};
 
 // Ingestion-hardening policy lives in the stream substrate but is part of

@@ -269,7 +269,7 @@ mod tests {
         let restored = EngineSnapshot::capture(&original).restore().unwrap();
         let run = |e: &ClusterEngine| {
             JoinContext {
-                clusters: e.clusters(),
+                store: e.store(),
                 grid: e.grid(),
                 queries: e.queries(),
                 shedding: e.params().shedding,

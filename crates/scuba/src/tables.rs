@@ -6,12 +6,13 @@
 //! * **ClusterHome** — "a hash table that keeps track of the current
 //!   relationships between objects, queries and their corresponding
 //!   clusters. A moving object/query can belong to only one cluster at a
-//!   time".
+//!   time". It maps entities to dense [`ClusterSlot`] handles so membership
+//!   resolution feeds straight into the store's indexed paths.
 
 use scuba_motion::{EntityRef, ObjectAttrs, ObjectId, QueryAttrs, QueryId};
 use scuba_spatial::FxHashMap;
 
-use crate::cluster::ClusterId;
+use crate::store::ClusterSlot;
 
 /// Registry of object attributes.
 #[derive(Debug, Clone, Default)]
@@ -112,10 +113,10 @@ impl QueriesTable {
     }
 }
 
-/// Entity → cluster membership map.
+/// Entity → cluster-slot membership map.
 #[derive(Debug, Clone, Default)]
 pub struct ClusterHome {
-    home: FxHashMap<EntityRef, ClusterId>,
+    home: FxHashMap<EntityRef, ClusterSlot>,
 }
 
 impl ClusterHome {
@@ -124,19 +125,19 @@ impl ClusterHome {
         Self::default()
     }
 
-    /// Records that `entity` now belongs to `cluster`, returning its
-    /// previous cluster if it had one.
-    pub fn assign(&mut self, entity: EntityRef, cluster: ClusterId) -> Option<ClusterId> {
-        self.home.insert(entity, cluster)
+    /// Records that `entity` now belongs to the cluster at `slot`,
+    /// returning its previous slot if it had one.
+    pub fn assign(&mut self, entity: EntityRef, slot: ClusterSlot) -> Option<ClusterSlot> {
+        self.home.insert(entity, slot)
     }
 
-    /// The cluster `entity` currently belongs to.
-    pub fn cluster_of(&self, entity: EntityRef) -> Option<ClusterId> {
+    /// The slot of the cluster `entity` currently belongs to.
+    pub fn cluster_of(&self, entity: EntityRef) -> Option<ClusterSlot> {
         self.home.get(&entity).copied()
     }
 
     /// Removes the entity's membership, returning it.
-    pub fn unassign(&mut self, entity: EntityRef) -> Option<ClusterId> {
+    pub fn unassign(&mut self, entity: EntityRef) -> Option<ClusterSlot> {
         self.home.remove(&entity)
     }
 
@@ -153,7 +154,7 @@ impl ClusterHome {
     /// Estimated heap footprint in bytes.
     pub fn estimated_bytes(&self) -> usize {
         self.home.capacity()
-            * (std::mem::size_of::<EntityRef>() + std::mem::size_of::<ClusterId>() + 8)
+            * (std::mem::size_of::<EntityRef>() + std::mem::size_of::<ClusterSlot>() + 8)
     }
 }
 
@@ -206,13 +207,13 @@ mod tests {
     fn cluster_home_single_membership() {
         let mut h = ClusterHome::new();
         let o: EntityRef = ObjectId(5).into();
-        assert_eq!(h.assign(o, ClusterId(1)), None);
-        assert_eq!(h.cluster_of(o), Some(ClusterId(1)));
-        // Re-assignment returns the previous cluster (the entity moved).
-        assert_eq!(h.assign(o, ClusterId(2)), Some(ClusterId(1)));
-        assert_eq!(h.cluster_of(o), Some(ClusterId(2)));
+        assert_eq!(h.assign(o, ClusterSlot(1)), None);
+        assert_eq!(h.cluster_of(o), Some(ClusterSlot(1)));
+        // Re-assignment returns the previous slot (the entity moved).
+        assert_eq!(h.assign(o, ClusterSlot(2)), Some(ClusterSlot(1)));
+        assert_eq!(h.cluster_of(o), Some(ClusterSlot(2)));
         assert_eq!(h.len(), 1);
-        assert_eq!(h.unassign(o), Some(ClusterId(2)));
+        assert_eq!(h.unassign(o), Some(ClusterSlot(2)));
         assert_eq!(h.cluster_of(o), None);
         assert!(h.is_empty());
     }
@@ -220,18 +221,18 @@ mod tests {
     #[test]
     fn object_and_query_ids_do_not_collide_in_home() {
         let mut h = ClusterHome::new();
-        h.assign(ObjectId(1).into(), ClusterId(1));
-        h.assign(QueryId(1).into(), ClusterId(2));
+        h.assign(ObjectId(1).into(), ClusterSlot(1));
+        h.assign(QueryId(1).into(), ClusterSlot(2));
         assert_eq!(h.len(), 2);
-        assert_eq!(h.cluster_of(ObjectId(1).into()), Some(ClusterId(1)));
-        assert_eq!(h.cluster_of(QueryId(1).into()), Some(ClusterId(2)));
+        assert_eq!(h.cluster_of(ObjectId(1).into()), Some(ClusterSlot(1)));
+        assert_eq!(h.cluster_of(QueryId(1).into()), Some(ClusterSlot(2)));
     }
 
     #[test]
     fn estimated_bytes_nonzero_when_filled() {
         let mut h = ClusterHome::new();
         for i in 0..100 {
-            h.assign(ObjectId(i).into(), ClusterId(i));
+            h.assign(ObjectId(i).into(), ClusterSlot(i as u32));
         }
         assert!(h.estimated_bytes() > 0);
         let mut t = ObjectsTable::new();

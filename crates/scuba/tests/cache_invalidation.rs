@@ -57,7 +57,7 @@ fn convoy(engine: &mut ClusterEngine, tag: u64, centre: Point, n_objects: u64, t
 /// from-scratch [`JoinContext::run`] over the same state.
 fn joined(engine: &ClusterEngine, cache: &mut JoinCache, scratch: &mut JoinScratch) -> JoinOutput {
     let ctx = JoinContext {
-        clusters: engine.clusters(),
+        store: engine.store(),
         grid: engine.grid(),
         queries: engine.queries(),
         shedding: engine.params().shedding,
@@ -94,10 +94,11 @@ fn dissolve_mid_epoch_invalidates_cached_pair() {
     assert!(warm.cache_hits >= 2, "silent epoch replays every pair");
     assert_eq!(warm.cache_misses, 0);
 
-    let cid = engine
+    let slot = engine
         .home()
         .cluster_of(EntityRef::Query(QueryId(2)))
         .expect("query 2 is clustered");
+    let cid = engine.cluster_at(slot).expect("slot is live").cid;
     engine.dissolve(cid);
     engine.check_invariants();
 
@@ -256,7 +257,8 @@ fn remove_entity_invalidates_cached_pair() {
     // An object of convoy 2 deregisters (left the system, not merely
     // silent). Its cluster is dirtied; convoy 1 is untouched.
     let gone = EntityRef::Object(ObjectId(200));
-    let cid = engine.home().cluster_of(gone).expect("object is clustered");
+    let slot = engine.home().cluster_of(gone).expect("object is clustered");
+    let cid = engine.cluster_at(slot).expect("slot is live").cid;
     assert!(engine.remove_entity(gone), "entity was known");
     assert!(
         engine.home().cluster_of(gone).is_none(),

@@ -217,6 +217,51 @@ proptest! {
         prop_assert_eq!(truth, measured);
     }
 
+    /// The store-backed engine's reports are a pure function of the
+    /// durable entity state: parallelism {1, 2, 4} × join cache {on, off}
+    /// all agree on every tick — the dense slot tables, the sorted pair
+    /// dedup and the epoch-keyed cache change work, never answers.
+    #[test]
+    fn parallelism_and_cache_do_not_change_results(
+        batches in prop::collection::vec(arb_updates(40), 1..3),
+    ) {
+        let configs: Vec<ScubaParams> = [1usize, 2, 4]
+            .iter()
+            .flat_map(|&p| {
+                [true, false].iter().map(move |&cache| {
+                    ScubaParams::default()
+                        .with_parallelism(p)
+                        .with_join_cache(cache)
+                })
+            })
+            .collect();
+        let mut ops: Vec<ScubaOperator> = configs
+            .iter()
+            .map(|&params| ScubaOperator::new(params, area()))
+            .collect();
+        for (tick, batch) in batches.iter().enumerate() {
+            let now = (tick as u64 + 1) * 2;
+            let mut reference: Option<Vec<scuba_stream::QueryMatch>> = None;
+            for (op, params) in ops.iter_mut().zip(&configs) {
+                for u in batch {
+                    op.process_update(u);
+                }
+                let results = op.evaluate(now).results;
+                match &reference {
+                    None => reference = Some(results),
+                    Some(expected) => prop_assert_eq!(
+                        &results,
+                        expected,
+                        "tick {}: parallelism {} cache {} diverged",
+                        tick,
+                        params.parallelism,
+                        params.join_cache
+                    ),
+                }
+            }
+        }
+    }
+
     /// Partial shedding with η = 0 behaves exactly like no shedding.
     #[test]
     fn zero_eta_is_exact(updates in arb_updates(40)) {

@@ -220,9 +220,12 @@ fn assert_engines_identical(a: &ClusterEngine, b: &ClusterEngine, what: &str) {
         "{what}: epoch clocks diverged"
     );
     for cid in a.clusters().keys() {
+        let sa = a.slot_of(cid).expect("live cluster has a slot");
+        let sb = b.slot_of(cid).expect("live cluster has a slot");
+        assert_eq!(sa, sb, "{what}: slot of {cid:?} diverged");
         assert_eq!(
-            a.epochs().mark(*cid),
-            b.epochs().mark(*cid),
+            a.epochs().mark(sa),
+            b.epochs().mark(sb),
             "{what}: epoch stamp of {cid:?} diverged"
         );
     }

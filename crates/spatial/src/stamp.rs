@@ -1,0 +1,111 @@
+//! Dense stamped tables for per-round membership tests.
+//!
+//! A recurring pattern in the hot per-Δ loops: visit a set of small-integer
+//! handles (grid cells, cluster slots), needing an O(1) "seen this round?"
+//! test without clearing a hash set between rounds. A [`StampSlab`] keeps
+//! one `u64` stamp per handle and bumps a round counter instead of zeroing
+//! the table — `mark` / `is_marked` are a load + compare, and starting a new
+//! round is O(1).
+//!
+//! Unlike a hash set, the table is indexed directly by the handle, so it
+//! never hashes and never chases pointers; memory is proportional to the
+//! *largest* handle ever seen, which is exactly right for slab-allocated
+//! slot handles that are reused densely.
+
+/// A dense, round-stamped membership table over `u32` handles.
+#[derive(Debug, Clone, Default)]
+pub struct StampSlab {
+    stamps: Vec<u64>,
+    round: u64,
+}
+
+impl StampSlab {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        StampSlab::default()
+    }
+
+    /// Starts a new round; every handle becomes unmarked in O(1).
+    pub fn new_round(&mut self) {
+        self.round += 1;
+    }
+
+    /// Grows the table to cover handles `0..len` (no-op when large enough).
+    pub fn ensure_len(&mut self, len: usize) {
+        if self.stamps.len() < len {
+            self.stamps.resize(len, 0);
+        }
+    }
+
+    /// Number of handles the table currently covers.
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Whether the table covers no handles at all.
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+
+    /// Marks `handle` for the current round, growing the table on demand.
+    /// Returns `true` when the handle was not yet marked this round.
+    pub fn mark(&mut self, handle: u32) -> bool {
+        let i = handle as usize;
+        if i >= self.stamps.len() {
+            self.stamps.resize(i + 1, 0);
+        }
+        if self.stamps[i] == self.round {
+            false
+        } else {
+            self.stamps[i] = self.round;
+            true
+        }
+    }
+
+    /// Whether `handle` has been marked this round.
+    pub fn is_marked(&self, handle: u32) -> bool {
+        self.stamps.get(handle as usize) == Some(&self.round)
+    }
+
+    /// Bytes of heap the table holds.
+    pub fn estimated_bytes(&self) -> usize {
+        self.stamps.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_are_per_round() {
+        let mut s = StampSlab::new();
+        s.new_round();
+        assert!(s.mark(3));
+        assert!(!s.mark(3), "second mark in the same round");
+        assert!(s.is_marked(3));
+        assert!(!s.is_marked(2));
+        s.new_round();
+        assert!(!s.is_marked(3), "new round unmarks everything");
+        assert!(s.mark(3));
+    }
+
+    #[test]
+    fn grows_on_demand() {
+        let mut s = StampSlab::new();
+        s.new_round();
+        assert!(s.mark(100));
+        assert!(s.len() >= 101);
+        assert!(!s.is_marked(99));
+        s.ensure_len(500);
+        assert_eq!(s.len(), 500);
+        assert!(s.is_marked(100), "growth preserves marks");
+    }
+
+    #[test]
+    fn fresh_table_marks_nothing() {
+        let s = StampSlab::new();
+        assert!(!s.is_marked(0));
+        assert!(s.is_empty());
+    }
+}
