@@ -1,0 +1,328 @@
+//! `grid` — uniform vs adaptive spatial index under hotspot skew.
+//!
+//! Drives the same generated workload — a flat variant and a hotspot
+//! variant (trip endpoints biased towards two downtown discs) — through
+//! two operators that differ only in `ScubaParams::index`:
+//!
+//! * `uniform` — the paper's flat N×N cluster grid;
+//! * `adaptive` — the split/merge grid that refines hot cells into
+//!   quadtree-style subcells and merges them back when they cool.
+//!
+//! Per (workload, index) run it measures full `evaluate` tick latency and
+//! the per-cell occupancy histogram of the candidate lists the join walks
+//! (max / p99 / mean cell population, candidate pairs per cell). A
+//! runtime identity assert checks that, tick for tick, both indexes
+//! report exactly the same matches on each workload — the adaptive grid
+//! must redistribute work, never answers.
+//!
+//! Emits `BENCH_adaptive_grid.json` at the workspace root (and a text
+//! table on stdout).
+//!
+//! Usage: `grid [--objects N] [--queries N] [--duration EPOCHS]
+//! [--parallelism N] [--out FILE] [--json]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use scuba::{IndexKind, ScubaOperator, ScubaParams};
+use scuba_bench::table::TextTable;
+use scuba_bench::{BenchOutput, ExperimentScale};
+use scuba_generator::{WorkloadConfig, WorkloadGenerator};
+use scuba_motion::LocationUpdate;
+use scuba_roadnet::{CityConfig, SyntheticCity};
+use scuba_stream::{ContinuousOperator, QueryMatch};
+
+/// Base grid resolution: coarse on purpose so a hotspot concentrates many
+/// clusters in few cells and the adaptive split has something to do.
+const GRID_CELLS: u32 = 16;
+/// Adaptive thresholds for the bench runs.
+const SPLIT_THRESHOLD: u32 = 8;
+const MERGE_THRESHOLD: u32 = 2;
+/// Hotspot skew of the skewed workload variant.
+const HOTSPOTS: u32 = 2;
+const HOTSPOT_RADIUS: f64 = 1_200.0;
+const HOTSPOT_INTENSITY: f64 = 0.9;
+
+/// Occupancy histogram of the candidate cell lists the join walks,
+/// captured right after an `evaluate` call (post-rebalance).
+#[derive(Debug, Default, Clone, Serialize)]
+struct Occupancy {
+    /// Non-empty candidate lists visited.
+    cells: usize,
+    /// Total cluster entries across all lists.
+    entries: u64,
+    /// Largest single list.
+    max_cell: usize,
+    /// 99th-percentile list size.
+    p99_cell: usize,
+    /// Mean list size.
+    mean_cell: f64,
+    /// Candidate pairs contributed by the fullest list, n(n+1)/2.
+    max_pairs_cell: u64,
+    /// Candidate pairs over all lists (before cross-cell deduplication).
+    total_pairs: u64,
+}
+
+fn occupancy(op: &ScubaOperator) -> Occupancy {
+    let mut sizes: Vec<usize> = Vec::new();
+    op.engine().grid().for_each_candidate_cell(&mut |cell| {
+        sizes.push(cell.len());
+    });
+    if sizes.is_empty() {
+        return Occupancy::default();
+    }
+    sizes.sort_unstable();
+    let entries: u64 = sizes.iter().map(|&s| s as u64).sum();
+    let pairs = |n: usize| (n as u64 * (n as u64 + 1)) / 2;
+    let max_cell = *sizes.last().expect("non-empty");
+    Occupancy {
+        cells: sizes.len(),
+        entries,
+        max_cell,
+        p99_cell: sizes[(sizes.len() * 99 / 100).min(sizes.len() - 1)],
+        mean_cell: entries as f64 / sizes.len() as f64,
+        max_pairs_cell: pairs(max_cell),
+        total_pairs: sizes.iter().map(|&s| pairs(s)).sum(),
+    }
+}
+
+/// One (workload, index) run.
+#[derive(Debug, Serialize)]
+struct IndexOut {
+    /// Which index ran.
+    index: String,
+    /// Evaluate wall time per tick, microseconds.
+    tick_us: Vec<u128>,
+    /// Mean over all ticks, microseconds.
+    mean_us: u128,
+    /// Histogram after the final tick.
+    occupancy: Occupancy,
+    /// Worst per-tick max list size over the whole run.
+    worst_max_cell: usize,
+    /// Worst per-tick p99 list size over the whole run.
+    worst_p99_cell: usize,
+    /// Base cells currently refined (0 for the uniform grid).
+    refined_cells: usize,
+    /// Leaf cells across refined cells (0 for the uniform grid).
+    leaves: usize,
+}
+
+/// Both indexes over one workload, plus the identity verdict.
+#[derive(Debug, Serialize)]
+struct WorkloadOut {
+    /// Workload label (`flat` or `hotspot`).
+    workload: String,
+    hotspot_count: u32,
+    hotspot_radius: f64,
+    hotspot_intensity: f64,
+    uniform: IndexOut,
+    adaptive: IndexOut,
+    /// Whether both indexes reported identical matches on every tick.
+    identical: bool,
+}
+
+/// The complete JSON payload.
+#[derive(Debug, Serialize)]
+struct GridBenchOut {
+    scale: ExperimentScale,
+    ticks: u64,
+    grid_cells: u32,
+    split_threshold: u32,
+    merge_threshold: u32,
+    flat: WorkloadOut,
+    hotspot: WorkloadOut,
+}
+
+/// Pre-generates the update batches (t=0 snapshot, then one per tick) so
+/// every index run replays the identical stream.
+fn batches(scale: &ExperimentScale, ticks: u64, hotspots: u32) -> Vec<Vec<LocationUpdate>> {
+    let city = SyntheticCity::build(CityConfig::default());
+    let config = WorkloadConfig::default()
+        .with_counts(scale.objects, scale.queries)
+        .with_skew(20)
+        .with_hotspots(hotspots, HOTSPOT_RADIUS, HOTSPOT_INTENSITY);
+    let mut generator = WorkloadGenerator::new(Arc::new(city.network), config);
+    let mut out = Vec::with_capacity(ticks as usize);
+    out.push(generator.snapshot());
+    for _ in 1..ticks {
+        out.push(generator.tick());
+    }
+    out
+}
+
+/// Replays the batches through one operator, timing each evaluate call.
+fn run_index(
+    scale: &ExperimentScale,
+    kind: IndexKind,
+    batches: &[Vec<LocationUpdate>],
+    area: scuba_spatial::Rect,
+) -> (IndexOut, Vec<Vec<QueryMatch>>) {
+    let params = ScubaParams::default()
+        .with_grid_cells(GRID_CELLS)
+        .with_parallelism(scale.parallelism)
+        .with_index(kind)
+        .with_split_merge(SPLIT_THRESHOLD, MERGE_THRESHOLD);
+    let mut op = ScubaOperator::new(params, area);
+    let delta = op.engine().params().delta;
+    let mut tick_us = Vec::with_capacity(batches.len());
+    let mut all_results = Vec::with_capacity(batches.len());
+    let mut worst_max_cell = 0usize;
+    let mut worst_p99_cell = 0usize;
+    let mut last_occupancy = Occupancy::default();
+    for (t, batch) in batches.iter().enumerate() {
+        for u in batch {
+            op.process_update(u);
+        }
+        let started = Instant::now();
+        let report = op.evaluate((t as u64 + 1) * delta);
+        tick_us.push(started.elapsed().as_micros());
+        all_results.push(report.results);
+        let occ = occupancy(&op);
+        worst_max_cell = worst_max_cell.max(occ.max_cell);
+        worst_p99_cell = worst_p99_cell.max(occ.p99_cell);
+        last_occupancy = occ;
+    }
+    let mean_us = tick_us.iter().sum::<u128>() / tick_us.len().max(1) as u128;
+    let (refined_cells, leaves) = match op.engine().index().as_adaptive() {
+        Some(grid) => (grid.refined_cell_count(), grid.leaf_count()),
+        None => (0, 0),
+    };
+    (
+        IndexOut {
+            index: kind.to_string(),
+            tick_us,
+            mean_us,
+            occupancy: last_occupancy,
+            worst_max_cell,
+            worst_p99_cell,
+            refined_cells,
+            leaves,
+        },
+        all_results,
+    )
+}
+
+/// Runs both indexes over one workload and asserts tick-for-tick identity.
+fn run_workload(
+    scale: &ExperimentScale,
+    ticks: u64,
+    label: &str,
+    hotspots: u32,
+    area: scuba_spatial::Rect,
+) -> WorkloadOut {
+    let stream = batches(scale, ticks, hotspots);
+    let (uniform, uniform_results) = run_index(scale, IndexKind::Uniform, &stream, area);
+    let (adaptive, adaptive_results) = run_index(scale, IndexKind::Adaptive, &stream, area);
+    let identical = uniform_results == adaptive_results;
+    assert!(
+        identical,
+        "{label}: adaptive grid changed the answers — identity contract broken"
+    );
+    WorkloadOut {
+        workload: label.to_string(),
+        hotspot_count: hotspots,
+        hotspot_radius: HOTSPOT_RADIUS,
+        hotspot_intensity: HOTSPOT_INTENSITY,
+        uniform,
+        adaptive,
+        identical,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mut scale, rest) = match ExperimentScale::from_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Laptop-friendly defaults for a micro-benchmark; flags still override.
+    if !args.iter().any(|a| a == "--objects") {
+        scale.objects = 2_000;
+    }
+    if !args.iter().any(|a| a == "--queries") {
+        scale.queries = 200;
+    }
+    let ticks = if args.iter().any(|a| a == "--duration") {
+        (scale.duration / scale.delta).max(1)
+    } else {
+        6
+    };
+    let mut rest = rest;
+    let out = match BenchOutput::take_from(&mut rest, "BENCH_adaptive_grid.json") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(other) = rest.first() {
+        eprintln!("error: unknown option '{other}'");
+        std::process::exit(2);
+    }
+
+    eprintln!(
+        "grid: uniform vs adaptive index — {} objects, {} queries, {} ticks, parallelism {}",
+        scale.objects, scale.queries, ticks, scale.parallelism
+    );
+
+    // One engine area for every run: the city extent, slightly inflated so
+    // route jitter cannot push positions outside the indexed region.
+    let area = SyntheticCity::build(CityConfig::default())
+        .network
+        .extent()
+        .expect("synthetic city is non-empty")
+        .inflate(50.0);
+
+    let flat = run_workload(&scale, ticks, "flat", 0, area);
+    let hotspot = run_workload(&scale, ticks, "hotspot", HOTSPOTS, area);
+
+    let payload = GridBenchOut {
+        scale,
+        ticks,
+        grid_cells: GRID_CELLS,
+        split_threshold: SPLIT_THRESHOLD,
+        merge_threshold: MERGE_THRESHOLD,
+        flat,
+        hotspot,
+    };
+
+    if !out.json_stdout {
+        let mut table = TextTable::new(vec![
+            "workload/index",
+            "tick mean µs",
+            "max cell",
+            "p99 cell",
+            "max-cell pairs",
+            "refined/leaves",
+        ]);
+        for w in [&payload.flat, &payload.hotspot] {
+            for run in [&w.uniform, &w.adaptive] {
+                table.row(vec![
+                    format!("{}/{}", w.workload, run.index),
+                    run.mean_us.to_string(),
+                    run.worst_max_cell.to_string(),
+                    run.worst_p99_cell.to_string(),
+                    run.occupancy.max_pairs_cell.to_string(),
+                    format!("{}/{}", run.refined_cells, run.leaves),
+                ]);
+            }
+            table.row(vec![
+                format!("{} identical", w.workload),
+                if w.identical { "yes" } else { "NO" }.to_string(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
+        }
+        print!("{}", table.render());
+    }
+
+    let json = serde_json::to_string_pretty(&payload).expect("payload serialises");
+    out.emit(&json);
+}

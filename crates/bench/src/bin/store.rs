@@ -181,14 +181,14 @@ fn pair_joinable(l: &MovingCluster, r: &MovingCluster, same: bool) -> bool {
 /// a grid cell, packed `(min, max)` and deduplicated.
 fn candidate_pairs(op: &ScubaOperator) -> Vec<(u32, u32)> {
     let mut keys: Vec<u64> = Vec::new();
-    for (_, cell) in op.engine().grid().iter_nonempty() {
+    op.engine().grid().for_each_candidate_cell(&mut |cell| {
         for (i, &a) in cell.iter().enumerate() {
             for &b in &cell[i..] {
                 let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
                 keys.push((u64::from(lo) << 32) | u64::from(hi));
             }
         }
-    }
+    });
     keys.sort_unstable();
     keys.dedup();
     keys.iter().map(|&k| ((k >> 32) as u32, k as u32)).collect()

@@ -159,6 +159,19 @@ impl SimConfig {
                         value(flag)?.parse().map_err(|e| format!("{flag}: {e}"))?;
                     i += 2;
                 }
+                "--index" => {
+                    config.params.index =
+                        value(flag)?.parse().map_err(|e| format!("{flag}: {e}"))?;
+                    i += 2;
+                }
+                "--split-threshold" => {
+                    config.params.split_threshold = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
+                "--merge-threshold" => {
+                    config.params.merge_threshold = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
                 "--deadline-us" => {
                     config.params.deadline_us = Some(parse(value(flag)?, flag)?);
                     i += 2;
@@ -289,6 +302,32 @@ mod tests {
         let (c, _) = SimConfig::from_args(&args(&["--no-batch-ingest"])).unwrap();
         assert!(!c.params.batch_ingest);
         assert_eq!(c.params.effective_ingest_shards(), 1);
+    }
+
+    #[test]
+    fn index_flags_set_params() {
+        use scuba::IndexKind;
+        let (c, _) = SimConfig::from_args(&[]).unwrap();
+        assert_eq!(c.params.index, IndexKind::Uniform, "uniform by default");
+        let (c, _) = SimConfig::from_args(&args(&[
+            "--index",
+            "adaptive",
+            "--split-threshold",
+            "16",
+            "--merge-threshold",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(c.params.index, IndexKind::Adaptive);
+        assert_eq!(c.params.split_threshold, 16);
+        assert_eq!(c.params.merge_threshold, 4);
+        let err = SimConfig::from_args(&args(&["--index", "quadtree"])).unwrap_err();
+        assert!(err.contains("unknown index kind"), "{err}");
+        // merge >= split fails params validation with a readable message.
+        let err =
+            SimConfig::from_args(&args(&["--split-threshold", "8", "--merge-threshold", "8"]))
+                .unwrap_err();
+        assert!(err.contains("merge_threshold"), "{err}");
     }
 
     #[test]

@@ -87,6 +87,9 @@ OPTIONS (all commands):
     --queries <N>        number of range queries
     --skew <N>           entities per behaviour group
     --grid <N>           grid cells per side
+    --index <KIND>       cluster index: uniform|adaptive
+    --split-threshold <N> adaptive: occupancy at which a cell splits
+    --merge-threshold <N> adaptive: occupancy at which a refined cell merges
     --delta <N>          evaluation interval in time units
     --duration <N>       simulated time units
     --range <F>          query range side, spatial units

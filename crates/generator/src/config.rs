@@ -45,6 +45,18 @@ pub struct WorkloadConfig {
     /// trip (it reports speed 0 from the node while dwelling). Default 0 —
     /// the paper's entities re-route immediately.
     pub dwell_ticks: u32,
+    /// Number of spatial hotspots trips are biased towards. `0` (the
+    /// default) disables hotspot skew entirely and leaves the generated
+    /// stream byte-identical to the pre-hotspot generator.
+    pub hotspot_count: u32,
+    /// Radius of each hotspot, in spatial units: hotspot-biased draws pick
+    /// among network nodes within this distance of a hotspot centre. Must
+    /// be positive when `hotspot_count > 0`.
+    pub hotspot_radius: f64,
+    /// Fraction of spawn/destination draws routed through a hotspot, in
+    /// `[0, 1]`. `1.0` sends every trip endpoint to a hotspot; `0.0` keeps
+    /// draws uniform even with hotspots configured.
+    pub hotspot_intensity: f64,
     /// Metric used to route trips.
     pub route_metric: RouteMetric,
     /// RNG seed; equal configs over equal networks generate identical
@@ -65,6 +77,9 @@ impl Default for WorkloadConfig {
             speed_jitter: 2.0,
             group_spread: 80.0,
             dwell_ticks: 0,
+            hotspot_count: 0,
+            hotspot_radius: 200.0,
+            hotspot_intensity: 0.8,
             route_metric: RouteMetric::TravelTime,
             seed: 0x5C0B_A001,
         }
@@ -99,6 +114,18 @@ impl WorkloadConfig {
         }
     }
 
+    /// Returns the config with hotspot skew configured: `count` hotspots
+    /// of the given `radius`, attracting an `intensity` fraction of trip
+    /// endpoints. `count == 0` disables hotspots.
+    pub fn with_hotspots(self, count: u32, radius: f64, intensity: f64) -> Self {
+        WorkloadConfig {
+            hotspot_count: count,
+            hotspot_radius: radius,
+            hotspot_intensity: intensity,
+            ..self
+        }
+    }
+
     /// Validates parameter ranges, returning a description of the first
     /// problem found.
     pub fn validate(&self) -> Result<(), String> {
@@ -125,6 +152,20 @@ impl WorkloadConfig {
         }
         if self.query_range_side < 0.0 {
             return Err("query_range_side must be non-negative".into());
+        }
+        if self.hotspot_count > 0 {
+            if self.hotspot_radius <= 0.0 {
+                return Err(format!(
+                    "hotspot_radius must be positive, got {}",
+                    self.hotspot_radius
+                ));
+            }
+            if !(0.0..=1.0).contains(&self.hotspot_intensity) {
+                return Err(format!(
+                    "hotspot_intensity must be in [0, 1], got {}",
+                    self.hotspot_intensity
+                ));
+            }
         }
         Ok(())
     }
@@ -160,15 +201,50 @@ mod tests {
     fn validate_rejects_bad_params() {
         let base = WorkloadConfig::default;
         let cases = [
-            WorkloadConfig { update_fraction: 0.0, ..base() },
-            WorkloadConfig { speed_min: -1.0, ..base() },
-            WorkloadConfig { speed_min: 10.0, speed_max: 5.0, ..base() },
-            WorkloadConfig { speed_jitter: -0.1, ..base() },
+            WorkloadConfig {
+                update_fraction: 0.0,
+                ..base()
+            },
+            WorkloadConfig {
+                speed_min: -1.0,
+                ..base()
+            },
+            WorkloadConfig {
+                speed_min: 10.0,
+                speed_max: 5.0,
+                ..base()
+            },
+            WorkloadConfig {
+                speed_jitter: -0.1,
+                ..base()
+            },
             WorkloadConfig { skew: 0, ..base() },
-            WorkloadConfig { group_spread: -1.0, ..base() },
+            WorkloadConfig {
+                group_spread: -1.0,
+                ..base()
+            },
+            base().with_hotspots(1, 0.0, 0.5),
+            base().with_hotspots(1, 100.0, -0.1),
+            base().with_hotspots(1, 100.0, 1.5),
         ];
         for (i, c) in cases.iter().enumerate() {
             assert!(c.validate().is_err(), "case {i} should be rejected");
         }
+    }
+
+    #[test]
+    fn hotspots_default_off_and_unvalidated_when_off() {
+        let c = WorkloadConfig::default();
+        assert_eq!(c.hotspot_count, 0);
+        // Disabled hotspots do not constrain the other hotspot knobs.
+        assert!(WorkloadConfig::default()
+            .with_hotspots(0, -5.0, 7.0)
+            .validate()
+            .is_ok());
+        let on = WorkloadConfig::default().with_hotspots(3, 150.0, 0.9);
+        assert_eq!(on.hotspot_count, 3);
+        assert_eq!(on.hotspot_radius, 150.0);
+        assert_eq!(on.hotspot_intensity, 0.9);
+        assert!(on.validate().is_ok());
     }
 }

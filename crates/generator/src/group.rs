@@ -5,10 +5,14 @@
 //! the same node, so members keep travelling together across trips even
 //! though staggered starts make them arrive at slightly different times.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use scuba_roadnet::{NodeId, RoadNetwork};
+
+use crate::hotspot::HotspotPlan;
 
 /// Shared behaviour of one group of entities.
 #[derive(Debug)]
@@ -19,12 +23,14 @@ pub struct Group {
     pub base_speed: f64,
     /// Destination of trip `n` is `destinations[n]`; extended on demand.
     destinations: Vec<NodeId>,
+    /// Hotspot bias applied to spawn/destination draws, if any.
+    hotspots: Option<Arc<HotspotPlan>>,
     rng: StdRng,
 }
 
 impl Group {
     /// Creates a group with deterministic behaviour derived from
-    /// `(workload_seed, group_index)`.
+    /// `(workload_seed, group_index)` and uniform node draws.
     pub fn new(
         net: &RoadNetwork,
         workload_seed: u64,
@@ -32,10 +38,24 @@ impl Group {
         speed_min: f64,
         speed_max: f64,
     ) -> Self {
+        Group::with_hotspots(net, workload_seed, group_index, speed_min, speed_max, None)
+    }
+
+    /// Creates a group whose spawn and destination draws are biased
+    /// towards `hotspots` (when given). With `None` the RNG call sequence
+    /// is byte-identical to [`Group::new`]'s historical behaviour.
+    pub fn with_hotspots(
+        net: &RoadNetwork,
+        workload_seed: u64,
+        group_index: u64,
+        speed_min: f64,
+        speed_max: f64,
+        hotspots: Option<Arc<HotspotPlan>>,
+    ) -> Self {
         // Mix the group index into the seed (splitmix-style) so groups are
         // decorrelated.
         let mut rng = StdRng::seed_from_u64(mix(workload_seed, group_index));
-        let spawn = NodeId(rng.gen_range(0..net.node_count() as u32));
+        let spawn = draw_node(&mut rng, net, hotspots.as_deref());
         let base_speed = if speed_max > speed_min {
             rng.gen_range(speed_min..speed_max)
         } else {
@@ -45,6 +65,7 @@ impl Group {
             spawn,
             base_speed,
             destinations: Vec::new(),
+            hotspots,
             rng,
         }
     }
@@ -66,6 +87,17 @@ impl Group {
         if n <= 1 {
             return prev;
         }
+        // Biased draws first: a hotspot whose candidate set is exactly
+        // `{prev}` would never yield a distinct node, so fall back to
+        // uniform draws after a bounded number of rejections. Without
+        // hotspots each biased draw *is* a uniform draw, so the combined
+        // loop consumes the RNG exactly like the historical unbounded one.
+        for _ in 0..16 {
+            let candidate = draw_node(&mut self.rng, net, self.hotspots.as_deref());
+            if candidate != prev {
+                return candidate;
+            }
+        }
         loop {
             let candidate = NodeId(self.rng.gen_range(0..n));
             if candidate != prev {
@@ -80,8 +112,20 @@ impl Group {
     }
 }
 
-/// SplitMix64-style seed mixing.
-fn mix(seed: u64, stream: u64) -> u64 {
+/// Draws one node: with probability `plan.intensity()` from a hotspot's
+/// candidate set, otherwise uniformly over the whole node table. Without a
+/// plan this is a single uniform `gen_range` — the historical draw.
+fn draw_node(rng: &mut StdRng, net: &RoadNetwork, plan: Option<&HotspotPlan>) -> NodeId {
+    if let Some(plan) = plan {
+        if rng.gen_bool(plan.intensity()) {
+            return plan.draw(rng);
+        }
+    }
+    NodeId(rng.gen_range(0..net.node_count() as u32))
+}
+
+/// SplitMix64-style seed mixing (shared with hotspot placement).
+pub(crate) fn mix(seed: u64, stream: u64) -> u64 {
     let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -105,10 +149,7 @@ mod tests {
         assert_eq!(a.spawn, b.spawn);
         assert_eq!(a.base_speed, b.base_speed);
         for n in 0..10 {
-            assert_eq!(
-                a.destination(n, &c.network),
-                b.destination(n, &c.network)
-            );
+            assert_eq!(a.destination(n, &c.network), b.destination(n, &c.network));
         }
     }
 
@@ -118,8 +159,7 @@ mod tests {
         let groups: Vec<Group> = (0..20)
             .map(|g| Group::new(&c.network, 1, g, 10.0, 50.0))
             .collect();
-        let spawns: std::collections::HashSet<_> =
-            groups.iter().map(|g| g.spawn).collect();
+        let spawns: std::collections::HashSet<_> = groups.iter().map(|g| g.spawn).collect();
         assert!(spawns.len() > 5, "spawns should spread: {}", spawns.len());
     }
 
@@ -160,6 +200,50 @@ mod tests {
         let c = city();
         let g = Group::new(&c.network, 3, 0, 25.0, 25.0);
         assert_eq!(g.base_speed, 25.0);
+    }
+
+    #[test]
+    fn with_hotspots_none_matches_new() {
+        let c = city();
+        let mut a = Group::new(&c.network, 7, 3, 10.0, 50.0);
+        let mut b = Group::with_hotspots(&c.network, 7, 3, 10.0, 50.0, None);
+        assert_eq!(a.spawn, b.spawn);
+        assert_eq!(a.base_speed, b.base_speed);
+        for n in 0..20 {
+            assert_eq!(a.destination(n, &c.network), b.destination(n, &c.network));
+        }
+    }
+
+    #[test]
+    fn full_intensity_hotspot_concentrates_draws() {
+        use crate::config::WorkloadConfig;
+        let c = city();
+        let cfg = WorkloadConfig::small().with_hotspots(1, 250.0, 1.0);
+        let plan = Arc::new(HotspotPlan::build(&c.network, &cfg).unwrap());
+        for g in 0..8u64 {
+            let mut grp =
+                Group::with_hotspots(&c.network, cfg.seed, g, 10.0, 50.0, Some(Arc::clone(&plan)));
+            assert!(plan.contains_node(grp.spawn), "group {g} spawn off-hotspot");
+            for n in 0..10 {
+                let d = grp.destination(n, &c.network);
+                assert!(plan.contains_node(d), "group {g} trip {n} off-hotspot");
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_groups_are_deterministic() {
+        use crate::config::WorkloadConfig;
+        let c = city();
+        let cfg = WorkloadConfig::small().with_hotspots(2, 150.0, 0.6);
+        let plan_a = Arc::new(HotspotPlan::build(&c.network, &cfg).unwrap());
+        let plan_b = Arc::new(HotspotPlan::build(&c.network, &cfg).unwrap());
+        let mut a = Group::with_hotspots(&c.network, cfg.seed, 1, 10.0, 50.0, Some(plan_a));
+        let mut b = Group::with_hotspots(&c.network, cfg.seed, 1, 10.0, 50.0, Some(plan_b));
+        assert_eq!(a.spawn, b.spawn);
+        for n in 0..20 {
+            assert_eq!(a.destination(n, &c.network), b.destination(n, &c.network));
+        }
     }
 
     #[test]

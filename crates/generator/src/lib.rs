@@ -21,6 +21,12 @@
 //! the same spawn node, destination sequence, and base speed (with a small
 //! configurable jitter kept below Θ_S), staggered a few spatial units apart
 //! along the route (kept below Θ_D).
+//!
+//! A second, orthogonal skew axis is **spatial**: the [`hotspot`] module
+//! biases a configurable fraction of trip endpoints towards a configurable
+//! number of hotspot discs, concentrating traffic in a few grid cells the
+//! way downtowns do. With `hotspot_count = 0` (the default) the generated
+//! stream is byte-identical to the pre-hotspot generator.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,7 +34,9 @@
 
 pub mod config;
 pub mod group;
+pub mod hotspot;
 pub mod workload;
 
 pub use config::WorkloadConfig;
+pub use hotspot::HotspotPlan;
 pub use workload::{GeneratedEntity, WorkloadGenerator};

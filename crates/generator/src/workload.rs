@@ -14,6 +14,7 @@ use scuba_spatial::{FxHashMap, Point, Time};
 
 use crate::config::WorkloadConfig;
 use crate::group::Group;
+use crate::hotspot::HotspotPlan;
 
 /// One simulated moving entity (object or query).
 #[derive(Debug)]
@@ -119,14 +120,19 @@ impl WorkloadGenerator {
         let object_groups = config.num_objects.div_ceil(skew.max(1));
         let query_groups = config.num_queries.div_ceil(skew.max(1));
         let group_count = (object_groups + query_groups) as u64;
+        // One hotspot plan shared by every group; `None` when hotspots are
+        // off, which keeps group construction byte-identical to the
+        // pre-hotspot generator.
+        let hotspots = HotspotPlan::build(&network, &config).map(Arc::new);
         let mut groups: Vec<Group> = (0..group_count)
             .map(|g| {
-                Group::new(
+                Group::with_hotspots(
                     &network,
                     config.seed,
                     g,
                     config.speed_min,
                     config.speed_max,
+                    hotspots.clone(),
                 )
             })
             .collect();
@@ -156,10 +162,7 @@ impl WorkloadGenerator {
                 ((i / skew) as u32, (i % skew) as u64)
             } else {
                 let j = i - config.num_objects;
-                (
-                    (object_groups + j / skew) as u32,
-                    (j % skew) as u64,
-                )
+                ((object_groups + j / skew) as u32, (j % skew) as u64)
             };
             let group = &mut groups[group_idx as usize];
             let dest = group.destination(0, &network);
@@ -175,9 +178,7 @@ impl WorkloadGenerator {
 
             let waypoints = route_cache
                 .entry((group_idx, 0))
-                .or_insert_with(|| {
-                    route_waypoints(&mut router, &network, group.spawn, dest)
-                })
+                .or_insert_with(|| route_waypoints(&mut router, &network, group.spawn, dest))
                 .clone();
             let mut motion =
                 PiecewiseMotion::new(waypoints, speed).expect("route has at least one waypoint");
@@ -411,10 +412,7 @@ mod tests {
                 .collect();
             let spread = max_pairwise_distance(&positions);
             // 10 members staggered 5 units + jitter drift 2*2 units/tick*10.
-            assert!(
-                spread < 250.0,
-                "group {group} spread too far: {spread}"
-            );
+            assert!(spread < 250.0, "group {group} spread too far: {spread}");
         }
     }
 
@@ -519,9 +517,49 @@ mod tests {
     fn skew_one_gives_singleton_groups() {
         let cfg = WorkloadConfig::small().with_skew(1).with_counts(20, 20);
         let g = generator(cfg);
-        let groups: std::collections::HashSet<u32> =
-            g.entities().iter().map(|e| e.group).collect();
+        let groups: std::collections::HashSet<u32> = g.entities().iter().map(|e| e.group).collect();
         assert_eq!(groups.len(), 40);
+    }
+
+    #[test]
+    fn hotspot_workload_is_deterministic_and_concentrated() {
+        let cfg = WorkloadConfig::small().with_hotspots(1, 250.0, 1.0);
+        let mut g1 = generator(cfg);
+        let mut g2 = generator(cfg);
+        assert_eq!(g1.snapshot(), g2.snapshot());
+        for _ in 0..5 {
+            assert_eq!(g1.tick(), g2.tick());
+        }
+        // Full intensity with one hotspot: every group spawn lies within
+        // the hotspot radius of its centre, so the t=0 population is
+        // concentrated (staggering spreads members along the first route,
+        // so allow the group-spread slack on top of the radius).
+        let plan = HotspotPlan::build(g1.network(), &cfg).unwrap();
+        let center = plan.centers()[0];
+        let slack = cfg.group_spread + 1e-9;
+        let g0 = generator(cfg);
+        for e in g0.entities() {
+            let d = e.position().distance(&center);
+            assert!(
+                d <= cfg.hotspot_radius + slack,
+                "entity {:?} spawned {d} from the hotspot",
+                e.entity
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_hotspots_leave_knobs_inert() {
+        // hotspot_count == 0 must produce the exact same stream no matter
+        // what the other hotspot knobs say — the plan is never built.
+        let plain = WorkloadConfig::small();
+        let inert = WorkloadConfig::small().with_hotspots(0, 9999.0, 0.123);
+        let mut a = generator(plain);
+        let mut b = generator(inert);
+        assert_eq!(a.snapshot(), b.snapshot());
+        for _ in 0..5 {
+            assert_eq!(a.tick(), b.tick());
+        }
     }
 
     #[test]

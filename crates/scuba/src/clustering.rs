@@ -26,7 +26,7 @@ use scuba_motion::{EntityAttrs, LocationUpdate};
 use scuba_spatial::{Circle, GridSpec, Rect, Time};
 
 use crate::cluster::{ClusterId, MovingCluster};
-use crate::grid::ClusterGrid;
+use crate::index::{AnyIndex, SpatialIndex};
 use crate::params::ScubaParams;
 use crate::store::{ClusterSlot, ClusterStore};
 use crate::tables::{ClusterHome, ObjectsTable, QueriesTable};
@@ -56,7 +56,7 @@ pub struct ClusteringStats {
 #[derive(Debug)]
 pub struct ClusterEngine {
     params: ScubaParams,
-    grid: ClusterGrid,
+    grid: AnyIndex,
     store: ClusterStore,
     home: ClusterHome,
     objects: ObjectsTable,
@@ -76,7 +76,12 @@ impl ClusterEngine {
             .unwrap_or_else(|e| panic!("invalid SCUBA params: {e}"));
         ClusterEngine {
             params,
-            grid: ClusterGrid::new(GridSpec::new(area, params.grid_cells)),
+            grid: AnyIndex::new(
+                params.index,
+                GridSpec::new(area, params.grid_cells),
+                params.split_threshold,
+                params.merge_threshold,
+            ),
             store: ClusterStore::new(),
             home: ClusterHome::new(),
             objects: ObjectsTable::new(),
@@ -95,9 +100,28 @@ impl ClusterEngine {
         &self.params
     }
 
-    /// The cluster grid.
-    pub fn grid(&self) -> &ClusterGrid {
+    /// The spatial index playing the ClusterGrid role, behind the
+    /// [`SpatialIndex`] trait. All consumers — step-1 probes, join
+    /// pair-discovery, ingest routing, kNN, benches — go through this
+    /// surface, so the uniform and adaptive implementations are
+    /// interchangeable.
+    pub fn grid(&self) -> &dyn SpatialIndex {
+        self.grid.as_dyn()
+    }
+
+    /// The concrete index dispatcher (bench/diagnostic introspection —
+    /// e.g. how many cells the adaptive grid currently refines).
+    pub fn index(&self) -> &AnyIndex {
         &self.grid
+    }
+
+    /// Runs one incremental re-balance pass of the index (a no-op for the
+    /// uniform grid). [`crate::engine::ScubaOperator`] calls this once per
+    /// Δ, before the joining phase, so refinement decisions depend only on
+    /// the registered regions at a fixed point of the pipeline — never on
+    /// mid-tick transients — which keeps the adaptive grid deterministic.
+    pub fn rebalance_index(&mut self) {
+        self.grid.rebalance();
     }
 
     /// The cluster store (all live clusters). Alias of

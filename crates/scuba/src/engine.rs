@@ -54,6 +54,11 @@ pub const STAGE_VALIDATE: &str = "validate";
 /// = the observed tick cost in µs, `items_out` = the deadline budget in
 /// µs, `tests` = 1 on a deadline miss, 0 on a clean tick.
 pub const STAGE_OVERLOAD: &str = "overload-control";
+/// Stage name: incremental spatial-index re-balance (maintenance bucket;
+/// a no-op stage for the uniform grid). Runs once per Δ between radius
+/// tightening and the joining phase, so the adaptive grid's split/merge
+/// decisions see the exact post-tighten regions.
+pub const STAGE_GRID_REBALANCE: &str = "grid-rebalance";
 
 /// The operator name for a parameter set; shared by both constructors so
 /// shedding naming cannot drift between them.
@@ -357,6 +362,17 @@ impl ContinuousOperator for ScubaOperator {
         }
         phases.push(
             StageStats::maintenance(STAGE_PRE_JOIN_TIGHTEN)
+                .with_wall(sw.elapsed())
+                .with_items(clusters_before, clusters_before),
+        );
+
+        // Incremental index re-balance: split hot cells / merge cooled ones
+        // at a fixed point of the pipeline (adaptive grid only; the uniform
+        // grid no-ops). Only per-Δ, so no tick pays a full rebuild storm.
+        let sw = Stopwatch::start();
+        self.engine.rebalance_index();
+        phases.push(
+            StageStats::maintenance(STAGE_GRID_REBALANCE)
                 .with_wall(sw.elapsed())
                 .with_items(clusters_before, clusters_before),
         );

@@ -35,8 +35,16 @@ pub struct ClusterGrid {
     registrations: Vec<Vec<u32>>,
     /// Whether each slot currently holds a registration.
     live: Vec<bool>,
+    /// The exact circle each live slot was last registered with. Lets
+    /// re-registration skip the cell enumeration when the region (or its
+    /// covered cell set) provably did not change — post-join relocation
+    /// re-inserts every moved cluster each Δ, and most moves stay inside
+    /// the same cells.
+    regions: Vec<Circle>,
     /// Number of live slots.
     registered: usize,
+    /// Re-registrations answered without enumerating cells (fast paths).
+    fast_path_hits: u64,
     /// Round-stamped visited table for [`ClusterGrid::clusters_within_into`]:
     /// a cluster is a duplicate within one probe iff its stamp equals the
     /// current probe round. Replaces a per-probe `contains` scan / set
@@ -52,7 +60,9 @@ impl ClusterGrid {
             cells: vec![Vec::new(); spec.cell_count()],
             registrations: Vec::new(),
             live: Vec::new(),
+            regions: Vec::new(),
             registered: 0,
+            fast_path_hits: 0,
             probe_stamps: StampSlab::new(),
         }
     }
@@ -78,17 +88,52 @@ impl ClusterGrid {
     /// Registers a cluster region, replacing any previous registration.
     /// Returns the number of cells the cluster now overlaps.
     pub fn insert(&mut self, slot: ClusterSlot, region: &Circle) -> usize {
+        if slot.index() >= self.registrations.len() {
+            self.registrations.resize_with(slot.index() + 1, Vec::new);
+            self.live.resize(slot.index() + 1, false);
+            // Sentinel never consulted: `regions` is meaningful only where
+            // `live` is set, and every live slot went through this method.
+            self.regions.resize(
+                slot.index() + 1,
+                Circle::new(Point::new(0.0, 0.0), f64::NEG_INFINITY),
+            );
+        }
+        if self.live[slot.index()] {
+            // Fast path 1: exact region seen last time — the covered cell
+            // set cannot differ, so skip the cell enumeration entirely.
+            if *region == self.regions[slot.index()] {
+                self.fast_path_hits += 1;
+                return self.registrations[slot.index()].len();
+            }
+            // Fast path 2: covered-rect equality for compact interior
+            // regions. A bounding box whose corners land in the same cell
+            // (and inside the area) pins the exact covered set to that one
+            // cell; if the slot is already registered there — and only
+            // there — nothing changes. Restricted to in-area boxes:
+            // border clamping can map an outside box onto a cell the
+            // circle never intersects (even a zero-cell registration), so
+            // rect equality alone would lie at the edges.
+            let bbox = region.bounding_rect();
+            if self.spec.area().contains(&bbox.min) && self.spec.area().contains(&bbox.max) {
+                let lo = self.spec.cell_of(&bbox.min);
+                if lo == self.spec.cell_of(&bbox.max) {
+                    let linear = self.spec.linear(lo) as u32;
+                    if self.registrations[slot.index()].as_slice() == [linear] {
+                        self.fast_path_hits += 1;
+                        self.regions[slot.index()] = *region;
+                        return 1;
+                    }
+                }
+            }
+        }
         let new_cells: Vec<u32> = self
             .spec
             .cells_overlapping_circle(region)
             .map(|idx| self.spec.linear(idx) as u32)
             .collect();
-        if slot.index() >= self.registrations.len() {
-            self.registrations.resize_with(slot.index() + 1, Vec::new);
-            self.live.resize(slot.index() + 1, false);
-        }
         if self.live[slot.index()] {
             if self.registrations[slot.index()] == new_cells {
+                self.regions[slot.index()] = *region;
                 return new_cells.len();
             }
             self.unregister(slot);
@@ -101,6 +146,7 @@ impl ClusterGrid {
         }
         let n = new_cells.len();
         self.registrations[slot.index()] = new_cells;
+        self.regions[slot.index()] = *region;
         n
     }
 
@@ -132,6 +178,25 @@ impl ClusterGrid {
             }
         }
         self.registrations[slot.index()] = cells;
+    }
+
+    /// The circle a cluster is currently registered with, or `None` if it
+    /// is not registered. The adaptive index refines cell lists against
+    /// these stored regions at pair-discovery time.
+    #[inline]
+    pub fn region_of(&self, slot: ClusterSlot) -> Option<&Circle> {
+        self.live
+            .get(slot.index())
+            .copied()
+            .unwrap_or(false)
+            .then(|| &self.regions[slot.index()])
+    }
+
+    /// Re-registrations answered by a fast path (no cell enumeration).
+    /// Diagnostic counter for tests and benchmarks.
+    #[inline]
+    pub fn fast_path_hits(&self) -> u64 {
+        self.fast_path_hits
     }
 
     /// The linear cell indices a cluster is currently registered in, or
@@ -222,7 +287,8 @@ impl ClusterGrid {
                 .iter()
                 .map(|v| v.capacity() * 4)
                 .sum::<usize>();
-        cells + regs + self.probe_stamps.estimated_bytes()
+        let regions = self.regions.capacity() * std::mem::size_of::<Circle>();
+        cells + regs + regions + self.probe_stamps.estimated_bytes()
     }
 
     /// Internal consistency check for tests: every registration points at a
@@ -425,6 +491,87 @@ mod tests {
         assert_eq!(g.cluster_count(), 1);
         assert!(g.remove(ClusterSlot(3)));
         assert!(g.is_empty());
+        g.check_consistent();
+    }
+
+    /// Regression: re-registering the identical region (the post-join
+    /// relocation path for a stationary cluster) must not enumerate cells
+    /// again — the fast path answers from the stored region.
+    #[test]
+    fn reinsert_identical_region_takes_fast_path() {
+        let mut g = grid(10);
+        let c = Circle::new(Point::new(55.0, 55.0), 3.0);
+        g.insert(ClusterSlot(1), &c);
+        assert_eq!(g.fast_path_hits(), 0, "first insert enumerates");
+        let n = g.insert(ClusterSlot(1), &c);
+        assert_eq!(n, 1);
+        assert_eq!(g.fast_path_hits(), 1);
+        assert_eq!(g.clusters_near(&Point::new(55.0, 55.0)), &[ClusterSlot(1)]);
+        assert_eq!(g.region_of(ClusterSlot(1)), Some(&c));
+        g.check_consistent();
+    }
+
+    /// Regression: a relocation whose covered cell set is unchanged (the
+    /// moved bounding box stays inside the same single interior cell) early
+    /// outs on the covered-rect check without re-pushing — re-pushing would
+    /// shuffle cell-list order, which the Leader–Follower probe depends on.
+    #[test]
+    fn moved_region_with_unchanged_covered_rect_takes_fast_path() {
+        let mut g = grid(10);
+        // Several slots in the same cell establish a list order to preserve.
+        for i in 0..4 {
+            g.insert(
+                ClusterSlot(i),
+                &Circle::new(Point::new(54.0 + i as f64 * 0.5, 55.0), 1.0),
+            );
+        }
+        let order_before = g.clusters_near(&Point::new(55.0, 55.0)).to_vec();
+        let hits_before = g.fast_path_hits();
+        // Slot 1 drifts within cell (5,5) = [50,60)×[50,60): same cell set.
+        let moved = Circle::new(Point::new(57.0, 57.0), 1.5);
+        assert_eq!(g.insert(ClusterSlot(1), &moved), 1);
+        assert_eq!(g.fast_path_hits(), hits_before + 1);
+        assert_eq!(
+            g.clusters_near(&Point::new(55.0, 55.0)),
+            order_before.as_slice(),
+            "fast path must not reorder the cell list"
+        );
+        assert_eq!(g.region_of(ClusterSlot(1)), Some(&moved));
+        // The stored region updated: re-inserting the moved circle again
+        // now takes the exact-region fast path.
+        g.insert(ClusterSlot(1), &moved);
+        assert_eq!(g.fast_path_hits(), hits_before + 2);
+        g.check_consistent();
+    }
+
+    /// A region whose bounding box leaves the area must NOT take the
+    /// covered-rect fast path: border clamping maps outside boxes onto
+    /// border cells the circle may not intersect at all (a clamped 1×1 box
+    /// can even belong to a zero-cell registration).
+    #[test]
+    fn out_of_area_region_bypasses_fast_path_and_recomputes() {
+        let mut g = grid(10);
+        // Registered in the corner cell.
+        g.insert(ClusterSlot(1), &Circle::new(Point::new(98.0, 98.0), 1.0));
+        assert_eq!(g.cells_of(ClusterSlot(1)).unwrap().len(), 1);
+        // Fully outside: clamping would map its bbox onto the same corner
+        // cell, but the true covered set is empty.
+        let outside = Circle::new(Point::new(150.0, 150.0), 1.0);
+        assert_eq!(g.insert(ClusterSlot(1), &outside), 0);
+        assert_eq!(g.cells_of(ClusterSlot(1)), Some(&[][..]));
+        assert_eq!(g.fast_path_hits(), 0);
+        g.check_consistent();
+    }
+
+    /// A genuinely changed cell set still recomputes and re-registers.
+    #[test]
+    fn changed_cell_set_recomputes_past_the_fast_paths() {
+        let mut g = grid(10);
+        g.insert(ClusterSlot(1), &Circle::new(Point::new(55.0, 55.0), 1.0));
+        // Growing past the cell boundary covers more cells.
+        let n = g.insert(ClusterSlot(1), &Circle::new(Point::new(55.0, 55.0), 8.0));
+        assert!(n > 1);
+        assert_eq!(g.fast_path_hits(), 0);
         g.check_consistent();
     }
 

@@ -69,7 +69,7 @@ use scuba_motion::{ObjectId, QueryId, QuerySpec};
 use scuba_spatial::{Circle, Point, Rect};
 use scuba_stream::{QueryMatch, StageStats, Stopwatch};
 
-use crate::grid::ClusterGrid;
+use crate::index::SpatialIndex;
 use crate::shedding::SheddingMode;
 use crate::store::{ClusterSlot, ClusterStore, EpochTracker};
 use crate::tables::QueriesTable;
@@ -133,8 +133,9 @@ pub struct JoinOutput {
 pub struct JoinContext<'a> {
     /// The cluster store: slab, SoA hot columns and the epoch clock.
     pub store: &'a ClusterStore,
-    /// The cluster grid driving the cell loop.
-    pub grid: &'a ClusterGrid,
+    /// The spatial index driving the candidate-cell loop (uniform grid or
+    /// adaptive split/merge grid, behind the trait).
+    pub grid: &'a dyn SpatialIndex,
     /// Query attributes (range extents).
     pub queries: &'a QueriesTable,
     /// Active shedding mode. The shed/exact split is carried by the
@@ -613,25 +614,27 @@ impl<'a> JoinContext<'a> {
         out
     }
 
-    /// Stage 1: walks the grid cell by cell, packing each co-resident slot
-    /// pair (self-pairs included) into a `u64` key, then sorts + dedups
-    /// the reused key buffer in place. Returns `(entries_walked,
-    /// candidates)`.
+    /// Stage 1: walks the index candidate cell by candidate cell (base
+    /// cells for the uniform grid, leaves for refined cells of the adaptive
+    /// grid), packing each co-resident slot pair (self-pairs included) into
+    /// a `u64` key, then sorts + dedups the reused key buffer in place.
+    /// Returns `(entries_walked, candidates)`.
     fn discover_pairs(&self, scratch: &mut JoinScratch) -> (u64, u64) {
-        scratch.pairs.clear();
+        let pairs = &mut scratch.pairs;
+        pairs.clear();
         let mut entries_walked = 0u64;
         let mut candidates = 0u64;
-        for (_, cell) in self.grid.iter_nonempty() {
+        self.grid.for_each_candidate_cell(&mut |cell| {
             entries_walked += cell.len() as u64;
             for (i, &left) in cell.iter().enumerate() {
                 for &right in &cell[i..] {
                     candidates += 1;
-                    scratch.pairs.push(pack_pair(left, right));
+                    pairs.push(pack_pair(left, right));
                 }
             }
-        }
-        scratch.pairs.sort_unstable();
-        scratch.pairs.dedup();
+        });
+        pairs.sort_unstable();
+        pairs.dedup();
         (entries_walked, candidates)
     }
 

@@ -30,6 +30,7 @@
 //! | [`params`] | §3.1, §6.1 | Θ_D, Θ_S, Δ, grid granularity, shedding policy |
 //! | [`cluster`] | §3.1 | [`MovingCluster`]: centroid, radius, polar members, velocity, expiry |
 //! | [`grid`] | §4.1 | `ClusterGrid`: the N×N index of cluster regions |
+//! | [`index`] | §4.1 | [`SpatialIndex`] trait + adaptive split/merge grid |
 //! | [`store`] | §4.1 | [`ClusterStore`]: generational slab + SoA hot columns + epoch clock |
 //! | [`tables`] | §4.1 | ObjectsTable, QueriesTable, ClusterHome |
 //! | [`clustering`] | §3.2 | the five-step incremental (Leader–Follower) clusterer |
@@ -88,6 +89,7 @@ pub mod clustering;
 pub mod delta;
 pub mod engine;
 pub mod grid;
+pub mod index;
 pub(crate) mod ingest;
 pub mod join;
 pub mod kmeans;
@@ -108,6 +110,7 @@ pub use baseline::{PointHashedGridOperator, RegularGridOperator};
 pub use cluster::{ClusterId, Member, MovingCluster};
 pub use delta::{DeltaTracker, ResultDelta};
 pub use engine::ScubaOperator;
+pub use index::{AdaptiveGrid, AnyIndex, IndexKind, SpatialIndex};
 pub use join::{JoinCache, JoinContext, JoinScratch};
 pub use ops::{OperatorKind, OpsConfig};
 pub use overload::{OverloadConfig, OverloadController, OverloadCounters, OverloadDecision};

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use scuba_spatial::TimeDelta;
 use scuba_stream::ValidationPolicy;
 
+use crate::index::IndexKind;
 use crate::shedding::SheddingMode;
 
 /// A parameter set that cannot produce a working engine.
@@ -32,6 +33,18 @@ pub enum ParamsError {
     ZeroParallelism,
     /// The overload deadline budget must be at least one microsecond.
     ZeroDeadline,
+    /// The adaptive-grid split threshold must leave room for a quadtree
+    /// split to ever fire (at least two occupants per cell).
+    SplitThresholdTooSmall(u32),
+    /// The adaptive-grid merge threshold must sit strictly below the split
+    /// threshold, otherwise the hysteresis band is empty and cells would
+    /// oscillate between refined and flat every Δ.
+    MergeNotBelowSplit {
+        /// The configured split threshold.
+        split: u32,
+        /// The offending merge threshold.
+        merge: u32,
+    },
 }
 
 impl std::fmt::Display for ParamsError {
@@ -54,6 +67,13 @@ impl std::fmt::Display for ParamsError {
             }
             ParamsError::ZeroParallelism => write!(f, "parallelism must be >= 1"),
             ParamsError::ZeroDeadline => write!(f, "deadline_us must be >= 1 when set"),
+            ParamsError::SplitThresholdTooSmall(v) => {
+                write!(f, "split_threshold must be >= 2, got {v}")
+            }
+            ParamsError::MergeNotBelowSplit { split, merge } => write!(
+                f,
+                "merge_threshold must be below split_threshold ({split}), got {merge}"
+            ),
         }
     }
 }
@@ -154,6 +174,22 @@ pub struct ScubaParams {
     /// escalates load shedding; when load drops, it relaxes with
     /// hysteresis. `None` — the default — disables the controller.
     pub deadline_us: Option<u64>,
+    /// Which spatial index backs the ClusterGrid role
+    /// ([`IndexKind::Uniform`] — the paper's flat N×N grid — by default).
+    /// [`IndexKind::Adaptive`] refines hot cells into quadtree subcells so
+    /// candidate generation stays balanced under hotspot skew; results are
+    /// bit-identical to the uniform grid, only work changes.
+    pub index: IndexKind,
+    /// Adaptive grid only: a base cell whose registration count reaches
+    /// this threshold is refined into quadtree subcells at the next Δ
+    /// re-balance. Must be at least 2.
+    pub split_threshold: u32,
+    /// Adaptive grid only: a refined base cell whose registration count
+    /// falls to this threshold or below collapses back to a flat cell at
+    /// the next Δ re-balance. Must be strictly below
+    /// [`split_threshold`](ScubaParams::split_threshold); the gap is the
+    /// hysteresis band in which a cell keeps its current shape.
+    pub merge_threshold: u32,
 }
 
 impl Default for ScubaParams {
@@ -175,6 +211,9 @@ impl Default for ScubaParams {
             batch_ingest: true,
             validation: ValidationPolicy::Off,
             deadline_us: None,
+            index: IndexKind::Uniform,
+            split_threshold: 32,
+            merge_threshold: 8,
         }
     }
 }
@@ -263,6 +302,23 @@ impl ScubaParams {
         }
     }
 
+    /// Returns the params with a different spatial index backing the
+    /// ClusterGrid role.
+    pub fn with_index(self, index: IndexKind) -> Self {
+        ScubaParams { index, ..self }
+    }
+
+    /// Returns the params with different adaptive-grid split/merge
+    /// thresholds (only observed when [`index`](ScubaParams::index) is
+    /// [`IndexKind::Adaptive`]).
+    pub fn with_split_merge(self, split_threshold: u32, merge_threshold: u32) -> Self {
+        ScubaParams {
+            split_threshold,
+            merge_threshold,
+            ..self
+        }
+    }
+
     /// Validating constructor: the params if they can produce a working
     /// engine, the first defect otherwise. Prefer this over bare struct
     /// literals at trust boundaries (config files, CLI flags, snapshots).
@@ -294,6 +350,15 @@ impl ScubaParams {
         if self.deadline_us == Some(0) {
             return Err(ParamsError::ZeroDeadline);
         }
+        if self.split_threshold < 2 {
+            return Err(ParamsError::SplitThresholdTooSmall(self.split_threshold));
+        }
+        if self.merge_threshold >= self.split_threshold {
+            return Err(ParamsError::MergeNotBelowSplit {
+                split: self.split_threshold,
+                merge: self.merge_threshold,
+            });
+        }
         // `ingest_shards` is unbounded above (effective_ingest_shards clamps
         // to the grid) and 0 means "follow parallelism", so any value is
         // valid; nothing to check.
@@ -315,7 +380,37 @@ mod tests {
         assert_eq!(p.shedding, SheddingMode::None);
         assert_eq!(p.parallelism, 1, "serial join-within is the default");
         assert!(p.join_cache, "incremental join cache is on by default");
+        assert_eq!(p.index, IndexKind::Uniform, "the paper's flat grid");
         assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn index_builders_and_validation() {
+        let p = ScubaParams::default()
+            .with_index(IndexKind::Adaptive)
+            .with_split_merge(16, 4)
+            .validated()
+            .expect("valid params");
+        assert_eq!(p.index, IndexKind::Adaptive);
+        assert_eq!(p.split_threshold, 16);
+        assert_eq!(p.merge_threshold, 4);
+        assert_eq!(
+            ScubaParams::default()
+                .with_split_merge(1, 0)
+                .validate()
+                .unwrap_err(),
+            ParamsError::SplitThresholdTooSmall(1)
+        );
+        assert_eq!(
+            ScubaParams::default()
+                .with_split_merge(8, 8)
+                .validate()
+                .unwrap_err(),
+            ParamsError::MergeNotBelowSplit { split: 8, merge: 8 }
+        );
+        assert!(ParamsError::MergeNotBelowSplit { split: 8, merge: 9 }
+            .to_string()
+            .contains("merge_threshold"));
     }
 
     #[test]

@@ -283,6 +283,56 @@ mod tests {
         assert_eq!(run(&original), run(&restored));
     }
 
+    /// An adaptive-index engine snapshots like any other: `params.index`
+    /// rides along, restore rebuilds the adaptive grid from the restored
+    /// params, and (after a re-balance on both sides) the refined index
+    /// answers the join identically.
+    #[test]
+    fn adaptive_engine_roundtrips_with_its_index() {
+        use crate::index::IndexKind;
+        let params = ScubaParams::default()
+            .with_index(IndexKind::Adaptive)
+            .with_split_merge(8, 2);
+        let mut original = ClusterEngine::new(params, Rect::square(1000.0));
+        for i in 0..60u64 {
+            // A deliberate hotspot so the adaptive grid actually refines.
+            let x = 450.0 + (i * 7 % 100) as f64;
+            let y = 450.0 + (i * 13 % 100) as f64;
+            original.process_update(&LocationUpdate::object(
+                ObjectId(i),
+                Point::new(x, y),
+                0,
+                20.0 + (i % 3) as f64,
+                CN,
+                ObjectAttrs::default(),
+            ));
+        }
+        let snapshot = EngineSnapshot::capture(&original);
+        let mut restored = snapshot.restore().expect("restores");
+        assert_eq!(restored.params().index, IndexKind::Adaptive);
+        restored.check_invariants();
+        original.rebalance_index();
+        restored.rebalance_index();
+
+        use crate::join::JoinContext;
+        let run = |e: &ClusterEngine| {
+            JoinContext {
+                store: e.store(),
+                grid: e.grid(),
+                queries: e.queries(),
+                shedding: e.params().shedding,
+                theta_d: e.params().theta_d,
+                member_filter: e.params().member_filter,
+                parallelism: e.params().parallelism,
+            }
+            .run()
+            .results
+        };
+        assert_eq!(run(&original), run(&restored));
+        // Capturing again yields an identical snapshot — nothing lost.
+        assert_eq!(EngineSnapshot::capture(&restored), snapshot);
+    }
+
     #[test]
     fn json_roundtrip() {
         let snapshot = EngineSnapshot::capture(&busy_engine());

@@ -262,6 +262,57 @@ proptest! {
         }
     }
 
+    /// The adaptive split/merge grid is answer-invisible: at every tick it
+    /// produces exactly the uniform grid's results across parallelism
+    /// {1, 2, 4} × join cache {on, off}. Refinement redirects candidate
+    /// discovery (work), never results — the ISSUE 6 identity contract.
+    #[test]
+    fn adaptive_index_matches_uniform(
+        batches in prop::collection::vec(arb_updates(40), 1..3),
+    ) {
+        use scuba::IndexKind;
+        // Aggressive thresholds so random batches actually split cells.
+        let adaptive_base = ScubaParams::default()
+            .with_index(IndexKind::Adaptive)
+            .with_split_merge(4, 1);
+        let configs: Vec<ScubaParams> = [1usize, 2, 4]
+            .iter()
+            .flat_map(|&p| {
+                [true, false].iter().flat_map(move |&cache| {
+                    [ScubaParams::default(), adaptive_base]
+                        .map(|base| base.with_parallelism(p).with_join_cache(cache))
+                })
+            })
+            .collect();
+        let mut ops: Vec<ScubaOperator> = configs
+            .iter()
+            .map(|&params| ScubaOperator::new(params, area()))
+            .collect();
+        for (tick, batch) in batches.iter().enumerate() {
+            let now = (tick as u64 + 1) * 2;
+            let mut reference: Option<Vec<scuba_stream::QueryMatch>> = None;
+            for (op, params) in ops.iter_mut().zip(&configs) {
+                for u in batch {
+                    op.process_update(u);
+                }
+                let results = op.evaluate(now).results;
+                op.engine().check_invariants();
+                match &reference {
+                    None => reference = Some(results),
+                    Some(expected) => prop_assert_eq!(
+                        &results,
+                        expected,
+                        "tick {}: index {} parallelism {} cache {} diverged",
+                        tick,
+                        params.index,
+                        params.parallelism,
+                        params.join_cache
+                    ),
+                }
+            }
+        }
+    }
+
     /// Partial shedding with η = 0 behaves exactly like no shedding.
     #[test]
     fn zero_eta_is_exact(updates in arb_updates(40)) {
