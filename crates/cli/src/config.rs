@@ -164,6 +164,11 @@ impl SimConfig {
                         value(flag)?.parse().map_err(|e| format!("{flag}: {e}"))?;
                     i += 2;
                 }
+                "--kernel" => {
+                    config.params.kernel =
+                        value(flag)?.parse().map_err(|e| format!("{flag}: {e}"))?;
+                    i += 2;
+                }
                 "--split-threshold" => {
                     config.params.split_threshold = parse(value(flag)?, flag)?;
                     i += 2;
@@ -328,6 +333,19 @@ mod tests {
             SimConfig::from_args(&args(&["--split-threshold", "8", "--merge-threshold", "8"]))
                 .unwrap_err();
         assert!(err.contains("merge_threshold"), "{err}");
+    }
+
+    #[test]
+    fn kernel_flags_set_params() {
+        use scuba::KernelKind;
+        let (c, _) = SimConfig::from_args(&[]).unwrap();
+        assert_eq!(c.params.kernel, KernelKind::Scalar, "scalar by default");
+        let (c, _) = SimConfig::from_args(&args(&["--kernel", "simd"])).unwrap();
+        assert_eq!(c.params.kernel, KernelKind::Simd);
+        let (c, _) = SimConfig::from_args(&args(&["--kernel", "scalar"])).unwrap();
+        assert_eq!(c.params.kernel, KernelKind::Scalar);
+        let err = SimConfig::from_args(&args(&["--kernel", "avx9000"])).unwrap_err();
+        assert!(err.contains("unknown kernel kind"), "{err}");
     }
 
     #[test]

@@ -88,6 +88,7 @@ OPTIONS (all commands):
     --skew <N>           entities per behaviour group
     --grid <N>           grid cells per side
     --index <KIND>       cluster index: uniform|adaptive
+    --kernel <KIND>      join pre-filter kernel: scalar|simd (identical results)
     --split-threshold <N> adaptive: occupancy at which a cell splits
     --merge-threshold <N> adaptive: occupancy at which a refined cell merges
     --delta <N>          evaluation interval in time units

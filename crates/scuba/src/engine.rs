@@ -197,6 +197,13 @@ impl ScubaOperator {
         &self.engine
     }
 
+    /// Bytes currently reserved by the reusable joining-phase buffers.
+    /// Stable across steady-state ticks — tests use it as evidence that
+    /// evaluation allocates nothing once the scratch has warmed up.
+    pub fn join_scratch_bytes(&self) -> usize {
+        self.scratch.capacity_bytes()
+    }
+
     /// Clustering activity counters.
     pub fn clustering_stats(&self) -> ClusteringStats {
         self.engine.stats()
@@ -387,6 +394,7 @@ impl ContinuousOperator for ScubaOperator {
             theta_d: self.engine.params().theta_d,
             member_filter: self.engine.params().member_filter,
             parallelism: self.engine.params().parallelism,
+            kernel: self.engine.params().kernel,
         };
         let epochs = self
             .engine

@@ -81,6 +81,29 @@ impl std::fmt::Display for IndexKind {
     }
 }
 
+/// Reusable buffers for candidate-cell emission
+/// ([`SpatialIndex::for_each_candidate_cell_with`]). Owned by the caller
+/// (the join scratch) and handed back on every discovery walk, so index
+/// implementations that materialise per-leaf slot lists reuse one buffer
+/// across cells and ticks instead of allocating per walk.
+#[derive(Debug, Default)]
+pub struct DiscoveryScratch {
+    /// Per-leaf membership buffer of the adaptive grid's refined cells.
+    leaf: Vec<ClusterSlot>,
+}
+
+impl DiscoveryScratch {
+    /// Creates empty scratch (buffers grow on first use and stick).
+    pub fn new() -> Self {
+        DiscoveryScratch::default()
+    }
+
+    /// Bytes of heap currently reserved by the scratch buffers.
+    pub fn capacity_bytes(&self) -> usize {
+        self.leaf.capacity() * std::mem::size_of::<ClusterSlot>()
+    }
+}
+
 /// The contract every consumer of the cluster index relies on.
 ///
 /// `Sync` because [`crate::join::JoinContext`] (which borrows the index)
@@ -132,6 +155,21 @@ pub trait SpatialIndex: std::fmt::Debug + Sync {
     /// (Algorithm 1, step 8). Lists may overlap; together their pairwise
     /// products cover every pair of clusters whose regions share a point.
     fn for_each_candidate_cell(&self, visit: &mut dyn FnMut(&[ClusterSlot]));
+
+    /// [`SpatialIndex::for_each_candidate_cell`] with caller-provided
+    /// scratch. The join's per-tick discovery walk uses this form so
+    /// implementations that materialise cell lists (the adaptive grid's
+    /// refined leaves) run allocation-free in the steady state; the
+    /// scratchless form remains for one-off walks. The default
+    /// implementation ignores the scratch and delegates.
+    fn for_each_candidate_cell_with(
+        &self,
+        scratch: &mut DiscoveryScratch,
+        visit: &mut dyn FnMut(&[ClusterSlot]),
+    ) {
+        let _ = scratch;
+        self.for_each_candidate_cell(visit);
+    }
 
     /// Re-balances internal refinement against current occupancy. Called
     /// once per evaluation interval Δ; a no-op for the uniform grid.
@@ -377,7 +415,18 @@ impl SpatialIndex for AdaptiveGrid {
     /// leaf's membership materialised from the base list in base-list
     /// order (so within any one list, relative order matches uniform).
     fn for_each_candidate_cell(&self, visit: &mut dyn FnMut(&[ClusterSlot])) {
-        let mut leaf_buf: Vec<ClusterSlot> = Vec::new();
+        self.for_each_candidate_cell_with(&mut DiscoveryScratch::default(), visit);
+    }
+
+    /// As above, but the leaf membership buffer lives in the caller's
+    /// scratch — the hot join path reuses it across every cell and tick
+    /// instead of growing a fresh `Vec` per walk.
+    fn for_each_candidate_cell_with(
+        &self,
+        scratch: &mut DiscoveryScratch,
+        visit: &mut dyn FnMut(&[ClusterSlot]),
+    ) {
+        let leaf_buf = &mut scratch.leaf;
         let cell_count = self.base.spec().cell_count();
         for linear in 0..cell_count {
             let cell = self.base.cell_linear(linear as u32);
@@ -397,7 +446,7 @@ impl SpatialIndex for AdaptiveGrid {
                     }
                 }
                 if !leaf_buf.is_empty() {
-                    visit(&leaf_buf);
+                    visit(leaf_buf);
                 }
             }
         }
@@ -560,6 +609,14 @@ impl SpatialIndex for AnyIndex {
 
     fn for_each_candidate_cell(&self, visit: &mut dyn FnMut(&[ClusterSlot])) {
         self.as_dyn().for_each_candidate_cell(visit)
+    }
+
+    fn for_each_candidate_cell_with(
+        &self,
+        scratch: &mut DiscoveryScratch,
+        visit: &mut dyn FnMut(&[ClusterSlot]),
+    ) {
+        self.as_dyn().for_each_candidate_cell_with(scratch, visit)
     }
 
     fn rebalance(&mut self) {
@@ -798,6 +855,42 @@ mod tests {
             ap.len(),
             up.len()
         );
+    }
+
+    /// The scratch-reusing discovery walk must visit exactly the same
+    /// cell lists as the scratchless form, and a second walk with the same
+    /// scratch must not grow the buffers (the steady-state zero-allocation
+    /// contract the join relies on).
+    #[test]
+    fn scratch_walk_matches_scratchless_and_stops_growing() {
+        let mut a = adaptive();
+        for &(slot, c) in &scatter(64) {
+            a.insert(slot, &c);
+        }
+        a.rebalance();
+        assert!(
+            a.as_adaptive().expect("adaptive").refined_cell_count() > 0,
+            "hotspot should refine"
+        );
+
+        let mut plain: Vec<Vec<ClusterSlot>> = Vec::new();
+        a.for_each_candidate_cell(&mut |cell| plain.push(cell.to_vec()));
+
+        let mut scratch = DiscoveryScratch::new();
+        let mut with: Vec<Vec<ClusterSlot>> = Vec::new();
+        a.for_each_candidate_cell_with(&mut scratch, &mut |cell| with.push(cell.to_vec()));
+        assert_eq!(plain, with, "scratch walk changed the visited lists");
+
+        let settled = scratch.capacity_bytes();
+        assert!(settled > 0, "refined leaves should use the scratch buffer");
+        for _ in 0..3 {
+            a.for_each_candidate_cell_with(&mut scratch, &mut |_| {});
+            assert_eq!(
+                scratch.capacity_bytes(),
+                settled,
+                "steady walks must not reallocate"
+            );
+        }
     }
 
     #[test]

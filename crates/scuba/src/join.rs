@@ -69,7 +69,8 @@ use scuba_motion::{ObjectId, QueryId, QuerySpec};
 use scuba_spatial::{Circle, Point, Rect};
 use scuba_stream::{QueryMatch, StageStats, Stopwatch};
 
-use crate::index::SpatialIndex;
+use crate::index::{DiscoveryScratch, SpatialIndex};
+use crate::kernel::{self, pack_pair, KernelKind, PairTile};
 use crate::shedding::SheddingMode;
 use crate::store::{ClusterSlot, ClusterStore, EpochTracker};
 use crate::tables::QueriesTable;
@@ -82,20 +83,6 @@ pub const STAGE_JOIN_BETWEEN: &str = "join-between";
 pub const STAGE_JOIN_WITHIN: &str = "join-within";
 /// Stage name: sort + dedup of raw matches.
 pub const STAGE_RESULT_MERGE: &str = "result-merge";
-
-/// Packs an unordered slot pair into one sortable key (min slot in the
-/// high half, so sorted keys group by the smaller slot first).
-#[inline]
-fn pack_pair(a: ClusterSlot, b: ClusterSlot) -> u64 {
-    let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
-    ((lo as u64) << 32) | hi as u64
-}
-
-/// Inverse of [`pack_pair`].
-#[inline]
-fn unpack_pair(key: u64) -> (ClusterSlot, ClusterSlot) {
-    (ClusterSlot((key >> 32) as u32), ClusterSlot(key as u32))
-}
 
 /// What one joining phase produced and how much work it did.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -153,6 +140,11 @@ pub struct JoinContext<'a> {
     /// atomic cursor. The result set and all work counters are identical
     /// for every value.
     pub parallelism: usize,
+    /// Which join-kernel implementation runs the join-between pre-filter
+    /// and the join-within inner loops. Results and work counters are
+    /// bit-identical for every kind (only the lane counters differ); see
+    /// [`crate::kernel`].
+    pub kernel: KernelKind,
 }
 
 /// Slot-pair-keyed cache of join-within results, carried across epochs.
@@ -312,6 +304,11 @@ pub struct JoinScratch {
     tasks: Vec<(ClusterSlot, ClusterSlot)>,
     /// Stage-3 input: surviving pairs without a valid cache entry.
     miss_tasks: Vec<(ClusterSlot, ClusterSlot)>,
+    /// Stage-2 gather tile of the wide pre-filter kernel.
+    tile: PairTile,
+    /// Stage-1 buffers handed to the index's discovery walk (the adaptive
+    /// grid's per-leaf membership lists).
+    discovery: DiscoveryScratch,
     /// Per-epoch SoA materialisation of member positions.
     arena: MatArena,
     /// One scratch block per join-within worker.
@@ -322,6 +319,46 @@ impl JoinScratch {
     /// Fresh scratch with no reserved capacity (grows on first use).
     pub fn new() -> Self {
         JoinScratch::default()
+    }
+
+    /// Bytes of heap currently reserved across every scratch buffer —
+    /// pair keys, task lists, the kernel tile, discovery buffers, the
+    /// materialisation arena and all worker blocks.
+    ///
+    /// The steady-state contract is that this value stops changing once
+    /// the workload shape settles: an epoch clears lengths but never
+    /// shrinks or grows capacity, so a stable reading across ticks is
+    /// evidence the tick path performed no allocation.
+    pub fn capacity_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let arena = &self.arena;
+        let arena_bytes = arena.stamp.capacity() * size_of::<u64>()
+            + arena.slot_entry.capacity() * size_of::<u32>()
+            + arena.entries.capacity() * size_of::<MatEntry>()
+            + (arena.obj_ids.capacity() + arena.shed_obj_ids.capacity()) * size_of::<ObjectId>()
+            + (arena.obj_x.capacity() + arena.obj_y.capacity()) * size_of::<f64>()
+            + arena.queries.capacity() * size_of::<ExactQuery>()
+            + arena.group_regions.capacity() * size_of::<Rect>()
+            + arena.group_qid_spans.capacity() * size_of::<(u32, u32)>()
+            + arena.group_qids.capacity() * size_of::<QueryId>()
+            + arena.pending_groups.capacity() * size_of::<(u32, QueryId)>()
+            + arena.group_counts.capacity() * size_of::<u32>();
+        let workers: usize = self
+            .workers
+            .iter()
+            .map(|w| {
+                w.results.capacity() * size_of::<QueryMatch>()
+                    + w.active.capacity() * size_of::<u32>()
+                    + w.records.capacity() * size_of::<PairRec>()
+            })
+            .sum();
+        self.pairs.capacity() * size_of::<u64>()
+            + (self.tasks.capacity() + self.miss_tasks.capacity())
+                * size_of::<(ClusterSlot, ClusterSlot)>()
+            + self.tile.capacity_bytes()
+            + self.discovery.capacity_bytes()
+            + arena_bytes
+            + workers
     }
 }
 
@@ -438,6 +475,11 @@ struct WorkerScratch {
     records: Vec<PairRec>,
     comparisons: u64,
     reach_tests: u64,
+    /// Lane slots the wide member kernel processed (padding included);
+    /// zero on the scalar path.
+    lane_slots: u64,
+    /// Lane slots that carried a live object.
+    lanes_used: u64,
 }
 
 impl WorkerScratch {
@@ -447,6 +489,8 @@ impl WorkerScratch {
         self.records.clear();
         self.comparisons = 0;
         self.reach_tests = 0;
+        self.lane_slots = 0;
+        self.lanes_used = 0;
     }
 }
 
@@ -506,17 +550,30 @@ impl<'a> JoinContext<'a> {
                 .with_tests(candidates),
         );
 
-        // Stage 2 — join-between: the overlap pre-filter (Algorithm 2).
-        {
-            let JoinScratch { pairs, tasks, .. } = &mut *scratch;
-            self.join_between(pairs, tasks, &mut out);
-        }
+        // Stage 2 — join-between: the overlap pre-filter (Algorithm 2),
+        // dispatched to the scalar or tiled wide kernel. Same-cluster
+        // pairs survive only for mixed clusters (Algorithm 1, step 14);
+        // cross pairs survive the joinable-kind check and the
+        // region-overlap test. Vacant slots carry zero member counts, so
+        // stale grid entries (if any) drop out at the kind check. Both
+        // kernels emit identical survivors and counters (see
+        // [`crate::kernel`]).
+        let pf = {
+            let JoinScratch {
+                pairs, tasks, tile, ..
+            } = &mut *scratch;
+            kernel::join_between_filter(&self.store.columns(), pairs, self.kernel, tile, tasks)
+        };
+        out.prefilter_tests += pf.tests;
+        out.pairs_pruned += pf.pruned;
+        out.pairs_joined += pf.joined;
         let between_tests = out.prefilter_tests;
         out.stages.push(
             StageStats::join(STAGE_JOIN_BETWEEN)
                 .with_wall(sw.lap())
                 .with_items(discovered, scratch.tasks.len() as u64)
-                .with_tests(between_tests),
+                .with_tests(between_tests)
+                .with_lanes(pf.lane_slots, pf.lanes_used),
         );
 
         // Stage 3 — join-within: replay clean pairs from the cache, run
@@ -573,9 +630,13 @@ impl<'a> JoinContext<'a> {
         };
 
         // Fold the workers: counters, raw matches, and cache refreshes.
+        let mut within_lane_slots = 0u64;
+        let mut within_lanes_used = 0u64;
         for ws in scratch.workers.iter().take(used) {
             out.comparisons += ws.comparisons;
             out.prefilter_tests += ws.reach_tests;
+            within_lane_slots += ws.lane_slots;
+            within_lanes_used += ws.lanes_used;
             if epochs.is_some() {
                 let clock = clock.expect("clock captured with epochs");
                 for rec in &ws.records {
@@ -598,7 +659,8 @@ impl<'a> JoinContext<'a> {
                 .with_wall(sw.lap())
                 .with_items(scratch.tasks.len() as u64, raw)
                 .with_tests(out.comparisons + (out.prefilter_tests - between_tests))
-                .with_cache(out.cache_hits, out.cache_misses, out.cache_invalidations),
+                .with_cache(out.cache_hits, out.cache_misses, out.cache_invalidations)
+                .with_lanes(within_lane_slots, within_lanes_used),
         );
 
         // Stage 4 — result merge: sort + dedup, which also erases any
@@ -620,78 +682,25 @@ impl<'a> JoinContext<'a> {
     /// a `u64` key, then sorts + dedups the reused key buffer in place.
     /// Returns `(entries_walked, candidates)`.
     fn discover_pairs(&self, scratch: &mut JoinScratch) -> (u64, u64) {
-        let pairs = &mut scratch.pairs;
+        let JoinScratch {
+            pairs, discovery, ..
+        } = &mut *scratch;
         pairs.clear();
         let mut entries_walked = 0u64;
         let mut candidates = 0u64;
-        self.grid.for_each_candidate_cell(&mut |cell| {
-            entries_walked += cell.len() as u64;
-            for (i, &left) in cell.iter().enumerate() {
-                for &right in &cell[i..] {
-                    candidates += 1;
-                    pairs.push(pack_pair(left, right));
+        self.grid
+            .for_each_candidate_cell_with(discovery, &mut |cell| {
+                entries_walked += cell.len() as u64;
+                for (i, &left) in cell.iter().enumerate() {
+                    for &right in &cell[i..] {
+                        candidates += 1;
+                        pairs.push(pack_pair(left, right));
+                    }
                 }
-            }
-        });
+            });
         pairs.sort_unstable();
         pairs.dedup();
         (entries_walked, candidates)
-    }
-
-    /// Stage 2: filters the discovered pairs down to the ones join-within
-    /// must examine, reading only the store's SoA columns. Same-cluster
-    /// pairs survive only for mixed clusters (Algorithm 1, step 14); cross
-    /// pairs survive the joinable-kind check and the region-overlap test
-    /// (Algorithm 2). Vacant slots carry zero member counts, so stale grid
-    /// entries (if any) drop out at the kind check. Updates the pair
-    /// counters and overlap-test count on `out`.
-    fn join_between(
-        &self,
-        pair_keys: &[u64],
-        tasks: &mut Vec<(ClusterSlot, ClusterSlot)>,
-        out: &mut JoinOutput,
-    ) {
-        tasks.clear();
-        let cols = self.store.columns();
-        for &key in pair_keys {
-            let (left, right) = unpack_pair(key);
-            let (li, ri) = (left.index(), right.index());
-
-            if left == right {
-                // Same-cluster join-within only for mixed clusters.
-                if cols.object_count[li] > 0 && cols.query_count[li] > 0 {
-                    tasks.push((left, right));
-                }
-                continue;
-            }
-
-            // Only cross-kind pairs can produce results (Algorithm 1,
-            // step 18).
-            let joinable = (cols.object_count[li] > 0 && cols.query_count[ri] > 0)
-                || (cols.query_count[li] > 0 && cols.object_count[ri] > 0);
-            if !joinable {
-                continue;
-            }
-
-            // The overlap pre-filter, with the query side inflated by its
-            // widest range so pruned pairs really cannot produce results
-            // (see MovingCluster::effective_region). The circles are
-            // rebuilt from the SoA columns — bit-identical to the cluster
-            // methods, since the columns re-sync on every mutation.
-            out.prefilter_tests += 1;
-            let l_center = Point::new(cols.cx[li], cols.cy[li]);
-            let r_center = Point::new(cols.cx[ri], cols.cy[ri]);
-            let can_match = Circle::new(l_center, cols.radius[li])
-                .overlaps(&Circle::new(r_center, cols.eff_radius[ri]))
-                || Circle::new(r_center, cols.radius[ri])
-                    .overlaps(&Circle::new(l_center, cols.eff_radius[li]));
-            if !can_match {
-                out.pairs_pruned += 1;
-                continue;
-            }
-            out.pairs_joined += 1;
-            tasks.push((left, right));
-        }
     }
 
     /// Stage 3 kernel: runs the member join over every cache-miss pair,
@@ -816,23 +825,34 @@ impl<'a> JoinContext<'a> {
             ws.active.push(qi);
         }
 
-        // 1. Exact objects × exact queries, streaming the SoA arrays.
+        // 1. Exact objects × exact queries, streaming the SoA arrays —
+        //    either pair-at-a-time or in lane-width chunks over the
+        //    arena's x/y columns. Both produce the same match multiset
+        //    (the wide path emits query-major within a chunk; the merge
+        //    stage sorts) and identical `reach_tests`/`comparisons`.
         if !ws.active.is_empty() {
-            for i in objects_of.objs.0 as usize..objects_of.objs.1 as usize {
-                let p = Point::new(arena.obj_x[i], arena.obj_y[i]);
-                if !skip_filters {
-                    ws.reach_tests += 1;
-                    if !queries_of.reach.contains(&p) {
-                        continue;
+            match self.kernel.effective() {
+                KernelKind::Scalar => {
+                    for i in objects_of.objs.0 as usize..objects_of.objs.1 as usize {
+                        let p = Point::new(arena.obj_x[i], arena.obj_y[i]);
+                        if !skip_filters {
+                            ws.reach_tests += 1;
+                            if !queries_of.reach.contains(&p) {
+                                continue;
+                            }
+                        }
+                        let oid = arena.obj_ids[i];
+                        for &qi in &ws.active {
+                            let q = &arena.queries[qi as usize];
+                            ws.comparisons += 1;
+                            if q.region.contains(&p) {
+                                ws.results.push(QueryMatch::new(q.qid, oid));
+                            }
+                        }
                     }
                 }
-                let oid = arena.obj_ids[i];
-                for &qi in &ws.active {
-                    let q = &arena.queries[qi as usize];
-                    ws.comparisons += 1;
-                    if q.region.contains(&p) {
-                        ws.results.push(QueryMatch::new(q.qid, oid));
-                    }
+                KernelKind::Simd => {
+                    self.join_exact_wide(arena, objects_of, queries_of, skip_filters, ws);
                 }
             }
         }
@@ -883,6 +903,70 @@ impl<'a> JoinContext<'a> {
                     }
                 }
             }
+        }
+    }
+
+    /// The wide variant of join-within section 1: exact objects stream in
+    /// [`kernel::LANES`]-wide chunks over the arena's `obj_x`/`obj_y`
+    /// columns. Per chunk, the partner-reach filter computes a pass mask
+    /// branch-free (same `distance² ≤ radius²` comparison as
+    /// [`Circle::contains`]); then each active query tests its rectangle
+    /// against all passing lanes (same inclusive comparisons as
+    /// [`Rect::contains`]). Counters match the scalar loop exactly:
+    /// one reach test per object, one comparison per (passing object,
+    /// active query).
+    fn join_exact_wide(
+        &self,
+        arena: &MatArena,
+        objects_of: &MatEntry,
+        queries_of: &MatEntry,
+        skip_filters: bool,
+        ws: &mut WorkerScratch,
+    ) {
+        let os = objects_of.objs.0 as usize;
+        let oe = objects_of.objs.1 as usize;
+        let xs = &arena.obj_x[os..oe];
+        let ys = &arena.obj_y[os..oe];
+        let reach = queries_of.reach;
+        let r2 = reach.radius * reach.radius;
+        let mut pass = [false; kernel::LANES];
+        let mut i = 0;
+        while i < xs.len() {
+            let lanes = kernel::LANES.min(xs.len() - i);
+            let xc = &xs[i..i + lanes];
+            let yc = &ys[i..i + lanes];
+            if skip_filters {
+                pass[..lanes].fill(true);
+            } else {
+                ws.reach_tests += lanes as u64;
+                for k in 0..lanes {
+                    let dx = reach.center.x - xc[k];
+                    let dy = reach.center.y - yc[k];
+                    pass[k] = dx * dx + dy * dy <= r2;
+                }
+            }
+            ws.lane_slots += kernel::LANES as u64;
+            ws.lanes_used += lanes as u64;
+            let passing = pass[..lanes].iter().filter(|&&b| b).count() as u64;
+            ws.comparisons += passing * ws.active.len() as u64;
+            if passing > 0 {
+                for &qi in &ws.active {
+                    let q = &arena.queries[qi as usize];
+                    let r = q.region;
+                    for k in 0..lanes {
+                        if pass[k]
+                            && xc[k] >= r.min.x
+                            && xc[k] <= r.max.x
+                            && yc[k] >= r.min.y
+                            && yc[k] <= r.max.y
+                        {
+                            ws.results
+                                .push(QueryMatch::new(q.qid, arena.obj_ids[os + i + k]));
+                        }
+                    }
+                }
+            }
+            i += lanes;
         }
     }
 
@@ -1049,18 +1133,8 @@ mod tests {
             theta_d: engine.params().theta_d,
             member_filter: engine.params().member_filter,
             parallelism: engine.params().parallelism,
+            kernel: engine.params().kernel,
         }
-    }
-
-    #[test]
-    fn pair_keys_pack_and_unpack() {
-        let a = ClusterSlot(7);
-        let b = ClusterSlot(3);
-        let key = pack_pair(a, b);
-        assert_eq!(key, pack_pair(b, a), "keys are order-insensitive");
-        assert_eq!(unpack_pair(key), (ClusterSlot(3), ClusterSlot(7)));
-        let self_key = pack_pair(a, a);
-        assert_eq!(unpack_pair(self_key), (a, a));
     }
 
     #[test]
@@ -1305,6 +1379,35 @@ mod tests {
             assert_eq!(parallel.pairs_joined, serial.pairs_joined);
             assert_eq!(parallel.pairs_pruned, serial.pairs_pruned);
         }
+    }
+
+    /// The wide kernel must reproduce the scalar run bit-for-bit: result
+    /// set, every work counter, and the survivor bookkeeping.
+    #[test]
+    fn wide_kernel_run_matches_scalar() {
+        let params = ScubaParams::default().with_grid_cells(8);
+        let mut e = ClusterEngine::new(params, Rect::square(1000.0));
+        for i in 0..12u64 {
+            let x = 80.0 * i as f64 + 40.0;
+            e.process_update(&obj(i, x, 500.0, 30.0, CN_EAST));
+            e.process_update(&obj(100 + i, x + 5.0, 505.0, 30.0, CN_EAST));
+            e.process_update(&qry(i, x + 2.0, 502.0, 30.0, CN_WEST, 60.0));
+        }
+        let mut scalar_ctx = ctx(&e);
+        scalar_ctx.kernel = KernelKind::Scalar;
+        let scalar = scalar_ctx.run();
+        assert!(!scalar.results.is_empty());
+
+        let mut wide_ctx = ctx(&e);
+        wide_ctx.kernel = KernelKind::Simd;
+        let wide = wide_ctx.run();
+        assert_eq!(wide.results, scalar.results);
+        assert_eq!(wide.comparisons, scalar.comparisons);
+        assert_eq!(wide.prefilter_tests, scalar.prefilter_tests);
+        assert_eq!(wide.pairs_joined, scalar.pairs_joined);
+        assert_eq!(wide.pairs_pruned, scalar.pairs_pruned);
+        assert_eq!(wide.cache_hits, scalar.cache_hits);
+        assert_eq!(wide.cache_misses, scalar.cache_misses);
     }
 
     #[test]

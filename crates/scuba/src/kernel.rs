@@ -1,0 +1,850 @@
+//! Batched filter-then-refine join kernels over the SoA cluster columns.
+//!
+//! The join-between stage (Algorithm 2) used to test candidate pairs one
+//! at a time: unpack a key, branch on the joinable-kind check, rebuild two
+//! [`Circle`](scuba_spatial::Circle)s per direction and short-circuit the
+//! two overlap tests. This module restructures that hot loop from
+//! pair-at-a-time to **batch-at-a-time**:
+//!
+//! 1. **Gather** — candidate pairs stream through a cache-sized
+//!    [`PairTile`]. The cheap scalar prologue (same-slot handling, the
+//!    joinable-kind check on the count columns) runs during the gather;
+//!    surviving cross pairs deposit three derived `f64` lanes plus their
+//!    packed key — the centroid delta `(dx, dy)` and the squared overlap
+//!    threshold `tsq = max(t1, t2)²` with `t1 = max(radius_l,0) +
+//!    max(eff_r,0)`, `t2 = max(radius_r,0) + max(eff_l,0)` — read through
+//!    the store's unchecked column getters.
+//! 2. **Filter** — once the tile fills (or the key stream ends), the
+//!    overlap pre-filter runs as a wide kernel over the tile's fixed-width
+//!    lane arrays: [`LANES`]-wide chunks with a branchless body
+//!    (`mask = dx·dx + dy·dy ≤ tsq`) that the compiler autovectorizes.
+//! 3. **Emit** — set mask lanes push their unpacked pair onto the survivor
+//!    list in tile order, which is key order — exactly the order the
+//!    scalar loop produces.
+//!
+//! ## Why results are bit-identical
+//!
+//! The scalar decision for a cross pair is
+//! `Circle::new(l, r_l).overlaps(Circle::new(r, e_r)) ||
+//!  Circle::new(r, r_r).overlaps(Circle::new(l, e_l))`, which expands to
+//! `d² ≤ (max(r_l,0)+max(e_r,0))²` or-else `d'² ≤ (max(r_r,0)+max(e_l,0))²`
+//! where `d²` and `d'²` are the same `dx·dx + dy·dy` evaluated with
+//! opposite-sign deltas — bitwise equal under IEEE 754 (`(-a)·(-a) ≡ a·a`).
+//! Both thresholds `t1`, `t2` are non-negative and never NaN (`f64::max`
+//! returns the non-NaN operand, so the [`Circle::new`] clamps yield
+//! numbers, and sums of non-negative numbers stay numbers), so squaring is
+//! monotone over them and
+//! `d² ≤ t1² || d² ≤ t2²  ⇔  d² ≤ max(t1, t2)²` — including a NaN `d²`,
+//! which fails every comparison on both sides. The gather therefore folds
+//! the two directions into the single `tsq = max(t1, t2)²` lane with the
+//! identical operations (`f64::max` clamps, add, `f64::max`, multiply) and
+//! the wide compare agrees with the scalar short-circuit `||` for every
+//! input. Pairs failing the kind check never reach the tile and never
+//! touch a counter, exactly like the scalar loop. Same-slot pairs ride the
+//! tile as sentinel lanes whose geometry forces the right verdict (never
+//! counted as tests), so emission — a branchless compaction over the
+//! mask — keeps the survivor list in key order, matching the scalar
+//! emission order element for element.
+//!
+//! The scalar path ([`KernelKind::Scalar`]) *is* the previous code, kept
+//! verbatim as both the fallback and the reference the identity tests and
+//! the `simd` bench compare against. Building without the `simd` cargo
+//! feature collapses [`KernelKind::Simd`] to the scalar path at runtime
+//! ([`KernelKind::effective`]).
+//!
+//! [`Circle::new`]: scuba_spatial::Circle::new
+
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use scuba_spatial::{Circle, Point};
+
+use crate::store::{ClusterSlot, StoreColumns};
+
+/// Lane width of the wide kernels: 8 `f64`s, two cache lines — wide enough
+/// to fill 2/4/8-lane vector units after autovectorization, small enough
+/// that the masked tail stays cheap.
+pub const LANES: usize = 8;
+
+/// Candidate pairs gathered per [`PairTile`] before the wide filter runs.
+/// Three `f64` lanes plus keys and masks ≈ 16.5 KiB — sized to sit in L1
+/// while the filter sweeps it.
+pub const TILE_PAIRS: usize = 512;
+
+/// Which join-kernel implementation the evaluate pipeline runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "lowercase")]
+pub enum KernelKind {
+    /// The pair-at-a-time loop (the previous code path, and the reference
+    /// the wide kernel is asserted against).
+    #[default]
+    Scalar,
+    /// The tiled, lane-parallel filter-then-refine kernel. Requires the
+    /// `simd` cargo feature (on by default); without it, requests for
+    /// this kind run the scalar path ([`KernelKind::effective`]).
+    Simd,
+}
+
+impl KernelKind {
+    /// The kind that will actually run: [`KernelKind::Simd`] collapses to
+    /// [`KernelKind::Scalar`] when the crate was built without the `simd`
+    /// feature, so a `--kernel simd` request degrades gracefully instead
+    /// of failing.
+    pub fn effective(self) -> KernelKind {
+        #[cfg(feature = "simd")]
+        {
+            self
+        }
+        #[cfg(not(feature = "simd"))]
+        {
+            let _ = self;
+            KernelKind::Scalar
+        }
+    }
+}
+
+impl FromStr for KernelKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(KernelKind::Scalar),
+            "simd" => Ok(KernelKind::Simd),
+            other => Err(format!(
+                "unknown kernel kind '{other}' (expected 'scalar' or 'simd')"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelKind::Scalar => f.write_str("scalar"),
+            KernelKind::Simd => f.write_str("simd"),
+        }
+    }
+}
+
+/// Packs an unordered slot pair into one sortable key (min slot in the
+/// high half, so sorted keys group by the smaller slot first).
+#[inline]
+pub fn pack_pair(a: ClusterSlot, b: ClusterSlot) -> u64 {
+    let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+    ((lo as u64) << 32) | hi as u64
+}
+
+/// Inverse of [`pack_pair`].
+#[inline]
+pub fn unpack_pair(key: u64) -> (ClusterSlot, ClusterSlot) {
+    (ClusterSlot((key >> 32) as u32), ClusterSlot(key as u32))
+}
+
+/// Work and selectivity counters of one join-between pre-filter pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefilterStats {
+    /// Cluster-pair overlap tests performed (same-slot pairs and pairs
+    /// failing the joinable-kind check are not tested, matching the
+    /// scalar accounting).
+    pub tests: u64,
+    /// Pairs rejected by the overlap test.
+    pub pruned: u64,
+    /// Pairs surviving to join-within.
+    pub joined: u64,
+    /// Lane slots the wide kernel processed, tail padding included
+    /// (zero on the scalar path).
+    pub lane_slots: u64,
+    /// Lane slots that carried a live pair; `lane_slots - lanes_used` is
+    /// padding waste (zero on the scalar path).
+    pub lanes_used: u64,
+}
+
+/// Cache-sized gather tile for the wide pre-filter: parallel lane arrays
+/// holding up to [`TILE_PAIRS`] candidate pairs' derived geometry, plus
+/// the packed keys for survivor emission. The buffers are allocated once
+/// at [`TILE_PAIRS`] and written by index behind a length counter — no
+/// per-pair capacity checks, no reallocation ever. Owned by the join
+/// scratch and reused every round.
+#[derive(Debug)]
+pub struct PairTile {
+    /// Live pairs currently gathered (`≤ TILE_PAIRS`).
+    len: usize,
+    /// Same-slot sentinel lanes among `len` (see [`PairTile::push_special`]).
+    specials: usize,
+    /// Sentinel lanes whose pair emits (mixed same-slot clusters).
+    special_hits: usize,
+    /// The gathered pairs' packed keys ([`pack_pair`] layout), unpacked
+    /// again at emission.
+    keys: Vec<u64>,
+    /// Centroid delta lanes.
+    dx: Vec<f64>,
+    dy: Vec<f64>,
+    /// Squared overlap threshold `max(t1, t2)²` per lane (see the module
+    /// docs for why one fused lane decides both overlap directions).
+    tsq: Vec<f64>,
+    /// Filter verdict per lane (1 = survives).
+    mask: Vec<u8>,
+    /// Per-slot gather table rebuilt each pass ([`PairTile::pack`]): the
+    /// pair-independent column data folded into one cache line per slot.
+    packed: Vec<SlotGeom>,
+    /// Per-slot kind bits (bit 0 = has objects, bit 1 = has queries),
+    /// rebuilt alongside `packed`.
+    kinds: Vec<u8>,
+}
+
+/// One slot's pair-independent geometry — centroid and *clamped* radii
+/// `(x, y, max(radius, 0), max(eff_radius, 0))` — packed and 32-byte
+/// aligned so a random slot gather touches exactly one cache line instead
+/// of four column arrays.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C, align(32))]
+struct SlotGeom {
+    x: f64,
+    y: f64,
+    /// `radius.max(0.0)` — the `Circle::new` clamp, pre-applied.
+    rc: f64,
+    /// `eff_radius.max(0.0)` — likewise.
+    ec: f64,
+}
+
+impl Default for PairTile {
+    fn default() -> Self {
+        PairTile::new()
+    }
+}
+
+impl PairTile {
+    /// An empty tile with all lane buffers at their fixed [`TILE_PAIRS`]
+    /// size.
+    pub fn new() -> Self {
+        PairTile {
+            len: 0,
+            specials: 0,
+            special_hits: 0,
+            keys: vec![0; TILE_PAIRS],
+            dx: vec![0.0; TILE_PAIRS],
+            dy: vec![0.0; TILE_PAIRS],
+            tsq: vec![0.0; TILE_PAIRS],
+            mask: vec![0; TILE_PAIRS],
+            packed: Vec::new(),
+            kinds: Vec::new(),
+        }
+    }
+
+    /// Rebuilds the per-slot gather table from the live columns: one pass
+    /// of checked, sequential reads per slot, amortised over every pair
+    /// that slot appears in. The clamps here are the only place the wide
+    /// path applies them (see the module docs).
+    fn pack(&mut self, cols: &StoreColumns<'_>) {
+        let len = cols.len();
+        self.packed.clear();
+        self.kinds.clear();
+        self.packed.reserve(len);
+        self.kinds.reserve(len);
+        for i in 0..len {
+            self.packed.push(SlotGeom {
+                x: cols.cx[i],
+                y: cols.cy[i],
+                rc: cols.radius[i].max(0.0),
+                ec: cols.eff_radius[i].max(0.0),
+            });
+            self.kinds.push(
+                u8::from(cols.object_count[i] > 0) | (u8::from(cols.query_count[i] > 0) << 1),
+            );
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Bytes of heap currently reserved by the tile's buffers.
+    pub fn capacity_bytes(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<u64>()
+            + (self.dx.capacity() + self.dy.capacity() + self.tsq.capacity())
+                * std::mem::size_of::<f64>()
+            + self.mask.capacity()
+            + self.packed.capacity() * std::mem::size_of::<SlotGeom>()
+            + self.kinds.capacity()
+    }
+
+    /// Deposits one cross pair's lanes. The caller keeps `len <
+    /// TILE_PAIRS` by flushing full tiles, so the index is always in
+    /// bounds of the fixed-size buffers.
+    #[allow(unsafe_code)]
+    #[inline]
+    fn push(&mut self, key: u64, dx: f64, dy: f64, tsq: f64) {
+        let i = self.len;
+        debug_assert!(i < TILE_PAIRS, "tile overfilled: flush before push");
+        // SAFETY: the buffers are fixed at TILE_PAIRS elements and the
+        // gather loop flushes whenever len reaches TILE_PAIRS, so i <
+        // TILE_PAIRS here (debug-asserted above).
+        unsafe {
+            *self.keys.get_unchecked_mut(i) = key;
+            *self.dx.get_unchecked_mut(i) = dx;
+            *self.dy.get_unchecked_mut(i) = dy;
+            *self.tsq.get_unchecked_mut(i) = tsq;
+        }
+        self.len = i + 1;
+    }
+
+    /// Gathers a same-slot pair as a **sentinel lane** so the tile never
+    /// has to flush mid-stream just to keep emission order: the lane's
+    /// geometry forces the filter verdict (`d² = 0 ≤ 0` when the pair
+    /// emits, `0 ≤ NaN` — false — when it doesn't), so branchless
+    /// compaction emits it exactly where the scalar loop would, while the
+    /// counters treat it as the scalar loop does: never a test, never
+    /// pruned, never joined.
+    #[inline]
+    fn push_special(&mut self, key: u64, emit: bool) {
+        self.specials += 1;
+        self.special_hits += usize::from(emit);
+        self.push(key, 0.0, 0.0, if emit { 0.0 } else { f64::NAN });
+    }
+
+    fn clear(&mut self) {
+        self.len = 0;
+        self.specials = 0;
+        self.special_hits = 0;
+    }
+
+    /// Runs the wide overlap filter over the gathered lanes, emits the
+    /// survivors onto `tasks` in gather (= key) order, updates the
+    /// counters and resets the tile.
+    ///
+    /// Emission is **branchless compaction**: every pair is written to the
+    /// (pre-grown) tail of `tasks` unconditionally and the write cursor
+    /// advances by its mask bit, so the filter verdict never feeds a
+    /// branch — on mixed workloads the scalar loop's data-dependent
+    /// mispredictions are what this kernel exists to remove.
+    #[allow(unsafe_code)]
+    fn flush(&mut self, stats: &mut PrefilterStats, tasks: &mut Vec<(ClusterSlot, ClusterSlot)>) {
+        let n = self.len;
+        if n == 0 {
+            return;
+        }
+        overlap_mask(
+            &self.dx[..n],
+            &self.dy[..n],
+            &self.tsq[..n],
+            &mut self.mask[..n],
+        );
+        let real = (n - self.specials) as u64;
+        stats.tests += real;
+        stats.lanes_used += real;
+        stats.lane_slots += (n.div_ceil(LANES) * LANES) as u64;
+        let base = tasks.len();
+        tasks.reserve(n);
+        let spare = tasks.spare_capacity_mut();
+        let mut w = 0usize;
+        for i in 0..n {
+            // SAFETY: i < n = len ≤ TILE_PAIRS bounds the lane reads; the
+            // write cursor advances at most once per lane, so w < n ≤
+            // spare.len() throughout. Every slot below the final cursor
+            // was initialised by a write before the cursor left it, which
+            // is what the set_len below exposes.
+            unsafe {
+                spare
+                    .get_unchecked_mut(w)
+                    .write(unpack_pair(*self.keys.get_unchecked(i)));
+                w += usize::from(*self.mask.get_unchecked(i) != 0);
+            }
+        }
+        // SAFETY: slots base..base + w hold initialised pairs (see above).
+        unsafe { tasks.set_len(base + w) };
+        let joined = (w - self.special_hits) as u64;
+        stats.joined += joined;
+        stats.pruned += real - joined;
+        self.clear();
+    }
+}
+
+/// The wide circle/circle overlap verdict: `mask[i] = dx·dx + dy·dy ≤
+/// tsq`, computed in [`LANES`]-wide branchless chunks (the remainder runs
+/// the same expression scalar). All slices are the same length.
+fn overlap_mask(dx: &[f64], dy: &[f64], tsq: &[f64], mask: &mut [u8]) {
+    let n = dx.len();
+    debug_assert!(dy.len() == n && tsq.len() == n && mask.len() == n);
+    let chunks = n / LANES;
+    for c in 0..chunks {
+        let base = c * LANES;
+        // Fixed-width sub-slices: the bounds are compile-time constants
+        // inside the lane loop, so the body compiles branch-free and
+        // vectorizes under the baseline target features.
+        let dxc = &dx[base..base + LANES];
+        let dyc = &dy[base..base + LANES];
+        let tc = &tsq[base..base + LANES];
+        let mc = &mut mask[base..base + LANES];
+        for k in 0..LANES {
+            mc[k] = (dxc[k] * dxc[k] + dyc[k] * dyc[k] <= tc[k]) as u8;
+        }
+    }
+    for k in chunks * LANES..n {
+        mask[k] = (dx[k] * dx[k] + dy[k] * dy[k] <= tsq[k]) as u8;
+    }
+}
+
+/// The join-between pre-filter (Algorithm 2) over sorted, deduplicated
+/// pair keys, dispatching on the (effective) kernel kind. Clears and
+/// fills `tasks` with the surviving pairs in key order — both kernels
+/// produce byte-identical `tasks` and counters; see the module docs.
+pub fn join_between_filter(
+    cols: &StoreColumns<'_>,
+    keys: &[u64],
+    kernel: KernelKind,
+    tile: &mut PairTile,
+    tasks: &mut Vec<(ClusterSlot, ClusterSlot)>,
+) -> PrefilterStats {
+    tasks.clear();
+    match kernel.effective() {
+        KernelKind::Scalar => scalar_filter(cols, keys, tasks),
+        KernelKind::Simd => wide_filter(cols, keys, tile, tasks),
+    }
+}
+
+/// The pair-at-a-time reference path — the previous join-between loop,
+/// verbatim.
+fn scalar_filter(
+    cols: &StoreColumns<'_>,
+    keys: &[u64],
+    tasks: &mut Vec<(ClusterSlot, ClusterSlot)>,
+) -> PrefilterStats {
+    let mut stats = PrefilterStats::default();
+    for &key in keys {
+        let (left, right) = unpack_pair(key);
+        let (li, ri) = (left.index(), right.index());
+
+        if left == right {
+            // Same-cluster join-within only for mixed clusters.
+            if cols.object_count[li] > 0 && cols.query_count[li] > 0 {
+                tasks.push((left, right));
+            }
+            continue;
+        }
+
+        // Only cross-kind pairs can produce results (Algorithm 1,
+        // step 18).
+        let joinable = (cols.object_count[li] > 0 && cols.query_count[ri] > 0)
+            || (cols.query_count[li] > 0 && cols.object_count[ri] > 0);
+        if !joinable {
+            continue;
+        }
+
+        // The overlap pre-filter, with the query side inflated by its
+        // widest range so pruned pairs really cannot produce results
+        // (see MovingCluster::effective_region). The circles are
+        // rebuilt from the SoA columns — bit-identical to the cluster
+        // methods, since the columns re-sync on every mutation.
+        stats.tests += 1;
+        let l_center = Point::new(cols.cx[li], cols.cy[li]);
+        let r_center = Point::new(cols.cx[ri], cols.cy[ri]);
+        let can_match = Circle::new(l_center, cols.radius[li])
+            .overlaps(&Circle::new(r_center, cols.eff_radius[ri]))
+            || Circle::new(r_center, cols.radius[ri])
+                .overlaps(&Circle::new(l_center, cols.eff_radius[li]));
+        if !can_match {
+            stats.pruned += 1;
+            continue;
+        }
+        stats.joined += 1;
+        tasks.push((left, right));
+    }
+    stats
+}
+
+/// Dense streams repack the columns first ([`PairTile::pack`]): the pass
+/// costs one sequential sweep over every slot, so it pays for itself once
+/// the stream touches each slot this many times on average.
+const PACK_KEYS_PER_SLOT: usize = 4;
+
+/// The tiled wide path: scalar gather of derived lanes, lane-parallel
+/// filter per tile.
+///
+/// The sorted key stream groups all pairs sharing their smaller slot into
+/// one run (`pack_pair` puts the min slot in the high half), so the gather
+/// hoists the left cluster's kind bits, centroid and clamped radii out of
+/// the run — roughly halving the random loads per pair compared to the
+/// scalar loop, on top of the branchless filter/emission. Dense streams
+/// (≥ [`PACK_KEYS_PER_SLOT`] keys per slot) additionally fold the six
+/// live column arrays into the tile's packed per-slot gather table, so
+/// each right-side gather touches one cache line instead of six; sparse
+/// streams skip the repack and gather straight from the columns through
+/// the store's unchecked getters. Both gathers compute the identical
+/// lanes — the dispatch is invisible to results and counters.
+fn wide_filter(
+    cols: &StoreColumns<'_>,
+    keys: &[u64],
+    tile: &mut PairTile,
+    tasks: &mut Vec<(ClusterSlot, ClusterSlot)>,
+) -> PrefilterStats {
+    let mut stats = PrefilterStats::default();
+    tile.clear();
+    if keys.len() >= cols.len().saturating_mul(PACK_KEYS_PER_SLOT) {
+        wide_gather_packed(cols, keys, tile, &mut stats, tasks);
+    } else {
+        wide_gather_direct(cols, keys, tile, &mut stats, tasks);
+    }
+    tile.flush(&mut stats, tasks);
+    stats
+}
+
+/// Dense-stream gather via the packed per-slot table.
+#[allow(unsafe_code)]
+fn wide_gather_packed(
+    cols: &StoreColumns<'_>,
+    keys: &[u64],
+    tile: &mut PairTile,
+    stats: &mut PrefilterStats,
+    tasks: &mut Vec<(ClusterSlot, ClusterSlot)>,
+) {
+    tile.pack(cols);
+    let len = tile.packed.len();
+    let n_keys = keys.len();
+    let mut i = 0usize;
+    while i < n_keys {
+        // One run: every key whose high half is `left_u`.
+        let left_u = (keys[i] >> 32) as u32;
+        let li = left_u as usize;
+        // Safety contract of the unchecked gathers below: both slot
+        // indexes are checked against the packed table before any
+        // unchecked access. (Keys come from grid registrations, which
+        // only hold slots the store handed out, so these never fire in
+        // practice — and they predict perfectly, unlike the per-column
+        // bounds checks they replace.)
+        assert!(
+            li < len,
+            "pair key references slot {li} beyond the store columns ({len})"
+        );
+        // SAFETY: li < len, asserted above.
+        let l = unsafe { *tile.packed.get_unchecked(li) };
+        let lk = unsafe { *tile.kinds.get_unchecked(li) };
+        while i < n_keys && (keys[i] >> 32) as u32 == left_u {
+            let key = keys[i];
+            let ri = key as u32 as usize;
+            i += 1;
+            if ri == li {
+                // Same-slot join-within only for mixed clusters; rides the
+                // tile as a sentinel lane to keep emission in key order.
+                tile.push_special(key, lk == 0b11);
+            } else {
+                assert!(
+                    ri < len,
+                    "pair key references slot {ri} beyond the store columns ({len})"
+                );
+                // SAFETY: ri < len, asserted above.
+                let rk = unsafe { *tile.kinds.get_unchecked(ri) };
+                // Only cross-kind pairs can produce results (Algorithm 1,
+                // step 18): left objects against right queries or the
+                // other way around.
+                if lk & (rk >> 1) & 0b01 == 0 && (lk >> 1) & rk & 0b01 == 0 {
+                    continue;
+                }
+                // SAFETY: as above.
+                let r = unsafe { *tile.packed.get_unchecked(ri) };
+                let t = (l.rc + r.ec).max(r.rc + l.ec);
+                tile.push(key, l.x - r.x, l.y - r.y, t * t);
+            }
+            if tile.len() == TILE_PAIRS {
+                tile.flush(stats, tasks);
+            }
+        }
+    }
+}
+
+/// Sparse-stream gather straight from the live columns: no repack pass,
+/// at the price of touching up to six column arrays per right slot. The
+/// deposited lanes are identical to [`wide_gather_packed`]'s — same
+/// clamps, same fold, same order.
+#[allow(unsafe_code)]
+fn wide_gather_direct(
+    cols: &StoreColumns<'_>,
+    keys: &[u64],
+    tile: &mut PairTile,
+    stats: &mut PrefilterStats,
+    tasks: &mut Vec<(ClusterSlot, ClusterSlot)>,
+) {
+    let len = cols.len();
+    let n_keys = keys.len();
+    let mut i = 0usize;
+    while i < n_keys {
+        // One run: every key whose high half is `left_u`.
+        let left_u = (keys[i] >> 32) as u32;
+        let li = left_u as usize;
+        // Safety contract of the unchecked getters: both slot indexes are
+        // checked against the columns before any unchecked access.
+        assert!(
+            li < len,
+            "pair key references slot {li} beyond the store columns ({len})"
+        );
+        // SAFETY: li < len, asserted above.
+        let (l_oc, l_qc) = unsafe { cols.counts_at_unchecked(li) };
+        let (lx, ly, lr, le) = unsafe { cols.circle_at_unchecked(li) };
+        let (l_has_obj, l_has_qry) = (l_oc > 0, l_qc > 0);
+        // The `.max(0.0)` clamps replicate `Circle::new`; see the module
+        // docs for the identity argument.
+        let (lrc, lec) = (lr.max(0.0), le.max(0.0));
+        while i < n_keys && (keys[i] >> 32) as u32 == left_u {
+            let key = keys[i];
+            let ri = key as u32 as usize;
+            i += 1;
+            if ri == li {
+                tile.push_special(key, l_has_obj && l_has_qry);
+            } else {
+                assert!(
+                    ri < len,
+                    "pair key references slot {ri} beyond the store columns ({len})"
+                );
+                // SAFETY: ri < len, asserted above.
+                let (r_oc, r_qc) = unsafe { cols.counts_at_unchecked(ri) };
+                if !((l_has_obj && r_qc > 0) || (l_has_qry && r_oc > 0)) {
+                    continue;
+                }
+                // SAFETY: as above.
+                let (rx, ry, rr, re) = unsafe { cols.circle_at_unchecked(ri) };
+                let t = (lrc + re.max(0.0)).max(rr.max(0.0) + lec);
+                tile.push(key, lx - rx, ly - ry, t * t);
+            }
+            if tile.len() == TILE_PAIRS {
+                tile.flush(stats, tasks);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterId;
+    use crate::cluster::MovingCluster;
+    use crate::store::ClusterStore;
+    use scuba_motion::{LocationUpdate, ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec};
+
+    fn store_with(clusters: Vec<MovingCluster>) -> ClusterStore {
+        let mut s = ClusterStore::new();
+        for c in clusters {
+            s.insert(c);
+        }
+        s
+    }
+
+    fn obj_cluster(id: u64, x: f64, y: f64) -> MovingCluster {
+        let u = LocationUpdate::object(
+            ObjectId(id),
+            Point::new(x, y),
+            0,
+            10.0,
+            Point::new(1000.0, y),
+            ObjectAttrs::default(),
+        );
+        MovingCluster::found(ClusterId(id), &u, false)
+    }
+
+    fn query_cluster(id: u64, x: f64, y: f64, side: f64) -> MovingCluster {
+        let u = LocationUpdate::query(
+            QueryId(id),
+            Point::new(x, y),
+            0,
+            10.0,
+            Point::new(1000.0, y),
+            QueryAttrs {
+                spec: QuerySpec::square_range(side),
+            },
+        );
+        MovingCluster::found(ClusterId(id), &u, false)
+    }
+
+    fn all_pair_keys(n: u32) -> Vec<u64> {
+        let mut keys = Vec::new();
+        for a in 0..n {
+            for b in a..n {
+                keys.push(pack_pair(ClusterSlot(a), ClusterSlot(b)));
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// Both kernels must agree on tasks and every counter, for a store
+    /// mixing overlapping, disjoint, same-slot and non-joinable pairs.
+    #[test]
+    fn wide_filter_matches_scalar_filter() {
+        let mut clusters = Vec::new();
+        for i in 0..40u64 {
+            let x = 37.0 * i as f64 % 900.0;
+            let y = 61.0 * i as f64 % 900.0;
+            if i % 3 == 0 {
+                clusters.push(query_cluster(i, x, y, 10.0 + (i % 7) as f64 * 30.0));
+            } else {
+                clusters.push(obj_cluster(i, x, y));
+            }
+        }
+        let store = store_with(clusters);
+        let cols = store.columns();
+        let keys = all_pair_keys(store.len() as u32);
+
+        let mut tile = PairTile::new();
+        let mut scalar_tasks = Vec::new();
+        let mut wide_tasks = Vec::new();
+        let s = join_between_filter(
+            &cols,
+            &keys,
+            KernelKind::Scalar,
+            &mut tile,
+            &mut scalar_tasks,
+        );
+        let w = join_between_filter(&cols, &keys, KernelKind::Simd, &mut tile, &mut wide_tasks);
+        assert_eq!(
+            scalar_tasks, wide_tasks,
+            "survivor lists must match in order"
+        );
+        assert_eq!((s.tests, s.pruned, s.joined), (w.tests, w.pruned, w.joined));
+        assert!(
+            s.tests > 0 && s.joined > 0 && s.pruned > 0,
+            "mixed outcomes"
+        );
+        if KernelKind::Simd.effective() == KernelKind::Simd {
+            assert!(w.lanes_used == w.tests && w.lane_slots >= w.lanes_used);
+        }
+    }
+
+    /// Degenerate geometry: zero-radius clusters and coincident centroids
+    /// must take the inclusive (≤) branch identically on both kernels.
+    #[test]
+    fn zero_radius_and_coincident_centroids_agree() {
+        let store = store_with(vec![
+            obj_cluster(0, 100.0, 100.0),
+            query_cluster(1, 100.0, 100.0, 0.0), // coincident, zero reach
+            query_cluster(2, 100.0, 130.0, 0.0), // zero reach, 30 apart
+            obj_cluster(3, 500.0, 500.0),
+        ]);
+        let cols = store.columns();
+        let keys = all_pair_keys(4);
+        let mut tile = PairTile::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let s = join_between_filter(&cols, &keys, KernelKind::Scalar, &mut tile, &mut a);
+        let w = join_between_filter(&cols, &keys, KernelKind::Simd, &mut tile, &mut b);
+        assert_eq!(a, b);
+        assert_eq!((s.tests, s.pruned, s.joined), (w.tests, w.pruned, w.joined));
+        // The coincident zero-radius pair survives (distance 0 ≤ 0)...
+        assert!(a.contains(&(ClusterSlot(0), ClusterSlot(1))));
+        // ...while the separated zero-reach pair is pruned.
+        assert!(!a.contains(&(ClusterSlot(0), ClusterSlot(2))));
+    }
+
+    /// A pair engineered to sit exactly on the overlap boundary
+    /// (d² == (radius + eff_radius)²): the inclusive comparison must admit
+    /// it on both kernels.
+    #[test]
+    fn exact_boundary_pair_is_inclusive_on_both_kernels() {
+        // Query with square range side 2s has bounding radius s·√2; choose
+        // side so radius + eff land on an exactly representable boundary:
+        // an object cluster (radius 0) at distance 8 from a query cluster
+        // whose eff_radius is exactly 8 would be the boundary, but
+        // eff_radius = side/2·√2 is irrational — instead place the pair at
+        // the *computed* eff_radius distance so d equals it bit-for-bit.
+        let q = query_cluster(1, 0.0, 0.0, 16.0);
+        let eff = q.radius() + q.max_query_radius();
+        let store = store_with(vec![obj_cluster(0, eff, 0.0), q]);
+        let cols = store.columns();
+        assert_eq!(cols.eff_radius[1], eff);
+        let keys = vec![pack_pair(ClusterSlot(0), ClusterSlot(1))];
+        let mut tile = PairTile::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        join_between_filter(&cols, &keys, KernelKind::Scalar, &mut tile, &mut a);
+        join_between_filter(&cols, &keys, KernelKind::Simd, &mut tile, &mut b);
+        assert_eq!(a, b);
+        // d² = eff² exactly (axis-aligned, dy = 0), so ≤ admits the pair.
+        assert_eq!(a, vec![(ClusterSlot(0), ClusterSlot(1))]);
+    }
+
+    /// Tiles flush mid-stream: survivor order must still be key order.
+    #[test]
+    fn multi_tile_streams_preserve_order() {
+        // Enough pairs to span several tiles: one query cluster against
+        // many object clusters at varying distances.
+        let mut clusters = vec![query_cluster(0, 500.0, 500.0, 100.0)];
+        for i in 1..60u64 {
+            clusters.push(obj_cluster(i, 500.0 + (i as f64) * 13.0, 500.0));
+        }
+        let store = store_with(clusters);
+        let cols = store.columns();
+        let keys = all_pair_keys(store.len() as u32);
+        assert!(keys.len() > TILE_PAIRS, "spans multiple tiles");
+        let mut tile = PairTile::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let s = join_between_filter(&cols, &keys, KernelKind::Scalar, &mut tile, &mut a);
+        let w = join_between_filter(&cols, &keys, KernelKind::Simd, &mut tile, &mut b);
+        assert_eq!(a, b);
+        assert_eq!((s.tests, s.pruned, s.joined), (w.tests, w.pruned, w.joined));
+    }
+
+    /// The two wide gathers (packed table vs direct columns) sit behind a
+    /// density heuristic; both must deposit identical lanes. Drive each
+    /// explicitly over the same mixed store and compare against scalar.
+    #[test]
+    fn packed_and_direct_gathers_agree() {
+        let mut clusters = Vec::new();
+        for i in 0..30u64 {
+            let x = 41.0 * i as f64 % 700.0;
+            let y = 83.0 * i as f64 % 700.0;
+            if i % 4 == 0 {
+                clusters.push(query_cluster(i, x, y, 15.0 + (i % 5) as f64 * 40.0));
+            } else {
+                clusters.push(obj_cluster(i, x, y));
+            }
+        }
+        let store = store_with(clusters);
+        let cols = store.columns();
+        let keys = all_pair_keys(store.len() as u32);
+
+        let mut tile = PairTile::new();
+        let mut scalar_tasks = Vec::new();
+        let scalar = scalar_filter(&cols, &keys, &mut scalar_tasks);
+        for packed in [true, false] {
+            let mut stats = PrefilterStats::default();
+            let mut tasks = Vec::new();
+            tile.clear();
+            if packed {
+                wide_gather_packed(&cols, &keys, &mut tile, &mut stats, &mut tasks);
+            } else {
+                wide_gather_direct(&cols, &keys, &mut tile, &mut stats, &mut tasks);
+            }
+            tile.flush(&mut stats, &mut tasks);
+            assert_eq!(tasks, scalar_tasks, "packed={packed} survivor order");
+            assert_eq!(
+                (stats.tests, stats.pruned, stats.joined),
+                (scalar.tests, scalar.pruned, scalar.joined),
+                "packed={packed} counters"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_kind_parses_and_displays() {
+        assert_eq!("scalar".parse::<KernelKind>(), Ok(KernelKind::Scalar));
+        assert_eq!("simd".parse::<KernelKind>(), Ok(KernelKind::Simd));
+        assert!("avx".parse::<KernelKind>().is_err());
+        assert_eq!(KernelKind::Scalar.to_string(), "scalar");
+        assert_eq!(KernelKind::Simd.to_string(), "simd");
+        assert_eq!(KernelKind::default(), KernelKind::Scalar);
+        assert_eq!(KernelKind::Scalar.effective(), KernelKind::Scalar);
+        #[cfg(feature = "simd")]
+        assert_eq!(KernelKind::Simd.effective(), KernelKind::Simd);
+        #[cfg(not(feature = "simd"))]
+        assert_eq!(KernelKind::Simd.effective(), KernelKind::Scalar);
+    }
+
+    #[test]
+    fn pair_keys_pack_and_unpack() {
+        let a = ClusterSlot(7);
+        let b = ClusterSlot(3);
+        let key = pack_pair(a, b);
+        assert_eq!(key, pack_pair(b, a), "keys are order-insensitive");
+        assert_eq!(unpack_pair(key), (ClusterSlot(3), ClusterSlot(7)));
+        let self_key = pack_pair(a, a);
+        assert_eq!(unpack_pair(self_key), (a, a));
+    }
+}

@@ -77,6 +77,7 @@ impl KMeansOutcome {
             theta_d: params.theta_d,
             member_filter: params.member_filter,
             parallelism: params.parallelism,
+            kernel: params.kernel,
         }
         .run()
     }

@@ -35,6 +35,7 @@
 //! | [`tables`] | §4.1 | ObjectsTable, QueriesTable, ClusterHome |
 //! | [`clustering`] | §3.2 | the five-step incremental (Leader–Follower) clusterer |
 //! | [`join`] | §4, Algs 1–3 | join-between + join-within |
+//! | [`kernel`] | §4.2 | scalar and tiled lane-parallel join-between pre-filter kernels |
 //! | [`engine`] | §4.2 | the three-phase [`ScubaOperator`] |
 //! | [`baseline`] | §6 | the regular grid-based operator SCUBA is compared to (plus the §6-literal point-hashed variant) |
 //! | [`qindex`] | §7 | the Query-Indexing baseline over an R-tree (related work \[29\]) |
@@ -77,7 +78,10 @@
 //! );
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the store's debug_assert-guarded unchecked column
+// getters and their kernel call sites carry narrow `#[allow(unsafe_code)]`
+// grants; everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -92,6 +96,7 @@ pub mod grid;
 pub mod index;
 pub(crate) mod ingest;
 pub mod join;
+pub mod kernel;
 pub mod kmeans;
 pub mod knn;
 pub mod ops;
@@ -110,8 +115,9 @@ pub use baseline::{PointHashedGridOperator, RegularGridOperator};
 pub use cluster::{ClusterId, Member, MovingCluster};
 pub use delta::{DeltaTracker, ResultDelta};
 pub use engine::ScubaOperator;
-pub use index::{AdaptiveGrid, AnyIndex, IndexKind, SpatialIndex};
+pub use index::{AdaptiveGrid, AnyIndex, DiscoveryScratch, IndexKind, SpatialIndex};
 pub use join::{JoinCache, JoinContext, JoinScratch};
+pub use kernel::KernelKind;
 pub use ops::{OperatorKind, OpsConfig};
 pub use overload::{OverloadConfig, OverloadController, OverloadCounters, OverloadDecision};
 pub use params::{ParamsError, ProbeScope, ScubaParams};

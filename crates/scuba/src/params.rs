@@ -6,6 +6,7 @@ use scuba_spatial::TimeDelta;
 use scuba_stream::ValidationPolicy;
 
 use crate::index::IndexKind;
+use crate::kernel::KernelKind;
 use crate::shedding::SheddingMode;
 
 /// A parameter set that cannot produce a working engine.
@@ -190,6 +191,13 @@ pub struct ScubaParams {
     /// [`split_threshold`](ScubaParams::split_threshold); the gap is the
     /// hysteresis band in which a cell keeps its current shape.
     pub merge_threshold: u32,
+    /// Which join-kernel implementation the evaluate pipeline runs
+    /// ([`KernelKind::Scalar`] — the pair-at-a-time loops — by default).
+    /// [`KernelKind::Simd`] runs the tiled lane-parallel
+    /// filter-then-refine kernel over the store's SoA columns; results
+    /// and work counters are bit-identical, only speed changes (see
+    /// [`crate::kernel`]).
+    pub kernel: KernelKind,
 }
 
 impl Default for ScubaParams {
@@ -214,6 +222,7 @@ impl Default for ScubaParams {
             index: IndexKind::Uniform,
             split_threshold: 32,
             merge_threshold: 8,
+            kernel: KernelKind::Scalar,
         }
     }
 }
@@ -308,6 +317,11 @@ impl ScubaParams {
         ScubaParams { index, ..self }
     }
 
+    /// Returns the params with a different join-kernel implementation.
+    pub fn with_kernel(self, kernel: KernelKind) -> Self {
+        ScubaParams { kernel, ..self }
+    }
+
     /// Returns the params with different adaptive-grid split/merge
     /// thresholds (only observed when [`index`](ScubaParams::index) is
     /// [`IndexKind::Adaptive`]).
@@ -381,7 +395,27 @@ mod tests {
         assert_eq!(p.parallelism, 1, "serial join-within is the default");
         assert!(p.join_cache, "incremental join cache is on by default");
         assert_eq!(p.index, IndexKind::Uniform, "the paper's flat grid");
+        assert_eq!(p.kernel, KernelKind::Scalar, "scalar kernel by default");
         assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn kernel_builder_and_validation() {
+        let p = ScubaParams::default().with_kernel(KernelKind::Simd);
+        assert_eq!(p.kernel, KernelKind::Simd);
+        assert!(p.validate().is_ok(), "any kernel kind is valid");
+    }
+
+    #[test]
+    fn kernel_serde_default_and_roundtrip() {
+        // Configs written before the kernel knob existed deserialize to
+        // the scalar default.
+        let old: ScubaParams = serde_json::from_str("{}").expect("all fields defaulted");
+        assert_eq!(old.kernel, KernelKind::Scalar);
+        let p = ScubaParams::default().with_kernel(KernelKind::Simd);
+        let roundtrip: ScubaParams =
+            serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        assert_eq!(roundtrip.kernel, KernelKind::Simd);
     }
 
     #[test]

@@ -276,6 +276,7 @@ mod tests {
                 theta_d: e.params().theta_d,
                 member_filter: e.params().member_filter,
                 parallelism: e.params().parallelism,
+                kernel: e.params().kernel,
             }
             .run()
             .results
@@ -324,6 +325,7 @@ mod tests {
                 theta_d: e.params().theta_d,
                 member_filter: e.params().member_filter,
                 parallelism: e.params().parallelism,
+                kernel: e.params().kernel,
             }
             .run()
             .results

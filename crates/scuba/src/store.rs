@@ -45,6 +45,7 @@ pub struct ClusterSlot(pub u32);
 
 impl ClusterSlot {
     /// The slot's raw slab index.
+    #[inline(always)]
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -75,6 +76,7 @@ impl EpochTracker {
 
     /// The current clock value: strictly increases with every mutation
     /// anywhere in the store.
+    #[inline]
     pub fn clock(&self) -> u64 {
         self.clock
     }
@@ -99,12 +101,14 @@ impl EpochTracker {
 
     /// The clock value of `slot`'s last mutation, or `u64::MAX` when the
     /// slot was never touched (or was forgotten).
+    #[inline]
     pub fn mark(&self, slot: ClusterSlot) -> u64 {
         self.marks.get(slot.index()).copied().unwrap_or(NEVER)
     }
 
     /// Whether `slot` has *not* mutated since `epoch` (a previously
     /// observed clock value).
+    #[inline]
     pub fn clean_since(&self, slot: ClusterSlot, epoch: u64) -> bool {
         self.mark(slot) <= epoch
     }
@@ -138,6 +142,77 @@ pub struct StoreColumns<'a> {
     pub object_count: &'a [u32],
     /// Query members per slot.
     pub query_count: &'a [u32],
+}
+
+impl StoreColumns<'_> {
+    /// Slots every column covers (the store's [`ClusterStore::capacity`]).
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.cx.len()
+    }
+
+    /// Whether the columns cover no slots.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.cx.is_empty()
+    }
+
+    /// Pre-filter geometry of slot index `i`:
+    /// `(cx, cy, radius, eff_radius)`. Bounds-checked.
+    #[inline(always)]
+    pub fn circle_at(&self, i: usize) -> (f64, f64, f64, f64) {
+        (self.cx[i], self.cy[i], self.radius[i], self.eff_radius[i])
+    }
+
+    /// Member-kind counts of slot index `i`:
+    /// `(object_count, query_count)`. Bounds-checked.
+    #[inline(always)]
+    pub fn counts_at(&self, i: usize) -> (u32, u32) {
+        (self.object_count[i], self.query_count[i])
+    }
+
+    /// [`StoreColumns::circle_at`] without bounds checks, for the join
+    /// kernel's gather loop (four loads per candidate pair; the checks are
+    /// measurable there). Guarded by a `debug_assert` in debug builds.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be less than [`StoreColumns::len`]. Slot indexes obtained
+    /// from live [`ClusterSlot`] handles of the store these columns were
+    /// borrowed from always satisfy this.
+    #[inline(always)]
+    #[allow(unsafe_code)]
+    pub unsafe fn circle_at_unchecked(&self, i: usize) -> (f64, f64, f64, f64) {
+        debug_assert!(i < self.len(), "slot index {i} out of column bounds");
+        // SAFETY: i < len() is the caller's contract, debug-asserted above;
+        // all four columns are the same length.
+        unsafe {
+            (
+                *self.cx.get_unchecked(i),
+                *self.cy.get_unchecked(i),
+                *self.radius.get_unchecked(i),
+                *self.eff_radius.get_unchecked(i),
+            )
+        }
+    }
+
+    /// [`StoreColumns::counts_at`] without bounds checks.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be less than [`StoreColumns::len`] (debug-asserted).
+    #[inline(always)]
+    #[allow(unsafe_code)]
+    pub unsafe fn counts_at_unchecked(&self, i: usize) -> (u32, u32) {
+        debug_assert!(i < self.len(), "slot index {i} out of column bounds");
+        // SAFETY: i < len() is the caller's contract, debug-asserted above.
+        unsafe {
+            (
+                *self.object_count.get_unchecked(i),
+                *self.query_count.get_unchecked(i),
+            )
+        }
+    }
 }
 
 /// The generational slab of live clusters plus SoA hot columns and the
@@ -319,6 +394,7 @@ impl ClusterStore {
     }
 
     /// Borrowed SoA hot columns, all `capacity()` long.
+    #[inline]
     pub fn columns(&self) -> StoreColumns<'_> {
         StoreColumns {
             cx: &self.cx,
@@ -519,6 +595,45 @@ mod tests {
         assert_eq!(cols.member_count[a.index()], 2);
         assert!(cols.radius[a.index()] > 0.0);
         s.check_coherent();
+    }
+
+    /// The unchecked column getters must agree with the safe getters on
+    /// every in-bounds index, live or vacant (the kernel only feeds them
+    /// live slots, but the contract is the whole column).
+    #[test]
+    #[allow(unsafe_code)]
+    fn unchecked_getters_agree_with_safe_getters() {
+        let mut s = ClusterStore::new();
+        let a = s.insert(cluster(1, 10.0));
+        s.insert(cluster(2, 20.0));
+        let c = s.insert(cluster(3, 30.0));
+        s.remove(a); // leave a vacant (zeroed) slot in the middle
+        s.update(c, |cl| {
+            let u = LocationUpdate::object(
+                ObjectId(9),
+                Point::new(34.0, 50.0),
+                1,
+                10.0,
+                Point::new(1000.0, 50.0),
+                ObjectAttrs::default(),
+            );
+            cl.absorb(&u, false);
+        });
+        let cols = s.columns();
+        assert_eq!(cols.len(), s.capacity());
+        for i in 0..cols.len() {
+            // SAFETY: i < cols.len() by the loop bound.
+            let (ux, uy, ur, ue) = unsafe { cols.circle_at_unchecked(i) };
+            let (sx, sy, sr, se) = cols.circle_at(i);
+            assert_eq!(
+                (ux.to_bits(), uy.to_bits(), ur.to_bits(), ue.to_bits()),
+                (sx.to_bits(), sy.to_bits(), sr.to_bits(), se.to_bits()),
+                "circle_at mismatch at slot {i}"
+            );
+            // SAFETY: as above.
+            let uc = unsafe { cols.counts_at_unchecked(i) };
+            assert_eq!(uc, cols.counts_at(i), "counts_at mismatch at slot {i}");
+        }
     }
 
     #[test]

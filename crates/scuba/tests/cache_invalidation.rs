@@ -64,6 +64,7 @@ fn joined(engine: &ClusterEngine, cache: &mut JoinCache, scratch: &mut JoinScrat
         theta_d: engine.params().theta_d,
         member_filter: engine.params().member_filter,
         parallelism: 1,
+        kernel: engine.params().kernel,
     };
     let fresh = ctx.run();
     let out = ctx.run_cached(Some(engine.epochs()), cache, scratch);

@@ -70,6 +70,7 @@ fn joined(
         theta_d: engine.params().theta_d,
         member_filter: engine.params().member_filter,
         parallelism,
+        kernel: engine.params().kernel,
     };
     match cache {
         Some((cache, scratch)) => ctx.run_cached(Some(engine.epochs()), cache, scratch),

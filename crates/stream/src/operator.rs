@@ -80,6 +80,14 @@ pub struct StageStats {
     /// subjects disappeared.
     #[serde(default)]
     pub cache_invalidations: u64,
+    /// Lane slots processed by a wide (SIMD-style) kernel, tail padding
+    /// included. Zero for stages running scalar kernels.
+    #[serde(default)]
+    pub lanes: u64,
+    /// Lane slots that carried a live element; `lanes - lanes_used` is
+    /// padding waste.
+    #[serde(default)]
+    pub lanes_used: u64,
 }
 
 impl StageStats {
@@ -95,6 +103,8 @@ impl StageStats {
             cache_hits: 0,
             cache_misses: 0,
             cache_invalidations: 0,
+            lanes: 0,
+            lanes_used: 0,
         }
     }
 
@@ -135,6 +145,36 @@ impl StageStats {
         self
     }
 
+    /// Sets the wide-kernel lane counters (processed slots incl. padding,
+    /// slots that carried a live element).
+    pub fn with_lanes(mut self, lanes: u64, lanes_used: u64) -> Self {
+        self.lanes = lanes;
+        self.lanes_used = lanes_used;
+        self
+    }
+
+    /// Unit-work throughput: `tests` per wall-clock second (zero when no
+    /// time was recorded). For the join-between stage this is the
+    /// pairs-filtered/sec figure the kernel benches report.
+    pub fn pairs_filtered_per_sec(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            self.tests as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of processed lane slots that carried a live element
+    /// (zero when the stage ran scalar).
+    pub fn lane_utilization(&self) -> f64 {
+        if self.lanes > 0 {
+            self.lanes_used as f64 / self.lanes as f64
+        } else {
+            0.0
+        }
+    }
+
     /// Folds another record for the same stage into this one.
     fn absorb(&mut self, other: &StageStats) {
         self.wall_time += other.wall_time;
@@ -144,6 +184,8 @@ impl StageStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_invalidations += other.cache_invalidations;
+        self.lanes += other.lanes;
+        self.lanes_used += other.lanes_used;
     }
 }
 
@@ -171,6 +213,12 @@ pub struct StageRow {
     /// Cache entries invalidated.
     #[serde(default)]
     pub cache_invalidations: u64,
+    /// Wide-kernel lane slots processed (padding included).
+    #[serde(default)]
+    pub lanes: u64,
+    /// Wide-kernel lane slots that carried a live element.
+    #[serde(default)]
+    pub lanes_used: u64,
 }
 
 /// The ordered, named stages of one evaluation (or of many, summed).
@@ -283,6 +331,8 @@ impl PhaseBreakdown {
                 cache_hits: s.cache_hits,
                 cache_misses: s.cache_misses,
                 cache_invalidations: s.cache_invalidations,
+                lanes: s.lanes,
+                lanes_used: s.lanes_used,
             })
             .collect()
     }
