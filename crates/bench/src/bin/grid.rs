@@ -28,7 +28,7 @@ use serde::Serialize;
 
 use scuba::{IndexKind, ScubaOperator, ScubaParams};
 use scuba_bench::table::TextTable;
-use scuba_bench::{BenchOutput, ExperimentScale};
+use scuba_bench::{ExperimentScale, HarnessArgs};
 use scuba_generator::{WorkloadConfig, WorkloadGenerator};
 use scuba_motion::LocationUpdate;
 use scuba_roadnet::{CityConfig, SyntheticCity};
@@ -232,38 +232,9 @@ fn run_workload(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (mut scale, rest) = match ExperimentScale::from_args(&args) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
-    };
-    // Laptop-friendly defaults for a micro-benchmark; flags still override.
-    if !args.iter().any(|a| a == "--objects") {
-        scale.objects = 2_000;
-    }
-    if !args.iter().any(|a| a == "--queries") {
-        scale.queries = 200;
-    }
-    let ticks = if args.iter().any(|a| a == "--duration") {
-        (scale.duration / scale.delta).max(1)
-    } else {
-        6
-    };
-    let mut rest = rest;
-    let out = match BenchOutput::take_from(&mut rest, "BENCH_adaptive_grid.json") {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
-    };
-    if let Some(other) = rest.first() {
-        eprintln!("error: unknown option '{other}'");
-        std::process::exit(2);
-    }
+    let HarnessArgs {
+        scale, ticks, out, ..
+    } = HarnessArgs::parse("grid", "BENCH_adaptive_grid.json", (2_000, 200, 6), &[1]);
 
     eprintln!(
         "grid: uniform vs adaptive index — {} objects, {} queries, {} ticks, parallelism {}",

@@ -1,0 +1,299 @@
+//! `shard` — stripe-owned multi-worker executor scaling.
+//!
+//! Drives one generated workload — a uniform variant and a hotspot
+//! variant (trip endpoints biased towards two downtown discs, so stripe
+//! load skews) — through the `ShardedScubaOperator` at a sweep of shard
+//! counts (default 1/2/4/8), plus the single-store `ScubaOperator` as the
+//! answer oracle. Per run it reports ticks/sec over the whole replay
+//! (ingest + evaluate), per-tick latency (mean and p99) and the
+//! ghost-refresh count of the boundary exchange. A runtime identity
+//! assert checks that every shard count reports exactly the matches the
+//! single-store engine reports, tick for tick — partitioning must
+//! redistribute work, never answers.
+//!
+//! Shard workers are scoped threads, so the ticks/sec column only scales
+//! with physical cores; on a single-core machine the sweep measures pure
+//! routing/exchange overhead instead (read the `shard-route` /
+//! `shard-exchange` stage rows for the split).
+//!
+//! Emits `BENCH_shard_scaling.json` at the workspace root (and a text
+//! table on stdout).
+//!
+//! Usage: `shard [--objects N] [--queries N] [--duration EPOCHS]
+//! [--parallelism N] [--shards N[,N...]] [--out FILE] [--json]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use scuba::shard::{STAGE_SHARD_EXCHANGE, STAGE_SHARD_ROUTE};
+use scuba::{ScubaOperator, ScubaParams, ShardedScubaOperator};
+use scuba_bench::table::{f1, TextTable};
+use scuba_bench::{ExperimentScale, HarnessArgs};
+use scuba_generator::{WorkloadConfig, WorkloadGenerator};
+use scuba_motion::LocationUpdate;
+use scuba_roadnet::{CityConfig, SyntheticCity};
+use scuba_stream::{ContinuousOperator, QueryMatch};
+
+/// Hotspot knobs of the skewed workload variant (two downtown discs).
+const HOTSPOTS: u32 = 2;
+const HOTSPOT_RADIUS: f64 = 1_200.0;
+const HOTSPOT_INTENSITY: f64 = 0.9;
+
+/// One executor run at one shard count.
+#[derive(Debug, Serialize)]
+struct ShardRunOut {
+    /// Shard count actually running (requested, clamped to grid columns).
+    shards: usize,
+    /// Full tick wall time (batch ingest + evaluate), microseconds.
+    tick_us: Vec<u128>,
+    /// Mean over all ticks, microseconds.
+    mean_us: u128,
+    /// 99th-percentile tick latency, microseconds.
+    p99_us: u128,
+    /// Whole-replay throughput.
+    ticks_per_sec: f64,
+    /// Throughput relative to the 1-shard run of the same workload.
+    speedup_vs_one: f64,
+    /// Ghost replicas shipped across stripe borders over the run.
+    ghost_refreshes: u64,
+    /// Cumulative wall time of the `shard-route` stage, microseconds.
+    route_us: u128,
+    /// Cumulative wall time of the `shard-exchange` stage (ghost build +
+    /// ship + cross-stripe join), microseconds.
+    exchange_us: u128,
+    /// Whether every tick matched the single-store oracle exactly.
+    identical: bool,
+}
+
+/// One workload: the single-store oracle plus the shard sweep.
+#[derive(Debug, Serialize)]
+struct WorkloadOut {
+    /// Workload label (`uniform` or `hotspot`).
+    workload: String,
+    hotspot_count: u32,
+    hotspot_radius: f64,
+    hotspot_intensity: f64,
+    /// Mean single-store tick latency, microseconds (the baseline).
+    single_mean_us: u128,
+    runs: Vec<ShardRunOut>,
+}
+
+/// The complete JSON payload.
+#[derive(Debug, Serialize)]
+struct ShardBenchOut {
+    scale: ExperimentScale,
+    ticks: u64,
+    shard_sweep: Vec<usize>,
+    uniform: WorkloadOut,
+    hotspot: WorkloadOut,
+}
+
+/// Pre-generates the update batches (t=0 snapshot, then one per tick) so
+/// every run replays the identical stream.
+fn batches(scale: &ExperimentScale, ticks: u64, hotspots: u32) -> Vec<Vec<LocationUpdate>> {
+    let city = SyntheticCity::build(CityConfig::default());
+    let config = WorkloadConfig::default()
+        .with_counts(scale.objects, scale.queries)
+        .with_skew(20)
+        .with_hotspots(hotspots, HOTSPOT_RADIUS, HOTSPOT_INTENSITY);
+    let mut generator = WorkloadGenerator::new(Arc::new(city.network), config);
+    let mut out = Vec::with_capacity(ticks as usize);
+    out.push(generator.snapshot());
+    for _ in 1..ticks {
+        out.push(generator.tick());
+    }
+    out
+}
+
+fn params(scale: &ExperimentScale) -> ScubaParams {
+    ScubaParams::default()
+        .with_grid_cells(scale.grid_cells)
+        .with_parallelism(scale.parallelism)
+        .with_join_cache(scale.join_cache)
+}
+
+/// Replays the stream through the single-store operator: the answer
+/// oracle and the latency baseline.
+fn run_single(
+    scale: &ExperimentScale,
+    batches: &[Vec<LocationUpdate>],
+    area: scuba_spatial::Rect,
+) -> (u128, Vec<Vec<QueryMatch>>) {
+    let mut op = ScubaOperator::new(params(scale), area);
+    let delta = scale.delta.max(1);
+    let mut total_us = 0u128;
+    let mut results = Vec::with_capacity(batches.len());
+    for (t, batch) in batches.iter().enumerate() {
+        let started = Instant::now();
+        op.process_batch(batch);
+        let report = op.evaluate((t as u64 + 1) * delta);
+        total_us += started.elapsed().as_micros();
+        results.push(report.results);
+    }
+    (total_us / batches.len().max(1) as u128, results)
+}
+
+/// Replays the stream through the sharded executor at one shard count,
+/// asserting tick-for-tick identity against the oracle.
+fn run_sharded(
+    scale: &ExperimentScale,
+    k: usize,
+    batches: &[Vec<LocationUpdate>],
+    area: scuba_spatial::Rect,
+    oracle: &[Vec<QueryMatch>],
+    label: &str,
+) -> ShardRunOut {
+    let mut op = ShardedScubaOperator::new(params(scale).with_shards(k), area);
+    let delta = scale.delta.max(1);
+    let mut tick_us = Vec::with_capacity(batches.len());
+    let mut route_us = 0u128;
+    let mut exchange_us = 0u128;
+    let mut identical = true;
+    let replay = Instant::now();
+    for (t, batch) in batches.iter().enumerate() {
+        let started = Instant::now();
+        op.process_batch(batch);
+        let report = op.evaluate((t as u64 + 1) * delta);
+        tick_us.push(started.elapsed().as_micros());
+        identical &= report.results == oracle[t];
+        assert!(
+            identical,
+            "{label}: {k} shards diverged from the single-store oracle at tick {t}"
+        );
+        if let Some(row) = report.phases.get(STAGE_SHARD_ROUTE) {
+            route_us += row.wall_time.as_micros();
+        }
+        if let Some(row) = report.phases.get(STAGE_SHARD_EXCHANGE) {
+            exchange_us += row.wall_time.as_micros();
+        }
+    }
+    let total = replay.elapsed();
+    let mut sorted = tick_us.clone();
+    sorted.sort_unstable();
+    let p99_us = sorted[(sorted.len() * 99 / 100).min(sorted.len() - 1)];
+    let mean_us = tick_us.iter().sum::<u128>() / tick_us.len().max(1) as u128;
+    ShardRunOut {
+        shards: op.shard_count(),
+        tick_us,
+        mean_us,
+        p99_us,
+        ticks_per_sec: batches.len() as f64 / total.as_secs_f64().max(1e-9),
+        speedup_vs_one: 0.0, // filled in by the caller once the 1-shard run exists
+        ghost_refreshes: op.ghost_refreshes(),
+        route_us,
+        exchange_us,
+        identical,
+    }
+}
+
+/// One workload: oracle run, then the shard sweep.
+fn run_workload(
+    scale: &ExperimentScale,
+    ticks: u64,
+    label: &str,
+    hotspots: u32,
+    shard_sweep: &[usize],
+    area: scuba_spatial::Rect,
+) -> WorkloadOut {
+    let stream = batches(scale, ticks, hotspots);
+    let (single_mean_us, oracle) = run_single(scale, &stream, area);
+    let mut runs: Vec<ShardRunOut> = shard_sweep
+        .iter()
+        .map(|&k| run_sharded(scale, k, &stream, area, &oracle, label))
+        .collect();
+    let base = runs
+        .iter()
+        .find(|r| r.shards == 1)
+        .map(|r| r.ticks_per_sec)
+        .unwrap_or_else(|| runs.first().map(|r| r.ticks_per_sec).unwrap_or(0.0));
+    for run in &mut runs {
+        run.speedup_vs_one = if base > 0.0 {
+            run.ticks_per_sec / base
+        } else {
+            0.0
+        };
+    }
+    WorkloadOut {
+        workload: label.to_string(),
+        hotspot_count: hotspots,
+        hotspot_radius: HOTSPOT_RADIUS,
+        hotspot_intensity: HOTSPOT_INTENSITY,
+        single_mean_us,
+        runs,
+    }
+}
+
+fn main() {
+    let HarnessArgs {
+        scale,
+        ticks,
+        out,
+        shards,
+    } = HarnessArgs::parse(
+        "shard",
+        "BENCH_shard_scaling.json",
+        (2_000, 200, 6),
+        &[1, 2, 4, 8],
+    );
+
+    eprintln!(
+        "shard: stripe-owned executor scaling — {} objects, {} queries, {} ticks, shards {:?}, parallelism {}",
+        scale.objects, scale.queries, ticks, shards, scale.parallelism
+    );
+
+    // One engine area for every run: the city extent, slightly inflated so
+    // route jitter cannot push positions outside the indexed region.
+    let area = SyntheticCity::build(CityConfig::default())
+        .network
+        .extent()
+        .expect("synthetic city is non-empty")
+        .inflate(50.0);
+
+    let uniform = run_workload(&scale, ticks, "uniform", 0, &shards, area);
+    let hotspot = run_workload(&scale, ticks, "hotspot", HOTSPOTS, &shards, area);
+
+    let payload = ShardBenchOut {
+        scale,
+        ticks,
+        shard_sweep: shards,
+        uniform,
+        hotspot,
+    };
+
+    // Table before JSON: the measurements survive even where JSON
+    // serialisation is unavailable (offline stub builds).
+    if !out.json_stdout {
+        let mut table = TextTable::new(vec![
+            "workload/shards",
+            "ticks/sec",
+            "speedup",
+            "mean µs",
+            "p99 µs",
+            "route µs",
+            "exchange µs",
+            "ghosts",
+            "identical",
+        ]);
+        for w in [&payload.uniform, &payload.hotspot] {
+            for run in &w.runs {
+                table.row(vec![
+                    format!("{}/{}", w.workload, run.shards),
+                    f1(run.ticks_per_sec),
+                    f1(run.speedup_vs_one),
+                    run.mean_us.to_string(),
+                    run.p99_us.to_string(),
+                    run.route_us.to_string(),
+                    run.exchange_us.to_string(),
+                    run.ghost_refreshes.to_string(),
+                    if run.identical { "yes" } else { "NO" }.to_string(),
+                ]);
+            }
+        }
+        print!("{}", table.render());
+    }
+
+    let json = serde_json::to_string_pretty(&payload).expect("payload serialises");
+    out.emit(&json);
+}

@@ -26,7 +26,7 @@ use serde::Serialize;
 use scuba::cluster::{ClusterId, MovingCluster};
 use scuba::{ScubaOperator, ScubaParams};
 use scuba_bench::table::{f1, TextTable};
-use scuba_bench::{BenchOutput, ExperimentScale};
+use scuba_bench::{ExperimentScale, HarnessArgs};
 use scuba_motion::{LocationUpdate, ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec};
 use scuba_spatial::{FxHashMap, Point, Rect};
 use scuba_stream::ContinuousOperator;
@@ -276,38 +276,9 @@ fn sweep(scale: &ExperimentScale) -> SweepOut {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (mut scale, rest) = match ExperimentScale::from_args(&args) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
-    };
-    // Laptop-friendly defaults for a micro-benchmark; flags still override.
-    if !args.iter().any(|a| a == "--objects") {
-        scale.objects = 4_000;
-    }
-    if !args.iter().any(|a| a == "--queries") {
-        scale.queries = 400;
-    }
-    let ticks = if args.iter().any(|a| a == "--duration") {
-        (scale.duration / scale.delta).max(1)
-    } else {
-        8
-    };
-    let mut rest = rest;
-    let out = match BenchOutput::take_from(&mut rest, "BENCH_cluster_store.json") {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
-    };
-    if let Some(other) = rest.first() {
-        eprintln!("error: unknown option '{other}'");
-        std::process::exit(2);
-    }
+    let HarnessArgs {
+        scale, ticks, out, ..
+    } = HarnessArgs::parse("store", "BENCH_cluster_store.json", (4_000, 400, 8), &[1]);
 
     eprintln!(
         "store: generational cluster store — {} objects, {} queries, {} ticks, parallelism {}",

@@ -21,5 +21,5 @@ pub mod runner;
 pub mod table;
 
 pub use config::ExperimentScale;
-pub use output::BenchOutput;
+pub use output::{BenchOutput, HarnessArgs};
 pub use runner::{run_operator, run_regular, run_scuba, OperatorRun};

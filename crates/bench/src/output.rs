@@ -87,12 +87,152 @@ impl BenchOutput {
     }
 }
 
+/// Fully-parsed harness arguments for a micro-benchmark binary: scale,
+/// output options, tick count and (for scaling harnesses) a `--shards`
+/// sweep — the boilerplate every bin's `main` used to duplicate.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Workload scale (after the harness's laptop-friendly defaults).
+    pub scale: crate::ExperimentScale,
+    /// Evaluation ticks to drive.
+    pub ticks: u64,
+    /// `--out` / `--json` handling.
+    pub out: BenchOutput,
+    /// Shard counts to sweep, from `--shards N[,N...]` (deduplicated,
+    /// ascending). Defaults to the harness-provided list; harnesses
+    /// without a shard dimension pass `&[1]` and ignore it.
+    pub shards: Vec<usize>,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args` for a micro-benchmark binary:
+    /// [`crate::ExperimentScale`] flags, then `--shards`, then
+    /// `--out`/`--json`, rejecting anything left over. `defaults` =
+    /// (objects, queries, ticks) applied when the matching flag is
+    /// absent — micro-benchmarks default far below the paper scale.
+    /// Exits with code 2 on any parse error, like every bench bin.
+    pub fn parse(
+        bench_name: &str,
+        default_out_name: &str,
+        defaults: (usize, usize, u64),
+        default_shards: &[usize],
+    ) -> HarnessArgs {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse_from(&args, default_out_name, defaults, default_shards).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            eprintln!("usage: {bench_name} [--objects N] [--queries N] [--duration EPOCHS] [--parallelism N] [--shards N[,N...]] [--out FILE] [--json]");
+            std::process::exit(2);
+        })
+    }
+
+    /// Testable core of [`HarnessArgs::parse`].
+    pub fn parse_from(
+        args: &[String],
+        default_out_name: &str,
+        defaults: (usize, usize, u64),
+        default_shards: &[usize],
+    ) -> Result<HarnessArgs, String> {
+        let (mut scale, mut rest) = crate::ExperimentScale::from_args(args)?;
+        let (default_objects, default_queries, default_ticks) = defaults;
+        if !args.iter().any(|a| a == "--objects") {
+            scale.objects = default_objects;
+        }
+        if !args.iter().any(|a| a == "--queries") {
+            scale.queries = default_queries;
+        }
+        let ticks = if args.iter().any(|a| a == "--duration") {
+            (scale.duration / scale.delta).max(1)
+        } else {
+            default_ticks
+        };
+        let mut shards: Vec<usize> = default_shards.to_vec();
+        if let Some(i) = rest.iter().position(|a| a == "--shards") {
+            if i + 1 >= rest.len() {
+                return Err("--shards requires a value".to_string());
+            }
+            let list = rest.remove(i + 1);
+            rest.remove(i);
+            shards = list
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&k| k >= 1)
+                        .ok_or_else(|| format!("bad shard count '{s}' for --shards"))
+                })
+                .collect::<Result<Vec<usize>, String>>()?;
+            shards.sort_unstable();
+            shards.dedup();
+        }
+        let out = BenchOutput::take_from(&mut rest, default_out_name)?;
+        if let Some(other) = rest.first() {
+            return Err(format!("unknown option '{other}'"));
+        }
+        Ok(HarnessArgs {
+            scale,
+            ticks,
+            out,
+            shards,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn args(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn harness_args_apply_micro_defaults() {
+        let h = HarnessArgs::parse_from(&args(&[]), "BENCH_x.json", (2_000, 200, 6), &[1]).unwrap();
+        assert_eq!(h.scale.objects, 2_000);
+        assert_eq!(h.scale.queries, 200);
+        assert_eq!(h.ticks, 6);
+        assert_eq!(h.shards, vec![1]);
+        assert!(!h.out.json_stdout);
+    }
+
+    #[test]
+    fn harness_args_flags_override_defaults() {
+        let h = HarnessArgs::parse_from(
+            &args(&["--objects", "50", "--duration", "20", "--delta", "2"]),
+            "BENCH_x.json",
+            (2_000, 200, 6),
+            &[1, 2, 4, 8],
+        )
+        .unwrap();
+        assert_eq!(h.scale.objects, 50);
+        assert_eq!(h.ticks, 10, "duration/delta wins over the default ticks");
+        assert_eq!(h.shards, vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn harness_args_parse_shard_sweeps() {
+        let h = HarnessArgs::parse_from(
+            &args(&["--shards", "4,1,4,2"]),
+            "BENCH_x.json",
+            (100, 10, 2),
+            &[1, 2, 4, 8],
+        )
+        .unwrap();
+        assert_eq!(h.shards, vec![1, 2, 4], "sorted and deduplicated");
+        for bad in [&["--shards"][..], &["--shards", "0"], &["--shards", "x"]] {
+            assert!(
+                HarnessArgs::parse_from(&args(bad), "BENCH_x.json", (100, 10, 2), &[1]).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn harness_args_reject_leftovers() {
+        let err = HarnessArgs::parse_from(&args(&["--bogus"]), "BENCH_x.json", (100, 10, 2), &[1])
+            .unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
     }
 
     #[test]

@@ -5,8 +5,8 @@ use std::sync::Arc;
 
 use serde::Serialize;
 
-use scuba::{DeltaTracker, EngineSnapshot, ScubaOperator};
-use scuba_stream::{Executor, ExecutorConfig, StageRow};
+use scuba::{DeltaTracker, EngineSnapshot, ScubaOperator, ShardedScubaOperator};
+use scuba_stream::{ContinuousOperator, Executor, ExecutorConfig, StageRow};
 
 use crate::config::{OutputOptions, SimConfig};
 
@@ -76,6 +76,9 @@ struct SimulateOut {
 
 /// Runs the command.
 pub fn run(config: &SimConfig, opts: &OutputOptions, out: &mut dyn Write) -> std::io::Result<()> {
+    if config.params.shards > 1 {
+        return run_sharded(config, opts, out);
+    }
     let (network, area) = super::build_city(config);
     let mut source = super::open_source(config, &opts.trace, Arc::clone(&network))?;
     let mut operator = match &opts.snapshot_in {
@@ -246,4 +249,115 @@ pub fn run(config: &SimConfig, opts: &OutputOptions, out: &mut dyn Write) -> std
         Some(e) => Err(e),
         None => Ok(()),
     }
+}
+
+/// `--shards N` (N > 1): the same simulation through the stripe-owned
+/// multi-worker executor. Robustness knobs that live inside the
+/// single-store operator (snapshots, memory budget, validation,
+/// deadlines) are rejected up front rather than silently ignored.
+fn run_sharded(
+    config: &SimConfig,
+    opts: &OutputOptions,
+    out: &mut dyn Write,
+) -> std::io::Result<()> {
+    let unsupported = [
+        (opts.snapshot_in.is_some(), "--snapshot-in"),
+        (opts.snapshot_out.is_some(), "--snapshot-out"),
+        (opts.budget.is_some(), "--budget"),
+        (
+            config.params.validation != scuba::ValidationPolicy::Off,
+            "--validate",
+        ),
+        (config.params.deadline_us.is_some(), "--deadline-us"),
+    ];
+    if let Some((_, flag)) = unsupported.iter().find(|(on, _)| *on) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("{flag} is not supported with --shards > 1 (single-store operator only)"),
+        ));
+    }
+
+    let (network, area) = super::build_city(config);
+    let mut source = super::open_source(config, &opts.trace, Arc::clone(&network))?;
+    let mut operator = ShardedScubaOperator::new(config.params, area);
+    let executor = Executor::new(ExecutorConfig {
+        delta: config.params.delta,
+        duration: config.duration,
+    });
+    let report = executor.run(&mut source, &mut operator);
+
+    let mut tracker = DeltaTracker::new();
+    let mut intervals = Vec::new();
+    for e in &report.evaluations {
+        let delta = tracker.observe_sorted(e.now, e.results.clone());
+        intervals.push(IntervalOut {
+            t: e.now,
+            results: e.results.len(),
+            added: delta.added.len(),
+            removed: delta.removed.len(),
+            comparisons: e.comparisons,
+            join_us: e.join_time().as_micros(),
+            maintenance_us: e.maintenance_time().as_micros(),
+            memory_bytes: e.memory_bytes,
+        });
+    }
+    let clusters_final = operator.clusters_live().unwrap_or(0);
+
+    if opts.json {
+        let payload = SimulateOut {
+            operator: report.operator.clone(),
+            updates_ingested: report.updates_ingested,
+            clusters_final,
+            total_results: report.total_results(),
+            stages: report.stage_totals().rows(),
+            dead_letters: None,
+            overload: None,
+            aborted: report.aborted.clone(),
+            evaluations: intervals,
+        };
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&payload).expect("payload serialises")
+        )?;
+        return Ok(());
+    }
+
+    writeln!(
+        out,
+        "{}: {} objects + {} queries, Δ={}, {} ticks, {} stripe shards",
+        report.operator,
+        config.workload.num_objects,
+        config.workload.num_queries,
+        config.params.delta,
+        config.duration,
+        operator.shard_count(),
+    )?;
+    for i in &intervals {
+        if opts.deltas {
+            writeln!(
+                out,
+                "t={:<4} +{:<5} -{:<5} (net {:<5}) join={}µs",
+                i.t, i.added, i.removed, i.results, i.join_us,
+            )?;
+        } else {
+            writeln!(
+                out,
+                "t={:<4} results={:<6} comparisons={:<8} join={}µs maint={}µs mem={}B",
+                i.t, i.results, i.comparisons, i.join_us, i.maintenance_us, i.memory_bytes,
+            )?;
+        }
+    }
+    writeln!(out, "pipeline stage totals:")?;
+    super::write_stage_breakdown(out, "  ", &report.stage_totals())?;
+    writeln!(
+        out,
+        "done: {} updates, {} clusters live across {} shards, {} ghost refreshes, {} result tuples total",
+        report.updates_ingested,
+        clusters_final,
+        operator.shard_count(),
+        operator.ghost_refreshes(),
+        report.total_results(),
+    )?;
+    Ok(())
 }

@@ -150,6 +150,10 @@ impl SimConfig {
                     config.params.ingest_shards = parse(value(flag)?, flag)?;
                     i += 2;
                 }
+                "--shards" => {
+                    config.params.shards = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
                 "--no-batch-ingest" => {
                     config.params.batch_ingest = false;
                     i += 1;
@@ -307,6 +311,30 @@ mod tests {
         let (c, _) = SimConfig::from_args(&args(&["--no-batch-ingest"])).unwrap();
         assert!(!c.params.batch_ingest);
         assert_eq!(c.params.effective_ingest_shards(), 1);
+    }
+
+    #[test]
+    fn shards_flag_sets_params() {
+        let (c, _) = SimConfig::from_args(&[]).unwrap();
+        assert_eq!(c.params.shards, 1, "single-store engine by default");
+        let (c, _) = SimConfig::from_args(&args(&["--shards", "4"])).unwrap();
+        assert_eq!(c.params.shards, 4);
+        let err = SimConfig::from_args(&args(&["--shards", "0"])).unwrap_err();
+        assert!(err.contains("shards"), "{err}");
+        // Orthogonal knobs: executor shards × per-shard join workers ×
+        // ingest stripes inside each store all compose.
+        let (c, _) = SimConfig::from_args(&args(&[
+            "--shards",
+            "2",
+            "--parallelism",
+            "3",
+            "--ingest-shards",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(c.params.shards, 2);
+        assert_eq!(c.params.parallelism, 3);
+        assert_eq!(c.params.ingest_shards, 4);
     }
 
     #[test]

@@ -99,6 +99,8 @@ OPTIONS (all commands):
     --theta-s <F>        clustering speed threshold
     --parallelism <N>    worker threads for join-within and batch ingestion
     --ingest-shards <N>  spatial shards for batch ingestion (0 = parallelism)
+    --shards <N>         stripe-owned executor shards (1 = single store;
+                         composes with --parallelism inside each shard)
     --no-batch-ingest    ingest update-by-update instead of per-tick batches
     --no-join-cache      disable the epoch-coherent join cache (same results)
     --validate <POLICY>  ingestion hardening: off|reject|clamp|abort

@@ -111,6 +111,80 @@ proptest! {
         prop_assert!(update.is_consistent());
     }
 
+    /// Extreme finite coordinates survive the codec bit-exactly: the
+    /// fixed little-endian f64 layout must not normalise huge magnitudes,
+    /// subnormals, or negative zero. (Ghost exchange between shard owners
+    /// rides on this format; a single flipped bit moves an entity to a
+    /// different stripe.)
+    #[test]
+    fn wire_roundtrip_extreme_coords(
+        update in arb_update(),
+        xi in 0usize..7,
+        yi in 0usize..7,
+        ti in prop_oneof![Just(0u64), Just(u64::MAX), any::<u64>()],
+    ) {
+        const EXTREMES: [f64; 7] = [
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+            -0.0,
+            0.0,
+            1e308,
+        ];
+        let mut u = update;
+        u.loc = Point::new(EXTREMES[xi], EXTREMES[yi]);
+        u.cn_loc = Point::new(EXTREMES[yi], EXTREMES[xi]);
+        u.time = ti;
+        let mut bytes = wire::encode(&u);
+        let decoded = wire::decode(&mut bytes).unwrap();
+        // Bit-level equality: `==` on f64 would let -0.0 alias 0.0.
+        prop_assert_eq!(decoded.loc.x.to_bits(), u.loc.x.to_bits());
+        prop_assert_eq!(decoded.loc.y.to_bits(), u.loc.y.to_bits());
+        prop_assert_eq!(decoded.cn_loc.x.to_bits(), u.cn_loc.x.to_bits());
+        prop_assert_eq!(decoded.cn_loc.y.to_bits(), u.cn_loc.y.to_bits());
+        prop_assert_eq!(decoded.time, u.time);
+        prop_assert_eq!(decoded, u);
+    }
+
+    /// Duplicate `(time, entity)` records are legal on the wire — the
+    /// stream layer resolves them by arrival order, so the codec must
+    /// deliver every copy, unmerged and in order.
+    #[test]
+    fn wire_preserves_duplicate_time_entity_records(
+        base in arb_update(),
+        sides in prop::collection::vec(1.0..300.0f64, 2..6),
+    ) {
+        // Same entity id, same timestamp, different payloads.
+        let copies: Vec<LocationUpdate> = sides
+            .iter()
+            .map(|&side| {
+                let mut u = base;
+                u.attrs = match u.attrs {
+                    scuba_motion::EntityAttrs::Object(_) => u.attrs,
+                    scuba_motion::EntityAttrs::Query(_) => {
+                        scuba_motion::EntityAttrs::Query(QueryAttrs {
+                            spec: QuerySpec::square_range(side),
+                        })
+                    }
+                };
+                u.loc = Point::new(u.loc.x + side, u.loc.y - side);
+                u
+            })
+            .collect();
+        let mut buf = BytesMut::new();
+        for u in &copies {
+            wire::encode_into(u, &mut buf);
+        }
+        let mut bytes = buf.freeze();
+        for (i, u) in copies.iter().enumerate() {
+            let decoded = wire::decode(&mut bytes).unwrap();
+            prop_assert_eq!(&decoded, u, "copy {} merged or reordered", i);
+            prop_assert_eq!((decoded.time, decoded.entity), (base.time, base.entity));
+        }
+        prop_assert_eq!(bytes.len(), 0);
+    }
+
     // ---- piecewise motion ---------------------------------------------------
 
     #[test]

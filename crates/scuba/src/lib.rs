@@ -39,6 +39,7 @@
 //! | [`engine`] | §4.2 | the three-phase [`ScubaOperator`] |
 //! | [`baseline`] | §6 | the regular grid-based operator SCUBA is compared to (plus the §6-literal point-hashed variant) |
 //! | [`qindex`] | §7 | the Query-Indexing baseline over an R-tree (related work \[29\]) |
+//! | [`shard`] | §8 | [`ShardedScubaOperator`]: stripe-owned stores with boundary-ghost handoff |
 //! | [`sina`] | §7 | the SINA-style incrementally-maintained grid baseline (related work \[24\]) |
 //! | [`vci`] | §7 | the Velocity-Constrained Indexing baseline (related work \[29\]) |
 //! | [`snapshot`] | — | JSON-safe engine checkpoint/restore (restart without re-learning clusters) |
@@ -103,6 +104,7 @@ pub mod ops;
 pub mod overload;
 pub mod params;
 pub mod qindex;
+pub mod shard;
 pub mod shedding;
 pub mod sina;
 pub mod snapshot;
@@ -122,6 +124,7 @@ pub use ops::{OperatorKind, OpsConfig};
 pub use overload::{OverloadConfig, OverloadController, OverloadCounters, OverloadDecision};
 pub use params::{ParamsError, ProbeScope, ScubaParams};
 pub use qindex::QueryIndexOperator;
+pub use shard::ShardedScubaOperator;
 pub use shedding::{AdaptiveShedder, SheddingMode};
 pub use sina::IncrementalGridOperator;
 pub use snapshot::EngineSnapshot;

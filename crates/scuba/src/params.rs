@@ -32,6 +32,8 @@ pub enum ParamsError {
     NegativeCnlocTolerance(f64),
     /// Join-within needs at least one worker thread.
     ZeroParallelism,
+    /// The sharded executor needs at least one stripe-owning shard.
+    ZeroShards,
     /// The overload deadline budget must be at least one microsecond.
     ZeroDeadline,
     /// The adaptive-grid split threshold must leave room for a quadtree
@@ -67,6 +69,7 @@ impl std::fmt::Display for ParamsError {
                 write!(f, "cnloc_tolerance must be non-negative, got {v}")
             }
             ParamsError::ZeroParallelism => write!(f, "parallelism must be >= 1"),
+            ParamsError::ZeroShards => write!(f, "shards must be >= 1"),
             ParamsError::ZeroDeadline => write!(f, "deadline_us must be >= 1 when set"),
             ParamsError::SplitThresholdTooSmall(v) => {
                 write!(f, "split_threshold must be >= 2, got {v}")
@@ -191,6 +194,19 @@ pub struct ScubaParams {
     /// [`split_threshold`](ScubaParams::split_threshold); the gap is the
     /// hysteresis band in which a cell keeps its current shape.
     pub merge_threshold: u32,
+    /// Stripe-owning shards of the region for the multi-worker executor
+    /// ([`crate::shard::ShardedScubaOperator`]): the coverage area is split
+    /// into this many contiguous column stripes, each owned by a worker
+    /// thread with its own `ClusterStore` and spatial index. Default 1 —
+    /// the single-store engine. Orthogonal to the other concurrency knobs:
+    /// [`parallelism`](ScubaParams::parallelism) sets join-within workers
+    /// *inside each shard*, and
+    /// [`ingest_shards`](ScubaParams::ingest_shards) stripes batch
+    /// ingestion *within one store* (the sharded executor routes updates
+    /// to owner shards itself, so each shard ingests its slice
+    /// sequentially). Results are bit-identical to the single-shard
+    /// engine at any shard count, provided load shedding stays off.
+    pub shards: usize,
     /// Which join-kernel implementation the evaluate pipeline runs
     /// ([`KernelKind::Scalar`] — the pair-at-a-time loops — by default).
     /// [`KernelKind::Simd`] runs the tiled lane-parallel
@@ -222,6 +238,7 @@ impl Default for ScubaParams {
             index: IndexKind::Uniform,
             split_threshold: 32,
             merge_threshold: 8,
+            shards: 1,
             kernel: KernelKind::Scalar,
         }
     }
@@ -322,6 +339,14 @@ impl ScubaParams {
         ScubaParams { kernel, ..self }
     }
 
+    /// Returns the params with a different stripe-shard count for the
+    /// multi-worker executor (`1` — the default — is the single-store
+    /// engine). Zero is rejected by [`validate`](ScubaParams::validate),
+    /// not clamped, so a misconfigured `--shards 0` fails loudly.
+    pub fn with_shards(self, shards: usize) -> Self {
+        ScubaParams { shards, ..self }
+    }
+
     /// Returns the params with different adaptive-grid split/merge
     /// thresholds (only observed when [`index`](ScubaParams::index) is
     /// [`IndexKind::Adaptive`]).
@@ -360,6 +385,9 @@ impl ScubaParams {
         }
         if self.parallelism == 0 {
             return Err(ParamsError::ZeroParallelism);
+        }
+        if self.shards == 0 {
+            return Err(ParamsError::ZeroShards);
         }
         if self.deadline_us == Some(0) {
             return Err(ParamsError::ZeroDeadline);
@@ -412,6 +440,7 @@ mod tests {
         // the scalar default.
         let old: ScubaParams = serde_json::from_str("{}").expect("all fields defaulted");
         assert_eq!(old.kernel, KernelKind::Scalar);
+        assert_eq!(old.shards, 1, "pre-shard configs stay single-store");
         let p = ScubaParams::default().with_kernel(KernelKind::Simd);
         let roundtrip: ScubaParams =
             serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
@@ -559,6 +588,18 @@ mod tests {
         assert!(ParamsError::EtaOutOfRange(7.0)
             .to_string()
             .contains("[0, 1]"));
+    }
+
+    #[test]
+    fn shards_builder_and_validation() {
+        let d = ScubaParams::default();
+        assert_eq!(d.shards, 1, "single-store engine by default");
+        assert_eq!(d.with_shards(4).shards, 4);
+        assert_eq!(
+            d.with_shards(0).validate().unwrap_err(),
+            ParamsError::ZeroShards
+        );
+        assert!(ParamsError::ZeroShards.to_string().contains("shards"));
     }
 
     #[test]

@@ -1,0 +1,928 @@
+//! Sharded multi-worker executor: stripe-owned `ClusterStore`s with
+//! boundary-ghost handoff (ROADMAP item 1; DESIGN §4.8).
+//!
+//! The coverage area is split into K contiguous **column stripes** of the
+//! ClusterGrid — the same stripe geometry the sharded batch-ingestion
+//! planner uses ([`crate::ingest`]) — and each stripe is owned by one
+//! worker holding a full [`ClusterEngine`]: its own `ClusterStore`, its
+//! own spatial index, its own epoch clock and [`JoinCache`]. A router
+//! classifies every location update by the stripe of its reported
+//! position and hands it to the owner; when an entity's new position
+//! crosses a stripe border, the router emits a remove on the old owner
+//! before the update lands on the new one, so every entity lives on
+//! exactly one shard at all times.
+//!
+//! Per evaluation (every Δ) the workers run the regular three-phase SCUBA
+//! pipeline locally, with one extra step between the local join and
+//! post-join maintenance: **ghost exchange**. Clusters whose halo
+//! (effective radius + the global maximum effective radius) reaches into a
+//! lower-indexed stripe are replicated there as read-only ghosts —
+//! centroid, circle, exact member positions and query regions, mirroring
+//! exactly what join-within materialises. The receiving shard joins its
+//! local clusters against each ghost with the same exact predicate, so
+//! every cross-boundary cluster pair is evaluated exactly once, on the
+//! lower-indexed (min-stripe) side. Per-shard results are concatenated,
+//! sorted and deduplicated into the canonical report.
+//!
+//! ## Identity
+//!
+//! With load shedding off, the merged result set is **bit-identical** to
+//! the single-store [`crate::ScubaOperator`] on the same update stream:
+//! the match predicate (query rectangle contains exact member position)
+//! depends only on reported positions and query specs — never on which
+//! cluster, store, or shard a member landed in — and the ghost halo is
+//! provably wide enough to deliver every cluster pair that could produce
+//! a match (see DESIGN §4.8 for the argument). kNN queries are answered
+//! shard-locally and therefore only match the single-store engine at one
+//! shard; identity workloads use range queries.
+//!
+//! Robustness features that mutate results (shedding ladders, validation,
+//! deadlines, memory budgets) are single-store concerns and are not
+//! driven by this executor.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::time::Duration;
+
+use scuba_motion::{EntityRef, LocationUpdate, ObjectId, QueryId, QuerySpec};
+use scuba_spatial::{Circle, FxHashMap, GridSpec, Point, Rect, Time};
+use scuba_stream::{
+    ContinuousOperator, EvaluationReport, PhaseBreakdown, QueryMatch, StageStats, Stopwatch,
+};
+
+use crate::cluster::MovingCluster;
+use crate::clustering::ClusterEngine;
+use crate::engine::{STAGE_GRID_REBALANCE, STAGE_KNN, STAGE_POST_JOIN, STAGE_PRE_JOIN_TIGHTEN};
+use crate::join::{JoinCache, JoinContext, JoinScratch};
+use crate::params::ScubaParams;
+use crate::store::ClusterSlot;
+use crate::tables::QueriesTable;
+
+/// Stage name: update routing and cross-stripe handoff (maintenance
+/// bucket). `items_in` = updates routed since the last evaluation,
+/// `items_out` = updates that stayed on their previous owner, `tests` =
+/// stripe migrations (remove on old owner + insert on new).
+pub const STAGE_SHARD_ROUTE: &str = "shard-route";
+/// Stage name: boundary-ghost exchange plus the owner-side cross-stripe
+/// join (join bucket). `items_in` = ghosts received, `items_out` =
+/// (local, ghost) cluster pairs that survived the circle pre-filter,
+/// `tests` = exact cross-join comparisons.
+pub const STAGE_SHARD_EXCHANGE: &str = "shard-exchange";
+/// Stage name: merging per-shard result sets into the canonical report
+/// (join bucket). `items_in` = concatenated matches, `items_out` =
+/// matches after sort + dedup.
+pub const STAGE_SHARD_MERGE: &str = "shard-merge";
+
+/// A routed operation in a shard's ordered apply queue.
+#[derive(Debug, Clone)]
+enum ShardOp {
+    /// Ingest this update on the owning shard.
+    Update(LocationUpdate),
+    /// The entity migrated away: drop its membership and registration.
+    Remove(EntityRef),
+}
+
+/// One stripe-owning worker's private state.
+#[derive(Debug)]
+struct ShardState {
+    engine: ClusterEngine,
+    cache: JoinCache,
+    scratch: JoinScratch,
+}
+
+/// An exact range query replicated inside a ghost (mirrors the arena's
+/// exact-query entries in [`crate::join`]).
+#[derive(Debug, Clone, Copy)]
+struct GhostQuery {
+    qid: QueryId,
+    pos: Point,
+    region: Rect,
+    bounding_radius: f64,
+}
+
+/// A group of shed queries sharing one centroid-centred region.
+#[derive(Debug, Clone)]
+struct GhostGroup {
+    region: Rect,
+    qids: Vec<QueryId>,
+}
+
+/// Read-only replica of one boundary cluster, shipped to neighbouring
+/// stripes each Δ. Carries exactly what join-within materialises: exact
+/// member positions, shed members at the centroid, and per-query regions.
+#[derive(Debug, Clone)]
+struct Ghost {
+    /// Cluster circle (centroid + covering radius) at exchange time.
+    region: Circle,
+    /// Effective radius: covering radius + widest query bounding radius.
+    reach: f64,
+    centroid: Point,
+    objs: Vec<(ObjectId, Point)>,
+    shed_objs: Vec<ObjectId>,
+    queries: Vec<GhostQuery>,
+    groups: Vec<GhostGroup>,
+}
+
+/// Exact-work counters of the cross-stripe join, merged into the report's
+/// global `comparisons` / `prefilter_tests`.
+#[derive(Debug, Default, Clone, Copy)]
+struct CrossCounters {
+    comparisons: u64,
+    prefilter_tests: u64,
+}
+
+/// What one worker hands back to the merge step.
+struct ShardOutput {
+    results: Vec<QueryMatch>,
+    phases: PhaseBreakdown,
+    comparisons: u64,
+    prefilter_tests: u64,
+    memory_bytes: usize,
+    ghosts_sent: u64,
+    ghosts_received: u64,
+}
+
+/// The N-shard SCUBA executor: a router in front of K stripe-owned
+/// [`ClusterEngine`]s evaluated by scoped worker threads (see the module
+/// docs for the protocol and the identity argument).
+#[derive(Debug)]
+pub struct ShardedScubaOperator {
+    params: ScubaParams,
+    name: String,
+    shards: Vec<ShardState>,
+    /// Routing spec: same area/granularity as every shard's grid.
+    spec: GridSpec,
+    /// Grid column → owning stripe (the ingest-planner stripe map).
+    col_shard: Vec<u16>,
+    /// Stripe x-intervals for halo tests. Border stripes extend to ±∞,
+    /// matching [`GridSpec::cell_of`]'s clamping of outside points.
+    stripe_lo: Vec<f64>,
+    stripe_hi: Vec<f64>,
+    /// Current owner stripe of every known entity.
+    owner: FxHashMap<EntityRef, u16>,
+    /// Reusable per-shard ordered apply queues.
+    routes: Vec<Vec<ShardOp>>,
+    evaluations: u64,
+    /// Router counters accumulated since the last evaluation.
+    route_updates: u64,
+    route_handoffs: u64,
+    route_wall: Duration,
+    /// Lifetime ghost-refresh counter (ghost replicas shipped, summed
+    /// over all exchanges).
+    ghosts_sent_total: u64,
+    /// Ghosts shipped / received during the most recent evaluation.
+    last_ghosts_sent: u64,
+    last_ghosts_received: u64,
+}
+
+impl ShardedScubaOperator {
+    /// Creates an executor with `params.shards` stripe-owned engines over
+    /// `area`. The shard count is clamped to the grid's column count (a
+    /// stripe is at least one column), exactly like ingest sharding.
+    pub fn new(params: ScubaParams, area: Rect) -> Self {
+        let spec = GridSpec::new(area, params.grid_cells);
+        let cols = spec.cells_per_side() as usize;
+        let k = params.shards.clamp(1, cols);
+
+        let mut col_shard = vec![0u16; cols];
+        let mut stripe_lo = Vec::with_capacity(k);
+        let mut stripe_hi = Vec::with_capacity(k);
+        for s in 0..k {
+            // Contiguous column stripes: shard s covers columns
+            // [s·n/K, (s+1)·n/K) — the crate::ingest stripe map.
+            let start = s * cols / k;
+            let end = (s + 1) * cols / k;
+            for col in &mut col_shard[start..end] {
+                *col = s as u16;
+            }
+            stripe_lo.push(if s == 0 {
+                f64::NEG_INFINITY
+            } else {
+                area.min.x + start as f64 * spec.cell_width()
+            });
+            stripe_hi.push(if s == k - 1 {
+                f64::INFINITY
+            } else {
+                area.min.x + end as f64 * spec.cell_width()
+            });
+        }
+
+        let shards = (0..k)
+            .map(|_| ShardState {
+                engine: ClusterEngine::new(params, area),
+                cache: JoinCache::new(),
+                scratch: JoinScratch::new(),
+            })
+            .collect();
+        ShardedScubaOperator {
+            params,
+            name: format!("SCUBA[shards={k}]"),
+            shards,
+            spec,
+            col_shard,
+            stripe_lo,
+            stripe_hi,
+            owner: FxHashMap::default(),
+            routes: (0..k).map(|_| Vec::new()).collect(),
+            evaluations: 0,
+            route_updates: 0,
+            route_handoffs: 0,
+            route_wall: Duration::ZERO,
+            ghosts_sent_total: 0,
+            last_ghosts_sent: 0,
+            last_ghosts_received: 0,
+        }
+    }
+
+    /// The number of stripe-owned shards actually running (requested count
+    /// clamped to the grid's column count).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of evaluations performed.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Lifetime count of ghost replicas shipped across stripe borders.
+    pub fn ghost_refreshes(&self) -> u64 {
+        self.ghosts_sent_total
+    }
+
+    /// Ghost replicas (shipped, received) during the most recent
+    /// evaluation. Received can only differ from shipped transiently —
+    /// every ghost is both sent and drained within one exchange.
+    pub fn last_exchange(&self) -> (u64, u64) {
+        (self.last_ghosts_sent, self.last_ghosts_received)
+    }
+
+    /// Read access to the per-stripe clustering engines, in stripe order
+    /// (diagnostics, tests).
+    pub fn engines(&self) -> impl Iterator<Item = &ClusterEngine> {
+        self.shards.iter().map(|s| &s.engine)
+    }
+
+    /// The stripe owning a position (by its grid column).
+    fn shard_of(&self, p: &Point) -> usize {
+        self.col_shard[self.spec.cell_of(p).col as usize] as usize
+    }
+
+    /// Routes one update: records a handoff on the old owner when the
+    /// entity crossed a stripe border, then assigns the new owner.
+    /// Returns the owning shard.
+    fn route(&mut self, update: &LocationUpdate) -> usize {
+        let target = self.shard_of(&update.loc) as u16;
+        self.route_updates += 1;
+        if let Some(prev) = self.owner.insert(update.entity, target) {
+            if prev != target {
+                self.route_handoffs += 1;
+                self.routes[prev as usize].push(ShardOp::Remove(update.entity));
+            }
+        }
+        self.routes[target as usize].push(ShardOp::Update(*update));
+        target as usize
+    }
+
+    /// Applies every queued op, in queue order per shard, shards in
+    /// parallel. Cross-shard interleaving is irrelevant: the queues touch
+    /// disjoint engines.
+    fn apply_routes(&mut self) {
+        if self.shards.len() == 1 {
+            let state = &mut self.shards[0];
+            for op in self.routes[0].drain(..) {
+                match op {
+                    ShardOp::Update(u) => {
+                        state.engine.process_update(&u);
+                    }
+                    ShardOp::Remove(e) => {
+                        state.engine.remove_entity(e);
+                    }
+                }
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            for (state, ops) in self.shards.iter_mut().zip(self.routes.iter()) {
+                if ops.is_empty() {
+                    continue;
+                }
+                scope.spawn(move || {
+                    for op in ops {
+                        match op {
+                            ShardOp::Update(u) => {
+                                state.engine.process_update(u);
+                            }
+                            ShardOp::Remove(e) => {
+                                state.engine.remove_entity(*e);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        for queue in &mut self.routes {
+            queue.clear();
+        }
+    }
+}
+
+impl ContinuousOperator for ShardedScubaOperator {
+    fn process_update(&mut self, update: &LocationUpdate) {
+        let sw = Stopwatch::start();
+        self.route(update);
+        self.route_wall += sw.elapsed();
+        self.apply_routes();
+    }
+
+    fn process_batch(&mut self, updates: &[LocationUpdate]) {
+        let sw = Stopwatch::start();
+        for update in updates {
+            self.route(update);
+        }
+        self.route_wall += sw.elapsed();
+        self.apply_routes();
+    }
+
+    fn evaluate(&mut self, now: Time) -> EvaluationReport {
+        self.evaluations += 1;
+        let mut phases = PhaseBreakdown::new();
+        phases.push(
+            StageStats::maintenance(STAGE_SHARD_ROUTE)
+                .with_wall(self.route_wall)
+                .with_items(self.route_updates, self.route_updates - self.route_handoffs)
+                .with_tests(self.route_handoffs),
+        );
+        self.route_updates = 0;
+        self.route_handoffs = 0;
+        self.route_wall = Duration::ZERO;
+
+        let k = self.shards.len();
+        let params = self.params;
+        let barrier = Barrier::new(k);
+        // Global maximum effective cluster radius this Δ, as non-negative
+        // f64 bits (bit order == value order for non-negative floats).
+        let max_reach_bits = AtomicU64::new(0);
+        // mailboxes[dest][src]: each sender owns an uncontended slot, each
+        // receiver drains its row in stripe order — deterministic without
+        // sorting.
+        let mailboxes: Vec<Vec<Mutex<Vec<Ghost>>>> = (0..k)
+            .map(|_| (0..k).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+        let stripe_lo = &self.stripe_lo;
+        let stripe_hi = &self.stripe_hi;
+
+        let outputs: Vec<ShardOutput> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .map(|(s, state)| {
+                    let barrier = &barrier;
+                    let max_reach_bits = &max_reach_bits;
+                    let mailboxes = &mailboxes;
+                    scope.spawn(move || {
+                        shard_evaluate(
+                            s,
+                            state,
+                            now,
+                            &params,
+                            barrier,
+                            max_reach_bits,
+                            mailboxes,
+                            stripe_lo,
+                            stripe_hi,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        let sw = Stopwatch::start();
+        let mut results: Vec<QueryMatch> = Vec::new();
+        let mut comparisons = 0u64;
+        let mut prefilter_tests = 0u64;
+        let mut memory_bytes = 0usize;
+        let mut sent = 0u64;
+        let mut received = 0u64;
+        for out in outputs {
+            results.extend(out.results);
+            phases.absorb(&out.phases);
+            comparisons += out.comparisons;
+            prefilter_tests += out.prefilter_tests;
+            memory_bytes += out.memory_bytes;
+            sent += out.ghosts_sent;
+            received += out.ghosts_received;
+        }
+        self.ghosts_sent_total += sent;
+        self.last_ghosts_sent = sent;
+        self.last_ghosts_received = received;
+        let before = results.len() as u64;
+        results.sort_unstable();
+        results.dedup();
+        phases.push(
+            StageStats::join(STAGE_SHARD_MERGE)
+                .with_wall(sw.elapsed())
+                .with_items(before, results.len() as u64),
+        );
+
+        EvaluationReport {
+            now,
+            results,
+            phases,
+            memory_bytes,
+            comparisons,
+            prefilter_tests,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.engine.estimated_bytes()).sum()
+    }
+
+    fn clusters_live(&self) -> Option<usize> {
+        Some(self.shards.iter().map(|s| s.engine.cluster_count()).sum())
+    }
+}
+
+/// One worker's per-Δ pipeline: the single-store evaluation stages plus
+/// the ghost exchange, in an order that keeps positions exact — ghosts are
+/// built and the cross-join runs strictly *before* post-join maintenance
+/// advances anything.
+#[allow(clippy::too_many_arguments)]
+fn shard_evaluate(
+    s: usize,
+    state: &mut ShardState,
+    now: Time,
+    params: &ScubaParams,
+    barrier: &Barrier,
+    max_reach_bits: &AtomicU64,
+    mailboxes: &[Vec<Mutex<Vec<Ghost>>>],
+    stripe_lo: &[f64],
+    stripe_hi: &[f64],
+) -> ShardOutput {
+    let engine = &mut state.engine;
+    let mut phases = PhaseBreakdown::new();
+    let clusters_before = engine.cluster_count() as u64;
+
+    let sw = Stopwatch::start();
+    if params.tighten_radii {
+        engine.pre_join_tighten();
+    }
+    phases.push(
+        StageStats::maintenance(STAGE_PRE_JOIN_TIGHTEN)
+            .with_wall(sw.elapsed())
+            .with_items(clusters_before, clusters_before),
+    );
+
+    let sw = Stopwatch::start();
+    engine.rebalance_index();
+    phases.push(
+        StageStats::maintenance(STAGE_GRID_REBALANCE)
+            .with_wall(sw.elapsed())
+            .with_items(clusters_before, clusters_before),
+    );
+
+    // Exchange, step 1: agree on the halo width. Every true cross-stripe
+    // match needs the partner within reach + M_global of this cluster's
+    // centroid (DESIGN §4.8), where M_global is the widest effective
+    // radius anywhere this Δ.
+    let sw_exchange = Stopwatch::start();
+    let mut local_max = 0.0f64;
+    for (_, cluster) in engine.store().iter() {
+        local_max = local_max.max(cluster.radius() + cluster.max_query_radius());
+    }
+    max_reach_bits.fetch_max(local_max.to_bits(), Ordering::Relaxed);
+    barrier.wait();
+    let m_global = f64::from_bits(max_reach_bits.load(Ordering::Relaxed));
+
+    // Exchange, step 2: ship ghosts. Pairs are evaluated once, on the
+    // lower-indexed stripe, so replicas only flow downward.
+    let mut ghosts_sent = 0u64;
+    for (_, cluster) in engine.store().iter() {
+        let reach = cluster.radius() + cluster.max_query_radius();
+        let halo = reach + m_global;
+        let cx = cluster.centroid().x;
+        let mut ghost: Option<Ghost> = None;
+        for dest in 0..s {
+            let dist = (stripe_lo[dest] - cx).max(cx - stripe_hi[dest]).max(0.0);
+            if dist > halo {
+                continue;
+            }
+            let g = ghost.get_or_insert_with(|| build_ghost(cluster, engine.queries()));
+            mailboxes[dest][s]
+                .lock()
+                .expect("ghost mailbox poisoned")
+                .push(g.clone());
+            ghosts_sent += 1;
+        }
+    }
+    barrier.wait();
+    let mut ghosts: Vec<Ghost> = Vec::new();
+    for src in mailboxes[s].iter() {
+        ghosts.append(&mut src.lock().expect("ghost mailbox poisoned"));
+    }
+    let exchange_prep = sw_exchange.elapsed();
+
+    // Local join: the standard staged pipeline over this stripe's store,
+    // incremental across epochs through the per-shard cache.
+    let ctx = JoinContext {
+        store: engine.store(),
+        grid: engine.grid(),
+        queries: engine.queries(),
+        shedding: engine.params().shedding,
+        theta_d: engine.params().theta_d,
+        member_filter: engine.params().member_filter,
+        parallelism: engine.params().parallelism,
+        kernel: engine.params().kernel,
+    };
+    let epochs = params.join_cache.then(|| engine.epochs());
+    let mut join = ctx.run_cached(epochs, &mut state.cache, &mut state.scratch);
+    phases.extend(std::mem::take(&mut join.stages));
+
+    // Exchange, step 3: owner-side cross-stripe join — local clusters
+    // against received ghosts, exact predicate, both member directions.
+    let sw_cross = Stopwatch::start();
+    let mut counters = CrossCounters::default();
+    let mut pairs_joined = 0u64;
+    if !ghosts.is_empty() {
+        let mut views: FxHashMap<ClusterSlot, Ghost> = FxHashMap::default();
+        for (slot, cluster) in engine.store().iter() {
+            let local_reach = cluster.radius() + cluster.max_query_radius();
+            let centroid = cluster.centroid();
+            for ghost in &ghosts {
+                counters.prefilter_tests += 1;
+                let dx = centroid.x - ghost.centroid.x;
+                let dy = centroid.y - ghost.centroid.y;
+                let rr = local_reach + ghost.reach;
+                if dx * dx + dy * dy > rr * rr {
+                    continue;
+                }
+                pairs_joined += 1;
+                let view = views
+                    .entry(slot)
+                    .or_insert_with(|| build_ghost(cluster, engine.queries()));
+                cross_join(
+                    view,
+                    ghost,
+                    params.member_filter,
+                    &mut join.results,
+                    &mut counters,
+                );
+            }
+        }
+    }
+    join.comparisons += counters.comparisons;
+    join.prefilter_tests += counters.prefilter_tests;
+    phases.push(
+        StageStats::join(STAGE_SHARD_EXCHANGE)
+            .with_wall(exchange_prep + sw_cross.elapsed())
+            .with_items(ghosts.len() as u64, pairs_joined)
+            .with_tests(counters.comparisons),
+    );
+
+    // kNN queries are answered over this stripe's clusters only (module
+    // docs); zero-cost when the workload has none.
+    let sw = Stopwatch::start();
+    let knn = crate::knn::evaluate_continuous(engine);
+    let knn_found = knn.len() as u64;
+    if !knn.is_empty() {
+        join.results.extend(knn);
+        join.results.sort_unstable();
+        join.results.dedup();
+    }
+    phases.push(
+        StageStats::join(STAGE_KNN)
+            .with_wall(sw.elapsed())
+            .with_items(knn_found, knn_found),
+    );
+
+    let sw = Stopwatch::start();
+    engine.post_join_maintenance(now);
+    phases.push(
+        StageStats::maintenance(STAGE_POST_JOIN)
+            .with_wall(sw.elapsed())
+            .with_items(clusters_before, engine.cluster_count() as u64),
+    );
+
+    ShardOutput {
+        results: join.results,
+        phases,
+        comparisons: join.comparisons,
+        prefilter_tests: join.prefilter_tests,
+        memory_bytes: engine.estimated_bytes(),
+        ghosts_sent,
+        ghosts_received: ghosts.len() as u64,
+    }
+}
+
+/// Replicates one cluster into a [`Ghost`], mirroring join-within's member
+/// materialisation exactly: exact members at their drift-compensated
+/// reported positions, shed members at the centroid, kNN and unregistered
+/// queries skipped.
+fn build_ghost(cluster: &MovingCluster, queries: &QueriesTable) -> Ghost {
+    let centroid = cluster.centroid();
+    let mut ghost = Ghost {
+        region: cluster.region(),
+        reach: cluster.radius() + cluster.max_query_radius(),
+        centroid,
+        objs: Vec::new(),
+        shed_objs: Vec::new(),
+        queries: Vec::new(),
+        groups: Vec::new(),
+    };
+    for member in cluster.members() {
+        let pos = cluster.member_position(member);
+        match member.entity {
+            EntityRef::Object(oid) => match pos {
+                Some(p) => ghost.objs.push((oid, p)),
+                None => ghost.shed_objs.push(oid),
+            },
+            EntityRef::Query(qid) => {
+                let Some(attrs) = queries.get(qid) else {
+                    continue;
+                };
+                let QuerySpec::Range { .. } = attrs.spec else {
+                    continue;
+                };
+                match pos {
+                    Some(p) => ghost.queries.push(GhostQuery {
+                        qid,
+                        pos: p,
+                        region: attrs
+                            .spec
+                            .region_at(p)
+                            .expect("range spec always has a region"),
+                        bounding_radius: attrs.spec.bounding_radius(),
+                    }),
+                    None => {
+                        let region = attrs
+                            .spec
+                            .region_at(centroid)
+                            .expect("range spec always has a region");
+                        match ghost.groups.iter_mut().find(|g| g.region == region) {
+                            Some(g) => g.qids.push(qid),
+                            None => ghost.groups.push(GhostGroup {
+                                region,
+                                qids: vec![qid],
+                            }),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ghost
+}
+
+/// Joins a surviving cross-stripe cluster pair in both member directions,
+/// with the same predicate and sound reach filters as join-within.
+fn cross_join(
+    a: &Ghost,
+    b: &Ghost,
+    member_filter: bool,
+    out: &mut Vec<QueryMatch>,
+    counters: &mut CrossCounters,
+) {
+    join_direction(a, b, member_filter, out, counters);
+    join_direction(b, a, member_filter, out, counters);
+}
+
+/// `objects_of`'s objects against `queries_of`'s queries — the scalar
+/// join-within member loop ([`crate::join`]) over ghost views. The reach
+/// filters are sound (they only skip pairs the exact predicate rejects),
+/// so results are independent of `member_filter`.
+fn join_direction(
+    objects_of: &Ghost,
+    queries_of: &Ghost,
+    member_filter: bool,
+    out: &mut Vec<QueryMatch>,
+    counters: &mut CrossCounters,
+) {
+    let has_objects = !objects_of.objs.is_empty() || !objects_of.shed_objs.is_empty();
+    let has_queries = !queries_of.queries.is_empty() || !queries_of.groups.is_empty();
+    if !has_objects || !has_queries {
+        return;
+    }
+
+    // Exact queries that can reach the object cluster at all.
+    let mut active: Vec<usize> = Vec::with_capacity(queries_of.queries.len());
+    for (qi, q) in queries_of.queries.iter().enumerate() {
+        if member_filter {
+            counters.prefilter_tests += 1;
+            let reach = Circle::new(
+                objects_of.region.center,
+                objects_of.region.radius + q.bounding_radius,
+            );
+            if !reach.contains(&q.pos) {
+                continue;
+            }
+        }
+        active.push(qi);
+    }
+
+    // 1. Exact objects × exact queries.
+    if !active.is_empty() {
+        let query_reach = Circle::new(queries_of.region.center, queries_of.reach);
+        for &(oid, p) in &objects_of.objs {
+            if member_filter {
+                counters.prefilter_tests += 1;
+                if !query_reach.contains(&p) {
+                    continue;
+                }
+            }
+            for &qi in &active {
+                let q = &queries_of.queries[qi];
+                counters.comparisons += 1;
+                if q.region.contains(&p) {
+                    out.push(QueryMatch::new(q.qid, oid));
+                }
+            }
+        }
+    }
+
+    // 2. Shed objects (all at the centroid) × exact queries.
+    if !objects_of.shed_objs.is_empty() {
+        for &qi in &active {
+            let q = &queries_of.queries[qi];
+            counters.comparisons += 1;
+            if q.region.contains(&objects_of.centroid) {
+                for &oid in &objects_of.shed_objs {
+                    out.push(QueryMatch::new(q.qid, oid));
+                }
+            }
+        }
+    }
+
+    // 3. Shed query groups (regions centred on the query cluster's
+    //    centroid).
+    for group in &queries_of.groups {
+        for &(oid, p) in &objects_of.objs {
+            counters.comparisons += 1;
+            if group.region.contains(&p) {
+                for &qid in &group.qids {
+                    out.push(QueryMatch::new(qid, oid));
+                }
+            }
+        }
+        if !objects_of.shed_objs.is_empty() {
+            counters.comparisons += 1;
+            if group.region.contains(&objects_of.centroid) {
+                for &qid in &group.qids {
+                    for &oid in &objects_of.shed_objs {
+                        out.push(QueryMatch::new(qid, oid));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScubaOperator;
+    use scuba_motion::{ObjectAttrs, ObjectId, QueryAttrs, QueryId};
+
+    const CN: Point = Point {
+        x: 1000.0,
+        y: 500.0,
+    };
+
+    fn obj(id: u64, x: f64, y: f64) -> LocationUpdate {
+        obj_at(id, x, y, 0)
+    }
+
+    fn obj_at(id: u64, x: f64, y: f64, t: Time) -> LocationUpdate {
+        LocationUpdate::object(
+            ObjectId(id),
+            Point::new(x, y),
+            t,
+            30.0,
+            CN,
+            ObjectAttrs::default(),
+        )
+    }
+
+    fn qry(id: u64, x: f64, y: f64, side: f64) -> LocationUpdate {
+        LocationUpdate::query(
+            QueryId(id),
+            Point::new(x, y),
+            0,
+            30.0,
+            CN,
+            QueryAttrs {
+                spec: QuerySpec::square_range(side),
+            },
+        )
+    }
+
+    fn area() -> Rect {
+        Rect::square(1000.0)
+    }
+
+    #[test]
+    fn one_shard_matches_single_store_engine() {
+        let params = ScubaParams::default();
+        let mut single = ScubaOperator::new(params, area());
+        let mut sharded = ShardedScubaOperator::new(params.with_shards(1), area());
+        assert_eq!(sharded.shard_count(), 1);
+        for round in 0..4u64 {
+            let batch: Vec<LocationUpdate> = (0..40u64)
+                .map(|i| {
+                    let x = 50.0 + ((i * 37 + round * 11) % 900) as f64;
+                    let y = 50.0 + ((i * 61) % 900) as f64;
+                    if i % 2 == 0 {
+                        obj(i, x, y)
+                    } else {
+                        qry(i, x, y, 40.0)
+                    }
+                })
+                .collect();
+            single.process_batch(&batch);
+            sharded.process_batch(&batch);
+            let a = single.evaluate(round * 2 + 2);
+            let b = sharded.evaluate(round * 2 + 2);
+            assert_eq!(a.results, b.results, "round {round}");
+            assert_eq!(a.comparisons, b.comparisons, "round {round}");
+        }
+    }
+
+    #[test]
+    fn boundary_straddling_pair_matches_across_stripes() {
+        // 4 stripes over a 1000-unit square: borders at x = 250/500/750.
+        // An object just left of x=500 and a query just right of it land on
+        // different shards; only the ghost exchange can join them.
+        let params = ScubaParams::default().with_shards(4);
+        let mut sharded = ShardedScubaOperator::new(params, area());
+        sharded.process_update(&obj(1, 495.0, 500.0));
+        sharded.process_update(&qry(1, 505.0, 500.0, 40.0));
+        assert_eq!(sharded.shard_of(&Point::new(495.0, 500.0)), 1);
+        assert_eq!(sharded.shard_of(&Point::new(505.0, 500.0)), 2);
+        let report = sharded.evaluate(2);
+        assert_eq!(
+            report.results,
+            vec![QueryMatch::new(QueryId(1), ObjectId(1))]
+        );
+        assert!(sharded.ghost_refreshes() > 0, "exchange actually ran");
+        let row = report.phases.get(STAGE_SHARD_EXCHANGE).expect("stage row");
+        assert!(row.items_in > 0, "a ghost was received");
+        assert!(row.tests > 0, "cross-join comparisons happened");
+    }
+
+    #[test]
+    fn migration_hands_entity_to_the_new_owner() {
+        let params = ScubaParams::default().with_shards(2);
+        let mut sharded = ShardedScubaOperator::new(params, area());
+        sharded.process_update(&obj_at(7, 100.0, 500.0, 0));
+        sharded.process_update(&obj_at(7, 900.0, 500.0, 1));
+        // Exactly one engine may know the entity, and it is the new owner.
+        let holders: Vec<usize> = sharded
+            .engines()
+            .enumerate()
+            .filter(|(_, e)| e.cluster_count() > 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(holders, vec![1]);
+        let report = sharded.evaluate(2);
+        let route = report.phases.get(STAGE_SHARD_ROUTE).expect("route row");
+        assert_eq!(route.items_in, 2);
+        assert_eq!(route.tests, 1, "one stripe migration");
+        for engine in sharded.engines() {
+            engine.check_invariants();
+        }
+    }
+
+    #[test]
+    fn shard_count_clamps_to_grid_columns() {
+        let params = ScubaParams::default().with_grid_cells(4).with_shards(64);
+        let sharded = ShardedScubaOperator::new(params, area());
+        assert_eq!(sharded.shard_count(), 4);
+    }
+
+    #[test]
+    fn merged_report_carries_shard_stages() {
+        let params = ScubaParams::default().with_shards(2);
+        let mut sharded = ShardedScubaOperator::new(params, area());
+        sharded.process_update(&obj(1, 200.0, 500.0));
+        sharded.process_update(&qry(2, 204.0, 500.0, 20.0));
+        sharded.process_update(&obj(3, 800.0, 500.0));
+        let report = sharded.evaluate(2);
+        assert_eq!(report.results.len(), 1);
+        for stage in [STAGE_SHARD_ROUTE, STAGE_SHARD_EXCHANGE, STAGE_SHARD_MERGE] {
+            assert!(report.phases.get(stage).is_some(), "missing {stage}");
+        }
+        assert!(report.phases.get(crate::join::STAGE_JOIN_WITHIN).is_some());
+        assert_eq!(sharded.clusters_live(), Some(2));
+        assert!(sharded.memory_bytes() > 0);
+        assert_eq!(sharded.name(), "SCUBA[shards=2]");
+    }
+}

@@ -1,0 +1,199 @@
+//! N-shard ≡ single-shard identity (ISSUE 8).
+//!
+//! The sharded executor is a pure execution-strategy change: stripe
+//! ownership, ghost replication and the owner-side cross-stripe join must
+//! never alter the answer. The property below drives shards {1, 2, 4, 8}
+//! × join cache {on, off} × index {uniform, adaptive} against the
+//! single-store `ScubaOperator` on a boundary-heavy stream (positions
+//! concentrated around the 8-way stripe borders so ghosts are exercised
+//! constantly). The directed companion pins the hardest geometry: one
+//! cluster whose circle spans three-plus stripes, matched by queries two
+//! stripes away on both sides.
+
+use proptest::prelude::*;
+
+use scuba::{IndexKind, ScubaOperator, ScubaParams, ShardedScubaOperator};
+use scuba_motion::{LocationUpdate, ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec};
+use scuba_spatial::{Point, Rect};
+use scuba_stream::{ContinuousOperator, QueryMatch};
+
+const AREA: f64 = 1000.0;
+
+fn area() -> Rect {
+    Rect::square(AREA)
+}
+
+/// Boundary-heavy workload: half the positions land within ±40 units of
+/// an 8-shard stripe border (x = 125·k), the rest are uniform; mixed
+/// objects and range queries with varied sides, shared destination nodes
+/// so clusters actually form.
+fn arb_updates(max_entities: usize) -> impl Strategy<Value = Vec<LocationUpdate>> {
+    let nodes = [
+        Point::new(0.0, 500.0),
+        Point::new(1000.0, 500.0),
+        Point::new(500.0, 0.0),
+        Point::new(500.0, 1000.0),
+    ];
+    let arb_x = prop_oneof![
+        0.0..AREA,
+        (1u32..8, -40.0..40.0f64).prop_map(|(b, off)| (125.0 * b as f64 + off).clamp(0.0, AREA)),
+    ];
+    prop::collection::vec(
+        (
+            0u64..40,      // entity id
+            any::<bool>(), // object or query
+            arb_x,
+            0.0..AREA,    // y
+            5.0..50.0f64, // speed
+            0usize..4,    // destination node index
+            5.0..80.0f64, // query range side
+        ),
+        1..max_entities,
+    )
+    .prop_map(move |rows| {
+        rows.into_iter()
+            .map(|(id, is_query, x, y, speed, node, side)| {
+                let loc = Point::new(x, y);
+                let cn = nodes[node];
+                if is_query {
+                    LocationUpdate::query(
+                        QueryId(id),
+                        loc,
+                        0,
+                        speed,
+                        cn,
+                        QueryAttrs {
+                            spec: QuerySpec::square_range(side),
+                        },
+                    )
+                } else {
+                    LocationUpdate::object(ObjectId(id), loc, 0, speed, cn, ObjectAttrs::default())
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Stripe partitioning is answer-invisible: at every tick the merged
+    /// N-shard result set equals the single-store operator's, for shards
+    /// {1, 2, 4, 8} × join cache {on, off} × index {uniform, adaptive}.
+    #[test]
+    fn sharded_executor_matches_single_store(
+        batches in prop::collection::vec(arb_updates(40), 1..3),
+    ) {
+        let adaptive_base = ScubaParams::default()
+            .with_index(IndexKind::Adaptive)
+            .with_split_merge(4, 1);
+        let configs: Vec<ScubaParams> = [1usize, 2, 4, 8]
+            .iter()
+            .flat_map(|&k| {
+                [true, false].iter().flat_map(move |&cache| {
+                    [ScubaParams::default(), adaptive_base]
+                        .into_iter()
+                        .map(move |base| base.with_shards(k).with_join_cache(cache))
+                })
+            })
+            .collect();
+        let mut single = ScubaOperator::new(ScubaParams::default(), area());
+        let mut sharded: Vec<ShardedScubaOperator> = configs
+            .iter()
+            .map(|&params| ShardedScubaOperator::new(params, area()))
+            .collect();
+        for (tick, batch) in batches.iter().enumerate() {
+            let now = (tick as u64 + 1) * 2;
+            single.process_batch(batch);
+            let expected = single.evaluate(now).results;
+            for (op, params) in sharded.iter_mut().zip(&configs) {
+                op.process_batch(batch);
+                let observed = op.evaluate(now).results;
+                prop_assert_eq!(
+                    &observed,
+                    &expected,
+                    "tick {}: shards {} cache {} index {} diverged",
+                    tick,
+                    params.shards,
+                    params.join_cache,
+                    params.index
+                );
+            }
+        }
+    }
+}
+
+/// Directed regression for the widest geometry the ghost protocol must
+/// cover: with Θ_D = 260 one object cluster on stripe 3 grows a circle
+/// spanning three stripes, and matching queries sit across borders on
+/// both sides (one of them two stripes away). Every cross-stripe match
+/// must survive the exchange, at every shard count.
+#[test]
+fn three_stripe_straddling_cluster_matches_everywhere() {
+    let cn = Point::new(500.0, 1000.0);
+    let obj = |id: u64, x: f64, y: f64| {
+        LocationUpdate::object(
+            ObjectId(id),
+            Point::new(x, y),
+            0,
+            30.0,
+            cn,
+            ObjectAttrs::default(),
+        )
+    };
+    let qry = |id: u64, x: f64, y: f64, side: f64| {
+        LocationUpdate::query(
+            QueryId(id),
+            Point::new(x, y),
+            0,
+            30.0,
+            cn,
+            QueryAttrs {
+                spec: QuerySpec::square_range(side),
+            },
+        )
+    };
+    // One tall object cluster centred on stripe 3 (members share cn and
+    // speed, spread ±180 in y): centroid ≈ (440, 500), radius ≈ 180, so
+    // the cluster circle spans x ∈ [260, 620] — stripes 2, 3 and 4.
+    let batch = vec![
+        obj(1, 440.0, 320.0),
+        obj(2, 440.0, 500.0),
+        obj(3, 440.0, 680.0),
+        // Stripe-4 query whose region [435, 585]×[425, 575] catches
+        // object 2 across the 500-border.
+        qry(10, 510.0, 500.0, 150.0),
+        // Stripe-2 query with a 400-wide region reaching the whole
+        // cluster column from two borders away.
+        qry(11, 260.0, 490.0, 400.0),
+        // Far-side control: matches nothing.
+        qry(12, 900.0, 100.0, 30.0),
+    ];
+    let params = ScubaParams::default().with_thresholds(260.0, 10.0);
+    let mut single = ScubaOperator::new(params, area());
+    single.process_batch(&batch);
+    let expected = single.evaluate(2).results;
+    let wanted: Vec<QueryMatch> = vec![
+        QueryMatch::new(QueryId(10), ObjectId(2)),
+        QueryMatch::new(QueryId(11), ObjectId(1)),
+        QueryMatch::new(QueryId(11), ObjectId(2)),
+        QueryMatch::new(QueryId(11), ObjectId(3)),
+    ];
+    assert_eq!(
+        expected, wanted,
+        "single-store baseline answers the workload"
+    );
+
+    for shards in [1usize, 2, 4, 8] {
+        let mut op = ShardedScubaOperator::new(params.with_shards(shards), area());
+        op.process_batch(&batch);
+        let report = op.evaluate(2);
+        assert_eq!(report.results, expected, "{shards} shards diverged");
+        if shards >= 4 {
+            assert!(
+                op.ghost_refreshes() > 0,
+                "{shards} shards: the straddling cluster must ship ghosts"
+            );
+        }
+    }
+}
