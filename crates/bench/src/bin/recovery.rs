@@ -1,0 +1,269 @@
+//! `recovery` — durability-layer cost model (ISSUE 9).
+//!
+//! Measures the three prices a deployment pays for crash safety at scale
+//! (default: 100 000 objects, 1 000 queries, 10 ticks):
+//!
+//! * **checkpoint write** — full engine capture, binary encode, atomic
+//!   temp-file + fsync + rename write: wall time and bytes on disk;
+//! * **journal append** — per-tick write-ahead logging of the delivered
+//!   batch, with and without `fdatasync` (the serve default syncs);
+//! * **recovery** — `resume()`: newest checkpoint load + journal replay
+//!   back to the pre-crash tick, timed end to end.
+//!
+//! A runtime identity assert checks the recovered engine captures
+//! bit-identically to the uninterrupted one — the bench refuses to report
+//! numbers for a recovery that changed answers.
+//!
+//! Emits `BENCH_recovery.json` at the workspace root (and a text table on
+//! stdout).
+//!
+//! Usage: `recovery [--objects N] [--queries N] [--duration EPOCHS]
+//! [--out FILE] [--json]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use scuba::snapshot::EngineSnapshot;
+use scuba::{resume, JournalWriter, ScubaOperator, ScubaParams};
+use scuba_bench::table::{f1, TextTable};
+use scuba_bench::{ExperimentScale, HarnessArgs};
+use scuba_generator::WorkloadGenerator;
+use scuba_motion::LocationUpdate;
+use scuba_roadnet::SyntheticCity;
+use scuba_stream::ContinuousOperator;
+
+#[derive(Debug, Serialize)]
+struct CheckpointOut {
+    /// Tick the checkpoint covers (mid-run).
+    tick: u64,
+    /// Bytes on disk (header + binary snapshot payload).
+    bytes: u64,
+    /// Engine capture (state → snapshot structs), microseconds.
+    capture_us: u128,
+    /// Encode + atomic write + fsync, microseconds.
+    write_us: u128,
+    /// Bytes per live entity, for eyeballing format bloat.
+    bytes_per_entity: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct JournalOut {
+    /// Frames appended (one per post-checkpoint tick).
+    frames: u64,
+    /// Bytes appended, headers included.
+    bytes: u64,
+    /// Mean append cost per tick with `fdatasync` (the serve default),
+    /// microseconds.
+    synced_append_us_per_tick: u128,
+    /// Mean append cost per tick without syncing, microseconds.
+    unsynced_append_us_per_tick: u128,
+    /// Mean batch size journalled per tick.
+    updates_per_tick: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct RecoveryOut {
+    /// Full `resume()` wall time: checkpoint read + journal replay,
+    /// microseconds.
+    resume_us: u128,
+    /// Journal frames replayed on top of the checkpoint.
+    replayed_frames: u64,
+    /// Recovered state captured bit-identically to the live engine.
+    identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct RecoveryBenchOut {
+    scale: ExperimentScale,
+    ticks: u64,
+    checkpoint: CheckpointOut,
+    journal: JournalOut,
+    recovery: RecoveryOut,
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("scuba-bench-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn main() {
+    let HarnessArgs {
+        scale, ticks, out, ..
+    } = HarnessArgs::parse(
+        "recovery",
+        "BENCH_recovery.json",
+        (100_000, 1_000, 10),
+        &[1],
+    );
+
+    eprintln!(
+        "recovery: durability cost model — {} objects, {} queries, {} ticks",
+        scale.objects, scale.queries, ticks
+    );
+
+    let city = SyntheticCity::build(scale.city());
+    let area = city
+        .network
+        .extent()
+        .expect("synthetic city is non-empty")
+        .inflate(50.0);
+    let mut generator = WorkloadGenerator::new(Arc::new(city.network), scale.workload());
+    let mut batches: Vec<Vec<LocationUpdate>> = Vec::with_capacity(ticks as usize);
+    batches.push(generator.snapshot());
+    for _ in 1..ticks {
+        batches.push(generator.tick());
+    }
+
+    let delta = scale.delta.max(1);
+    let checkpoint_tick = (ticks / 2).max(1);
+    let dir = tmp_dir("durable");
+    let scratch = tmp_dir("scratch");
+
+    // Live run: ingest + evaluate at Δ boundaries; checkpoint mid-run,
+    // then journal every later tick the way `serve` does (write-ahead,
+    // synced), plus an unsynced shadow journal for the fsync split.
+    let mut op = ScubaOperator::new(
+        ScubaParams::default()
+            .with_grid_cells(scale.grid_cells)
+            .with_parallelism(scale.parallelism)
+            .with_join_cache(scale.join_cache),
+        area,
+    );
+    let mut checkpoint = None;
+    let mut synced = None;
+    let mut unsynced = JournalWriter::create(&scratch, checkpoint_tick, false).unwrap();
+    let mut synced_us = 0u128;
+    let mut unsynced_us = 0u128;
+    let mut journalled_updates = 0u64;
+    for (i, batch) in batches.iter().enumerate() {
+        let t = i as u64 + 1;
+        if t > checkpoint_tick {
+            let writer: &mut JournalWriter = synced.as_mut().expect("journal opened at checkpoint");
+            let started = Instant::now();
+            writer.append(t, batch).unwrap();
+            synced_us += started.elapsed().as_micros();
+            let started = Instant::now();
+            unsynced.append(t, batch).unwrap();
+            unsynced_us += started.elapsed().as_micros();
+            journalled_updates += batch.len() as u64;
+        }
+        op.process_batch(batch);
+        if t % delta == 0 {
+            op.evaluate(t);
+        }
+        if t == checkpoint_tick {
+            let started = Instant::now();
+            let stripes = vec![EngineSnapshot::capture(op.engine())];
+            let capture_us = started.elapsed().as_micros();
+            let started = Instant::now();
+            let bytes = scuba::durability::write_checkpoint(&dir, t, &stripes).unwrap();
+            let write_us = started.elapsed().as_micros();
+            let entities = (scale.objects + scale.queries).max(1);
+            checkpoint = Some(CheckpointOut {
+                tick: t,
+                bytes,
+                capture_us,
+                write_us,
+                bytes_per_entity: bytes as f64 / entities as f64,
+            });
+            synced = Some(JournalWriter::create(&dir, t, true).unwrap());
+        }
+    }
+    let live_state = vec![EngineSnapshot::capture(op.engine())];
+    let checkpoint = checkpoint.expect("checkpoint tick within the run");
+    let writer = synced.expect("journal opened at checkpoint");
+    let frames = writer.frames();
+    let journal_bytes = writer.bytes();
+    drop(writer);
+
+    // Recovery: restore the checkpoint and replay the journal, end to end.
+    let started = Instant::now();
+    let resumed = resume(&dir)
+        .expect("durable state is readable")
+        .expect("durable state exists");
+    let resume_us = started.elapsed().as_micros();
+    let identical = resumed.operator.capture() == live_state;
+    assert!(identical, "recovered state diverged from the live engine");
+    assert_eq!(resumed.resume_tick, ticks);
+
+    let payload = RecoveryBenchOut {
+        scale,
+        ticks,
+        checkpoint,
+        journal: JournalOut {
+            frames,
+            bytes: journal_bytes,
+            synced_append_us_per_tick: synced_us / u128::from(frames.max(1)),
+            unsynced_append_us_per_tick: unsynced_us / u128::from(frames.max(1)),
+            updates_per_tick: journalled_updates as f64 / frames.max(1) as f64,
+        },
+        recovery: RecoveryOut {
+            resume_us,
+            replayed_frames: resumed.replayed_frames,
+            identical,
+        },
+    };
+
+    // Table before JSON: the measurements survive even where JSON
+    // serialisation is unavailable (offline stub builds).
+    if !out.json_stdout {
+        let mut table = TextTable::new(vec!["measure", "value"]);
+        table.row(vec![
+            "checkpoint bytes".to_string(),
+            payload.checkpoint.bytes.to_string(),
+        ]);
+        table.row(vec![
+            "checkpoint bytes/entity".to_string(),
+            f1(payload.checkpoint.bytes_per_entity),
+        ]);
+        table.row(vec![
+            "checkpoint capture µs".to_string(),
+            payload.checkpoint.capture_us.to_string(),
+        ]);
+        table.row(vec![
+            "checkpoint write µs".to_string(),
+            payload.checkpoint.write_us.to_string(),
+        ]);
+        table.row(vec![
+            "journal µs/tick (synced)".to_string(),
+            payload.journal.synced_append_us_per_tick.to_string(),
+        ]);
+        table.row(vec![
+            "journal µs/tick (unsynced)".to_string(),
+            payload.journal.unsynced_append_us_per_tick.to_string(),
+        ]);
+        table.row(vec![
+            "journal bytes".to_string(),
+            payload.journal.bytes.to_string(),
+        ]);
+        table.row(vec![
+            "resume µs".to_string(),
+            payload.recovery.resume_us.to_string(),
+        ]);
+        table.row(vec![
+            "replayed frames".to_string(),
+            payload.recovery.replayed_frames.to_string(),
+        ]);
+        table.row(vec![
+            "identical".to_string(),
+            if payload.recovery.identical {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
+        ]);
+        print!("{}", table.render());
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let json = serde_json::to_string_pretty(&payload).expect("payload serialises");
+    out.emit(&json);
+}

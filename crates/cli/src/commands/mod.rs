@@ -4,6 +4,7 @@ pub mod city;
 pub mod compare;
 pub mod record;
 pub mod render;
+pub mod serve;
 pub mod shed;
 pub mod simulate;
 
@@ -75,6 +76,34 @@ pub(crate) fn write_stage_breakdown(
         )?;
     }
     Ok(())
+}
+
+/// Exports the validator's quarantined dead letters as a hand-formatted
+/// JSON array (one object per rejected update, with the first check it
+/// failed), shared by `simulate` and `serve`. Returns how many were
+/// written; `None` (no validator configured) exports an empty array.
+pub(crate) fn export_dead_letters(
+    path: &str,
+    validator: Option<&scuba_stream::UpdateValidator>,
+) -> std::io::Result<usize> {
+    let mut body = String::from("[\n");
+    let mut n = 0;
+    if let Some(v) = validator {
+        for dl in v.dead_letters() {
+            if n > 0 {
+                body.push_str(",\n");
+            }
+            let u = &dl.update;
+            body.push_str(&format!(
+                "  {{\"reason\":\"{:?}\",\"entity\":\"{}\",\"time\":{},\"x\":{},\"y\":{},\"speed\":{}}}",
+                dl.reason, u.entity, u.time, u.loc.x, u.loc.y, u.speed
+            ));
+            n += 1;
+        }
+    }
+    body.push_str("\n]\n");
+    std::fs::write(path, body)?;
+    Ok(n)
 }
 
 /// Opens the configured source: `--trace FILE` replays a recorded trace,

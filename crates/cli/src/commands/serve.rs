@@ -1,0 +1,208 @@
+//! `scuba-sim serve` — a long-lived, durable, supervised engine loop.
+//!
+//! Unlike `simulate` (one bounded run, results to stdout), `serve` models a
+//! deployed continuous-query service: it checkpoints engine state to
+//! `--checkpoint-dir` at a fixed interval, journals every tick's delivered
+//! batch write-ahead, resumes from durable state when restarted over the
+//! same directory, survives shard-worker panics by restoring from
+//! checkpoint + journal under a bounded restart budget, and periodically
+//! prints a plain-text health line (tick p99, journal lag, restarts, dead
+//! letters).
+//!
+//! `--out FILE` appends one ndjson event line per evaluation
+//! (`{"t":…,"results":…,"crc":…}`, the CRC32 of the sorted result pairs) —
+//! a resumed run re-emits the ticks it replayed from the journal, so
+//! consumers dedup keeping the last line per tick.
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+
+use scuba::durability::{
+    crc32, run_supervised, HealthSnapshot, SuperviseConfig, SuperviseObserver,
+};
+use scuba_stream::{EvaluationReport, PanicInjector, PanicPlan};
+
+use crate::config::{OutputOptions, SimConfig};
+
+fn invalid_input(message: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidInput, message)
+}
+
+/// CRC32 over the evaluation's result pairs (already sorted and deduped by
+/// the operator), as stable little-endian bytes — a compact identity for
+/// cross-run comparison without shipping the full result list.
+fn result_crc(report: &EvaluationReport) -> u32 {
+    let mut bytes = Vec::with_capacity(report.results.len() * 16);
+    for m in &report.results {
+        bytes.extend_from_slice(&m.query.0.to_le_bytes());
+        bytes.extend_from_slice(&m.object.0.to_le_bytes());
+    }
+    crc32(&bytes)
+}
+
+/// Streams evaluation events to the ndjson log and health lines to the
+/// terminal as the supervised loop runs.
+struct ServeObserver<'a> {
+    events: Option<std::io::BufWriter<std::fs::File>>,
+    out: &'a mut dyn Write,
+    io_error: Option<std::io::Error>,
+}
+
+impl ServeObserver<'_> {
+    fn record_io(&mut self, result: std::io::Result<()>) {
+        if let (Err(e), None) = (result, &self.io_error) {
+            self.io_error = Some(e);
+        }
+    }
+}
+
+impl SuperviseObserver for ServeObserver<'_> {
+    fn on_evaluation(&mut self, report: &EvaluationReport) {
+        let crc = result_crc(report);
+        if let Some(events) = &mut self.events {
+            let line = format!(
+                "{{\"t\":{},\"results\":{},\"crc\":{}}}\n",
+                report.now,
+                report.results.len(),
+                crc
+            );
+            let result = events.write_all(line.as_bytes()).and_then(|()| {
+                // One flushed line per evaluation, so a killed process
+                // loses at most the tick in flight.
+                events.flush()
+            });
+            self.record_io(result);
+        }
+    }
+
+    fn on_health(&mut self, h: &HealthSnapshot) {
+        let result = writeln!(
+            self.out,
+            "health t={} evals={} p99_join={}µs clusters={} mem={}B journal={}fr/{}B ckpts={} restarts={} dead_letters={} shedding={}",
+            h.tick,
+            h.evaluations,
+            h.p99_join.as_micros(),
+            h.clusters,
+            h.memory_bytes,
+            h.journal_frames,
+            h.journal_bytes,
+            h.checkpoints,
+            h.restarts,
+            h.dead_letters,
+            h.shedding,
+        );
+        self.record_io(result);
+    }
+}
+
+/// Runs the command.
+pub fn run(config: &SimConfig, opts: &OutputOptions, out: &mut dyn Write) -> std::io::Result<()> {
+    let Some(checkpoint_dir) = &opts.checkpoint_dir else {
+        return Err(invalid_input(
+            "serve requires --checkpoint-dir <DIR> (durable state location)".into(),
+        ));
+    };
+    if config.params.shards > 1 {
+        let unsupported = [
+            (
+                config.params.validation != scuba::ValidationPolicy::Off,
+                "--validate",
+            ),
+            (config.params.deadline_us.is_some(), "--deadline-us"),
+            (opts.budget.is_some(), "--budget"),
+        ];
+        if let Some((_, flag)) = unsupported.iter().find(|(on, _)| *on) {
+            return Err(invalid_input(format!(
+                "{flag} is not supported with --shards > 1 (single-store operator only)"
+            )));
+        }
+    }
+
+    let (network, area) = super::build_city(config);
+    let mut source = super::open_source(config, &opts.trace, Arc::clone(&network))?;
+    let injector = (opts.panic_prob > 0.0).then(|| {
+        Arc::new(PanicInjector::new(PanicPlan {
+            seed: config.workload.seed,
+            panic_prob: opts.panic_prob,
+            rearm: false,
+        }))
+    });
+    let supervise = SuperviseConfig {
+        duration: config.duration,
+        checkpoint_every: opts.checkpoint_every,
+        max_restarts: opts.max_restarts,
+        ..SuperviseConfig::default()
+    };
+
+    let events = match &opts.out_path {
+        Some(path) => Some(std::io::BufWriter::new(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?,
+        )),
+        None => None,
+    };
+    let mut observer = ServeObserver {
+        events,
+        out,
+        io_error: None,
+    };
+
+    let outcome = run_supervised(
+        &mut source,
+        &config.params,
+        area,
+        Path::new(checkpoint_dir),
+        &supervise,
+        injector.as_ref(),
+        &mut observer,
+    )
+    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let io_error = observer.io_error.take();
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+
+    match outcome.resumed_at {
+        Some(tick) => writeln!(
+            out,
+            "resumed from durable state at t={tick} ({} journal frames replayed)",
+            outcome.stats.replayed_frames
+        )?,
+        None => writeln!(out, "fresh start (no durable state found)")?,
+    }
+    writeln!(
+        out,
+        "served {} ticks: {} evaluations, {} updates, {} checkpoints ({}B, {}µs), {} journal frames ({}B, {}µs), {} restarts",
+        config.duration,
+        outcome.report.evaluations.len(),
+        outcome.report.updates_ingested,
+        outcome.stats.checkpoints,
+        outcome.stats.checkpoint_bytes,
+        outcome.stats.checkpoint_time.as_micros(),
+        outcome.stats.journal_frames,
+        outcome.stats.journal_bytes,
+        outcome.stats.journal_time.as_micros(),
+        outcome.stats.restarts,
+    )?;
+    if let Some(fired) = injector.as_ref().map(|i| i.fired()) {
+        writeln!(out, "fault drill: {fired} injected worker panics")?;
+    }
+    if let Some(path) = &opts.dead_letter_out {
+        let n = super::export_dead_letters(path, outcome.operator.validator())?;
+        writeln!(out, "exported {n} dead letters to {path}")?;
+    }
+
+    // An aborted run reports everything gathered, then exits non-zero so
+    // supervising infrastructure notices.
+    if let Some(reason) = &outcome.report.aborted {
+        writeln!(out, "aborted: {reason}")?;
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            reason.clone(),
+        ));
+    }
+    Ok(())
+}

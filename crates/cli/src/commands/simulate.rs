@@ -151,6 +151,9 @@ pub fn run(config: &SimConfig, opts: &OutputOptions, out: &mut dyn Write) -> std
             final_shedding: format!("{:?}", operator.current_shedding()),
         }
     });
+    if let Some(path) = &opts.dead_letter_out {
+        super::export_dead_letters(path, operator.validator())?;
+    }
     // An aborted run still reports everything gathered so far, then exits
     // non-zero so pipelines notice.
     let abort_error = report
@@ -269,6 +272,7 @@ fn run_sharded(
             "--validate",
         ),
         (config.params.deadline_us.is_some(), "--deadline-us"),
+        (opts.dead_letter_out.is_some(), "--dead-letter-out"),
     ];
     if let Some((_, flag)) = unsupported.iter().find(|(on, _)| *on) {
         return Err(std::io::Error::new(

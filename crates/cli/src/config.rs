@@ -40,7 +40,7 @@ impl Default for SimConfig {
 }
 
 /// Presentation options shared by the commands.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OutputOptions {
     /// Emit JSON instead of text.
     pub json: bool,
@@ -57,6 +57,37 @@ pub struct OutputOptions {
     pub snapshot_out: Option<String>,
     /// `simulate`: restore the engine from this snapshot before the run.
     pub snapshot_in: Option<String>,
+    /// `serve`: durable checkpoint/journal directory (required there).
+    pub checkpoint_dir: Option<String>,
+    /// `serve`: ticks between checkpoints.
+    pub checkpoint_every: u64,
+    /// `serve`/`simulate`: export quarantined dead letters to this JSON
+    /// file at the end of the run.
+    pub dead_letter_out: Option<String>,
+    /// `serve`: worker-panic restarts allowed per evaluation tick.
+    pub max_restarts: u32,
+    /// `serve`: probability an evaluation worker is hit by an injected
+    /// panic (fault drill; seeded from the workload seed).
+    pub panic_prob: f64,
+}
+
+impl Default for OutputOptions {
+    fn default() -> Self {
+        OutputOptions {
+            json: false,
+            deltas: false,
+            budget: None,
+            out_path: None,
+            trace: None,
+            snapshot_out: None,
+            snapshot_in: None,
+            checkpoint_dir: None,
+            checkpoint_every: 8,
+            dead_letter_out: None,
+            max_restarts: 3,
+            panic_prob: 0.0,
+        }
+    }
 }
 
 impl SimConfig {
@@ -216,6 +247,26 @@ impl SimConfig {
                     opts.snapshot_in = Some(value(flag)?.to_string());
                     i += 2;
                 }
+                "--checkpoint-dir" => {
+                    opts.checkpoint_dir = Some(value(flag)?.to_string());
+                    i += 2;
+                }
+                "--checkpoint-every" => {
+                    opts.checkpoint_every = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
+                "--dead-letter-out" => {
+                    opts.dead_letter_out = Some(value(flag)?.to_string());
+                    i += 2;
+                }
+                "--max-restarts" => {
+                    opts.max_restarts = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
+                "--panic-prob" => {
+                    opts.panic_prob = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
                 "--no-join-cache" => {
                     config.params.join_cache = false;
                     i += 1;
@@ -242,6 +293,15 @@ impl SimConfig {
             .map_err(|e| format!("invalid SCUBA params: {e}"))?;
         if config.duration == 0 {
             return Err("duration must be >= 1".into());
+        }
+        if opts.checkpoint_every == 0 {
+            return Err("checkpoint-every must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&opts.panic_prob) {
+            return Err(format!(
+                "panic-prob must be in [0, 1], got {}",
+                opts.panic_prob
+            ));
         }
         Ok((config, opts))
     }

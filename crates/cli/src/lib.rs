@@ -13,7 +13,9 @@
 //!   comparison table plus a result-equality verdict;
 //! * `shed` — sweep load-shedding levels and print the time/accuracy
 //!   trade-off;
-//! * `render` — draw an ASCII map of the final cluster state.
+//! * `render` — draw an ASCII map of the final cluster state;
+//! * `serve` — long-lived supervised loop with durable checkpoints, a
+//!   write-ahead journal, crash recovery, and periodic health lines.
 //!
 //! The binary is a thin `main`; everything is implemented (and tested)
 //! here in the library.
@@ -51,6 +53,10 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), String> 
             let (config, opts) = config::SimConfig::from_args(rest)?;
             commands::render::run(&config, &opts, out).map_err(|e| e.to_string())
         }
+        "serve" => {
+            let (config, opts) = config::SimConfig::from_args(rest)?;
+            commands::serve::run(&config, &opts, out).map_err(|e| e.to_string())
+        }
         "record" => {
             let (config, opts) = config::SimConfig::from_args(rest)?;
             commands::record::run(&config, &opts, out).map_err(|e| e.to_string())
@@ -77,6 +83,7 @@ COMMANDS:
     compare     SCUBA vs all baselines over the same workload
     shed        sweep load-shedding levels (time / accuracy trade-off)
     render      draw an ASCII map of the final cluster state
+    serve       durable supervised loop (checkpoints + WAL, crash recovery)
     record      capture a generated workload as a replayable trace file
     city        describe the synthetic city (stats; --out exports edge list)
     help        show this message
@@ -107,12 +114,18 @@ OPTIONS (all commands):
     --deadline-us <N>    per-evaluation deadline budget in µs; misses
                          escalate load shedding adaptively (simulate)
     --budget <BYTES>     adaptive shedding memory budget (simulate)
-    --out <FILE>         trace output path (record)
+    --out <FILE>         trace output path (record); ndjson event log (serve)
     --trace <FILE>       replay updates from a trace (simulate, compare)
     --snapshot-out <F>   write an engine snapshot after the run (simulate)
     --snapshot-in <F>    restore the engine from a snapshot first (simulate)
     --deltas             print incremental +added/-removed (simulate)
     --json               machine-readable output
+    --checkpoint-dir <D> durable state directory (serve; required there)
+    --checkpoint-every <N> ticks between checkpoints (serve; default 8)
+    --max-restarts <N>   worker restart budget before aborting (serve)
+    --panic-prob <F>     injected worker panic probability, fault drills (serve)
+    --dead-letter-out <F> export quarantined updates as JSON on shutdown
+                         (simulate, serve; needs --validate)
 "
     .to_string()
 }
@@ -375,6 +388,73 @@ mod tests {
         assert!(out.contains("identical: true"), "{out}");
         assert!(out.contains("VCI"));
         assert!(out.contains("SINA-GRID"));
+    }
+
+    #[test]
+    fn serve_requires_checkpoint_dir() {
+        let err = run_to_string(&["serve", "--objects", "10", "--queries", "10"]).unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "{err}");
+    }
+
+    #[test]
+    fn serve_fresh_then_resume_over_same_dir() {
+        let dir = std::env::temp_dir().join("scuba-cli-serve-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_str = dir.to_str().unwrap().to_string();
+        let args = [
+            "serve",
+            "--objects",
+            "60",
+            "--queries",
+            "40",
+            "--duration",
+            "6",
+            "--checkpoint-dir",
+            &dir_str,
+            "--checkpoint-every",
+            "2",
+        ];
+
+        let first = run_to_string(&args).unwrap();
+        assert!(first.contains("fresh start"), "{first}");
+        assert!(first.contains("served 6 ticks"), "{first}");
+        assert!(first.contains("health t="), "{first}");
+
+        // A second run over the same directory resumes from durable state
+        // instead of starting over.
+        let second = run_to_string(&args).unwrap();
+        assert!(second.contains("resumed from durable state"), "{second}");
+        assert!(second.contains("served 6 ticks"), "{second}");
+    }
+
+    #[test]
+    fn serve_exports_dead_letters() {
+        let dir = std::env::temp_dir().join("scuba-cli-serve-dl-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("state");
+        let dl = dir.join("dead.json");
+        let out = run_to_string(&[
+            "serve",
+            "--objects",
+            "40",
+            "--queries",
+            "30",
+            "--duration",
+            "4",
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+            "--validate",
+            "reject",
+            "--dead-letter-out",
+            dl.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("exported"), "{out}");
+        let text = std::fs::read_to_string(&dl).unwrap();
+        // A well-formed generated workload yields an empty (but valid) array.
+        assert!(text.trim_start().starts_with('['), "{text}");
     }
 
     #[test]

@@ -92,6 +92,7 @@ pub mod baseline;
 pub mod cluster;
 pub mod clustering;
 pub mod delta;
+pub mod durability;
 pub mod engine;
 pub mod grid;
 pub mod index;
@@ -116,6 +117,11 @@ pub use accuracy::AccuracyReport;
 pub use baseline::{PointHashedGridOperator, RegularGridOperator};
 pub use cluster::{ClusterId, Member, MovingCluster};
 pub use delta::{DeltaTracker, ResultDelta};
+pub use durability::{
+    recover, resume, run_supervised, CheckpointState, DurabilityError, DurabilityStats,
+    DurableOperator, HealthSnapshot, JournalFrame, JournalSegment, JournalWriter, NoObserver,
+    Recovery, Resumed, SuperviseConfig, SuperviseObserver, SupervisedOutcome, TickFailure,
+};
 pub use engine::ScubaOperator;
 pub use index::{AdaptiveGrid, AnyIndex, DiscoveryScratch, IndexKind, SpatialIndex};
 pub use join::{JoinCache, JoinContext, JoinScratch};
@@ -124,10 +130,10 @@ pub use ops::{OperatorKind, OpsConfig};
 pub use overload::{OverloadConfig, OverloadController, OverloadCounters, OverloadDecision};
 pub use params::{ParamsError, ProbeScope, ScubaParams};
 pub use qindex::QueryIndexOperator;
-pub use shard::ShardedScubaOperator;
+pub use shard::{ShardedScubaOperator, WorkerFailure};
 pub use shedding::{AdaptiveShedder, SheddingMode};
 pub use sina::IncrementalGridOperator;
-pub use snapshot::EngineSnapshot;
+pub use snapshot::{EngineSnapshot, SnapshotError};
 pub use store::{ClusterSlot, ClusterStore, EpochTracker, StoreColumns};
 pub use vci::{VciConfig, VciOperator};
 

@@ -39,15 +39,30 @@
 //! Robustness features that mutate results (shedding ladders, validation,
 //! deadlines, memory budgets) are single-store concerns and are not
 //! driven by this executor.
+//!
+//! ## Supervision
+//!
+//! Worker bodies run inside `catch_unwind`: a panicking worker poisons the
+//! epoch barrier (so siblings parked at an exchange rendezvous wake and
+//! bail instead of deadlocking) and the whole epoch is **quarantined** —
+//! [`ShardedScubaOperator::try_evaluate`] returns a typed
+//! [`WorkerFailure`] and discards every stripe's output, because the
+//! panicking worker may have died mid-mutation. The caller is expected to
+//! restore all stripes from durable state ([`crate::durability`]) before
+//! retrying; the plain [`ContinuousOperator::evaluate`] path records the
+//! failure as a fatal [`ContinuousOperator::fault`] so an unsupervised
+//! executor aborts cleanly rather than continuing on suspect state.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use scuba_motion::{EntityRef, LocationUpdate, ObjectId, QueryId, QuerySpec};
 use scuba_spatial::{Circle, FxHashMap, GridSpec, Point, Rect, Time};
 use scuba_stream::{
-    ContinuousOperator, EvaluationReport, PhaseBreakdown, QueryMatch, StageStats, Stopwatch,
+    ContinuousOperator, EvaluationReport, PanicInjector, PhaseBreakdown, QueryMatch, StageStats,
+    Stopwatch,
 };
 
 use crate::cluster::MovingCluster;
@@ -55,8 +70,110 @@ use crate::clustering::ClusterEngine;
 use crate::engine::{STAGE_GRID_REBALANCE, STAGE_KNN, STAGE_POST_JOIN, STAGE_PRE_JOIN_TIGHTEN};
 use crate::join::{JoinCache, JoinContext, JoinScratch};
 use crate::params::ScubaParams;
+use crate::snapshot::{EngineSnapshot, SnapshotError};
 use crate::store::ClusterSlot;
 use crate::tables::QueriesTable;
+
+/// A shard worker died mid-epoch. The epoch's outputs are quarantined:
+/// the panicking worker may have been interrupted mid-mutation, so every
+/// stripe engine must be considered suspect until restored from durable
+/// state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFailure {
+    /// Index of the stripe whose worker panicked.
+    pub shard: usize,
+    /// The evaluation time at which the epoch failed.
+    pub now: Time,
+    /// The panic payload, when it carried a message.
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard worker {} panicked at t={}: {}",
+            self.shard, self.now, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerFailure {}
+
+/// Marker returned up a worker's call chain when a *sibling* poisoned the
+/// epoch: the worker abandons its remaining stages instead of waiting on
+/// rendezvous that will never complete.
+struct EpochAborted;
+
+/// A reusable rendezvous like [`std::sync::Barrier`], plus poisoning: a
+/// panicking worker calls [`EpochBarrier::poison`] and every current and
+/// future waiter returns `Err(EpochAborted)` immediately instead of
+/// blocking for a participant that will never arrive.
+struct EpochBarrier {
+    state: Mutex<BarrierState>,
+    cvar: Condvar,
+    participants: usize,
+}
+
+struct BarrierState {
+    waiting: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+impl EpochBarrier {
+    fn new(participants: usize) -> Self {
+        EpochBarrier {
+            state: Mutex::new(BarrierState {
+                waiting: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cvar: Condvar::new(),
+            participants,
+        }
+    }
+
+    /// Blocks until all participants arrive (or the barrier is poisoned).
+    fn wait(&self) -> Result<(), EpochAborted> {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if state.poisoned {
+            return Err(EpochAborted);
+        }
+        state.waiting += 1;
+        if state.waiting == self.participants {
+            state.waiting = 0;
+            state.generation += 1;
+            self.cvar.notify_all();
+            return Ok(());
+        }
+        let generation = state.generation;
+        while state.generation == generation && !state.poisoned {
+            state = self
+                .cvar
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if state.poisoned {
+            Err(EpochAborted)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Marks the epoch dead and wakes every parked waiter.
+    fn poison(&self) {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.poisoned = true;
+        self.cvar.notify_all();
+    }
+}
 
 /// Stage name: update routing and cross-stripe handoff (maintenance
 /// bucket). `items_in` = updates routed since the last evaluation,
@@ -173,6 +290,11 @@ pub struct ShardedScubaOperator {
     /// Ghosts shipped / received during the most recent evaluation.
     last_ghosts_sent: u64,
     last_ghosts_received: u64,
+    /// Deterministic worker-panic injection, for supervision tests.
+    panics: Option<Arc<PanicInjector>>,
+    /// A worker failure observed by the plain [`ContinuousOperator`]
+    /// evaluate path; reported through [`ContinuousOperator::fault`].
+    fatal: Option<String>,
 }
 
 impl ShardedScubaOperator {
@@ -231,7 +353,32 @@ impl ShardedScubaOperator {
             ghosts_sent_total: 0,
             last_ghosts_sent: 0,
             last_ghosts_received: 0,
+            panics: None,
+            fatal: None,
         }
+    }
+
+    /// Attaches a deterministic worker-panic injector: each worker asks
+    /// `injector.arm(now, shard)` once per evaluation (right before the
+    /// ghost exchange, after the engine has already been mutated by
+    /// tightening — so surviving an injected panic genuinely requires a
+    /// restore) and panics when it fires.
+    pub fn with_panic_injector(mut self, injector: Arc<PanicInjector>) -> Self {
+        self.panics = Some(injector);
+        self
+    }
+
+    /// Attaches (or detaches, with `None`) the panic injector in place —
+    /// the supervised loop re-attaches the shared injector after restoring
+    /// an operator from durable state, so re-armed fault sites keep firing
+    /// across restarts.
+    pub fn set_panic_injector(&mut self, injector: Option<Arc<PanicInjector>>) {
+        self.panics = injector;
+    }
+
+    /// The parameters this executor was built with.
+    pub fn params(&self) -> &ScubaParams {
+        &self.params
     }
 
     /// The number of stripe-owned shards actually running (requested count
@@ -261,6 +408,54 @@ impl ShardedScubaOperator {
     /// (diagnostics, tests).
     pub fn engines(&self) -> impl Iterator<Item = &ClusterEngine> {
         self.shards.iter().map(|s| &s.engine)
+    }
+
+    /// Captures every stripe engine as a snapshot, in stripe order — the
+    /// sharded counterpart of [`EngineSnapshot::capture`]. Operator
+    /// transients (per-stripe join caches, the epoch clocks' cache
+    /// warmth) are not part of the capture; they only affect work
+    /// counters, never results.
+    pub fn capture_stripes(&self) -> Vec<EngineSnapshot> {
+        self.shards
+            .iter()
+            .map(|s| EngineSnapshot::capture(&s.engine))
+            .collect()
+    }
+
+    /// Rebuilds a sharded operator from per-stripe snapshots produced by
+    /// [`ShardedScubaOperator::capture_stripes`]. Geometry (`params`,
+    /// `area`) is taken from the snapshots themselves, so the restored
+    /// router reproduces the stripe map the capture ran under; the
+    /// entity→owner map is rebuilt from cluster membership. Per-stripe
+    /// join caches start cold, which changes work counters but not
+    /// results (the cache identity property).
+    ///
+    /// Note: entities evicted by a TTL between their last update and the
+    /// capture are absent from membership and therefore from the rebuilt
+    /// owner map, exactly as they are absent from a restored single-store
+    /// engine.
+    pub fn from_stripes(stripes: &[EngineSnapshot]) -> Result<Self, SnapshotError> {
+        let first = stripes.first().ok_or(SnapshotError::ShardMismatch {
+            found: 0,
+            expected: 1,
+        })?;
+        let mut op = ShardedScubaOperator::new(first.params, first.area);
+        if stripes.len() != op.shards.len() {
+            return Err(SnapshotError::ShardMismatch {
+                found: stripes.len(),
+                expected: op.shards.len(),
+            });
+        }
+        for (idx, snap) in stripes.iter().enumerate() {
+            let engine = snap.restore()?;
+            for cluster in engine.clusters().values() {
+                for member in cluster.members() {
+                    op.owner.insert(member.entity, idx as u16);
+                }
+            }
+            op.shards[idx].engine = engine;
+        }
+        Ok(op)
     }
 
     /// The stripe owning a position (by its grid column).
@@ -344,7 +539,48 @@ impl ContinuousOperator for ShardedScubaOperator {
         self.apply_routes();
     }
 
+    /// Delegates to [`ShardedScubaOperator::try_evaluate`]; a worker
+    /// failure is recorded as a fatal fault (surfaced through
+    /// [`ContinuousOperator::fault`], aborting a plain executor run) and
+    /// an empty report is returned for the quarantined epoch.
     fn evaluate(&mut self, now: Time) -> EvaluationReport {
+        match self.try_evaluate(now) {
+            Ok(report) => report,
+            Err(failure) => {
+                self.fatal = Some(failure.to_string());
+                EvaluationReport {
+                    now,
+                    ..Default::default()
+                }
+            }
+        }
+    }
+
+    fn fault(&self) -> Option<String> {
+        self.fatal.clone()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.engine.estimated_bytes()).sum()
+    }
+
+    fn clusters_live(&self) -> Option<usize> {
+        Some(self.shards.iter().map(|s| s.engine.cluster_count()).sum())
+    }
+}
+
+impl ShardedScubaOperator {
+    /// Runs one evaluation epoch across all stripe workers, returning a
+    /// typed [`WorkerFailure`] instead of propagating a worker panic. On
+    /// failure the whole epoch is quarantined: no stripe's output is
+    /// merged (the panicking worker may have died mid-mutation) and the
+    /// engines must be restored from durable state before the tick is
+    /// retried — see [`crate::durability::run_supervised`].
+    pub fn try_evaluate(&mut self, now: Time) -> Result<EvaluationReport, WorkerFailure> {
         self.evaluations += 1;
         let mut phases = PhaseBreakdown::new();
         phases.push(
@@ -359,7 +595,7 @@ impl ContinuousOperator for ShardedScubaOperator {
 
         let k = self.shards.len();
         let params = self.params;
-        let barrier = Barrier::new(k);
+        let barrier = EpochBarrier::new(k);
         // Global maximum effective cluster radius this Δ, as non-negative
         // f64 bits (bit order == value order for non-negative floats).
         let max_reach_bits = AtomicU64::new(0);
@@ -371,36 +607,81 @@ impl ContinuousOperator for ShardedScubaOperator {
             .collect();
         let stripe_lo = &self.stripe_lo;
         let stripe_hi = &self.stripe_hi;
+        let injector = self.panics.as_deref();
 
-        let outputs: Vec<ShardOutput> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                .enumerate()
-                .map(|(s, state)| {
-                    let barrier = &barrier;
-                    let max_reach_bits = &max_reach_bits;
-                    let mailboxes = &mailboxes;
-                    scope.spawn(move || {
-                        shard_evaluate(
-                            s,
-                            state,
-                            now,
-                            &params,
-                            barrier,
-                            max_reach_bits,
-                            mailboxes,
-                            stripe_lo,
-                            stripe_hi,
-                        )
+        // Worker protocol: a panic is caught, poisons the barrier (waking
+        // siblings parked at a rendezvous) and surfaces as `Err(Some(msg))`;
+        // a sibling that bails on the poisoned barrier surfaces as
+        // `Err(None)`. `join()` itself can no longer panic.
+        let worker_results: Vec<Result<ShardOutput, Option<String>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(s, state)| {
+                        let barrier = &barrier;
+                        let max_reach_bits = &max_reach_bits;
+                        let mailboxes = &mailboxes;
+                        scope.spawn(move || {
+                            match catch_unwind(AssertUnwindSafe(|| {
+                                shard_evaluate(
+                                    s,
+                                    state,
+                                    now,
+                                    &params,
+                                    barrier,
+                                    max_reach_bits,
+                                    mailboxes,
+                                    stripe_lo,
+                                    stripe_hi,
+                                    injector,
+                                )
+                            })) {
+                                Ok(Ok(output)) => Ok(output),
+                                Ok(Err(EpochAborted)) => Err(None),
+                                Err(payload) => {
+                                    barrier.poison();
+                                    Err(Some(panic_message(payload.as_ref())))
+                                }
+                            }
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        });
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("supervised worker wrapper never panics"))
+                    .collect()
+            });
+
+        let mut outputs = Vec::with_capacity(k);
+        let mut failure: Option<WorkerFailure> = None;
+        for (s, result) in worker_results.into_iter().enumerate() {
+            match result {
+                Ok(output) => outputs.push(output),
+                Err(message) => {
+                    // Prefer the shard that actually panicked over siblings
+                    // that merely bailed on the poisoned epoch.
+                    let panicked = message.is_some();
+                    let candidate = WorkerFailure {
+                        shard: s,
+                        now,
+                        message: message
+                            .unwrap_or_else(|| "epoch aborted by a sibling worker's panic".into()),
+                    };
+                    match &failure {
+                        Some(prev) if panicked && prev.message.starts_with("epoch aborted") => {
+                            failure = Some(candidate)
+                        }
+                        Some(_) => {}
+                        None => failure = Some(candidate),
+                    }
+                }
+            }
+        }
+        if let Some(failure) = failure {
+            return Err(failure);
+        }
 
         let sw = Stopwatch::start();
         let mut results: Vec<QueryMatch> = Vec::new();
@@ -430,45 +711,46 @@ impl ContinuousOperator for ShardedScubaOperator {
                 .with_items(before, results.len() as u64),
         );
 
-        EvaluationReport {
+        Ok(EvaluationReport {
             now,
             results,
             phases,
             memory_bytes,
             comparisons,
             prefilter_tests,
-        }
+        })
     }
+}
 
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn memory_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.engine.estimated_bytes()).sum()
-    }
-
-    fn clusters_live(&self) -> Option<usize> {
-        Some(self.shards.iter().map(|s| s.engine.cluster_count()).sum())
+/// Renders a caught panic payload for [`WorkerFailure::message`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
 /// One worker's per-Δ pipeline: the single-store evaluation stages plus
 /// the ghost exchange, in an order that keeps positions exact — ghosts are
 /// built and the cross-join runs strictly *before* post-join maintenance
-/// advances anything.
+/// advances anything. Returns `Err(EpochAborted)` when a sibling poisoned
+/// the epoch barrier mid-rendezvous.
 #[allow(clippy::too_many_arguments)]
 fn shard_evaluate(
     s: usize,
     state: &mut ShardState,
     now: Time,
     params: &ScubaParams,
-    barrier: &Barrier,
+    barrier: &EpochBarrier,
     max_reach_bits: &AtomicU64,
     mailboxes: &[Vec<Mutex<Vec<Ghost>>>],
     stripe_lo: &[f64],
     stripe_hi: &[f64],
-) -> ShardOutput {
+    injector: Option<&PanicInjector>,
+) -> Result<ShardOutput, EpochAborted> {
     let engine = &mut state.engine;
     let mut phases = PhaseBreakdown::new();
     let clusters_before = engine.cluster_count() as u64;
@@ -491,6 +773,16 @@ fn shard_evaluate(
             .with_items(clusters_before, clusters_before),
     );
 
+    // Deterministic panic injection, placed after the engine has already
+    // been mutated (tighten/rebalance) and before the first rendezvous:
+    // surviving the injected panic genuinely requires restoring the
+    // stripes, and parked siblings exercise the poison path.
+    if let Some(inj) = injector {
+        if inj.arm(now, s as u64) {
+            panic!("injected worker panic: shard {s}, tick {now}");
+        }
+    }
+
     // Exchange, step 1: agree on the halo width. Every true cross-stripe
     // match needs the partner within reach + M_global of this cluster's
     // centroid (DESIGN §4.8), where M_global is the widest effective
@@ -501,7 +793,7 @@ fn shard_evaluate(
         local_max = local_max.max(cluster.radius() + cluster.max_query_radius());
     }
     max_reach_bits.fetch_max(local_max.to_bits(), Ordering::Relaxed);
-    barrier.wait();
+    barrier.wait()?;
     let m_global = f64::from_bits(max_reach_bits.load(Ordering::Relaxed));
 
     // Exchange, step 2: ship ghosts. Pairs are evaluated once, on the
@@ -518,17 +810,23 @@ fn shard_evaluate(
                 continue;
             }
             let g = ghost.get_or_insert_with(|| build_ghost(cluster, engine.queries()));
+            // A mailbox lock poisoned by a panicked sibling is still
+            // usable — the epoch is quarantined wholesale anyway.
             mailboxes[dest][s]
                 .lock()
-                .expect("ghost mailbox poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .push(g.clone());
             ghosts_sent += 1;
         }
     }
-    barrier.wait();
+    barrier.wait()?;
     let mut ghosts: Vec<Ghost> = Vec::new();
     for src in mailboxes[s].iter() {
-        ghosts.append(&mut src.lock().expect("ghost mailbox poisoned"));
+        ghosts.append(
+            &mut src
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
     }
     let exchange_prep = sw_exchange.elapsed();
 
@@ -613,7 +911,7 @@ fn shard_evaluate(
             .with_items(clusters_before, engine.cluster_count() as u64),
     );
 
-    ShardOutput {
+    Ok(ShardOutput {
         results: join.results,
         phases,
         comparisons: join.comparisons,
@@ -621,7 +919,7 @@ fn shard_evaluate(
         memory_bytes: engine.estimated_bytes(),
         ghosts_sent,
         ghosts_received: ghosts.len() as u64,
-    }
+    })
 }
 
 /// Replicates one cluster into a [`Ghost`], mirroring join-within's member
@@ -899,6 +1197,111 @@ mod tests {
         for engine in sharded.engines() {
             engine.check_invariants();
         }
+    }
+
+    #[test]
+    fn stripe_capture_restore_preserves_results() {
+        let params = ScubaParams::default().with_shards(4);
+        let mut original = ShardedScubaOperator::new(params, area());
+        for i in 0..60u64 {
+            let x = 30.0 + (i * 37 % 940) as f64;
+            let y = 30.0 + (i * 61 % 940) as f64;
+            let u = if i % 2 == 0 {
+                obj(i, x, y)
+            } else {
+                qry(i, x, y, 50.0)
+            };
+            original.process_update(&u);
+        }
+        let stripes = original.capture_stripes();
+        assert_eq!(stripes.len(), original.shard_count());
+        let mut restored = ShardedScubaOperator::from_stripes(&stripes).expect("restores");
+        assert_eq!(restored.shard_count(), original.shard_count());
+
+        // Continue both with the same stream; results must stay identical
+        // (the restored side starts with cold caches — counters may
+        // differ, answers may not).
+        for round in 1..=3u64 {
+            let batch: Vec<LocationUpdate> = (0..60u64)
+                .map(|i| {
+                    let x = 30.0 + ((i * 37 + round * 13) % 940) as f64;
+                    let y = 30.0 + ((i * 61 + round * 7) % 940) as f64;
+                    obj_at(i * 2, x, y, round)
+                })
+                .collect();
+            original.process_batch(&batch);
+            restored.process_batch(&batch);
+            let a = original.evaluate(round * 2);
+            let b = restored.evaluate(round * 2);
+            assert_eq!(a.results, b.results, "round {round}");
+        }
+        // Capturing the restored operator reproduces the evolved state.
+        assert_eq!(original.capture_stripes(), restored.capture_stripes());
+    }
+
+    #[test]
+    fn from_stripes_rejects_wrong_stripe_count() {
+        let params = ScubaParams::default().with_shards(2);
+        let op = ShardedScubaOperator::new(params, area());
+        let mut stripes = op.capture_stripes();
+        stripes.pop();
+        assert!(matches!(
+            ShardedScubaOperator::from_stripes(&stripes),
+            Err(SnapshotError::ShardMismatch {
+                found: 1,
+                expected: 2
+            })
+        ));
+        assert!(matches!(
+            ShardedScubaOperator::from_stripes(&[]),
+            Err(SnapshotError::ShardMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_panic_surfaces_as_typed_failure() {
+        use scuba_stream::{PanicInjector, PanicPlan};
+        let params = ScubaParams::default().with_shards(4);
+        let injector = Arc::new(PanicInjector::new(PanicPlan {
+            seed: 3,
+            panic_prob: 1.0,
+            rearm: false,
+        }));
+        let mut sharded =
+            ShardedScubaOperator::new(params, area()).with_panic_injector(Arc::clone(&injector));
+        for i in 0..40u64 {
+            let x = 30.0 + (i * 37 % 940) as f64;
+            sharded.process_update(&obj(i, x, 500.0));
+        }
+        let failure = sharded.try_evaluate(2).expect_err("all workers panic");
+        assert_eq!(failure.now, 2);
+        assert!(failure.message.contains("injected worker panic"));
+        assert!(injector.fired() > 0);
+        // Transient sites: the retry fires nothing new, and on restored
+        // state it would succeed — here the un-restored retry still runs
+        // to completion because panics were one-shot.
+        assert!(sharded.try_evaluate(2).is_ok());
+    }
+
+    #[test]
+    fn unsupervised_evaluate_reports_worker_failure_as_fault() {
+        use scuba_stream::{PanicInjector, PanicPlan};
+        let params = ScubaParams::default().with_shards(2);
+        let injector = Arc::new(PanicInjector::new(PanicPlan {
+            seed: 7,
+            panic_prob: 1.0,
+            rearm: true,
+        }));
+        let mut sharded = ShardedScubaOperator::new(params, area()).with_panic_injector(injector);
+        sharded.process_update(&obj(1, 100.0, 500.0));
+        assert_eq!(sharded.fault(), None);
+        let report = sharded.evaluate(2);
+        assert!(
+            report.results.is_empty(),
+            "quarantined epoch yields nothing"
+        );
+        let fault = sharded.fault().expect("failure recorded");
+        assert!(fault.contains("panicked at t=2"), "got: {fault}");
     }
 
     #[test]

@@ -21,6 +21,71 @@ use crate::clustering::ClusterEngine;
 use crate::params::ScubaParams;
 use crate::tables::{ObjectsTable, QueriesTable};
 
+/// Why a snapshot (or a durable checkpoint wrapping one) could not be
+/// loaded. Typed so callers can distinguish "stale format" from "bit rot"
+/// from "internally inconsistent" instead of pattern-matching strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The payload was not valid snapshot JSON.
+    Json(String),
+    /// The snapshot parsed but describes an impossible engine state
+    /// (duplicate cluster ids, an entity in two clusters, invalid params,
+    /// ids past the counter, …).
+    Inconsistent(String),
+    /// A checkpoint file did not start with the checkpoint magic bytes.
+    NotACheckpoint,
+    /// A checkpoint file was written by an unsupported format version.
+    VersionMismatch {
+        /// Version found in the file header.
+        found: u32,
+        /// Newest version this build understands.
+        supported: u32,
+    },
+    /// The payload checksum did not match the header — bit rot or a torn
+    /// write that survived the length check.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u32,
+        /// Checksum recomputed over the payload.
+        computed: u32,
+    },
+    /// The file ended before the length declared in its header.
+    Truncated,
+    /// A sharded checkpoint holds a different stripe count than the
+    /// operator being restored.
+    ShardMismatch {
+        /// Stripes found in the checkpoint.
+        found: usize,
+        /// Stripes the operator expects.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Json(e) => write!(f, "bad snapshot JSON: {e}"),
+            SnapshotError::Inconsistent(e) => write!(f, "inconsistent snapshot: {e}"),
+            SnapshotError::NotACheckpoint => write!(f, "not a checkpoint file (bad magic)"),
+            SnapshotError::VersionMismatch { found, supported } => write!(
+                f,
+                "unsupported checkpoint version {found} (this build supports up to {supported})"
+            ),
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: header says {stored:#010x}, payload hashes to {computed:#010x}"
+            ),
+            SnapshotError::Truncated => write!(f, "checkpoint truncated before its declared length"),
+            SnapshotError::ShardMismatch { found, expected } => write!(
+                f,
+                "checkpoint has {found} stripe snapshots but the operator expects {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
 /// One member in snapshot form.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MemberSnapshot {
@@ -138,7 +203,7 @@ impl EngineSnapshot {
     /// restored params (empty dead-letter buffer, ladder at `None`), and
     /// the join cache starts cold. Only clustering state survives a
     /// crash, matching what the paper's engine would rebuild.
-    pub fn restore(&self) -> Result<ClusterEngine, String> {
+    pub fn restore(&self) -> Result<ClusterEngine, SnapshotError> {
         let clusters: Vec<MovingCluster> = self
             .clusters
             .iter()
@@ -188,6 +253,7 @@ impl EngineSnapshot {
             self.next_cluster_id,
             self.updates_processed,
         )
+        .map_err(SnapshotError::Inconsistent)
     }
 
     /// Serialises to pretty JSON.
@@ -196,8 +262,8 @@ impl EngineSnapshot {
     }
 
     /// Parses a snapshot from JSON.
-    pub fn from_json(json: &str) -> Result<Self, String> {
-        serde_json::from_str(json).map_err(|e| format!("bad snapshot JSON: {e}"))
+    pub fn from_json(json: &str) -> Result<Self, SnapshotError> {
+        serde_json::from_str(json).map_err(|e| SnapshotError::Json(e.to_string()))
     }
 }
 
@@ -375,15 +441,48 @@ mod tests {
         // Duplicate a cluster id.
         let dup = snapshot.clusters[0].clone();
         snapshot.clusters.push(dup);
-        assert!(snapshot.restore().is_err());
+        assert!(matches!(
+            snapshot.restore(),
+            Err(SnapshotError::Inconsistent(_))
+        ));
 
         let mut snapshot = EngineSnapshot::capture(&busy_engine());
         snapshot.next_cluster_id = 0; // ids no longer below the counter
         if !snapshot.clusters.is_empty() {
-            assert!(snapshot.restore().is_err());
+            assert!(matches!(
+                snapshot.restore(),
+                Err(SnapshotError::Inconsistent(_))
+            ));
         }
 
-        assert!(EngineSnapshot::from_json("{not json").is_err());
+        assert!(matches!(
+            EngineSnapshot::from_json("{not json"),
+            Err(SnapshotError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_errors_implement_std_error() {
+        let errs: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(SnapshotError::Json("eof".into())),
+            Box::new(SnapshotError::NotACheckpoint),
+            Box::new(SnapshotError::VersionMismatch {
+                found: 9,
+                supported: 1,
+            }),
+            Box::new(SnapshotError::ChecksumMismatch {
+                stored: 1,
+                computed: 2,
+            }),
+            Box::new(SnapshotError::Truncated),
+            Box::new(SnapshotError::ShardMismatch {
+                found: 2,
+                expected: 4,
+            }),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
     }
 
     #[test]

@@ -70,6 +70,11 @@ pub struct RunReport {
     /// run.
     #[serde(default)]
     pub aborted: Option<String>,
+    /// How many times a supervisor restored the operator from durable
+    /// state after a worker failure. Always `0` for plain
+    /// [`Executor::run`] runs; populated by supervised execution loops.
+    #[serde(default)]
+    pub restarts: u64,
 }
 
 impl RunReport {

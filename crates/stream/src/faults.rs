@@ -12,6 +12,9 @@
 //! operator (see [`crate::executor::Executor::run_with_faults`]); the
 //! operator under test cannot tell injected faults from real ones.
 
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use serde::{Deserialize, Serialize};
 
 use scuba_motion::LocationUpdate;
@@ -233,6 +236,106 @@ impl FaultInjector {
     }
 }
 
+/// A seeded schedule of *worker panics*, the process-internal counterpart
+/// to the transport faults above. `panic_prob` is evaluated independently
+/// per `(tick, worker)` site with a pure SplitMix64 hash, so the decision
+/// is a function of the plan alone — two injectors with the same plan
+/// agree on every site, and a supervisor that restores state and retries
+/// the same tick is spared a groundhog-day panic unless `rearm` asks for
+/// one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct PanicPlan {
+    /// Seed of the per-site hash.
+    pub seed: u64,
+    /// Probability a given `(tick, worker)` site panics, in `[0, 1]`.
+    pub panic_prob: f64,
+    /// When `true`, a site fires every time it is asked (a *persistent*
+    /// fault: retrying the same tick panics again, exhausting any restart
+    /// budget). When `false` (default) each site fires at most once per
+    /// injector, modelling a transient fault that a retry survives.
+    pub rearm: bool,
+}
+
+impl Default for PanicPlan {
+    fn default() -> Self {
+        PanicPlan {
+            seed: 1,
+            panic_prob: 0.0,
+            rearm: false,
+        }
+    }
+}
+
+impl PanicPlan {
+    /// Validates the probability range.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.panic_prob) {
+            return Err(format!(
+                "panic_prob must be in [0, 1], got {}",
+                self.panic_prob
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Applies a [`PanicPlan`]. Shared by reference across worker threads:
+/// every method takes `&self` and the fired-site memory is behind a lock.
+#[derive(Debug)]
+pub struct PanicInjector {
+    plan: PanicPlan,
+    fired_sites: parking_lot::Mutex<HashSet<(u64, u64)>>,
+    fired: AtomicU64,
+}
+
+impl PanicInjector {
+    /// Creates an injector for the plan (panics on an invalid plan — the
+    /// plan is test/bench configuration, not runtime input).
+    pub fn new(plan: PanicPlan) -> Self {
+        plan.validate()
+            .unwrap_or_else(|e| panic!("invalid panic plan: {e}"));
+        PanicInjector {
+            plan,
+            fired_sites: parking_lot::Mutex::new(HashSet::new()),
+            fired: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan in effect.
+    pub fn plan(&self) -> PanicPlan {
+        self.plan
+    }
+
+    /// How many times [`PanicInjector::arm`] returned `true`.
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Decides whether the `(tick, worker)` site should panic now. The
+    /// decision itself is a pure function of the plan; the injector only
+    /// remembers which sites already fired (unless `rearm`). The caller is
+    /// expected to `panic!` when this returns `true`.
+    pub fn arm(&self, tick: u64, worker: u64) -> bool {
+        if self.plan.panic_prob <= 0.0 {
+            return false;
+        }
+        let mut mix = Mix(self
+            .plan
+            .seed
+            .wrapping_add(tick.wrapping_mul(0x9e3779b97f4a7c15))
+            .wrapping_add(worker.wrapping_mul(0xc2b2ae3d27d4eb4f)));
+        if mix.chance() >= self.plan.panic_prob {
+            return false;
+        }
+        if !self.plan.rearm && !self.fired_sites.lock().insert((tick, worker)) {
+            return false;
+        }
+        self.fired.fetch_add(1, Ordering::SeqCst);
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,6 +496,71 @@ mod tests {
         let _ = FaultInjector::new(FaultPlan {
             corrupt_prob: -0.1,
             ..FaultPlan::default()
+        });
+    }
+
+    #[test]
+    fn panic_sites_are_deterministic_across_injectors() {
+        let plan = PanicPlan {
+            seed: 11,
+            panic_prob: 0.2,
+            rearm: true,
+        };
+        let a = PanicInjector::new(plan);
+        let b = PanicInjector::new(plan);
+        let sites = |inj: &PanicInjector| {
+            let mut fired = Vec::new();
+            for tick in 1..=50u64 {
+                for worker in 0..4u64 {
+                    if inj.arm(tick, worker) {
+                        fired.push((tick, worker));
+                    }
+                }
+            }
+            fired
+        };
+        let fa = sites(&a);
+        assert_eq!(fa, sites(&b), "same plan, same sites");
+        assert!(!fa.is_empty(), "prob 0.2 over 200 sites must fire");
+        assert!(fa.len() < 200, "and must not fire everywhere");
+        assert_eq!(a.fired(), fa.len() as u64);
+    }
+
+    #[test]
+    fn transient_sites_fire_once_persistent_sites_rearm() {
+        let transient = PanicInjector::new(PanicPlan {
+            seed: 5,
+            panic_prob: 1.0,
+            rearm: false,
+        });
+        assert!(transient.arm(3, 0), "first ask fires");
+        assert!(!transient.arm(3, 0), "retry of the same site survives");
+        assert!(transient.arm(3, 1), "other workers are independent sites");
+
+        let persistent = PanicInjector::new(PanicPlan {
+            seed: 5,
+            panic_prob: 1.0,
+            rearm: true,
+        });
+        assert!(persistent.arm(3, 0));
+        assert!(persistent.arm(3, 0), "rearmed site fires again");
+    }
+
+    #[test]
+    fn zero_probability_panic_plan_never_fires() {
+        let inj = PanicInjector::new(PanicPlan::default());
+        for tick in 1..=100u64 {
+            assert!(!inj.arm(tick, 0));
+        }
+        assert_eq!(inj.fired(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid panic plan")]
+    fn panic_injector_rejects_invalid_probability() {
+        let _ = PanicInjector::new(PanicPlan {
+            panic_prob: 2.0,
+            ..PanicPlan::default()
         });
     }
 }

@@ -39,8 +39,8 @@ pub mod trace;
 pub mod validate;
 
 pub use executor::{Executor, ExecutorConfig, RunReport, UpdateSource};
-pub use faults::{FaultInjector, FaultPlan, FaultStats};
-pub use metrics::{MetricsHub, Stopwatch};
+pub use faults::{FaultInjector, FaultPlan, FaultStats, PanicInjector, PanicPlan};
+pub use metrics::{LatencyTrack, MetricsHub, Stopwatch};
 pub use operator::{
     ContinuousOperator, EvaluationReport, PhaseBreakdown, PhaseKind, QueryMatch, StageRow,
     StageStats,

@@ -105,6 +105,55 @@ impl AggregateStats {
     }
 }
 
+/// A latency sample set with percentile queries, for health reporting in
+/// long-lived runs (e.g. the tick p99 a `serve` loop prints).
+///
+/// Samples are kept raw and sorted on demand; with one sample per
+/// evaluation this stays tiny compared to the engine state it describes.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyTrack {
+    samples: Vec<Duration>,
+}
+
+impl LatencyTrack {
+    /// Creates an empty track.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, sample: Duration) {
+        self.samples.push(sample);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `p`-th percentile (nearest-rank, `p` in `[0, 100]`) of all
+    /// samples recorded so far; [`Duration::ZERO`] when empty.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    }
+
+    /// Maximum sample recorded; [`Duration::ZERO`] when empty.
+    pub fn max(&self) -> Duration {
+        self.samples.iter().copied().max().unwrap_or(Duration::ZERO)
+    }
+}
+
 /// A thread-safe collector of evaluation reports.
 ///
 /// The executor can run the update source on another thread; operators push
@@ -209,6 +258,31 @@ mod tests {
         assert_eq!(stats.evaluations, 0);
         assert_eq!(stats.mean_join_time(), Duration::ZERO);
         assert_eq!(stats.mean_memory_bytes, 0);
+    }
+
+    #[test]
+    fn latency_track_percentiles() {
+        let mut track = LatencyTrack::new();
+        assert!(track.is_empty());
+        assert_eq!(track.percentile(99.0), Duration::ZERO);
+        for ms in 1..=100u64 {
+            track.record(Duration::from_millis(ms));
+        }
+        assert_eq!(track.len(), 100);
+        assert_eq!(track.percentile(50.0), Duration::from_millis(50));
+        assert_eq!(track.percentile(99.0), Duration::from_millis(99));
+        assert_eq!(track.percentile(100.0), Duration::from_millis(100));
+        assert_eq!(track.percentile(0.0), Duration::from_millis(1));
+        assert_eq!(track.max(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn latency_track_single_sample() {
+        let mut track = LatencyTrack::new();
+        track.record(Duration::from_micros(7));
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(track.percentile(p), Duration::from_micros(7));
+        }
     }
 
     #[test]
