@@ -1,0 +1,276 @@
+//! `churn` — query-lifecycle control-plane cost model (ISSUE 10).
+//!
+//! Measures what live register/deregister traffic costs the engine
+//! (default: 20 000 objects, 400 queries, 24 ticks): sustained ingest
+//! throughput (updates/sec) and p99 tick latency at churn rates
+//! {0, 1%, 5%, 20%} per Δ, with the join cache on and off.
+//!
+//! Two runtime identity asserts gate the numbers:
+//!
+//! * at every churn rate the cache-on and cache-off runs must produce
+//!   bit-identical evaluation results — the bench refuses to report a
+//!   cache that changes answers under churn;
+//! * the join-cache hit rate at 1% churn must stay within 10% of the
+//!   zero-churn hit rate — deregistration dirties exactly the clusters
+//!   that held the query, so light churn must not trash the cache.
+//!
+//! Emits `BENCH_query_churn.json` at the workspace root (and a text
+//! table on stdout).
+//!
+//! Usage: `churn [--objects N] [--queries N] [--duration EPOCHS]
+//! [--out FILE] [--json]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use scuba::join::STAGE_JOIN_WITHIN;
+use scuba::{ScubaOperator, ScubaParams};
+use scuba_bench::table::{f1, TextTable};
+use scuba_bench::{ExperimentScale, HarnessArgs};
+use scuba_generator::WorkloadGenerator;
+use scuba_roadnet::SyntheticCity;
+use scuba_stream::{ContinuousOperator, EvaluationReport};
+
+/// Churn rates swept, as per-query deregister probability per tick.
+const RATES: [f64; 4] = [0.0, 0.01, 0.05, 0.20];
+/// Mean ticks a deregistered query stays dead before re-registering.
+const LIFETIME_MEAN: f64 = 10.0;
+
+#[derive(Debug, Serialize)]
+struct ChurnRow {
+    /// Per-query deregister probability per tick.
+    rate: f64,
+    /// Whether the cross-epoch join cache was on.
+    cache: bool,
+    /// Sustained ingest + evaluate throughput.
+    updates_per_sec: f64,
+    /// Mean full-tick latency (controls + ingest + evaluation).
+    mean_tick_us: u128,
+    /// 99th-percentile full-tick latency.
+    p99_tick_us: u128,
+    /// Control ops delivered over the run.
+    controls_applied: u64,
+    /// Queries active when the run ended.
+    active_queries: u64,
+    /// Lifetime registrations (implicit + control-plane).
+    registered_total: u64,
+    /// Lifetime deregistrations.
+    deregistered_total: u64,
+    /// Dead-lettered control ops (deregister of a never-seen query).
+    unknown_total: u64,
+    /// Join-within cache hits summed over evaluations.
+    cache_hits: u64,
+    /// Join-within cache misses summed over evaluations.
+    cache_misses: u64,
+    /// hits / (hits + misses), 0 when the stage never ran.
+    cache_hit_rate: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ChurnBenchOut {
+    scale: ExperimentScale,
+    ticks: u64,
+    lifetime_mean: f64,
+    rows: Vec<ChurnRow>,
+    /// Cache-on ≡ cache-off evaluation results at every rate.
+    identity_ok: bool,
+    /// Cache hit rate with zero churn (cache on).
+    hit_rate_zero_churn: f64,
+    /// Cache hit rate at 1% churn (cache on).
+    hit_rate_one_pct_churn: f64,
+    /// |Δ hit rate| ≤ 10% of the zero-churn rate.
+    hit_rate_within_10pct: bool,
+}
+
+struct RunOutcome {
+    row: ChurnRow,
+    evaluations: Vec<EvaluationReport>,
+}
+
+fn p99(sorted_us: &[u128]) -> u128 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * 0.99).ceil() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+fn run_one(
+    network: &Arc<scuba_roadnet::RoadNetwork>,
+    area: scuba_spatial::Rect,
+    scale: &ExperimentScale,
+    ticks: u64,
+    rate: f64,
+    cache: bool,
+) -> RunOutcome {
+    let mut workload = scale.workload();
+    if rate > 0.0 {
+        workload = workload.with_query_churn(rate, LIFETIME_MEAN);
+    }
+    let mut generator = WorkloadGenerator::new(network.clone(), workload);
+    let mut op = ScubaOperator::new(
+        ScubaParams::default()
+            .with_grid_cells(scale.grid_cells)
+            .with_parallelism(scale.parallelism)
+            .with_join_cache(cache),
+        area,
+    );
+    let delta = scale.delta.max(1);
+
+    let mut evaluations = Vec::new();
+    let mut tick_us: Vec<u128> = Vec::with_capacity(ticks as usize);
+    let mut updates_total = 0u64;
+    let mut controls_total = 0u64;
+    for t in 1..=ticks {
+        let batch = if t == 1 {
+            generator.snapshot()
+        } else {
+            generator.tick()
+        };
+        let controls = generator.take_controls();
+        updates_total += batch.len() as u64;
+        controls_total += controls.len() as u64;
+        let started = Instant::now();
+        if !controls.is_empty() {
+            op.apply_control(&controls, t);
+        }
+        op.process_batch(&batch);
+        if t % delta == 0 {
+            evaluations.push(op.evaluate(t));
+        }
+        tick_us.push(started.elapsed().as_micros());
+    }
+
+    let total_us: u128 = tick_us.iter().sum();
+    let mut sorted = tick_us.clone();
+    sorted.sort_unstable();
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for rep in &evaluations {
+        if let Some(stage) = rep.phases.get(STAGE_JOIN_WITHIN) {
+            hits += stage.cache_hits;
+            misses += stage.cache_misses;
+        }
+    }
+    let probed = hits + misses;
+    let gauges = op.control_gauges();
+    RunOutcome {
+        row: ChurnRow {
+            rate,
+            cache,
+            updates_per_sec: updates_total as f64 / (total_us.max(1) as f64 / 1e6),
+            mean_tick_us: total_us / u128::from(ticks.max(1)),
+            p99_tick_us: p99(&sorted),
+            controls_applied: controls_total,
+            active_queries: gauges.active_queries,
+            registered_total: gauges.registered_total,
+            deregistered_total: gauges.deregistered_total,
+            unknown_total: gauges.unknown_total,
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if probed == 0 {
+                0.0
+            } else {
+                hits as f64 / probed as f64
+            },
+        },
+        evaluations,
+    }
+}
+
+fn main() {
+    let HarnessArgs {
+        scale, ticks, out, ..
+    } = HarnessArgs::parse("churn", "BENCH_query_churn.json", (20_000, 400, 24), &[1]);
+
+    eprintln!(
+        "churn: control-plane cost model — {} objects, {} queries, {} ticks, rates {:?}",
+        scale.objects, scale.queries, ticks, RATES
+    );
+
+    let city = SyntheticCity::build(scale.city());
+    let area = city
+        .network
+        .extent()
+        .expect("synthetic city is non-empty")
+        .inflate(50.0);
+    let network = Arc::new(city.network);
+
+    let mut rows = Vec::new();
+    let mut identity_ok = true;
+    let mut hit_rate_at = std::collections::BTreeMap::new();
+    for &rate in &RATES {
+        let on = run_one(&network, area, &scale, ticks, rate, true);
+        let off = run_one(&network, area, &scale, ticks, rate, false);
+        // Runtime identity assert: the cache must be answer-invisible
+        // under churn at every rate, tick by tick.
+        let same = on
+            .evaluations
+            .iter()
+            .zip(&off.evaluations)
+            .all(|(a, b)| a.now == b.now && a.results == b.results)
+            && on.evaluations.len() == off.evaluations.len();
+        assert!(
+            same,
+            "rate {rate}: cache-on and cache-off evaluation results diverged"
+        );
+        identity_ok &= same;
+        assert_eq!(
+            (on.row.registered_total, on.row.deregistered_total),
+            (off.row.registered_total, off.row.deregistered_total),
+            "rate {rate}: registry churn counters must not depend on the cache"
+        );
+        hit_rate_at.insert((rate * 1000.0) as u64, on.row.cache_hit_rate);
+        rows.push(on.row);
+        rows.push(off.row);
+    }
+
+    let hr0 = hit_rate_at[&0];
+    let hr1 = hit_rate_at[&10];
+    // Surgical invalidation gate: 1% churn may only move the hit rate by
+    // 10% of its zero-churn value (deregistration dirties exactly the
+    // clusters that held the query — never the whole cache).
+    let within = (hr1 - hr0).abs() <= 0.10 * hr0.max(f64::EPSILON);
+    assert!(
+        within,
+        "1% churn moved the cache hit rate from {hr0:.4} to {hr1:.4} (>10%): \
+         deregistration is not invalidating surgically"
+    );
+
+    let payload = ChurnBenchOut {
+        scale,
+        ticks,
+        lifetime_mean: LIFETIME_MEAN,
+        rows,
+        identity_ok,
+        hit_rate_zero_churn: hr0,
+        hit_rate_one_pct_churn: hr1,
+        hit_rate_within_10pct: within,
+    };
+
+    if !out.json_stdout {
+        let mut table = TextTable::new(vec![
+            "rate", "cache", "upd/s", "mean µs", "p99 µs", "ops", "active", "reg", "dereg",
+            "hit rate",
+        ]);
+        for row in &payload.rows {
+            table.row(vec![
+                format!("{:.0}%", row.rate * 100.0),
+                if row.cache { "on" } else { "off" }.to_string(),
+                f1(row.updates_per_sec),
+                row.mean_tick_us.to_string(),
+                row.p99_tick_us.to_string(),
+                row.controls_applied.to_string(),
+                row.active_queries.to_string(),
+                row.registered_total.to_string(),
+                row.deregistered_total.to_string(),
+                f1(row.cache_hit_rate * 100.0),
+            ]);
+        }
+        print!("{}", table.render());
+    }
+
+    let json = serde_json::to_string_pretty(&payload).expect("payload serialises");
+    out.emit(&json);
+}

@@ -161,7 +161,8 @@ fn main() {
             let stripes = vec![EngineSnapshot::capture(op.engine())];
             let capture_us = started.elapsed().as_micros();
             let started = Instant::now();
-            let bytes = scuba::durability::write_checkpoint(&dir, t, &stripes).unwrap();
+            let bytes =
+                scuba::durability::write_checkpoint(&dir, t, &stripes, op.registry()).unwrap();
             let write_us = started.elapsed().as_micros();
             let entities = (scale.objects + scale.queries).max(1);
             checkpoint = Some(CheckpointOut {

@@ -33,15 +33,42 @@ pub(crate) fn build_generator(config: &SimConfig, network: Arc<RoadNetwork>) -> 
 
 /// An update source that is either the live generator or a trace replay.
 pub(crate) enum Source {
-    Live(WorkloadGenerator),
+    Live {
+        generator: WorkloadGenerator,
+        /// A batch generated eagerly by `next_controls` (the executor asks
+        /// for a tick's controls *before* its batch, but the generator
+        /// produces both inside `tick()`), handed out by the following
+        /// `next_tick`.
+        pending: Option<Vec<scuba_motion::LocationUpdate>>,
+    },
     Trace(scuba_stream::TraceReader<std::io::BufReader<std::fs::File>>),
 }
 
 impl scuba_stream::executor::UpdateSource for Source {
     fn next_tick(&mut self) -> Vec<scuba_motion::LocationUpdate> {
         match self {
-            Source::Live(generator) => generator.tick(),
+            Source::Live { generator, pending } => {
+                pending.take().unwrap_or_else(|| generator.tick())
+            }
             Source::Trace(reader) => reader.next_tick(),
+        }
+    }
+
+    fn next_controls(&mut self) -> Vec<scuba_motion::ControlOp> {
+        match self {
+            Source::Live { generator, pending } => {
+                // Advance the simulation now so the controls belong to the
+                // tick whose batch `next_tick` is about to return —
+                // control-before-data within the same tick, everywhere.
+                if pending.is_none() {
+                    *pending = Some(generator.tick());
+                }
+                generator.take_controls()
+            }
+            // Traces carry no control stream (churned queries simply stop
+            // reporting in the recorded data); serve layers file-driven
+            // controls on top.
+            Source::Trace(_) => Vec::new(),
         }
     }
 }
@@ -120,6 +147,9 @@ pub(crate) fn open_source(
                 std::io::BufReader::new(file),
             )))
         }
-        None => Ok(Source::Live(build_generator(config, network))),
+        None => Ok(Source::Live {
+            generator: build_generator(config, network),
+            pending: None,
+        }),
     }
 }

@@ -61,6 +61,8 @@ struct OverloadOut {
 struct SimulateOut {
     operator: String,
     updates_ingested: usize,
+    /// Control ops (query register/deregister) applied ahead of batches.
+    controls_applied: usize,
     clusters_final: usize,
     total_results: usize,
     /// Cumulative per-stage pipeline costs over the run.
@@ -165,6 +167,7 @@ pub fn run(config: &SimConfig, opts: &OutputOptions, out: &mut dyn Write) -> std
         let payload = SimulateOut {
             operator: report.operator.clone(),
             updates_ingested: report.updates_ingested,
+            controls_applied: report.controls_applied,
             clusters_final: operator.engine().cluster_count(),
             total_results: report.total_results(),
             stages: report.stage_totals().rows(),
@@ -245,6 +248,18 @@ pub fn run(config: &SimConfig, opts: &OutputOptions, out: &mut dyn Write) -> std
         report.total_results(),
         operator.current_shedding(),
     )?;
+    if report.controls_applied > 0 {
+        let g = operator.control_gauges();
+        writeln!(
+            out,
+            "control plane: {} ops applied, {} active queries ({} registered, {} deregistered, {} unknown)",
+            report.controls_applied,
+            g.active_queries,
+            g.registered_total,
+            g.deregistered_total,
+            g.unknown_total,
+        )?;
+    }
     if let Some(reason) = &report.aborted {
         writeln!(out, "aborted: {reason}")?;
     }
@@ -311,6 +326,7 @@ fn run_sharded(
         let payload = SimulateOut {
             operator: report.operator.clone(),
             updates_ingested: report.updates_ingested,
+            controls_applied: report.controls_applied,
             clusters_final,
             total_results: report.total_results(),
             stages: report.stage_totals().rows(),
@@ -363,5 +379,17 @@ fn run_sharded(
         operator.ghost_refreshes(),
         report.total_results(),
     )?;
+    if report.controls_applied > 0 {
+        let g = operator.control_gauges();
+        writeln!(
+            out,
+            "control plane: {} ops applied, {} active queries ({} registered, {} deregistered, {} unknown)",
+            report.controls_applied,
+            g.active_queries,
+            g.registered_total,
+            g.deregistered_total,
+            g.unknown_total,
+        )?;
+    }
     Ok(())
 }

@@ -64,6 +64,12 @@ pub struct OutputOptions {
     /// `serve`/`simulate`: export quarantined dead letters to this JSON
     /// file at the end of the run.
     pub dead_letter_out: Option<String>,
+    /// `serve`: ndjson control file polled every tick for live query
+    /// register/deregister ops appended by an operator.
+    pub control: Option<String>,
+    /// `serve`: ndjson churn script replayed deterministically — each line
+    /// carries a `"t"` tick at which its control op is applied.
+    pub churn_script: Option<String>,
     /// `serve`: worker-panic restarts allowed per evaluation tick.
     pub max_restarts: u32,
     /// `serve`: probability an evaluation worker is hit by an injected
@@ -84,6 +90,8 @@ impl Default for OutputOptions {
             checkpoint_dir: None,
             checkpoint_every: 8,
             dead_letter_out: None,
+            control: None,
+            churn_script: None,
             max_restarts: 3,
             panic_prob: 0.0,
         }
@@ -257,6 +265,22 @@ impl SimConfig {
                 }
                 "--dead-letter-out" => {
                     opts.dead_letter_out = Some(value(flag)?.to_string());
+                    i += 2;
+                }
+                "--query-churn-rate" => {
+                    config.workload.query_churn_rate = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
+                "--query-lifetime-mean" => {
+                    config.workload.query_lifetime_mean = parse(value(flag)?, flag)?;
+                    i += 2;
+                }
+                "--control" => {
+                    opts.control = Some(value(flag)?.to_string());
+                    i += 2;
+                }
+                "--churn-script" => {
+                    opts.churn_script = Some(value(flag)?.to_string());
                     i += 2;
                 }
                 "--max-restarts" => {
@@ -450,6 +474,40 @@ mod tests {
         assert_eq!(c.params.shedding, SheddingMode::None);
         let (c, _) = SimConfig::from_args(&args(&["--eta", "1"])).unwrap();
         assert_eq!(c.params.shedding, SheddingMode::Full);
+    }
+
+    #[test]
+    fn churn_flags_set_workload_and_opts() {
+        let (c, o) = SimConfig::from_args(&[]).unwrap();
+        assert_eq!(c.workload.query_churn_rate, 0.0, "churn off by default");
+        assert_eq!(o.control, None);
+        assert_eq!(o.churn_script, None);
+        let (c, o) = SimConfig::from_args(&args(&[
+            "--query-churn-rate",
+            "0.05",
+            "--query-lifetime-mean",
+            "12",
+            "--control",
+            "ops.ndjson",
+            "--churn-script",
+            "script.ndjson",
+        ]))
+        .unwrap();
+        assert_eq!(c.workload.query_churn_rate, 0.05);
+        assert_eq!(c.workload.query_lifetime_mean, 12.0);
+        assert_eq!(o.control.as_deref(), Some("ops.ndjson"));
+        assert_eq!(o.churn_script.as_deref(), Some("script.ndjson"));
+        // Workload validation catches bad churn settings.
+        let err = SimConfig::from_args(&args(&["--query-churn-rate", "1.5"])).unwrap_err();
+        assert!(err.contains("query_churn_rate"), "{err}");
+        let err = SimConfig::from_args(&args(&[
+            "--query-churn-rate",
+            "0.1",
+            "--query-lifetime-mean",
+            "0.2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("query_lifetime_mean"), "{err}");
     }
 
     #[test]

@@ -18,7 +18,7 @@ fn tmp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-fn serve_command(ckpt: &Path, events: &Path) -> Command {
+fn serve_command(ckpt: &Path, events: &Path, script: &Path) -> Command {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_scuba-sim"));
     cmd.args([
         "serve",
@@ -30,6 +30,15 @@ fn serve_command(ckpt: &Path, events: &Path) -> Command {
         "14",
         "--seed",
         "42",
+        // Live query lifecycle: seeded generator churn registers and
+        // deregisters queries mid-run, so recovery must reproduce not
+        // just results but the exact active query set per tick.
+        "--query-churn-rate",
+        "0.08",
+        "--query-lifetime-mean",
+        "5",
+        "--churn-script",
+        script.to_str().unwrap(),
         "--checkpoint-dir",
         ckpt.to_str().unwrap(),
         "--checkpoint-every",
@@ -42,25 +51,46 @@ fn serve_command(ckpt: &Path, events: &Path) -> Command {
     cmd
 }
 
-/// Parses the ndjson event log into tick → (results, crc), keeping the
-/// last line per tick (a resumed run re-emits replayed ticks). Hand
-/// string parsing keeps the harness independent of any JSON library and
-/// shrugs off a torn final line from the killed process.
-fn events_by_tick(path: &Path) -> BTreeMap<u64, (u64, u64)> {
+/// A deterministic ndjson churn script exercising the scripted control
+/// channel beside the generator's own churn. The deregistered query is
+/// revived by its own data-plane report the same tick (the generator
+/// still emits it), so the script perturbs cluster state transiently
+/// without changing the steady-state active count.
+fn write_churn_script(dir: &Path) -> PathBuf {
+    let path = dir.join("churn.ndjson");
+    std::fs::write(
+        &path,
+        concat!(
+            "{\"t\":3,\"op\":\"deregister\",\"query\":10}\n",
+            "{\"t\":7,\"op\":\"register\",\"query\":10,\"x\":4000.0,\"y\":4000.0,\"range\":50.0}\n",
+        ),
+    )
+    .unwrap();
+    path
+}
+
+/// Parses the ndjson event log into tick → (results, active_queries,
+/// crc), keeping the last line per tick (a resumed run re-emits replayed
+/// ticks). Hand string parsing keeps the harness independent of any JSON
+/// library and shrugs off a torn final line from the killed process.
+fn events_by_tick(path: &Path) -> BTreeMap<u64, (u64, u64, u64)> {
     let text = std::fs::read_to_string(path).unwrap_or_default();
     let mut map = BTreeMap::new();
     for line in text.lines() {
         let Some((t, rest)) = field(line, "\"t\":") else {
             continue;
         };
-        let Some((results, _)) = field(rest, "\"results\":") else {
+        let Some((results, rest)) = field(rest, "\"results\":") else {
+            continue;
+        };
+        let Some((active, rest)) = field(rest, "\"active_queries\":") else {
             continue;
         };
         let Some((crc, _)) = field(rest, "\"crc\":") else {
             continue;
         };
         if line.trim_end().ends_with('}') {
-            map.insert(t, (results, crc));
+            map.insert(t, (results, active, crc));
         }
     }
     map
@@ -83,7 +113,8 @@ fn killed_serve_recovers_to_oracle_event_stream() {
     // Uninterrupted oracle.
     let oracle_dir = tmp_dir("oracle");
     let oracle_events = oracle_dir.join("events.ndjson");
-    let status = serve_command(&oracle_dir.join("state"), &oracle_events)
+    let oracle_script = write_churn_script(&oracle_dir);
+    let status = serve_command(&oracle_dir.join("state"), &oracle_events, &oracle_script)
         .status()
         .expect("oracle serve runs");
     assert!(status.success(), "oracle run failed: {status}");
@@ -93,13 +124,23 @@ fn killed_serve_recovers_to_oracle_event_stream() {
         (1..=7).map(|k| k * 2).collect::<Vec<_>>(),
         "oracle evaluates at every Δ boundary"
     );
+    let actives: std::collections::BTreeSet<u64> = oracle.values().map(|v| v.1).collect();
+    assert!(
+        actives.len() > 1,
+        "8% churn over 14 ticks must move the active-query gauge: {actives:?}"
+    );
+    assert!(
+        actives.iter().all(|&a| a > 0 && a <= 200),
+        "active queries stay within the population: {actives:?}"
+    );
 
     // Victim: spawn, kill partway, then rerun the identical command over
     // the same directory until it completes cleanly.
     let victim_dir = tmp_dir("victim");
     let victim_events = victim_dir.join("events.ndjson");
+    let victim_script = write_churn_script(&victim_dir);
     let ckpt = victim_dir.join("state");
-    let mut child = serve_command(&ckpt, &victim_events)
+    let mut child = serve_command(&ckpt, &victim_events, &victim_script)
         .spawn()
         .expect("victim serve spawns");
     std::thread::sleep(std::time::Duration::from_millis(40));
@@ -109,7 +150,7 @@ fn killed_serve_recovers_to_oracle_event_stream() {
     let _ = child.kill();
     let _ = child.wait();
 
-    let status = serve_command(&ckpt, &victim_events)
+    let status = serve_command(&ckpt, &victim_events, &victim_script)
         .status()
         .expect("recovery serve runs");
     assert!(status.success(), "recovery run failed: {status}");
@@ -117,7 +158,9 @@ fn killed_serve_recovers_to_oracle_event_stream() {
     let recovered = events_by_tick(&victim_events);
     assert_eq!(
         recovered, oracle,
-        "deduped event stream after kill + recovery must match the oracle"
+        "deduped event stream after kill + recovery must match the oracle \
+         (results, active query set, and crc per tick — the registry must \
+         survive SIGKILL via checkpoint + journal)"
     );
 
     let _ = std::fs::remove_dir_all(&oracle_dir);

@@ -57,6 +57,21 @@ pub struct WorkloadConfig {
     /// `[0, 1]`. `1.0` sends every trip endpoint to a hotspot; `0.0` keeps
     /// draws uniform even with hotspots configured.
     pub hotspot_intensity: f64,
+    /// Per-tick probability that each registered query deregisters, in
+    /// `[0, 1]`. `0.0` (the default) disables query churn entirely: no
+    /// churn RNG is created and the generated stream is byte-identical to
+    /// the pre-churn generator. When positive, the generator emits typed
+    /// `ControlOp::Deregister`/`Register` events (drained via
+    /// [`WorkloadGenerator::take_controls`](crate::WorkloadGenerator::take_controls))
+    /// and suppresses data-plane reports from deregistered queries so the
+    /// control plane alone governs the active set.
+    pub query_churn_rate: f64,
+    /// Mean number of ticks a churned query stays deregistered before
+    /// re-registering. Revival delays are drawn uniformly from
+    /// `[1, 2·mean − 1]`, so the long-run active fraction stays near
+    /// `1 / (1 + rate·mean)` of the query population. Must be ≥ 1 when
+    /// churn is on; ignored (and unvalidated) when `query_churn_rate == 0`.
+    pub query_lifetime_mean: f64,
     /// Metric used to route trips.
     pub route_metric: RouteMetric,
     /// RNG seed; equal configs over equal networks generate identical
@@ -80,6 +95,8 @@ impl Default for WorkloadConfig {
             hotspot_count: 0,
             hotspot_radius: 200.0,
             hotspot_intensity: 0.8,
+            query_churn_rate: 0.0,
+            query_lifetime_mean: 20.0,
             route_metric: RouteMetric::TravelTime,
             seed: 0x5C0B_A001,
         }
@@ -126,6 +143,18 @@ impl WorkloadConfig {
         }
     }
 
+    /// Returns the config with query churn configured: each registered
+    /// query deregisters with per-tick probability `rate` and returns
+    /// after a seeded delay with mean `lifetime_mean` ticks.
+    /// `rate == 0.0` disables churn.
+    pub fn with_query_churn(self, rate: f64, lifetime_mean: f64) -> Self {
+        WorkloadConfig {
+            query_churn_rate: rate,
+            query_lifetime_mean: lifetime_mean,
+            ..self
+        }
+    }
+
     /// Validates parameter ranges, returning a description of the first
     /// problem found.
     pub fn validate(&self) -> Result<(), String> {
@@ -152,6 +181,20 @@ impl WorkloadConfig {
         }
         if self.query_range_side < 0.0 {
             return Err("query_range_side must be non-negative".into());
+        }
+        if self.query_churn_rate != 0.0 {
+            if !(0.0..=1.0).contains(&self.query_churn_rate) {
+                return Err(format!(
+                    "query_churn_rate must be in [0, 1], got {}",
+                    self.query_churn_rate
+                ));
+            }
+            if self.query_lifetime_mean.is_nan() || self.query_lifetime_mean < 1.0 {
+                return Err(format!(
+                    "query_lifetime_mean must be >= 1 when churn is on, got {}",
+                    self.query_lifetime_mean
+                ));
+            }
         }
         if self.hotspot_count > 0 {
             if self.hotspot_radius <= 0.0 {
@@ -226,6 +269,9 @@ mod tests {
             base().with_hotspots(1, 0.0, 0.5),
             base().with_hotspots(1, 100.0, -0.1),
             base().with_hotspots(1, 100.0, 1.5),
+            base().with_query_churn(1.5, 20.0),
+            base().with_query_churn(-0.2, 20.0),
+            base().with_query_churn(0.05, 0.5),
         ];
         for (i, c) in cases.iter().enumerate() {
             assert!(c.validate().is_err(), "case {i} should be rejected");

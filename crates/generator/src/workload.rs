@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use scuba_motion::{
-    EntityAttrs, EntityRef, LocationUpdate, ObjectAttrs, ObjectClass, ObjectId, PiecewiseMotion,
-    QueryAttrs, QueryId, QuerySpec,
+    ControlOp, EntityAttrs, EntityRef, LocationUpdate, ObjectAttrs, ObjectClass, ObjectId,
+    PiecewiseMotion, QueryAttrs, QueryId, QuerySpec,
 };
 use scuba_roadnet::{NodeId, RoadNetwork, Router};
 use scuba_spatial::{FxHashMap, Point, Time};
@@ -75,6 +75,31 @@ impl GeneratedEntity {
     }
 }
 
+/// Per-query lifecycle state tracked when query churn is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueryLife {
+    /// Registered: the query reports data-plane updates as usual.
+    Active,
+    /// Deregistered until the given tick: no data-plane reports until a
+    /// `Register` control revives it at (or after) that tick.
+    DeadUntil(Time),
+}
+
+/// Register/deregister churn machinery, allocated only when
+/// `query_churn_rate > 0`. Keeping it in an `Option` guarantees the
+/// churn-off stream stays byte-identical to the pre-churn generator: no
+/// RNG is created, no extra draw happens per tick.
+#[derive(Debug)]
+struct ChurnState {
+    /// Dedicated RNG for churn decisions — motion and spawn draws never
+    /// share a stream with it, so churn on/off cannot perturb trajectories.
+    rng: StdRng,
+    /// Lifecycle per query, indexed by `QueryId.0`.
+    lives: Vec<QueryLife>,
+    /// Control events emitted since the last [`WorkloadGenerator::take_controls`].
+    pending: Vec<ControlOp>,
+}
+
 /// Streams location updates for a population of objects and queries moving
 /// over a road network.
 #[derive(Debug)]
@@ -88,6 +113,8 @@ pub struct WorkloadGenerator {
     /// the same route, so the Dijkstra runs once per group-trip instead of
     /// once per member. Cleared periodically to bound growth.
     route_cache: FxHashMap<(u32, usize), Vec<Point>>,
+    /// Query register/deregister churn; `None` when `query_churn_rate == 0`.
+    churn: Option<ChurnState>,
 }
 
 impl WorkloadGenerator {
@@ -201,6 +228,14 @@ impl WorkloadGenerator {
             });
         }
 
+        let churn = (config.query_churn_rate > 0.0).then(|| ChurnState {
+            // Domain-separated from every other generator stream (0xC4...
+            // ≈ "C4URN"); churn draws can never collide with motion draws.
+            rng: StdRng::seed_from_u64(config.seed ^ 0xC4A2_9E01_D3B7_55AAu64),
+            lives: vec![QueryLife::Active; config.num_queries],
+            pending: Vec::new(),
+        });
+
         WorkloadGenerator {
             network,
             config,
@@ -208,6 +243,7 @@ impl WorkloadGenerator {
             entities,
             clock: 0,
             route_cache,
+            churn,
         }
     }
 
@@ -240,10 +276,78 @@ impl WorkloadGenerator {
             .collect()
     }
 
+    /// Drains the typed control events (query register/deregister) emitted
+    /// since the last call. Always empty when `query_churn_rate == 0`.
+    ///
+    /// Controls drained after `tick()` belong to that tick and must be
+    /// applied *before* the tick's data batch — a query deregistered at
+    /// tick *t* no longer reports at *t*, and a query revived at *t*
+    /// resumes reporting at *t*.
+    pub fn take_controls(&mut self) -> Vec<ControlOp> {
+        self.churn
+            .as_mut()
+            .map(|c| std::mem::take(&mut c.pending))
+            .unwrap_or_default()
+    }
+
+    /// Number of currently registered queries (all of them when churn is
+    /// off).
+    pub fn active_queries(&self) -> usize {
+        match &self.churn {
+            Some(c) => c
+                .lives
+                .iter()
+                .filter(|l| **l == QueryLife::Active)
+                .count(),
+            None => self.config.num_queries,
+        }
+    }
+
+    /// One churn step: revives queries whose downtime expired, then rolls
+    /// the per-tick deregistration die for each registered query. No-op —
+    /// and no RNG draw — when churn is off.
+    fn step_churn(&mut self) {
+        let WorkloadGenerator {
+            churn,
+            entities,
+            config,
+            clock,
+            ..
+        } = self;
+        let Some(churn) = churn.as_mut() else {
+            return;
+        };
+        let clock = *clock;
+        let rate = config.query_churn_rate;
+        // Revival delay is uniform over [1, 2·mean − 1]: integer, mean
+        // ≈ query_lifetime_mean, bounded so no query vanishes forever.
+        let max_delay = (2.0 * config.query_lifetime_mean - 1.0).round().max(1.0) as u64;
+        for (q, life) in churn.lives.iter_mut().enumerate() {
+            match *life {
+                QueryLife::Active => {
+                    if churn.rng.gen::<f64>() < rate {
+                        let delay = churn.rng.gen_range(1..=max_delay);
+                        *life = QueryLife::DeadUntil(clock + delay);
+                        churn.pending.push(ControlOp::Deregister(QueryId(q as u64)));
+                    }
+                }
+                QueryLife::DeadUntil(t) if clock >= t => {
+                    *life = QueryLife::Active;
+                    // Re-register with the query's current report so the
+                    // engine learns position and spec in one control.
+                    let e = &entities[config.num_objects + q];
+                    churn.pending.push(ControlOp::Register(e.to_update(clock)));
+                }
+                QueryLife::DeadUntil(_) => {}
+            }
+        }
+    }
+
     /// Advances the simulation by one time unit and returns the location
     /// updates reported during this tick.
     pub fn tick(&mut self) -> Vec<LocationUpdate> {
         self.clock += 1;
+        self.step_churn();
         let network = Arc::clone(&self.network);
         let mut router = Router::new(&network);
 
@@ -293,7 +397,16 @@ impl WorkloadGenerator {
                 e.motion = PiecewiseMotion::new(waypoints, e.speed)
                     .expect("route has at least one waypoint");
             }
-            if (i as u64 + self.clock).is_multiple_of(report_period) {
+            // Deregistered queries keep moving but stop reporting: a
+            // data-plane update would implicitly re-register them, putting
+            // the stream at odds with its own control events.
+            let registered = match &self.churn {
+                Some(c) if i >= self.config.num_objects => {
+                    c.lives[i - self.config.num_objects] == QueryLife::Active
+                }
+                _ => true,
+            };
+            if registered && (i as u64 + self.clock).is_multiple_of(report_period) {
                 updates.push(e.to_update(self.clock));
             }
         }
@@ -559,6 +672,76 @@ mod tests {
         assert_eq!(a.snapshot(), b.snapshot());
         for _ in 0..5 {
             assert_eq!(a.tick(), b.tick());
+        }
+    }
+
+    #[test]
+    fn disabled_churn_leaves_stream_byte_identical() {
+        // query_churn_rate == 0 must not create the churn RNG: the stream
+        // is byte-identical no matter what the lifetime knob says, and no
+        // control events are ever emitted.
+        let plain = WorkloadConfig::small();
+        let inert = WorkloadConfig::small().with_query_churn(0.0, 123.0);
+        let mut a = generator(plain);
+        let mut b = generator(inert);
+        assert_eq!(a.snapshot(), b.snapshot());
+        for _ in 0..5 {
+            assert_eq!(a.tick(), b.tick());
+            assert!(a.take_controls().is_empty());
+            assert!(b.take_controls().is_empty());
+        }
+        assert_eq!(b.active_queries(), 40);
+    }
+
+    #[test]
+    fn churn_emits_controls_and_suppresses_dead_reports() {
+        let cfg = WorkloadConfig::small().with_query_churn(0.2, 4.0);
+        let mut g = generator(cfg);
+        // Track the active set the way a consumer would: apply each tick's
+        // controls before its batch, then check the batch only carries
+        // registered queries.
+        let mut active: std::collections::HashSet<u64> =
+            (0..cfg.num_queries as u64).collect();
+        let mut deregistered = 0u64;
+        let mut reregistered = 0u64;
+        for _ in 0..40 {
+            let updates = g.tick();
+            for op in g.take_controls() {
+                match op {
+                    ControlOp::Deregister(qid) => {
+                        assert!(active.remove(&qid.0), "deregister of inactive {qid:?}");
+                        deregistered += 1;
+                    }
+                    ControlOp::Register(u) | ControlOp::Update(u) => {
+                        let qid = u.entity.as_query().expect("churn controls are queries");
+                        assert!(active.insert(qid.0), "register of active {qid:?}");
+                        assert!(u.is_consistent());
+                        reregistered += 1;
+                    }
+                }
+            }
+            for u in &updates {
+                if let Some(qid) = u.entity.as_query() {
+                    assert!(
+                        active.contains(&qid.0),
+                        "deregistered {qid:?} still reports"
+                    );
+                }
+            }
+            assert_eq!(g.active_queries(), active.len());
+        }
+        assert!(deregistered > 0, "20% churn over 40 ticks must fire");
+        assert!(reregistered > 0, "mean lifetime 4 must revive some queries");
+    }
+
+    #[test]
+    fn churn_is_deterministic_across_instances() {
+        let cfg = WorkloadConfig::small().with_query_churn(0.1, 5.0);
+        let mut a = generator(cfg);
+        let mut b = generator(cfg);
+        for _ in 0..10 {
+            assert_eq!(a.tick(), b.tick());
+            assert_eq!(a.take_controls(), b.take_controls());
         }
     }
 

@@ -1,0 +1,179 @@
+//! The control plane: typed query-lifecycle operations.
+//!
+//! Location updates are the *data plane* — a high-volume stream of
+//! positions. Query registration and cancellation are a second, much
+//! thinner stream of **control operations** flowing beside it:
+//!
+//! * [`ControlOp::Register`] — a query enters the system, carrying its
+//!   first location update (position, speed, destination, spec);
+//! * [`ControlOp::Update`] — a registered query changes its spec or
+//!   reports out-of-band (the data plane also refreshes positions; this
+//!   variant exists so a control channel can drive spec changes without
+//!   synthesising data-plane traffic);
+//! * [`ControlOp::Deregister`] — a query leaves; its cluster membership,
+//!   cached join rows and registry entry must be retired.
+//!
+//! Ordering contract: every consumer applies a tick's control ops
+//! **before** that tick's data batch. The generator, the executor loop,
+//! the supervised durable loop and journal replay all follow this rule, so
+//! a churned run is reproducible from (controls, updates) alone.
+//!
+//! The wire encoding reuses the [`crate::wire`] update layout for carried
+//! updates, prefixed by a one-byte op tag:
+//!
+//! ```text
+//! register:   0:u8  update…
+//! deregister: 1:u8  qid:u64
+//! update:     2:u8  update…
+//! ```
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::ids::QueryId;
+use crate::update::LocationUpdate;
+use crate::wire::{self, DecodeError};
+
+const OP_REGISTER: u8 = 0;
+const OP_DEREGISTER: u8 = 1;
+const OP_UPDATE: u8 = 2;
+
+/// One query-lifecycle operation on the control stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ControlOp {
+    /// Register a query, delivering its initial location update. The
+    /// carried update must be a query update (`EntityRef::Query`).
+    Register(LocationUpdate),
+    /// Deregister a query: retire its membership, cached rows and registry
+    /// entry. Deregistering an unknown query is not an error at this layer
+    /// — consumers route it to their dead-letter accounting.
+    Deregister(QueryId),
+    /// Out-of-band refresh of a registered query (e.g. a spec change).
+    Update(LocationUpdate),
+}
+
+impl ControlOp {
+    /// The query this operation concerns, when the carried update is a
+    /// query update (`None` for a malformed Register/Update carrying an
+    /// object — consumers treat those as dead letters).
+    pub fn query_id(&self) -> Option<QueryId> {
+        match self {
+            ControlOp::Register(u) | ControlOp::Update(u) => u.entity.as_query(),
+            ControlOp::Deregister(qid) => Some(*qid),
+        }
+    }
+}
+
+/// Encodes one control op, appending to `buf`.
+pub fn encode_into(op: &ControlOp, buf: &mut BytesMut) {
+    match op {
+        ControlOp::Register(u) => {
+            buf.put_u8(OP_REGISTER);
+            wire::encode_into(u, buf);
+        }
+        ControlOp::Deregister(QueryId(id)) => {
+            buf.put_u8(OP_DEREGISTER);
+            buf.put_u64_le(*id);
+        }
+        ControlOp::Update(u) => {
+            buf.put_u8(OP_UPDATE);
+            wire::encode_into(u, buf);
+        }
+    }
+}
+
+/// Decodes one control op from the front of `buf`, consuming its bytes.
+pub fn decode(buf: &mut impl Buf) -> Result<ControlOp, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    match buf.get_u8() {
+        OP_REGISTER => Ok(ControlOp::Register(wire::decode(buf)?)),
+        OP_DEREGISTER => {
+            if buf.remaining() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            Ok(ControlOp::Deregister(QueryId(buf.get_u64_le())))
+        }
+        OP_UPDATE => Ok(ControlOp::Update(wire::decode(buf)?)),
+        other => Err(DecodeError::BadTag(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::{QueryAttrs, QuerySpec};
+    use scuba_spatial::Point;
+
+    fn sample_register() -> ControlOp {
+        ControlOp::Register(LocationUpdate::query(
+            QueryId(11),
+            Point::new(3.0, 4.0),
+            5,
+            12.5,
+            Point::new(100.0, 100.0),
+            QueryAttrs {
+                spec: QuerySpec::square_range(30.0),
+            },
+        ))
+    }
+
+    #[test]
+    fn roundtrip_all_ops() {
+        let ops = [
+            sample_register(),
+            ControlOp::Deregister(QueryId(7)),
+            ControlOp::Update(LocationUpdate::query(
+                QueryId(11),
+                Point::new(5.0, 6.0),
+                6,
+                12.5,
+                Point::new(100.0, 100.0),
+                QueryAttrs {
+                    spec: QuerySpec::Knn { k: 4 },
+                },
+            )),
+        ];
+        let mut buf = BytesMut::new();
+        for op in &ops {
+            encode_into(op, &mut buf);
+        }
+        let mut bytes = buf.freeze();
+        for op in &ops {
+            assert_eq!(&decode(&mut bytes).unwrap(), op);
+        }
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_is_rejected() {
+        let mut buf = BytesMut::new();
+        encode_into(&sample_register(), &mut buf);
+        let bytes = buf.freeze();
+        for cut in 0..bytes.len() {
+            let mut partial = bytes.slice(0..cut);
+            assert!(
+                decode(&mut partial).is_err(),
+                "decode of {cut}-byte prefix should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_op_tag_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(9);
+        buf.put_u64_le(1);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode(&mut bytes), Err(DecodeError::BadTag(9)));
+    }
+
+    #[test]
+    fn query_id_resolves_per_variant() {
+        assert_eq!(sample_register().query_id(), Some(QueryId(11)));
+        assert_eq!(
+            ControlOp::Deregister(QueryId(3)).query_id(),
+            Some(QueryId(3))
+        );
+    }
+}

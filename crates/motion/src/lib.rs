@@ -18,16 +18,20 @@
 //!   polyline of connection nodes at a given speed, leg by leg.
 //! * [`wire`] — compact binary encoding of updates for the stream
 //!   substrate.
+//! * [`control`] — the query-lifecycle control plane ([`ControlOp`]):
+//!   register/deregister/update operations flowing beside the data plane.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod control;
 pub mod ids;
 pub mod trajectory;
 pub mod update;
 pub mod wire;
 
+pub use control::ControlOp;
 pub use ids::{EntityRef, ObjectId, QueryId};
 pub use trajectory::{MotionError, PiecewiseMotion};
 pub use update::{EntityAttrs, LocationUpdate, ObjectAttrs, ObjectClass, QueryAttrs, QuerySpec};

@@ -35,8 +35,8 @@ use std::time::Duration;
 use bytes::BytesMut;
 
 use scuba_motion::{
-    wire, EntityRef, LocationUpdate, ObjectAttrs, ObjectClass, ObjectId, QueryAttrs, QueryId,
-    QuerySpec,
+    control, wire, ControlOp, EntityRef, LocationUpdate, ObjectAttrs, ObjectClass, ObjectId,
+    QueryAttrs, QueryId, QuerySpec,
 };
 use scuba_spatial::{Point, Polar, Rect, Time, Vector};
 use scuba_stream::{
@@ -48,6 +48,7 @@ use crate::engine::ScubaOperator;
 use crate::index::IndexKind;
 use crate::kernel::KernelKind;
 use crate::params::{ProbeScope, ScubaParams};
+use crate::registry::{ControlGauges, QueryRecord, QueryRegistry};
 use crate::shard::{ShardedScubaOperator, WorkerFailure};
 use crate::shedding::SheddingMode;
 use crate::snapshot::{ClusterSnapshot, EngineSnapshot, MemberSnapshot, SnapshotError};
@@ -502,6 +503,78 @@ fn decode_snapshot(r: &mut Reader<'_>) -> Result<EngineSnapshot, SnapshotError> 
     })
 }
 
+/// Encodes the query registry: entry count, the entries in `QueryId`
+/// order (id, registration tick, spec, owner stripe), then the three
+/// lifetime churn counters.
+fn encode_registry(out: &mut Vec<u8>, registry: &QueryRegistry) {
+    put_u64(out, registry.len() as u64);
+    for (QueryId(id), rec) in registry.iter() {
+        put_u64(out, id);
+        put_u64(out, rec.registered_at);
+        match rec.spec {
+            QuerySpec::Range { width, height } => {
+                put_u8(out, 0);
+                put_f64(out, width);
+                put_f64(out, height);
+            }
+            QuerySpec::Knn { k } => {
+                put_u8(out, 1);
+                put_u32(out, k);
+            }
+        }
+        match rec.owner {
+            None => put_u8(out, 0),
+            Some(s) => {
+                put_u8(out, 1);
+                put_u32(out, s as u32);
+            }
+        }
+    }
+    let g = registry.gauges();
+    put_u64(out, g.registered_total);
+    put_u64(out, g.deregistered_total);
+    put_u64(out, g.unknown_total);
+}
+
+fn decode_registry(r: &mut Reader<'_>) -> Result<QueryRegistry, SnapshotError> {
+    let n = r.count(9)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let qid = QueryId(r.u64()?);
+        let registered_at = r.u64()?;
+        let spec = match r.u8()? {
+            0 => QuerySpec::Range {
+                width: r.f64()?,
+                height: r.f64()?,
+            },
+            1 => QuerySpec::Knn { k: r.u32()? },
+            t => return Err(SnapshotError::Inconsistent(format!("bad spec tag {t}"))),
+        };
+        let owner = match r.u8()? {
+            0 => None,
+            1 => Some(r.u32()? as u16),
+            t => return Err(SnapshotError::Inconsistent(format!("bad owner tag {t}"))),
+        };
+        entries.push((
+            qid,
+            QueryRecord {
+                registered_at,
+                spec,
+                owner,
+            },
+        ));
+    }
+    let registered_total = r.u64()?;
+    let deregistered_total = r.u64()?;
+    let unknown_total = r.u64()?;
+    Ok(QueryRegistry::from_parts(
+        entries,
+        registered_total,
+        deregistered_total,
+        unknown_total,
+    ))
+}
+
 // ---------------------------------------------------------------------------
 // Checkpoint files.
 // ---------------------------------------------------------------------------
@@ -513,25 +586,32 @@ pub const FORMAT_VERSION: u32 = 1;
 const CKPT_HEADER: usize = 4 + 4 + 8 + 8 + 4;
 const JRNL_HEADER: usize = 4 + 4 + 8;
 
-/// What a checkpoint file holds: the tick it was taken at and one engine
-/// snapshot per stripe (a single-store operator is one stripe).
+/// What a checkpoint file holds: the tick it was taken at, one engine
+/// snapshot per stripe (a single-store operator is one stripe), and the
+/// control-plane query registry at that tick.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CheckpointState {
     /// The tick after which the snapshot was captured.
     pub tick: Time,
     /// One snapshot per shard stripe, in shard order.
     pub stripes: Vec<EngineSnapshot>,
+    /// The active query set and its churn counters at capture time.
+    /// Checkpoints written before the control plane existed decode to an
+    /// empty registry (the restore path then seeds it from the engines'
+    /// query tables).
+    pub registry: QueryRegistry,
 }
 
 /// Serialises a checkpoint: `SCBC` magic, format version, tick, payload
 /// length, CRC32 of the payload, then the payload (stripe count followed by
-/// each stripe's binary snapshot).
-pub fn encode_checkpoint(tick: Time, stripes: &[EngineSnapshot]) -> Vec<u8> {
+/// each stripe's binary snapshot, followed by the query registry).
+pub fn encode_checkpoint(tick: Time, stripes: &[EngineSnapshot], registry: &QueryRegistry) -> Vec<u8> {
     let mut payload = Vec::new();
     put_u64(&mut payload, stripes.len() as u64);
     for s in stripes {
         encode_snapshot(&mut payload, s);
     }
+    encode_registry(&mut payload, registry);
     let mut out = Vec::with_capacity(CKPT_HEADER + payload.len());
     out.extend_from_slice(CKPT_MAGIC);
     put_u32(&mut out, FORMAT_VERSION);
@@ -582,7 +662,19 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointState, SnapshotError>
     for _ in 0..n {
         stripes.push(decode_snapshot(&mut r)?);
     }
-    Ok(CheckpointState { tick, stripes })
+    // The registry section was appended to the payload after the stripes;
+    // its absence (a checkpoint from before the control plane) decodes to
+    // an empty registry rather than an error.
+    let registry = if r.pos < r.data.len() {
+        decode_registry(&mut r)?
+    } else {
+        QueryRegistry::default()
+    };
+    Ok(CheckpointState {
+        tick,
+        stripes,
+        registry,
+    })
 }
 
 fn checkpoint_path(dir: &Path, tick: Time) -> PathBuf {
@@ -608,8 +700,9 @@ pub fn write_checkpoint(
     dir: &Path,
     tick: Time,
     stripes: &[EngineSnapshot],
+    registry: &QueryRegistry,
 ) -> Result<u64, DurabilityError> {
-    let bytes = encode_checkpoint(tick, stripes);
+    let bytes = encode_checkpoint(tick, stripes, registry);
     let path = checkpoint_path(dir, tick);
     let tmp = path.with_extension("ckpt.tmp");
     {
@@ -640,13 +733,19 @@ pub fn read_checkpoint(path: &Path) -> Result<CheckpointState, DurabilityError> 
 // ---------------------------------------------------------------------------
 
 /// One journal frame: the batch of updates delivered at one tick, exactly
-/// as the operator ingested them (post fault-injection, pre validation).
+/// as the operator ingested them (post fault-injection, pre validation),
+/// plus the tick's control ops. Controls are applied **before** the data
+/// batch on replay, matching the live ordering contract
+/// ([`scuba_motion::control`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct JournalFrame {
     /// The tick this batch was delivered at.
     pub tick: Time,
     /// The delivered updates, in delivery order.
     pub updates: Vec<LocationUpdate>,
+    /// The tick's control ops, in delivery order. Frames written before
+    /// the control plane existed decode to an empty list.
+    pub controls: Vec<ControlOp>,
 }
 
 /// A parsed journal segment.
@@ -703,13 +802,26 @@ impl JournalWriter {
         })
     }
 
-    /// Appends one tick's batch as a single frame and returns the bytes
-    /// written. Called *before* the operator ingests the batch, making
-    /// this a write-ahead log.
+    /// Appends one tick's batch as a single control-free frame. See
+    /// [`JournalWriter::append_frame`].
     pub fn append(
         &mut self,
         tick: Time,
         updates: &[LocationUpdate],
+    ) -> Result<u64, DurabilityError> {
+        self.append_frame(tick, updates, &[])
+    }
+
+    /// Appends one tick's control ops and batch as a single frame and
+    /// returns the bytes written. Called *before* the operator sees
+    /// either, making this a write-ahead log; the control section trails
+    /// the updates so pre-control-plane readers' frames parse as a prefix
+    /// of this layout.
+    pub fn append_frame(
+        &mut self,
+        tick: Time,
+        updates: &[LocationUpdate],
+        controls: &[ControlOp],
     ) -> Result<u64, DurabilityError> {
         let mut payload = Vec::new();
         put_u64(&mut payload, tick);
@@ -719,6 +831,12 @@ impl JournalWriter {
             wire::encode_into(u, &mut wire_buf);
         }
         payload.extend_from_slice(&wire_buf);
+        put_u32(&mut payload, controls.len() as u32);
+        let mut ctrl_buf = BytesMut::new();
+        for op in controls {
+            control::encode_into(op, &mut ctrl_buf);
+        }
+        payload.extend_from_slice(&ctrl_buf);
         let mut frame = Vec::with_capacity(8 + payload.len());
         put_u32(&mut frame, payload.len() as u32);
         put_u32(&mut frame, crc32(&payload));
@@ -820,7 +938,25 @@ fn decode_frame(payload: &[u8]) -> Result<JournalFrame, ()> {
     for _ in 0..count {
         updates.push(wire::decode(&mut buf).map_err(|_| ())?);
     }
-    Ok(JournalFrame { tick, updates })
+    // Pre-control-plane frames end with the updates; newer ones append a
+    // control count and the encoded ops.
+    let mut controls = Vec::new();
+    if !buf.is_empty() {
+        if buf.len() < 4 {
+            return Err(());
+        }
+        let n = u32::from_le_bytes(buf[..4].try_into().unwrap());
+        buf = &buf[4..];
+        controls.reserve(n.min(1 << 20) as usize);
+        for _ in 0..n {
+            controls.push(control::decode(&mut buf).map_err(|_| ())?);
+        }
+    }
+    Ok(JournalFrame {
+        tick,
+        updates,
+        controls,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -911,6 +1047,9 @@ pub struct Recovery {
     pub checkpoint_tick: Time,
     /// The checkpoint's stripe snapshots.
     pub stripes: Vec<EngineSnapshot>,
+    /// The checkpoint's query registry (empty for pre-control-plane
+    /// checkpoints; the restore path then seeds from the query tables).
+    pub registry: QueryRegistry,
     /// Journal frames after the checkpoint, contiguous from
     /// `checkpoint_tick + 1`.
     pub frames: Vec<JournalFrame>,
@@ -1016,6 +1155,7 @@ pub fn recover(dir: &Path) -> Result<Option<Recovery>, DurabilityError> {
     Ok(Some(Recovery {
         checkpoint_tick,
         stripes: state.stripes,
+        registry: state.registry,
         frames,
         torn_tail,
         checkpoints_skipped: skipped,
@@ -1116,6 +1256,38 @@ impl DurableOperator {
         if let DurableOperator::Sharded(op) = self {
             op.set_panic_injector(injector);
         }
+    }
+
+    /// Applies one tick's control ops; call before
+    /// [`DurableOperator::process_batch`] for that tick (the control-plane
+    /// ordering contract).
+    pub fn apply_control(&mut self, ops: &[ControlOp], now: Time) {
+        match self {
+            DurableOperator::Single(op) => op.apply_control(ops, now),
+            DurableOperator::Sharded(op) => op.apply_control(ops, now),
+        }
+    }
+
+    /// The control-plane view of the active query set.
+    pub fn registry(&self) -> &QueryRegistry {
+        match self {
+            DurableOperator::Single(op) => op.registry(),
+            DurableOperator::Sharded(op) => op.registry(),
+        }
+    }
+
+    /// Installs a registry restored from a checkpoint, replacing the
+    /// engine-seeded one.
+    pub fn set_registry(&mut self, registry: QueryRegistry) {
+        match self {
+            DurableOperator::Single(op) => op.set_registry(registry),
+            DurableOperator::Sharded(op) => op.set_registry(registry),
+        }
+    }
+
+    /// Current control-plane gauges (health lines, event logs).
+    pub fn control_gauges(&self) -> ControlGauges {
+        self.registry().gauges()
     }
 
     /// Ingests one tick's batch.
@@ -1299,14 +1471,21 @@ pub struct HealthSnapshot {
     pub dead_letters: usize,
     /// Label of the shedding mode in effect.
     pub shedding: String,
+    /// Queries currently registered and active.
+    pub active_queries: u64,
+    /// Lifetime query registrations (explicit and implicit).
+    pub registered_total: u64,
+    /// Lifetime query deregistrations (explicit and reconciled evictions).
+    pub deregistered_total: u64,
 }
 
 /// Callbacks a supervised run drives: one per evaluation report (replayed
 /// and live) and one per checkpoint-boundary health capture.
 pub trait SuperviseObserver {
-    /// Called after every completed evaluation, in tick order.
-    fn on_evaluation(&mut self, report: &EvaluationReport) {
-        let _ = report;
+    /// Called after every completed evaluation, in tick order, with the
+    /// control-plane gauges as of that evaluation.
+    fn on_evaluation(&mut self, report: &EvaluationReport, gauges: &ControlGauges) {
+        let _ = (report, gauges);
     }
 
     /// Called at every checkpoint boundary with the run's vitals.
@@ -1331,6 +1510,10 @@ pub struct Resumed {
     pub resume_tick: Time,
     /// The evaluation reports the replay re-produced, in tick order.
     pub reports: Vec<EvaluationReport>,
+    /// Control-plane gauges as of each replayed evaluation, parallel to
+    /// `reports` — so observers see the per-tick active query set, not
+    /// the post-replay totals.
+    pub report_gauges: Vec<ControlGauges>,
     /// Journal frames replayed.
     pub replayed_frames: u64,
     /// Whether the journal ended in a torn tail (the dropped ticks will be
@@ -1354,11 +1537,19 @@ pub fn resume(dir: &Path) -> Result<Option<Resumed>, DurabilityError> {
                 recovery.checkpoint_tick
             ),
         })?;
+    // The checkpointed registry is authoritative when present: it carries
+    // exact registration epochs and lifetime counters the engine-seeded
+    // fallback cannot reconstruct.
+    if !recovery.registry.is_empty() || recovery.registry.gauges() != ControlGauges::default() {
+        operator.set_registry(recovery.registry.clone());
+    }
     let delta = operator.params().delta.max(1);
     let mut reports = Vec::new();
+    let mut report_gauges = Vec::new();
     let mut resume_tick = recovery.checkpoint_tick;
     let replayed_frames = recovery.frames.len() as u64;
     for frame in &recovery.frames {
+        operator.apply_control(&frame.controls, frame.tick);
         operator.process_batch(&frame.updates);
         if let Some(fault) = operator.fault() {
             return Err(DurabilityError::ReplayFailed {
@@ -1373,6 +1564,7 @@ pub fn resume(dir: &Path) -> Result<Option<Resumed>, DurabilityError> {
                         detail: format!("evaluation failed at replayed t={}: {e}", frame.tick),
                     })?;
             reports.push(report);
+            report_gauges.push(operator.control_gauges());
         }
         resume_tick = frame.tick;
     }
@@ -1380,6 +1572,7 @@ pub fn resume(dir: &Path) -> Result<Option<Resumed>, DurabilityError> {
         operator,
         resume_tick,
         reports,
+        report_gauges,
         replayed_frames,
         torn_tail: recovery.torn_tail,
     }))
@@ -1410,6 +1603,7 @@ fn backoff_delay(cfg: &SuperviseConfig, attempt: u32) -> Duration {
 
 fn rebuild(
     stripes: &[EngineSnapshot],
+    registry: &QueryRegistry,
     pending: &[JournalFrame],
     delta: u64,
     injector: Option<&Arc<PanicInjector>>,
@@ -1417,8 +1611,10 @@ fn rebuild(
 ) -> Result<DurableOperator, TickFailure> {
     let mut operator = DurableOperator::restore(stripes)
         .map_err(|e| TickFailure::Fatal(format!("restore from checkpoint failed: {e}")))?;
+    operator.set_registry(registry.clone());
     operator.set_injector(injector.cloned());
     for frame in pending {
+        operator.apply_control(&frame.controls, frame.tick);
         operator.process_batch(&frame.updates);
         if let Some(fault) = operator.fault() {
             return Err(TickFailure::Fatal(fault));
@@ -1467,9 +1663,9 @@ where
         Some(resumed) => {
             resumed_at = Some(resumed.resume_tick);
             stats.replayed_frames = resumed.replayed_frames;
-            for rep in &resumed.reports {
+            for (rep, gauges) in resumed.reports.iter().zip(&resumed.report_gauges) {
                 latencies.record(rep.join_time());
-                observer.on_evaluation(rep);
+                observer.on_evaluation(rep, gauges);
             }
             report.evaluations.extend(resumed.reports);
             (resumed.operator, resumed.resume_tick)
@@ -1484,8 +1680,9 @@ where
     // a fresh journal segment, so the pre-crash segment (possibly torn)
     // can never be confused with the new run's frames.
     let mut ckpt_stripes = operator.capture();
+    let mut ckpt_registry = operator.registry().clone();
     let sw = Stopwatch::start();
-    let written = write_checkpoint(dir, start_tick, &ckpt_stripes)?;
+    let written = write_checkpoint(dir, start_tick, &ckpt_stripes, &ckpt_registry)?;
     stats.checkpoint_time += sw.elapsed();
     stats.checkpoints += 1;
     stats.checkpoint_bytes += written;
@@ -1494,27 +1691,35 @@ where
     prune(dir, cfg.keep_checkpoints);
 
     // A deterministic source re-delivers from tick 1; skip what durable
-    // state already covers.
+    // state already covers (controls included, to keep the source's
+    // streams aligned).
     for _ in 0..start_tick.min(cfg.duration) {
+        let _ = source.next_controls();
         let _ = source.next_tick();
     }
 
     let mut aborted = None;
     'ticks: for now in (start_tick + 1)..=cfg.duration {
+        let controls = source.next_controls();
         let updates = source.next_tick();
 
         // Write-ahead: the frame is durable before the operator sees it.
         let sw = Stopwatch::start();
-        let appended = journal.append(now, &updates)?;
+        let appended = journal.append_frame(now, &updates, &controls)?;
         stats.journal_time += sw.elapsed();
         stats.journal_frames += 1;
         stats.journal_bytes += appended;
         pending.push(JournalFrame {
             tick: now,
             updates: updates.clone(),
+            controls: controls.clone(),
         });
 
         let sw = Stopwatch::start();
+        if !controls.is_empty() {
+            operator.apply_control(&controls, now);
+            report.controls_applied += controls.len();
+        }
         operator.process_batch(&updates);
         report.ingest_time += sw.elapsed();
         report.updates_ingested += updates.len();
@@ -1529,7 +1734,7 @@ where
                 match operator.try_evaluate(now) {
                     Ok(rep) => {
                         latencies.record(rep.join_time());
-                        observer.on_evaluation(&rep);
+                        observer.on_evaluation(&rep, &operator.control_gauges());
                         report.evaluations.push(rep);
                         break;
                     }
@@ -1548,7 +1753,8 @@ where
                         attempt += 1;
                         stats.restarts += 1;
                         report.restarts += 1;
-                        match rebuild(&ckpt_stripes, &pending, delta, injector, now) {
+                        match rebuild(&ckpt_stripes, &ckpt_registry, &pending, delta, injector, now)
+                        {
                             Ok(rebuilt) => operator = rebuilt,
                             Err(TickFailure::Fatal(reason)) => {
                                 aborted = Some(reason);
@@ -1568,14 +1774,16 @@ where
         if now % checkpoint_every == 0 {
             let (segment_frames, segment_bytes) = (journal.frames(), journal.bytes());
             ckpt_stripes = operator.capture();
+            ckpt_registry = operator.registry().clone();
             let sw = Stopwatch::start();
-            let written = write_checkpoint(dir, now, &ckpt_stripes)?;
+            let written = write_checkpoint(dir, now, &ckpt_stripes, &ckpt_registry)?;
             stats.checkpoint_time += sw.elapsed();
             stats.checkpoints += 1;
             stats.checkpoint_bytes += written;
             journal = JournalWriter::create(dir, now, cfg.sync_journal)?;
             pending.clear();
             prune(dir, cfg.keep_checkpoints);
+            let gauges = operator.control_gauges();
             observer.on_health(&HealthSnapshot {
                 tick: now,
                 evaluations: report.evaluations.len(),
@@ -1588,6 +1796,9 @@ where
                 restarts: stats.restarts,
                 dead_letters: operator.dead_letter_len(),
                 shedding: operator.shedding_label(),
+                active_queries: gauges.active_queries,
+                registered_total: gauges.registered_total,
+                deregistered_total: gauges.deregistered_total,
             });
         }
     }
@@ -1691,7 +1902,7 @@ mod tests {
     fn checkpoint_roundtrip_and_atomic_write() {
         let dir = tmp_dir("ckpt-roundtrip");
         let stripes = vec![busy_snapshot()];
-        let bytes = write_checkpoint(&dir, 42, &stripes).unwrap();
+        let bytes = write_checkpoint(&dir, 42, &stripes, &QueryRegistry::new()).unwrap();
         assert!(bytes > CKPT_HEADER as u64);
         let state = read_checkpoint(&checkpoint_path(&dir, 42)).unwrap();
         assert_eq!(state.tick, 42);
@@ -1706,7 +1917,7 @@ mod tests {
     #[test]
     fn checkpoint_rejects_corruption_with_typed_errors() {
         let stripes = vec![busy_snapshot()];
-        let good = encode_checkpoint(7, &stripes);
+        let good = encode_checkpoint(7, &stripes, &QueryRegistry::new());
 
         assert!(matches!(
             decode_checkpoint(b"XX"),
@@ -1802,13 +2013,13 @@ mod tests {
     fn recover_falls_back_past_corrupt_newest_checkpoint() {
         let dir = tmp_dir("recover-fallback");
         let stripes = vec![busy_snapshot()];
-        write_checkpoint(&dir, 8, &stripes).unwrap();
+        write_checkpoint(&dir, 8, &stripes, &QueryRegistry::new()).unwrap();
         let mut w = JournalWriter::create(&dir, 8, true).unwrap();
         for t in 9..=16u64 {
             w.append(t, &[update(t, t)]).unwrap();
         }
         drop(w);
-        write_checkpoint(&dir, 16, &stripes).unwrap();
+        write_checkpoint(&dir, 16, &stripes, &QueryRegistry::new()).unwrap();
         let mut w = JournalWriter::create(&dir, 16, true).unwrap();
         for t in 17..=19u64 {
             w.append(t, &[update(t, t)]).unwrap();
@@ -1847,7 +2058,7 @@ mod tests {
     #[test]
     fn recover_stops_at_noncontiguous_frames() {
         let dir = tmp_dir("recover-gap");
-        write_checkpoint(&dir, 4, &[busy_snapshot()]).unwrap();
+        write_checkpoint(&dir, 4, &[busy_snapshot()], &QueryRegistry::new()).unwrap();
         let mut w = JournalWriter::create(&dir, 4, true).unwrap();
         w.append(5, &[update(1, 5)]).unwrap();
         w.append(7, &[update(1, 7)]).unwrap(); // gap: t=6 missing
@@ -1864,7 +2075,7 @@ mod tests {
         let dir = tmp_dir("prune");
         let stripes = vec![busy_snapshot()];
         for t in [0u64, 8, 16, 24] {
-            write_checkpoint(&dir, t, &stripes).unwrap();
+            write_checkpoint(&dir, t, &stripes, &QueryRegistry::new()).unwrap();
             JournalWriter::create(&dir, t, true).unwrap();
         }
         prune(&dir, 2);
@@ -2145,7 +2356,7 @@ mod tests {
             healths: Vec<HealthSnapshot>,
         }
         impl SuperviseObserver for Counting {
-            fn on_evaluation(&mut self, _report: &EvaluationReport) {
+            fn on_evaluation(&mut self, _report: &EvaluationReport, _gauges: &ControlGauges) {
                 self.evals += 1;
             }
             fn on_health(&mut self, health: &HealthSnapshot) {
@@ -2178,7 +2389,191 @@ mod tests {
         assert_eq!(obs.healths[0].journal_frames, 4);
         assert!(obs.healths[1].checkpoints >= 2);
         assert_eq!(obs.healths[0].shedding, "None");
+        assert!(
+            obs.healths[0].active_queries > 0,
+            "data-plane query updates register implicitly"
+        );
+        assert_eq!(
+            obs.healths[0].registered_total,
+            obs.healths[0].active_queries,
+            "no deregistrations in this workload"
+        );
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn churn_query(id: u64, t: Time) -> LocationUpdate {
+        let x = 60.0 + ((id * 53 + t * 17) % 880) as f64;
+        let y = 60.0 + ((id * 29 + t * 13) % 880) as f64;
+        LocationUpdate::query(
+            QueryId(id),
+            Point::new(x, y),
+            t,
+            20.0,
+            CN,
+            QueryAttrs {
+                spec: QuerySpec::square_range(15.0),
+            },
+        )
+    }
+
+    #[test]
+    fn checkpoint_carries_registry_and_tolerates_its_absence() {
+        let stripes = vec![busy_snapshot()];
+        let mut registry = QueryRegistry::new();
+        registry.observe(QueryId(3), 2, QuerySpec::square_range(11.0), None);
+        registry.observe(QueryId(9), 5, QuerySpec::Knn { k: 4 }, Some(1));
+        registry.deregister(QueryId(3));
+        registry.note_unknown();
+
+        let bytes = encode_checkpoint(6, &stripes, &registry);
+        let state = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(state.registry, registry);
+        assert_eq!(state.registry.gauges(), registry.gauges());
+
+        // A pre-control-plane checkpoint (payload ends at the stripes)
+        // still decodes, with an empty registry.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1);
+        encode_snapshot(&mut payload, &stripes[0]);
+        let mut old = Vec::with_capacity(CKPT_HEADER + payload.len());
+        old.extend_from_slice(CKPT_MAGIC);
+        put_u32(&mut old, FORMAT_VERSION);
+        put_u64(&mut old, 6);
+        put_u64(&mut old, payload.len() as u64);
+        let crc = crc32_update(crc32_update(0xffff_ffff, &old[8..24]), &payload) ^ 0xffff_ffff;
+        put_u32(&mut old, crc);
+        old.extend_from_slice(&payload);
+        let state = decode_checkpoint(&old).unwrap();
+        assert_eq!(state.stripes, stripes);
+        assert_eq!(state.registry, QueryRegistry::default());
+    }
+
+    #[test]
+    fn journal_frames_roundtrip_controls() {
+        let dir = tmp_dir("journal-controls");
+        let mut w = JournalWriter::create(&dir, 0, false).unwrap();
+        let batch = vec![update(0, 1), update(1, 1)];
+        let controls = vec![
+            ControlOp::Register(churn_query(501, 1)),
+            ControlOp::Deregister(QueryId(77)),
+        ];
+        w.append_frame(1, &batch, &controls).unwrap();
+        // The wrapper writes an (empty) control section too.
+        w.append(2, &batch).unwrap();
+        let path = w.path().to_path_buf();
+        drop(w);
+        let seg = read_journal(&path).unwrap();
+        assert!(!seg.torn_tail);
+        assert_eq!(seg.frames[0].updates, batch);
+        assert_eq!(seg.frames[0].controls, controls);
+        assert_eq!(seg.frames[1].controls, Vec::new());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Deterministic churn: a register on every odd tick, a deregister of
+    /// the previous tick's query on every even tick.
+    struct ChurnSource {
+        inner: DetSource,
+    }
+
+    impl UpdateSource for ChurnSource {
+        fn next_tick(&mut self) -> Vec<LocationUpdate> {
+            self.inner.next_tick()
+        }
+
+        fn next_controls(&mut self) -> Vec<ControlOp> {
+            let t = self.inner.tick + 1;
+            if t % 2 == 1 {
+                vec![ControlOp::Register(churn_query(500 + t, t))]
+            } else {
+                vec![ControlOp::Deregister(QueryId(500 + t - 1))]
+            }
+        }
+    }
+
+    fn churn_source() -> ChurnSource {
+        ChurnSource {
+            inner: det_source(),
+        }
+    }
+
+    #[test]
+    fn churned_resume_matches_uninterrupted_run_including_registry() {
+        let params = ScubaParams::default();
+        let area = Rect::square(1000.0);
+        let full = SuperviseConfig {
+            duration: 16,
+            checkpoint_every: 5,
+            ..SuperviseConfig::default()
+        };
+
+        let oracle_dir = tmp_dir("churn-resume-oracle");
+        let oracle = run_supervised(
+            &mut churn_source(),
+            &params,
+            area,
+            &oracle_dir,
+            &full,
+            None,
+            &mut NoObserver,
+        )
+        .unwrap();
+        assert_eq!(oracle.report.aborted, None);
+        assert_eq!(oracle.report.controls_applied, 16, "one op per tick");
+
+        // Stop at t=9 — mid checkpoint interval, with explicit register
+        // and deregister ops on both sides of the cut — then resume.
+        let dir = tmp_dir("churn-resume");
+        let first = SuperviseConfig { duration: 9, ..full };
+        let first_outcome = run_supervised(
+            &mut churn_source(),
+            &params,
+            area,
+            &dir,
+            &first,
+            None,
+            &mut NoObserver,
+        )
+        .unwrap();
+        let second = run_supervised(
+            &mut churn_source(),
+            &params,
+            area,
+            &dir,
+            &full,
+            None,
+            &mut NoObserver,
+        )
+        .unwrap();
+        assert_eq!(second.resumed_at, Some(9));
+
+        // Per-tick answers, final engine state, and the registry (active
+        // set, registration epochs, lifetime counters) all match the
+        // uninterrupted run exactly.
+        let mut merged: std::collections::BTreeMap<Time, Vec<_>> = Default::default();
+        for e in first_outcome
+            .report
+            .evaluations
+            .iter()
+            .chain(&second.report.evaluations)
+        {
+            merged.insert(e.now, e.results.clone());
+        }
+        let ora: Vec<_> = oracle
+            .report
+            .evaluations
+            .iter()
+            .map(|e| (e.now, e.results.clone()))
+            .collect();
+        assert_eq!(merged.into_iter().collect::<Vec<_>>(), ora);
+        assert_eq!(second.operator.capture(), oracle.operator.capture());
+        assert_eq!(second.operator.registry(), oracle.operator.registry());
+        assert_eq!(
+            second.operator.control_gauges(),
+            oracle.operator.control_gauges()
+        );
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&oracle_dir);
     }
 
     #[test]

@@ -12,11 +12,11 @@
 use std::collections::VecDeque;
 use std::time::Duration;
 
-use scuba_motion::LocationUpdate;
-use scuba_spatial::{Rect, Time};
+use scuba_motion::{ControlOp, EntityRef, LocationUpdate, QueryAttrs, QueryId, QuerySpec};
+use scuba_spatial::{Point, Rect, Time};
 use scuba_stream::{
-    ContinuousOperator, EvaluationReport, PhaseBreakdown, StageStats, Stopwatch, UpdateValidator,
-    ValidationPolicy, ValidationStats, Verdict,
+    ContinuousOperator, EvaluationReport, PhaseBreakdown, RejectReason, StageStats, Stopwatch,
+    UpdateValidator, ValidationPolicy, ValidationStats, Verdict,
 };
 
 use crate::clustering::{ClusterEngine, ClusteringStats};
@@ -24,6 +24,7 @@ use crate::ingest::{IngestReport, IngestScratch};
 use crate::join::{JoinCache, JoinContext, JoinScratch};
 use crate::overload::{OverloadConfig, OverloadController, OverloadCounters};
 use crate::params::ScubaParams;
+use crate::registry::{ControlGauges, QueryRegistry};
 use crate::shedding::AdaptiveShedder;
 
 /// Stage name: batch-ingest routing/classification (maintenance bucket).
@@ -120,6 +121,10 @@ pub struct ScubaOperator {
     fatal: Option<String>,
     /// Reusable buffer of validated updates for batch ingestion.
     accepted_scratch: Vec<LocationUpdate>,
+    /// The active query set: explicit control-plane lifecycle plus
+    /// implicit registration by data-plane query updates. Carried in
+    /// durable checkpoints (see [`crate::durability`]).
+    registry: QueryRegistry,
 }
 
 impl ScubaOperator {
@@ -138,6 +143,17 @@ impl ScubaOperator {
         let overload = params.deadline_us.map(|us| {
             OverloadController::new(OverloadConfig::with_deadline(Duration::from_micros(us)))
         });
+        // Seed the registry from the engine's query table so a
+        // snapshot-restored operator reports a truthful `active_queries`
+        // gauge even without a checkpointed registry (the durable restore
+        // path overwrites this with the exact checkpoint copy).
+        let mut registry = QueryRegistry::new();
+        let mut known: Vec<(QueryId, QuerySpec)> =
+            engine.queries().iter().map(|(id, a)| (id, a.spec)).collect();
+        known.sort_by_key(|(id, _)| *id);
+        for (id, spec) in known {
+            registry.observe(id, 0, spec, None);
+        }
         ScubaOperator {
             engine,
             name,
@@ -154,6 +170,7 @@ impl ScubaOperator {
             scripted_costs: VecDeque::new(),
             fatal: None,
             accepted_scratch: Vec::new(),
+            registry,
         }
     }
 
@@ -219,6 +236,71 @@ impl ScubaOperator {
         &self.cache
     }
 
+    /// The active query set and its churn counters.
+    pub fn registry(&self) -> &QueryRegistry {
+        &self.registry
+    }
+
+    /// Control-plane gauges (active/registered/deregistered/unknown).
+    pub fn control_gauges(&self) -> ControlGauges {
+        self.registry.gauges()
+    }
+
+    /// Replaces the registry wholesale — the durable restore path installs
+    /// the exact checkpointed copy over the table-seeded default.
+    pub fn set_registry(&mut self, registry: QueryRegistry) {
+        self.registry = registry;
+    }
+
+    /// Deregisters one query: retires its cluster membership (dirtying
+    /// exactly the cluster that held it, dissolving it if emptied),
+    /// surgically purges its cached join rows, and drops its registry
+    /// entry. Never flushes the cache globally. Returns whether any layer
+    /// knew the query; unknown deregisters are counted and, when a
+    /// validator is attached, quarantined as
+    /// [`RejectReason::UnknownEntity`] dead letters.
+    pub fn deregister_query(&mut self, qid: QueryId, now: Time) -> bool {
+        let entity = EntityRef::Query(qid);
+        let slot = self.engine.home().cluster_of(entity);
+        let in_engine = self.engine.remove_entity(entity);
+        let in_registry = self.registry.deregister(qid).is_some();
+        if in_engine {
+            if let Some(slot) = slot {
+                self.cache.purge_slot(slot);
+            }
+        }
+        let known = in_engine || in_registry;
+        if !known {
+            self.registry.note_unknown();
+            if let Some(v) = &mut self.validator {
+                // Synthesise a minimal record of the doomed op so the
+                // dead-letter buffer can carry it like any other reject.
+                let ghost = LocationUpdate::query(
+                    qid,
+                    Point::ORIGIN,
+                    now,
+                    0.0,
+                    Point::ORIGIN,
+                    QueryAttrs {
+                        spec: QuerySpec::square_range(0.0),
+                    },
+                );
+                v.quarantine_control(&ghost, RejectReason::UnknownEntity);
+            }
+        }
+        known
+    }
+
+    /// Records data-plane query updates in the registry (implicit
+    /// registration): a query that reports is active.
+    fn observe_queries(&mut self, updates: &[LocationUpdate]) {
+        for u in updates {
+            if let (Some(qid), Some(spec)) = (u.entity.as_query(), u.query_spec()) {
+                self.registry.observe(qid, u.time, spec, None);
+            }
+        }
+    }
+
     /// The ingestion validator, when one is active
     /// ([`ScubaParams::validation`] ≠ `Off`); exposes dead letters and
     /// rejection counters.
@@ -261,6 +343,7 @@ impl ScubaOperator {
     /// sharded ingestion stays bit-identical to the sequential walk under
     /// every policy.
     fn ingest_accepted(&mut self, updates: &[LocationUpdate]) {
+        self.observe_queries(updates);
         let shards = self.engine.params().effective_ingest_shards();
         if shards <= 1 || updates.len() <= 1 {
             for update in updates {
@@ -308,6 +391,7 @@ impl ContinuousOperator for ScubaOperator {
         }
         let sw = self.overload.is_some().then(Stopwatch::start);
         if let Some(clean) = self.screen(update) {
+            self.observe_queries(std::slice::from_ref(&clean));
             self.engine.process_update(&clean);
         }
         if let Some(sw) = sw {
@@ -339,6 +423,33 @@ impl ContinuousOperator for ScubaOperator {
         }
         if let Some(sw) = sw {
             self.tick_ingest += sw.elapsed();
+        }
+    }
+
+    fn apply_control(&mut self, ops: &[ControlOp], now: Time) {
+        if self.fatal.is_some() {
+            return;
+        }
+        for op in ops {
+            match op {
+                ControlOp::Register(u) | ControlOp::Update(u) => {
+                    if u.entity.as_query().is_some() {
+                        // The carried update flows through the normal
+                        // screened ingest path: validation applies, the
+                        // registry observes, the clusterer absorbs.
+                        self.process_update(u);
+                    } else {
+                        // Malformed: a register/update carrying an object.
+                        self.registry.note_unknown();
+                        if let Some(v) = &mut self.validator {
+                            v.quarantine_control(u, RejectReason::UnknownEntity);
+                        }
+                    }
+                }
+                ControlOp::Deregister(qid) => {
+                    self.deregister_query(*qid, now);
+                }
+            }
         }
     }
 
@@ -422,6 +533,14 @@ impl ContinuousOperator for ScubaOperator {
         // Phase 3: post-join maintenance.
         let sw = Stopwatch::start();
         self.engine.post_join_maintenance(now);
+        // Reconcile engine-side evictions (TTL, dissolves that removed the
+        // attrs entry) back into the registry: a query the engine no
+        // longer knows is no longer active.
+        {
+            let engine = &self.engine;
+            self.registry
+                .retain(|qid, _| engine.queries().get(qid).is_some());
+        }
         let mut memory_bytes = self.engine.estimated_bytes();
         if let Some(adaptive) = &mut self.adaptive {
             if let Some(mode) = adaptive.observe(memory_bytes) {
@@ -852,6 +971,109 @@ mod tests {
         assert!(report.phases.get(STAGE_VALIDATE).is_none());
         assert_eq!(op.overload_counters(), None);
         assert!(op.validator().is_none());
+    }
+
+    #[test]
+    fn control_lifecycle_registers_and_deregisters() {
+        let mut op = ScubaOperator::new(ScubaParams::default(), Rect::square(1000.0));
+        op.process_update(&obj(1, 500.0, 500.0));
+        op.apply_control(&[ControlOp::Register(qry(7, 504.0, 500.0, 20.0))], 1);
+        let g = op.control_gauges();
+        assert_eq!(g.active_queries, 1);
+        assert_eq!(g.registered_total, 1);
+        assert_eq!(op.registry().get(QueryId(7)).unwrap().registered_at, 0);
+        assert_eq!(op.evaluate(2).results.len(), 1);
+
+        op.apply_control(&[ControlOp::Deregister(QueryId(7))], 3);
+        let g = op.control_gauges();
+        assert_eq!(g.active_queries, 0);
+        assert_eq!(g.deregistered_total, 1);
+        assert!(op.evaluate(4).results.is_empty(), "query is gone");
+        op.engine().check_invariants();
+    }
+
+    #[test]
+    fn data_plane_updates_register_implicitly() {
+        let mut op = ScubaOperator::new(ScubaParams::default(), Rect::square(1000.0));
+        op.process_batch(&[obj(1, 500.0, 500.0), qry(3, 504.0, 500.0, 20.0)]);
+        let g = op.control_gauges();
+        assert_eq!(g.active_queries, 1);
+        assert_eq!(g.registered_total, 1);
+        // A refresh does not re-register.
+        op.process_update(&LocationUpdate::query(
+            QueryId(3),
+            Point::new(505.0, 500.0),
+            1,
+            30.0,
+            CN,
+            QueryAttrs {
+                spec: QuerySpec::square_range(20.0),
+            },
+        ));
+        assert_eq!(op.control_gauges().registered_total, 1);
+    }
+
+    #[test]
+    fn unknown_deregister_lands_in_dead_letters() {
+        use scuba_stream::RejectReason;
+        let params = ScubaParams::default().with_validation(crate::ValidationPolicy::Reject);
+        let mut op = ScubaOperator::new(params, Rect::square(1000.0));
+        op.apply_control(&[ControlOp::Deregister(QueryId(99))], 1);
+        assert_eq!(op.control_gauges().unknown_total, 1);
+        let v = op.validator().unwrap();
+        assert_eq!(v.stats().rejected(RejectReason::UnknownEntity), 1);
+        assert_eq!(v.dead_letter_len(), 1);
+        // Without a validator the op is still counted, never dropped
+        // silently.
+        let mut bare = ScubaOperator::new(ScubaParams::default(), Rect::square(1000.0));
+        bare.apply_control(&[ControlOp::Deregister(QueryId(99))], 1);
+        assert_eq!(bare.control_gauges().unknown_total, 1);
+    }
+
+    #[test]
+    fn deregister_purges_cached_rows_without_global_flush() {
+        // Two independent convoys, each with its own query: deregistering
+        // one query must purge only its cluster's cached pairs.
+        let mut op = ScubaOperator::new(ScubaParams::default(), Rect::square(1000.0));
+        let mut feed = |op: &mut ScubaOperator, base: f64, qid: u64| {
+            for i in 0..4u64 {
+                op.process_update(&LocationUpdate::object(
+                    ObjectId(qid * 100 + i),
+                    Point::new(base + i as f64, base),
+                    0,
+                    0.0,
+                    CN,
+                    ObjectAttrs::default(),
+                ));
+            }
+            op.process_update(&LocationUpdate::query(
+                QueryId(qid),
+                Point::new(base + 1.0, base + 1.0),
+                0,
+                0.0,
+                CN,
+                QueryAttrs {
+                    spec: QuerySpec::square_range(20.0),
+                },
+            ));
+        };
+        feed(&mut op, 200.0, 1);
+        feed(&mut op, 700.0, 2);
+        op.evaluate(2);
+        op.evaluate(4);
+        let cached_before = op.join_cache().len();
+        assert!(cached_before > 0, "warm cache");
+        op.apply_control(&[ControlOp::Deregister(QueryId(1))], 5);
+        assert!(
+            !op.join_cache().is_empty(),
+            "deregister must not flush the whole cache"
+        );
+        assert!(op.join_cache().len() < cached_before, "its rows fell");
+        // The surviving query still answers, bit-identically.
+        let results = op.evaluate(6).results;
+        assert!(results.iter().all(|m| m.query == QueryId(2)));
+        assert!(!results.is_empty());
+        op.engine().check_invariants();
     }
 
     #[test]

@@ -261,6 +261,35 @@ impl JoinCache {
         }
     }
 
+    /// Physically drops every cached pair involving `slot` — its own row
+    /// and every entry where it appears as the right side — returning how
+    /// many entries fell.
+    ///
+    /// This is the control plane's surgical purge: when a query
+    /// deregisters, only the pairs of the cluster that held it are
+    /// retired; the rest of the cache keeps replaying. (Epoch validation
+    /// alone would already refuse to *replay* those pairs after the
+    /// membership `touch`, but the purge also drops the cached rows
+    /// mentioning the dead query so they cannot outlive it in memory.)
+    pub fn purge_slot(&mut self, slot: ClusterSlot) -> usize {
+        let mut removed = 0;
+        if let Some(row) = self.rows.get_mut(slot.index()) {
+            removed += row.len();
+            row.clear();
+        }
+        for (left, row) in self.rows.iter_mut().enumerate() {
+            if left == slot.index() {
+                continue;
+            }
+            if let Ok(i) = row.binary_search_by_key(&slot.0, |e| e.0) {
+                row.remove(i);
+                removed += 1;
+            }
+        }
+        self.live -= removed;
+        removed
+    }
+
     /// Drops every entry not used in `round`, returning how many fell.
     fn sweep(&mut self, round: u64) -> usize {
         let mut removed = 0;

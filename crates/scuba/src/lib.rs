@@ -39,6 +39,7 @@
 //! | [`engine`] | §4.2 | the three-phase [`ScubaOperator`] |
 //! | [`baseline`] | §6 | the regular grid-based operator SCUBA is compared to (plus the §6-literal point-hashed variant) |
 //! | [`qindex`] | §7 | the Query-Indexing baseline over an R-tree (related work \[29\]) |
+//! | [`registry`] | §8 | [`QueryRegistry`]: the durable active query set, fed by the `ControlOp` stream |
 //! | [`shard`] | §8 | [`ShardedScubaOperator`]: stripe-owned stores with boundary-ghost handoff |
 //! | [`sina`] | §7 | the SINA-style incrementally-maintained grid baseline (related work \[24\]) |
 //! | [`vci`] | §7 | the Velocity-Constrained Indexing baseline (related work \[29\]) |
@@ -105,6 +106,7 @@ pub mod ops;
 pub mod overload;
 pub mod params;
 pub mod qindex;
+pub mod registry;
 pub mod shard;
 pub mod shedding;
 pub mod sina;
@@ -130,6 +132,7 @@ pub use ops::{OperatorKind, OpsConfig};
 pub use overload::{OverloadConfig, OverloadController, OverloadCounters, OverloadDecision};
 pub use params::{ParamsError, ProbeScope, ScubaParams};
 pub use qindex::QueryIndexOperator;
+pub use registry::{ControlGauges, QueryRecord, QueryRegistry};
 pub use shard::{ShardedScubaOperator, WorkerFailure};
 pub use shedding::{AdaptiveShedder, SheddingMode};
 pub use sina::IncrementalGridOperator;

@@ -58,7 +58,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use scuba_motion::{EntityRef, LocationUpdate, ObjectId, QueryId, QuerySpec};
+use scuba_motion::{ControlOp, EntityRef, LocationUpdate, ObjectId, QueryId, QuerySpec};
 use scuba_spatial::{Circle, FxHashMap, GridSpec, Point, Rect, Time};
 use scuba_stream::{
     ContinuousOperator, EvaluationReport, PanicInjector, PhaseBreakdown, QueryMatch, StageStats,
@@ -70,6 +70,7 @@ use crate::clustering::ClusterEngine;
 use crate::engine::{STAGE_GRID_REBALANCE, STAGE_KNN, STAGE_POST_JOIN, STAGE_PRE_JOIN_TIGHTEN};
 use crate::join::{JoinCache, JoinContext, JoinScratch};
 use crate::params::ScubaParams;
+use crate::registry::{ControlGauges, QueryRegistry};
 use crate::snapshot::{EngineSnapshot, SnapshotError};
 use crate::store::ClusterSlot;
 use crate::tables::QueriesTable;
@@ -205,6 +206,11 @@ struct ShardState {
     engine: ClusterEngine,
     cache: JoinCache,
     scratch: JoinScratch,
+    /// Removes whose entity the stripe engine no longer knew (TTL-evicted
+    /// between updates, or a deregister racing an eviction). Drained into
+    /// the registry's unknown counter after each apply pass so dead
+    /// removes are counted, never silently dropped.
+    unknown_removes: u64,
 }
 
 /// An exact range query replicated inside a ghost (mirrors the arena's
@@ -277,6 +283,10 @@ pub struct ShardedScubaOperator {
     stripe_hi: Vec<f64>,
     /// Current owner stripe of every known entity.
     owner: FxHashMap<EntityRef, u16>,
+    /// The control-plane truth of the active query set. Fed implicitly by
+    /// routed query updates and explicitly by [`ControlOp`]s; owners track
+    /// the routing decision, so the registry mirrors the stripe map.
+    registry: QueryRegistry,
     /// Reusable per-shard ordered apply queues.
     routes: Vec<Vec<ShardOp>>,
     evaluations: u64,
@@ -334,6 +344,7 @@ impl ShardedScubaOperator {
                 engine: ClusterEngine::new(params, area),
                 cache: JoinCache::new(),
                 scratch: JoinScratch::new(),
+                unknown_removes: 0,
             })
             .collect();
         ShardedScubaOperator {
@@ -345,6 +356,7 @@ impl ShardedScubaOperator {
             stripe_lo,
             stripe_hi,
             owner: FxHashMap::default(),
+            registry: QueryRegistry::new(),
             routes: (0..k).map(|_| Vec::new()).collect(),
             evaluations: 0,
             route_updates: 0,
@@ -453,9 +465,52 @@ impl ShardedScubaOperator {
                     op.owner.insert(member.entity, idx as u16);
                 }
             }
+            // Seed the registry from the stripe's registered queries so a
+            // bare snapshot restore is truthful; a durable restore then
+            // installs the checkpointed registry (exact registration
+            // epochs and lifetime counters) via `set_registry`.
+            for (qid, attrs) in engine.queries().iter() {
+                op.registry.observe(qid, 0, attrs.spec, Some(idx as u16));
+            }
             op.shards[idx].engine = engine;
         }
         Ok(op)
+    }
+
+    /// The control-plane view of the active query set.
+    pub fn registry(&self) -> &QueryRegistry {
+        &self.registry
+    }
+
+    /// Current control-plane gauges (health lines, event logs).
+    pub fn control_gauges(&self) -> ControlGauges {
+        self.registry.gauges()
+    }
+
+    /// Installs a registry restored from durable state, replacing the
+    /// membership-seeded one.
+    pub fn set_registry(&mut self, registry: QueryRegistry) {
+        self.registry = registry;
+    }
+
+    /// Deregisters a query across every layer: drops its ownership, queues
+    /// a remove on the owning stripe (applied with the next route drain,
+    /// so its cluster shrinks or dissolves and the stripe's cached join
+    /// rows for that cluster are purged), and retires it from the
+    /// registry. Returns whether any layer knew the query; unknown
+    /// deregisters are counted, never silently dropped.
+    pub fn deregister_query(&mut self, qid: QueryId) -> bool {
+        let entity = EntityRef::Query(qid);
+        let owned = self.owner.remove(&entity);
+        if let Some(prev) = owned {
+            self.routes[prev as usize].push(ShardOp::Remove(entity));
+        }
+        let in_registry = self.registry.deregister(qid).is_some();
+        let known = owned.is_some() || in_registry;
+        if !known {
+            self.registry.note_unknown();
+        }
+        known
     }
 
     /// The stripe owning a position (by its grid column).
@@ -475,6 +530,12 @@ impl ShardedScubaOperator {
                 self.routes[prev as usize].push(ShardOp::Remove(update.entity));
             }
         }
+        // A reporting query is an active query: register it implicitly (or
+        // refresh its spec) and keep its owner stripe current, mirroring
+        // the single-store operator's implicit registration.
+        if let (Some(qid), Some(spec)) = (update.entity.as_query(), update.query_spec()) {
+            self.registry.observe(qid, update.time, spec, Some(target));
+        }
         self.routes[target as usize].push(ShardOp::Update(*update));
         target as usize
     }
@@ -491,38 +552,90 @@ impl ShardedScubaOperator {
                         state.engine.process_update(&u);
                     }
                     ShardOp::Remove(e) => {
-                        state.engine.remove_entity(e);
+                        apply_remove(state, e);
                     }
                 }
             }
-            return;
-        }
-        std::thread::scope(|scope| {
-            for (state, ops) in self.shards.iter_mut().zip(self.routes.iter()) {
-                if ops.is_empty() {
-                    continue;
-                }
-                scope.spawn(move || {
-                    for op in ops {
-                        match op {
-                            ShardOp::Update(u) => {
-                                state.engine.process_update(u);
-                            }
-                            ShardOp::Remove(e) => {
-                                state.engine.remove_entity(*e);
+        } else {
+            std::thread::scope(|scope| {
+                for (state, ops) in self.shards.iter_mut().zip(self.routes.iter()) {
+                    if ops.is_empty() {
+                        continue;
+                    }
+                    scope.spawn(move || {
+                        for op in ops {
+                            match op {
+                                ShardOp::Update(u) => {
+                                    state.engine.process_update(u);
+                                }
+                                ShardOp::Remove(e) => {
+                                    apply_remove(state, *e);
+                                }
                             }
                         }
-                    }
-                });
+                    });
+                }
+            });
+            for queue in &mut self.routes {
+                queue.clear();
             }
-        });
-        for queue in &mut self.routes {
-            queue.clear();
+        }
+        for state in &mut self.shards {
+            let dead = std::mem::take(&mut state.unknown_removes);
+            for _ in 0..dead {
+                self.registry.note_unknown();
+            }
         }
     }
 }
 
+/// Applies one [`ShardOp::Remove`] on its owning stripe: captures the
+/// entity's cluster slot, removes the entity from the engine, and purges
+/// that slot's cached join rows so a deregistered query's results can
+/// never be served from a stale cache entry (and a reused slot starts
+/// clean). A remove whose entity the engine no longer knows is counted in
+/// [`ShardState::unknown_removes`] instead of being silently dropped.
+fn apply_remove(state: &mut ShardState, entity: EntityRef) {
+    let slot = state.engine.home().cluster_of(entity);
+    let known = state.engine.remove_entity(entity);
+    if let Some(slot) = slot {
+        state.cache.purge_slot(slot);
+    }
+    if !known {
+        state.unknown_removes += 1;
+    }
+}
+
 impl ContinuousOperator for ShardedScubaOperator {
+    /// Applies this Δ's control ops ahead of the data batch: registers and
+    /// updates are routed like ordinary updates (the carried query update
+    /// lands on its owner stripe), deregisters retire the query across the
+    /// router, owner engine, stripe cache and registry. A register
+    /// carrying a non-query update is a malformed control op and is
+    /// counted as unknown.
+    fn apply_control(&mut self, ops: &[ControlOp], _now: Time) {
+        if self.fatal.is_some() {
+            return;
+        }
+        let sw = Stopwatch::start();
+        for op in ops {
+            match op {
+                ControlOp::Register(u) | ControlOp::Update(u) => {
+                    if u.entity.as_query().is_some() {
+                        self.route(u);
+                    } else {
+                        self.registry.note_unknown();
+                    }
+                }
+                ControlOp::Deregister(qid) => {
+                    self.deregister_query(*qid);
+                }
+            }
+        }
+        self.route_wall += sw.elapsed();
+        self.apply_routes();
+    }
+
     fn process_update(&mut self, update: &LocationUpdate) {
         let sw = Stopwatch::start();
         self.route(update);
@@ -681,6 +794,18 @@ impl ShardedScubaOperator {
         }
         if let Some(failure) = failure {
             return Err(failure);
+        }
+
+        // Reconcile: post-join maintenance may have TTL-evicted queries
+        // from the stripe engines; retire them from the registry (counted
+        // as deregistrations) so the active set never outlives the data.
+        {
+            let shards = &self.shards;
+            self.registry.retain(|qid, _| {
+                shards
+                    .iter()
+                    .any(|state| state.engine.queries().get(qid).is_some())
+            });
         }
 
         let sw = Stopwatch::start();
@@ -1302,6 +1427,71 @@ mod tests {
         );
         let fault = sharded.fault().expect("failure recorded");
         assert!(fault.contains("panicked at t=2"), "got: {fault}");
+    }
+
+    #[test]
+    fn control_lifecycle_registers_and_deregisters_across_stripes() {
+        let params = ScubaParams::default().with_shards(2);
+        let mut sharded = ShardedScubaOperator::new(params, area());
+        sharded.apply_control(&[ControlOp::Register(qry(9, 204.0, 500.0, 40.0))], 1);
+        sharded.process_update(&obj(1, 200.0, 500.0));
+        let g = sharded.control_gauges();
+        assert_eq!(g.active_queries, 1);
+        assert_eq!(g.registered_total, 1);
+        let report = sharded.evaluate(2);
+        assert_eq!(
+            report.results,
+            vec![QueryMatch::new(QueryId(9), ObjectId(1))]
+        );
+
+        sharded.apply_control(&[ControlOp::Deregister(QueryId(9))], 3);
+        let g = sharded.control_gauges();
+        assert_eq!(g.active_queries, 0);
+        assert_eq!(g.deregistered_total, 1);
+        assert_eq!(g.unknown_total, 0, "a known deregister is not unknown");
+        let report = sharded.evaluate(4);
+        assert!(report.results.is_empty(), "deregistered query answers nothing");
+        for engine in sharded.engines() {
+            engine.check_invariants();
+        }
+    }
+
+    #[test]
+    fn deregister_follows_a_migrated_query_to_its_new_owner() {
+        let params = ScubaParams::default().with_shards(2);
+        let mut sharded = ShardedScubaOperator::new(params, area());
+        sharded.process_update(&qry(5, 100.0, 500.0, 40.0));
+        assert_eq!(
+            sharded.registry().get(QueryId(5)).map(|r| r.owner),
+            Some(Some(0)),
+            "data-plane query update registers implicitly on its stripe"
+        );
+        sharded.process_update(&qry(5, 900.0, 500.0, 40.0));
+        assert_eq!(
+            sharded.registry().get(QueryId(5)).map(|r| r.owner),
+            Some(Some(1)),
+            "owner follows the stripe migration"
+        );
+        sharded.apply_control(&[ControlOp::Deregister(QueryId(5))], 1);
+        assert!(sharded.registry().is_empty());
+        assert_eq!(sharded.clusters_live(), Some(0), "last member dissolves");
+        assert_eq!(sharded.control_gauges().unknown_total, 0);
+        for engine in sharded.engines() {
+            engine.check_invariants();
+        }
+    }
+
+    #[test]
+    fn unknown_deregister_is_counted_not_dropped() {
+        let params = ScubaParams::default().with_shards(2);
+        let mut sharded = ShardedScubaOperator::new(params, area());
+        sharded.apply_control(&[ControlOp::Deregister(QueryId(77))], 1);
+        let g = sharded.control_gauges();
+        assert_eq!(g.unknown_total, 1);
+        assert_eq!(g.deregistered_total, 0);
+        // A register carrying a non-query update is malformed: counted too.
+        sharded.apply_control(&[ControlOp::Register(obj(3, 100.0, 100.0))], 1);
+        assert_eq!(sharded.control_gauges().unknown_total, 2);
     }
 
     #[test]

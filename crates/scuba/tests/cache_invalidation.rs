@@ -16,7 +16,7 @@ use scuba::{
     EngineSnapshot, JoinCache, JoinContext, JoinScratch, ScubaOperator, ScubaParams, SheddingMode,
 };
 use scuba_motion::{
-    EntityRef, LocationUpdate, ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec,
+    ControlOp, EntityRef, LocationUpdate, ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec,
 };
 use scuba_spatial::{Point, Rect};
 use scuba_stream::ContinuousOperator;
@@ -290,6 +290,177 @@ fn remove_entity_invalidates_cached_pair() {
     let settled = joined(&engine, &mut cache, &mut scratch);
     assert_eq!(settled.results, after.results);
     assert!(settled.cache_hits >= 2, "everything replays when quiet");
+}
+
+/// A query deregistered through the control plane mid-tick: its cluster
+/// shrinks (the other members stay), its cached join rows are purged —
+/// never replayed — and the untouched convoy keeps replaying. Dirties
+/// exactly the mutated cluster, not the whole cache.
+#[test]
+fn deregister_mid_tick_shrinks_cluster_and_purges_rows() {
+    let mut op = ScubaOperator::new(ScubaParams::default(), Rect::square(AREA));
+    let mut batch = Vec::new();
+    // Convoy 1 around (200,200) with query 1; convoy 2 around (700,700)
+    // with query 2 — the query clusters with its convoy's objects.
+    for (tag, centre) in [(1u64, Point::new(200.0, 200.0)), (2, Point::new(700.0, 700.0))] {
+        for k in 0..4u64 {
+            batch.push(LocationUpdate::object(
+                ObjectId(tag * 100 + k),
+                Point::new(centre.x + k as f64, centre.y),
+                1,
+                0.0,
+                CN,
+                ObjectAttrs::default(),
+            ));
+        }
+        batch.push(LocationUpdate::query(
+            QueryId(tag),
+            Point::new(centre.x + 1.0, centre.y + 1.0),
+            1,
+            0.0,
+            CN,
+            QueryAttrs {
+                spec: QuerySpec::square_range(40.0),
+            },
+        ));
+    }
+    op.process_batch(&batch);
+    let cold = op.evaluate(2);
+    assert!(cold.results.iter().any(|m| m.query == QueryId(2)));
+    let warm = op.evaluate(4);
+    assert!(
+        warm.phases.get(STAGE_JOIN_WITHIN).unwrap().cache_hits > 0,
+        "quiet epoch replays"
+    );
+
+    let slot = op
+        .engine()
+        .home()
+        .cluster_of(EntityRef::Query(QueryId(2)))
+        .expect("query 2 is clustered");
+    op.apply_control(&[ControlOp::Deregister(QueryId(2))], 5);
+    assert_eq!(op.control_gauges().deregistered_total, 1);
+    assert_eq!(
+        op.engine().home().cluster_of(EntityRef::Query(QueryId(2))),
+        None,
+        "membership dissolved on deregister"
+    );
+    assert!(
+        op.engine().cluster_at(slot).is_some(),
+        "the cluster survives — its objects still live there"
+    );
+
+    let after = op.evaluate(6);
+    assert!(
+        !after.results.iter().any(|m| m.query == QueryId(2)),
+        "no stale match for the deregistered query"
+    );
+    assert!(
+        after.results.iter().any(|m| m.query == QueryId(1)),
+        "the untouched convoy keeps answering"
+    );
+    let within = after.phases.get(STAGE_JOIN_WITHIN).unwrap();
+    assert!(
+        within.cache_hits > 0,
+        "convoy 1 replays — deregister dirtied only query 2's cluster"
+    );
+    op.engine().check_invariants();
+}
+
+/// Deregistering the last member of a cluster dissolves it outright, and
+/// the freed slot is safely reused by a query registered afterwards: the
+/// new query computes its pairs fresh (no inherited rows) and the answers
+/// stay bit-identical to a cache-free twin through the whole lifecycle.
+#[test]
+fn deregister_last_member_dissolves_and_slot_reuse_is_clean() {
+    let params = ScubaParams::default();
+    let mut cached = ScubaOperator::new(params.with_join_cache(true), Rect::square(AREA));
+    let mut twin = ScubaOperator::new(params.with_join_cache(false), Rect::square(AREA));
+
+    // An object convoy, and a lone query far away in its own singleton
+    // cluster (beyond Θ_D of everything).
+    let mut batch: Vec<LocationUpdate> = (0..3u64)
+        .map(|k| {
+            LocationUpdate::object(
+                ObjectId(k),
+                Point::new(200.0 + k as f64, 200.0),
+                1,
+                0.0,
+                CN,
+                ObjectAttrs::default(),
+            )
+        })
+        .collect();
+    batch.push(LocationUpdate::query(
+        QueryId(7),
+        Point::new(900.0, 900.0),
+        1,
+        0.0,
+        CN,
+        QueryAttrs {
+            spec: QuerySpec::square_range(40.0),
+        },
+    ));
+    cached.process_batch(&batch);
+    twin.process_batch(&batch);
+    assert_eq!(cached.evaluate(2).results, twin.evaluate(2).results);
+
+    let lone_slot = cached
+        .engine()
+        .home()
+        .cluster_of(EntityRef::Query(QueryId(7)))
+        .expect("lone query is clustered");
+    let clusters_before = cached.engine().cluster_count();
+    let ops = [ControlOp::Deregister(QueryId(7))];
+    cached.apply_control(&ops, 3);
+    twin.apply_control(&ops, 3);
+    assert_eq!(
+        cached.engine().cluster_count(),
+        clusters_before - 1,
+        "deregistering the last member dissolves the cluster"
+    );
+    assert!(
+        cached.engine().cluster_at(lone_slot).is_none(),
+        "the dissolved cluster's slot is vacated for reuse"
+    );
+    assert_eq!(cached.evaluate(4).results, twin.evaluate(4).results);
+
+    // A new query registers right where the objects are; the store's LIFO
+    // free list hands it the slot the dissolved cluster vacated.
+    let ops = [ControlOp::Register(LocationUpdate::query(
+        QueryId(8),
+        Point::new(201.0, 201.0),
+        5,
+        0.0,
+        CN,
+        QueryAttrs {
+            spec: QuerySpec::square_range(40.0),
+        },
+    ))];
+    cached.apply_control(&ops, 5);
+    twin.apply_control(&ops, 5);
+    assert!(
+        cached
+            .engine()
+            .home()
+            .cluster_of(EntityRef::Query(QueryId(8)))
+            .is_some(),
+        "new query is clustered"
+    );
+    let a = cached.evaluate(6);
+    let b = twin.evaluate(6);
+    assert_eq!(a.results, b.results, "slot reuse never leaks stale rows");
+    assert!(
+        a.results.iter().any(|m| m.query == QueryId(8)),
+        "the reused slot answers for its new occupant"
+    );
+    assert!(
+        !a.results.iter().any(|m| m.query == QueryId(7)),
+        "nothing answers for the dissolved query"
+    );
+    assert_eq!(cached.control_gauges().active_queries, 1);
+    assert_eq!(cached.control_gauges().registered_total, 2);
+    cached.engine().check_invariants();
 }
 
 /// Restoring from a snapshot resets the cache: the restored operator

@@ -1,0 +1,458 @@
+//! Churned run ≡ active-interval oracle (ISSUE 10 correctness gate).
+//!
+//! Live register/deregister must be answer-exact: at every evaluation a
+//! churned run's results are bit-identical, per query, to a from-scratch
+//! oracle run that only ever contained each query during its active
+//! interval. Because the join is exact (filter-then-refine on true
+//! geometry) and every entity reports every tick, such an oracle can be
+//! built per evaluation: a fresh operator fed only that tick's object
+//! positions plus the currently active queries answers exactly what the
+//! incremental churned engine must answer — if deregistration fully
+//! retires cluster membership, cached join rows and registry state, and
+//! registration re-admits a query with no residue. The property drives
+//! random churn schedules across shards {1, 2, 4} × join cache
+//! {on, off} × index {uniform, adaptive}, plus the single-store engine.
+//!
+//! The recovery property extends the gate through the durability layer:
+//! killing a supervised churned run at an arbitrary tick (optionally
+//! tearing the journal tail mid-frame, as a SIGKILL mid-append would)
+//! and resuming over the same directory must reproduce the oracle's
+//! evaluation stream, final snapshots and final registry — the active
+//! query set is rebuilt from checkpoint + WAL-journalled control ops.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+
+use scuba::{
+    run_supervised, IndexKind, NoObserver, ScubaOperator, ScubaParams, ShardedScubaOperator,
+    SuperviseConfig, SupervisedOutcome,
+};
+use scuba_motion::{
+    ControlOp, LocationUpdate, ObjectAttrs, ObjectId, QueryAttrs, QueryId, QuerySpec,
+};
+use scuba_spatial::{Point, Rect, Time};
+use scuba_stream::executor::UpdateSource;
+use scuba_stream::{ContinuousOperator, EvaluationReport, QueryMatch};
+
+const N_OBJECTS: u64 = 28;
+const N_QUERIES: u64 = 12;
+
+const CN: Point = Point { x: 500.0, y: 0.0 };
+
+fn area() -> Rect {
+    Rect::square(1000.0)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scuba-churn-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Closed-form object position at tick `t`. The ¼-unit offset keeps
+/// object/query distances off exact range boundaries (query coordinates
+/// sit on ½-unit offsets and range half-sides are whole numbers).
+fn object_update(i: u64, t: Time) -> LocationUpdate {
+    let x = 20.25 + ((i * 53 + t * 17) % 960) as f64;
+    let y = 20.25 + ((i * 31 + t * 13) % 960) as f64;
+    LocationUpdate::object(
+        ObjectId(i),
+        Point::new(x, y),
+        t,
+        10.0 + (i % 4) as f64,
+        CN,
+        ObjectAttrs::default(),
+    )
+}
+
+/// Closed-form query position and spec at tick `t`.
+fn query_update(q: u64, t: Time) -> LocationUpdate {
+    let x = 40.5 + ((q * 97 + t * 23) % 920) as f64;
+    let y = 40.5 + ((q * 71 + t * 19) % 920) as f64;
+    LocationUpdate::query(
+        QueryId(q),
+        Point::new(x, y),
+        t,
+        12.0 + (q % 3) as f64,
+        CN,
+        QueryAttrs {
+            spec: QuerySpec::square_range(90.0 + (q % 4) as f64 * 40.0),
+        },
+    )
+}
+
+/// Simple xorshift so churn schedules are reproducible from a seed.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x1234_5678))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next() % den < num
+    }
+}
+
+/// Per-tick churn plan: the control ops to apply before the tick's batch
+/// and the resulting active flags per query. Every query starts active
+/// and tick 1 never churns — controls apply *before* the batch, so a
+/// tick-1 deregister would address a registry that has seen nothing yet
+/// and dead-letter as unknown instead of deregistering. From tick 2 on,
+/// active queries deregister with probability ¼ per tick and dead ones
+/// revive with probability ⅖, so a handful of full
+/// dead-interval-then-revival cycles fit in a short run.
+fn churn_schedule(seed: u64, ticks: u64) -> Vec<(Vec<ControlOp>, Vec<bool>)> {
+    let mut rng = XorShift::new(seed);
+    let mut active = vec![true; N_QUERIES as usize];
+    let mut out = Vec::with_capacity(ticks as usize);
+    for t in 1..=ticks {
+        let mut controls = Vec::new();
+        if t == 1 {
+            out.push((controls, active.clone()));
+            continue;
+        }
+        for q in 0..N_QUERIES {
+            let qi = q as usize;
+            if active[qi] {
+                if rng.chance(1, 4) {
+                    active[qi] = false;
+                    controls.push(ControlOp::Deregister(QueryId(q)));
+                }
+            } else if rng.chance(2, 5) {
+                active[qi] = true;
+                controls.push(ControlOp::Register(query_update(q, t)));
+            }
+        }
+        out.push((controls, active.clone()));
+    }
+    out
+}
+
+/// The tick's data batch: every object reports, plus every *active*
+/// query (a deregistered query stops reporting — a data-plane update
+/// would implicitly re-register it).
+fn batch_at(t: Time, active: &[bool]) -> Vec<LocationUpdate> {
+    let mut batch: Vec<LocationUpdate> = (0..N_OBJECTS).map(|i| object_update(i, t)).collect();
+    batch.extend(
+        (0..N_QUERIES)
+            .filter(|&q| active[q as usize])
+            .map(|q| query_update(q, t)),
+    );
+    batch
+}
+
+/// The from-scratch oracle for one evaluation: a fresh operator that has
+/// only ever seen this tick's objects and the currently active queries.
+/// Results are exact geometry, so this equals any correct incremental
+/// run regardless of clustering history.
+fn oracle_results(t: Time, active: &[bool]) -> Vec<QueryMatch> {
+    let mut oracle = ScubaOperator::new(ScubaParams::default(), area());
+    oracle.process_batch(&batch_at(t, active));
+    oracle.evaluate(t).results
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole identity: a churned incremental run answers, per
+    /// query and per tick, exactly like the active-interval oracle — for
+    /// every execution strategy, with identical control gauges across
+    /// all of them.
+    #[test]
+    fn churned_run_matches_active_interval_oracle(seed in 0u64..1000) {
+        let ticks = 8u64;
+        let schedule = churn_schedule(seed, ticks);
+
+        let adaptive = ScubaParams::default()
+            .with_index(IndexKind::Adaptive)
+            .with_split_merge(4, 1);
+        let configs: Vec<ScubaParams> = [1usize, 2, 4]
+            .iter()
+            .flat_map(|&k| {
+                [true, false].iter().flat_map(move |&cache| {
+                    [ScubaParams::default(), adaptive]
+                        .into_iter()
+                        .map(move |base| base.with_shards(k).with_join_cache(cache))
+                })
+            })
+            .collect();
+        let mut single = ScubaOperator::new(ScubaParams::default().with_join_cache(true), area());
+        let mut sharded: Vec<ShardedScubaOperator> = configs
+            .iter()
+            .map(|&params| ShardedScubaOperator::new(params, area()))
+            .collect();
+
+        let mut expected_dereg = 0u64;
+        let mut expected_reg = N_QUERIES; // first tick implicitly registers all
+        for (tick0, (controls, active)) in schedule.iter().enumerate() {
+            let t = tick0 as Time + 1;
+            for op in controls {
+                match op {
+                    ControlOp::Deregister(_) => expected_dereg += 1,
+                    ControlOp::Register(_) => expected_reg += 1,
+                    ControlOp::Update(_) => {}
+                }
+            }
+            let batch = batch_at(t, active);
+            let expected = oracle_results(t, active);
+
+            single.apply_control(controls, t);
+            single.process_batch(&batch);
+            prop_assert_eq!(
+                &single.evaluate(t).results,
+                &expected,
+                "tick {}: single-store engine diverged from oracle",
+                t
+            );
+            let gauges = single.control_gauges();
+            prop_assert_eq!(
+                gauges.active_queries as usize,
+                active.iter().filter(|&&a| a).count(),
+                "tick {}: active gauge off schedule",
+                t
+            );
+            prop_assert_eq!(gauges.registered_total, expected_reg);
+            prop_assert_eq!(gauges.deregistered_total, expected_dereg);
+            prop_assert_eq!(gauges.unknown_total, 0);
+
+            for (op, params) in sharded.iter_mut().zip(&configs) {
+                op.apply_control(controls, t);
+                op.process_batch(&batch);
+                prop_assert_eq!(
+                    &op.evaluate(t).results,
+                    &expected,
+                    "tick {}: shards {} cache {} index {} diverged from oracle",
+                    t,
+                    params.shards,
+                    params.join_cache,
+                    params.index
+                );
+                prop_assert_eq!(
+                    op.control_gauges(),
+                    gauges,
+                    "tick {}: shards {} gauges diverged from single-store",
+                    t,
+                    params.shards
+                );
+            }
+        }
+        // A degenerate schedule proves nothing — require real churn.
+        prop_assert!(expected_dereg > 0, "schedule produced no deregistrations");
+    }
+}
+
+/// Restartable churned source for supervised runs: every construction
+/// re-delivers the identical control and data streams, which is what
+/// lets a resumed run refill ticks a killed process never made durable.
+/// Controls are produced by `next_controls` (called before `next_tick`,
+/// per the control-before-data contract) and advance the tick counter.
+struct ChurnedSource {
+    schedule: Vec<(Vec<ControlOp>, Vec<bool>)>,
+    tick: usize,
+}
+
+impl ChurnedSource {
+    fn new(seed: u64, ticks: u64) -> Self {
+        ChurnedSource {
+            schedule: churn_schedule(seed, ticks),
+            tick: 0,
+        }
+    }
+}
+
+impl UpdateSource for ChurnedSource {
+    fn next_tick(&mut self) -> Vec<LocationUpdate> {
+        let (_, active) = &self.schedule[self.tick - 1];
+        batch_at(self.tick as Time, active)
+    }
+
+    fn next_controls(&mut self) -> Vec<ControlOp> {
+        self.tick += 1;
+        self.schedule[self.tick - 1].0.clone()
+    }
+}
+
+fn supervised(dir: &Path, params: ScubaParams, seed: u64, duration: Time) -> SupervisedOutcome {
+    let cfg = SuperviseConfig {
+        duration,
+        checkpoint_every: 3,
+        max_restarts: 3,
+        backoff: std::time::Duration::from_millis(1),
+        ..SuperviseConfig::default()
+    };
+    // The schedule spans the full run even when this stage stops early:
+    // a later resume over the same directory must see the same stream.
+    let mut source = ChurnedSource::new(seed, 16);
+    run_supervised(
+        &mut source,
+        &params,
+        area(),
+        dir,
+        &cfg,
+        None,
+        &mut NoObserver,
+    )
+    .expect("supervised churned run succeeds")
+}
+
+/// Keep-last-by-tick view of an evaluation stream (a resumed run
+/// re-emits the evaluations it replayed from the journal).
+fn by_tick(reports: &[&EvaluationReport]) -> BTreeMap<Time, Vec<QueryMatch>> {
+    let mut map = BTreeMap::new();
+    for r in reports {
+        map.insert(r.now, r.results.clone());
+    }
+    map
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Kill-at-any-tick recovery under churn: stage one runs the first
+    /// `kill` ticks and stops (optionally tearing the newest journal
+    /// segment mid-frame); stage two resumes over the same directory and
+    /// runs to the end. The merged evaluation stream, the final stripe
+    /// snapshots AND the final query registry must equal an
+    /// uninterrupted oracle run — the active set is reproduced from
+    /// checkpoint + journalled control ops, not from the source alone.
+    #[test]
+    fn killed_churned_run_recovers_registry_and_results(
+        seed in 0u64..500,
+        kill in 1u64..10,
+        shards_idx in 0usize..3,
+        cache in any::<bool>(),
+        tear_tail in any::<bool>(),
+    ) {
+        let shards = [1usize, 2, 4][shards_idx];
+        let params = ScubaParams::default()
+            .with_shards(shards)
+            .with_join_cache(cache);
+        let duration = 10u64;
+
+        let oracle_dir = tmp_dir(&format!("oracle-{seed}-{kill}-{shards}-{cache}"));
+        let oracle = supervised(&oracle_dir, params, seed, duration);
+        prop_assert!(oracle.report.aborted.is_none());
+        let oracle_gauges = oracle.operator.control_gauges();
+        prop_assert!(
+            oracle_gauges.deregistered_total > 0,
+            "oracle run must actually churn: {:?}",
+            oracle_gauges
+        );
+
+        let dir = tmp_dir(&format!("kill-{seed}-{kill}-{shards}-{cache}"));
+        let first = supervised(&dir, params, seed, kill);
+
+        if tear_tail {
+            let mut journals: Vec<PathBuf> = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| {
+                    let p = e.unwrap().path();
+                    (p.extension().is_some_and(|x| x == "wal")).then_some(p)
+                })
+                .collect();
+            journals.sort();
+            if let Some(newest) = journals.last() {
+                let bytes = std::fs::read(newest).unwrap();
+                if bytes.len() > 20 {
+                    std::fs::write(newest, &bytes[..bytes.len() - 9]).unwrap();
+                }
+            }
+        }
+
+        let second = supervised(&dir, params, seed, duration);
+        prop_assert!(second.report.aborted.is_none());
+
+        let merged: Vec<&EvaluationReport> = first
+            .report
+            .evaluations
+            .iter()
+            .chain(&second.report.evaluations)
+            .collect();
+        let oracle_stream: Vec<&EvaluationReport> = oracle.report.evaluations.iter().collect();
+        prop_assert_eq!(by_tick(&merged), by_tick(&oracle_stream));
+
+        prop_assert_eq!(second.operator.capture(), oracle.operator.capture());
+        prop_assert_eq!(
+            second.operator.registry(),
+            oracle.operator.registry(),
+            "recovered active query set must match the oracle's"
+        );
+        prop_assert_eq!(second.operator.control_gauges(), oracle_gauges);
+
+        let _ = std::fs::remove_dir_all(&oracle_dir);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Directed per-query regression: a query deregistered at tick 3 and
+/// revived at tick 6 must be absent from every evaluation in [3, 5] and
+/// present again from tick 6 — on the single-store engine and on a
+/// sharded, cache-on executor alike. A companion object shadows the
+/// query's position so "present" always means at least one match.
+#[test]
+fn dead_interval_is_invisible_per_query() {
+    const Q: u64 = 3;
+    const SHADOW: u64 = 100;
+
+    let shadow = |t: Time| {
+        let q = query_update(Q, t);
+        LocationUpdate::object(
+            ObjectId(SHADOW),
+            Point::new(q.loc.x + 1.0, q.loc.y + 1.0),
+            t,
+            10.0,
+            CN,
+            ObjectAttrs::default(),
+        )
+    };
+
+    let mut single = ScubaOperator::new(ScubaParams::default(), area());
+    let mut sharded = ShardedScubaOperator::new(
+        ScubaParams::default().with_shards(2).with_join_cache(true),
+        area(),
+    );
+
+    for t in 1u64..=8 {
+        let controls: Vec<ControlOp> = match t {
+            3 => vec![ControlOp::Deregister(QueryId(Q))],
+            6 => vec![ControlOp::Register(query_update(Q, t))],
+            _ => Vec::new(),
+        };
+        let alive = !(3..6).contains(&t);
+        let active: Vec<bool> = (0..N_QUERIES).map(|q| q != Q || alive).collect();
+        let mut batch = batch_at(t, &active);
+        batch.push(shadow(t));
+
+        for results in [
+            {
+                single.apply_control(&controls, t);
+                single.process_batch(&batch);
+                single.evaluate(t).results
+            },
+            {
+                sharded.apply_control(&controls, t);
+                sharded.process_batch(&batch);
+                sharded.evaluate(t).results
+            },
+        ] {
+            let answered = results.iter().any(|m| m.query == QueryId(Q));
+            assert_eq!(
+                answered, alive,
+                "tick {t}: query {Q} answered={answered}, expected alive={alive}"
+            );
+        }
+    }
+    assert_eq!(single.control_gauges(), sharded.control_gauges());
+    assert_eq!(single.control_gauges().deregistered_total, 1);
+}

@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use scuba_motion::LocationUpdate;
+use scuba_motion::{ControlOp, LocationUpdate};
 use scuba_spatial::{Time, TimeDelta};
 
 use crate::metrics::AggregateStats;
@@ -24,6 +24,16 @@ use crate::operator::{ContinuousOperator, EvaluationReport, PhaseBreakdown};
 pub trait UpdateSource {
     /// Produces the updates of the next time unit.
     fn next_tick(&mut self) -> Vec<LocationUpdate>;
+
+    /// Produces the query-lifecycle control ops of the next time unit.
+    ///
+    /// Called once per tick, **before** [`next_tick`](Self::next_tick);
+    /// the executor delivers the returned ops to the operator before the
+    /// tick's data batch. The default is an empty control plane, so
+    /// fixed-population sources need no changes.
+    fn next_controls(&mut self) -> Vec<ControlOp> {
+        Vec::new()
+    }
 }
 
 impl<F> UpdateSource for F
@@ -75,6 +85,9 @@ pub struct RunReport {
     /// [`Executor::run`] runs; populated by supervised execution loops.
     #[serde(default)]
     pub restarts: u64,
+    /// Total control operations applied ahead of data batches.
+    #[serde(default)]
+    pub controls_applied: usize,
 }
 
 impl RunReport {
@@ -139,8 +152,13 @@ impl Executor {
         };
         let mut since_eval: TimeDelta = 0;
         for now in 1..=self.config.duration {
+            let controls = source.next_controls();
             let updates = source.next_tick();
             let sw = crate::metrics::Stopwatch::start();
+            if !controls.is_empty() {
+                operator.apply_control(&controls, now);
+                report.controls_applied += controls.len();
+            }
             operator.process_batch(&updates);
             report.ingest_time += sw.elapsed();
             report.updates_ingested += updates.len();
@@ -175,8 +193,22 @@ impl Executor {
         S: UpdateSource + ?Sized,
         O: ContinuousOperator + ?Sized,
     {
-        let mut faulted = || faults.apply_tick(source.next_tick());
-        self.run(&mut faulted, operator)
+        struct Faulted<'a, S: ?Sized> {
+            source: &'a mut S,
+            faults: &'a mut crate::faults::FaultInjector,
+        }
+        impl<S: UpdateSource + ?Sized> UpdateSource for Faulted<'_, S> {
+            fn next_tick(&mut self) -> Vec<LocationUpdate> {
+                self.faults.apply_tick(self.source.next_tick())
+            }
+            // Controls pass through unfaulted: the injector models lossy
+            // data-plane transport, while the thin control stream is
+            // delivered reliably (and journalled ahead when durable).
+            fn next_controls(&mut self) -> Vec<ControlOp> {
+                self.source.next_controls()
+            }
+        }
+        self.run(&mut Faulted { source, faults }, operator)
     }
 }
 
@@ -395,6 +427,89 @@ mod tests {
             report.updates_ingested as u64,
             40 - inj.stats().dropped - inj.stats().deferred
         );
+    }
+
+    /// Yields updates plus one deregister control per tick; records the
+    /// order controls and data arrive in.
+    struct ChurningSource {
+        tick: u64,
+    }
+
+    impl UpdateSource for ChurningSource {
+        fn next_tick(&mut self) -> Vec<LocationUpdate> {
+            vec![one_update()]
+        }
+
+        fn next_controls(&mut self) -> Vec<ControlOp> {
+            self.tick += 1;
+            vec![ControlOp::Deregister(QueryId(self.tick))]
+        }
+    }
+
+    /// Records the interleaving of control and data deliveries.
+    #[derive(Default)]
+    struct OrderRecordingOperator {
+        events: Vec<&'static str>,
+    }
+
+    impl ContinuousOperator for OrderRecordingOperator {
+        fn process_update(&mut self, _update: &LocationUpdate) {
+            self.events.push("data");
+        }
+
+        fn apply_control(&mut self, ops: &[ControlOp], _now: Time) {
+            for _ in ops {
+                self.events.push("control");
+            }
+        }
+
+        fn evaluate(&mut self, now: Time) -> EvaluationReport {
+            EvaluationReport {
+                now,
+                ..Default::default()
+            }
+        }
+
+        fn name(&self) -> &str {
+            "order-recording"
+        }
+    }
+
+    #[test]
+    fn controls_are_applied_before_each_ticks_batch() {
+        let mut op = OrderRecordingOperator::default();
+        let mut source = ChurningSource { tick: 0 };
+        let exec = Executor::new(ExecutorConfig {
+            delta: 2,
+            duration: 4,
+        });
+        let report = exec.run(&mut source, &mut op);
+        assert_eq!(report.controls_applied, 4);
+        assert_eq!(
+            op.events,
+            vec![
+                "control", "data", "control", "data", "control", "data", "control", "data"
+            ]
+        );
+    }
+
+    #[test]
+    fn run_with_faults_forwards_controls() {
+        use crate::faults::{FaultInjector, FaultPlan};
+        let mut op = OrderRecordingOperator::default();
+        let mut source = ChurningSource { tick: 0 };
+        let exec = Executor::new(ExecutorConfig {
+            delta: 1,
+            duration: 3,
+        });
+        let mut inj = FaultInjector::new(FaultPlan {
+            seed: 1,
+            drop_prob: 1.0,
+            ..FaultPlan::default()
+        });
+        let report = exec.run_with_faults(&mut source, &mut op, &mut inj);
+        assert_eq!(report.controls_applied, 3, "controls bypass the injector");
+        assert_eq!(report.updates_ingested, 0, "all data dropped");
     }
 
     #[test]

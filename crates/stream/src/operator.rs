@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use scuba_motion::{LocationUpdate, ObjectId, QueryId};
+use scuba_motion::{ControlOp, LocationUpdate, ObjectId, QueryId};
 use scuba_spatial::Time;
 
 /// One query answer: object `object` currently satisfies query `query`.
@@ -404,6 +404,17 @@ pub trait ContinuousOperator {
         for update in updates {
             self.process_update(update);
         }
+    }
+
+    /// Applies a tick's query-lifecycle control operations.
+    ///
+    /// Contract: callers deliver the tick's controls **before** that
+    /// tick's data batch (see [`scuba_motion::control`]), so a churned run
+    /// is reproducible from the `(controls, updates)` streams alone. The
+    /// default is a no-op: operators with a fixed query population ignore
+    /// the control plane.
+    fn apply_control(&mut self, ops: &[ControlOp], now: Time) {
+        let _ = (ops, now);
     }
 
     /// Runs one periodic evaluation at logical time `now`.

@@ -91,16 +91,21 @@ pub enum RejectReason {
     /// The entity already reported at exactly this timestamp — a replayed
     /// `(time, entity)` key.
     DuplicateKey,
+    /// A remove/deregister arrived for an entity no structure knows —
+    /// already dead, never registered, or addressed to the wrong stripe.
+    /// Raised by the control plane, not by the inspect pipeline.
+    UnknownEntity,
 }
 
 impl RejectReason {
     /// Every reason, in reporting order.
-    pub const ALL: [RejectReason; 5] = [
+    pub const ALL: [RejectReason; 6] = [
         RejectReason::NonFiniteCoord,
         RejectReason::OutOfRegion,
         RejectReason::NonFiniteSpeed,
         RejectReason::NonMonotoneTime,
         RejectReason::DuplicateKey,
+        RejectReason::UnknownEntity,
     ];
 
     /// Stable kebab-case label for counters and JSON.
@@ -111,6 +116,7 @@ impl RejectReason {
             RejectReason::NonFiniteSpeed => "non-finite-speed",
             RejectReason::NonMonotoneTime => "non-monotone-time",
             RejectReason::DuplicateKey => "duplicate-key",
+            RejectReason::UnknownEntity => "unknown-entity",
         }
     }
 
@@ -121,6 +127,7 @@ impl RejectReason {
             RejectReason::NonFiniteSpeed => 2,
             RejectReason::NonMonotoneTime => 3,
             RejectReason::DuplicateKey => 4,
+            RejectReason::UnknownEntity => 5,
         }
     }
 }
@@ -164,7 +171,7 @@ pub struct ValidationStats {
     pub clamped: u64,
     /// Rejections by [`RejectReason`] (indexed as
     /// [`RejectReason::index`]).
-    rejected: [u64; 5],
+    rejected: [u64; 6],
     /// Dead letters dropped because the buffer was full.
     pub dead_letters_dropped: u64,
 }
@@ -328,6 +335,14 @@ impl UpdateValidator {
             }
         }
         Ok(u)
+    }
+
+    /// Quarantines an update that failed outside the inspect pipeline —
+    /// the control plane calls this for a `Deregister`/`Remove` addressed
+    /// at an entity nothing knows ([`RejectReason::UnknownEntity`]), so the
+    /// failure is counted and inspectable instead of silently dropped.
+    pub fn quarantine_control(&mut self, update: &LocationUpdate, reason: RejectReason) {
+        self.quarantine(update, reason);
     }
 
     fn quarantine(&mut self, update: &LocationUpdate, reason: RejectReason) {
@@ -560,9 +575,22 @@ mod tests {
         let mut v = UpdateValidator::new(ValidationPolicy::Reject, region());
         v.check(&obj(1, -1.0, 0.0, 1));
         let counts = v.stats().rejected_by_reason();
-        assert_eq!(counts.len(), 5);
+        assert_eq!(counts.len(), 6);
         assert!(counts.contains(&("out-of-region", 1)));
         assert!(counts.contains(&("duplicate-key", 0)));
+        assert!(counts.contains(&("unknown-entity", 0)));
+    }
+
+    #[test]
+    fn control_quarantine_counts_unknown_entity() {
+        let mut v = UpdateValidator::new(ValidationPolicy::Reject, region());
+        let ghost = obj(99, 10.0, 10.0, 1);
+        v.quarantine_control(&ghost, RejectReason::UnknownEntity);
+        assert_eq!(v.stats().rejected(RejectReason::UnknownEntity), 1);
+        assert_eq!(v.stats().rejected_total(), 1);
+        assert_eq!(v.dead_letter_len(), 1);
+        let letters: Vec<_> = v.dead_letters().collect();
+        assert_eq!(letters[0].reason, RejectReason::UnknownEntity);
     }
 
     #[test]
